@@ -1,0 +1,53 @@
+// Ablation: segment-count sweep on the MPP simulator (ProbKB-p). The
+// paper runs Greenplum at one configuration (32 segments) and notes the
+// speed-up is sublinear because intermediate results must be
+// redistributed; this sweep makes that trade visible: compute shrinks
+// with 1/N while motion volume grows with N.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "datagen/synthetic_kb.h"
+#include "grounding/mpp_grounder.h"
+
+int main() {
+  using namespace probkb;
+  const double scale = bench::BenchScale();
+  bench::PrintHeader("Ablation: segment-count sweep (ProbKB-p)");
+  std::printf("scale=%.3f\n", scale);
+
+  SyntheticKbConfig config;
+  config.scale = scale;
+  auto skb = GenerateReverbSherlockKb(config);
+  if (!skb.ok()) return 1;
+  // A fact-heavy KB so compute dominates at low segment counts.
+  if (!AddRandomFacts(&skb->kb,
+                      static_cast<int64_t>(skb->kb.facts().size()) * 5, 42)
+           .ok()) {
+    return 1;
+  }
+  std::printf("%s\n\n", skb->kb.StatsString().c_str());
+
+  std::printf("%9s %14s %14s %14s %16s\n", "segments", "simulated(s)",
+              "compute(s)", "motion(s)", "tuples shipped");
+  double single_node = 0;
+  for (int segments : {1, 2, 4, 8, 16, 32, 64}) {
+    RelationalKB rkb = BuildRelationalModel(skb->kb);
+    GroundingOptions options;
+    options.max_iterations = 2;
+    MppGrounder grounder(rkb, segments, MppMode::kViews, options);
+    if (!grounder.GroundAtoms().ok()) return 1;
+    const MppCost& cost = grounder.cost();
+    double motion = 0;
+    for (const auto& step : cost.steps()) {
+      if (step.kind != MppStep::Kind::kCompute) motion += step.seconds;
+    }
+    if (segments == 1) single_node = cost.simulated_seconds();
+    std::printf("%9d %14.3f %14.3f %14.3f %16lld   (%.2fx)\n", segments,
+                cost.simulated_seconds(),
+                cost.simulated_seconds() - motion, motion,
+                static_cast<long long>(cost.tuples_shipped()),
+                single_node / cost.simulated_seconds());
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Figure 7(b): distribution of error sources among the entities that
+// violate functional constraints. The paper sampled 100 violating
+// entities and attributed them by hand (34% ambiguous, 33% incorrect
+// rules, 24% ambiguous join keys, 6% incorrect extractions, 2% general
+// types, 1% synonyms); we classify every violator mechanically against
+// the generator's injected-error labels plus factor-graph lineage.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "datagen/synthetic_kb.h"
+#include "factor/factor_graph.h"
+#include "grounding/grounder.h"
+#include "quality/error_analysis.h"
+
+int main() {
+  using namespace probkb;
+  const double scale = bench::BenchScale();
+  bench::PrintHeader("Figure 7(b): sources of constraint violations");
+  std::printf("scale=%.3f\n", scale);
+
+  SyntheticKbConfig config;
+  config.scale = scale;
+  auto skb = GenerateReverbSherlockKb(config);
+  if (!skb.ok()) return 1;
+
+  RelationalKB rkb = BuildRelationalModel(skb->kb);
+  GroundingOptions options;
+  options.max_iterations = 4;
+  Grounder grounder(&rkb, options);
+  if (!grounder.GroundAtoms().ok()) return 1;
+  auto phi = grounder.GroundFactors();
+  if (!phi.ok()) return 1;
+  auto graph = FactorGraph::FromTables(*rkb.t_pi, **phi);
+  if (!graph.ok()) return 1;
+
+  ExecContext ec;
+  auto violators = FindConstraintViolators(rkb.t_pi, rkb.t_omega, &ec);
+  if (!violators.ok()) return 1;
+  auto classified =
+      ClassifyViolators(**violators, *rkb.t_pi, rkb.t_omega.get(), &*graph,
+                        skb->truth.labels);
+  auto distribution = ErrorSourceDistribution(classified);
+
+  std::printf("\n%lld violating entities (paper: 1483)\n\n",
+              static_cast<long long>((*violators)->NumRows()));
+  struct PaperRow {
+    ErrorSource source;
+    double paper_pct;
+  };
+  const PaperRow rows[] = {
+      {ErrorSource::kAmbiguousEntity, 34},
+      {ErrorSource::kIncorrectRule, 33},
+      {ErrorSource::kAmbiguousJoinKey, 24},
+      {ErrorSource::kIncorrectExtraction, 6},
+      {ErrorSource::kGeneralType, 2},
+      {ErrorSource::kSynonym, 1},
+      {ErrorSource::kUnknown, 0},
+  };
+  std::printf("%-26s %8s %8s\n", "source", "ours", "paper");
+  for (const PaperRow& row : rows) {
+    std::printf("%-26s %7.1f%% %7.0f%%\n", ErrorSourceToString(row.source),
+                distribution[row.source] * 100, row.paper_pct);
+  }
+  return 0;
+}

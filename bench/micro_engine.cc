@@ -1,0 +1,173 @@
+// Micro-benchmarks of the substrate operators (google-benchmark): the
+// set-oriented primitives whose batch execution underlies the Section
+// 4.3.1 analysis, plus the motion operators of the MPP simulator and a
+// Gibbs sweep.
+
+#include <benchmark/benchmark.h>
+
+#include "engine/ops.h"
+#include "engine/plan.h"
+#include "factor/factor_graph.h"
+#include "grounding/grounder.h"
+#include "datagen/synthetic_kb.h"
+#include "infer/gibbs.h"
+#include "mpp/mpp_context.h"
+#include "util/random.h"
+
+namespace probkb {
+namespace {
+
+Schema AB() {
+  return Schema({{"a", ColumnType::kInt64}, {"b", ColumnType::kInt64}});
+}
+
+TablePtr RandomTable(int64_t rows, int64_t domain, uint64_t seed) {
+  Rng rng(seed);
+  auto t = Table::Make(AB());
+  t->ReserveRows(rows);
+  for (int64_t i = 0; i < rows; ++i) {
+    t->AppendRow({Value::Int64(rng.UniformInt(0, domain)),
+                  Value::Int64(rng.UniformInt(0, domain))});
+  }
+  return t;
+}
+
+void BM_HashJoin(benchmark::State& state) {
+  const int64_t rows = state.range(0);
+  auto left = RandomTable(rows, rows / 4, 1);
+  auto right = RandomTable(rows, rows / 4, 2);
+  for (auto _ : state) {
+    ExecContext ctx;
+    auto plan = HashJoin(Scan(left), Scan(right), {0}, {0}, JoinType::kInner,
+                         {JoinOutputCol::Left(1, "lb"),
+                          JoinOutputCol::Right(1, "rb")});
+    auto result = plan->Execute(&ctx);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * rows * 2);
+}
+BENCHMARK(BM_HashJoin)->Arg(1 << 12)->Arg(1 << 15);
+
+void BM_HashDistinct(benchmark::State& state) {
+  const int64_t rows = state.range(0);
+  auto t = RandomTable(rows, rows / 8, 3);
+  for (auto _ : state) {
+    ExecContext ctx;
+    auto result = Distinct(Scan(t))->Execute(&ctx);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_HashDistinct)->Arg(1 << 12)->Arg(1 << 15);
+
+void BM_HashAggregate(benchmark::State& state) {
+  const int64_t rows = state.range(0);
+  auto t = RandomTable(rows, 256, 4);
+  for (auto _ : state) {
+    ExecContext ctx;
+    auto result = Aggregate(Scan(t), {0},
+                            {{AggKind::kCount, 0, "cnt"},
+                             {AggKind::kMax, 1, "max"}})
+                      ->Execute(&ctx);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_HashAggregate)->Arg(1 << 12)->Arg(1 << 15);
+
+void BM_SetUnionInto(benchmark::State& state) {
+  const int64_t rows = state.range(0);
+  auto src = RandomTable(rows, rows / 2, 5);
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto dst = RandomTable(rows, rows / 2, 6);
+    state.ResumeTiming();
+    int64_t added = SetUnionInto(dst.get(), *src, {0, 1});
+    benchmark::DoNotOptimize(added);
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_SetUnionInto)->Arg(1 << 12)->Arg(1 << 15);
+
+void BM_RedistributeMotion(benchmark::State& state) {
+  const int64_t rows = state.range(0);
+  auto local = RandomTable(rows, rows, 7);
+  auto dist = DistributedTable::Distribute(*local, 32,
+                                           Distribution::Random());
+  for (auto _ : state) {
+    MppContext ctx(32);
+    auto result = ctx.Redistribute(*dist, {0});
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_RedistributeMotion)->Arg(1 << 14);
+
+void BM_BroadcastMotion(benchmark::State& state) {
+  const int64_t rows = state.range(0);
+  auto local = RandomTable(rows, rows, 8);
+  auto dist = DistributedTable::Distribute(*local, 32,
+                                           Distribution::Random());
+  for (auto _ : state) {
+    MppContext ctx(32);
+    auto result = ctx.Broadcast(*dist);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_BroadcastMotion)->Arg(1 << 14);
+
+void BM_GroundAtomsIteration(benchmark::State& state) {
+  SyntheticKbConfig config;
+  config.scale = 0.01;
+  auto skb = GenerateReverbSherlockKb(config);
+  if (!skb.ok()) {
+    state.SkipWithError("generator failed");
+    return;
+  }
+  for (auto _ : state) {
+    RelationalKB rkb = BuildRelationalModel(skb->kb);
+    GroundingOptions options;
+    options.max_iterations = 1;
+    Grounder grounder(&rkb, options);
+    auto added = grounder.GroundAtomsIteration();
+    benchmark::DoNotOptimize(added);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(skb->kb.facts().size()));
+}
+BENCHMARK(BM_GroundAtomsIteration);
+
+void BM_GibbsSweep(benchmark::State& state) {
+  SyntheticKbConfig config;
+  config.scale = 0.005;
+  auto skb = GenerateReverbSherlockKb(config);
+  if (!skb.ok()) {
+    state.SkipWithError("generator failed");
+    return;
+  }
+  RelationalKB rkb = BuildRelationalModel(skb->kb);
+  GroundingOptions options;
+  options.max_iterations = 2;
+  Grounder grounder(&rkb, options);
+  if (!grounder.GroundAtoms().ok()) {
+    state.SkipWithError("grounding failed");
+    return;
+  }
+  auto phi = grounder.GroundFactors();
+  auto graph = FactorGraph::FromTables(*rkb.t_pi, **phi);
+  for (auto _ : state) {
+    GibbsOptions gibbs;
+    gibbs.burn_in_sweeps = 0;
+    gibbs.sample_sweeps = 1;
+    auto result = GibbsMarginals(*graph, gibbs);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * graph->num_variables());
+}
+BENCHMARK(BM_GibbsSweep);
+
+}  // namespace
+}  // namespace probkb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+#ifndef PROBKB_BENCH_PERF_COMMON_H_
+#define PROBKB_BENCH_PERF_COMMON_H_
+
+#include "bench/bench_util.h"
+#include "datagen/synthetic_kb.h"
+#include "grounding/grounder.h"
+#include "grounding/mpp_grounder.h"
+#include "tuffy/tuffy_grounder.h"
+#include "util/timer.h"
+
+namespace probkb {
+namespace bench {
+
+/// One Figure-6-style measurement: a single grounding iteration (Query 1)
+/// plus factor construction (Query 2), as the paper does for the synthetic
+/// S1/S2 sweeps.
+struct PerfPoint {
+  double modeled_seconds = 0;   // engine/simulated time + statement overhead
+  double measured_seconds = 0;  // engine/simulated time only
+  int64_t inferred = 0;
+  int64_t factors = 0;
+};
+
+inline Result<PerfPoint> RunProbKbOnce(const KnowledgeBase& kb) {
+  const double stmt = StatementSeconds();
+  PerfPoint point;
+  RelationalKB rkb = BuildRelationalModel(kb);
+  GroundingOptions options;
+  options.max_iterations = 1;
+  Grounder grounder(&rkb, options);
+  Timer timer;
+  PROBKB_ASSIGN_OR_RETURN(point.inferred, grounder.GroundAtomsIteration());
+  PROBKB_ASSIGN_OR_RETURN(TablePtr phi, grounder.GroundFactors());
+  point.factors = phi->NumRows();
+  point.measured_seconds = timer.Seconds();
+  point.modeled_seconds =
+      point.measured_seconds +
+      static_cast<double>(grounder.stats().statements) * stmt;
+  return point;
+}
+
+inline Result<PerfPoint> RunMppOnce(const KnowledgeBase& kb, int segments,
+                                    MppMode mode) {
+  const double stmt = StatementSeconds();
+  PerfPoint point;
+  RelationalKB rkb = BuildRelationalModel(kb);
+  GroundingOptions options;
+  options.max_iterations = 1;
+  MppGrounder grounder(rkb, segments, mode, options);
+  PROBKB_ASSIGN_OR_RETURN(point.inferred, grounder.GroundAtomsIteration());
+  PROBKB_ASSIGN_OR_RETURN(TablePtr phi, grounder.GroundFactors());
+  point.factors = phi->NumRows();
+  point.measured_seconds = grounder.cost().simulated_seconds();
+  point.modeled_seconds =
+      point.measured_seconds +
+      static_cast<double>(grounder.stats().statements) * stmt;
+  return point;
+}
+
+inline Result<PerfPoint> RunTuffyOnce(const KnowledgeBase& kb) {
+  const double stmt = StatementSeconds();
+  PerfPoint point;
+  GroundingOptions options;
+  options.max_iterations = 1;
+  TuffyGrounder grounder(kb, options);
+  PROBKB_RETURN_NOT_OK(grounder.Load());
+  int64_t load_statements = grounder.stats().statements;
+  Timer timer;
+  PROBKB_ASSIGN_OR_RETURN(point.inferred, grounder.GroundAtomsIteration());
+  PROBKB_ASSIGN_OR_RETURN(TablePtr phi, grounder.GroundFactors());
+  point.factors = phi->NumRows();
+  point.measured_seconds = timer.Seconds();
+  // Loading statements are not part of the Figure 6 grounding time.
+  point.modeled_seconds =
+      point.measured_seconds +
+      static_cast<double>(grounder.stats().statements - load_statements) *
+          stmt;
+  return point;
+}
+
+}  // namespace bench
+}  // namespace probkb
+
+#endif  // PROBKB_BENCH_PERF_COMMON_H_

@@ -1,0 +1,122 @@
+// Knowledge expansion at scale: generate a ReVerb-Sherlock-like KB with
+// injected noise, apply ProbKB's quality control (semantic constraints +
+// rule cleaning), ground in batches, and measure the precision of the
+// expansion against the generator's ground truth — the Section 6.2
+// workflow as a library client would run it.
+//
+//   ./build/examples/knowledge_expansion [scale]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "datagen/synthetic_kb.h"
+#include "factor/factor_graph.h"
+#include "grounding/grounder.h"
+#include "infer/gibbs.h"
+#include "infer/writeback.h"
+#include "kb/kb_query.h"
+#include "quality/rule_cleaning.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace probkb;
+
+  SyntheticKbConfig config;
+  config.scale = argc > 1 ? std::atof(argv[1]) : 0.02;
+  std::printf("Generating KB at %.1f%% of ReVerb-Sherlock scale...\n",
+              config.scale * 100);
+  Timer timer;
+  auto skb = GenerateReverbSherlockKb(config);
+  if (!skb.ok()) {
+    std::fprintf(stderr, "generator: %s\n",
+                 skb.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("  %s  (%.2fs)\n", skb->kb.StatsString().c_str(),
+              timer.Seconds());
+
+  // --- Expansion without quality control ------------------------------------
+  {
+    RelationalKB rkb = BuildRelationalModel(skb->kb);
+    GroundingOptions options;
+    options.max_iterations = 10;
+    Grounder grounder(&rkb, options);
+    timer.Reset();
+    if (auto st = grounder.GroundAtoms(); !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    auto report = EvaluateInferred(*rkb.t_pi, skb->truth);
+    std::printf(
+        "\nRaw expansion:       %6lld inferred facts, precision %.2f "
+        "(%.2fs, %d iterations)\n",
+        static_cast<long long>(report.inferred), report.precision,
+        timer.Seconds(), grounder.stats().iterations);
+  }
+
+  // --- Expansion with ProbKB quality control ---------------------------------
+  {
+    KnowledgeBase kb = skb->kb;
+    // Rule cleaning: keep the top-20% of rules by learner score.
+    *kb.mutable_rules() = TopThetaRules(kb.rules(), 0.2);
+    RelationalKB rkb = BuildRelationalModel(kb);
+    GroundingOptions options;
+    options.max_iterations = 15;
+    options.apply_constraints_each_iteration = true;  // semantic constraints
+    Grounder grounder(&rkb, options);
+    // Clean the extracted facts once up front, as Section 6 does.
+    if (auto deleted = grounder.ApplyConstraints(); deleted.ok()) {
+      std::printf("\nConstraints removed %lld extracted facts up front\n",
+                  static_cast<long long>(*deleted));
+    }
+    timer.Reset();
+    if (auto st = grounder.GroundAtoms(); !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    auto report = EvaluateInferred(*rkb.t_pi, skb->truth);
+    std::printf(
+        "With quality control: %6lld inferred facts, precision %.2f "
+        "(%.2fs, %d iterations, %lld facts deleted during inference)\n",
+        static_cast<long long>(report.inferred), report.precision,
+        timer.Seconds(), grounder.stats().iterations,
+        static_cast<long long>(grounder.stats().constraint_deleted));
+
+    // Run marginal inference and write the probabilities back into the KB
+    // so queries answer without any inference-time computation (Sec 2.2).
+    FactId first_inferred = static_cast<FactId>(kb.facts().size());
+    auto phi = grounder.GroundFactors();
+    if (!phi.ok()) return 1;
+    auto graph = FactorGraph::FromTables(*rkb.t_pi, **phi);
+    if (!graph.ok()) return 1;
+    GibbsOptions gibbs;
+    gibbs.schedule = GibbsSchedule::kChromatic;
+    gibbs.num_chains = 2;
+    gibbs.burn_in_sweeps = 50;
+    gibbs.sample_sweeps = 300;
+    auto marginals = GibbsMarginals(*graph, gibbs);
+    if (!marginals.ok()) return 1;
+    std::printf("\nGibbs: %d colors, R-hat %.3f\n", marginals->num_colors,
+                marginals->max_psrf);
+    auto written =
+        WriteMarginalsToTPi(rkb.t_pi.get(), *graph, marginals->marginals);
+    if (!written.ok()) return 1;
+
+    // Query the expanded KB: highest-confidence inferred facts.
+    KbQuery query(&kb, rkb.t_pi, first_inferred);
+    std::printf("\nHighest-probability expansions:\n");
+    int shown = 0;
+    for (int64_t i = 0; i < rkb.t_pi->NumRows() && shown < 8; ++i) {
+      RowView row = rkb.t_pi->row(i);
+      if (row[tpi::kI].i64() < first_inferred) continue;
+      Fact fact = FactFromRow(row);
+      if (fact.weight < 0.6) continue;
+      bool correct = skb->truth.IsTrue(fact.relation, fact.x, fact.y);
+      std::printf("  P=%.2f %-55s %s\n", fact.weight,
+                  kb.FactToString(fact).c_str(),
+                  correct ? "[correct]" : "[wrong]");
+      ++shown;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Lineage audit (Sections 4.2.3 and 5): expand a noisy KB, find the
+// entities that violate functional constraints, classify the error source
+// of each using the factor graph's lineage, and walk the derivation tree
+// of a propagated error — the workflow a KB curator would use to debug an
+// expansion.
+//
+//   ./build/examples/lineage_audit [scale]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "datagen/synthetic_kb.h"
+#include "factor/factor_graph.h"
+#include "grounding/grounder.h"
+#include "quality/error_analysis.h"
+
+int main(int argc, char** argv) {
+  using namespace probkb;
+
+  SyntheticKbConfig config;
+  config.scale = argc > 1 ? std::atof(argv[1]) : 0.02;
+  auto skb = GenerateReverbSherlockKb(config);
+  if (!skb.ok()) {
+    std::fprintf(stderr, "generator: %s\n",
+                 skb.status().ToString().c_str());
+    return 1;
+  }
+  const KnowledgeBase& kb = skb->kb;
+  std::printf("KB: %s\n", kb.StatsString().c_str());
+
+  RelationalKB rkb = BuildRelationalModel(kb);
+  GroundingOptions options;
+  options.max_iterations = 4;
+  Grounder grounder(&rkb, options);
+  if (!grounder.GroundAtoms().ok()) return 1;
+  auto t_phi = grounder.GroundFactors();
+  if (!t_phi.ok()) return 1;
+  auto graph = FactorGraph::FromTables(*rkb.t_pi, **t_phi);
+  if (!graph.ok()) return 1;
+
+  // Find constraint violators (without deleting) and classify them.
+  ExecContext ec;
+  auto violators = FindConstraintViolators(rkb.t_pi, rkb.t_omega, &ec);
+  if (!violators.ok()) return 1;
+  auto classified =
+      ClassifyViolators(**violators, *rkb.t_pi, rkb.t_omega.get(), &*graph,
+                        skb->truth.labels);
+  auto distribution = ErrorSourceDistribution(classified);
+
+  std::printf("\n%lld entities violate functional constraints; sources:\n",
+              static_cast<long long>((*violators)->NumRows()));
+  for (const auto& [source, fraction] : distribution) {
+    std::printf("  %-26s %5.1f%%\n", ErrorSourceToString(source),
+                fraction * 100);
+  }
+
+  // Walk the lineage of one inferred fact keyed by a violating entity.
+  auto describe = [&](FactId id) -> std::string {
+    for (int64_t j = 0; j < rkb.t_pi->NumRows(); ++j) {
+      if (rkb.t_pi->row(j)[tpi::kI].i64() == id) {
+        return kb.FactToString(FactFromRow(rkb.t_pi->row(j)));
+      }
+    }
+    return "?";
+  };
+  for (const auto& violator : classified) {
+    if (violator.source != ErrorSource::kAmbiguousJoinKey) continue;
+    // Locate an inferred fact whose subject is the violator.
+    for (int64_t i = 0; i < rkb.t_pi->NumRows(); ++i) {
+      RowView row = rkb.t_pi->row(i);
+      if (!row[tpi::kW].is_null()) continue;
+      if (row[tpi::kX].i64() != violator.entity) continue;
+      int32_t v = graph->VariableOf(row[tpi::kI].i64());
+      if (graph->DerivationsOf(v).empty()) continue;
+      std::printf(
+          "\nDerivation of a fact inferred through an ambiguous join key\n"
+          "(cf. Figure 5(a)'s propagated-error chains):\n%s",
+          graph->ExplainLineage(v, 4, describe).c_str());
+      return 0;
+    }
+  }
+  std::printf("\n(no ambiguous-join-key propagation found at this scale)\n");
+  return 0;
+}

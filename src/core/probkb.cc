@@ -1,0 +1,70 @@
+#include "core/probkb.h"
+
+#include "infer/writeback.h"
+#include "quality/rule_cleaning.h"
+
+namespace probkb {
+
+Result<ExpansionResult> ExpandKnowledgeBase(const KnowledgeBase& kb,
+                                            const ExpansionOptions& options) {
+  if (options.rule_cleaning_theta < 0) {
+    return Status::InvalidArgument("rule_cleaning_theta must be >= 0");
+  }
+  if (options.use_mpp && options.mpp_segments < 1) {
+    return Status::InvalidArgument("mpp_segments must be >= 1");
+  }
+
+  ExpansionResult result;
+
+  // Quality control: rule cleaning, then the up-front Query 3 pass.
+  KnowledgeBase working = kb;
+  if (options.rule_cleaning_theta < 1.0) {
+    *working.mutable_rules() =
+        TopThetaRules(working.rules(), options.rule_cleaning_theta);
+  }
+  RelationalKB rkb = BuildRelationalModel(working);
+  result.first_inferred_id = rkb.next_fact_id;
+  if (options.constraints_upfront) {
+    Grounder pre(&rkb, options.grounding);
+    PROBKB_ASSIGN_OR_RETURN(result.constraints_deleted_upfront,
+                            pre.ApplyConstraints());
+  }
+
+  // Grounding (Algorithm 1) on the chosen engine.
+  if (options.use_mpp) {
+    MppGrounder grounder(rkb, options.mpp_segments, options.mpp_mode,
+                         options.grounding);
+    PROBKB_RETURN_NOT_OK(grounder.GroundAtoms());
+    PROBKB_ASSIGN_OR_RETURN(result.t_phi, grounder.GroundFactors());
+    result.t_pi = grounder.GatherTPi();
+    result.grounding_stats = grounder.stats();
+  } else {
+    Grounder grounder(&rkb, options.grounding);
+    PROBKB_RETURN_NOT_OK(grounder.GroundAtoms());
+    PROBKB_ASSIGN_OR_RETURN(result.t_phi, grounder.GroundFactors());
+    result.t_pi = rkb.t_pi;
+    result.grounding_stats = grounder.stats();
+  }
+
+  // Factor graph + marginal inference + write-back.
+  PROBKB_ASSIGN_OR_RETURN(FactorGraph graph,
+                          FactorGraph::FromTables(*result.t_pi,
+                                                  *result.t_phi));
+  result.graph = std::make_shared<FactorGraph>(std::move(graph));
+  if (options.run_inference) {
+    PROBKB_ASSIGN_OR_RETURN(result.inference,
+                            GibbsMarginals(*result.graph, options.gibbs));
+    PROBKB_ASSIGN_OR_RETURN(
+        int64_t written,
+        WriteMarginalsToTPi(result.t_pi.get(), *result.graph,
+                            result.inference.marginals));
+    (void)written;
+  }
+  return result;
+}
+
+KbQuery MakeQuery(const KnowledgeBase& kb, const ExpansionResult& result) {
+  return KbQuery(&kb, result.t_pi, result.first_inferred_id);
+}
+
+}  // namespace probkb

@@ -1,0 +1,70 @@
+#ifndef PROBKB_CORE_PROBKB_H_
+#define PROBKB_CORE_PROBKB_H_
+
+#include <memory>
+
+#include "factor/factor_graph.h"
+#include "grounding/grounder.h"
+#include "grounding/mpp_grounder.h"
+#include "infer/gibbs.h"
+#include "kb/kb_query.h"
+#include "kb/knowledge_base.h"
+#include "util/result.h"
+
+namespace probkb {
+
+/// \brief One-call configuration of the full ProbKB pipeline (Figure 1):
+/// quality control -> batched grounding -> factor graph -> marginal
+/// inference -> write-back.
+struct ExpansionOptions {
+  /// Rule cleaning: keep the top fraction of rules by learner score
+  /// (Section 5.3); 1.0 keeps everything.
+  double rule_cleaning_theta = 1.0;
+  /// Apply Query 3 to the extracted facts before grounding (Section 6.1).
+  bool constraints_upfront = true;
+  GroundingOptions grounding;
+  /// Run Gibbs marginal inference and write probabilities back into the
+  /// facts table. When false, inferred facts keep NULL weights.
+  bool run_inference = true;
+  GibbsOptions gibbs;
+  /// Execute grounding on the shared-nothing simulator instead of the
+  /// single-node engine.
+  bool use_mpp = false;
+  int mpp_segments = 32;
+  MppMode mpp_mode = MppMode::kViews;
+};
+
+/// \brief Everything the pipeline produces.
+struct ExpansionResult {
+  /// The expanded facts table (I, R, x, C1, y, C2, w); inferred facts
+  /// carry their marginal probability in w after inference.
+  TablePtr t_pi;
+  /// The ground factor table (I1, I2, I3, w).
+  TablePtr t_phi;
+  /// The factor graph over t_pi/t_phi (lineage queries, re-inference).
+  std::shared_ptr<FactorGraph> graph;
+  /// Fact ids >= this are inferred; below are extracted.
+  FactId first_inferred_id = 0;
+  int64_t constraints_deleted_upfront = 0;
+  GroundingStats grounding_stats;
+  /// Inference record (marginals indexed by graph variable); default-
+  /// constructed when run_inference was false.
+  GibbsResult inference;
+};
+
+/// \brief Runs the whole ProbKB pipeline over `kb` and returns the
+/// expanded knowledge base artifacts. `kb` is not modified.
+///
+///   auto kb = ParseMlnFile("program.mln");
+///   auto result = ExpandKnowledgeBase(*kb);
+///   KbQuery query = MakeQuery(*kb, *result);
+///   for (auto& f : query.Find("live_in", "Ann", std::nullopt)) ...
+Result<ExpansionResult> ExpandKnowledgeBase(
+    const KnowledgeBase& kb, const ExpansionOptions& options = {});
+
+/// \brief Convenience: a query view over an expansion's facts.
+KbQuery MakeQuery(const KnowledgeBase& kb, const ExpansionResult& result);
+
+}  // namespace probkb
+
+#endif  // PROBKB_CORE_PROBKB_H_

@@ -1,0 +1,65 @@
+#include "datagen/ground_truth.h"
+
+#include "grounding/grounder.h"
+
+namespace probkb {
+
+const std::vector<EntityId>& GroundTruth::UnderlyingOf(EntityId e) const {
+  static const std::vector<EntityId> kEmpty;
+  auto it = underlying.find(e);
+  if (it != underlying.end()) return it->second;
+  return kEmpty;
+}
+
+bool GroundTruth::IsTrue(RelationId r, EntityId x, EntityId y) const {
+  auto check = [&](EntityId ux, EntityId uy) {
+    return true_closure.count({r, ux, uy}) > 0;
+  };
+  const auto& xs = UnderlyingOf(x);
+  const auto& ys = UnderlyingOf(y);
+  if (xs.empty() && ys.empty()) return check(x, y);
+  auto xs_or_self = xs.empty() ? std::vector<EntityId>{x} : xs;
+  auto ys_or_self = ys.empty() ? std::vector<EntityId>{y} : ys;
+  for (EntityId ux : xs_or_self) {
+    for (EntityId uy : ys_or_self) {
+      if (check(ux, uy)) return true;
+    }
+  }
+  return false;
+}
+
+PrecisionReport EvaluateInferred(const Table& t_pi,
+                                 const GroundTruth& truth) {
+  PrecisionReport report;
+  for (int64_t i = 0; i < t_pi.NumRows(); ++i) {
+    RowView row = t_pi.row(i);
+    if (!row[tpi::kW].is_null()) continue;  // extracted, not inferred
+    ++report.inferred;
+    if (truth.IsTrue(row[tpi::kR].i64(), row[tpi::kX].i64(),
+                     row[tpi::kY].i64())) {
+      ++report.correct;
+    }
+  }
+  report.precision = report.inferred == 0
+                         ? 1.0
+                         : static_cast<double>(report.correct) /
+                               static_cast<double>(report.inferred);
+  return report;
+}
+
+Result<std::set<GroundTruth::FactKey>> ComputeTruthClosure(
+    const KnowledgeBase& clean_kb, int max_iterations) {
+  RelationalKB rkb = BuildRelationalModel(clean_kb);
+  GroundingOptions options;
+  options.max_iterations = max_iterations;
+  Grounder grounder(&rkb, options);
+  PROBKB_RETURN_NOT_OK(grounder.GroundAtoms());
+  std::set<GroundTruth::FactKey> out;
+  for (int64_t i = 0; i < rkb.t_pi->NumRows(); ++i) {
+    RowView row = rkb.t_pi->row(i);
+    out.emplace(row[tpi::kR].i64(), row[tpi::kX].i64(), row[tpi::kY].i64());
+  }
+  return out;
+}
+
+}  // namespace probkb

@@ -1,0 +1,62 @@
+#ifndef PROBKB_DATAGEN_GROUND_TRUTH_H_
+#define PROBKB_DATAGEN_GROUND_TRUTH_H_
+
+#include <set>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+#include "kb/knowledge_base.h"
+#include "kb/relational_model.h"
+#include "quality/error_analysis.h"
+#include "util/result.h"
+
+namespace probkb {
+
+/// \brief The generator's knowledge of what is actually true.
+///
+/// The paper estimates precision with human judges over samples; the
+/// synthetic generator instead constructs a latent "true world" — base
+/// true facts closed under the sound rules — and records how surface
+/// entities map to underlying ones (ambiguous names cover two referents,
+/// synonyms share one). An inferred fact is correct iff some combination
+/// of underlying referents makes it true in the closure.
+struct GroundTruth {
+  using FactKey = std::tuple<RelationId, EntityId, EntityId>;
+
+  ErrorLabels labels;
+
+  /// Surface entity -> underlying entities. Absent means identity.
+  std::unordered_map<EntityId, std::vector<EntityId>> underlying;
+
+  /// (R, x, y) triples true in the latent world (closure of true base
+  /// facts under the sound rules).
+  std::set<FactKey> true_closure;
+
+  /// Indices (into the generated KB's rule vector) of unsound rules.
+  std::set<size_t> incorrect_rule_indices;
+
+  const std::vector<EntityId>& UnderlyingOf(EntityId e) const;
+
+  /// \brief True iff the (surface-level) fact is correct.
+  bool IsTrue(RelationId r, EntityId x, EntityId y) const;
+};
+
+/// \brief Precision of the inferred (NULL-weight) facts in a TPi table.
+struct PrecisionReport {
+  int64_t inferred = 0;
+  int64_t correct = 0;
+  double precision = 0.0;  // correct / inferred (1.0 when none inferred)
+};
+
+PrecisionReport EvaluateInferred(const Table& t_pi, const GroundTruth& truth);
+
+/// \brief Computes the true closure: grounds the clean world (true base
+/// facts under the sound rules, `max_iterations` deep) and returns the
+/// atom set. Used by the generator; exposed for tests.
+Result<std::set<GroundTruth::FactKey>> ComputeTruthClosure(
+    const KnowledgeBase& clean_kb, int max_iterations);
+
+}  // namespace probkb
+
+#endif  // PROBKB_DATAGEN_GROUND_TRUTH_H_

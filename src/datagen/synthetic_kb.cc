@@ -1,0 +1,578 @@
+#include "datagen/synthetic_kb.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace probkb {
+
+namespace {
+
+struct PairHash {
+  size_t operator()(const std::pair<int64_t, int64_t>& p) const {
+    uint64_t h = static_cast<uint64_t>(p.first) * 0x9E3779B97F4A7C15ULL;
+    h ^= static_cast<uint64_t>(p.second) + (h << 6) + (h >> 2);
+    return static_cast<size_t>(h);
+  }
+};
+
+/// Signature indexes used by rule and fact generation.
+struct SignatureIndex {
+  std::vector<RelationSignature> sigs;  // by relation id (gaps allowed)
+  std::map<std::pair<ClassId, ClassId>, std::vector<RelationId>> by_pair;
+  std::map<ClassId, std::vector<RelationId>> by_domain;
+  std::map<ClassId, std::vector<RelationId>> by_range;
+  std::vector<RelationId> all;
+
+  void Add(const RelationSignature& sig) {
+    if (static_cast<size_t>(sig.relation) >= sigs.size()) {
+      sigs.resize(static_cast<size_t>(sig.relation) + 1);
+    }
+    sigs[static_cast<size_t>(sig.relation)] = sig;
+    by_pair[{sig.domain, sig.range}].push_back(sig.relation);
+    by_domain[sig.domain].push_back(sig.relation);
+    by_range[sig.range].push_back(sig.relation);
+    all.push_back(sig.relation);
+  }
+
+  const RelationSignature& Of(RelationId r) const {
+    return sigs[static_cast<size_t>(r)];
+  }
+};
+
+/// Entity pools per class.
+struct EntityIndex {
+  std::vector<ClassId> entity_class;  // by entity id
+  std::map<ClassId, std::vector<EntityId>> by_class;
+
+  void Add(EntityId e, ClassId c) {
+    if (static_cast<size_t>(e) >= entity_class.size()) {
+      entity_class.resize(static_cast<size_t>(e) + 1, kInvalidId);
+    }
+    entity_class[static_cast<size_t>(e)] = c;
+    by_class[c].push_back(e);
+  }
+
+  ClassId ClassOf(EntityId e) const {
+    return entity_class[static_cast<size_t>(e)];
+  }
+};
+
+template <typename T>
+const T* PickFrom(const std::vector<T>& v, Rng* rng) {
+  if (v.empty()) return nullptr;
+  return &v[rng->Uniform(v.size())];
+}
+
+RuleStructure SampleStructure(Rng* rng) {
+  // Sherlock-like mix: length-3 chains dominate.
+  double u = rng->UniformDouble();
+  if (u < 0.12) return RuleStructure::kM1;
+  if (u < 0.20) return RuleStructure::kM2;
+  if (u < 0.50) return RuleStructure::kM3;
+  if (u < 0.70) return RuleStructure::kM4;
+  if (u < 0.88) return RuleStructure::kM5;
+  return RuleStructure::kM6;
+}
+
+using RuleKey =
+    std::tuple<int, RelationId, RelationId, RelationId, ClassId, ClassId,
+               ClassId>;
+RuleKey KeyOf(const HornRule& r) {
+  return {static_cast<int>(r.structure), r.head, r.body1, r.body2,
+          r.c1,  r.c2,  r.c3};
+}
+
+/// Attempts one structurally valid typed rule; body relations drawn with
+/// `body_zipf` skew so rules tend to cover fact-heavy relations.
+std::optional<HornRule> TryMakeRule(const SignatureIndex& index, Rng* rng,
+                                    double body_zipf) {
+  if (index.all.empty()) return std::nullopt;
+  HornRule rule;
+  rule.structure = SampleStructure(rng);
+  RelationId q =
+      index.all[rng->Zipf(index.all.size(), body_zipf)];
+  const RelationSignature& qs = index.Of(q);
+  rule.body1 = q;
+
+  auto head_from = [&](ClassId c1, ClassId c2) -> bool {
+    auto it = index.by_pair.find({c1, c2});
+    if (it == index.by_pair.end()) return false;
+    const RelationId* p = PickFrom(it->second, rng);
+    if (p == nullptr || *p == q) return false;
+    rule.head = *p;
+    rule.c1 = c1;
+    rule.c2 = c2;
+    return true;
+  };
+
+  switch (rule.structure) {
+    case RuleStructure::kM1:  // q(x, y)
+      if (!head_from(qs.domain, qs.range)) return std::nullopt;
+      return rule;
+    case RuleStructure::kM2:  // q(y, x)
+      if (!head_from(qs.range, qs.domain)) return std::nullopt;
+      return rule;
+    case RuleStructure::kM3: {  // q(z,x), r(z,y)
+      ClassId c3 = qs.domain, c1 = qs.range;
+      auto it = index.by_domain.find(c3);
+      if (it == index.by_domain.end()) return std::nullopt;
+      const RelationId* r = PickFrom(it->second, rng);
+      if (r == nullptr) return std::nullopt;
+      rule.body2 = *r;
+      rule.c3 = c3;
+      if (!head_from(c1, index.Of(*r).range)) return std::nullopt;
+      return rule;
+    }
+    case RuleStructure::kM4: {  // q(x,z), r(z,y)
+      ClassId c1 = qs.domain, c3 = qs.range;
+      auto it = index.by_domain.find(c3);
+      if (it == index.by_domain.end()) return std::nullopt;
+      const RelationId* r = PickFrom(it->second, rng);
+      if (r == nullptr) return std::nullopt;
+      rule.body2 = *r;
+      rule.c3 = c3;
+      if (!head_from(c1, index.Of(*r).range)) return std::nullopt;
+      return rule;
+    }
+    case RuleStructure::kM5: {  // q(z,x), r(y,z)
+      ClassId c3 = qs.domain, c1 = qs.range;
+      auto it = index.by_range.find(c3);
+      if (it == index.by_range.end()) return std::nullopt;
+      const RelationId* r = PickFrom(it->second, rng);
+      if (r == nullptr) return std::nullopt;
+      rule.body2 = *r;
+      rule.c3 = c3;
+      if (!head_from(c1, index.Of(*r).domain)) return std::nullopt;
+      return rule;
+    }
+    case RuleStructure::kM6: {  // q(x,z), r(y,z)
+      ClassId c1 = qs.domain, c3 = qs.range;
+      auto it = index.by_range.find(c3);
+      if (it == index.by_range.end()) return std::nullopt;
+      const RelationId* r = PickFrom(it->second, rng);
+      if (r == nullptr) return std::nullopt;
+      rule.body2 = *r;
+      rule.c3 = c3;
+      if (!head_from(c1, index.Of(*r).domain)) return std::nullopt;
+      return rule;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+Result<SyntheticKb> GenerateReverbSherlockKb(const SyntheticKbConfig& cfg) {
+  if (cfg.scale <= 0) {
+    return Status::InvalidArgument("scale must be positive");
+  }
+  SyntheticKb out;
+  KnowledgeBase& kb = out.kb;
+  GroundTruth& truth = out.truth;
+  Rng rng(cfg.seed);
+
+  const int64_t num_relations = cfg.NumRelations();
+  const int64_t num_rules = cfg.NumRules();
+  const int64_t num_entities = cfg.NumEntities();
+  const int64_t num_facts = cfg.NumFacts();
+  const int num_classes = cfg.num_classes;
+
+  // --- Symbols -------------------------------------------------------------
+  for (int c = 0; c < num_classes; ++c) {
+    kb.classes().GetOrAdd(StrFormat("Class_%d", c));
+  }
+  EntityIndex entities;
+  for (int64_t e = 0; e < num_entities; ++e) {
+    EntityId id = kb.entities().GetOrAdd(StrFormat("e%lld",
+                                                   static_cast<long long>(e)));
+    ClassId c = static_cast<ClassId>(
+        rng.Zipf(static_cast<uint64_t>(num_classes), 0.8));
+    entities.Add(id, c);
+    kb.AddClassMember({c, id});
+  }
+
+  SignatureIndex sig_index;
+  // Per-relation functional metadata: 0 = not functional, else the degree;
+  // indexed [relation][type-1].
+  std::vector<std::array<int64_t, 2>> functional(
+      static_cast<size_t>(num_relations), {0, 0});
+  for (int64_t r = 0; r < num_relations; ++r) {
+    RelationId id = kb.relations().GetOrAdd(
+        StrFormat("r%lld", static_cast<long long>(r)));
+    RelationSignature sig;
+    sig.relation = id;
+    sig.domain = static_cast<ClassId>(
+        rng.Zipf(static_cast<uint64_t>(num_classes), 0.8));
+    sig.range = static_cast<ClassId>(
+        rng.Zipf(static_cast<uint64_t>(num_classes), 0.8));
+    kb.AddSignature(sig);
+    sig_index.Add(sig);
+    if (rng.Bernoulli(cfg.frac_functional_relations)) {
+      FunctionalConstraint c;
+      c.relation = id;
+      c.type = rng.Bernoulli(0.8) ? FunctionalityType::kTypeI
+                                  : FunctionalityType::kTypeII;
+      c.degree = rng.Bernoulli(cfg.frac_pseudo_functional)
+                     ? rng.UniformInt(2, 4)
+                     : 1;
+      kb.AddConstraint(c);
+      functional[static_cast<size_t>(id)][static_cast<int>(c.type) - 1] =
+          c.degree;
+    }
+  }
+
+  // --- Rules ---------------------------------------------------------------
+  std::set<RuleKey> seen_rules;
+  std::vector<HornRule> correct_rules;
+  std::vector<HornRule> bad_rules;
+  // Reserved bad-rule heads: relations only unsound rules conclude, so the
+  // error classifier can attribute E2 precisely. Created on demand per
+  // class pair.
+  std::map<std::pair<ClassId, ClassId>, RelationId> reserved_heads;
+  const int64_t n_bad =
+      static_cast<int64_t>(cfg.frac_incorrect_rules * num_rules);
+  const int64_t n_correct = num_rules - n_bad;
+
+  // Sound rules must not conclude functional relations: the latent world
+  // satisfies its constraints, so a functional fact can only have one
+  // filler — a sound rule deriving extra fillers would contradict the
+  // world. (Unsound rules are allowed to, which is how Query 3 catches
+  // them.)
+  auto is_functional_head = [&functional](RelationId r) {
+    return functional[static_cast<size_t>(r)][0] > 0 ||
+           functional[static_cast<size_t>(r)][1] > 0;
+  };
+  int64_t attempts = num_rules * 200;
+  while (static_cast<int64_t>(correct_rules.size()) < n_correct &&
+         attempts-- > 0) {
+    auto rule = TryMakeRule(sig_index, &rng, cfg.relation_zipf);
+    if (!rule.has_value()) continue;
+    if (is_functional_head(rule->head)) continue;
+    rule->weight = std::abs(rng.Normal(1.5, 0.8)) + 0.2;
+    rule->score = std::clamp(rng.Normal(0.68, 0.18), 0.0, 1.0);
+    if (!seen_rules.insert(KeyOf(*rule)).second) continue;
+    correct_rules.push_back(*rule);
+  }
+  attempts = num_rules * 200;
+  while (static_cast<int64_t>(bad_rules.size()) < n_bad && attempts-- > 0) {
+    auto rule = TryMakeRule(sig_index, &rng, 1.1);
+    if (!rule.has_value()) continue;
+    rule->weight = std::abs(rng.Normal(0.8, 0.5)) + 0.1;
+    rule->score = std::clamp(rng.Normal(0.38, 0.18), 0.0, 1.0);
+    if (rng.Bernoulli(0.3)) {
+      // Route the conclusion into a reserved head relation.
+      auto key = std::make_pair(rule->c1, rule->c2);
+      auto it = reserved_heads.find(key);
+      if (it == reserved_heads.end()) {
+        RelationId id = kb.relations().GetOrAdd(StrFormat(
+            "bad_r%zu", reserved_heads.size()));
+        RelationSignature sig{id, rule->c1, rule->c2};
+        kb.AddSignature(sig);
+        // Deliberately NOT added to sig_index: correct rules and base
+        // facts never use reserved heads.
+        functional.resize(static_cast<size_t>(kb.relations().size()),
+                          {0, 0});
+        it = reserved_heads.emplace(key, id).first;
+        truth.labels.bad_rule_heads.insert(id);
+      }
+      rule->head = it->second;
+    }
+    if (!seen_rules.insert(KeyOf(*rule)).second) continue;
+    truth.labels.bad_rule_signatures.insert(
+        {rule->head, rule->body1, rule->body2});
+    bad_rules.push_back(*rule);
+  }
+
+  for (const HornRule& r : correct_rules) kb.AddRule(r);
+
+  // --- Base true facts ------------------------------------------------------
+  std::unordered_map<std::pair<int64_t, int64_t>, int64_t, PairHash>
+      type1_count, type2_count;
+  std::unordered_set<std::pair<int64_t, int64_t>, PairHash> fact_xy_seen;
+  auto fact_key = [](RelationId r, EntityId x, EntityId y) {
+    // Pack (r, x, y) into a pair for dedup: r in the high bits of first.
+    return std::make_pair((r << 24) ^ x, y);
+  };
+
+  const int64_t n_bad_facts =
+      static_cast<int64_t>(cfg.frac_incorrect_facts * num_facts);
+  const int64_t n_true = num_facts - n_bad_facts;
+  int64_t made = 0;
+  attempts = num_facts * 50;
+  while (made < n_true && attempts-- > 0) {
+    RelationId r = sig_index.all[rng.Zipf(sig_index.all.size(),
+                                          cfg.relation_zipf)];
+    const RelationSignature& sig = sig_index.Of(r);
+    const auto& xs = entities.by_class[sig.domain];
+    const auto& ys = entities.by_class[sig.range];
+    if (xs.empty() || ys.empty()) continue;
+    EntityId x = xs[rng.Zipf(xs.size(), cfg.entity_zipf)];
+    EntityId y = ys[rng.Zipf(ys.size(), cfg.entity_zipf)];
+    int64_t deg1 = functional[static_cast<size_t>(r)][0];
+    int64_t deg2 = functional[static_cast<size_t>(r)][1];
+    if (deg1 > 0 && type1_count[{r, x}] >= deg1) continue;
+    if (deg2 > 0 && type2_count[{r, y}] >= deg2) continue;
+    if (!fact_xy_seen.insert(fact_key(r, x, y)).second) continue;
+    if (deg1 > 0) ++type1_count[{r, x}];
+    if (deg2 > 0) ++type2_count[{r, y}];
+    kb.AddFact({r, x, entities.ClassOf(x), y, entities.ClassOf(y),
+                rng.UniformDouble(0.5, 1.0)});
+    ++made;
+  }
+
+  // --- Latent-world closure (defines correctness) ---------------------------
+  {
+    KnowledgeBase clean = kb;  // correct rules + true facts only
+    PROBKB_ASSIGN_OR_RETURN(
+        truth.true_closure,
+        ComputeTruthClosure(clean, cfg.truth_closure_iterations));
+  }
+
+  // Unsound rules join the program only after the closure is fixed.
+  for (const HornRule& r : bad_rules) {
+    truth.incorrect_rule_indices.insert(kb.rules().size());
+    kb.AddRule(r);
+  }
+
+  // --- Incorrect extractions ------------------------------------------------
+  // Indices of injected-error facts; the (R, x, y) label keys are
+  // materialized only after entity merging rewrites the surface ids.
+  std::vector<size_t> bad_fact_indices;
+  made = 0;
+  attempts = num_facts * 50;
+  while (made < n_bad_facts && attempts-- > 0) {
+    RelationId r = sig_index.all[rng.Zipf(sig_index.all.size(),
+                                          cfg.relation_zipf)];
+    const RelationSignature& sig = sig_index.Of(r);
+    const auto& xs = entities.by_class[sig.domain];
+    const auto& ys = entities.by_class[sig.range];
+    if (xs.empty() || ys.empty()) continue;
+    EntityId x = xs[rng.Uniform(xs.size())];
+    EntityId y = ys[rng.Uniform(ys.size())];
+    if (truth.true_closure.count({r, x, y}) > 0) continue;
+    if (!fact_xy_seen.insert(fact_key(r, x, y)).second) continue;
+    bad_fact_indices.push_back(kb.facts().size());
+    kb.AddFact({r, x, entities.ClassOf(x), y, entities.ClassOf(y),
+                rng.UniformDouble(0.2, 0.9)});
+    ++made;
+  }
+
+  // --- Ambiguous entities (merge two referents under one surface name) ------
+  std::vector<Fact>& facts = *kb.mutable_facts();
+  {
+    // Usage-weighted pool of mentioned entities.
+    std::vector<EntityId> usage;
+    std::unordered_set<EntityId> used;
+    for (const Fact& f : facts) {
+      usage.push_back(f.x);
+      usage.push_back(f.y);
+      used.insert(f.x);
+      used.insert(f.y);
+    }
+    const int64_t n_pairs = static_cast<int64_t>(
+        cfg.frac_ambiguous_entities * static_cast<double>(used.size()));
+    std::unordered_set<EntityId> taken;
+    std::unordered_map<EntityId, EntityId> remap;
+    int64_t pair_attempts = n_pairs * 200 + 200;
+    int64_t pairs_made = 0;
+    while (pairs_made < n_pairs && pair_attempts-- > 0) {
+      EntityId keep = usage[rng.Uniform(usage.size())];
+      EntityId merge = usage[rng.Uniform(usage.size())];
+      if (keep == merge || taken.count(keep) || taken.count(merge)) continue;
+      if (entities.ClassOf(keep) != entities.ClassOf(merge)) continue;
+      taken.insert(keep);
+      taken.insert(merge);
+      remap[merge] = keep;
+      truth.underlying[keep] = {keep, merge};
+      truth.labels.ambiguous_entities.insert(keep);
+      ++pairs_made;
+    }
+    for (Fact& f : facts) {
+      auto itx = remap.find(f.x);
+      if (itx != remap.end()) f.x = itx->second;
+      auto ity = remap.find(f.y);
+      if (ity != remap.end()) f.y = ity->second;
+    }
+  }
+
+  // --- Synonyms (one referent, two surface names) ----------------------------
+  {
+    std::unordered_set<EntityId> used;
+    for (const Fact& f : facts) {
+      used.insert(f.x);
+      used.insert(f.y);
+    }
+    std::vector<EntityId> pool(used.begin(), used.end());
+    std::sort(pool.begin(), pool.end());
+    const int64_t n_syn = static_cast<int64_t>(
+        cfg.frac_synonym_entities * static_cast<double>(pool.size()));
+    for (int64_t i = 0; i < n_syn && !pool.empty(); ++i) {
+      EntityId e = pool[rng.Uniform(pool.size())];
+      if (truth.labels.ambiguous_entities.count(e) > 0 ||
+          truth.underlying.count(e) > 0) {
+        continue;
+      }
+      EntityId e_syn = kb.entities().GetOrAdd(
+          kb.entities().NameOrPlaceholder(e) + "_syn");
+      entities.Add(e_syn, entities.ClassOf(e));
+      kb.AddClassMember({entities.ClassOf(e), e_syn});
+      truth.underlying[e_syn] = {e};
+      truth.labels.synonym_entities.insert(e_syn);
+      for (Fact& f : facts) {
+        if (f.x == e && rng.Bernoulli(0.5)) f.x = e_syn;
+        if (f.y == e && rng.Bernoulli(0.5)) f.y = e_syn;
+      }
+    }
+  }
+
+  // --- General-type duplicates ------------------------------------------------
+  {
+    std::map<ClassId, EntityId> general_of_class;
+    size_t original_count = facts.size();
+    for (size_t i = 0; i < original_count; ++i) {
+      Fact f = facts[i];
+      if (functional[static_cast<size_t>(f.relation)][0] == 0) continue;
+      if (!rng.Bernoulli(cfg.frac_general_type_facts)) continue;
+      auto it = general_of_class.find(f.c2);
+      if (it == general_of_class.end()) {
+        EntityId g = kb.entities().GetOrAdd(
+            StrFormat("general_%s",
+                      kb.classes().NameOrPlaceholder(f.c2).c_str()));
+        entities.Add(g, f.c2);
+        kb.AddClassMember({f.c2, g});
+        truth.labels.general_type_entities.insert(g);
+        it = general_of_class.emplace(f.c2, g).first;
+      }
+      EntityId g = it->second;
+      if (f.y == g) continue;
+      Fact dup = f;
+      dup.y = g;
+      dup.weight = rng.UniformDouble(0.4, 0.9);
+      facts.push_back(dup);
+      // The general statement is true (just unspecific).
+      for (EntityId ux : truth.UnderlyingOf(f.x).empty()
+                             ? std::vector<EntityId>{f.x}
+                             : truth.UnderlyingOf(f.x)) {
+        truth.true_closure.insert({f.relation, ux, g});
+      }
+    }
+  }
+
+  // Materialize incorrect-extraction labels from the *final* surface ids
+  // (ambiguity merging and synonym splitting rewrote x/y above).
+  for (size_t idx : bad_fact_indices) {
+    const Fact& f = facts[idx];
+    truth.labels.incorrect_extractions.insert({f.relation, f.x, f.y});
+  }
+
+  // --- Final dedupe (merging may have created duplicates) --------------------
+  {
+    std::set<std::tuple<RelationId, EntityId, ClassId, EntityId, ClassId>>
+        seen;
+    std::vector<Fact> deduped;
+    deduped.reserve(facts.size());
+    for (const Fact& f : facts) {
+      if (seen.emplace(f.relation, f.x, f.c1, f.y, f.c2).second) {
+        deduped.push_back(f);
+      }
+    }
+    facts = std::move(deduped);
+  }
+
+  PROBKB_RETURN_NOT_OK(kb.Validate());
+  return out;
+}
+
+namespace {
+
+/// Rebuilds generation indexes from an existing KB (for S1/S2 extension).
+void BuildIndexes(const KnowledgeBase& kb, SignatureIndex* sigs,
+                  EntityIndex* entities) {
+  for (const RelationSignature& s : kb.signatures()) sigs->Add(s);
+  for (const ClassMember& m : kb.class_members()) {
+    entities->Add(m.entity, m.cls);
+  }
+}
+
+}  // namespace
+
+Status AddRandomRules(KnowledgeBase* kb, int64_t target_rules,
+                      uint64_t seed) {
+  if (kb->signatures().empty()) {
+    return Status::InvalidArgument(
+        "AddRandomRules requires relation signatures");
+  }
+  Rng rng(seed);
+  SignatureIndex sigs;
+  EntityIndex entities;
+  BuildIndexes(*kb, &sigs, &entities);
+  std::set<RuleKey> seen;
+  for (const HornRule& r : kb->rules()) seen.insert(KeyOf(r));
+
+  int64_t attempts =
+      (target_rules - static_cast<int64_t>(kb->rules().size())) * 500 + 1000;
+  while (static_cast<int64_t>(kb->rules().size()) < target_rules &&
+         attempts-- > 0) {
+    auto rule = TryMakeRule(sigs, &rng, 0.6);
+    if (!rule.has_value()) continue;
+    if (!seen.insert(KeyOf(*rule)).second) continue;
+    rule->weight = std::abs(rng.Normal(1.0, 0.6)) + 0.1;
+    rule->score = rng.UniformDouble();
+    kb->AddRule(*rule);
+  }
+  if (static_cast<int64_t>(kb->rules().size()) < target_rules) {
+    return Status::Internal(
+        StrFormat("could only generate %zu of %lld rules",
+                  kb->rules().size(),
+                  static_cast<long long>(target_rules)));
+  }
+  return Status::OK();
+}
+
+Status AddRandomFacts(KnowledgeBase* kb, int64_t target_facts,
+                      uint64_t seed) {
+  if (kb->signatures().empty()) {
+    return Status::InvalidArgument(
+        "AddRandomFacts requires relation signatures");
+  }
+  Rng rng(seed);
+  SignatureIndex sigs;
+  EntityIndex entities;
+  BuildIndexes(*kb, &sigs, &entities);
+  std::set<std::tuple<RelationId, EntityId, EntityId>> seen;
+  for (const Fact& f : kb->facts()) seen.emplace(f.relation, f.x, f.y);
+
+  int64_t attempts =
+      (target_facts - static_cast<int64_t>(kb->facts().size())) * 50 + 1000;
+  while (static_cast<int64_t>(kb->facts().size()) < target_facts &&
+         attempts-- > 0) {
+    RelationId r = sigs.all[rng.Zipf(sigs.all.size(), 0.6)];
+    const RelationSignature& sig = sigs.Of(r);
+    auto itx = entities.by_class.find(sig.domain);
+    auto ity = entities.by_class.find(sig.range);
+    if (itx == entities.by_class.end() || ity == entities.by_class.end()) {
+      continue;
+    }
+    EntityId x = itx->second[rng.Zipf(itx->second.size(), 0.5)];
+    EntityId y = ity->second[rng.Zipf(ity->second.size(), 0.5)];
+    if (!seen.emplace(r, x, y).second) continue;
+    kb->AddFact({r, x, entities.ClassOf(x), y, entities.ClassOf(y),
+                 rng.UniformDouble(0.5, 1.0)});
+  }
+  if (static_cast<int64_t>(kb->facts().size()) < target_facts) {
+    return Status::Internal(
+        StrFormat("could only generate %zu of %lld facts",
+                  kb->facts().size(),
+                  static_cast<long long>(target_facts)));
+  }
+  return Status::OK();
+}
+
+}  // namespace probkb

@@ -1,0 +1,88 @@
+#ifndef PROBKB_DATAGEN_SYNTHETIC_KB_H_
+#define PROBKB_DATAGEN_SYNTHETIC_KB_H_
+
+#include <cstdint>
+
+#include "datagen/ground_truth.h"
+#include "kb/knowledge_base.h"
+#include "util/random.h"
+#include "util/result.h"
+
+namespace probkb {
+
+/// \brief Knobs of the ReVerb-Sherlock-like generator.
+///
+/// `scale` multiplies the Table 2 base counts (82,768 relations; 30,912
+/// rules; 277,216 entities; 407,247 facts). Error-injection rates are
+/// calibrated so the Figure 7 experiments reproduce the paper's mixture of
+/// violation sources; the defaults leave the precision dynamics of
+/// Figure 7(a) in the paper's regime (low precision without quality
+/// control, high with).
+struct SyntheticKbConfig {
+  double scale = 0.02;
+
+  // Table 2 base counts.
+  int64_t base_relations = 82768;
+  int64_t base_rules = 30912;
+  int64_t base_entities = 277216;
+  int64_t base_facts = 407247;
+  int num_classes = 40;  // not scaled
+
+  // Skew of fact generation (power-law usage, as in web extractions).
+  double relation_zipf = 0.7;
+  double entity_zipf = 0.8;
+
+  // Error injection.
+  double frac_incorrect_rules = 0.40;
+  double frac_incorrect_facts = 0.08;
+  /// Fraction of fact-mentioned entities that are ambiguous surface names
+  /// (two referents merged).
+  double frac_ambiguous_entities = 0.08;
+  double frac_synonym_entities = 0.01;
+  /// Fraction of functional facts that get a general-type duplicate.
+  double frac_general_type_facts = 0.02;
+
+  // Constraints (Leibniz learned 10,374 functional relations for ReVerb's
+  // 82,768 — about 12.5%).
+  double frac_functional_relations = 0.125;
+  double frac_pseudo_functional = 0.3;  // of functional, degree > 1
+
+  /// Depth of the latent-world closure defining ground truth.
+  int truth_closure_iterations = 8;
+
+  uint64_t seed = 42;
+
+  int64_t NumRelations() const { return Scaled(base_relations, 16); }
+  int64_t NumRules() const { return Scaled(base_rules, 12); }
+  int64_t NumEntities() const { return Scaled(base_entities, 64); }
+  int64_t NumFacts() const { return Scaled(base_facts, 64); }
+
+ private:
+  int64_t Scaled(int64_t base, int64_t floor) const {
+    int64_t v = static_cast<int64_t>(static_cast<double>(base) * scale);
+    return v < floor ? floor : v;
+  }
+};
+
+/// \brief A generated KB plus the generator's ground truth.
+struct SyntheticKb {
+  KnowledgeBase kb;
+  GroundTruth truth;
+};
+
+/// \brief Generates a ReVerb-Sherlock-like probabilistic KB with labeled
+/// injected errors (see DESIGN.md for the substitution rationale).
+Result<SyntheticKb> GenerateReverbSherlockKb(const SyntheticKbConfig& config);
+
+/// \brief S1 workload (Section 6): extends `kb` with structurally valid
+/// random rules ("substituting random heads for existing rules") until it
+/// has `target_rules` rules. Requires relation signatures.
+Status AddRandomRules(KnowledgeBase* kb, int64_t target_rules, uint64_t seed);
+
+/// \brief S2 workload: adds random signature-consistent facts ("random
+/// edges") until the KB has `target_facts` facts.
+Status AddRandomFacts(KnowledgeBase* kb, int64_t target_facts, uint64_t seed);
+
+}  // namespace probkb
+
+#endif  // PROBKB_DATAGEN_SYNTHETIC_KB_H_

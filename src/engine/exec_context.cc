@@ -1,0 +1,17 @@
+#include "engine/exec_context.h"
+
+#include "util/strings.h"
+
+namespace probkb {
+
+std::string ExecStats::ToString() const {
+  std::string out;
+  for (const auto& n : nodes) {
+    out += StrFormat("%-28s rows_in=%-10lld rows_out=%-10lld %.3fms\n",
+                     n.label.c_str(), static_cast<long long>(n.rows_in),
+                     static_cast<long long>(n.rows_out), n.seconds * 1e3);
+  }
+  return out;
+}
+
+}  // namespace probkb

@@ -1,0 +1,58 @@
+#ifndef PROBKB_ENGINE_EXEC_CONTEXT_H_
+#define PROBKB_ENGINE_EXEC_CONTEXT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace probkb {
+
+/// \brief Per-operator execution statistics.
+///
+/// `rows_in` counts tuples flowing into the operator (both join sides, the
+/// scan input, ...), `rows_out` the produced tuples. The MPP cost model
+/// converts these counts into simulated time, and the bench harnesses print
+/// them in Figure-4-style plan annotations.
+struct NodeStats {
+  std::string label;
+  int64_t rows_in = 0;
+  int64_t rows_out = 0;
+  double seconds = 0.0;
+};
+
+/// \brief Accumulated statistics of one plan execution.
+struct ExecStats {
+  std::vector<NodeStats> nodes;
+
+  int64_t TotalRowsIn() const {
+    int64_t t = 0;
+    for (const auto& n : nodes) t += n.rows_in;
+    return t;
+  }
+  int64_t TotalRowsOut() const {
+    int64_t t = 0;
+    for (const auto& n : nodes) t += n.rows_out;
+    return t;
+  }
+
+  /// \brief Indented plan printout with row counts and timings.
+  std::string ToString() const;
+};
+
+/// \brief Execution context threaded through a plan; owns the stats sink.
+class ExecContext {
+ public:
+  ExecContext() = default;
+
+  void Record(NodeStats stats) { stats_.nodes.push_back(std::move(stats)); }
+
+  const ExecStats& stats() const { return stats_; }
+  ExecStats* mutable_stats() { return &stats_; }
+
+ private:
+  ExecStats stats_;
+};
+
+}  // namespace probkb
+
+#endif  // PROBKB_ENGINE_EXEC_CONTEXT_H_

@@ -1,0 +1,67 @@
+#include "engine/ops.h"
+
+#include <functional>
+
+namespace probkb {
+
+KeyIndex::KeyIndex(const Table* table, std::vector<int> key_cols)
+    : table_(table), key_cols_(std::move(key_cols)) {
+  buckets_.reserve(static_cast<size_t>(table->NumRows()) * 2 + 16);
+  for (int64_t i = 0; i < table_->NumRows(); ++i) AddRow(i);
+}
+
+bool KeyIndex::Contains(const RowView& row,
+                        std::span<const int> probe_cols) const {
+  size_t h = HashRowKey(row, probe_cols);
+  auto it = buckets_.find(h);
+  if (it == buckets_.end()) return false;
+  for (int64_t j : it->second) {
+    if (RowKeyEquals(row, table_->row(j), probe_cols, key_cols_)) return true;
+  }
+  return false;
+}
+
+void KeyIndex::AddRow(int64_t i) {
+  buckets_[HashRowKey(table_->row(i), key_cols_)].push_back(i);
+  ++num_rows_;
+}
+
+int64_t SetUnionInto(Table* dst, const Table& src,
+                     const std::vector<int>& key_cols) {
+  PROBKB_CHECK(dst->width() == src.width());
+  KeyIndex index(dst, key_cols);
+  int64_t added = 0;
+  for (int64_t i = 0; i < src.NumRows(); ++i) {
+    RowView row = src.row(i);
+    if (!index.Contains(row, key_cols)) {
+      dst->AppendRow(row);
+      index.AddRow(dst->NumRows() - 1);
+      ++added;
+    }
+  }
+  return added;
+}
+
+int64_t DeleteWhere(Table* table,
+                    const std::function<bool(const RowView&)>& pred) {
+  std::vector<bool> keep(static_cast<size_t>(table->NumRows()));
+  for (int64_t i = 0; i < table->NumRows(); ++i) {
+    keep[static_cast<size_t>(i)] = !pred(table->row(i));
+  }
+  return table->FilterInPlace(keep);
+}
+
+int64_t DeleteMatching(Table* table, const std::vector<int>& table_cols,
+                       const Table& keys, const std::vector<int>& key_cols) {
+  KeyIndex index(&keys, key_cols);
+  return DeleteWhere(table, [&](const RowView& row) {
+    return index.Contains(row, table_cols);
+  });
+}
+
+bool TablesEqualAsBags(const Table& a, const Table& b) {
+  if (a.width() != b.width() || a.NumRows() != b.NumRows()) return false;
+  return a.SortedRows() == b.SortedRows();
+}
+
+}  // namespace probkb

@@ -1,0 +1,64 @@
+#ifndef PROBKB_ENGINE_OPS_H_
+#define PROBKB_ENGINE_OPS_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "relational/table.h"
+
+namespace probkb {
+
+/// \brief Hash index over the key columns of a table.
+///
+/// Supports membership probes and incremental inserts; grounding uses it to
+/// merge newly inferred atoms into TPi with set semantics, and constraint
+/// application uses it to delete facts keyed by violating entities.
+class KeyIndex {
+ public:
+  /// Indexes `table` on `key_cols`. The table must outlive the index; rows
+  /// appended to the table after construction are not indexed unless added
+  /// via AddRow().
+  KeyIndex(const Table* table, std::vector<int> key_cols);
+
+  /// \brief True if some indexed row matches `row` (compared on
+  /// `probe_cols`, which must parallel this index's key columns).
+  bool Contains(const RowView& row, std::span<const int> probe_cols) const;
+
+  /// \brief Indexes row `i` of the underlying table.
+  void AddRow(int64_t i);
+
+  int64_t NumIndexedRows() const { return num_rows_; }
+
+ private:
+  const Table* table_;
+  std::vector<int> key_cols_;
+  std::unordered_map<size_t, std::vector<int64_t>> buckets_;
+  int64_t num_rows_ = 0;
+};
+
+/// \brief Appends to `dst` the rows of `src` whose key (on `key_cols`,
+/// same indices in both tables) is not already present in `dst`, deduping
+/// within `src` as well. Returns the number of rows appended.
+///
+/// This is the set-semantics union of Algorithm 1 line 5
+/// (TPi <- TPi U (U_j T_j)).
+int64_t SetUnionInto(Table* dst, const Table& src,
+                     const std::vector<int>& key_cols);
+
+/// \brief Deletes rows matching `pred`; returns the number deleted.
+int64_t DeleteWhere(Table* table, const std::function<bool(const RowView&)>& pred);
+
+/// \brief Deletes rows of `table` whose `table_cols` key appears among
+/// `keys`' `key_cols` values (SQL `DELETE ... WHERE (..) IN (SELECT ..)`).
+/// Returns the number deleted.
+int64_t DeleteMatching(Table* table, const std::vector<int>& table_cols,
+                       const Table& keys, const std::vector<int>& key_cols);
+
+/// \brief True if the two tables contain the same bag of rows (order
+/// insensitive). Used heavily by equivalence tests (ProbKB vs Tuffy-T,
+/// single-node vs MPP).
+bool TablesEqualAsBags(const Table& a, const Table& b);
+
+}  // namespace probkb
+
+#endif  // PROBKB_ENGINE_OPS_H_

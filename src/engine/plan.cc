@@ -1,0 +1,390 @@
+#include "engine/plan.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/timer.h"
+
+namespace probkb {
+
+namespace {
+
+// Concatenated left+right row materialized for residual predicates.
+void ConcatRow(const RowView& l, const RowView& r, std::vector<Value>* out) {
+  out->clear();
+  out->insert(out->end(), l.values().begin(), l.values().end());
+  out->insert(out->end(), r.values().begin(), r.values().end());
+}
+
+}  // namespace
+
+std::string PlanNode::Explain(int indent) const {
+  std::string out(static_cast<size_t>(indent) * 2, ' ');
+  out += Label();
+  out += "\n";
+  for (const auto& child : children_) {
+    out += child->Explain(indent + 1);
+  }
+  return out;
+}
+
+const char* JoinTypeToString(JoinType t) {
+  switch (t) {
+    case JoinType::kInner:
+      return "inner";
+    case JoinType::kLeftSemi:
+      return "semi";
+    case JoinType::kLeftAnti:
+      return "anti";
+  }
+  return "?";
+}
+
+// ScanNode -------------------------------------------------------------------
+
+Result<TablePtr> ScanNode::Execute(ExecContext* ctx) {
+  ctx->Record({Label(), table_->NumRows(), table_->NumRows(), 0.0});
+  return table_;
+}
+
+// FilterNode -----------------------------------------------------------------
+
+FilterNode::FilterNode(PlanNodePtr input, RowPredicate pred,
+                       std::string description)
+    : pred_(std::move(pred)), description_(std::move(description)) {
+  children_.push_back(std::move(input));
+}
+
+Result<TablePtr> FilterNode::Execute(ExecContext* ctx) {
+  PROBKB_ASSIGN_OR_RETURN(TablePtr in, children_[0]->Execute(ctx));
+  Timer timer;
+  auto out = Table::Make(in->schema());
+  for (int64_t i = 0; i < in->NumRows(); ++i) {
+    RowView row = in->row(i);
+    if (pred_(row)) out->AppendRow(row);
+  }
+  ctx->Record({Label(), in->NumRows(), out->NumRows(), timer.Seconds()});
+  return out;
+}
+
+// ProjectNode ----------------------------------------------------------------
+
+ProjectNode::ProjectNode(PlanNodePtr input, std::vector<ProjectExpr> exprs)
+    : exprs_(std::move(exprs)) {
+  children_.push_back(std::move(input));
+  std::vector<Field> fields;
+  fields.reserve(exprs_.size());
+  for (const auto& e : exprs_) fields.push_back({e.name, e.type});
+  output_schema_ = Schema(std::move(fields));
+}
+
+Result<TablePtr> ProjectNode::Execute(ExecContext* ctx) {
+  PROBKB_ASSIGN_OR_RETURN(TablePtr in, children_[0]->Execute(ctx));
+  Timer timer;
+  auto out = Table::Make(output_schema_);
+  out->ReserveRows(in->NumRows());
+  std::vector<Value> buf(exprs_.size());
+  for (int64_t i = 0; i < in->NumRows(); ++i) {
+    RowView row = in->row(i);
+    for (size_t c = 0; c < exprs_.size(); ++c) {
+      const auto& e = exprs_[c];
+      buf[c] = e.kind == ProjectExpr::Kind::kColumn ? row[e.column]
+                                                    : e.constant;
+    }
+    out->AppendRow(buf);
+  }
+  ctx->Record({Label(), in->NumRows(), out->NumRows(), timer.Seconds()});
+  return out;
+}
+
+// HashJoinNode ---------------------------------------------------------------
+
+HashJoinNode::HashJoinNode(PlanNodePtr left, PlanNodePtr right,
+                           std::vector<int> left_keys,
+                           std::vector<int> right_keys, JoinType type,
+                           std::vector<JoinOutputCol> output_cols,
+                           RowPredicate residual)
+    : left_keys_(std::move(left_keys)),
+      right_keys_(std::move(right_keys)),
+      type_(type),
+      output_cols_(std::move(output_cols)),
+      residual_(std::move(residual)) {
+  PROBKB_CHECK(left_keys_.size() == right_keys_.size());
+  children_.push_back(std::move(left));
+  children_.push_back(std::move(right));
+}
+
+Result<TablePtr> HashJoinNode::Execute(ExecContext* ctx) {
+  PROBKB_ASSIGN_OR_RETURN(TablePtr left, children_[0]->Execute(ctx));
+  PROBKB_ASSIGN_OR_RETURN(TablePtr right, children_[1]->Execute(ctx));
+  Timer timer;
+
+  Schema out_schema;
+  if (type_ == JoinType::kInner) {
+    if (output_cols_.empty()) {
+      return Status::InvalidArgument(
+          "inner hash join requires explicit output columns");
+    }
+    std::vector<Field> fields;
+    fields.reserve(output_cols_.size());
+    for (const auto& c : output_cols_) fields.push_back({c.name, c.type});
+    out_schema = Schema(std::move(fields));
+  } else {
+    out_schema = left->schema();
+  }
+  auto out = Table::Make(out_schema);
+
+  // Build side: hash of right-key -> row indices.
+  std::unordered_map<size_t, std::vector<int64_t>> build;
+  build.reserve(static_cast<size_t>(right->NumRows()) * 2 + 16);
+  for (int64_t i = 0; i < right->NumRows(); ++i) {
+    build[HashRowKey(right->row(i), right_keys_)].push_back(i);
+  }
+
+  std::vector<Value> out_buf(type_ == JoinType::kInner ? output_cols_.size()
+                                                       : 0);
+  std::vector<Value> concat_buf;
+  for (int64_t i = 0; i < left->NumRows(); ++i) {
+    RowView lrow = left->row(i);
+    auto it = build.find(HashRowKey(lrow, left_keys_));
+    bool matched = false;
+    if (it != build.end()) {
+      for (int64_t r : it->second) {
+        RowView rrow = right->row(r);
+        if (!RowKeyEquals(lrow, rrow, left_keys_, right_keys_)) continue;
+        if (residual_ != nullptr) {
+          ConcatRow(lrow, rrow, &concat_buf);
+          if (!residual_(RowView(concat_buf.data(),
+                                 static_cast<int>(concat_buf.size())))) {
+            continue;
+          }
+        }
+        matched = true;
+        if (type_ == JoinType::kInner) {
+          for (size_t c = 0; c < output_cols_.size(); ++c) {
+            const auto& oc = output_cols_[c];
+            out_buf[c] = oc.side == JoinOutputCol::Side::kLeft
+                             ? lrow[oc.column]
+                             : rrow[oc.column];
+          }
+          out->AppendRow(out_buf);
+        } else {
+          break;  // semi/anti only need existence
+        }
+      }
+    }
+    if (type_ == JoinType::kLeftSemi && matched) out->AppendRow(lrow);
+    if (type_ == JoinType::kLeftAnti && !matched) out->AppendRow(lrow);
+  }
+
+  ctx->Record({Label(), left->NumRows() + right->NumRows(), out->NumRows(),
+               timer.Seconds()});
+  return out;
+}
+
+// DistinctNode ---------------------------------------------------------------
+
+DistinctNode::DistinctNode(PlanNodePtr input, std::vector<int> key_cols)
+    : key_cols_(std::move(key_cols)) {
+  children_.push_back(std::move(input));
+}
+
+Result<TablePtr> DistinctNode::Execute(ExecContext* ctx) {
+  PROBKB_ASSIGN_OR_RETURN(TablePtr in, children_[0]->Execute(ctx));
+  Timer timer;
+  std::vector<int> keys = key_cols_;
+  if (keys.empty()) {
+    for (int c = 0; c < in->width(); ++c) keys.push_back(c);
+  }
+  auto out = Table::Make(in->schema());
+  std::unordered_map<size_t, std::vector<int64_t>> seen;
+  seen.reserve(static_cast<size_t>(in->NumRows()) * 2 + 16);
+  for (int64_t i = 0; i < in->NumRows(); ++i) {
+    RowView row = in->row(i);
+    auto& bucket = seen[HashRowKey(row, keys)];
+    bool dup = false;
+    for (int64_t j : bucket) {
+      if (RowKeyEquals(row, out->row(j), keys, keys)) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) {
+      bucket.push_back(out->NumRows());
+      out->AppendRow(row);
+    }
+  }
+  ctx->Record({Label(), in->NumRows(), out->NumRows(), timer.Seconds()});
+  return out;
+}
+
+// AggregateNode --------------------------------------------------------------
+
+AggregateNode::AggregateNode(PlanNodePtr input, std::vector<int> group_cols,
+                             std::vector<AggSpec> aggs, RowPredicate having)
+    : group_cols_(std::move(group_cols)),
+      aggs_(std::move(aggs)),
+      having_(std::move(having)) {
+  children_.push_back(std::move(input));
+}
+
+Result<TablePtr> AggregateNode::Execute(ExecContext* ctx) {
+  PROBKB_ASSIGN_OR_RETURN(TablePtr in, children_[0]->Execute(ctx));
+  Timer timer;
+
+  // Output schema: group columns (same name/type as input) then aggregates.
+  std::vector<Field> fields;
+  for (int c : group_cols_) fields.push_back(in->schema().field(c));
+  for (const auto& a : aggs_) {
+    ColumnType t = ColumnType::kInt64;
+    if (a.kind == AggKind::kSum ||
+        (a.kind != AggKind::kCount &&
+         in->schema().field(a.column).type == ColumnType::kFloat64)) {
+      t = ColumnType::kFloat64;
+    }
+    if (a.kind == AggKind::kSum &&
+        in->schema().field(a.column).type == ColumnType::kInt64) {
+      t = ColumnType::kInt64;
+    }
+    fields.push_back({a.name, t});
+  }
+  auto out = Table::Make(Schema(std::move(fields)));
+
+  struct GroupState {
+    std::vector<Value> group;
+    std::vector<int64_t> count;
+    std::vector<double> sum_f;
+    std::vector<int64_t> sum_i;
+    std::vector<Value> min;
+    std::vector<Value> max;
+  };
+
+  std::unordered_map<size_t, std::vector<GroupState>> groups;
+  groups.reserve(1024);
+
+  for (int64_t i = 0; i < in->NumRows(); ++i) {
+    RowView row = in->row(i);
+    size_t h = HashRowKey(row, group_cols_);
+    auto& bucket = groups[h];
+    GroupState* state = nullptr;
+    for (auto& g : bucket) {
+      bool eq = true;
+      for (size_t k = 0; k < group_cols_.size(); ++k) {
+        if (g.group[k] != row[group_cols_[k]]) {
+          eq = false;
+          break;
+        }
+      }
+      if (eq) {
+        state = &g;
+        break;
+      }
+    }
+    if (state == nullptr) {
+      bucket.emplace_back();
+      state = &bucket.back();
+      state->group.reserve(group_cols_.size());
+      for (int c : group_cols_) state->group.push_back(row[c]);
+      state->count.assign(aggs_.size(), 0);
+      state->sum_f.assign(aggs_.size(), 0.0);
+      state->sum_i.assign(aggs_.size(), 0);
+      state->min.assign(aggs_.size(), Value::Null());
+      state->max.assign(aggs_.size(), Value::Null());
+    }
+    for (size_t a = 0; a < aggs_.size(); ++a) {
+      const auto& spec = aggs_[a];
+      switch (spec.kind) {
+        case AggKind::kCount:
+          ++state->count[a];
+          break;
+        case AggKind::kSum: {
+          const Value& v = row[spec.column];
+          if (v.is_float64()) {
+            state->sum_f[a] += v.f64();
+          } else if (v.is_int64()) {
+            state->sum_i[a] += v.i64();
+          }
+          ++state->count[a];
+          break;
+        }
+        case AggKind::kMin: {
+          const Value& v = row[spec.column];
+          if (!v.is_null() &&
+              (state->min[a].is_null() || v < state->min[a])) {
+            state->min[a] = v;
+          }
+          break;
+        }
+        case AggKind::kMax: {
+          const Value& v = row[spec.column];
+          if (!v.is_null() &&
+              (state->max[a].is_null() || state->max[a] < v)) {
+            state->max[a] = v;
+          }
+          break;
+        }
+      }
+    }
+  }
+
+  std::vector<Value> buf;
+  for (const auto& [h, bucket] : groups) {
+    (void)h;
+    for (const auto& g : bucket) {
+      buf.clear();
+      buf.insert(buf.end(), g.group.begin(), g.group.end());
+      for (size_t a = 0; a < aggs_.size(); ++a) {
+        switch (aggs_[a].kind) {
+          case AggKind::kCount:
+            buf.push_back(Value::Int64(g.count[a]));
+            break;
+          case AggKind::kSum:
+            if (in->schema().field(aggs_[a].column).type ==
+                ColumnType::kFloat64) {
+              buf.push_back(Value::Float64(g.sum_f[a]));
+            } else {
+              buf.push_back(Value::Int64(g.sum_i[a]));
+            }
+            break;
+          case AggKind::kMin:
+            buf.push_back(g.min[a]);
+            break;
+          case AggKind::kMax:
+            buf.push_back(g.max[a]);
+            break;
+        }
+      }
+      RowView out_row(buf.data(), static_cast<int>(buf.size()));
+      if (having_ == nullptr || having_(out_row)) out->AppendRow(out_row);
+    }
+  }
+
+  ctx->Record({Label(), in->NumRows(), out->NumRows(), timer.Seconds()});
+  return out;
+}
+
+// UnionAllNode ---------------------------------------------------------------
+
+UnionAllNode::UnionAllNode(std::vector<PlanNodePtr> inputs)
+    : PlanNode(std::move(inputs)) {
+  PROBKB_CHECK(!children_.empty());
+}
+
+Result<TablePtr> UnionAllNode::Execute(ExecContext* ctx) {
+  PROBKB_ASSIGN_OR_RETURN(TablePtr first, children_[0]->Execute(ctx));
+  Timer timer;
+  auto out = first->Clone();
+  int64_t rows_in = first->NumRows();
+  for (size_t i = 1; i < children_.size(); ++i) {
+    PROBKB_ASSIGN_OR_RETURN(TablePtr t, children_[i]->Execute(ctx));
+    if (t->width() != out->width()) {
+      return Status::InvalidArgument("UNION ALL width mismatch");
+    }
+    rows_in += t->NumRows();
+    out->AppendTable(*t);
+  }
+  ctx->Record({Label(), rows_in, out->NumRows(), timer.Seconds()});
+  return out;
+}
+
+}  // namespace probkb

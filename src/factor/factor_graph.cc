@@ -1,0 +1,133 @@
+#include "factor/factor_graph.h"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_map>
+
+#include "util/strings.h"
+
+namespace probkb {
+
+Result<FactorGraph> FactorGraph::FromTables(const Table& t_pi,
+                                            const Table& t_phi) {
+  FactorGraph g;
+  g.fact_ids_.reserve(static_cast<size_t>(t_pi.NumRows()));
+  for (int64_t i = 0; i < t_pi.NumRows(); ++i) {
+    FactId id = t_pi.row(i)[tpi::kI].i64();
+    auto [it, inserted] =
+        g.var_of_.emplace(id, static_cast<int32_t>(g.fact_ids_.size()));
+    (void)it;
+    if (!inserted) {
+      return Status::InvalidArgument(
+          StrFormat("duplicate fact id %lld in TPi",
+                    static_cast<long long>(id)));
+    }
+    g.fact_ids_.push_back(id);
+  }
+
+  auto var = [&g](const Value& v) -> Result<int32_t> {
+    auto it = g.var_of_.find(v.i64());
+    if (it == g.var_of_.end()) {
+      return Status::InvalidArgument(
+          StrFormat("factor references unknown fact id %lld",
+                    static_cast<long long>(v.i64())));
+    }
+    return it->second;
+  };
+
+  g.factors_.reserve(static_cast<size_t>(t_phi.NumRows()));
+  g.var_factors_.resize(g.fact_ids_.size());
+  for (int64_t i = 0; i < t_phi.NumRows(); ++i) {
+    RowView row = t_phi.row(i);
+    GroundFactor f;
+    PROBKB_ASSIGN_OR_RETURN(f.head, var(row[tphi::kI1]));
+    if (!row[tphi::kI2].is_null()) {
+      PROBKB_ASSIGN_OR_RETURN(f.body1, var(row[tphi::kI2]));
+    }
+    if (!row[tphi::kI3].is_null()) {
+      PROBKB_ASSIGN_OR_RETURN(f.body2, var(row[tphi::kI3]));
+    }
+    if (f.body1 < 0 && f.body2 >= 0) {
+      return Status::InvalidArgument("factor has I3 but not I2");
+    }
+    f.weight = row[tphi::kW].is_null() ? 0.0 : row[tphi::kW].f64();
+    int32_t idx = static_cast<int32_t>(g.factors_.size());
+    for (int32_t v : {f.head, f.body1, f.body2}) {
+      if (v >= 0) g.var_factors_[static_cast<size_t>(v)].push_back(idx);
+    }
+    g.factors_.push_back(f);
+  }
+  return g;
+}
+
+int32_t FactorGraph::VariableOf(FactId id) const {
+  auto it = var_of_.find(id);
+  return it == var_of_.end() ? -1 : it->second;
+}
+
+double FactorGraph::LogScore(const std::vector<uint8_t>& assignment) const {
+  double score = 0.0;
+  for (const GroundFactor& f : factors_) score += f.LogValue(assignment);
+  return score;
+}
+
+std::vector<int> FactorGraph::ColorVariables() const {
+  const int n = num_variables();
+  std::vector<int> color(static_cast<size_t>(n), -1);
+  std::vector<int> used;  // scratch: colors used by neighbours
+  for (int32_t v = 0; v < n; ++v) {
+    used.clear();
+    for (int32_t fi : var_factors_[static_cast<size_t>(v)]) {
+      const GroundFactor& f = factors_[static_cast<size_t>(fi)];
+      for (int32_t u : {f.head, f.body1, f.body2}) {
+        if (u >= 0 && u != v && color[static_cast<size_t>(u)] >= 0) {
+          used.push_back(color[static_cast<size_t>(u)]);
+        }
+      }
+    }
+    std::sort(used.begin(), used.end());
+    int c = 0;
+    for (int uc : used) {
+      if (uc == c) {
+        ++c;
+      } else if (uc > c) {
+        break;
+      }
+    }
+    color[static_cast<size_t>(v)] = c;
+  }
+  return color;
+}
+
+std::vector<int32_t> FactorGraph::DerivationsOf(int32_t v) const {
+  std::vector<int32_t> out;
+  for (int32_t fi : var_factors_[static_cast<size_t>(v)]) {
+    const GroundFactor& f = factors_[static_cast<size_t>(fi)];
+    if (f.head == v && f.body1 >= 0) out.push_back(fi);
+  }
+  return out;
+}
+
+std::string FactorGraph::ExplainLineage(
+    int32_t v, int max_depth,
+    const std::function<std::string(FactId)>& describe) const {
+  std::string out;
+  std::function<void(int32_t, int)> recurse = [&](int32_t var, int depth) {
+    out.append(static_cast<size_t>(depth) * 2, ' ');
+    out += describe(fact_id(var));
+    out += "\n";
+    if (depth >= max_depth) return;
+    for (int32_t fi : DerivationsOf(var)) {
+      const GroundFactor& f = factors_[static_cast<size_t>(fi)];
+      out.append(static_cast<size_t>(depth) * 2 + 2, ' ');
+      out += StrFormat("<- (rule weight %.2f)\n", f.weight);
+      for (int32_t b : {f.body1, f.body2}) {
+        if (b >= 0) recurse(b, depth + 2);
+      }
+    }
+  };
+  recurse(v, 0);
+  return out;
+}
+
+}  // namespace probkb

@@ -1,0 +1,103 @@
+#ifndef PROBKB_FACTOR_FACTOR_GRAPH_H_
+#define PROBKB_FACTOR_FACTOR_GRAPH_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "kb/relational_model.h"
+#include "relational/table.h"
+#include "util/result.h"
+
+namespace probkb {
+
+/// \brief One ground factor: a weighted ground Horn clause
+/// head <- body1 [, body2], or a singleton (head only) for an extracted
+/// fact's prior weight.
+///
+/// Semantics (Section 2.2): the factor's value is 1 when the ground clause
+/// is violated (all body atoms true, head false) and e^w otherwise; a
+/// singleton factor is e^w when the atom is true and 1 otherwise.
+struct GroundFactor {
+  int32_t head = -1;
+  int32_t body1 = -1;  // -1 if absent
+  int32_t body2 = -1;  // -1 if absent
+  double weight = 0.0;
+
+  int size() const { return 1 + (body1 >= 0 ? 1 : 0) + (body2 >= 0 ? 1 : 0); }
+
+  /// \brief log of the factor value under `assignment` (indexed by
+  /// variable): w if the clause is satisfied, 0 otherwise.
+  double LogValue(const std::vector<uint8_t>& assignment) const {
+    if (body1 < 0) {  // singleton: formula is the atom itself
+      return assignment[static_cast<size_t>(head)] ? weight : 0.0;
+    }
+    bool body_true = assignment[static_cast<size_t>(body1)] &&
+                     (body2 < 0 || assignment[static_cast<size_t>(body2)]);
+    bool violated = body_true && !assignment[static_cast<size_t>(head)];
+    return violated ? 0.0 : weight;
+  }
+};
+
+/// \brief The ground factor graph produced by grounding (Definition 7),
+/// with variable adjacency for inference and lineage queries.
+class FactorGraph {
+ public:
+  /// \brief Builds a graph from the relational outputs: variables are the
+  /// distinct fact ids of `t_pi` (compactly renumbered); factors come from
+  /// `t_phi` rows (I1, I2, I3, w).
+  static Result<FactorGraph> FromTables(const Table& t_pi,
+                                        const Table& t_phi);
+
+  int num_variables() const { return static_cast<int>(fact_ids_.size()); }
+  int64_t num_factors() const {
+    return static_cast<int64_t>(factors_.size());
+  }
+
+  const std::vector<GroundFactor>& factors() const { return factors_; }
+
+  /// \brief Factors incident to variable `v`.
+  const std::vector<int32_t>& FactorsOf(int32_t v) const {
+    return var_factors_[static_cast<size_t>(v)];
+  }
+
+  /// \brief The original TPi fact id of variable `v`.
+  FactId fact_id(int32_t v) const {
+    return fact_ids_[static_cast<size_t>(v)];
+  }
+  /// \brief Maps a TPi fact id back to its variable index (-1 if unknown).
+  int32_t VariableOf(FactId id) const;
+
+  /// \brief Unnormalized log-probability of an assignment: sum of
+  /// satisfied-clause weights, Eq. (4).
+  double LogScore(const std::vector<uint8_t>& assignment) const;
+
+  /// \brief Greedy coloring of the variable-interaction graph (variables
+  /// sharing a factor receive different colors). Returns color per
+  /// variable; same-color variables are conditionally independent, which
+  /// the chromatic Gibbs schedule exploits.
+  std::vector<int> ColorVariables() const;
+
+  /// \brief Factors whose head is `v` and that have a body — i.e. the
+  /// derivations of v. The factor table "contains the entire lineage and
+  /// can be queried" (Section 4.2.3).
+  std::vector<int32_t> DerivationsOf(int32_t v) const;
+
+  /// \brief Pretty-printed derivation tree of variable `v` down to
+  /// `max_depth`, with atom names resolved by `describe(fact_id)`.
+  std::string ExplainLineage(
+      int32_t v, int max_depth,
+      const std::function<std::string(FactId)>& describe) const;
+
+ private:
+  std::vector<FactId> fact_ids_;
+  std::unordered_map<FactId, int32_t> var_of_;
+  std::vector<GroundFactor> factors_;
+  std::vector<std::vector<int32_t>> var_factors_;
+};
+
+}  // namespace probkb
+
+#endif  // PROBKB_FACTOR_FACTOR_GRAPH_H_

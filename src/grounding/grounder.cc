@@ -1,0 +1,190 @@
+#include "grounding/grounder.h"
+
+#include "engine/ops.h"
+
+#include "util/strings.h"
+#include "util/timer.h"
+
+namespace probkb {
+
+std::string GroundingStats::ToString() const {
+  std::string out = StrFormat(
+      "grounding: %d iterations, atoms %lld -> %lld, %lld factors, "
+      "%lld statements, atoms %.3fs, factors %.3fs\n",
+      iterations, static_cast<long long>(initial_atoms),
+      static_cast<long long>(final_atoms), static_cast<long long>(factors),
+      static_cast<long long>(statements), ground_atoms_seconds,
+      ground_factors_seconds);
+  for (size_t i = 0; i < iteration_seconds.size(); ++i) {
+    out += StrFormat("  iter %zu: %.3fs, +%lld atoms\n", i + 1,
+                     iteration_seconds[i],
+                     static_cast<long long>(iteration_new_atoms[i]));
+  }
+  return out;
+}
+
+Grounder::Grounder(RelationalKB* rkb, GroundingOptions options)
+    : rkb_(rkb), options_(options) {
+  stats_.initial_atoms = rkb_->t_pi->NumRows();
+}
+
+Status Grounder::CollectInferredAtoms(TablePtr probe1, TablePtr probe2,
+                                      bool skip_length2,
+                                      std::vector<TablePtr>* out) {
+  for (int p = 1; p <= kNumRuleStructures; ++p) {
+    if (skip_length2 && GetPartitionSpec(p).body_length == 1) continue;
+    TablePtr m = rkb_->m[static_cast<size_t>(p - 1)];
+    if (m->NumRows() == 0) continue;
+    ExecContext ec;
+    PROBKB_ASSIGN_OR_RETURN(
+        TablePtr atoms, GroundAtomsForPartition(p, m, probe1, probe2, &ec));
+    out->push_back(std::move(atoms));
+    ++stats_.statements;
+  }
+  return Status::OK();
+}
+
+Result<int64_t> Grounder::GroundAtomsIteration() {
+  if (options_.evaluation == EvaluationMode::kSemiNaive &&
+      options_.apply_constraints_each_iteration) {
+    return Status::InvalidArgument(
+        "semi-naive evaluation assumes no mid-run deletions; disable "
+        "apply_constraints_each_iteration");
+  }
+  Timer timer;
+  // Apply every partition against the *same* TPi snapshot, then merge: this
+  // matches Algorithm 1, which unions all T_j after the partition loop.
+  std::vector<TablePtr> inferred;
+  if (options_.evaluation == EvaluationMode::kNaive ||
+      stats_.iterations == 0) {
+    PROBKB_RETURN_NOT_OK(
+        CollectInferredAtoms(rkb_->t_pi, rkb_->t_pi, false, &inferred));
+  } else {
+    // Semi-naive: a new derivation must use at least one delta atom.
+    // Queries run as (delta, full) and (full, delta); the overlap
+    // (delta, delta) is produced twice and removed by the set-merge.
+    auto delta = Table::Make(TPiSchema());
+    for (int64_t i = delta_start_; i < rkb_->t_pi->NumRows(); ++i) {
+      delta->AppendRow(rkb_->t_pi->row(i));
+    }
+    PROBKB_RETURN_NOT_OK(
+        CollectInferredAtoms(delta, rkb_->t_pi, false, &inferred));
+    // Length-2 rules have one body atom, so the delta pass above already
+    // covers them; length-3 rules also need (full, delta). Both probe
+    // orders of a partition would be one SQL statement (a UNION ALL), so
+    // the second pass is not counted again.
+    int64_t statements_before = stats_.statements;
+    PROBKB_RETURN_NOT_OK(
+        CollectInferredAtoms(rkb_->t_pi, delta, true, &inferred));
+    stats_.statements = statements_before;
+  }
+  delta_start_ = rkb_->t_pi->NumRows();
+  int64_t added = 0;
+  for (const TablePtr& atoms : inferred) {
+    if (!banned_x_keys_.empty() || !banned_y_keys_.empty()) {
+      DeleteWhere(atoms.get(),
+                  [this](const RowView& row) { return IsBanned(row); });
+    }
+    added +=
+        MergeAtomsIntoTPi(rkb_->t_pi.get(), *atoms, &rkb_->next_fact_id);
+  }
+  if (options_.apply_constraints_each_iteration) {
+    PROBKB_ASSIGN_OR_RETURN(int64_t deleted, ApplyConstraints());
+    stats_.constraint_deleted += deleted;
+  }
+  double secs = timer.Seconds();
+  stats_.iteration_seconds.push_back(secs);
+  stats_.iteration_new_atoms.push_back(added);
+  stats_.ground_atoms_seconds += secs;
+  ++stats_.iterations;
+  return added;
+}
+
+Status Grounder::GroundAtoms() {
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    PROBKB_ASSIGN_OR_RETURN(int64_t added, GroundAtomsIteration());
+    if (added == 0) break;
+  }
+  stats_.final_atoms = rkb_->t_pi->NumRows();
+  return Status::OK();
+}
+
+Result<TablePtr> Grounder::GroundFactors() {
+  Timer timer;
+  auto t_phi = Table::Make(TPhiSchema());
+  for (int p = 1; p <= kNumRuleStructures; ++p) {
+    TablePtr m = rkb_->m[static_cast<size_t>(p - 1)];
+    if (m->NumRows() == 0) continue;
+    ExecContext ec;
+    PROBKB_ASSIGN_OR_RETURN(
+        TablePtr factors,
+        GroundFactorsForPartition(p, m, rkb_->t_pi, rkb_->t_pi, rkb_->t_pi,
+                                  &ec));
+    // Bag union: Proposition 1 guarantees no duplicates within a
+    // partition; duplicates across partitions are distinct deductions.
+    t_phi->AppendTable(*factors);
+    ++stats_.statements;
+  }
+  {
+    ExecContext ec;
+    PROBKB_ASSIGN_OR_RETURN(TablePtr singletons,
+                            SingletonFactors(rkb_->t_pi, &ec));
+    t_phi->AppendTable(*singletons);
+    ++stats_.statements;
+  }
+  stats_.ground_factors_seconds += timer.Seconds();
+  stats_.factors = t_phi->NumRows();
+  stats_.final_atoms = rkb_->t_pi->NumRows();
+  return t_phi;
+}
+
+namespace {
+
+uint64_t BanKey(int64_t entity, int64_t cls) {
+  PROBKB_DCHECK(cls >= 0 && cls < (1 << 20));
+  return (static_cast<uint64_t>(entity) << 20) | static_cast<uint64_t>(cls);
+}
+
+}  // namespace
+
+bool Grounder::IsBanned(const RowView& atom) const {
+  return banned_x_keys_.count(
+             BanKey(atom[atom::kX].i64(), atom[atom::kC1].i64())) > 0 ||
+         banned_y_keys_.count(
+             BanKey(atom[atom::kY].i64(), atom[atom::kC2].i64())) > 0;
+}
+
+Result<int64_t> Grounder::ApplyConstraints() {
+  ExecContext ec;
+  ++stats_.statements;
+  PROBKB_ASSIGN_OR_RETURN(
+      TablePtr violators,
+      FindConstraintViolators(rkb_->t_pi, rkb_->t_omega, &ec));
+  // Record permanent bans so deleted entities are not re-derived.
+  auto viol_x = Table::Make(violators->schema());
+  auto viol_y = Table::Make(violators->schema());
+  for (int64_t i = 0; i < violators->NumRows(); ++i) {
+    RowView row = violators->row(i);
+    EntityId e = row[0].i64();
+    ClassId c = row[1].i64();
+    if (row[2].i64() == 1) {
+      if (banned_x_keys_.insert(BanKey(e, c)).second) {
+        banned_x_.emplace_back(e, c);
+      }
+      viol_x->AppendRow(row);
+    } else {
+      if (banned_y_keys_.insert(BanKey(e, c)).second) {
+        banned_y_.emplace_back(e, c);
+      }
+      viol_y->AppendRow(row);
+    }
+  }
+  int64_t deleted = 0;
+  deleted += DeleteMatching(rkb_->t_pi.get(), {tpi::kX, tpi::kC1}, *viol_x,
+                            {0, 1});
+  deleted += DeleteMatching(rkb_->t_pi.get(), {tpi::kY, tpi::kC2}, *viol_y,
+                            {0, 1});
+  return deleted;
+}
+
+}  // namespace probkb

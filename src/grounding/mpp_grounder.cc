@@ -1,0 +1,383 @@
+#include "grounding/mpp_grounder.h"
+
+#include "engine/ops.h"
+#include "util/strings.h"
+#include "util/timer.h"
+
+namespace probkb {
+
+namespace {
+
+// Atom-table columns holding (R, C1, C2) — the values TPi's canonical
+// distribution hashes, so redistributing atoms on these keys collocates
+// them with their TPi segment.
+const std::vector<int> kAtomDistKeys = {atom::kR, atom::kC1, atom::kC2};
+
+}  // namespace
+
+MppGrounder::MppGrounder(const RelationalKB& rkb, int num_segments,
+                         MppMode mode, GroundingOptions options,
+                         CostParams cost_params)
+    : ctx_(num_segments, cost_params),
+      mode_(mode),
+      options_(options),
+      m_(rkb.m),
+      t_omega_(rkb.t_omega),
+      next_fact_id_(rkb.next_fact_id) {
+  stats_.initial_atoms = rkb.t_pi->NumRows();
+  t_pi_ = DistributedTable::Distribute(*rkb.t_pi, num_segments,
+                                       Distribution::Hash(ViewKeysT0()), "T0");
+  if (mode_ == MppMode::kViews) {
+    view_tx_ = DistributedTable::Distribute(
+        *rkb.t_pi, num_segments, Distribution::Hash(ViewKeysTx()), "Tx");
+    view_ty_ = DistributedTable::Distribute(
+        *rkb.t_pi, num_segments, Distribution::Hash(ViewKeysTy()), "Ty");
+    view_txy_ = DistributedTable::Distribute(
+        *rkb.t_pi, num_segments, Distribution::Hash(ViewKeysTxy()), "Txy");
+  }
+}
+
+DistributedTablePtr MppGrounder::ProbeFor(
+    const std::vector<int>& t_keys) const {
+  if (mode_ == MppMode::kViews) {
+    if (t_keys == ViewKeysTx()) return view_tx_;
+    if (t_keys == ViewKeysTy()) return view_ty_;
+    if (t_keys == ViewKeysTxy()) return view_txy_;
+  }
+  return t_pi_;
+}
+
+MotionPolicy MppGrounder::PolicyFor(const DistributedTable& probe,
+                                    const std::vector<int>& t_keys) const {
+  // With a collocated view, only the (small) M_i / intermediate side moves
+  // — a redistribute motion (Figure 4 left). Without one, redistributing
+  // the whole facts table would be far worse than broadcasting the
+  // intermediate result, which is the plan Greenplum picks (Figure 4
+  // right).
+  return probe.distribution().IsHashOn(t_keys) ? MotionPolicy::kAuto
+                                               : MotionPolicy::kBroadcastLeft;
+}
+
+Result<DistributedTablePtr> MppGrounder::GroundAtomsPartition(int p) {
+  const PartitionSpec& spec = GetPartitionSpec(p);
+  TablePtr m_local = m_[static_cast<size_t>(p - 1)];
+  auto m_dist =
+      DistributedTable::Distribute(*m_local, ctx_.num_segments(),
+                                   Distribution::Random(),
+                                   "M" + std::to_string(p));
+  DistributedTablePtr probe1 = ProbeFor(spec.t_keys1);
+
+  MppJoinSpec js1;
+  js1.left_keys = spec.m_keys1;
+  js1.right_keys = spec.t_keys1;
+  js1.type = JoinType::kInner;
+  js1.output_cols = spec.body_length == 1 ? Len2AtomOutputCols(spec)
+                                          : J1OutputCols(spec);
+  js1.output_dist = Distribution::Random();
+  js1.policy = PolicyFor(*probe1, spec.t_keys1);
+  js1.label = StrFormat("Query1-%d join1", p);
+  PROBKB_ASSIGN_OR_RETURN(DistributedTablePtr j,
+                          MppHashJoin(&ctx_, m_dist, probe1, js1));
+  if (spec.body_length == 1) return j;
+
+  DistributedTablePtr probe2 = ProbeFor(spec.t_keys2);
+  MppJoinSpec js2;
+  js2.left_keys = spec.j1_keys2;
+  js2.right_keys = spec.t_keys2;
+  js2.type = JoinType::kInner;
+  js2.output_cols = Len3AtomOutputCols(spec);
+  js2.output_dist = Distribution::Random();
+  js2.policy = PolicyFor(*probe2, spec.t_keys2);
+  js2.label = StrFormat("Query1-%d join2", p);
+  return MppHashJoin(&ctx_, j, probe2, js2);
+}
+
+namespace {
+
+uint64_t BanKey(int64_t entity, int64_t cls) {
+  PROBKB_DCHECK(cls >= 0 && cls < (1 << 20));
+  return (static_cast<uint64_t>(entity) << 20) | static_cast<uint64_t>(cls);
+}
+
+}  // namespace
+
+Result<int64_t> MppGrounder::MergeAtoms(const DistributedTable& atoms) {
+  PROBKB_ASSIGN_OR_RETURN(
+      DistributedTablePtr collocated,
+      ctx_.Redistribute(atoms, kAtomDistKeys, "inferred_atoms"));
+
+  // Drop atoms keyed by banned entities (per-segment, no motion needed).
+  if (!banned_x_keys_.empty() || !banned_y_keys_.empty()) {
+    for (int s = 0; s < ctx_.num_segments(); ++s) {
+      DeleteWhere(collocated->mutable_segment(s).get(),
+                  [this](const RowView& row) {
+                    return banned_x_keys_.count(BanKey(
+                               row[atom::kX].i64(), row[atom::kC1].i64())) >
+                               0 ||
+                           banned_y_keys_.count(BanKey(
+                               row[atom::kY].i64(), row[atom::kC2].i64())) >
+                               0;
+                  });
+    }
+  }
+
+  const int n = ctx_.num_segments();
+  std::vector<int64_t> old_sizes(static_cast<size_t>(n));
+  std::vector<double> seg_seconds(static_cast<size_t>(n));
+  int64_t added = 0;
+  for (int s = 0; s < n; ++s) {
+    old_sizes[static_cast<size_t>(s)] = t_pi_->segment(s)->NumRows();
+    Timer timer;
+    added += MergeAtomsIntoTPi(t_pi_->mutable_segment(s).get(),
+                               *collocated->segment(s), &next_fact_id_);
+    seg_seconds[static_cast<size_t>(s)] = timer.Seconds();
+  }
+  ctx_.RecordCompute("union into T0", seg_seconds);
+
+  if (mode_ == MppMode::kViews && added > 0) {
+    // Incremental view maintenance: ship only the delta rows to each view.
+    Table delta(TPiSchema());
+    for (int s = 0; s < n; ++s) {
+      const Table& seg = *t_pi_->segment(s);
+      for (int64_t r = old_sizes[static_cast<size_t>(s)]; r < seg.NumRows();
+           ++r) {
+        delta.AppendRow(seg.row(r));
+      }
+    }
+    for (DistributedTablePtr view : {view_tx_, view_ty_, view_txy_}) {
+      const auto& keys = view->distribution().key_cols;
+      for (int64_t r = 0; r < delta.NumRows(); ++r) {
+        RowView row = delta.row(r);
+        int target = DistributedTable::TargetSegment(row, keys, n);
+        view->mutable_segment(target)->AppendRow(row);
+      }
+      MppStep step;
+      step.kind = MppStep::Kind::kRedistribute;
+      step.label = "refresh " + view->name();
+      step.tuples_shipped = delta.NumRows();
+      step.seconds = ctx_.MotionSeconds(delta.NumRows());
+      ctx_.mutable_cost()->Add(std::move(step));
+    }
+  }
+  return added;
+}
+
+Result<int64_t> MppGrounder::GroundAtomsIteration() {
+  const double start_cost = ctx_.cost().simulated_seconds();
+  std::vector<DistributedTablePtr> inferred;
+  for (int p = 1; p <= kNumRuleStructures; ++p) {
+    if (m_[static_cast<size_t>(p - 1)]->NumRows() == 0) continue;
+    PROBKB_ASSIGN_OR_RETURN(DistributedTablePtr atoms,
+                            GroundAtomsPartition(p));
+    inferred.push_back(std::move(atoms));
+    ++stats_.statements;
+  }
+  int64_t added = 0;
+  for (const DistributedTablePtr& atoms : inferred) {
+    PROBKB_ASSIGN_OR_RETURN(int64_t merged, MergeAtoms(*atoms));
+    added += merged;
+  }
+  if (options_.apply_constraints_each_iteration) {
+    PROBKB_ASSIGN_OR_RETURN(int64_t deleted, ApplyConstraints());
+    stats_.constraint_deleted += deleted;
+  }
+  double secs = ctx_.cost().simulated_seconds() - start_cost;
+  stats_.iteration_seconds.push_back(secs);
+  stats_.iteration_new_atoms.push_back(added);
+  stats_.ground_atoms_seconds += secs;
+  ++stats_.iterations;
+  return added;
+}
+
+Status MppGrounder::GroundAtoms() {
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    PROBKB_ASSIGN_OR_RETURN(int64_t added, GroundAtomsIteration());
+    if (added == 0) break;
+  }
+  stats_.final_atoms = t_pi_->NumRows();
+  return Status::OK();
+}
+
+Result<DistributedTablePtr> MppGrounder::GroundFactorsPartition(int p) {
+  const PartitionSpec& spec = GetPartitionSpec(p);
+  const bool has_i3 = spec.body_length == 2;
+  TablePtr m_local = m_[static_cast<size_t>(p - 1)];
+  auto m_dist =
+      DistributedTable::Distribute(*m_local, ctx_.num_segments(),
+                                   Distribution::Random(),
+                                   "M" + std::to_string(p));
+
+  DistributedTablePtr probe1 = ProbeFor(spec.t_keys1);
+  MppJoinSpec js1;
+  js1.left_keys = spec.m_keys1;
+  js1.right_keys = spec.t_keys1;
+  js1.type = JoinType::kInner;
+  js1.output_cols = spec.body_length == 1 ? Len2FactorCandidateCols(spec)
+                                          : J1OutputCols(spec);
+  js1.output_dist = Distribution::Random();
+  js1.policy = PolicyFor(*probe1, spec.t_keys1);
+  js1.label = StrFormat("Query2-%d join1", p);
+  PROBKB_ASSIGN_OR_RETURN(DistributedTablePtr candidates,
+                          MppHashJoin(&ctx_, m_dist, probe1, js1));
+
+  if (spec.body_length == 2) {
+    DistributedTablePtr probe2 = ProbeFor(spec.t_keys2);
+    MppJoinSpec js2;
+    js2.left_keys = spec.j1_keys2;
+    js2.right_keys = spec.t_keys2;
+    js2.type = JoinType::kInner;
+    js2.output_cols = Len3FactorCandidateCols(spec);
+    js2.output_dist = Distribution::Random();
+    js2.policy = PolicyFor(*probe2, spec.t_keys2);
+    js2.label = StrFormat("Query2-%d join2", p);
+    PROBKB_ASSIGN_OR_RETURN(candidates,
+                            MppHashJoin(&ctx_, candidates, probe2, js2));
+  }
+
+  DistributedTablePtr head = ProbeFor(ViewKeysTxy());
+  MppJoinSpec js3;
+  js3.left_keys = HeadJoinLeftKeys();
+  js3.right_keys = ViewKeysTxy();
+  js3.type = JoinType::kInner;
+  js3.output_cols = FactorHeadOutputCols(has_i3);
+  js3.output_dist = Distribution::Random();
+  js3.policy = PolicyFor(*head, ViewKeysTxy());
+  js3.label = StrFormat("Query2-%d head", p);
+  PROBKB_ASSIGN_OR_RETURN(DistributedTablePtr factors,
+                          MppHashJoin(&ctx_, candidates, head, js3));
+  if (!has_i3) {
+    PROBKB_ASSIGN_OR_RETURN(
+        factors,
+        MppFilterProject(&ctx_, factors, nullptr, NullI3Projection(),
+                         Distribution::Random(),
+                         StrFormat("Query2-%d null I3", p)));
+  }
+  return factors;
+}
+
+Result<TablePtr> MppGrounder::GroundFactors() {
+  const double start_cost = ctx_.cost().simulated_seconds();
+  auto t_phi = Table::Make(TPhiSchema());
+  for (int p = 1; p <= kNumRuleStructures; ++p) {
+    if (m_[static_cast<size_t>(p - 1)]->NumRows() == 0) continue;
+    PROBKB_ASSIGN_OR_RETURN(DistributedTablePtr factors,
+                            GroundFactorsPartition(p));
+    PROBKB_ASSIGN_OR_RETURN(TablePtr local, ctx_.Gather(*factors));
+    t_phi->AppendTable(*local);
+    ++stats_.statements;
+  }
+  {
+    PROBKB_ASSIGN_OR_RETURN(
+        DistributedTablePtr singles,
+        MppFilterProject(
+            &ctx_, t_pi_,
+            [](const RowView& row) { return !row[tpi::kW].is_null(); },
+            std::vector<ProjectExpr>{
+                ProjectExpr::Column(tpi::kI, "I1"),
+                ProjectExpr::Constant(Value::Null(), "I2"),
+                ProjectExpr::Constant(Value::Null(), "I3"),
+                ProjectExpr::Column(tpi::kW, "w", ColumnType::kFloat64)},
+            Distribution::Random(), "singleton factors"));
+    PROBKB_ASSIGN_OR_RETURN(TablePtr local, ctx_.Gather(*singles));
+    t_phi->AppendTable(*local);
+    ++stats_.statements;
+  }
+  stats_.ground_factors_seconds +=
+      ctx_.cost().simulated_seconds() - start_cost;
+  stats_.factors = t_phi->NumRows();
+  stats_.final_atoms = t_pi_->NumRows();
+  return t_phi;
+}
+
+Result<int64_t> MppGrounder::ApplyConstraints() {
+  ++stats_.statements;
+  auto omega_dist = DistributedTable::Distribute(
+      *t_omega_, ctx_.num_segments(), Distribution::Replicated(), "FC");
+
+  int64_t deleted = 0;
+  for (FunctionalityType type :
+       {FunctionalityType::kTypeI, FunctionalityType::kTypeII}) {
+    const bool type1 = type == FunctionalityType::kTypeI;
+    const int64_t arg = type1 ? 1 : 2;
+    PROBKB_ASSIGN_OR_RETURN(
+        DistributedTablePtr fc_filtered,
+        MppFilterProject(&ctx_, omega_dist,
+                         [arg](const RowView& row) {
+                           return row[tomega::kArg].i64() == arg;
+                         },
+                         std::nullopt, Distribution::Replicated(),
+                         type1 ? "FC arg=1" : "FC arg=2"));
+
+    MppJoinSpec js;
+    js.left_keys = {tpi::kR};
+    js.right_keys = {tomega::kR};
+    js.type = JoinType::kInner;
+    js.output_cols = {
+        JoinOutputCol::Left(tpi::kR, "R"),
+        JoinOutputCol::Left(type1 ? tpi::kX : tpi::kY, "e"),
+        JoinOutputCol::Left(type1 ? tpi::kC1 : tpi::kC2, "Ce"),
+        JoinOutputCol::Left(type1 ? tpi::kC2 : tpi::kC1, "Cother"),
+        JoinOutputCol::Right(tomega::kDeg, "deg"),
+    };
+    // Rows stay on their TPi segment, which hashed (R, C1, C2) — those
+    // values live at output positions (0, 2, 3) for Type I and (0, 3, 2)
+    // for Type II.
+    js.output_dist = type1 ? Distribution::Hash({0, 2, 3})
+                           : Distribution::Hash({0, 3, 2});
+    js.policy = MotionPolicy::kAuto;  // right side replicated: no motion
+    js.label = type1 ? "Query3 join (Type I)" : "Query3 join (Type II)";
+    PROBKB_ASSIGN_OR_RETURN(DistributedTablePtr joined,
+                            MppHashJoin(&ctx_, t_pi_, fc_filtered, js));
+
+    PROBKB_ASSIGN_OR_RETURN(
+        DistributedTablePtr grouped,
+        MppAggregate(&ctx_, joined, {0, 1, 2, 3},
+                     {{AggKind::kCount, 0, "cnt"},
+                      {AggKind::kMin, 4, "mindeg"}},
+                     [](const RowView& row) {
+                       return row[4].i64() > row[5].i64();
+                     },
+                     "Query3 group/having"));
+    PROBKB_ASSIGN_OR_RETURN(
+        DistributedTablePtr projected,
+        MppFilterProject(&ctx_, grouped, nullptr,
+                         std::vector<ProjectExpr>{
+                             ProjectExpr::Column(1, "e"),
+                             ProjectExpr::Column(2, "Ce")},
+                         Distribution::Random(), "Query3 project"));
+    PROBKB_ASSIGN_OR_RETURN(
+        DistributedTablePtr violators,
+        MppDistinct(&ctx_, projected, {0, 1}, "Query3 distinct"));
+
+    // Record permanent bans (same convergence argument as the single-node
+    // grounder).
+    auto& banned = type1 ? banned_x_keys_ : banned_y_keys_;
+    for (int s = 0; s < ctx_.num_segments(); ++s) {
+      const Table& seg = *violators->segment(s);
+      for (int64_t i = 0; i < seg.NumRows(); ++i) {
+        banned.insert(BanKey(seg.row(i)[0].i64(), seg.row(i)[1].i64()));
+      }
+    }
+
+    const std::vector<int> dst_cols =
+        type1 ? std::vector<int>{tpi::kX, tpi::kC1}
+              : std::vector<int>{tpi::kY, tpi::kC2};
+    PROBKB_ASSIGN_OR_RETURN(
+        int64_t n, MppDeleteMatching(&ctx_, t_pi_.get(), dst_cols,
+                                     *violators, {0, 1}));
+    deleted += n;
+    if (mode_ == MppMode::kViews) {
+      for (DistributedTablePtr view : {view_tx_, view_ty_, view_txy_}) {
+        PROBKB_ASSIGN_OR_RETURN(
+            int64_t ignored, MppDeleteMatching(&ctx_, view.get(), dst_cols,
+                                               *violators, {0, 1}));
+        (void)ignored;
+      }
+    }
+  }
+  return deleted;
+}
+
+TablePtr MppGrounder::GatherTPi() const { return t_pi_->ToLocal(); }
+
+}  // namespace probkb

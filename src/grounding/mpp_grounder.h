@@ -1,0 +1,92 @@
+#ifndef PROBKB_GROUNDING_MPP_GROUNDER_H_
+#define PROBKB_GROUNDING_MPP_GROUNDER_H_
+
+#include <array>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "grounding/grounder.h"
+#include "mpp/mpp_ops.h"
+
+namespace probkb {
+
+/// \brief MPP execution modes evaluated in the paper:
+/// kViews is ProbKB-p (redistributed materialized views, Section 4.4);
+/// kNoViews is ProbKB-pn (plain Greenplum plans that must broadcast
+/// intermediate join results, Figure 4 right).
+enum class MppMode { kNoViews, kViews };
+
+/// \brief ProbKB grounder over the shared-nothing simulator.
+///
+/// TPi's canonical copy is hash-distributed on (R, C1, C2) — this doubles
+/// as the paper's T0 view. Under kViews three more replicates are kept,
+/// distributed by (R, C1, x, C2), (R, C1, C2, y) and (R, C1, x, C2, y), so
+/// every grounding join finds a collocated TPi instance and only the small
+/// M_i / intermediate side moves (Example 5).
+class MppGrounder {
+ public:
+  MppGrounder(const RelationalKB& rkb, int num_segments, MppMode mode,
+              GroundingOptions options, CostParams cost_params = {});
+
+  /// \brief Algorithm 1 lines 2-7 on the simulator.
+  Status GroundAtoms();
+
+  /// \brief One iteration; returns new atoms merged.
+  Result<int64_t> GroundAtomsIteration();
+
+  /// \brief Algorithm 1 lines 8-10; the factor table is gathered to the
+  /// coordinator.
+  Result<TablePtr> GroundFactors();
+
+  /// \brief Query 3 on the simulator; keeps the views consistent.
+  Result<int64_t> ApplyConstraints();
+
+  /// \brief Gathered copy of the current TPi (for verification).
+  TablePtr GatherTPi() const;
+
+  const GroundingStats& stats() const { return stats_; }
+  const MppCost& cost() const { return ctx_.cost(); }
+  MppMode mode() const { return mode_; }
+  int num_segments() const { return ctx_.num_segments(); }
+
+ private:
+  /// Runs Query 1-p distributed; returns inferred atoms (distribution
+  /// Random).
+  Result<DistributedTablePtr> GroundAtomsPartition(int p);
+  /// Runs Query 2-p distributed.
+  Result<DistributedTablePtr> GroundFactorsPartition(int p);
+  /// Merges an atom table into the distributed TPi; assigns ids; refreshes
+  /// the views with the delta.
+  Result<int64_t> MergeAtoms(const DistributedTable& atoms);
+  /// Picks the TPi instance collocated with `t_keys` (a view under kViews;
+  /// the canonical copy otherwise).
+  DistributedTablePtr ProbeFor(const std::vector<int>& t_keys) const;
+  /// Motion policy for a join whose TPi side is `probe`: kAuto when the
+  /// probe is collocated with the key order, broadcast-left otherwise.
+  MotionPolicy PolicyFor(const DistributedTable& probe,
+                         const std::vector<int>& t_keys) const;
+
+  mutable MppContext ctx_;
+  MppMode mode_;
+  GroundingOptions options_;
+  GroundingStats stats_;
+
+  /// Constraint bans, mirroring the single-node grounder: entities deleted
+  /// by Query 3 must not be re-derived, or the fixpoint never converges.
+  std::unordered_set<uint64_t> banned_x_keys_;
+  std::unordered_set<uint64_t> banned_y_keys_;
+
+  std::array<TablePtr, kNumRuleStructures> m_;
+  TablePtr t_omega_;
+  FactId next_fact_id_;
+
+  DistributedTablePtr t_pi_;                 // hash (R, C1, C2) — the T0 view
+  DistributedTablePtr view_tx_;              // hash (R, C1, x, C2)
+  DistributedTablePtr view_ty_;              // hash (R, C1, C2, y)
+  DistributedTablePtr view_txy_;             // hash (R, C1, x, C2, y)
+};
+
+}  // namespace probkb
+
+#endif  // PROBKB_GROUNDING_MPP_GROUNDER_H_

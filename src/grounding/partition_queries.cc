@@ -1,0 +1,373 @@
+#include "grounding/partition_queries.h"
+
+#include <array>
+
+#include "engine/ops.h"
+
+namespace probkb {
+
+namespace {
+
+// Intermediate J1 schema of the length-3 queries:
+// (R1, R3, C1, C2, C3, w, xv, z, I2).
+namespace j1 {
+constexpr int kR1 = 0;
+constexpr int kR3 = 1;
+constexpr int kC1 = 2;
+constexpr int kC2 = 3;
+constexpr int kC3 = 4;
+constexpr int kW = 5;
+constexpr int kXv = 6;
+constexpr int kZ = 7;
+constexpr int kI2 = 8;
+}  // namespace j1
+
+// Factor-candidate schema before the head join:
+// (R1, C1, C2, w, xv, yv, I2[, I3]).
+namespace fc {
+constexpr int kR1 = 0;
+constexpr int kC1 = 1;
+constexpr int kC2 = 2;
+constexpr int kW = 3;
+constexpr int kXv = 4;
+constexpr int kYv = 5;
+constexpr int kI2 = 6;
+constexpr int kI3 = 7;
+}  // namespace fc
+
+std::array<PartitionSpec, 6> BuildSpecs() {
+  std::array<PartitionSpec, 6> specs;
+  // The TPi-side key order is always that of the corresponding view so the
+  // MPP executor sees collocated scans (Example 5 in the paper).
+  const std::vector<int> t0 = {tpi::kR, tpi::kC1, tpi::kC2};
+  const std::vector<int> tx = {tpi::kR, tpi::kC1, tpi::kX, tpi::kC2};
+  const std::vector<int> ty = {tpi::kR, tpi::kC1, tpi::kC2, tpi::kY};
+
+  // M1: p(x,y) <- q(x,y). Pairings (M.R2,T.R), (M.C1,T.C1), (M.C2,T.C2).
+  specs[0] = {1, 1, false, false,
+              {mlen2::kR2, mlen2::kC1, mlen2::kC2}, t0, {}, {}};
+  // M2: p(x,y) <- q(y,x): x lives in T.y, so M.C1 pairs with T.C2.
+  specs[1] = {2, 1, true, false,
+              {mlen2::kR2, mlen2::kC2, mlen2::kC1}, t0, {}, {}};
+  // M3: q(z,x), r(z,y).
+  specs[2] = {3, 2, false, false,
+              {mlen3::kR2, mlen3::kC3, mlen3::kC1}, t0,
+              {j1::kR3, j1::kC3, j1::kZ, j1::kC2}, tx};
+  // M4: q(x,z), r(z,y).
+  specs[3] = {4, 2, true, false,
+              {mlen3::kR2, mlen3::kC1, mlen3::kC3}, t0,
+              {j1::kR3, j1::kC3, j1::kZ, j1::kC2}, tx};
+  // M5: q(z,x), r(y,z).
+  specs[4] = {5, 2, false, true,
+              {mlen3::kR2, mlen3::kC3, mlen3::kC1}, t0,
+              {j1::kR3, j1::kC2, j1::kC3, j1::kZ}, ty};
+  // M6: q(x,z), r(y,z).
+  specs[5] = {6, 2, true, true,
+              {mlen3::kR2, mlen3::kC1, mlen3::kC3}, t0,
+              {j1::kR3, j1::kC2, j1::kC3, j1::kZ}, ty};
+  return specs;
+}
+
+const std::array<PartitionSpec, 6>& Specs() {
+  static const std::array<PartitionSpec, 6> specs = BuildSpecs();
+  return specs;
+}
+
+}  // namespace
+
+Schema AtomSchema() {
+  return Schema({{"R", ColumnType::kInt64},
+                 {"x", ColumnType::kInt64},
+                 {"C1", ColumnType::kInt64},
+                 {"y", ColumnType::kInt64},
+                 {"C2", ColumnType::kInt64}});
+}
+
+const PartitionSpec& GetPartitionSpec(int p) {
+  PROBKB_CHECK(p >= 1 && p <= 6);
+  return Specs()[static_cast<size_t>(p - 1)];
+}
+
+const std::vector<int>& ViewKeysT0() {
+  static const std::vector<int> keys = {tpi::kR, tpi::kC1, tpi::kC2};
+  return keys;
+}
+const std::vector<int>& ViewKeysTx() {
+  static const std::vector<int> keys = {tpi::kR, tpi::kC1, tpi::kX, tpi::kC2};
+  return keys;
+}
+const std::vector<int>& ViewKeysTy() {
+  static const std::vector<int> keys = {tpi::kR, tpi::kC1, tpi::kC2, tpi::kY};
+  return keys;
+}
+const std::vector<int>& ViewKeysTxy() {
+  static const std::vector<int> keys = {tpi::kR, tpi::kC1, tpi::kX, tpi::kC2,
+                                        tpi::kY};
+  return keys;
+}
+
+const std::vector<int>& HeadJoinLeftKeys() {
+  static const std::vector<int> keys = {fc::kR1, fc::kC1, fc::kXv, fc::kC2,
+                                        fc::kYv};
+  return keys;
+}
+
+std::vector<JoinOutputCol> J1OutputCols(const PartitionSpec& spec) {
+  // Where q's z and x arguments live in the probed fact depends on whether
+  // the body atom is q(z,x) or q(x,z).
+  const int z_col = spec.q_swapped ? tpi::kY : tpi::kX;
+  const int xv_col = spec.q_swapped ? tpi::kX : tpi::kY;
+  return {
+      JoinOutputCol::Left(mlen3::kR1, "R1"),
+      JoinOutputCol::Left(mlen3::kR3, "R3"),
+      JoinOutputCol::Left(mlen3::kC1, "C1"),
+      JoinOutputCol::Left(mlen3::kC2, "C2"),
+      JoinOutputCol::Left(mlen3::kC3, "C3"),
+      JoinOutputCol::Left(mlen3::kW, "w", ColumnType::kFloat64),
+      JoinOutputCol::Right(xv_col, "xv"),
+      JoinOutputCol::Right(z_col, "z"),
+      JoinOutputCol::Right(tpi::kI, "I2"),
+  };
+}
+
+std::vector<JoinOutputCol> Len2AtomOutputCols(const PartitionSpec& spec) {
+  const int x_col = spec.q_swapped ? tpi::kY : tpi::kX;
+  const int y_col = spec.q_swapped ? tpi::kX : tpi::kY;
+  // For M1, T.C1 == M.C1 and T.C2 == M.C2 by the join condition; for M2,
+  // T.C2 == M.C1 and T.C1 == M.C2. Taking the class columns from the M side
+  // is correct for both.
+  return {
+      JoinOutputCol::Left(mlen2::kR1, "R"),
+      JoinOutputCol::Right(x_col, "x"),
+      JoinOutputCol::Left(mlen2::kC1, "C1"),
+      JoinOutputCol::Right(y_col, "y"),
+      JoinOutputCol::Left(mlen2::kC2, "C2"),
+  };
+}
+
+std::vector<JoinOutputCol> Len3AtomOutputCols(const PartitionSpec& spec) {
+  const int yv_col = spec.r_swapped ? tpi::kX : tpi::kY;
+  return {
+      JoinOutputCol::Left(j1::kR1, "R"),
+      JoinOutputCol::Left(j1::kXv, "x"),
+      JoinOutputCol::Left(j1::kC1, "C1"),
+      JoinOutputCol::Right(yv_col, "y"),
+      JoinOutputCol::Left(j1::kC2, "C2"),
+  };
+}
+
+std::vector<JoinOutputCol> Len2FactorCandidateCols(const PartitionSpec& spec) {
+  const int x_col = spec.q_swapped ? tpi::kY : tpi::kX;
+  const int y_col = spec.q_swapped ? tpi::kX : tpi::kY;
+  return {
+      JoinOutputCol::Left(mlen2::kR1, "R1"),
+      JoinOutputCol::Left(mlen2::kC1, "C1"),
+      JoinOutputCol::Left(mlen2::kC2, "C2"),
+      JoinOutputCol::Left(mlen2::kW, "w", ColumnType::kFloat64),
+      JoinOutputCol::Right(x_col, "xv"),
+      JoinOutputCol::Right(y_col, "yv"),
+      JoinOutputCol::Right(tpi::kI, "I2"),
+  };
+}
+
+std::vector<JoinOutputCol> Len3FactorCandidateCols(const PartitionSpec& spec) {
+  const int yv_col = spec.r_swapped ? tpi::kX : tpi::kY;
+  return {
+      JoinOutputCol::Left(j1::kR1, "R1"),
+      JoinOutputCol::Left(j1::kC1, "C1"),
+      JoinOutputCol::Left(j1::kC2, "C2"),
+      JoinOutputCol::Left(j1::kW, "w", ColumnType::kFloat64),
+      JoinOutputCol::Left(j1::kXv, "xv"),
+      JoinOutputCol::Right(yv_col, "yv"),
+      JoinOutputCol::Left(j1::kI2, "I2"),
+      JoinOutputCol::Right(tpi::kI, "I3"),
+  };
+}
+
+std::vector<JoinOutputCol> FactorHeadOutputCols(bool has_i3) {
+  return {
+      JoinOutputCol::Right(tpi::kI, "I1"),
+      JoinOutputCol::Left(fc::kI2, "I2"),
+      JoinOutputCol::Left(has_i3 ? fc::kI3 : fc::kI2, "I3"),
+      JoinOutputCol::Left(fc::kW, "w", ColumnType::kFloat64),
+  };
+}
+
+std::vector<ProjectExpr> NullI3Projection() {
+  return {ProjectExpr::Column(tphi::kI1, "I1"),
+          ProjectExpr::Column(tphi::kI2, "I2"),
+          ProjectExpr::Constant(Value::Null(), "I3"),
+          ProjectExpr::Column(tphi::kW, "w", ColumnType::kFloat64)};
+}
+
+namespace {
+
+/// First join of a length-3 query: M_i x T2 -> J1.
+PlanNodePtr BuildJ1(const PartitionSpec& spec, TablePtr m, TablePtr t_probe) {
+  return HashJoin(Scan(std::move(m), "M" + std::to_string(spec.partition)),
+                  Scan(std::move(t_probe), "T"), spec.m_keys1, spec.t_keys1,
+                  JoinType::kInner, J1OutputCols(spec));
+}
+
+}  // namespace
+
+Result<TablePtr> GroundAtomsForPartition(int p, TablePtr m, TablePtr t_probe,
+                                         TablePtr t_probe2,
+                                         ExecContext* ctx) {
+  const PartitionSpec& spec = GetPartitionSpec(p);
+  if (spec.body_length == 1) {
+    auto plan =
+        HashJoin(Scan(std::move(m), "M" + std::to_string(p)),
+                 Scan(std::move(t_probe), "T"), spec.m_keys1, spec.t_keys1,
+                 JoinType::kInner, Len2AtomOutputCols(spec));
+    return plan->Execute(ctx);
+  }
+  PlanNodePtr j1 = BuildJ1(spec, std::move(m), std::move(t_probe));
+  auto plan = HashJoin(std::move(j1), Scan(std::move(t_probe2), "T"),
+                       spec.j1_keys2, spec.t_keys2, JoinType::kInner,
+                       Len3AtomOutputCols(spec));
+  return plan->Execute(ctx);
+}
+
+Result<TablePtr> GroundFactorsForPartition(int p, TablePtr m,
+                                           TablePtr t_probe,
+                                           TablePtr t_probe2, TablePtr t_head,
+                                           ExecContext* ctx) {
+  const PartitionSpec& spec = GetPartitionSpec(p);
+  const bool has_i3 = spec.body_length == 2;
+
+  PlanNodePtr candidates;
+  if (spec.body_length == 1) {
+    candidates =
+        HashJoin(Scan(std::move(m), "M" + std::to_string(p)),
+                 Scan(std::move(t_probe), "T"), spec.m_keys1, spec.t_keys1,
+                 JoinType::kInner, Len2FactorCandidateCols(spec));
+  } else {
+    PlanNodePtr j1 = BuildJ1(spec, std::move(m), std::move(t_probe));
+    candidates = HashJoin(std::move(j1), Scan(std::move(t_probe2), "T"),
+                          spec.j1_keys2, spec.t_keys2, JoinType::kInner,
+                          Len3FactorCandidateCols(spec));
+  }
+
+  // Head join: resolve I1 by matching the derived atom against TPi.
+  auto plan = HashJoin(std::move(candidates), Scan(std::move(t_head), "T"),
+                       HeadJoinLeftKeys(), ViewKeysTxy(), JoinType::kInner,
+                       FactorHeadOutputCols(has_i3));
+  PROBKB_ASSIGN_OR_RETURN(TablePtr factors, plan->Execute(ctx));
+  if (!has_i3) {
+    auto null_i3 = Project(Scan(factors), NullI3Projection());
+    return null_i3->Execute(ctx);
+  }
+  return factors;
+}
+
+Result<TablePtr> SingletonFactors(TablePtr t_pi, ExecContext* ctx) {
+  auto plan = Project(
+      Filter(Scan(std::move(t_pi), "T"),
+             [](const RowView& row) { return !row[tpi::kW].is_null(); },
+             "w IS NOT NULL"),
+      {ProjectExpr::Column(tpi::kI, "I1"),
+       ProjectExpr::Constant(Value::Null(), "I2"),
+       ProjectExpr::Constant(Value::Null(), "I3"),
+       ProjectExpr::Column(tpi::kW, "w", ColumnType::kFloat64)});
+  return plan->Execute(ctx);
+}
+
+int64_t MergeAtomsIntoTPi(Table* t_pi, const Table& atoms, FactId* next_id) {
+  static const std::vector<int> tpi_key = {tpi::kR, tpi::kX, tpi::kC1,
+                                           tpi::kY, tpi::kC2};
+  static const std::vector<int> atom_key = {atom::kR, atom::kX, atom::kC1,
+                                            atom::kY, atom::kC2};
+  KeyIndex index(t_pi, tpi_key);
+  int64_t added = 0;
+  for (int64_t i = 0; i < atoms.NumRows(); ++i) {
+    RowView row = atoms.row(i);
+    if (index.Contains(row, atom_key)) continue;
+    t_pi->AppendRow({Value::Int64((*next_id)++), row[atom::kR], row[atom::kX],
+                     row[atom::kC1], row[atom::kY], row[atom::kC2],
+                     Value::Null()});
+    index.AddRow(t_pi->NumRows() - 1);
+    ++added;
+  }
+  return added;
+}
+
+namespace {
+
+/// Shared implementation of Query 3 for one functionality type. Returns the
+/// violating (entity, class) keys.
+Result<TablePtr> ViolatorsForType(TablePtr t_pi, TablePtr t_omega,
+                                  FunctionalityType type, ExecContext* ctx) {
+  const bool type1 = type == FunctionalityType::kTypeI;
+  const int64_t arg = type1 ? 1 : 2;
+  std::vector<JoinOutputCol> joined = {
+      JoinOutputCol::Left(tpi::kR, "R"),
+      JoinOutputCol::Left(type1 ? tpi::kX : tpi::kY, "e"),
+      JoinOutputCol::Left(type1 ? tpi::kC1 : tpi::kC2, "Ce"),
+      JoinOutputCol::Left(type1 ? tpi::kC2 : tpi::kC1, "Cother"),
+      JoinOutputCol::Right(tomega::kDeg, "deg"),
+  };
+  auto plan = Aggregate(
+      HashJoin(Scan(std::move(t_pi), "T"),
+               Filter(Scan(std::move(t_omega), "FC"),
+                      [arg](const RowView& row) {
+                        return row[tomega::kArg].i64() == arg;
+                      },
+                      type1 ? "FC.arg = 1" : "FC.arg = 2"),
+               {tpi::kR}, {tomega::kR}, JoinType::kInner, std::move(joined)),
+      /*group_cols=*/{0, 1, 2, 3},
+      {{AggKind::kCount, 0, "cnt"}, {AggKind::kMin, 4, "mindeg"}},
+      /*having=*/[](const RowView& row) {
+        return row[4].i64() > row[5].i64();  // COUNT(*) > MIN(deg)
+      });
+  auto distinct = Distinct(
+      Project(std::move(plan),
+              {ProjectExpr::Column(1, "e"), ProjectExpr::Column(2, "Ce")}),
+      {0, 1});
+  return distinct->Execute(ctx);
+}
+
+}  // namespace
+
+Result<int64_t> ApplyFunctionalConstraints(Table* t_pi, const Table& t_omega,
+                                           ExecContext* ctx) {
+  // Non-owning aliases: Scan nodes require shared_ptrs but must not take
+  // ownership of the caller's tables.
+  TablePtr t_pi_ref(t_pi, [](Table*) {});
+  TablePtr t_omega_ref(const_cast<Table*>(&t_omega), [](Table*) {});
+
+  PROBKB_ASSIGN_OR_RETURN(
+      TablePtr viol1,
+      ViolatorsForType(t_pi_ref, t_omega_ref, FunctionalityType::kTypeI, ctx));
+  PROBKB_ASSIGN_OR_RETURN(
+      TablePtr viol2, ViolatorsForType(t_pi_ref, t_omega_ref,
+                                       FunctionalityType::kTypeII, ctx));
+  int64_t deleted = 0;
+  deleted += DeleteMatching(t_pi, {tpi::kX, tpi::kC1}, *viol1, {0, 1});
+  deleted += DeleteMatching(t_pi, {tpi::kY, tpi::kC2}, *viol2, {0, 1});
+  return deleted;
+}
+
+Result<TablePtr> FindConstraintViolators(TablePtr t_pi, TablePtr t_omega,
+                                         ExecContext* ctx) {
+  PROBKB_ASSIGN_OR_RETURN(
+      TablePtr viol1,
+      ViolatorsForType(t_pi, t_omega, FunctionalityType::kTypeI, ctx));
+  PROBKB_ASSIGN_OR_RETURN(
+      TablePtr viol2,
+      ViolatorsForType(t_pi, t_omega, FunctionalityType::kTypeII, ctx));
+  auto out = Table::Make(Schema({{"e", ColumnType::kInt64},
+                                 {"Ce", ColumnType::kInt64},
+                                 {"arg", ColumnType::kInt64}}));
+  for (int64_t i = 0; i < viol1->NumRows(); ++i) {
+    RowView row = viol1->row(i);
+    out->AppendRow({row[0], row[1], Value::Int64(1)});
+  }
+  for (int64_t i = 0; i < viol2->NumRows(); ++i) {
+    RowView row = viol2->row(i);
+    out->AppendRow({row[0], row[1], Value::Int64(2)});
+  }
+  return out;
+}
+
+}  // namespace probkb

@@ -1,0 +1,114 @@
+#ifndef PROBKB_GROUNDING_PARTITION_QUERIES_H_
+#define PROBKB_GROUNDING_PARTITION_QUERIES_H_
+
+#include <vector>
+
+#include "engine/exec_context.h"
+#include "engine/plan.h"
+#include "kb/relational_model.h"
+#include "relational/table.h"
+#include "util/result.h"
+
+namespace probkb {
+
+/// Inferred-atom schema produced by the groundAtoms queries:
+/// (R, x, C1, y, C2).
+namespace atom {
+inline constexpr int kR = 0;
+inline constexpr int kX = 1;
+inline constexpr int kC1 = 2;
+inline constexpr int kY = 3;
+inline constexpr int kC2 = 4;
+}  // namespace atom
+
+Schema AtomSchema();
+
+/// \brief Join-key pairings of the batch queries for one MLN partition.
+///
+/// Each partition's groundAtoms query is one or two hash joins between the
+/// partition table M_i and the facts table TPi (the paper's Queries 1-1 ..
+/// 1-6); groundFactors adds a third join against TPi to resolve the head
+/// atom's id (Queries 2-1 .. 2-6). The right-side key orders are chosen to
+/// match the distribution keys of the four redistributed materialized views
+/// (Section 4.4), so the MPP path gets collocation for free.
+struct PartitionSpec {
+  int partition = 1;  // 1..6
+  int body_length = 1;
+  bool q_swapped = false;  // body1 is q(x,z) rather than q(z,x) (M4, M6)
+  bool r_swapped = false;  // body2 is r(y,z) rather than r(z,y) (M5, M6)
+  std::vector<int> m_keys1;  // M-side keys of the first join
+  std::vector<int> t_keys1;  // TPi-side keys of the first join (view T0)
+  std::vector<int> j1_keys2;  // J1-side keys of the second join (len 3)
+  std::vector<int> t_keys2;   // TPi-side keys of the second join (Tx or Ty)
+};
+
+/// \brief Returns the spec for partition `p` in 1..6.
+const PartitionSpec& GetPartitionSpec(int p);
+
+/// TPi-side key orders of the four materialized views (Section 4.4):
+/// T0 = (R, C1, C2); Tx = (R, C1, x, C2); Ty = (R, C1, C2, y);
+/// Txy = (R, C1, x, C2, y).
+const std::vector<int>& ViewKeysT0();
+const std::vector<int>& ViewKeysTx();
+const std::vector<int>& ViewKeysTy();
+const std::vector<int>& ViewKeysTxy();
+
+/// Head-join key pairing used by the groundFactors queries: the factor
+/// candidate's (R1, C1, xv, C2, yv) against TPi's (R, C1, x, C2, y).
+const std::vector<int>& HeadJoinLeftKeys();
+
+/// Output-column builders shared by the single-node and MPP executions of
+/// Queries 1-p / 2-p. "J1" is the intermediate of the length-3 queries,
+/// schema (R1, R3, C1, C2, C3, w, xv, z, I2); factor candidates have schema
+/// (R1, C1, C2, w, xv, yv, I2[, I3]).
+std::vector<JoinOutputCol> J1OutputCols(const PartitionSpec& spec);
+std::vector<JoinOutputCol> Len2AtomOutputCols(const PartitionSpec& spec);
+std::vector<JoinOutputCol> Len3AtomOutputCols(const PartitionSpec& spec);
+std::vector<JoinOutputCol> Len2FactorCandidateCols(const PartitionSpec& spec);
+std::vector<JoinOutputCol> Len3FactorCandidateCols(const PartitionSpec& spec);
+std::vector<JoinOutputCol> FactorHeadOutputCols(bool has_i3);
+
+/// Projection that nulls out I3 in length-2 factors.
+std::vector<ProjectExpr> NullI3Projection();
+
+/// \brief Query 1-p: applies every rule of partition `p` in one batch and
+/// returns the inferred atoms (R, x, C1, y, C2), not yet deduplicated.
+///
+/// `t_probe` and `t_probe2` are the TPi instances to probe for the first
+/// and second body atoms (identical for single-node execution; different
+/// materialized views under MPP). For length-2 partitions `t_probe2` is
+/// unused.
+Result<TablePtr> GroundAtomsForPartition(int p, TablePtr m, TablePtr t_probe,
+                                         TablePtr t_probe2, ExecContext* ctx);
+
+/// \brief Query 2-p: applies every rule of partition `p` and returns the
+/// ground factors (I1, I2, I3, w). `t_head` resolves head atom ids.
+Result<TablePtr> GroundFactorsForPartition(int p, TablePtr m,
+                                           TablePtr t_probe,
+                                           TablePtr t_probe2, TablePtr t_head,
+                                           ExecContext* ctx);
+
+/// \brief Singleton factors (I, NULL, NULL, w) for every fact of TPi with a
+/// non-NULL weight (Algorithm 1 line 10).
+Result<TablePtr> SingletonFactors(TablePtr t_pi, ExecContext* ctx);
+
+/// \brief Merges `atoms` into `t_pi` with set semantics on
+/// (R, x, C1, y, C2); new atoms get ids from `*next_id` and NULL weight.
+/// Returns the number of rows added.
+int64_t MergeAtomsIntoTPi(Table* t_pi, const Table& atoms, FactId* next_id);
+
+/// \brief Query 3: deletes from `t_pi` all facts keyed by entities that
+/// violate a functional constraint of `t_omega` (both Type I and Type II).
+/// Returns the number of facts deleted.
+Result<int64_t> ApplyFunctionalConstraints(Table* t_pi, const Table& t_omega,
+                                           ExecContext* ctx);
+
+/// \brief Detects the violating entity keys without deleting: returns a
+/// table (entity, class, arg) where arg is 1 for Type I (x side) and 2 for
+/// Type II (y side). Quality control uses this for ambiguity analysis.
+Result<TablePtr> FindConstraintViolators(TablePtr t_pi, TablePtr t_omega,
+                                         ExecContext* ctx);
+
+}  // namespace probkb
+
+#endif  // PROBKB_GROUNDING_PARTITION_QUERIES_H_

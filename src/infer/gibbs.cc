@@ -1,0 +1,219 @@
+#include "infer/gibbs.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/strings.h"
+#include "util/timer.h"
+
+namespace probkb {
+
+namespace {
+
+/// Conditional log-odds of X_v = 1 given the rest of the assignment:
+/// sum over incident factors of logphi(x_v=1) - logphi(x_v=0).
+double ConditionalLogOdds(const FactorGraph& graph, int32_t v,
+                          std::vector<uint8_t>* assignment) {
+  double delta = 0.0;
+  auto& a = *assignment;
+  const uint8_t saved = a[static_cast<size_t>(v)];
+  for (int32_t fi : graph.FactorsOf(v)) {
+    const GroundFactor& f = graph.factors()[static_cast<size_t>(fi)];
+    a[static_cast<size_t>(v)] = 1;
+    delta += f.LogValue(a);
+    a[static_cast<size_t>(v)] = 0;
+    delta -= f.LogValue(a);
+  }
+  a[static_cast<size_t>(v)] = saved;
+  return delta;
+}
+
+double Sigmoid(double x) {
+  if (x >= 0) {
+    return 1.0 / (1.0 + std::exp(-x));
+  }
+  double e = std::exp(x);
+  return e / (1.0 + e);
+}
+
+/// Runs one chain; returns the per-variable count of sampled ones.
+std::vector<int64_t> RunChain(const FactorGraph& graph,
+                              const GibbsOptions& options,
+                              const std::vector<int32_t>& order,
+                              uint64_t seed) {
+  const int n = graph.num_variables();
+  Rng rng(seed);
+  std::vector<uint8_t> assignment(static_cast<size_t>(n), 0);
+  std::vector<int64_t> ones(static_cast<size_t>(n), 0);
+  const int total_sweeps = options.burn_in_sweeps + options.sample_sweeps;
+  for (int sweep = 0; sweep < total_sweeps; ++sweep) {
+    for (int32_t v : order) {
+      double p1 = Sigmoid(ConditionalLogOdds(graph, v, &assignment));
+      assignment[static_cast<size_t>(v)] = rng.Bernoulli(p1) ? 1 : 0;
+    }
+    if (sweep >= options.burn_in_sweeps) {
+      for (int32_t v = 0; v < n; ++v) {
+        ones[static_cast<size_t>(v)] += assignment[static_cast<size_t>(v)];
+      }
+    }
+  }
+  return ones;
+}
+
+/// Gelman-Rubin potential scale reduction factor for one variable given
+/// the per-chain one-counts over `samples` draws of a binary indicator.
+double Psrf(const std::vector<int64_t>& chain_ones, int64_t samples) {
+  const size_t chains = chain_ones.size();
+  if (chains < 2 || samples < 2) return 1.0;
+  const double n = static_cast<double>(samples);
+  double grand_mean = 0.0;
+  std::vector<double> means(chains);
+  std::vector<double> within(chains);
+  for (size_t c = 0; c < chains; ++c) {
+    double m = static_cast<double>(chain_ones[c]) / n;
+    means[c] = m;
+    // Sample variance of a binary sequence with k ones.
+    within[c] = n / (n - 1.0) * m * (1.0 - m);
+    grand_mean += m;
+  }
+  grand_mean /= static_cast<double>(chains);
+  double b = 0.0;  // between-chain variance x n
+  for (double m : means) b += (m - grand_mean) * (m - grand_mean);
+  b *= n / (static_cast<double>(chains) - 1.0);
+  double w = 0.0;
+  for (double v : within) w += v;
+  w /= static_cast<double>(chains);
+  if (w <= 1e-12) return 1.0;  // chains agree exactly (e.g. frozen var)
+  double var_hat = (n - 1.0) / n * w + b / n;
+  return std::sqrt(var_hat / w);
+}
+
+}  // namespace
+
+Result<GibbsResult> GibbsMarginals(const FactorGraph& graph,
+                                   const GibbsOptions& options) {
+  if (options.burn_in_sweeps < 0 || options.sample_sweeps <= 0) {
+    return Status::InvalidArgument("sweep counts must be positive");
+  }
+  if (options.parallelism < 1) {
+    return Status::InvalidArgument("parallelism must be >= 1");
+  }
+  if (options.num_chains < 1) {
+    return Status::InvalidArgument("num_chains must be >= 1");
+  }
+  const int n = graph.num_variables();
+  Timer timer;
+
+  // Update order: plain index order for sequential; grouped by color for
+  // chromatic. Within a color no two variables share a factor, so the
+  // sequential in-color update below produces exactly what a parallel
+  // update would.
+  std::vector<int32_t> order(static_cast<size_t>(n));
+  std::vector<int64_t> color_sizes;
+  int num_colors = 1;
+  if (options.schedule == GibbsSchedule::kChromatic) {
+    std::vector<int> colors = graph.ColorVariables();
+    num_colors =
+        colors.empty() ? 1 : *std::max_element(colors.begin(), colors.end()) + 1;
+    color_sizes.assign(static_cast<size_t>(num_colors), 0);
+    size_t pos = 0;
+    for (int c = 0; c < num_colors; ++c) {
+      for (int32_t v = 0; v < n; ++v) {
+        if (colors[static_cast<size_t>(v)] == c) {
+          order[pos++] = v;
+          ++color_sizes[static_cast<size_t>(c)];
+        }
+      }
+    }
+  } else {
+    for (int32_t v = 0; v < n; ++v) order[static_cast<size_t>(v)] = v;
+    color_sizes.assign(1, n);
+  }
+
+  std::vector<std::vector<int64_t>> per_chain_ones;
+  per_chain_ones.reserve(static_cast<size_t>(options.num_chains));
+  for (int chain = 0; chain < options.num_chains; ++chain) {
+    per_chain_ones.push_back(RunChain(
+        graph, options, order,
+        options.seed + 0x9E3779B97F4A7C15ULL * static_cast<uint64_t>(chain)));
+  }
+
+  GibbsResult result;
+  result.marginals.assign(static_cast<size_t>(n), 0.0);
+  const double denom = static_cast<double>(options.sample_sweeps) *
+                       static_cast<double>(options.num_chains);
+  for (int32_t v = 0; v < n; ++v) {
+    int64_t total = 0;
+    for (const auto& ones : per_chain_ones) {
+      total += ones[static_cast<size_t>(v)];
+    }
+    result.marginals[static_cast<size_t>(v)] =
+        static_cast<double>(total) / denom;
+  }
+
+  // Convergence diagnostic across chains.
+  result.max_psrf = 1.0;
+  if (options.num_chains > 1) {
+    std::vector<int64_t> chain_ones(static_cast<size_t>(options.num_chains));
+    for (int32_t v = 0; v < n; ++v) {
+      for (int c = 0; c < options.num_chains; ++c) {
+        chain_ones[static_cast<size_t>(c)] =
+            per_chain_ones[static_cast<size_t>(c)][static_cast<size_t>(v)];
+      }
+      result.max_psrf =
+          std::max(result.max_psrf, Psrf(chain_ones, options.sample_sweeps));
+    }
+  }
+
+  result.seconds = timer.Seconds();
+  result.num_colors = num_colors;
+  const int total_sweeps = options.burn_in_sweeps + options.sample_sweeps;
+  if (options.schedule == GibbsSchedule::kChromatic && n > 0) {
+    // Modelled parallel sweep: each color runs its variables across P
+    // workers; colors are barriers (Gonzalez et al.).
+    double per_var =
+        result.seconds /
+        (static_cast<double>(n) * total_sweeps * options.num_chains);
+    double parallel_sweep = 0.0;
+    for (int64_t size : color_sizes) {
+      parallel_sweep +=
+          per_var * std::ceil(static_cast<double>(size) / options.parallelism);
+    }
+    result.simulated_parallel_seconds =
+        parallel_sweep * total_sweeps * options.num_chains;
+  } else {
+    result.simulated_parallel_seconds = result.seconds;
+  }
+  return result;
+}
+
+Result<std::vector<double>> ExactMarginals(const FactorGraph& graph,
+                                           int max_variables) {
+  const int n = graph.num_variables();
+  if (n > max_variables) {
+    return Status::InvalidArgument(StrFormat(
+        "%d variables exceed the exact-enumeration cap of %d", n,
+        max_variables));
+  }
+  std::vector<uint8_t> assignment(static_cast<size_t>(n), 0);
+  std::vector<double> numer(static_cast<size_t>(n), 0.0);
+  double z = 0.0;
+  const uint64_t total = 1ULL << n;
+  for (uint64_t bits = 0; bits < total; ++bits) {
+    for (int v = 0; v < n; ++v) {
+      assignment[static_cast<size_t>(v)] =
+          static_cast<uint8_t>((bits >> v) & 1);
+    }
+    double weight = std::exp(graph.LogScore(assignment));
+    z += weight;
+    for (int v = 0; v < n; ++v) {
+      if (assignment[static_cast<size_t>(v)]) {
+        numer[static_cast<size_t>(v)] += weight;
+      }
+    }
+  }
+  for (int v = 0; v < n; ++v) numer[static_cast<size_t>(v)] /= z;
+  return numer;
+}
+
+}  // namespace probkb

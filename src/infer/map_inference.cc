@@ -1,0 +1,163 @@
+#include "infer/map_inference.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace probkb {
+
+namespace {
+
+/// Score change from flipping variable v in `assignment`.
+double FlipDelta(const FactorGraph& graph, int32_t v,
+                 std::vector<uint8_t>* assignment) {
+  auto& a = *assignment;
+  double delta = 0.0;
+  const uint8_t old_value = a[static_cast<size_t>(v)];
+  for (int32_t fi : graph.FactorsOf(v)) {
+    const GroundFactor& f = graph.factors()[static_cast<size_t>(fi)];
+    delta -= f.LogValue(a);
+    a[static_cast<size_t>(v)] = 1 - old_value;
+    delta += f.LogValue(a);
+    a[static_cast<size_t>(v)] = old_value;
+  }
+  return delta;
+}
+
+}  // namespace
+
+Result<MapSolution> ExactMap(const FactorGraph& graph, int max_variables) {
+  const int n = graph.num_variables();
+  if (n > max_variables) {
+    return Status::InvalidArgument(
+        StrFormat("%d variables exceed the exact-MAP cap of %d", n,
+                  max_variables));
+  }
+  MapSolution best;
+  best.assignment.assign(static_cast<size_t>(n), 0);
+  best.log_score = graph.LogScore(best.assignment);
+  std::vector<uint8_t> assignment(static_cast<size_t>(n), 0);
+  const uint64_t total = n == 0 ? 1 : (1ULL << n);
+  for (uint64_t bits = 0; bits < total; ++bits) {
+    for (int v = 0; v < n; ++v) {
+      assignment[static_cast<size_t>(v)] =
+          static_cast<uint8_t>((bits >> v) & 1);
+    }
+    double score = graph.LogScore(assignment);
+    if (score > best.log_score) {
+      best.log_score = score;
+      best.assignment = assignment;
+    }
+  }
+  return best;
+}
+
+Result<MapSolution> IcmMap(const FactorGraph& graph,
+                           const IcmOptions& options) {
+  if (options.restarts < 1 || options.max_sweeps_per_restart < 1) {
+    return Status::InvalidArgument("ICM needs positive restart/sweep counts");
+  }
+  const int n = graph.num_variables();
+  Rng rng(options.seed);
+  MapSolution best;
+  best.assignment.assign(static_cast<size_t>(n), 0);
+  best.log_score = graph.LogScore(best.assignment);
+
+  std::vector<uint8_t> assignment(static_cast<size_t>(n));
+  for (int restart = 0; restart < options.restarts; ++restart) {
+    for (int32_t v = 0; v < n; ++v) {
+      // First restart from the all-true world (usually strong for Horn
+      // MLNs); later restarts randomize.
+      assignment[static_cast<size_t>(v)] =
+          restart == 0 ? 1 : (rng.Bernoulli(0.5) ? 1 : 0);
+    }
+    for (int sweep = 0; sweep < options.max_sweeps_per_restart; ++sweep) {
+      bool changed = false;
+      for (int32_t v = 0; v < n; ++v) {
+        if (FlipDelta(graph, v, &assignment) > 0) {
+          assignment[static_cast<size_t>(v)] ^= 1;
+          changed = true;
+        }
+      }
+      if (!changed) break;  // local optimum
+    }
+    double score = graph.LogScore(assignment);
+    if (score > best.log_score) {
+      best.log_score = score;
+      best.assignment = assignment;
+    }
+  }
+  return best;
+}
+
+Result<MapSolution> MaxWalkSatMap(const FactorGraph& graph,
+                                  const MaxWalkSatOptions& options) {
+  for (const GroundFactor& f : graph.factors()) {
+    if (f.weight < 0) {
+      return Status::InvalidArgument(
+          "MaxWalkSAT requires non-negative clause weights; use IcmMap");
+    }
+  }
+  if (options.max_tries < 1 || options.max_flips < 1) {
+    return Status::InvalidArgument("MaxWalkSAT needs positive try/flip caps");
+  }
+  const int n = graph.num_variables();
+  Rng rng(options.seed);
+  MapSolution best;
+  best.assignment.assign(static_cast<size_t>(n), 0);
+  best.log_score = graph.LogScore(best.assignment);
+
+  std::vector<uint8_t> assignment(static_cast<size_t>(n));
+  std::vector<int32_t> unsat;  // indices of unsatisfied factors
+  for (int attempt = 0; attempt < options.max_tries; ++attempt) {
+    for (int32_t v = 0; v < n; ++v) {
+      assignment[static_cast<size_t>(v)] = rng.Bernoulli(0.5) ? 1 : 0;
+    }
+    double score = graph.LogScore(assignment);
+    if (score > best.log_score) {
+      best.log_score = score;
+      best.assignment = assignment;
+    }
+    for (int flip = 0; flip < options.max_flips; ++flip) {
+      // Collect unsatisfied (weight-losing) factors.
+      unsat.clear();
+      for (size_t fi = 0; fi < graph.factors().size(); ++fi) {
+        const GroundFactor& f = graph.factors()[fi];
+        if (f.weight > 0 && f.LogValue(assignment) == 0.0) {
+          unsat.push_back(static_cast<int32_t>(fi));
+        }
+      }
+      if (unsat.empty()) break;  // all clauses satisfied: global optimum
+      const GroundFactor& f = graph.factors()[static_cast<size_t>(
+          unsat[rng.Uniform(unsat.size())])];
+      std::vector<int32_t> vars;
+      for (int32_t v : {f.head, f.body1, f.body2}) {
+        if (v >= 0) vars.push_back(v);
+      }
+      int32_t to_flip;
+      if (rng.Bernoulli(options.noise)) {
+        to_flip = vars[rng.Uniform(vars.size())];
+      } else {
+        // Greedy: the variable whose flip increases the score most.
+        to_flip = vars[0];
+        double best_delta = FlipDelta(graph, vars[0], &assignment);
+        for (size_t i = 1; i < vars.size(); ++i) {
+          double delta = FlipDelta(graph, vars[i], &assignment);
+          if (delta > best_delta) {
+            best_delta = delta;
+            to_flip = vars[i];
+          }
+        }
+      }
+      score += FlipDelta(graph, to_flip, &assignment);
+      assignment[static_cast<size_t>(to_flip)] ^= 1;
+      if (score > best.log_score) {
+        best.log_score = score;
+        best.assignment = assignment;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace probkb

@@ -1,0 +1,27 @@
+#ifndef PROBKB_INFER_WRITEBACK_H_
+#define PROBKB_INFER_WRITEBACK_H_
+
+#include <vector>
+
+#include "factor/factor_graph.h"
+#include "relational/table.h"
+#include "util/result.h"
+
+namespace probkb {
+
+/// \brief Stores marginal probabilities back into TPi.
+///
+/// ProbKB "uses marginal inference so that we can store all the inferred
+/// results in the knowledge base, thereby avoiding query-time computation
+/// and improving system responsivity" (Section 2.2). This writes
+/// P(X_v = 1) into the w column of every inferred (NULL-weight) fact;
+/// extracted facts keep their extraction weights. `marginals` is indexed
+/// by factor-graph variable, as returned by GibbsMarginals.
+///
+/// Returns the number of facts updated.
+Result<int64_t> WriteMarginalsToTPi(Table* t_pi, const FactorGraph& graph,
+                                    const std::vector<double>& marginals);
+
+}  // namespace probkb
+
+#endif  // PROBKB_INFER_WRITEBACK_H_

@@ -1,0 +1,54 @@
+#include "kb/class_hierarchy.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace probkb {
+
+namespace {
+
+std::map<ClassId, std::set<EntityId>> MembersByClass(
+    const KnowledgeBase& kb) {
+  std::map<ClassId, std::set<EntityId>> members;
+  for (const ClassMember& m : kb.class_members()) {
+    members[m.cls].insert(m.entity);
+  }
+  return members;
+}
+
+}  // namespace
+
+std::vector<SubclassEdge> ComputeClassHierarchy(const KnowledgeBase& kb) {
+  auto members = MembersByClass(kb);
+  std::vector<SubclassEdge> edges;
+  for (const auto& [sub, sub_members] : members) {
+    if (sub_members.empty()) continue;
+    for (const auto& [super, super_members] : members) {
+      if (sub == super) continue;
+      if (sub_members.size() > super_members.size()) continue;
+      if (std::includes(super_members.begin(), super_members.end(),
+                        sub_members.begin(), sub_members.end())) {
+        edges.push_back({sub, super});
+      }
+    }
+  }
+  std::sort(edges.begin(), edges.end(),
+            [](const SubclassEdge& a, const SubclassEdge& b) {
+              return std::tie(a.subclass, a.superclass) <
+                     std::tie(b.subclass, b.superclass);
+            });
+  return edges;
+}
+
+bool IsSubclassOf(const KnowledgeBase& kb, ClassId sub, ClassId super) {
+  auto members = MembersByClass(kb);
+  auto sub_it = members.find(sub);
+  auto super_it = members.find(super);
+  if (sub_it == members.end() || super_it == members.end()) return false;
+  if (sub_it->second.empty()) return false;
+  return std::includes(super_it->second.begin(), super_it->second.end(),
+                       sub_it->second.begin(), sub_it->second.end());
+}
+
+}  // namespace probkb

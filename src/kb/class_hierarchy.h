@@ -1,0 +1,36 @@
+#ifndef PROBKB_KB_CLASS_HIERARCHY_H_
+#define PROBKB_KB_CLASS_HIERARCHY_H_
+
+#include <vector>
+
+#include "kb/knowledge_base.h"
+
+namespace probkb {
+
+/// \brief One subclass edge of the derived class hierarchy.
+struct SubclassEdge {
+  ClassId subclass = kInvalidId;
+  ClassId superclass = kInvalidId;
+
+  friend bool operator==(const SubclassEdge& a, const SubclassEdge& b) {
+    return a.subclass == b.subclass && a.superclass == b.superclass;
+  }
+};
+
+/// \brief Derives the class hierarchy of Definition 1, Remark 1: "for any
+/// Ci, Cj in C, Ci is a subclass of Cj if and only if Ci ⊆ Cj", computed
+/// from the class-membership tuples (TC).
+///
+/// Classes with identical member sets are mutual subclasses (both edges
+/// are emitted); classes with no members subclass nothing (the vacuous
+/// subset would make them subclasses of everything, which is useless for
+/// typing). Edges are returned sorted by (subclass, superclass).
+std::vector<SubclassEdge> ComputeClassHierarchy(const KnowledgeBase& kb);
+
+/// \brief True if `sub` ⊆ `super` holds over the KB's class members (both
+/// classes must have members).
+bool IsSubclassOf(const KnowledgeBase& kb, ClassId sub, ClassId super);
+
+}  // namespace probkb
+
+#endif  // PROBKB_KB_CLASS_HIERARCHY_H_

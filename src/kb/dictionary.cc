@@ -1,0 +1,36 @@
+#include "kb/dictionary.h"
+
+#include "util/strings.h"
+
+namespace probkb {
+
+int64_t Dictionary::GetOrAdd(std::string_view name) {
+  auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) return it->second;
+  int64_t id = static_cast<int64_t>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+int64_t Dictionary::Lookup(std::string_view name) const {
+  auto it = ids_.find(std::string(name));
+  return it == ids_.end() ? kInvalidId : it->second;
+}
+
+Result<std::string> Dictionary::GetName(int64_t id) const {
+  if (id < 0 || id >= size()) {
+    return Status::OutOfRange(StrFormat("dictionary id %lld out of range",
+                                        static_cast<long long>(id)));
+  }
+  return names_[static_cast<size_t>(id)];
+}
+
+std::string Dictionary::NameOrPlaceholder(int64_t id) const {
+  if (id < 0 || id >= size()) {
+    return "#" + std::to_string(id);
+  }
+  return names_[static_cast<size_t>(id)];
+}
+
+}  // namespace probkb

@@ -1,0 +1,44 @@
+#ifndef PROBKB_KB_DICTIONARY_H_
+#define PROBKB_KB_DICTIONARY_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "kb/ids.h"
+#include "util/result.h"
+
+namespace probkb {
+
+/// \brief Bidirectional string <-> int64 id map.
+///
+/// One Dictionary each for entities, classes, and relations (the paper's
+/// D_E, D_C, D_R), so that all joins and selections compare integers, never
+/// strings.
+class Dictionary {
+ public:
+  /// \brief Returns the id of `name`, interning it if new.
+  int64_t GetOrAdd(std::string_view name);
+
+  /// \brief Returns the id of `name` or kInvalidId if absent.
+  int64_t Lookup(std::string_view name) const;
+
+  /// \brief Returns the name for `id`; error if out of range.
+  Result<std::string> GetName(int64_t id) const;
+
+  /// \brief Like GetName but returns "#<id>" instead of failing.
+  std::string NameOrPlaceholder(int64_t id) const;
+
+  int64_t size() const { return static_cast<int64_t>(names_.size()); }
+
+  const std::vector<std::string>& names() const { return names_; }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, int64_t> ids_;
+};
+
+}  // namespace probkb
+
+#endif  // PROBKB_KB_DICTIONARY_H_

@@ -1,0 +1,19 @@
+#ifndef PROBKB_KB_IDS_H_
+#define PROBKB_KB_IDS_H_
+
+#include <cstdint>
+
+namespace probkb {
+
+/// Dictionary-encoded identifiers (Section 4.2's DX tables). -1 means
+/// "absent" (e.g. no third body class for length-2 rules).
+using EntityId = int64_t;
+using ClassId = int64_t;
+using RelationId = int64_t;
+using FactId = int64_t;
+
+inline constexpr int64_t kInvalidId = -1;
+
+}  // namespace probkb
+
+#endif  // PROBKB_KB_IDS_H_

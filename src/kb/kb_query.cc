@@ -1,0 +1,103 @@
+#include "kb/kb_query.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace probkb {
+
+KbQuery::KbQuery(const KnowledgeBase* kb, TablePtr t_pi,
+                 FactId first_inferred_id)
+    : kb_(kb), t_pi_(std::move(t_pi)), first_inferred_id_(first_inferred_id) {
+  for (int64_t i = 0; i < t_pi_->NumRows(); ++i) {
+    RowView row = t_pi_->row(i);
+    by_relation_[row[tpi::kR].i64()].push_back(i);
+    by_entity_[row[tpi::kX].i64()].push_back(i);
+    if (row[tpi::kY].i64() != row[tpi::kX].i64()) {
+      by_entity_[row[tpi::kY].i64()].push_back(i);
+    }
+  }
+}
+
+KbQuery::ScoredFact KbQuery::MakeScored(const RowView& row) const {
+  ScoredFact out;
+  out.fact = FactFromRow(row);
+  out.inferred = first_inferred_id_ >= 0
+                     ? row[tpi::kI].i64() >= first_inferred_id_
+                     : row[tpi::kW].is_null();
+  out.score = row[tpi::kW].is_null() ? std::nan("") : row[tpi::kW].f64();
+  return out;
+}
+
+void KbQuery::CollectSorted(
+    const std::vector<int64_t>& rows, double min_score,
+    const std::function<bool(const RowView&)>& filter,
+    std::vector<ScoredFact>* out) const {
+  for (int64_t i : rows) {
+    RowView row = t_pi_->row(i);
+    if (filter != nullptr && !filter(row)) continue;
+    ScoredFact scored = MakeScored(row);
+    if (!std::isnan(scored.score) && scored.score < min_score) continue;
+    if (std::isnan(scored.score) && min_score > 0) continue;
+    out->push_back(std::move(scored));
+  }
+  std::stable_sort(out->begin(), out->end(),
+                   [](const ScoredFact& a, const ScoredFact& b) {
+                     double sa = std::isnan(a.score) ? -1e300 : a.score;
+                     double sb = std::isnan(b.score) ? -1e300 : b.score;
+                     return sa > sb;
+                   });
+}
+
+std::vector<KbQuery::ScoredFact> KbQuery::Find(
+    std::string_view relation, std::optional<std::string_view> x,
+    std::optional<std::string_view> y, double min_score) const {
+  std::vector<ScoredFact> out;
+  RelationId rel = kb_->relations().Lookup(relation);
+  if (rel == kInvalidId) return out;
+  EntityId want_x = kInvalidId, want_y = kInvalidId;
+  if (x.has_value()) {
+    want_x = kb_->entities().Lookup(*x);
+    if (want_x == kInvalidId) return out;
+  }
+  if (y.has_value()) {
+    want_y = kb_->entities().Lookup(*y);
+    if (want_y == kInvalidId) return out;
+  }
+  auto it = by_relation_.find(rel);
+  if (it == by_relation_.end()) return out;
+  CollectSorted(it->second, min_score,
+                [&](const RowView& row) {
+                  if (want_x != kInvalidId && row[tpi::kX].i64() != want_x) {
+                    return false;
+                  }
+                  if (want_y != kInvalidId && row[tpi::kY].i64() != want_y) {
+                    return false;
+                  }
+                  return true;
+                },
+                &out);
+  return out;
+}
+
+std::vector<KbQuery::ScoredFact> KbQuery::FactsAbout(
+    std::string_view entity, double min_score) const {
+  std::vector<ScoredFact> out;
+  EntityId e = kb_->entities().Lookup(entity);
+  if (e == kInvalidId) return out;
+  auto it = by_entity_.find(e);
+  if (it == by_entity_.end()) return out;
+  CollectSorted(it->second, min_score, nullptr, &out);
+  return out;
+}
+
+std::string KbQuery::ToString(const ScoredFact& fact) const {
+  std::string score = std::isnan(fact.score)
+                          ? std::string("  ?  ")
+                          : StrFormat("%.3f", fact.score);
+  return score + " " + kb_->FactToString(fact.fact) +
+         (fact.inferred ? " [inferred]" : "");
+}
+
+}  // namespace probkb

@@ -1,0 +1,77 @@
+#ifndef PROBKB_KB_KB_QUERY_H_
+#define PROBKB_KB_KB_QUERY_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "kb/knowledge_base.h"
+#include "kb/relational_model.h"
+#include "relational/table.h"
+#include "util/result.h"
+
+namespace probkb {
+
+/// \brief Read-side API over an expanded knowledge base.
+///
+/// After grounding + marginal write-back, the expanded TPi answers fact
+/// lookups directly — the "avoiding query-time computation, improving
+/// system responsivity" design point of Section 2.2. The view indexes the
+/// facts by relation and by entity at construction; lookups are by name
+/// (resolved through the KB dictionaries).
+class KbQuery {
+ public:
+  /// `kb` provides the dictionaries; `t_pi` the (expanded) facts. Both
+  /// must outlive the view, and `t_pi` must not be mutated afterwards.
+  /// `first_inferred_id` marks where inferred fact ids start (the
+  /// RelationalKB's next_fact_id before grounding); facts with ids >= it
+  /// are flagged inferred. Pass -1 to fall back to the NULL-weight
+  /// heuristic (correct before marginal write-back only).
+  KbQuery(const KnowledgeBase* kb, TablePtr t_pi,
+          FactId first_inferred_id = -1);
+
+  struct ScoredFact {
+    Fact fact;
+    /// w column: extraction weight for base facts, marginal probability
+    /// for inferred facts after WriteMarginalsToTPi (NaN before).
+    double score = 0.0;
+    bool inferred = false;
+  };
+
+  /// \brief Facts matching the pattern relation(x, y); empty optionals are
+  /// wildcards. Unknown names yield an empty result, not an error. Results
+  /// are sorted by descending score.
+  std::vector<ScoredFact> Find(std::string_view relation,
+                               std::optional<std::string_view> x,
+                               std::optional<std::string_view> y,
+                               double min_score = 0.0) const;
+
+  /// \brief All facts mentioning `entity` (as subject or object), sorted
+  /// by descending score.
+  std::vector<ScoredFact> FactsAbout(std::string_view entity,
+                                     double min_score = 0.0) const;
+
+  /// \brief Renders a scored fact ("0.87 live_in(Ann, Paris) [inferred]").
+  std::string ToString(const ScoredFact& fact) const;
+
+  int64_t NumFacts() const { return t_pi_->NumRows(); }
+
+ private:
+  ScoredFact MakeScored(const RowView& row) const;
+  void CollectSorted(const std::vector<int64_t>& rows,
+                     double min_score,
+                     const std::function<bool(const RowView&)>& filter,
+                     std::vector<ScoredFact>* out) const;
+
+  const KnowledgeBase* kb_;
+  TablePtr t_pi_;
+  FactId first_inferred_id_;
+  std::unordered_map<RelationId, std::vector<int64_t>> by_relation_;
+  std::unordered_map<EntityId, std::vector<int64_t>> by_entity_;
+};
+
+}  // namespace probkb
+
+#endif  // PROBKB_KB_KB_QUERY_H_

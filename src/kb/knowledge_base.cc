@@ -1,0 +1,120 @@
+#include "kb/knowledge_base.h"
+
+#include "util/strings.h"
+
+namespace probkb {
+
+void KnowledgeBase::AddFactByName(const std::string& relation,
+                                  const std::string& x, const std::string& c1,
+                                  const std::string& y, const std::string& c2,
+                                  double weight) {
+  Fact fact;
+  fact.relation = relations_.GetOrAdd(relation);
+  fact.x = entities_.GetOrAdd(x);
+  fact.c1 = classes_.GetOrAdd(c1);
+  fact.y = entities_.GetOrAdd(y);
+  fact.c2 = classes_.GetOrAdd(c2);
+  fact.weight = weight;
+  AddFact(fact);
+}
+
+std::string KnowledgeBase::FactToString(const Fact& fact) const {
+  std::string out = relations_.NameOrPlaceholder(fact.relation);
+  out += "(";
+  out += entities_.NameOrPlaceholder(fact.x);
+  out += ":";
+  out += classes_.NameOrPlaceholder(fact.c1);
+  out += ", ";
+  out += entities_.NameOrPlaceholder(fact.y);
+  out += ":";
+  out += classes_.NameOrPlaceholder(fact.c2);
+  out += ")";
+  if (fact.has_weight()) out += StrFormat(" w=%.2f", fact.weight);
+  return out;
+}
+
+std::string KnowledgeBase::RuleToString(const HornRule& rule) const {
+  auto rel = [&](RelationId r) { return relations_.NameOrPlaceholder(r); };
+  auto cls = [&](ClassId c) { return classes_.NameOrPlaceholder(c); };
+  std::string head = rel(rule.head) + "(x:" + cls(rule.c1) + ", y:" +
+                     cls(rule.c2) + ")";
+  std::string body;
+  switch (rule.structure) {
+    case RuleStructure::kM1:
+      body = rel(rule.body1) + "(x, y)";
+      break;
+    case RuleStructure::kM2:
+      body = rel(rule.body1) + "(y, x)";
+      break;
+    case RuleStructure::kM3:
+      body = rel(rule.body1) + "(z:" + cls(rule.c3) + ", x), " +
+             rel(rule.body2) + "(z, y)";
+      break;
+    case RuleStructure::kM4:
+      body = rel(rule.body1) + "(x, z:" + cls(rule.c3) + "), " +
+             rel(rule.body2) + "(z, y)";
+      break;
+    case RuleStructure::kM5:
+      body = rel(rule.body1) + "(z:" + cls(rule.c3) + ", x), " +
+             rel(rule.body2) + "(y, z)";
+      break;
+    case RuleStructure::kM6:
+      body = rel(rule.body1) + "(x, z:" + cls(rule.c3) + "), " +
+             rel(rule.body2) + "(y, z)";
+      break;
+  }
+  return StrFormat("%.2f %s <- %s", rule.weight, head.c_str(), body.c_str());
+}
+
+Status KnowledgeBase::Validate() const {
+  auto check_entity = [&](EntityId e) {
+    return e >= 0 && e < entities_.size();
+  };
+  auto check_class = [&](ClassId c) { return c >= 0 && c < classes_.size(); };
+  auto check_rel = [&](RelationId r) {
+    return r >= 0 && r < relations_.size();
+  };
+  for (size_t i = 0; i < facts_.size(); ++i) {
+    const Fact& f = facts_[i];
+    if (!check_rel(f.relation) || !check_entity(f.x) || !check_entity(f.y) ||
+        !check_class(f.c1) || !check_class(f.c2)) {
+      return Status::InvalidArgument(
+          StrFormat("fact %zu references unknown symbols", i));
+    }
+  }
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    const HornRule& r = rules_[i];
+    if (!check_rel(r.head) || !check_rel(r.body1) || !check_class(r.c1) ||
+        !check_class(r.c2)) {
+      return Status::InvalidArgument(
+          StrFormat("rule %zu references unknown symbols", i));
+    }
+    if (r.body_length() == 2 && (!check_rel(r.body2) || !check_class(r.c3))) {
+      return Status::InvalidArgument(
+          StrFormat("rule %zu has invalid second body atom", i));
+    }
+    if (std::isnan(r.weight)) {
+      return Status::InvalidArgument(
+          StrFormat("rule %zu has NaN weight", i));
+    }
+  }
+  for (size_t i = 0; i < constraints_.size(); ++i) {
+    const FunctionalConstraint& c = constraints_[i];
+    if (!check_rel(c.relation) || c.degree < 1) {
+      return Status::InvalidArgument(
+          StrFormat("constraint %zu invalid", i));
+    }
+  }
+  return Status::OK();
+}
+
+std::string KnowledgeBase::StatsString() const {
+  return StrFormat(
+      "# relations %lld | # rules %zu | # entities %lld | # facts %zu | "
+      "# classes %lld | # constraints %zu",
+      static_cast<long long>(relations_.size()), rules_.size(),
+      static_cast<long long>(entities_.size()), facts_.size(),
+      static_cast<long long>(classes_.size()), constraints_.size());
+}
+
+}  // namespace probkb

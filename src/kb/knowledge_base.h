@@ -1,0 +1,119 @@
+#ifndef PROBKB_KB_KNOWLEDGE_BASE_H_
+#define PROBKB_KB_KNOWLEDGE_BASE_H_
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "kb/dictionary.h"
+#include "kb/ids.h"
+#include "kb/rule.h"
+#include "util/result.h"
+
+namespace probkb {
+
+/// \brief A weighted, typed relationship (element of Pi, Definition 1.4).
+///
+/// `weight` is NaN for atoms whose weight is yet to be inferred (the SQL
+/// model stores NULL there during grounding).
+struct Fact {
+  RelationId relation = kInvalidId;
+  EntityId x = kInvalidId;
+  ClassId c1 = kInvalidId;
+  EntityId y = kInvalidId;
+  ClassId c2 = kInvalidId;
+  double weight = 0.0;
+
+  bool has_weight() const { return !std::isnan(weight); }
+};
+
+/// \brief Functionality type of Definition 9: Type I fixes x and bounds the
+/// number of distinct co-occurring (y, C2); Type II is the converse.
+enum class FunctionalityType : int { kTypeI = 1, kTypeII = 2 };
+
+/// \brief A (pseudo-)functional constraint: tuple (R, alpha, delta) of
+/// Definition 11. `degree` is 1 for strictly functional relations and
+/// delta > 1 for pseudo-functional ones (a person lives in at most delta
+/// countries). Class components are omitted: as the paper notes, the
+/// functionality of these relations holds for all associating class pairs.
+struct FunctionalConstraint {
+  RelationId relation = kInvalidId;
+  FunctionalityType type = FunctionalityType::kTypeI;
+  int64_t degree = 1;
+};
+
+/// \brief A relation signature R(C_i, C_j) (element of the R component).
+struct RelationSignature {
+  RelationId relation = kInvalidId;
+  ClassId domain = kInvalidId;
+  ClassId range = kInvalidId;
+};
+
+/// \brief Class membership tuple (C, e) (the TC table, Definition 2).
+struct ClassMember {
+  ClassId cls = kInvalidId;
+  EntityId entity = kInvalidId;
+};
+
+/// \brief The probabilistic knowledge base Gamma = (E, C, R, Pi, H, Omega)
+/// of Definition 1, in dictionary-encoded form.
+class KnowledgeBase {
+ public:
+  Dictionary& entities() { return entities_; }
+  const Dictionary& entities() const { return entities_; }
+  Dictionary& classes() { return classes_; }
+  const Dictionary& classes() const { return classes_; }
+  Dictionary& relations() { return relations_; }
+  const Dictionary& relations() const { return relations_; }
+
+  void AddFact(Fact fact) { facts_.push_back(fact); }
+  void AddRule(HornRule rule) { rules_.push_back(rule); }
+  void AddConstraint(FunctionalConstraint c) { constraints_.push_back(c); }
+  void AddSignature(RelationSignature s) { signatures_.push_back(s); }
+  void AddClassMember(ClassMember m) { class_members_.push_back(m); }
+
+  const std::vector<Fact>& facts() const { return facts_; }
+  std::vector<Fact>* mutable_facts() { return &facts_; }
+  const std::vector<HornRule>& rules() const { return rules_; }
+  std::vector<HornRule>* mutable_rules() { return &rules_; }
+  const std::vector<FunctionalConstraint>& constraints() const {
+    return constraints_;
+  }
+  const std::vector<RelationSignature>& signatures() const {
+    return signatures_;
+  }
+  const std::vector<ClassMember>& class_members() const {
+    return class_members_;
+  }
+
+  /// \brief Convenience string-based insertion used by examples and tests;
+  /// interns all symbols. `weight` NaN marks an unweighted atom.
+  void AddFactByName(const std::string& relation, const std::string& x,
+                     const std::string& c1, const std::string& y,
+                     const std::string& c2, double weight);
+
+  /// \brief Human-readable rendering of fact `i` ("born_in(Ruth, NYC)").
+  std::string FactToString(const Fact& fact) const;
+  std::string RuleToString(const HornRule& rule) const;
+
+  /// \brief Sanity checks: ids in range, rule classes known, weights finite
+  /// where required.
+  Status Validate() const;
+
+  /// \brief Table 2-style statistics line.
+  std::string StatsString() const;
+
+ private:
+  Dictionary entities_;
+  Dictionary classes_;
+  Dictionary relations_;
+  std::vector<Fact> facts_;
+  std::vector<HornRule> rules_;
+  std::vector<FunctionalConstraint> constraints_;
+  std::vector<RelationSignature> signatures_;
+  std::vector<ClassMember> class_members_;
+};
+
+}  // namespace probkb
+
+#endif  // PROBKB_KB_KNOWLEDGE_BASE_H_

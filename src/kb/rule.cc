@@ -1,0 +1,174 @@
+#include "kb/rule.h"
+
+#include "util/strings.h"
+
+namespace probkb {
+
+const char* RuleStructureToString(RuleStructure s) {
+  switch (s) {
+    case RuleStructure::kM1:
+      return "M1: p(x,y) <- q(x,y)";
+    case RuleStructure::kM2:
+      return "M2: p(x,y) <- q(y,x)";
+    case RuleStructure::kM3:
+      return "M3: p(x,y) <- q(z,x), r(z,y)";
+    case RuleStructure::kM4:
+      return "M4: p(x,y) <- q(x,z), r(z,y)";
+    case RuleStructure::kM5:
+      return "M5: p(x,y) <- q(z,x), r(y,z)";
+    case RuleStructure::kM6:
+      return "M6: p(x,y) <- q(x,z), r(y,z)";
+  }
+  return "?";
+}
+
+Result<HornRule> PartitionClause(const Clause& clause) {
+  const int x = clause.head.var1;
+  const int y = clause.head.var2;
+  if (x == y) {
+    return Status::InvalidArgument(
+        "head variables must be distinct for the six Sherlock structures");
+  }
+  auto class_of = [&](int var) -> Result<ClassId> {
+    if (var < 0 || var >= static_cast<int>(clause.var_classes.size()) ||
+        clause.var_classes[static_cast<size_t>(var)] == kInvalidId) {
+      return Status::InvalidArgument(
+          StrFormat("variable %d has no class annotation", var));
+    }
+    return clause.var_classes[static_cast<size_t>(var)];
+  };
+
+  HornRule rule;
+  rule.head = clause.head.relation;
+  rule.weight = clause.weight;
+  PROBKB_ASSIGN_OR_RETURN(rule.c1, class_of(x));
+  PROBKB_ASSIGN_OR_RETURN(rule.c2, class_of(y));
+
+  if (clause.body.size() == 1) {
+    const Atom& q = clause.body[0];
+    rule.body1 = q.relation;
+    if (q.var1 == x && q.var2 == y) {
+      rule.structure = RuleStructure::kM1;
+    } else if (q.var1 == y && q.var2 == x) {
+      rule.structure = RuleStructure::kM2;
+    } else {
+      return Status::InvalidArgument(
+          "length-1 body must be q(x,y) or q(y,x)");
+    }
+    return rule;
+  }
+
+  if (clause.body.size() != 2) {
+    return Status::InvalidArgument(StrFormat(
+        "body length %d outside the six Sherlock structures",
+        static_cast<int>(clause.body.size())));
+  }
+
+  // Identify the join variable z: the single variable that is not a head
+  // variable and appears in both body atoms.
+  int z = -1;
+  for (const Atom& a : clause.body) {
+    for (int v : {a.var1, a.var2}) {
+      if (v == x || v == y) continue;
+      if (z == -1) {
+        z = v;
+      } else if (z != v) {
+        return Status::InvalidArgument(
+            "more than one non-head variable in the body");
+      }
+    }
+  }
+  if (z == -1) {
+    return Status::InvalidArgument(
+        "length-2 body must share a join variable z");
+  }
+  PROBKB_ASSIGN_OR_RETURN(rule.c3, class_of(z));
+
+  auto mentions = [](const Atom& a, int v) {
+    return a.var1 == v || a.var2 == v;
+  };
+  // Canonical atom order: q mentions x, r mentions y.
+  const Atom* q = nullptr;
+  const Atom* r = nullptr;
+  for (const Atom& a : clause.body) {
+    if (mentions(a, x) && !mentions(a, y)) {
+      if (q != nullptr) {
+        return Status::InvalidArgument("both body atoms mention x");
+      }
+      q = &a;
+    } else if (mentions(a, y) && !mentions(a, x)) {
+      if (r != nullptr) {
+        return Status::InvalidArgument("both body atoms mention y");
+      }
+      r = &a;
+    } else {
+      return Status::InvalidArgument(
+          "body atom must mention exactly one head variable");
+    }
+  }
+  if (q == nullptr || r == nullptr) {
+    return Status::InvalidArgument(
+        "length-2 body must cover both head variables");
+  }
+  if (!mentions(*q, z) || !mentions(*r, z)) {
+    return Status::InvalidArgument(
+        "join variable z must appear in both body atoms");
+  }
+
+  rule.body1 = q->relation;
+  rule.body2 = r->relation;
+  const bool q_zx = (q->var1 == z && q->var2 == x);
+  const bool q_xz = (q->var1 == x && q->var2 == z);
+  const bool r_zy = (r->var1 == z && r->var2 == y);
+  const bool r_yz = (r->var1 == y && r->var2 == z);
+  if (!q_zx && !q_xz) {
+    return Status::InvalidArgument("q atom must be q(z,x) or q(x,z)");
+  }
+  if (!r_zy && !r_yz) {
+    return Status::InvalidArgument("r atom must be r(z,y) or r(y,z)");
+  }
+  if (q_zx && r_zy) {
+    rule.structure = RuleStructure::kM3;
+  } else if (q_xz && r_zy) {
+    rule.structure = RuleStructure::kM4;
+  } else if (q_zx && r_yz) {
+    rule.structure = RuleStructure::kM5;
+  } else {
+    rule.structure = RuleStructure::kM6;
+  }
+  return rule;
+}
+
+Clause RuleToClause(const HornRule& rule) {
+  constexpr int x = 0;
+  constexpr int y = 1;
+  constexpr int z = 2;
+  Clause clause;
+  clause.head = {rule.head, x, y};
+  clause.weight = rule.weight;
+  clause.var_classes = {rule.c1, rule.c2};
+  switch (rule.structure) {
+    case RuleStructure::kM1:
+      clause.body = {{rule.body1, x, y}};
+      break;
+    case RuleStructure::kM2:
+      clause.body = {{rule.body1, y, x}};
+      break;
+    case RuleStructure::kM3:
+      clause.body = {{rule.body1, z, x}, {rule.body2, z, y}};
+      break;
+    case RuleStructure::kM4:
+      clause.body = {{rule.body1, x, z}, {rule.body2, z, y}};
+      break;
+    case RuleStructure::kM5:
+      clause.body = {{rule.body1, z, x}, {rule.body2, y, z}};
+      break;
+    case RuleStructure::kM6:
+      clause.body = {{rule.body1, x, z}, {rule.body2, y, z}};
+      break;
+  }
+  if (rule.body_length() == 2) clause.var_classes.push_back(rule.c3);
+  return clause;
+}
+
+}  // namespace probkb

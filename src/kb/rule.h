@@ -1,0 +1,99 @@
+#ifndef PROBKB_KB_RULE_H_
+#define PROBKB_KB_RULE_H_
+
+#include <string>
+#include <vector>
+
+#include "kb/ids.h"
+#include "util/result.h"
+
+namespace probkb {
+
+/// \brief The six structural equivalence classes of Sherlock's first-order
+/// Horn clauses (paper Section 4.2.2):
+///
+///   M1: p(x,y) <- q(x,y)
+///   M2: p(x,y) <- q(y,x)
+///   M3: p(x,y) <- q(z,x), r(z,y)
+///   M4: p(x,y) <- q(x,z), r(z,y)
+///   M5: p(x,y) <- q(z,x), r(y,z)
+///   M6: p(x,y) <- q(x,z), r(y,z)
+enum class RuleStructure : int {
+  kM1 = 1,
+  kM2 = 2,
+  kM3 = 3,
+  kM4 = 4,
+  kM5 = 5,
+  kM6 = 6,
+};
+
+inline constexpr int kNumRuleStructures = 6;
+
+const char* RuleStructureToString(RuleStructure s);
+
+/// \brief A typed Horn rule in canonical (partitioned) form: its structure
+/// plus the identifier tuple of relation and class symbols (Definition 6).
+///
+/// For length-2 structures (M1, M2) body2 and c3 are kInvalidId.
+struct HornRule {
+  RuleStructure structure = RuleStructure::kM1;
+  RelationId head = kInvalidId;   // p
+  RelationId body1 = kInvalidId;  // q
+  RelationId body2 = kInvalidId;  // r (M3..M6 only)
+  ClassId c1 = kInvalidId;        // class of x
+  ClassId c2 = kInvalidId;        // class of y
+  ClassId c3 = kInvalidId;        // class of z (M3..M6 only)
+  double weight = 0.0;
+  /// Statistical-significance score assigned by the rule learner
+  /// (Sherlock's conditional-probability score); rule cleaning ranks by
+  /// it (Section 5.3). Defaults to the weight when the learner provides no
+  /// separate score.
+  double score = 0.0;
+
+  int body_length() const {
+    return structure == RuleStructure::kM1 || structure == RuleStructure::kM2
+               ? 1
+               : 2;
+  }
+
+  friend bool operator==(const HornRule& a, const HornRule& b) {
+    return a.structure == b.structure && a.head == b.head &&
+           a.body1 == b.body1 && a.body2 == b.body2 && a.c1 == b.c1 &&
+           a.c2 == b.c2 && a.c3 == b.c3;
+  }
+};
+
+/// \brief One atom of a generic first-order clause. Variables are numbered
+/// 0, 1, 2, ... within the clause.
+struct Atom {
+  RelationId relation = kInvalidId;
+  int var1 = 0;
+  int var2 = 0;
+};
+
+/// \brief A generic Horn clause with at most two body atoms, before
+/// structural partitioning: head(v_a, v_b) <- body... with per-variable
+/// class annotations.
+struct Clause {
+  Atom head;
+  std::vector<Atom> body;
+  std::vector<ClassId> var_classes;  // indexed by variable number
+  double weight = 0.0;
+};
+
+/// \brief Structural partitioning (Definitions 5-6): canonicalizes the
+/// clause's variables (head = p(x, y), remaining variable = z) and matches
+/// the body against the six Sherlock patterns. Fails for clauses outside
+/// the six classes (head variables not distinct, unbound body variables,
+/// body length > 2, ...).
+Result<HornRule> PartitionClause(const Clause& clause);
+
+/// \brief Inverse of PartitionClause: expands a canonical rule back into a
+/// generic clause with variables x=0, y=1, z=2. Used by tests (round-trip
+/// property) and by the Tuffy-T baseline, which consumes one clause per
+/// rule.
+Clause RuleToClause(const HornRule& rule);
+
+}  // namespace probkb
+
+#endif  // PROBKB_KB_RULE_H_

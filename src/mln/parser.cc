@@ -1,0 +1,360 @@
+#include "mln/parser.h"
+
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace probkb {
+
+namespace {
+
+/// One parsed atom: `rel(arg1[:Class1], arg2[:Class2])`.
+struct ParsedAtom {
+  std::string relation;
+  std::string arg1, cls1;  // cls empty if unannotated
+  std::string arg2, cls2;
+};
+
+bool IsIdentChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == '-' || c == '.' ||
+         c == '\'';
+}
+
+/// Cursor-based scanner over one line.
+class LineScanner {
+ public:
+  LineScanner(std::string_view text, int line_no)
+      : text_(text), line_no_(line_no) {}
+
+  void SkipSpace() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t'))
+      ++pos_;
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= text_.size();
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<std::string> Ident(const char* what) {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() && IsIdentChar(text_[pos_])) ++pos_;
+    if (pos_ == start) {
+      return Status::ParseError(
+          StrFormat("line %d: expected %s at column %zu", line_no_, what,
+                    start + 1));
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  Result<ParsedAtom> Atom() {
+    ParsedAtom atom;
+    PROBKB_ASSIGN_OR_RETURN(atom.relation, Ident("relation name"));
+    if (!Consume('(')) {
+      return Status::ParseError(
+          StrFormat("line %d: expected '(' after relation '%s'", line_no_,
+                    atom.relation.c_str()));
+    }
+    PROBKB_ASSIGN_OR_RETURN(atom.arg1, Ident("first argument"));
+    if (Consume(':')) {
+      PROBKB_ASSIGN_OR_RETURN(atom.cls1, Ident("class of first argument"));
+    }
+    if (!Consume(',')) {
+      return Status::ParseError(
+          StrFormat("line %d: expected ',' between atom arguments",
+                    line_no_));
+    }
+    PROBKB_ASSIGN_OR_RETURN(atom.arg2, Ident("second argument"));
+    if (Consume(':')) {
+      PROBKB_ASSIGN_OR_RETURN(atom.cls2, Ident("class of second argument"));
+    }
+    if (!Consume(')')) {
+      return Status::ParseError(
+          StrFormat("line %d: expected ')' to close atom", line_no_));
+    }
+    return atom;
+  }
+
+  Result<double> Number(const char* what) {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (IsIdentChar(text_[pos_]) || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    double value = 0;
+    if (start == pos_ ||
+        !ParseDouble(text_.substr(start, pos_ - start), &value)) {
+      return Status::ParseError(
+          StrFormat("line %d: expected %s", line_no_, what));
+    }
+    return value;
+  }
+
+  bool ConsumeLiteral(std::string_view lit) {
+    SkipSpace();
+    if (text_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  int line_no() const { return line_no_; }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+  int line_no_;
+};
+
+Status ParseFact(LineScanner* scanner, double weight, KnowledgeBase* kb) {
+  PROBKB_ASSIGN_OR_RETURN(ParsedAtom atom, scanner->Atom());
+  if (atom.cls1.empty() || atom.cls2.empty()) {
+    return Status::ParseError(
+        StrFormat("line %d: fact arguments must be annotated entity:Class",
+                  scanner->line_no()));
+  }
+  if (!scanner->AtEnd()) {
+    return Status::ParseError(
+        StrFormat("line %d: trailing input after fact", scanner->line_no()));
+  }
+  kb->AddFactByName(atom.relation, atom.arg1, atom.cls1, atom.arg2, atom.cls2,
+                    weight);
+  return Status::OK();
+}
+
+Status ParseRule(LineScanner* scanner, double weight, ParsedAtom head,
+                 KnowledgeBase* kb) {
+  std::vector<ParsedAtom> body;
+  while (true) {
+    PROBKB_ASSIGN_OR_RETURN(ParsedAtom atom, scanner->Atom());
+    body.push_back(std::move(atom));
+    if (!scanner->Consume(',')) break;
+  }
+  // Optional statistical-significance score after the body.
+  double score = weight;
+  if (scanner->ConsumeLiteral("score=")) {
+    PROBKB_ASSIGN_OR_RETURN(score, scanner->Number("score value"));
+  }
+  if (!scanner->AtEnd()) {
+    return Status::ParseError(
+        StrFormat("line %d: trailing input after rule", scanner->line_no()));
+  }
+
+  // Assign variable numbers and collect class annotations.
+  Clause clause;
+  clause.weight = weight;
+  std::map<std::string, int> var_ids;
+  auto var = [&](const std::string& name, const std::string& cls)
+      -> Result<int> {
+    auto [it, inserted] =
+        var_ids.emplace(name, static_cast<int>(var_ids.size()));
+    int id = it->second;
+    if (inserted) clause.var_classes.push_back(kInvalidId);
+    if (!cls.empty()) {
+      ClassId c = kb->classes().GetOrAdd(cls);
+      ClassId& slot = clause.var_classes[static_cast<size_t>(id)];
+      if (slot != kInvalidId && slot != c) {
+        return Status::ParseError(StrFormat(
+            "line %d: variable '%s' annotated with conflicting classes",
+            scanner->line_no(), name.c_str()));
+      }
+      slot = c;
+    }
+    return id;
+  };
+
+  auto to_atom = [&](const ParsedAtom& a) -> Result<Atom> {
+    Atom atom;
+    atom.relation = kb->relations().GetOrAdd(a.relation);
+    PROBKB_ASSIGN_OR_RETURN(atom.var1, var(a.arg1, a.cls1));
+    PROBKB_ASSIGN_OR_RETURN(atom.var2, var(a.arg2, a.cls2));
+    return atom;
+  };
+
+  PROBKB_ASSIGN_OR_RETURN(clause.head, to_atom(head));
+  for (const ParsedAtom& a : body) {
+    PROBKB_ASSIGN_OR_RETURN(Atom atom, to_atom(a));
+    clause.body.push_back(atom);
+  }
+  for (size_t i = 0; i < clause.var_classes.size(); ++i) {
+    if (clause.var_classes[i] == kInvalidId) {
+      return Status::ParseError(StrFormat(
+          "line %d: a variable is never annotated with a class",
+          scanner->line_no()));
+    }
+  }
+
+  auto rule = PartitionClause(clause);
+  if (!rule.ok()) {
+    return Status::ParseError(StrFormat("line %d: %s", scanner->line_no(),
+                                        rule.status().message().c_str()));
+  }
+  rule->score = score;
+  kb->AddRule(*rule);
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<KnowledgeBase> ParseMln(std::string_view text) {
+  KnowledgeBase kb;
+  int line_no = 0;
+  for (std::string_view raw : Split(text, '\n')) {
+    ++line_no;
+    std::string_view line = StripWhitespace(raw);
+    // Strip comments.
+    for (size_t i = 0; i < line.size(); ++i) {
+      if (line[i] == '#' ||
+          (line[i] == '/' && i + 1 < line.size() && line[i + 1] == '/')) {
+        line = StripWhitespace(line.substr(0, i));
+        break;
+      }
+    }
+    if (line.empty()) continue;
+
+    LineScanner scanner(line, line_no);
+    if (scanner.ConsumeLiteral("class ")) {
+      PROBKB_ASSIGN_OR_RETURN(std::string name, scanner.Ident("class name"));
+      kb.classes().GetOrAdd(name);
+      continue;
+    }
+    if (scanner.ConsumeLiteral("relation ")) {
+      PROBKB_ASSIGN_OR_RETURN(ParsedAtom atom, scanner.Atom());
+      RelationSignature sig;
+      sig.relation = kb.relations().GetOrAdd(atom.relation);
+      sig.domain = kb.classes().GetOrAdd(atom.arg1);
+      sig.range = kb.classes().GetOrAdd(atom.arg2);
+      kb.AddSignature(sig);
+      continue;
+    }
+    if (scanner.ConsumeLiteral("functional ")) {
+      PROBKB_ASSIGN_OR_RETURN(std::string rel,
+                              scanner.Ident("relation name"));
+      PROBKB_ASSIGN_OR_RETURN(double type, scanner.Number("type (1 or 2)"));
+      PROBKB_ASSIGN_OR_RETURN(double degree, scanner.Number("degree"));
+      if (type != 1 && type != 2) {
+        return Status::ParseError(StrFormat(
+            "line %d: functionality type must be 1 or 2", line_no));
+      }
+      if (degree < 1 || degree != std::floor(degree)) {
+        return Status::ParseError(StrFormat(
+            "line %d: degree must be a positive integer", line_no));
+      }
+      FunctionalConstraint c;
+      c.relation = kb.relations().GetOrAdd(rel);
+      c.type = type == 1 ? FunctionalityType::kTypeI
+                         : FunctionalityType::kTypeII;
+      c.degree = static_cast<int64_t>(degree);
+      kb.AddConstraint(c);
+      continue;
+    }
+    if (scanner.ConsumeLiteral("member ")) {
+      PROBKB_ASSIGN_OR_RETURN(std::string cls, scanner.Ident("class name"));
+      PROBKB_ASSIGN_OR_RETURN(std::string entity,
+                              scanner.Ident("entity name"));
+      kb.AddClassMember(
+          {kb.classes().GetOrAdd(cls), kb.entities().GetOrAdd(entity)});
+      continue;
+    }
+
+    // Otherwise: "<weight> atom" (fact) or "<weight> atom :- body" (rule).
+    PROBKB_ASSIGN_OR_RETURN(double weight, scanner.Number("weight"));
+    PROBKB_ASSIGN_OR_RETURN(ParsedAtom head, scanner.Atom());
+    if (scanner.ConsumeLiteral(":-")) {
+      PROBKB_RETURN_NOT_OK(ParseRule(&scanner, weight, std::move(head), &kb));
+    } else {
+      LineScanner replay(line, line_no);
+      (void)replay.Number("weight");
+      PROBKB_RETURN_NOT_OK(ParseFact(&replay, weight, &kb));
+    }
+  }
+  PROBKB_RETURN_NOT_OK(kb.Validate());
+  return kb;
+}
+
+Result<KnowledgeBase> ParseMlnFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IOError("cannot open '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseMln(buffer.str());
+}
+
+std::string SerializeMln(const KnowledgeBase& kb) {
+  std::ostringstream out;
+  for (const std::string& name : kb.classes().names()) {
+    out << "class " << name << "\n";
+  }
+  for (const RelationSignature& sig : kb.signatures()) {
+    out << "relation " << kb.relations().NameOrPlaceholder(sig.relation)
+        << "(" << kb.classes().NameOrPlaceholder(sig.domain) << ", "
+        << kb.classes().NameOrPlaceholder(sig.range) << ")\n";
+  }
+  for (const ClassMember& m : kb.class_members()) {
+    out << "member " << kb.classes().NameOrPlaceholder(m.cls) << " "
+        << kb.entities().NameOrPlaceholder(m.entity) << "\n";
+  }
+  for (const FunctionalConstraint& c : kb.constraints()) {
+    out << "functional " << kb.relations().NameOrPlaceholder(c.relation)
+        << " " << static_cast<int>(c.type) << " " << c.degree << "\n";
+  }
+  auto cls = [&](ClassId c) { return kb.classes().NameOrPlaceholder(c); };
+  auto rel = [&](RelationId r) { return kb.relations().NameOrPlaceholder(r); };
+  for (const Fact& f : kb.facts()) {
+    out << StrFormat("%.17g ", f.weight) << rel(f.relation) << "("
+        << kb.entities().NameOrPlaceholder(f.x) << ":" << cls(f.c1) << ", "
+        << kb.entities().NameOrPlaceholder(f.y) << ":" << cls(f.c2) << ")\n";
+  }
+  for (const HornRule& r : kb.rules()) {
+    Clause clause = RuleToClause(r);
+    auto arg = [&](int v, bool annotate) {
+      static const char* kVarNames[] = {"x", "y", "z"};
+      std::string s = kVarNames[v];
+      if (annotate) {
+        s += ":";
+        s += cls(clause.var_classes[static_cast<size_t>(v)]);
+      }
+      return s;
+    };
+    out << StrFormat("%.17g ", r.weight) << rel(clause.head.relation) << "("
+        << arg(clause.head.var1, true) << ", " << arg(clause.head.var2, true)
+        << ") :- ";
+    std::vector<bool> annotated(clause.var_classes.size(), false);
+    annotated[static_cast<size_t>(clause.head.var1)] = true;
+    annotated[static_cast<size_t>(clause.head.var2)] = true;
+    for (size_t i = 0; i < clause.body.size(); ++i) {
+      if (i > 0) out << ", ";
+      const Atom& a = clause.body[i];
+      out << rel(a.relation) << "("
+          << arg(a.var1, !annotated[static_cast<size_t>(a.var1)]);
+      annotated[static_cast<size_t>(a.var1)] = true;
+      out << ", " << arg(a.var2, !annotated[static_cast<size_t>(a.var2)]);
+      annotated[static_cast<size_t>(a.var2)] = true;
+      out << ")";
+    }
+    if (r.score != r.weight) out << StrFormat(" score=%.17g", r.score);
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace probkb

@@ -1,0 +1,41 @@
+#ifndef PROBKB_MLN_PARSER_H_
+#define PROBKB_MLN_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "kb/knowledge_base.h"
+#include "util/result.h"
+
+namespace probkb {
+
+/// \brief Parses ProbKB's MLN program text format into a KnowledgeBase.
+///
+/// The format covers the components of Definition 1. Line-oriented;
+/// comments start with `//` or `#`.
+///
+///   class Writer
+///   relation born_in(Writer, City)
+///   0.96 born_in(Ruth_Gruber:Writer, New_York_City:City)
+///   1.40 live_in(x:Writer, y:Place) :- born_in(x, y)
+///   0.32 located_in(x:Place, y:City) :- live_in(z:Writer, x), live_in(z, y)
+///   functional born_in 1 1        // relation, type (1|2), degree
+///
+/// Facts annotate every argument with `entity:Class`. Rules annotate a
+/// variable's class at its first mention; later mentions may omit it.
+/// Rules must fall into the six Sherlock Horn structures (Section 4.2.2);
+/// anything else is a parse error. A rule may carry a second number after
+/// the weight — the learner's statistical-significance score used by rule
+/// cleaning; it defaults to the weight.
+Result<KnowledgeBase> ParseMln(std::string_view text);
+
+/// \brief Parses a file on disk.
+Result<KnowledgeBase> ParseMlnFile(const std::string& path);
+
+/// \brief Serializes a KnowledgeBase back into the text format
+/// (round-trips through ParseMln).
+std::string SerializeMln(const KnowledgeBase& kb);
+
+}  // namespace probkb
+
+#endif  // PROBKB_MLN_PARSER_H_

@@ -1,0 +1,111 @@
+#include "mpp/distributed_table.h"
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace probkb {
+
+DistributedTable::DistributedTable(Schema schema,
+                                   std::vector<TablePtr> segments,
+                                   Distribution dist, std::string name)
+    : schema_(std::move(schema)),
+      segments_(std::move(segments)),
+      dist_(std::move(dist)),
+      name_(std::move(name)) {
+  PROBKB_CHECK(!segments_.empty());
+}
+
+int DistributedTable::TargetSegment(const RowView& row,
+                                    std::span<const int> key_cols,
+                                    int num_segments) {
+  return static_cast<int>(HashRowKey(row, key_cols) %
+                          static_cast<size_t>(num_segments));
+}
+
+DistributedTablePtr DistributedTable::Distribute(const Table& local,
+                                                 int num_segments,
+                                                 Distribution dist,
+                                                 std::string name) {
+  PROBKB_CHECK(num_segments >= 1);
+  std::vector<TablePtr> segments;
+  segments.reserve(static_cast<size_t>(num_segments));
+  if (dist.is_replicated()) {
+    // All segments alias one physical copy; PhysicalRows() accounts for the
+    // replication factor.
+    TablePtr copy = local.Clone();
+    for (int i = 0; i < num_segments; ++i) segments.push_back(copy);
+  } else {
+    for (int i = 0; i < num_segments; ++i) {
+      segments.push_back(Table::Make(local.schema()));
+    }
+    for (int64_t r = 0; r < local.NumRows(); ++r) {
+      RowView row = local.row(r);
+      int target = dist.is_hash()
+                       ? TargetSegment(row, dist.key_cols, num_segments)
+                       : static_cast<int>(r % num_segments);
+      segments[static_cast<size_t>(target)]->AppendRow(row);
+    }
+  }
+  return std::make_shared<DistributedTable>(local.schema(),
+                                            std::move(segments),
+                                            std::move(dist), std::move(name));
+}
+
+DistributedTablePtr DistributedTable::MakeEmpty(Schema schema,
+                                                int num_segments,
+                                                Distribution dist,
+                                                std::string name) {
+  Table empty(schema);
+  return Distribute(empty, num_segments, std::move(dist), std::move(name));
+}
+
+int64_t DistributedTable::NumRows() const {
+  if (dist_.is_replicated()) return segments_[0]->NumRows();
+  int64_t n = 0;
+  for (const auto& s : segments_) n += s->NumRows();
+  return n;
+}
+
+int64_t DistributedTable::PhysicalRows() const {
+  if (dist_.is_replicated()) {
+    return segments_[0]->NumRows() * num_segments();
+  }
+  return NumRows();
+}
+
+int64_t DistributedTable::ByteSize() const {
+  if (dist_.is_replicated()) {
+    return segments_[0]->ByteSize() * num_segments();
+  }
+  int64_t n = 0;
+  for (const auto& s : segments_) n += s->ByteSize();
+  return n;
+}
+
+TablePtr DistributedTable::ToLocal() const {
+  auto out = Table::Make(schema_);
+  if (dist_.is_replicated()) {
+    out->AppendTable(*segments_[0]);
+    return out;
+  }
+  for (const auto& s : segments_) out->AppendTable(*s);
+  return out;
+}
+
+Status DistributedTable::ValidatePlacement() const {
+  if (!dist_.is_hash()) return Status::OK();
+  for (int s = 0; s < num_segments(); ++s) {
+    const Table& t = *segments_[static_cast<size_t>(s)];
+    for (int64_t r = 0; r < t.NumRows(); ++r) {
+      int target = TargetSegment(t.row(r), dist_.key_cols, num_segments());
+      if (target != s) {
+        return Status::Internal(StrFormat(
+            "table '%s': row %lld of segment %d hashes to segment %d",
+            name_.c_str(), static_cast<long long>(r), s, target));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace probkb

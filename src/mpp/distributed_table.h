@@ -1,0 +1,78 @@
+#ifndef PROBKB_MPP_DISTRIBUTED_TABLE_H_
+#define PROBKB_MPP_DISTRIBUTED_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mpp/distribution.h"
+#include "relational/table.h"
+#include "util/result.h"
+
+namespace probkb {
+
+class DistributedTable;
+using DistributedTablePtr = std::shared_ptr<DistributedTable>;
+
+/// \brief A relation horizontally partitioned over N shared-nothing
+/// segments.
+///
+/// For kHash, row r lives on segment Hash(r[key_cols]) % N. For
+/// kReplicated, every segment holds a full copy (segments_[i] all alias the
+/// same Table). For kRandom, placement is round-robin.
+class DistributedTable {
+ public:
+  DistributedTable(Schema schema, std::vector<TablePtr> segments,
+                   Distribution dist, std::string name);
+
+  /// \brief Partitions `local` across `num_segments` per `dist`.
+  static DistributedTablePtr Distribute(const Table& local, int num_segments,
+                                        Distribution dist,
+                                        std::string name = "t");
+
+  /// \brief Empty distributed table.
+  static DistributedTablePtr MakeEmpty(Schema schema, int num_segments,
+                                       Distribution dist,
+                                       std::string name = "t");
+
+  const Schema& schema() const { return schema_; }
+  const Distribution& distribution() const { return dist_; }
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  int num_segments() const { return static_cast<int>(segments_.size()); }
+  const TablePtr& segment(int i) const {
+    return segments_[static_cast<size_t>(i)];
+  }
+  TablePtr mutable_segment(int i) { return segments_[static_cast<size_t>(i)]; }
+
+  /// \brief Logical row count (replicated tables count one copy).
+  int64_t NumRows() const;
+
+  /// \brief Physical rows summed over segments (replicated tables count
+  /// every copy); drives storage accounting.
+  int64_t PhysicalRows() const;
+
+  int64_t ByteSize() const;
+
+  /// \brief Concatenates all segments into one local table (a Gather with
+  /// no cost accounting; use MppContext::Gather in measured code).
+  TablePtr ToLocal() const;
+
+  /// \brief Segment index a row belongs to under a hash distribution.
+  static int TargetSegment(const RowView& row, std::span<const int> key_cols,
+                           int num_segments);
+
+  /// \brief Verifies every row is on the segment its distribution demands.
+  Status ValidatePlacement() const;
+
+ private:
+  Schema schema_;
+  std::vector<TablePtr> segments_;
+  Distribution dist_;
+  std::string name_;
+};
+
+}  // namespace probkb
+
+#endif  // PROBKB_MPP_DISTRIBUTED_TABLE_H_

@@ -1,0 +1,24 @@
+#include "mpp/distribution.h"
+
+namespace probkb {
+
+std::string Distribution::ToString() const {
+  switch (kind) {
+    case Kind::kReplicated:
+      return "REPLICATED";
+    case Kind::kRandom:
+      return "RANDOM";
+    case Kind::kHash: {
+      std::string out = "HASH(";
+      for (size_t i = 0; i < key_cols.size(); ++i) {
+        if (i > 0) out += ",";
+        out += std::to_string(key_cols[i]);
+      }
+      out += ")";
+      return out;
+    }
+  }
+  return "?";
+}
+
+}  // namespace probkb

@@ -1,0 +1,104 @@
+#include "mpp/mpp_context.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace probkb {
+
+Result<DistributedTablePtr> MppContext::Redistribute(
+    const DistributedTable& input, std::vector<int> key_cols,
+    std::string name) {
+  for (int c : key_cols) {
+    if (c < 0 || c >= input.schema().num_fields()) {
+      return Status::InvalidArgument(
+          StrFormat("redistribute key column %d out of range", c));
+    }
+  }
+  const int n = num_segments_;
+  std::vector<TablePtr> segments;
+  segments.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) segments.push_back(Table::Make(input.schema()));
+
+  int64_t shipped = 0;
+  if (input.distribution().is_replicated()) {
+    // Each segment keeps only the slice of its copy that hashes to it; no
+    // interconnect traffic is needed.
+    const Table& src = *input.segment(0);
+    for (int64_t r = 0; r < src.NumRows(); ++r) {
+      RowView row = src.row(r);
+      int target = DistributedTable::TargetSegment(row, key_cols, n);
+      segments[static_cast<size_t>(target)]->AppendRow(row);
+    }
+  } else {
+    for (int s = 0; s < n; ++s) {
+      const Table& src = *input.segment(s);
+      for (int64_t r = 0; r < src.NumRows(); ++r) {
+        RowView row = src.row(r);
+        int target = DistributedTable::TargetSegment(row, key_cols, n);
+        if (target != s) ++shipped;
+        segments[static_cast<size_t>(target)]->AppendRow(row);
+      }
+    }
+  }
+
+  MppStep step;
+  step.kind = MppStep::Kind::kRedistribute;
+  step.label = input.name().empty() ? "redistribute" : input.name();
+  step.tuples_shipped = shipped;
+  step.seconds = MotionSeconds(shipped);
+  cost_.Add(std::move(step));
+
+  return std::make_shared<DistributedTable>(
+      input.schema(), std::move(segments), Distribution::Hash(key_cols),
+      name.empty() ? input.name() + "_redist" : std::move(name));
+}
+
+Result<DistributedTablePtr> MppContext::Broadcast(
+    const DistributedTable& input, std::string name) {
+  TablePtr full = input.ToLocal();
+  int64_t shipped = input.distribution().is_replicated()
+                        ? 0
+                        : full->NumRows() * (num_segments_ - 1);
+
+  MppStep step;
+  step.kind = MppStep::Kind::kBroadcast;
+  step.label = input.name().empty() ? "broadcast" : input.name();
+  step.tuples_shipped = shipped;
+  step.seconds = BroadcastSeconds(shipped);
+  cost_.Add(std::move(step));
+
+  std::vector<TablePtr> segments(static_cast<size_t>(num_segments_), full);
+  return std::make_shared<DistributedTable>(
+      input.schema(), std::move(segments), Distribution::Replicated(),
+      name.empty() ? input.name() + "_bcast" : std::move(name));
+}
+
+Result<TablePtr> MppContext::Gather(const DistributedTable& input) {
+  TablePtr out = input.ToLocal();
+  int64_t shipped = out->NumRows();
+
+  MppStep step;
+  step.kind = MppStep::Kind::kGather;
+  step.label = input.name();
+  step.tuples_shipped = shipped;
+  step.seconds = MotionSeconds(shipped);
+  cost_.Add(std::move(step));
+  return out;
+}
+
+void MppContext::RecordCompute(const std::string& label,
+                               const std::vector<double>& seg_seconds) {
+  MppStep step;
+  step.kind = MppStep::Kind::kCompute;
+  step.label = label;
+  step.seconds =
+      seg_seconds.empty()
+          ? 0.0
+          : *std::max_element(seg_seconds.begin(), seg_seconds.end());
+  step.total_work_seconds = 0.0;
+  for (double s : seg_seconds) step.total_work_seconds += s;
+  cost_.Add(std::move(step));
+}
+
+}  // namespace probkb

@@ -1,0 +1,72 @@
+#ifndef PROBKB_MPP_MPP_CONTEXT_H_
+#define PROBKB_MPP_MPP_CONTEXT_H_
+
+#include <string>
+#include <vector>
+
+#include "mpp/cost_model.h"
+#include "mpp/distributed_table.h"
+#include "util/result.h"
+
+namespace probkb {
+
+/// \brief Execution context of the shared-nothing simulator.
+///
+/// Owns the segment count, the cost parameters, and the accumulated cost /
+/// plan trace. Motion operators (Redistribute, Broadcast, Gather) live here
+/// because they are the interconnect; distributed relational operators are
+/// free functions in mpp_ops.h that call back into this context to account
+/// for their per-segment work.
+class MppContext {
+ public:
+  explicit MppContext(int num_segments, CostParams params = {})
+      : num_segments_(num_segments), params_(params) {}
+
+  int num_segments() const { return num_segments_; }
+  const CostParams& params() const { return params_; }
+
+  MppCost* mutable_cost() { return &cost_; }
+  const MppCost& cost() const { return cost_; }
+
+  /// \brief Re-hashes `input` onto a new hash distribution. Tuples already
+  /// on their target segment do not touch the interconnect (Greenplum
+  /// behaviour).
+  Result<DistributedTablePtr> Redistribute(const DistributedTable& input,
+                                           std::vector<int> key_cols,
+                                           std::string name = "");
+
+  /// \brief Replicates `input` onto all segments; ships rows*(N-1) tuples.
+  Result<DistributedTablePtr> Broadcast(const DistributedTable& input,
+                                        std::string name = "");
+
+  /// \brief Collects all rows on the coordinator.
+  Result<TablePtr> Gather(const DistributedTable& input);
+
+  /// \brief Accounts a per-segment compute phase: `seg_seconds[i]` is the
+  /// measured wall-clock of segment i's plan. Simulated elapsed takes the
+  /// max (segments run concurrently on real hardware).
+  void RecordCompute(const std::string& label,
+                     const std::vector<double>& seg_seconds);
+
+  double MotionSeconds(int64_t tuples_shipped) const {
+    return params_.motion_latency +
+           static_cast<double>(tuples_shipped) *
+               params_.seconds_per_shipped_tuple;
+  }
+
+  double BroadcastSeconds(int64_t tuples_shipped) const {
+    return params_.motion_latency +
+           static_cast<double>(tuples_shipped) *
+               params_.seconds_per_shipped_tuple *
+               params_.broadcast_tuple_discount;
+  }
+
+ private:
+  int num_segments_;
+  CostParams params_;
+  MppCost cost_;
+};
+
+}  // namespace probkb
+
+#endif  // PROBKB_MPP_MPP_CONTEXT_H_

@@ -1,0 +1,291 @@
+#include "mpp/mpp_ops.h"
+
+#include "engine/ops.h"
+#include "util/timer.h"
+
+namespace probkb {
+
+namespace {
+
+/// True if rows that agree on the paired join keys are guaranteed to be on
+/// the same segment for both inputs: each side is hash-distributed on a
+/// subsequence of its join keys and the subsequences are paired positionally
+/// (so the hash inputs are equal across sides).
+bool CollocatedOn(const Distribution& left, const Distribution& right,
+                  const std::vector<int>& left_keys,
+                  const std::vector<int>& right_keys) {
+  if (!left.is_hash() || !right.is_hash()) return false;
+  if (left.key_cols.size() != right.key_cols.size()) return false;
+  if (left.key_cols.empty()) return false;
+  size_t pos = 0;
+  for (size_t i = 0; i < left.key_cols.size(); ++i) {
+    bool found = false;
+    while (pos < left_keys.size()) {
+      if (left_keys[pos] == left.key_cols[i] &&
+          right_keys[pos] == right.key_cols[i]) {
+        found = true;
+        ++pos;
+        break;
+      }
+      ++pos;
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+/// Runs `make_plan(segment_table_a, segment_table_b)` on every segment pair,
+/// measuring per-segment time, and assembles a DistributedTable with the
+/// declared distribution.
+template <typename MakePlan>
+Result<DistributedTablePtr> PerSegment(MppContext* ctx, int num_segments,
+                                       const Schema* out_schema_hint,
+                                       Distribution out_dist,
+                                       const std::string& label,
+                                       MakePlan make_plan) {
+  std::vector<TablePtr> out_segments;
+  out_segments.reserve(static_cast<size_t>(num_segments));
+  std::vector<double> seg_seconds(static_cast<size_t>(num_segments), 0.0);
+  for (int s = 0; s < num_segments; ++s) {
+    ExecContext ec;
+    Timer timer;
+    PlanNodePtr plan = make_plan(s);
+    PROBKB_ASSIGN_OR_RETURN(TablePtr result, plan->Execute(&ec));
+    seg_seconds[static_cast<size_t>(s)] = timer.Seconds();
+    out_segments.push_back(std::move(result));
+  }
+  ctx->RecordCompute(label, seg_seconds);
+  Schema schema =
+      out_schema_hint != nullptr ? *out_schema_hint : out_segments[0]->schema();
+  return std::make_shared<DistributedTable>(schema, std::move(out_segments),
+                                            std::move(out_dist), label);
+}
+
+}  // namespace
+
+Result<DistributedTablePtr> MppHashJoin(MppContext* ctx,
+                                        DistributedTablePtr left,
+                                        DistributedTablePtr right,
+                                        MppJoinSpec spec) {
+  if (spec.left_keys.size() != spec.right_keys.size()) {
+    return Status::InvalidArgument("join key arity mismatch");
+  }
+  const int n = ctx->num_segments();
+
+  // Semi/anti joins need every probe (left) row to see the *entire* build
+  // side relevant to its key. A replicated left with a partitioned right
+  // would test each left copy against a fragment only; force a broadcast
+  // of the right side in that case.
+  if (left->distribution().is_replicated() &&
+      !right->distribution().is_replicated()) {
+    if (spec.type != JoinType::kInner) {
+      PROBKB_ASSIGN_OR_RETURN(right, ctx->Broadcast(*right));
+    }
+  }
+
+  // Motion planning: establish collocation.
+  if (!right->distribution().is_replicated() &&
+      !left->distribution().is_replicated() &&
+      !CollocatedOn(left->distribution(), right->distribution(),
+                    spec.left_keys, spec.right_keys)) {
+    switch (spec.policy) {
+      case MotionPolicy::kAuto: {
+        if (!left->distribution().IsHashOn(spec.left_keys)) {
+          PROBKB_ASSIGN_OR_RETURN(left,
+                                  ctx->Redistribute(*left, spec.left_keys));
+        }
+        if (!right->distribution().IsHashOn(spec.right_keys)) {
+          PROBKB_ASSIGN_OR_RETURN(right,
+                                  ctx->Redistribute(*right, spec.right_keys));
+        }
+        break;
+      }
+      case MotionPolicy::kBroadcastRight: {
+        PROBKB_ASSIGN_OR_RETURN(right, ctx->Broadcast(*right));
+        break;
+      }
+      case MotionPolicy::kBroadcastLeft: {
+        if (spec.type != JoinType::kInner) {
+          return Status::InvalidArgument(
+              "broadcast-left is only valid for inner joins");
+        }
+        PROBKB_ASSIGN_OR_RETURN(left, ctx->Broadcast(*left));
+        break;
+      }
+    }
+  }
+
+  // Both replicated: run the join once and replicate the result.
+  const bool both_replicated = left->distribution().is_replicated() &&
+                               right->distribution().is_replicated();
+
+  // If only the left is replicated (inner join), each left copy must join
+  // against its local right fragment exactly once — that already works per
+  // segment because the right side is partitioned.
+
+  Distribution out_dist = both_replicated ? Distribution::Replicated()
+                                          : spec.output_dist;
+
+  if (both_replicated) {
+    ExecContext ec;
+    Timer timer;
+    auto plan = HashJoin(Scan(left->segment(0), left->name()),
+                         Scan(right->segment(0), right->name()),
+                         spec.left_keys, spec.right_keys, spec.type,
+                         spec.output_cols, spec.residual);
+    PROBKB_ASSIGN_OR_RETURN(TablePtr result, plan->Execute(&ec));
+    ctx->RecordCompute(spec.label, {timer.Seconds()});
+    std::vector<TablePtr> segments(static_cast<size_t>(n), result);
+    return std::make_shared<DistributedTable>(result->schema(),
+                                              std::move(segments),
+                                              std::move(out_dist), spec.label);
+  }
+
+  auto left_ref = left;
+  auto right_ref = right;
+  return PerSegment(
+      ctx, n, nullptr, std::move(out_dist), spec.label, [&](int s) {
+        return HashJoin(Scan(left_ref->segment(s), left_ref->name()),
+                        Scan(right_ref->segment(s), right_ref->name()),
+                        spec.left_keys, spec.right_keys, spec.type,
+                        spec.output_cols, spec.residual);
+      });
+}
+
+Result<DistributedTablePtr> MppFilterProject(
+    MppContext* ctx, DistributedTablePtr input, RowPredicate pred,
+    std::optional<std::vector<ProjectExpr>> exprs, Distribution output_dist,
+    const std::string& label) {
+  return PerSegment(
+      ctx, ctx->num_segments(), nullptr, std::move(output_dist), label,
+      [&](int s) {
+        PlanNodePtr plan = Scan(input->segment(s), input->name());
+        if (pred != nullptr) plan = Filter(std::move(plan), pred);
+        if (exprs.has_value()) plan = Project(std::move(plan), *exprs);
+        return plan;
+      });
+}
+
+Result<DistributedTablePtr> MppDistinct(MppContext* ctx,
+                                        DistributedTablePtr input,
+                                        std::vector<int> key_cols,
+                                        const std::string& label) {
+  if (!input->distribution().is_replicated() &&
+      !input->distribution().HashKeySubsetOf(key_cols)) {
+    PROBKB_ASSIGN_OR_RETURN(input, ctx->Redistribute(*input, key_cols));
+  }
+  if (input->distribution().is_replicated()) {
+    // Distinct of a replicated table stays replicated; run once.
+    ExecContext ec;
+    Timer timer;
+    auto plan = Distinct(Scan(input->segment(0), input->name()), key_cols);
+    PROBKB_ASSIGN_OR_RETURN(TablePtr result, plan->Execute(&ec));
+    ctx->RecordCompute(label, {timer.Seconds()});
+    std::vector<TablePtr> segments(
+        static_cast<size_t>(ctx->num_segments()), result);
+    return std::make_shared<DistributedTable>(result->schema(),
+                                              std::move(segments),
+                                              Distribution::Replicated(),
+                                              label);
+  }
+  Distribution out_dist = input->distribution();
+  auto input_ref = input;
+  return PerSegment(ctx, ctx->num_segments(), nullptr, std::move(out_dist),
+                    label, [&](int s) {
+                      return Distinct(
+                          Scan(input_ref->segment(s), input_ref->name()),
+                          key_cols);
+                    });
+}
+
+Result<DistributedTablePtr> MppAggregate(MppContext* ctx,
+                                         DistributedTablePtr input,
+                                         std::vector<int> group_cols,
+                                         std::vector<AggSpec> aggs,
+                                         RowPredicate having,
+                                         const std::string& label) {
+  if (!input->distribution().is_replicated() &&
+      !input->distribution().HashKeySubsetOf(group_cols)) {
+    PROBKB_ASSIGN_OR_RETURN(input, ctx->Redistribute(*input, group_cols));
+  }
+  if (input->distribution().is_replicated()) {
+    return Status::InvalidArgument(
+        "MppAggregate over a replicated input is not supported; gather it");
+  }
+  // Output groups keyed by group columns 0..k-1 of the output schema.
+  std::vector<int> out_keys;
+  for (size_t i = 0; i < group_cols.size(); ++i) {
+    out_keys.push_back(static_cast<int>(i));
+  }
+  // The input hash key (a subset of group_cols) maps to output positions.
+  std::vector<int> out_dist_keys;
+  for (int k : input->distribution().key_cols) {
+    for (size_t i = 0; i < group_cols.size(); ++i) {
+      if (group_cols[i] == k) {
+        out_dist_keys.push_back(static_cast<int>(i));
+        break;
+      }
+    }
+  }
+  auto input_ref = input;
+  return PerSegment(
+      ctx, ctx->num_segments(), nullptr,
+      out_dist_keys.empty() ? Distribution::Random()
+                            : Distribution::Hash(out_dist_keys),
+      label, [&](int s) {
+        return Aggregate(Scan(input_ref->segment(s), input_ref->name()),
+                         group_cols, aggs, having);
+      });
+}
+
+Result<int64_t> MppSetUnionInto(MppContext* ctx, DistributedTable* dst,
+                                const DistributedTable& src,
+                                const std::vector<int>& key_cols) {
+  if (!dst->distribution().is_hash() ||
+      !dst->distribution().HashKeySubsetOf(key_cols)) {
+    return Status::InvalidArgument(
+        "MppSetUnionInto: destination must be hash-distributed on a subset "
+        "of the union key");
+  }
+  DistributedTablePtr src_ready;
+  if (src.distribution().IsHashOn(dst->distribution().key_cols)) {
+    src_ready = std::make_shared<DistributedTable>(src);
+  } else {
+    PROBKB_ASSIGN_OR_RETURN(
+        src_ready, ctx->Redistribute(src, dst->distribution().key_cols));
+  }
+  std::vector<double> seg_seconds(static_cast<size_t>(ctx->num_segments()));
+  int64_t added = 0;
+  for (int s = 0; s < ctx->num_segments(); ++s) {
+    Timer timer;
+    added += SetUnionInto(dst->mutable_segment(s).get(),
+                          *src_ready->segment(s), key_cols);
+    seg_seconds[static_cast<size_t>(s)] = timer.Seconds();
+  }
+  ctx->RecordCompute("union into " + dst->name(), seg_seconds);
+  return added;
+}
+
+Result<int64_t> MppDeleteMatching(MppContext* ctx, DistributedTable* dst,
+                                  const std::vector<int>& dst_cols,
+                                  const DistributedTable& keys,
+                                  const std::vector<int>& key_cols) {
+  DistributedTablePtr keys_ready;
+  if (keys.distribution().is_replicated()) {
+    keys_ready = std::make_shared<DistributedTable>(keys);
+  } else {
+    PROBKB_ASSIGN_OR_RETURN(keys_ready, ctx->Broadcast(keys));
+  }
+  std::vector<double> seg_seconds(static_cast<size_t>(ctx->num_segments()));
+  int64_t deleted = 0;
+  for (int s = 0; s < ctx->num_segments(); ++s) {
+    Timer timer;
+    deleted += DeleteMatching(dst->mutable_segment(s).get(), dst_cols,
+                              *keys_ready->segment(s), key_cols);
+    seg_seconds[static_cast<size_t>(s)] = timer.Seconds();
+  }
+  ctx->RecordCompute("delete from " + dst->name(), seg_seconds);
+  return deleted;
+}
+
+}  // namespace probkb

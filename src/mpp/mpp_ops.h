@@ -1,0 +1,83 @@
+#ifndef PROBKB_MPP_MPP_OPS_H_
+#define PROBKB_MPP_MPP_OPS_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/plan.h"
+#include "mpp/mpp_context.h"
+
+namespace probkb {
+
+/// \brief How a non-collocated join acquires collocation.
+///
+/// kAuto redistributes whichever side is not already hashed on its join
+/// keys (the optimized plans of Figure 4). kBroadcastRight/kBroadcastLeft
+/// force a broadcast of that side (the unoptimized plan Greenplum picks in
+/// Figure 4 right, used by the ProbKB-pn configuration).
+enum class MotionPolicy { kAuto, kBroadcastRight, kBroadcastLeft };
+
+/// \brief Full specification of a distributed hash join.
+struct MppJoinSpec {
+  std::vector<int> left_keys;
+  std::vector<int> right_keys;
+  JoinType type = JoinType::kInner;
+  std::vector<JoinOutputCol> output_cols;  // required for kInner
+  RowPredicate residual;                   // optional
+  /// Declared distribution of the result (the "planner's" knowledge); must
+  /// be consistent with actual row placement — ValidatePlacement() checks.
+  Distribution output_dist = Distribution::Random();
+  MotionPolicy policy = MotionPolicy::kAuto;
+  std::string label = "join";
+};
+
+/// \brief Distributed hash equi-join with motion planning.
+Result<DistributedTablePtr> MppHashJoin(MppContext* ctx,
+                                        DistributedTablePtr left,
+                                        DistributedTablePtr right,
+                                        MppJoinSpec spec);
+
+/// \brief Per-segment filter and/or projection. Filtering preserves the
+/// input distribution; when `exprs` is set the caller declares the output
+/// distribution in terms of the new column positions.
+Result<DistributedTablePtr> MppFilterProject(
+    MppContext* ctx, DistributedTablePtr input, RowPredicate pred,
+    std::optional<std::vector<ProjectExpr>> exprs, Distribution output_dist,
+    const std::string& label);
+
+/// \brief Distributed DISTINCT on `key_cols`; redistributes first unless
+/// rows equal on the keys are already collocated.
+Result<DistributedTablePtr> MppDistinct(MppContext* ctx,
+                                        DistributedTablePtr input,
+                                        std::vector<int> key_cols,
+                                        const std::string& label);
+
+/// \brief Distributed GROUP BY; redistributes on the group columns unless
+/// already collocated. HAVING runs per segment (safe: groups never span
+/// segments after collocation).
+Result<DistributedTablePtr> MppAggregate(MppContext* ctx,
+                                         DistributedTablePtr input,
+                                         std::vector<int> group_cols,
+                                         std::vector<AggSpec> aggs,
+                                         RowPredicate having,
+                                         const std::string& label);
+
+/// \brief Distributed set-semantics union: appends to `dst` the rows of
+/// `src` not already present (keyed on `key_cols`, same schema). `dst`
+/// must be hash-distributed with its key a subset of `key_cols`. Returns
+/// the number of appended rows.
+Result<int64_t> MppSetUnionInto(MppContext* ctx, DistributedTable* dst,
+                                const DistributedTable& src,
+                                const std::vector<int>& key_cols);
+
+/// \brief Distributed DELETE ... WHERE (cols) IN (keys): broadcasts the
+/// (small) key relation and deletes per segment. Returns rows deleted.
+Result<int64_t> MppDeleteMatching(MppContext* ctx, DistributedTable* dst,
+                                  const std::vector<int>& dst_cols,
+                                  const DistributedTable& keys,
+                                  const std::vector<int>& key_cols);
+
+}  // namespace probkb
+
+#endif  // PROBKB_MPP_MPP_OPS_H_

@@ -1,0 +1,181 @@
+#include "quality/error_analysis.h"
+
+#include <unordered_map>
+
+namespace probkb {
+
+const char* ErrorSourceToString(ErrorSource source) {
+  switch (source) {
+    case ErrorSource::kAmbiguousEntity:
+      return "Ambiguities (detected)";
+    case ErrorSource::kAmbiguousJoinKey:
+      return "Ambiguous join keys";
+    case ErrorSource::kIncorrectRule:
+      return "Incorrect rules";
+    case ErrorSource::kIncorrectExtraction:
+      return "Incorrect extractions";
+    case ErrorSource::kGeneralType:
+      return "General types";
+    case ErrorSource::kSynonym:
+      return "Synonyms";
+    case ErrorSource::kUnknown:
+      return "Unknown";
+  }
+  return "?";
+}
+
+std::vector<ViolatorClassification> ClassifyViolators(
+    const Table& violators, const Table& t_pi, const Table* t_omega,
+    const FactorGraph* graph, const ErrorLabels& labels) {
+  // Functional relations per side (Type I keys x, Type II keys y); when a
+  // TOmega table is provided, only facts of these relations participate in
+  // violations and get inspected.
+  std::set<RelationId> functional_arg[2];
+  if (t_omega != nullptr) {
+    for (int64_t i = 0; i < t_omega->NumRows(); ++i) {
+      RowView r = t_omega->row(i);
+      int arg = static_cast<int>(r[tomega::kArg].i64());
+      if (arg == 1 || arg == 2) {
+        functional_arg[arg - 1].insert(r[tomega::kR].i64());
+      }
+    }
+  }
+
+  // Index TPi rows by fact id (lineage lookups) and by keyed entity per
+  // side (violation-group lookups).
+  std::unordered_map<FactId, int64_t> row_of_id;
+  std::unordered_map<EntityId, std::vector<int64_t>> rows_by_x, rows_by_y;
+  for (int64_t i = 0; i < t_pi.NumRows(); ++i) {
+    RowView r = t_pi.row(i);
+    row_of_id[r[tpi::kI].i64()] = i;
+    rows_by_x[r[tpi::kX].i64()].push_back(i);
+    rows_by_y[r[tpi::kY].i64()].push_back(i);
+  }
+
+  // Lineage inspection of an inferred fact's derivations: did any join
+  // through an ambiguous z, and did any use an unsound rule (matched by
+  // (head, body1, body2) relation signature)?
+  struct DerivationFlags {
+    bool ambiguous_join = false;
+    bool bad_rule = false;
+  };
+  auto inspect_derivations = [&](FactId id, RelationId head_rel) {
+    DerivationFlags flags;
+    if (graph == nullptr) return flags;
+    int32_t v = graph->VariableOf(id);
+    if (v < 0) return flags;
+    for (int32_t fi : graph->DerivationsOf(v)) {
+      const GroundFactor& f = graph->factors()[static_cast<size_t>(fi)];
+      auto it1 = row_of_id.find(graph->fact_id(f.body1));
+      if (it1 == row_of_id.end()) continue;
+      RowView b1 = t_pi.row(it1->second);
+      if (f.body2 < 0) {
+        if (labels.bad_rule_signatures.count(
+                {head_rel, b1[tpi::kR].i64(), kInvalidId}) > 0) {
+          flags.bad_rule = true;
+        }
+        continue;
+      }
+      auto it2 = row_of_id.find(graph->fact_id(f.body2));
+      if (it2 == row_of_id.end()) continue;
+      RowView b2 = t_pi.row(it2->second);
+      if (labels.bad_rule_signatures.count(
+              {head_rel, b1[tpi::kR].i64(), b2[tpi::kR].i64()}) > 0) {
+        flags.bad_rule = true;
+      }
+      // The join variable z is whichever entity the two body atoms share.
+      for (int64_t z : {b1[tpi::kX].i64(), b1[tpi::kY].i64()}) {
+        if ((z == b2[tpi::kX].i64() || z == b2[tpi::kY].i64()) &&
+            labels.ambiguous_entities.count(z) > 0) {
+          flags.ambiguous_join = true;
+        }
+      }
+    }
+    return flags;
+  };
+
+  std::vector<ViolatorClassification> out;
+  out.reserve(static_cast<size_t>(violators.NumRows()));
+  for (int64_t i = 0; i < violators.NumRows(); ++i) {
+    RowView v = violators.row(i);
+    ViolatorClassification c;
+    c.entity = v[0].i64();
+    c.cls = v[1].i64();
+    const int arg = v.width() > 2 ? static_cast<int>(v[2].i64()) : 1;
+
+    if (labels.ambiguous_entities.count(c.entity) > 0) {
+      c.source = ErrorSource::kAmbiguousEntity;
+      out.push_back(c);
+      continue;
+    }
+
+    // The facts participating in the violation: keyed by the entity on the
+    // violating side, restricted to functional relations of that side.
+    const auto& rows_by_side = arg == 1 ? rows_by_x : rows_by_y;
+    const int key_col = arg == 1 ? tpi::kC1 : tpi::kC2;
+    const int other_col = arg == 1 ? tpi::kY : tpi::kX;
+
+    bool bad_rule = false;
+    bool bad_join = false;
+    bool bad_extraction = false;
+    bool general_type = false;
+    bool synonym = false;
+    auto it = rows_by_side.find(c.entity);
+    if (it != rows_by_side.end()) {
+      for (int64_t row_idx : it->second) {
+        RowView r = t_pi.row(row_idx);
+        if (r[key_col].i64() != c.cls) continue;
+        RelationId rel = r[tpi::kR].i64();
+        if (t_omega != nullptr &&
+            functional_arg[arg - 1].count(rel) == 0) {
+          continue;  // not part of any violating group
+        }
+        EntityId other = r[other_col].i64();
+        if (labels.general_type_entities.count(other) > 0) {
+          general_type = true;
+        }
+        if (labels.synonym_entities.count(other) > 0) synonym = true;
+        if (labels.incorrect_extractions.count(
+                {rel, r[tpi::kX].i64(), r[tpi::kY].i64()}) > 0) {
+          bad_extraction = true;
+        }
+        if (labels.bad_rule_heads.count(rel) > 0) bad_rule = true;
+        if (r[tpi::kW].is_null()) {  // inferred fact
+          DerivationFlags flags =
+              inspect_derivations(r[tpi::kI].i64(), rel);
+          bad_join = bad_join || flags.ambiguous_join;
+          bad_rule = bad_rule || flags.bad_rule;
+        }
+      }
+    }
+    if (bad_join) {
+      c.source = ErrorSource::kAmbiguousJoinKey;
+    } else if (bad_extraction) {
+      c.source = ErrorSource::kIncorrectExtraction;
+    } else if (bad_rule) {
+      c.source = ErrorSource::kIncorrectRule;
+    } else if (general_type) {
+      c.source = ErrorSource::kGeneralType;
+    } else if (synonym) {
+      c.source = ErrorSource::kSynonym;
+    } else {
+      c.source = ErrorSource::kUnknown;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::map<ErrorSource, double> ErrorSourceDistribution(
+    const std::vector<ViolatorClassification>& classified) {
+  std::map<ErrorSource, double> out;
+  if (classified.empty()) return out;
+  for (const auto& c : classified) out[c.source] += 1.0;
+  for (auto& [source, count] : out) {
+    (void)source;
+    count /= static_cast<double>(classified.size());
+  }
+  return out;
+}
+
+}  // namespace probkb

@@ -1,0 +1,31 @@
+#include "quality/rule_cleaning.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace probkb {
+
+std::vector<HornRule> TopThetaRules(const std::vector<HornRule>& rules,
+                                    double theta) {
+  if (theta >= 1.0 || rules.empty()) return rules;
+  if (theta <= 0.0) return {};
+  const size_t keep = std::max<size_t>(
+      1, static_cast<size_t>(std::llround(theta * rules.size())));
+
+  // Select the indices of the top-`keep` scores, then emit in input order.
+  std::vector<size_t> order(rules.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return rules[a].score > rules[b].score;
+  });
+  order.resize(keep);
+  std::sort(order.begin(), order.end());
+
+  std::vector<HornRule> out;
+  out.reserve(keep);
+  for (size_t i : order) out.push_back(rules[i]);
+  return out;
+}
+
+}  // namespace probkb

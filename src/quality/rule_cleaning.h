@@ -1,0 +1,19 @@
+#ifndef PROBKB_QUALITY_RULE_CLEANING_H_
+#define PROBKB_QUALITY_RULE_CLEANING_H_
+
+#include <vector>
+
+#include "kb/rule.h"
+
+namespace probkb {
+
+/// \brief Rule cleaning (Section 5.3): ranks rules by their
+/// statistical-significance score and keeps the top `theta` fraction
+/// (theta in [0, 1]; 1 keeps everything). Ties break toward keeping the
+/// earlier rule, and the original rule order is preserved in the output.
+std::vector<HornRule> TopThetaRules(const std::vector<HornRule>& rules,
+                                    double theta);
+
+}  // namespace probkb
+
+#endif  // PROBKB_QUALITY_RULE_CLEANING_H_

@@ -1,0 +1,107 @@
+#include "quality/rule_feedback.h"
+
+#include <cmath>
+#include <map>
+#include <tuple>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace probkb {
+
+namespace {
+
+/// Rules are matched to ground factors by (head, body1, body2, weight in
+/// millis): the factor table stores the rule weight, and together with the
+/// three relation symbols this identifies the producing rule(s). Distinct
+/// rules sharing all four are indistinguishable at the factor level and
+/// share the counts.
+using RuleSig = std::tuple<RelationId, RelationId, RelationId, int64_t>;
+
+int64_t Millis(double w) {
+  return static_cast<int64_t>(std::llround(w * 1000.0));
+}
+
+}  // namespace
+
+Result<std::vector<RuleFeedback>> ComputeRuleFeedback(
+    const std::vector<HornRule>& rules, const Table& t_pi,
+    const Table& violators, const FactorGraph& graph) {
+  // Index TPi rows by fact id.
+  std::unordered_map<FactId, int64_t> row_of_id;
+  for (int64_t i = 0; i < t_pi.NumRows(); ++i) {
+    row_of_id[t_pi.row(i)[tpi::kI].i64()] = i;
+  }
+
+  // Violating (entity, class) keys per side.
+  auto key = [](EntityId e, ClassId c) {
+    return (static_cast<uint64_t>(e) << 20) | static_cast<uint64_t>(c);
+  };
+  std::unordered_set<uint64_t> viol_x, viol_y;
+  for (int64_t i = 0; i < violators.NumRows(); ++i) {
+    RowView v = violators.row(i);
+    uint64_t k = key(v[0].i64(), v[1].i64());
+    if (v.width() > 2 && v[2].i64() == 2) {
+      viol_y.insert(k);
+    } else {
+      viol_x.insert(k);
+    }
+  }
+
+  // Rule signature -> rule indices.
+  std::map<RuleSig, std::vector<size_t>> rules_by_sig;
+  for (size_t i = 0; i < rules.size(); ++i) {
+    const HornRule& r = rules[i];
+    rules_by_sig[{r.head, r.body1, r.body2, Millis(r.weight)}].push_back(i);
+  }
+
+  std::vector<RuleFeedback> feedback(rules.size());
+  for (size_t i = 0; i < rules.size(); ++i) feedback[i].rule_index = i;
+
+  for (const GroundFactor& f : graph.factors()) {
+    if (f.body1 < 0) continue;  // singleton: not a rule application
+    auto head_it = row_of_id.find(graph.fact_id(f.head));
+    auto b1_it = row_of_id.find(graph.fact_id(f.body1));
+    if (head_it == row_of_id.end() || b1_it == row_of_id.end()) continue;
+    RowView head = t_pi.row(head_it->second);
+    RelationId b2_rel = kInvalidId;
+    if (f.body2 >= 0) {
+      auto b2_it = row_of_id.find(graph.fact_id(f.body2));
+      if (b2_it == row_of_id.end()) continue;
+      b2_rel = t_pi.row(b2_it->second)[tpi::kR].i64();
+    }
+    RuleSig sig{head[tpi::kR].i64(), t_pi.row(b1_it->second)[tpi::kR].i64(),
+                b2_rel, Millis(f.weight)};
+    auto it = rules_by_sig.find(sig);
+    if (it == rules_by_sig.end()) continue;
+
+    bool violating =
+        viol_x.count(key(head[tpi::kX].i64(), head[tpi::kC1].i64())) > 0 ||
+        viol_y.count(key(head[tpi::kY].i64(), head[tpi::kC2].i64())) > 0;
+    for (size_t rule_index : it->second) {
+      ++feedback[rule_index].total_derivations;
+      if (violating) ++feedback[rule_index].violating_derivations;
+    }
+  }
+
+  for (RuleFeedback& f : feedback) {
+    f.violation_rate =
+        f.total_derivations == 0
+            ? 0.0
+            : static_cast<double>(f.violating_derivations) /
+                  static_cast<double>(f.total_derivations);
+  }
+  return feedback;
+}
+
+std::vector<HornRule> ApplyFeedbackToScores(
+    std::vector<HornRule> rules, const std::vector<RuleFeedback>& feedback,
+    double alpha) {
+  for (const RuleFeedback& f : feedback) {
+    if (f.rule_index >= rules.size()) continue;
+    HornRule& rule = rules[f.rule_index];
+    rule.score *= std::max(0.0, 1.0 - alpha * f.violation_rate);
+  }
+  return rules;
+}
+
+}  // namespace probkb

@@ -1,0 +1,48 @@
+#ifndef PROBKB_QUALITY_RULE_FEEDBACK_H_
+#define PROBKB_QUALITY_RULE_FEEDBACK_H_
+
+#include <vector>
+
+#include "factor/factor_graph.h"
+#include "kb/relational_model.h"
+#include "kb/rule.h"
+#include "relational/table.h"
+#include "util/result.h"
+
+namespace probkb {
+
+/// \brief Per-rule reliability feedback computed from constraint
+/// violations — the improvement the paper sketches in Section 6.2.3
+/// ("violations caused by propagated errors may indicate low credibility
+/// of the inference rules, which can be utilized to improve rule
+/// learners").
+struct RuleFeedback {
+  size_t rule_index = 0;
+  /// Derivations of this rule whose conclusion is keyed by a violating
+  /// entity.
+  int64_t violating_derivations = 0;
+  /// All derivations of this rule in the factor graph.
+  int64_t total_derivations = 0;
+  /// violating / total (0 when the rule never fired).
+  double violation_rate = 0.0;
+};
+
+/// \brief Attributes each ground derivation (non-singleton factor) in
+/// `graph` to the rule that produced it — matched on the (head, body1,
+/// body2) relation signature plus weight — and counts how many of each
+/// rule's conclusions are keyed by an entity of `violators` (rows
+/// (e, Ce, arg) from FindConstraintViolators).
+Result<std::vector<RuleFeedback>> ComputeRuleFeedback(
+    const std::vector<HornRule>& rules, const Table& t_pi,
+    const Table& violators, const FactorGraph& graph);
+
+/// \brief Folds feedback into the rules' learner scores:
+/// score' = score * (1 - alpha * violation_rate). Rules whose conclusions
+/// keep violating constraints sink in the rule-cleaning ranking.
+std::vector<HornRule> ApplyFeedbackToScores(
+    std::vector<HornRule> rules, const std::vector<RuleFeedback>& feedback,
+    double alpha = 1.0);
+
+}  // namespace probkb
+
+#endif  // PROBKB_QUALITY_RULE_FEEDBACK_H_

@@ -1,0 +1,29 @@
+#include "relational/catalog.h"
+
+namespace probkb {
+
+Status Catalog::Register(const std::string& name, TablePtr table) {
+  auto [it, inserted] = tables_.emplace(name, std::move(table));
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("table '" + name + "' already registered");
+  }
+  return Status::OK();
+}
+
+Result<TablePtr> Catalog::Get(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("table '" + name + "' not in catalog");
+  }
+  return it->second;
+}
+
+Status Catalog::Drop(const std::string& name) {
+  if (tables_.erase(name) == 0) {
+    return Status::NotFound("table '" + name + "' not in catalog");
+  }
+  return Status::OK();
+}
+
+}  // namespace probkb

@@ -1,0 +1,45 @@
+#ifndef PROBKB_RELATIONAL_CATALOG_H_
+#define PROBKB_RELATIONAL_CATALOG_H_
+
+#include <map>
+#include <string>
+
+#include "relational/table.h"
+#include "util/result.h"
+
+namespace probkb {
+
+/// \brief Named table registry, playing the role of the database catalog.
+///
+/// Tuffy-T registers one table per relation here (tens of thousands);
+/// ProbKB registers a handful (TPi, M1..M6, TOmega, dictionaries).
+class Catalog {
+ public:
+  /// \brief Registers `table` under `name`; fails if the name is taken.
+  Status Register(const std::string& name, TablePtr table);
+
+  /// \brief Registers or replaces.
+  void Put(const std::string& name, TablePtr table) {
+    tables_[name] = std::move(table);
+  }
+
+  Result<TablePtr> Get(const std::string& name) const;
+
+  bool Contains(const std::string& name) const {
+    return tables_.count(name) > 0;
+  }
+
+  Status Drop(const std::string& name);
+
+  int64_t NumTables() const { return static_cast<int64_t>(tables_.size()); }
+
+  /// \brief Stable iteration (sorted by name).
+  const std::map<std::string, TablePtr>& tables() const { return tables_; }
+
+ private:
+  std::map<std::string, TablePtr> tables_;
+};
+
+}  // namespace probkb
+
+#endif  // PROBKB_RELATIONAL_CATALOG_H_

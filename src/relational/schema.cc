@@ -1,0 +1,48 @@
+#include "relational/schema.h"
+
+namespace probkb {
+
+Schema::Schema(std::vector<Field> fields) : fields_(std::move(fields)) {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    index_.emplace(fields_[i].name, static_cast<int>(i));
+  }
+}
+
+int Schema::GetFieldIndex(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? -1 : it->second;
+}
+
+Result<int> Schema::GetFieldIndexChecked(const std::string& name) const {
+  int idx = GetFieldIndex(name);
+  if (idx < 0) {
+    return Status::NotFound("no field named '" + name + "' in schema " +
+                            ToString());
+  }
+  return idx;
+}
+
+bool Schema::Equals(const Schema& other) const {
+  if (fields_.size() != other.fields_.size()) return false;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name != other.fields_[i].name ||
+        fields_[i].type != other.fields_[i].type) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].name;
+    out += " ";
+    out += ColumnTypeToString(fields_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace probkb

@@ -1,0 +1,51 @@
+#ifndef PROBKB_RELATIONAL_SCHEMA_H_
+#define PROBKB_RELATIONAL_SCHEMA_H_
+
+#include <initializer_list>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "relational/value.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace probkb {
+
+/// \brief A named, typed column.
+struct Field {
+  std::string name;
+  ColumnType type = ColumnType::kInt64;
+};
+
+/// \brief Ordered list of fields with name lookup. Immutable once built.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields);
+  Schema(std::initializer_list<Field> fields)
+      : Schema(std::vector<Field>(fields)) {}
+
+  int num_fields() const { return static_cast<int>(fields_.size()); }
+  const Field& field(int i) const { return fields_[static_cast<size_t>(i)]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// \brief Index of the field named `name`, or -1 if absent.
+  int GetFieldIndex(const std::string& name) const;
+
+  /// \brief Like GetFieldIndex but returns an error Status when absent.
+  Result<int> GetFieldIndexChecked(const std::string& name) const;
+
+  bool Equals(const Schema& other) const;
+
+  /// \brief "(I INT64, R INT64, w FLOAT64)".
+  std::string ToString() const;
+
+ private:
+  std::vector<Field> fields_;
+  std::unordered_map<std::string, int> index_;
+};
+
+}  // namespace probkb
+
+#endif  // PROBKB_RELATIONAL_SCHEMA_H_

@@ -1,0 +1,88 @@
+#include "relational/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace probkb {
+
+std::string RowView::ToString() const {
+  std::string out = "[";
+  for (int i = 0; i < width_; ++i) {
+    if (i > 0) out += ", ";
+    out += data_[i].ToString();
+  }
+  out += "]";
+  return out;
+}
+
+void Table::AppendTable(const Table& other) {
+  PROBKB_CHECK(other.width() == width());
+  values_.insert(values_.end(), other.values_.begin(), other.values_.end());
+}
+
+int64_t Table::FilterInPlace(const std::vector<bool>& keep) {
+  PROBKB_CHECK(static_cast<int64_t>(keep.size()) == NumRows());
+  const int w = width();
+  int64_t write = 0;
+  int64_t removed = 0;
+  for (int64_t r = 0; r < NumRows(); ++r) {
+    if (keep[static_cast<size_t>(r)]) {
+      if (write != r) {
+        std::copy(values_.begin() + r * w, values_.begin() + (r + 1) * w,
+                  values_.begin() + write * w);
+      }
+      ++write;
+    } else {
+      ++removed;
+    }
+  }
+  values_.resize(static_cast<size_t>(write * w));
+  return removed;
+}
+
+TablePtr Table::Clone() const {
+  auto out = Table::Make(schema_);
+  out->values_ = values_;
+  return out;
+}
+
+std::string Table::ToString(int64_t max_rows) const {
+  std::ostringstream os;
+  os << schema_.ToString() << " rows=" << NumRows() << "\n";
+  int64_t n = std::min<int64_t>(NumRows(), max_rows);
+  for (int64_t i = 0; i < n; ++i) {
+    os << "  " << row(i).ToString() << "\n";
+  }
+  if (n < NumRows()) os << "  ... (" << (NumRows() - n) << " more)\n";
+  return os.str();
+}
+
+std::vector<std::vector<Value>> Table::SortedRows() const {
+  std::vector<std::vector<Value>> rows;
+  rows.reserve(static_cast<size_t>(NumRows()));
+  for (int64_t i = 0; i < NumRows(); ++i) {
+    auto view = row(i);
+    rows.emplace_back(view.values().begin(), view.values().end());
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+size_t HashRowKey(const RowView& row, std::span<const int> key_cols) {
+  size_t h = 0x243F6A8885A308D3ULL;  // pi digits
+  for (int c : key_cols) {
+    h ^= row[c].Hash() + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+bool RowKeyEquals(const RowView& a, const RowView& b,
+                  std::span<const int> a_cols, std::span<const int> b_cols) {
+  PROBKB_DCHECK(a_cols.size() == b_cols.size());
+  for (size_t i = 0; i < a_cols.size(); ++i) {
+    if (a[a_cols[i]] != b[b_cols[i]]) return false;
+  }
+  return true;
+}
+
+}  // namespace probkb

@@ -1,0 +1,129 @@
+#ifndef PROBKB_RELATIONAL_TABLE_H_
+#define PROBKB_RELATIONAL_TABLE_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "relational/schema.h"
+#include "relational/value.h"
+#include "util/logging.h"
+#include "util/result.h"
+
+namespace probkb {
+
+class Table;
+using TablePtr = std::shared_ptr<Table>;
+
+/// \brief Non-owning view of one row of a Table.
+class RowView {
+ public:
+  RowView(const Value* data, int width) : data_(data), width_(width) {}
+
+  int width() const { return width_; }
+  const Value& operator[](int col) const {
+    PROBKB_DCHECK(col >= 0 && col < width_);
+    return data_[col];
+  }
+  std::span<const Value> values() const {
+    return {data_, static_cast<size_t>(width_)};
+  }
+
+  bool Equals(const RowView& other) const {
+    if (width_ != other.width_) return false;
+    for (int i = 0; i < width_; ++i) {
+      if (data_[i] != other.data_[i]) return false;
+    }
+    return true;
+  }
+
+  std::string ToString() const;
+
+ private:
+  const Value* data_;
+  int width_;
+};
+
+/// \brief Row-major in-memory relation: a Schema plus a flat value buffer.
+///
+/// Rows are appended, scanned by index, and deleted in bulk; this matches
+/// how the grounding algorithm uses its tables (bulk inserts from joins,
+/// bulk deletes from constraint application).
+class Table {
+ public:
+  explicit Table(Schema schema) : schema_(std::move(schema)) {}
+
+  static TablePtr Make(Schema schema) {
+    return std::make_shared<Table>(std::move(schema));
+  }
+
+  const Schema& schema() const { return schema_; }
+  int width() const { return schema_.num_fields(); }
+  int64_t NumRows() const {
+    return width() == 0 ? 0
+                        : static_cast<int64_t>(values_.size()) / width();
+  }
+
+  RowView row(int64_t i) const {
+    PROBKB_DCHECK(i >= 0 && i < NumRows());
+    return RowView(values_.data() + i * width(), width());
+  }
+
+  /// \brief Appends one row; `row.size()` must equal the schema width.
+  void AppendRow(std::span<const Value> row) {
+    PROBKB_DCHECK(static_cast<int>(row.size()) == width());
+    values_.insert(values_.end(), row.begin(), row.end());
+  }
+  void AppendRow(std::initializer_list<Value> row) {
+    AppendRow(std::span<const Value>(row.begin(), row.size()));
+  }
+  void AppendRow(const RowView& row) { AppendRow(row.values()); }
+
+  /// \brief Appends all rows of `other`; schemas must have equal width.
+  void AppendTable(const Table& other);
+
+  /// \brief Reserves space for `n` additional rows.
+  void ReserveRows(int64_t n) {
+    values_.reserve(values_.size() + static_cast<size_t>(n * width()));
+  }
+
+  void Clear() { values_.clear(); }
+
+  /// \brief Removes rows for which `keep[i]` is false. `keep.size()` must be
+  /// NumRows(). Returns the number of rows removed.
+  int64_t FilterInPlace(const std::vector<bool>& keep);
+
+  /// \brief Deep copy.
+  TablePtr Clone() const;
+
+  /// \brief Rough memory footprint in bytes (used by the MPP cost model).
+  int64_t ByteSize() const {
+    return static_cast<int64_t>(values_.size() * sizeof(Value));
+  }
+
+  /// \brief Pretty-prints up to `max_rows` rows (debugging / examples).
+  std::string ToString(int64_t max_rows = 20) const;
+
+  /// \brief Sorted copy of the rows (lexicographic), for order-insensitive
+  /// comparisons in tests.
+  std::vector<std::vector<Value>> SortedRows() const;
+
+ private:
+  Schema schema_;
+  std::vector<Value> values_;
+};
+
+/// \brief Hashes the key columns of a row (for joins / distinct / hash
+/// distribution).
+size_t HashRowKey(const RowView& row, std::span<const int> key_cols);
+
+/// \brief Compares the key columns of two rows for equality.
+bool RowKeyEquals(const RowView& a, const RowView& b,
+                  std::span<const int> a_cols, std::span<const int> b_cols);
+
+}  // namespace probkb
+
+#endif  // PROBKB_RELATIONAL_TABLE_H_

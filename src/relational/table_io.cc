@@ -1,0 +1,117 @@
+#include "relational/table_io.h"
+
+#include <cinttypes>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "util/strings.h"
+
+namespace probkb {
+
+Status WriteTableTsv(const Table& table, std::ostream* out) {
+  const Schema& schema = table.schema();
+  *out << "#";
+  for (int c = 0; c < schema.num_fields(); ++c) {
+    *out << " " << schema.field(c).name << " "
+         << ColumnTypeToString(schema.field(c).type);
+  }
+  *out << "\n";
+  for (int64_t i = 0; i < table.NumRows(); ++i) {
+    RowView row = table.row(i);
+    for (int c = 0; c < table.width(); ++c) {
+      if (c > 0) *out << '\t';
+      const Value& v = row[c];
+      if (v.is_null()) {
+        *out << "\\N";
+      } else if (v.is_int64()) {
+        *out << v.i64();
+      } else {
+        *out << StrFormat("%.17g", v.f64());
+      }
+    }
+    *out << "\n";
+  }
+  if (!out->good()) return Status::IOError("write failed");
+  return Status::OK();
+}
+
+Status WriteTableTsvFile(const Table& table, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open '" + path + "' for write");
+  return WriteTableTsv(table, &out);
+}
+
+Result<TablePtr> ReadTableTsv(const Schema& schema, std::istream* in) {
+  std::string line;
+  if (!std::getline(*in, line)) {
+    return Status::ParseError("missing TSV header");
+  }
+  // Validate the header: "# name TYPE name TYPE ...".
+  {
+    auto tokens = Split(StripWhitespace(line), ' ');
+    if (tokens.empty() || tokens[0] != "#") {
+      return Status::ParseError("TSV header must start with '#'");
+    }
+    if (static_cast<int>(tokens.size()) != 1 + 2 * schema.num_fields()) {
+      return Status::ParseError("TSV header arity mismatch");
+    }
+    for (int c = 0; c < schema.num_fields(); ++c) {
+      const auto& name = tokens[static_cast<size_t>(1 + 2 * c)];
+      const auto& type = tokens[static_cast<size_t>(2 + 2 * c)];
+      if (name != schema.field(c).name ||
+          type != ColumnTypeToString(schema.field(c).type)) {
+        return Status::ParseError(
+            StrFormat("TSV header column %d does not match schema %s", c,
+                      schema.ToString().c_str()));
+      }
+    }
+  }
+
+  auto table = Table::Make(schema);
+  std::vector<Value> row(static_cast<size_t>(schema.num_fields()));
+  int64_t line_no = 1;
+  while (std::getline(*in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    auto fields = Split(line, '\t');
+    if (static_cast<int>(fields.size()) != schema.num_fields()) {
+      return Status::ParseError(
+          StrFormat("line %" PRId64 ": expected %d fields, got %zu", line_no,
+                    schema.num_fields(), fields.size()));
+    }
+    for (int c = 0; c < schema.num_fields(); ++c) {
+      std::string_view field = fields[static_cast<size_t>(c)];
+      if (field == "\\N") {
+        row[static_cast<size_t>(c)] = Value::Null();
+      } else if (schema.field(c).type == ColumnType::kInt64) {
+        int64_t v = 0;
+        if (!ParseInt64(field, &v)) {
+          return Status::ParseError(
+              StrFormat("line %" PRId64 ": bad int64 in column %d", line_no,
+                        c));
+        }
+        row[static_cast<size_t>(c)] = Value::Int64(v);
+      } else {
+        double v = 0;
+        if (!ParseDouble(field, &v)) {
+          return Status::ParseError(
+              StrFormat("line %" PRId64 ": bad float64 in column %d",
+                        line_no, c));
+        }
+        row[static_cast<size_t>(c)] = Value::Float64(v);
+      }
+    }
+    table->AppendRow(row);
+  }
+  return table;
+}
+
+Result<TablePtr> ReadTableTsvFile(const Schema& schema,
+                                  const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open '" + path + "'");
+  return ReadTableTsv(schema, &in);
+}
+
+}  // namespace probkb

@@ -1,0 +1,29 @@
+#ifndef PROBKB_RELATIONAL_TABLE_IO_H_
+#define PROBKB_RELATIONAL_TABLE_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "relational/table.h"
+#include "util/result.h"
+
+namespace probkb {
+
+/// \brief Writes a table as tab-separated values with a `# name TYPE ...`
+/// header line; NULL is written as `\N` (PostgreSQL COPY convention).
+///
+/// This is the interchange format between grounding and external inference
+/// engines: the paper pipes the factor table TPhi to GraphLab in exactly
+/// this spirit (Figure 1's architecture).
+Status WriteTableTsv(const Table& table, std::ostream* out);
+Status WriteTableTsvFile(const Table& table, const std::string& path);
+
+/// \brief Reads a TSV written by WriteTableTsv; validates the header
+/// against `schema`.
+Result<TablePtr> ReadTableTsv(const Schema& schema, std::istream* in);
+Result<TablePtr> ReadTableTsvFile(const Schema& schema,
+                                  const std::string& path);
+
+}  // namespace probkb
+
+#endif  // PROBKB_RELATIONAL_TABLE_IO_H_

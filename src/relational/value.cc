@@ -1,0 +1,36 @@
+#include "relational/value.h"
+
+#include <cstdio>
+
+namespace probkb {
+
+const char* ColumnTypeToString(ColumnType type) {
+  switch (type) {
+    case ColumnType::kInt64:
+      return "INT64";
+    case ColumnType::kFloat64:
+      return "FLOAT64";
+  }
+  return "?";
+}
+
+std::string Value::ToString() const {
+  switch (tag_) {
+    case Tag::kNull:
+      return "NULL";
+    case Tag::kInt64:
+      return std::to_string(i64_);
+    case Tag::kFloat64: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", f64_);
+      return buf;
+    }
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& v) {
+  return os << v.ToString();
+}
+
+}  // namespace probkb

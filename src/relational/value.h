@@ -1,0 +1,110 @@
+#ifndef PROBKB_RELATIONAL_VALUE_H_
+#define PROBKB_RELATIONAL_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+
+namespace probkb {
+
+/// \brief Column types supported by the engine.
+///
+/// ProbKB dictionary-encodes every entity/class/relation to int64 ids
+/// (Section 4.2 of the paper), so the engine only needs integers, weights,
+/// and NULL (used for to-be-inferred weights during grounding).
+enum class ColumnType : uint8_t { kInt64 = 0, kFloat64 = 1 };
+
+const char* ColumnTypeToString(ColumnType type);
+
+/// \brief A nullable scalar: NULL, int64, or float64. 16 bytes, trivially
+/// copyable.
+class Value {
+ public:
+  constexpr Value() : tag_(Tag::kNull), i64_(0) {}
+  static constexpr Value Null() { return Value(); }
+  static constexpr Value Int64(int64_t v) { return Value(Tag::kInt64, v); }
+  static constexpr Value Float64(double v) { return Value(v); }
+
+  bool is_null() const { return tag_ == Tag::kNull; }
+  bool is_int64() const { return tag_ == Tag::kInt64; }
+  bool is_float64() const { return tag_ == Tag::kFloat64; }
+
+  /// Precondition: is_int64(). (Callers index dictionary-encoded columns.)
+  int64_t i64() const { return i64_; }
+  /// Precondition: is_float64().
+  double f64() const { return f64_; }
+
+  /// \brief Value equality; NULL == NULL is true here (SQL DISTINCT
+  /// semantics, which is what grounding's set-union needs).
+  friend bool operator==(const Value& a, const Value& b) {
+    if (a.tag_ != b.tag_) return false;
+    switch (a.tag_) {
+      case Tag::kNull:
+        return true;
+      case Tag::kInt64:
+        return a.i64_ == b.i64_;
+      case Tag::kFloat64:
+        return a.f64_ == b.f64_;
+    }
+    return false;
+  }
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+
+  /// \brief Total order: NULL < ints < floats; used for stable sorting in
+  /// tests and result printing.
+  friend bool operator<(const Value& a, const Value& b) {
+    if (a.tag_ != b.tag_) return a.tag_ < b.tag_;
+    switch (a.tag_) {
+      case Tag::kNull:
+        return false;
+      case Tag::kInt64:
+        return a.i64_ < b.i64_;
+      case Tag::kFloat64:
+        return a.f64_ < b.f64_;
+    }
+    return false;
+  }
+
+  size_t Hash() const {
+    uint64_t h = 0;
+    switch (tag_) {
+      case Tag::kNull:
+        h = 0x9E3779B97F4A7C15ULL;
+        break;
+      case Tag::kInt64:
+        h = static_cast<uint64_t>(i64_);
+        break;
+      case Tag::kFloat64: {
+        // Normalize -0.0 to 0.0 so equal values hash equally.
+        double d = f64_ == 0.0 ? 0.0 : f64_;
+        h = std::hash<double>{}(d);
+        break;
+      }
+    }
+    // Fibonacci-style mix.
+    h ^= h >> 33;
+    h *= 0xFF51AFD7ED558CCDULL;
+    h ^= h >> 33;
+    return static_cast<size_t>(h);
+  }
+
+  std::string ToString() const;
+
+ private:
+  enum class Tag : uint8_t { kNull = 0, kInt64 = 1, kFloat64 = 2 };
+  constexpr Value(Tag tag, int64_t v) : tag_(tag), i64_(v) {}
+  constexpr explicit Value(double v) : tag_(Tag::kFloat64), f64_(v) {}
+
+  Tag tag_;
+  union {
+    int64_t i64_;
+    double f64_;
+  };
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& v);
+
+}  // namespace probkb
+
+#endif  // PROBKB_RELATIONAL_VALUE_H_

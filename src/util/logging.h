@@ -1,0 +1,60 @@
+#ifndef PROBKB_UTIL_LOGGING_H_
+#define PROBKB_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace probkb {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// \brief Process-wide minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// \brief One log statement; flushes the accumulated line on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+#define PROBKB_LOG(level)                                              \
+  ::probkb::internal_logging::LogMessage(::probkb::LogLevel::k##level, \
+                                         __FILE__, __LINE__)
+
+/// \brief Fatal invariant check (always on); prints and aborts on failure.
+#define PROBKB_CHECK(cond)                                              \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::cerr << "CHECK failed at " << __FILE__ << ":" << __LINE__    \
+                << ": " #cond << std::endl;                             \
+      std::abort();                                                     \
+    }                                                                   \
+  } while (false)
+
+#define PROBKB_DCHECK(cond) PROBKB_CHECK(cond)
+
+}  // namespace probkb
+
+#endif  // PROBKB_UTIL_LOGGING_H_

@@ -1,0 +1,121 @@
+#ifndef PROBKB_UTIL_RANDOM_H_
+#define PROBKB_UTIL_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace probkb {
+
+/// \brief Deterministic xoshiro256** PRNG.
+///
+/// All randomized components (data generation, Gibbs sampling) take an
+/// explicit Rng so runs are reproducible from a single seed. Satisfies the
+/// UniformRandomBitGenerator concept.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) {
+    // SplitMix64 seeding, as recommended by the xoshiro authors.
+    uint64_t x = seed;
+    for (int i = 0; i < 4; ++i) {
+      x += 0x9E3779B97F4A7C15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      s_[i] = z ^ (z >> 31);
+    }
+  }
+
+  static constexpr uint64_t min() { return 0; }
+  static constexpr uint64_t max() { return ~0ULL; }
+
+  uint64_t operator()() { return Next(); }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) using Lemire's multiply-shift rejection.
+  uint64_t Uniform(uint64_t bound) {
+    if (bound == 0) return 0;
+    uint64_t x = Next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    uint64_t l = static_cast<uint64_t>(m);
+    if (l < bound) {
+      uint64_t t = -bound % bound;
+      while (l < t) {
+        x = Next();
+        m = static_cast<__uint128_t>(x) * bound;
+        l = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(
+                    Uniform(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    return lo + (hi - lo) * UniformDouble();
+  }
+
+  /// Bernoulli draw with success probability p.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Zipf-like draw in [0, n): index i has weight (i+1)^-alpha.
+  /// Uses the inverse-power approximation (Gray et al.), O(1) per draw.
+  uint64_t Zipf(uint64_t n, double alpha) {
+    if (n <= 1) return 0;
+    if (alpha <= 0.0) return Uniform(n);
+    // Approximate inverse CDF of the continuous analogue.
+    double u = UniformDouble();
+    double one_minus = 1.0 - alpha;
+    double v;
+    if (std::abs(one_minus) < 1e-9) {
+      v = std::pow(static_cast<double>(n), u);
+    } else {
+      double nn = std::pow(static_cast<double>(n), one_minus);
+      v = std::pow(u * (nn - 1.0) + 1.0, 1.0 / one_minus);
+    }
+    uint64_t idx = static_cast<uint64_t>(v) - (v >= 1.0 ? 1 : 0);
+    return idx >= n ? n - 1 : idx;
+  }
+
+  /// Standard normal via Box-Muller.
+  double Normal(double mean = 0.0, double stddev = 1.0) {
+    double u1 = UniformDouble();
+    double u2 = UniformDouble();
+    if (u1 < 1e-300) u1 = 1e-300;
+    double z = std::sqrt(-2.0 * std::log(u1)) *
+               std::cos(2.0 * 3.14159265358979323846 * u2);
+    return mean + stddev * z;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  uint64_t s_[4];
+};
+
+}  // namespace probkb
+
+#endif  // PROBKB_UTIL_RANDOM_H_

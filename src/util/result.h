@@ -1,0 +1,79 @@
+#ifndef PROBKB_UTIL_RESULT_H_
+#define PROBKB_UTIL_RESULT_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <utility>
+#include <variant>
+
+#include "util/status.h"
+
+namespace probkb {
+
+/// \brief Holds either a value of type T or a non-OK Status.
+///
+/// Mirrors arrow::Result. Use PROBKB_ASSIGN_OR_RETURN to unwrap inside
+/// functions that themselves return Status/Result.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or an error Status keeps call sites
+  /// terse (`return value;` / `return Status::...;`), matching Arrow.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(repr_).ok()) {
+      std::cerr << "Result<T> constructed from OK status\n";
+      std::abort();
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(repr_);
+  }
+
+  /// Precondition: ok(). Aborts otherwise (programming error).
+  T& ValueOrDie() {
+    CheckOk();
+    return std::get<T>(repr_);
+  }
+  const T& ValueOrDie() const {
+    CheckOk();
+    return std::get<T>(repr_);
+  }
+  T MoveValueOrDie() {
+    CheckOk();
+    return std::move(std::get<T>(repr_));
+  }
+
+  T& operator*() { return ValueOrDie(); }
+  const T& operator*() const { return ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      std::cerr << "Result::ValueOrDie on error: " << status().ToString()
+                << "\n";
+      std::abort();
+    }
+  }
+  std::variant<T, Status> repr_;
+};
+
+/// \brief Unwraps a Result<T> into `lhs`, returning the error on failure.
+#define PROBKB_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                 \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = tmp.MoveValueOrDie()
+
+#define PROBKB_ASSIGN_OR_RETURN(lhs, rexpr) \
+  PROBKB_ASSIGN_OR_RETURN_IMPL(             \
+      PROBKB_CONCAT(_probkb_result_, __COUNTER__), lhs, rexpr)
+
+}  // namespace probkb
+
+#endif  // PROBKB_UTIL_RESULT_H_

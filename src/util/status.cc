@@ -1,0 +1,37 @@
+#include "util/status.h"
+
+namespace probkb {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "Invalid argument";
+    case StatusCode::kNotFound:
+      return "Not found";
+    case StatusCode::kAlreadyExists:
+      return "Already exists";
+    case StatusCode::kOutOfRange:
+      return "Out of range";
+    case StatusCode::kUnimplemented:
+      return "Unimplemented";
+    case StatusCode::kInternal:
+      return "Internal error";
+    case StatusCode::kIOError:
+      return "IO error";
+    case StatusCode::kParseError:
+      return "Parse error";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(state_->code);
+  out += ": ";
+  out += state_->msg;
+  return out;
+}
+
+}  // namespace probkb

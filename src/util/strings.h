@@ -1,0 +1,34 @@
+#ifndef PROBKB_UTIL_STRINGS_H_
+#define PROBKB_UTIL_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace probkb {
+
+/// \brief Splits `input` on `sep`, keeping empty fields.
+std::vector<std::string_view> Split(std::string_view input, char sep);
+
+/// \brief Strips leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+/// \brief True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// \brief Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// \brief Parses a double; returns false on malformed input.
+bool ParseDouble(std::string_view s, double* out);
+
+/// \brief Parses a signed 64-bit integer; returns false on malformed input.
+bool ParseInt64(std::string_view s, int64_t* out);
+
+/// \brief Formats with printf semantics into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace probkb
+
+#endif  // PROBKB_UTIL_STRINGS_H_

@@ -1,0 +1,259 @@
+#include "datagen/synthetic_kb.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "grounding/grounder.h"
+#include "tests/test_util.h"
+
+namespace probkb {
+namespace {
+
+class GeneratorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SyntheticKbConfig cfg;
+    cfg.scale = 0.01;
+    auto skb = GenerateReverbSherlockKb(cfg);
+    ASSERT_TRUE(skb.ok()) << skb.status();
+    skb_ = new SyntheticKb(std::move(*skb));
+    cfg_ = new SyntheticKbConfig(cfg);
+  }
+  static void TearDownTestSuite() {
+    delete skb_;
+    delete cfg_;
+    skb_ = nullptr;
+    cfg_ = nullptr;
+  }
+  static SyntheticKb* skb_;
+  static SyntheticKbConfig* cfg_;
+};
+
+SyntheticKb* GeneratorTest::skb_ = nullptr;
+SyntheticKbConfig* GeneratorTest::cfg_ = nullptr;
+
+TEST_F(GeneratorTest, HitsConfiguredCounts) {
+  const KnowledgeBase& kb = skb_->kb;
+  EXPECT_TRUE(kb.Validate().ok());
+  // Rules exactly; facts within a small slack (deduping after entity
+  // merging can drop a few).
+  EXPECT_EQ(static_cast<int64_t>(kb.rules().size()), cfg_->NumRules());
+  EXPECT_GE(static_cast<int64_t>(kb.facts().size()),
+            cfg_->NumFacts() * 95 / 100);
+  EXPECT_GE(kb.relations().size(), cfg_->NumRelations());  // + reserved heads
+  EXPECT_GT(kb.constraints().size(), 0u);
+}
+
+TEST_F(GeneratorTest, RulesAreTypeConsistentWithSignatures) {
+  std::unordered_map<RelationId, RelationSignature> sig;
+  for (const auto& s : skb_->kb.signatures()) sig[s.relation] = s;
+  for (const HornRule& r : skb_->kb.rules()) {
+    ASSERT_TRUE(sig.count(r.head));
+    EXPECT_EQ(sig[r.head].domain, r.c1);
+    EXPECT_EQ(sig[r.head].range, r.c2);
+    // Body classes are consistent with the structure.
+    const auto& q = sig[r.body1];
+    switch (r.structure) {
+      case RuleStructure::kM1:
+        EXPECT_EQ(q.domain, r.c1);
+        EXPECT_EQ(q.range, r.c2);
+        break;
+      case RuleStructure::kM2:
+        EXPECT_EQ(q.domain, r.c2);
+        EXPECT_EQ(q.range, r.c1);
+        break;
+      case RuleStructure::kM3:
+      case RuleStructure::kM5:
+        EXPECT_EQ(q.domain, r.c3);
+        EXPECT_EQ(q.range, r.c1);
+        break;
+      case RuleStructure::kM4:
+      case RuleStructure::kM6:
+        EXPECT_EQ(q.domain, r.c1);
+        EXPECT_EQ(q.range, r.c3);
+        break;
+    }
+  }
+}
+
+TEST_F(GeneratorTest, FactsAreTypeConsistent) {
+  std::unordered_map<RelationId, RelationSignature> sig;
+  for (const auto& s : skb_->kb.signatures()) sig[s.relation] = s;
+  for (const Fact& f : skb_->kb.facts()) {
+    auto it = sig.find(f.relation);
+    ASSERT_NE(it, sig.end());
+    EXPECT_EQ(f.c1, it->second.domain);
+    EXPECT_EQ(f.c2, it->second.range);
+  }
+}
+
+TEST_F(GeneratorTest, DeterministicForSeed) {
+  auto again = GenerateReverbSherlockKb(*cfg_);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->kb.facts().size(), skb_->kb.facts().size());
+  EXPECT_EQ(again->kb.rules().size(), skb_->kb.rules().size());
+  EXPECT_EQ(again->truth.true_closure, skb_->truth.true_closure);
+  for (size_t i = 0; i < skb_->kb.facts().size(); ++i) {
+    EXPECT_EQ(skb_->kb.facts()[i].x, again->kb.facts()[i].x);
+    EXPECT_EQ(skb_->kb.facts()[i].relation, again->kb.facts()[i].relation);
+  }
+}
+
+TEST_F(GeneratorTest, DifferentSeedsDiffer) {
+  SyntheticKbConfig other = *cfg_;
+  other.seed = cfg_->seed + 1;
+  auto skb2 = GenerateReverbSherlockKb(other);
+  ASSERT_TRUE(skb2.ok());
+  bool any_diff = skb2->kb.facts().size() != skb_->kb.facts().size();
+  for (size_t i = 0;
+       !any_diff && i < std::min(skb2->kb.facts().size(),
+                                 skb_->kb.facts().size());
+       ++i) {
+    any_diff = skb2->kb.facts()[i].x != skb_->kb.facts()[i].x ||
+               skb2->kb.facts()[i].relation != skb_->kb.facts()[i].relation;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST_F(GeneratorTest, InjectedErrorsAreLabeled) {
+  const GroundTruth& truth = skb_->truth;
+  EXPECT_GT(truth.labels.ambiguous_entities.size(), 0u);
+  EXPECT_GT(truth.labels.incorrect_extractions.size(), 0u);
+  EXPECT_GT(truth.labels.bad_rule_heads.size(), 0u);
+  EXPECT_GT(truth.incorrect_rule_indices.size(), 0u);
+  // Incorrect extractions are present in the KB and false in the world.
+  int found = 0;
+  for (const Fact& f : skb_->kb.facts()) {
+    if (truth.labels.incorrect_extractions.count({f.relation, f.x, f.y})) {
+      ++found;
+      EXPECT_FALSE(truth.true_closure.count({f.relation, f.x, f.y}));
+    }
+  }
+  EXPECT_GT(found, 0);
+}
+
+TEST_F(GeneratorTest, AmbiguousEntitiesHaveTwoReferents) {
+  for (EntityId e : skb_->truth.labels.ambiguous_entities) {
+    const auto& u = skb_->truth.UnderlyingOf(e);
+    ASSERT_EQ(u.size(), 2u);
+    EXPECT_EQ(u[0], e);
+    EXPECT_NE(u[1], e);
+  }
+}
+
+TEST_F(GeneratorTest, TruthOracleAcceptsMergedReferents) {
+  // A surface fact rewritten onto an ambiguous entity is still correct.
+  const GroundTruth& truth = skb_->truth;
+  ASSERT_FALSE(truth.labels.ambiguous_entities.empty());
+  int checked = 0;
+  for (const Fact& f : skb_->kb.facts()) {
+    if (!f.has_weight()) continue;
+    if (truth.labels.ambiguous_entities.count(f.x) == 0) continue;
+    if (truth.labels.incorrect_extractions.count({f.relation, f.x, f.y})) {
+      continue;
+    }
+    EXPECT_TRUE(truth.IsTrue(f.relation, f.x, f.y))
+        << skb_->kb.FactToString(f);
+    ++checked;
+    if (checked > 20) break;
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST_F(GeneratorTest, BaseTrueFactsRespectFunctionalDegrees) {
+  // Count (R, x) fan-out of *true* base facts for Type-I functional
+  // relations; must not exceed the declared degree (ambiguity merging can
+  // break this for surface facts, so check against underlying referents by
+  // skipping merged entities).
+  std::unordered_map<RelationId, int64_t> degree;
+  for (const auto& c : skb_->kb.constraints()) {
+    if (c.type == FunctionalityType::kTypeI) degree[c.relation] = c.degree;
+  }
+  std::map<std::pair<RelationId, EntityId>, int64_t> fanout;
+  for (const Fact& f : skb_->kb.facts()) {
+    if (!degree.count(f.relation)) continue;
+    if (skb_->truth.labels.ambiguous_entities.count(f.x)) continue;
+    if (skb_->truth.labels.incorrect_extractions.count(
+            {f.relation, f.x, f.y})) {
+      continue;
+    }
+    if (skb_->truth.labels.general_type_entities.count(f.y)) continue;
+    if (skb_->truth.labels.synonym_entities.count(f.y)) continue;
+    ++fanout[{f.relation, f.x}];
+  }
+  for (const auto& [key, count] : fanout) {
+    EXPECT_LE(count, degree[key.first])
+        << "relation " << key.first << " entity " << key.second;
+  }
+}
+
+TEST_F(GeneratorTest, TruthClosureContainsBaseTrueFacts) {
+  const GroundTruth& truth = skb_->truth;
+  for (const Fact& f : skb_->kb.facts()) {
+    if (truth.labels.incorrect_extractions.count({f.relation, f.x, f.y})) {
+      continue;
+    }
+    // Every non-error base fact is true under some referent combination.
+    EXPECT_TRUE(truth.IsTrue(f.relation, f.x, f.y));
+  }
+}
+
+TEST(PrecisionTest, CountsOnlyInferredFacts) {
+  GroundTruth truth;
+  truth.true_closure.insert({1, 2, 3});
+  auto t_pi = Table::Make(TPiSchema());
+  AppendFactRow(t_pi.get(), 0, {1, 2, 3, 4, 5, 0.9});  // base, ignored
+  Fact inferred_true{1, 2, 0, 3, 0, std::nan("")};
+  inferred_true.x = 2;
+  inferred_true.y = 3;
+  AppendFactRow(t_pi.get(), 1, inferred_true);
+  Fact inferred_false{9, 2, 0, 3, 0, std::nan("")};
+  AppendFactRow(t_pi.get(), 2, inferred_false);
+
+  auto report = EvaluateInferred(*t_pi, truth);
+  EXPECT_EQ(report.inferred, 2);
+  EXPECT_EQ(report.correct, 1);
+  EXPECT_DOUBLE_EQ(report.precision, 0.5);
+}
+
+TEST(S1WorkloadTest, AddRandomRulesReachesTargetAndStaysValid) {
+  SyntheticKbConfig cfg;
+  cfg.scale = 0.005;
+  auto skb = GenerateReverbSherlockKb(cfg);
+  ASSERT_TRUE(skb.ok());
+  int64_t target = static_cast<int64_t>(skb->kb.rules().size()) + 300;
+  ASSERT_TRUE(AddRandomRules(&skb->kb, target, 7).ok());
+  EXPECT_EQ(static_cast<int64_t>(skb->kb.rules().size()), target);
+  EXPECT_TRUE(skb->kb.Validate().ok());
+  // No duplicate rules.
+  std::set<std::tuple<int, RelationId, RelationId, RelationId, ClassId,
+                      ClassId, ClassId>>
+      keys;
+  for (const HornRule& r : skb->kb.rules()) {
+    EXPECT_TRUE(keys
+                    .emplace(static_cast<int>(r.structure), r.head, r.body1,
+                             r.body2, r.c1, r.c2, r.c3)
+                    .second);
+  }
+}
+
+TEST(S2WorkloadTest, AddRandomFactsReachesTargetAndStaysValid) {
+  SyntheticKbConfig cfg;
+  cfg.scale = 0.005;
+  auto skb = GenerateReverbSherlockKb(cfg);
+  ASSERT_TRUE(skb.ok());
+  int64_t target = static_cast<int64_t>(skb->kb.facts().size()) + 2000;
+  ASSERT_TRUE(AddRandomFacts(&skb->kb, target, 9).ok());
+  EXPECT_EQ(static_cast<int64_t>(skb->kb.facts().size()), target);
+  EXPECT_TRUE(skb->kb.Validate().ok());
+}
+
+TEST(S1WorkloadTest, RequiresSignatures) {
+  KnowledgeBase kb;
+  EXPECT_FALSE(AddRandomRules(&kb, 10, 1).ok());
+  EXPECT_FALSE(AddRandomFacts(&kb, 10, 1).ok());
+}
+
+}  // namespace
+}  // namespace probkb

@@ -1,0 +1,334 @@
+#include "grounding/grounder.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/synthetic_kb.h"
+#include "engine/ops.h"
+#include "grounding/partition_queries.h"
+#include "tests/test_util.h"
+
+namespace probkb {
+namespace {
+
+using testutil::BuildPaperExampleKB;
+using testutil::TPiAtomSet;
+
+class PaperExampleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    kb_ = BuildPaperExampleKB();
+    ASSERT_TRUE(kb_.Validate().ok());
+    rkb_ = BuildRelationalModel(kb_);
+    rg_ = kb_.entities().Lookup("Ruth Gruber");
+    nyc_ = kb_.entities().Lookup("New York City");
+    br_ = kb_.entities().Lookup("Brooklyn");
+    w_ = kb_.classes().Lookup("Writer");
+    c_ = kb_.classes().Lookup("City");
+    p_ = kb_.classes().Lookup("Place");
+    born_ = kb_.relations().Lookup("born_in");
+    live_ = kb_.relations().Lookup("live_in");
+    grow_ = kb_.relations().Lookup("grow_up_in");
+    located_ = kb_.relations().Lookup("located_in");
+  }
+
+  KnowledgeBase kb_;
+  RelationalKB rkb_;
+  EntityId rg_, nyc_, br_;
+  ClassId w_, c_, p_;
+  RelationId born_, live_, grow_, located_;
+};
+
+TEST_F(PaperExampleTest, RelationalModelShapes) {
+  EXPECT_EQ(rkb_.t_pi->NumRows(), 2);
+  EXPECT_EQ(rkb_.m[0]->NumRows(), 4);  // M1
+  EXPECT_EQ(rkb_.m[1]->NumRows(), 0);  // M2
+  EXPECT_EQ(rkb_.m[2]->NumRows(), 2);  // M3
+  EXPECT_EQ(rkb_.t_omega->NumRows(), 1);
+  EXPECT_EQ(rkb_.next_fact_id, 2);
+}
+
+TEST_F(PaperExampleTest, FirstIterationInfersM1AndM3Atoms) {
+  Grounder grounder(&rkb_, GroundingOptions{});
+  auto added = grounder.GroundAtomsIteration();
+  ASSERT_TRUE(added.ok()) << added.status();
+  // Four M1 conclusions plus located_in(Brooklyn, NYC) from the born_in
+  // pair (both partitions are applied against the initial snapshot).
+  EXPECT_EQ(*added, 5);
+
+  auto atoms = TPiAtomSet(*rkb_.t_pi);
+  EXPECT_TRUE(atoms.count({live_, rg_, w_, nyc_, c_}));
+  EXPECT_TRUE(atoms.count({live_, rg_, w_, br_, p_}));
+  EXPECT_TRUE(atoms.count({grow_, rg_, w_, nyc_, c_}));
+  EXPECT_TRUE(atoms.count({grow_, rg_, w_, br_, p_}));
+  EXPECT_TRUE(atoms.count({located_, br_, p_, nyc_, c_}));
+}
+
+TEST_F(PaperExampleTest, ClosureReachesFixpoint) {
+  Grounder grounder(&rkb_, GroundingOptions{});
+  ASSERT_TRUE(grounder.GroundAtoms().ok());
+  // 2 base facts + 5 inferred; the second iteration re-derives
+  // located_in from live_in, which is already present -> fixpoint.
+  EXPECT_EQ(rkb_.t_pi->NumRows(), 7);
+  EXPECT_EQ(grounder.stats().iterations, 2);
+  EXPECT_EQ(grounder.stats().iteration_new_atoms.back(), 0);
+}
+
+TEST_F(PaperExampleTest, GroundFactorsMatchesFigure3) {
+  Grounder grounder(&rkb_, GroundingOptions{});
+  ASSERT_TRUE(grounder.GroundAtoms().ok());
+  auto t_phi = grounder.GroundFactors();
+  ASSERT_TRUE(t_phi.ok()) << t_phi.status();
+
+  // Figure 3(e): 4 M1 factors, 2 M3 factors (one per rule), 2 singletons.
+  EXPECT_EQ((*t_phi)->NumRows(), 8);
+
+  auto canon = testutil::CanonicalizeFactors(**t_phi, *rkb_.t_pi);
+  using testutil::AtomKey;
+  AtomKey born_nyc{born_, rg_, w_, nyc_, c_};
+  AtomKey born_br{born_, rg_, w_, br_, p_};
+  AtomKey live_nyc{live_, rg_, w_, nyc_, c_};
+  AtomKey live_br{live_, rg_, w_, br_, p_};
+  AtomKey loc{located_, br_, p_, nyc_, c_};
+
+  auto contains = [&](const testutil::CanonicalFactor& f) {
+    for (const auto& g : canon) {
+      if (g == f) return true;
+    }
+    return false;
+  };
+  // live_in(RG, NYC) <- born_in(RG, NYC), weight 1.53.
+  EXPECT_TRUE(contains({live_nyc, {born_nyc}, 1530}));
+  // live_in(RG, Br) <- born_in(RG, Br), weight 1.40.
+  EXPECT_TRUE(contains({live_br, {born_br}, 1400}));
+  // located_in <- born_in(RG, Br) & born_in(RG, NYC), weight 0.52.
+  EXPECT_TRUE(contains({loc, {born_br, born_nyc}, 520}));
+  // located_in <- live_in(RG, Br) & live_in(RG, NYC), weight 0.32.
+  EXPECT_TRUE(contains({loc, {live_br, live_nyc}, 320}));
+  // Singletons for the two extracted facts.
+  EXPECT_TRUE(contains({born_nyc, {}, 960}));
+  EXPECT_TRUE(contains({born_br, {}, 930}));
+}
+
+TEST_F(PaperExampleTest, FactorsHaveNoDuplicatesWithinPartition) {
+  // Proposition 1: Query 2-i emits no duplicate (I1, I2, I3).
+  Grounder grounder(&rkb_, GroundingOptions{});
+  ASSERT_TRUE(grounder.GroundAtoms().ok());
+  for (int p = 1; p <= kNumRuleStructures; ++p) {
+    if (rkb_.m[static_cast<size_t>(p - 1)]->NumRows() == 0) continue;
+    ExecContext ec;
+    auto factors = GroundFactorsForPartition(
+        p, rkb_.m[static_cast<size_t>(p - 1)], rkb_.t_pi, rkb_.t_pi,
+        rkb_.t_pi, &ec);
+    ASSERT_TRUE(factors.ok());
+    auto rows = (*factors)->SortedRows();
+    auto unique_end = std::unique(rows.begin(), rows.end());
+    EXPECT_EQ(unique_end, rows.end())
+        << "duplicate factor in partition " << p;
+  }
+}
+
+TEST_F(PaperExampleTest, ConstraintRemovesAmbiguousBornIn) {
+  // born_in is Type-I functional with degree 1; Ruth Gruber is born in two
+  // places *of different classes* (City and Place), which Query 3 groups
+  // separately — so no violation is flagged on the clean example.
+  Grounder grounder(&rkb_, GroundingOptions{});
+  auto deleted = grounder.ApplyConstraints();
+  ASSERT_TRUE(deleted.ok());
+  EXPECT_EQ(*deleted, 0);
+
+  // Add a second born_in City fact: now (born_in, RG, W, C) has 2 rows >
+  // degree 1, so RG is flagged and every fact keyed by (RG, W) as x is
+  // removed.
+  EntityId chicago = kb_.entities().GetOrAdd("Chicago");
+  AppendFactRow(rkb_.t_pi.get(), rkb_.next_fact_id++,
+                {born_, rg_, w_, chicago, c_, 0.5});
+  auto deleted2 = grounder.ApplyConstraints();
+  ASSERT_TRUE(deleted2.ok());
+  EXPECT_EQ(*deleted2, 3);  // all three born_in facts have x = (RG, W)
+  EXPECT_EQ(rkb_.t_pi->NumRows(), 0);
+}
+
+TEST_F(PaperExampleTest, StatementCountIsPerPartitionNotPerRule) {
+  Grounder grounder(&rkb_, GroundingOptions{});
+  ASSERT_TRUE(grounder.GroundAtoms().ok());
+  // Two non-empty partitions, two iterations -> 4 statements, although 6
+  // rules exist. Tuffy-T would have issued 6 per iteration.
+  EXPECT_EQ(grounder.stats().statements, 4);
+}
+
+TEST(MergeAtomsTest, AssignsFreshIdsAndDedupes) {
+  auto t_pi = Table::Make(TPiSchema());
+  AppendFactRow(t_pi.get(), 0, {7, 1, 2, 3, 4, 0.5});
+  FactId next = 1;
+
+  auto atoms = Table::Make(AtomSchema());
+  atoms->AppendRow({Value::Int64(7), Value::Int64(1), Value::Int64(2),
+                    Value::Int64(3), Value::Int64(4)});  // duplicate
+  atoms->AppendRow({Value::Int64(8), Value::Int64(1), Value::Int64(2),
+                    Value::Int64(3), Value::Int64(4)});  // new
+  atoms->AppendRow({Value::Int64(8), Value::Int64(1), Value::Int64(2),
+                    Value::Int64(3), Value::Int64(4)});  // dup within batch
+
+  EXPECT_EQ(MergeAtomsIntoTPi(t_pi.get(), *atoms, &next), 1);
+  EXPECT_EQ(t_pi->NumRows(), 2);
+  EXPECT_EQ(next, 2);
+  RowView added = t_pi->row(1);
+  EXPECT_EQ(added[tpi::kI].i64(), 1);
+  EXPECT_TRUE(added[tpi::kW].is_null());
+}
+
+
+// --- Semi-naive evaluation ----------------------------------------------------
+
+TEST_F(PaperExampleTest, SemiNaiveMatchesNaiveClosure) {
+  RelationalKB rkb2 = BuildRelationalModel(kb_);
+  GroundingOptions semi;
+  semi.evaluation = EvaluationMode::kSemiNaive;
+  Grounder grounder_semi(&rkb2, semi);
+  ASSERT_TRUE(grounder_semi.GroundAtoms().ok());
+
+  Grounder grounder_naive(&rkb_, GroundingOptions{});
+  ASSERT_TRUE(grounder_naive.GroundAtoms().ok());
+
+  EXPECT_EQ(TPiAtomSet(*rkb2.t_pi), TPiAtomSet(*rkb_.t_pi));
+}
+
+TEST_F(PaperExampleTest, SemiNaiveRejectsConstraintsInLoop) {
+  GroundingOptions options;
+  options.evaluation = EvaluationMode::kSemiNaive;
+  options.apply_constraints_each_iteration = true;
+  Grounder grounder(&rkb_, options);
+  auto added = grounder.GroundAtomsIteration();
+  EXPECT_FALSE(added.ok());
+  EXPECT_EQ(added.status().code(), StatusCode::kInvalidArgument);
+}
+
+// Property: semi-naive evaluation reaches exactly the naive closure on
+// random synthetic KBs, and does strictly less probe work after the first
+// iteration.
+class SemiNaivePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SemiNaivePropertyTest, ClosuresMatch) {
+  SyntheticKbConfig cfg;
+  cfg.scale = 0.003;
+  cfg.seed = static_cast<uint64_t>(GetParam()) * 131 + 7;
+  auto skb = GenerateReverbSherlockKb(cfg);
+  ASSERT_TRUE(skb.ok());
+
+  RelationalKB naive_rkb = BuildRelationalModel(skb->kb);
+  GroundingOptions naive_options;
+  naive_options.max_iterations = 6;
+  Grounder naive(&naive_rkb, naive_options);
+  ASSERT_TRUE(naive.GroundAtoms().ok());
+
+  RelationalKB semi_rkb = BuildRelationalModel(skb->kb);
+  GroundingOptions semi_options;
+  semi_options.max_iterations = 6;
+  semi_options.evaluation = EvaluationMode::kSemiNaive;
+  Grounder semi(&semi_rkb, semi_options);
+  ASSERT_TRUE(semi.GroundAtoms().ok());
+
+  EXPECT_EQ(testutil::TPiAtomSet(*semi_rkb.t_pi),
+            testutil::TPiAtomSet(*naive_rkb.t_pi));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SemiNaivePropertyTest, ::testing::Range(0, 5));
+
+TEST(GroundingMonotonicityTest, TPiOnlyGrowsWithoutConstraints) {
+  SyntheticKbConfig cfg;
+  cfg.scale = 0.003;
+  auto skb = GenerateReverbSherlockKb(cfg);
+  ASSERT_TRUE(skb.ok());
+  RelationalKB rkb = BuildRelationalModel(skb->kb);
+  GroundingOptions options;
+  options.max_iterations = 5;
+  Grounder grounder(&rkb, options);
+  int64_t prev = rkb.t_pi->NumRows();
+  for (int i = 0; i < 5; ++i) {
+    auto added = grounder.GroundAtomsIteration();
+    ASSERT_TRUE(added.ok());
+    EXPECT_EQ(rkb.t_pi->NumRows(), prev + *added);
+    EXPECT_GE(*added, 0);
+    prev = rkb.t_pi->NumRows();
+  }
+}
+
+
+// --- Constraint degrees and Type II ---------------------------------------------
+
+KnowledgeBase DegreeKb(FunctionalityType type, int64_t degree) {
+  KnowledgeBase kb;
+  RelationId rel = kb.relations().GetOrAdd("lives_in");
+  ClassId person = kb.classes().GetOrAdd("Person");
+  ClassId country = kb.classes().GetOrAdd("Country");
+  kb.AddConstraint({rel, type, degree});
+  // ann lives in 3 countries; bob in 1. For Type II: 3 people live in one
+  // country (fine) but the constraint keys the country side.
+  EntityId ann = kb.entities().GetOrAdd("ann");
+  EntityId bob = kb.entities().GetOrAdd("bob");
+  EntityId cid = kb.entities().GetOrAdd("cid");
+  EntityId fr = kb.entities().GetOrAdd("fr");
+  EntityId de = kb.entities().GetOrAdd("de");
+  EntityId jp = kb.entities().GetOrAdd("jp");
+  kb.AddFact({rel, ann, person, fr, country, 0.9});
+  kb.AddFact({rel, ann, person, de, country, 0.9});
+  kb.AddFact({rel, ann, person, jp, country, 0.9});
+  kb.AddFact({rel, bob, person, fr, country, 0.9});
+  kb.AddFact({rel, cid, person, fr, country, 0.9});
+  return kb;
+}
+
+TEST(ConstraintDegreeTest, PseudoFunctionalAllowsUpToDegree) {
+  // Type I, degree 3: ann's 3 countries are within the 1-delta mapping.
+  {
+    KnowledgeBase kb = DegreeKb(FunctionalityType::kTypeI, 3);
+    RelationalKB rkb = BuildRelationalModel(kb);
+    Grounder grounder(&rkb, GroundingOptions{});
+    auto deleted = grounder.ApplyConstraints();
+    ASSERT_TRUE(deleted.ok());
+    EXPECT_EQ(*deleted, 0);
+  }
+  // Degree 2: ann violates; all three of her facts go (bob and cid stay).
+  {
+    KnowledgeBase kb = DegreeKb(FunctionalityType::kTypeI, 2);
+    RelationalKB rkb = BuildRelationalModel(kb);
+    Grounder grounder(&rkb, GroundingOptions{});
+    auto deleted = grounder.ApplyConstraints();
+    ASSERT_TRUE(deleted.ok());
+    EXPECT_EQ(*deleted, 3);
+    EXPECT_EQ(rkb.t_pi->NumRows(), 2);
+  }
+}
+
+TEST(ConstraintDegreeTest, TypeIIKeysTheObjectSide) {
+  // Type II, degree 2: fr has 3 inhabitants -> fr is the violator and all
+  // facts with y = fr are deleted; ann keeps her other countries.
+  KnowledgeBase kb = DegreeKb(FunctionalityType::kTypeII, 2);
+  RelationalKB rkb = BuildRelationalModel(kb);
+  Grounder grounder(&rkb, GroundingOptions{});
+  auto deleted = grounder.ApplyConstraints();
+  ASSERT_TRUE(deleted.ok());
+  EXPECT_EQ(*deleted, 3);
+  auto atoms = TPiAtomSet(*rkb.t_pi);
+  EntityId fr = kb.entities().Lookup("fr");
+  for (const auto& atom : atoms) {
+    EXPECT_NE(std::get<3>(atom), fr);
+  }
+  EXPECT_EQ(rkb.t_pi->NumRows(), 2);  // ann-de and ann-jp survive
+}
+
+TEST(ConstraintDegreeTest, BannedEntitiesStayBanned) {
+  KnowledgeBase kb = DegreeKb(FunctionalityType::kTypeI, 2);
+  RelationalKB rkb = BuildRelationalModel(kb);
+  Grounder grounder(&rkb, GroundingOptions{});
+  ASSERT_TRUE(grounder.ApplyConstraints().ok());
+  EXPECT_EQ(grounder.banned_x().size(), 1u);
+  // Re-application is a no-op (idempotent).
+  auto again = grounder.ApplyConstraints();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, 0);
+  EXPECT_EQ(grounder.banned_x().size(), 1u);
+}
+
+}  // namespace
+}  // namespace probkb

@@ -1,0 +1,231 @@
+#include "infer/gibbs.h"
+
+#include <gtest/gtest.h>
+
+#include "grounding/grounder.h"
+#include "tests/test_util.h"
+
+namespace probkb {
+namespace {
+
+/// Hand-built graph: one variable with a singleton factor of weight w has
+/// P(X=1) = e^w / (1 + e^w).
+FactorGraph SingleVarGraph(double w) {
+  auto t_pi = Table::Make(TPiSchema());
+  AppendFactRow(t_pi.get(), 0, {1, 2, 3, 4, 5, w});
+  auto t_phi = Table::Make(TPhiSchema());
+  t_phi->AppendRow({Value::Int64(0), Value::Null(), Value::Null(),
+                    Value::Float64(w)});
+  auto graph = FactorGraph::FromTables(*t_pi, *t_phi);
+  EXPECT_TRUE(graph.ok());
+  return std::move(*graph);
+}
+
+TEST(ExactTest, SingleVariableClosedForm) {
+  for (double w : {-1.0, 0.0, 0.5, 2.0}) {
+    FactorGraph g = SingleVarGraph(w);
+    auto marginals = ExactMarginals(g);
+    ASSERT_TRUE(marginals.ok());
+    double expected = std::exp(w) / (1.0 + std::exp(w));
+    EXPECT_NEAR((*marginals)[0], expected, 1e-12) << "w = " << w;
+  }
+}
+
+TEST(ExactTest, RefusesLargeGraphs) {
+  auto t_pi = Table::Make(TPiSchema());
+  auto t_phi = Table::Make(TPhiSchema());
+  for (int i = 0; i < 25; ++i) {
+    AppendFactRow(t_pi.get(), i, {1, i, 3, i + 100, 5, 0.5});
+  }
+  auto graph = FactorGraph::FromTables(*t_pi, *t_phi);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_FALSE(ExactMarginals(*graph, 20).ok());
+}
+
+TEST(GibbsTest, RejectsBadOptions) {
+  FactorGraph g = SingleVarGraph(1.0);
+  GibbsOptions bad;
+  bad.sample_sweeps = 0;
+  EXPECT_FALSE(GibbsMarginals(g, bad).ok());
+  bad = GibbsOptions{};
+  bad.parallelism = 0;
+  EXPECT_FALSE(GibbsMarginals(g, bad).ok());
+}
+
+TEST(GibbsTest, DeterministicForSeed) {
+  FactorGraph g = SingleVarGraph(0.7);
+  GibbsOptions options;
+  options.seed = 99;
+  auto a = GibbsMarginals(g, options);
+  auto b = GibbsMarginals(g, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->marginals, b->marginals);
+}
+
+class GibbsVsExactTest : public ::testing::TestWithParam<GibbsSchedule> {};
+
+TEST_P(GibbsVsExactTest, PaperExampleMarginalsMatchExact) {
+  KnowledgeBase kb = testutil::BuildPaperExampleKB();
+  RelationalKB rkb = BuildRelationalModel(kb);
+  Grounder grounder(&rkb, GroundingOptions{});
+  ASSERT_TRUE(grounder.GroundAtoms().ok());
+  auto phi = grounder.GroundFactors();
+  ASSERT_TRUE(phi.ok());
+  auto graph = FactorGraph::FromTables(*rkb.t_pi, **phi);
+  ASSERT_TRUE(graph.ok());
+
+  auto exact = ExactMarginals(*graph);
+  ASSERT_TRUE(exact.ok());
+
+  GibbsOptions options;
+  options.schedule = GetParam();
+  options.burn_in_sweeps = 500;
+  options.sample_sweeps = 8000;
+  options.seed = 7;
+  auto gibbs = GibbsMarginals(*graph, options);
+  ASSERT_TRUE(gibbs.ok());
+
+  ASSERT_EQ(gibbs->marginals.size(), exact->size());
+  for (size_t v = 0; v < exact->size(); ++v) {
+    EXPECT_NEAR(gibbs->marginals[v], (*exact)[v], 0.03)
+        << "variable " << v;
+  }
+  // MLN-semantics sanity: inferred heads (live_in, grow_up_in) have no
+  // penalty for being true, so their marginals exceed 1/2; the strongest
+  // rule (grow_up_in from born_in, w=2.68) pushes its head highest among
+  // the Place conclusions.
+  RelationId grow = kb.relations().Lookup("grow_up_in");
+  RelationId live = kb.relations().Lookup("live_in");
+  double p_grow = -1, p_live = -1;
+  EntityId br = kb.entities().Lookup("Brooklyn");
+  for (int64_t i = 0; i < rkb.t_pi->NumRows(); ++i) {
+    RowView row = rkb.t_pi->row(i);
+    int32_t v = graph->VariableOf(row[tpi::kI].i64());
+    double p = gibbs->marginals[static_cast<size_t>(v)];
+    if (row[tpi::kY].i64() != br) continue;
+    if (row[tpi::kR].i64() == grow) p_grow = p;
+    if (row[tpi::kR].i64() == live) p_live = p;
+  }
+  ASSERT_GE(p_grow, 0);
+  ASSERT_GE(p_live, 0);
+  EXPECT_GT(p_grow, 0.5);
+  EXPECT_GT(p_grow, p_live - 0.02);  // stronger rule, at least as likely
+}
+
+INSTANTIATE_TEST_SUITE_P(Schedules, GibbsVsExactTest,
+                         ::testing::Values(GibbsSchedule::kSequential,
+                                           GibbsSchedule::kChromatic));
+
+TEST(GibbsTest, ChromaticReportsColorsAndSpeedup) {
+  KnowledgeBase kb = testutil::BuildPaperExampleKB();
+  RelationalKB rkb = BuildRelationalModel(kb);
+  Grounder grounder(&rkb, GroundingOptions{});
+  ASSERT_TRUE(grounder.GroundAtoms().ok());
+  auto phi = grounder.GroundFactors();
+  ASSERT_TRUE(phi.ok());
+  auto graph = FactorGraph::FromTables(*rkb.t_pi, **phi);
+  ASSERT_TRUE(graph.ok());
+
+  GibbsOptions options;
+  options.schedule = GibbsSchedule::kChromatic;
+  options.parallelism = 4;
+  options.burn_in_sweeps = 10;
+  options.sample_sweeps = 10;
+  auto result = GibbsMarginals(*graph, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->num_colors, 2);
+  EXPECT_LE(result->simulated_parallel_seconds, result->seconds + 1e-9);
+}
+
+// Property: Gibbs matches exact enumeration on random small Horn graphs
+// under both schedules.
+class GibbsPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, GibbsSchedule>> {};
+
+TEST_P(GibbsPropertyTest, MatchesExactOnRandomGraphs) {
+  auto [seed, schedule] = GetParam();
+  Rng rng(static_cast<uint64_t>(seed) + 500);
+  const int n = 8;
+  auto t_pi = Table::Make(TPiSchema());
+  for (int i = 0; i < n; ++i) {
+    AppendFactRow(t_pi.get(), i, {1, i, 3, i + 100, 5,
+                                  rng.UniformDouble(-1.0, 1.5)});
+  }
+  auto t_phi = Table::Make(TPhiSchema());
+  // Singletons for half the variables.
+  for (int i = 0; i < n; i += 2) {
+    t_phi->AppendRow({Value::Int64(i), Value::Null(), Value::Null(),
+                      Value::Float64(rng.UniformDouble(-1.0, 1.5))});
+  }
+  // Random Horn factors.
+  for (int i = 0; i < 6; ++i) {
+    int head = static_cast<int>(rng.Uniform(n));
+    int b1 = static_cast<int>(rng.Uniform(n));
+    int b2 = static_cast<int>(rng.Uniform(n));
+    if (head == b1 || head == b2 || b1 == b2) continue;
+    t_phi->AppendRow({Value::Int64(head), Value::Int64(b1),
+                      rng.Bernoulli(0.5) ? Value::Int64(b2) : Value::Null(),
+                      Value::Float64(rng.UniformDouble(0.1, 2.0))});
+  }
+  auto graph = FactorGraph::FromTables(*t_pi, *t_phi);
+  ASSERT_TRUE(graph.ok());
+
+  auto exact = ExactMarginals(*graph);
+  ASSERT_TRUE(exact.ok());
+  GibbsOptions options;
+  options.schedule = schedule;
+  options.burn_in_sweeps = 500;
+  options.sample_sweeps = 6000;
+  options.seed = static_cast<uint64_t>(seed);
+  auto gibbs = GibbsMarginals(*graph, options);
+  ASSERT_TRUE(gibbs.ok());
+  for (size_t v = 0; v < exact->size(); ++v) {
+    EXPECT_NEAR(gibbs->marginals[v], (*exact)[v], 0.05) << "var " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndSchedules, GibbsPropertyTest,
+    ::testing::Combine(::testing::Range(0, 5),
+                       ::testing::Values(GibbsSchedule::kSequential,
+                                         GibbsSchedule::kChromatic)));
+
+
+TEST(GibbsTest, MultiChainPsrfNearOneWhenMixing) {
+  KnowledgeBase kb = testutil::BuildPaperExampleKB();
+  RelationalKB rkb = BuildRelationalModel(kb);
+  Grounder grounder(&rkb, GroundingOptions{});
+  ASSERT_TRUE(grounder.GroundAtoms().ok());
+  auto phi = grounder.GroundFactors();
+  ASSERT_TRUE(phi.ok());
+  auto graph = FactorGraph::FromTables(*rkb.t_pi, **phi);
+  ASSERT_TRUE(graph.ok());
+
+  GibbsOptions options;
+  options.num_chains = 4;
+  options.burn_in_sweeps = 300;
+  options.sample_sweeps = 3000;
+  auto result = GibbsMarginals(*graph, options);
+  ASSERT_TRUE(result.ok());
+  // This small graph mixes immediately: chains agree.
+  EXPECT_GT(result->max_psrf, 0.99);
+  EXPECT_LT(result->max_psrf, 1.05);
+
+  // Averaged marginals still match exact inference.
+  auto exact = ExactMarginals(*graph);
+  ASSERT_TRUE(exact.ok());
+  for (size_t v = 0; v < exact->size(); ++v) {
+    EXPECT_NEAR(result->marginals[v], (*exact)[v], 0.03);
+  }
+}
+
+TEST(GibbsTest, MultiChainValidation) {
+  FactorGraph g = SingleVarGraph(1.0);
+  GibbsOptions options;
+  options.num_chains = 0;
+  EXPECT_FALSE(GibbsMarginals(g, options).ok());
+}
+
+}  // namespace
+}  // namespace probkb

@@ -1,0 +1,118 @@
+#include "kb/kb_query.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "grounding/grounder.h"
+#include "infer/gibbs.h"
+#include "infer/writeback.h"
+#include "tests/test_util.h"
+
+namespace probkb {
+namespace {
+
+/// End-to-end fixture: paper example grounded, marginals written back.
+class QueryPipelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    kb_ = testutil::BuildPaperExampleKB();
+    rkb_ = BuildRelationalModel(kb_);
+    first_inferred_ = rkb_.next_fact_id;
+    Grounder grounder(&rkb_, GroundingOptions{});
+    ASSERT_TRUE(grounder.GroundAtoms().ok());
+    auto phi = grounder.GroundFactors();
+    ASSERT_TRUE(phi.ok());
+    auto graph = FactorGraph::FromTables(*rkb_.t_pi, **phi);
+    ASSERT_TRUE(graph.ok());
+    graph_ = std::make_unique<FactorGraph>(std::move(*graph));
+
+    GibbsOptions options;
+    options.burn_in_sweeps = 200;
+    options.sample_sweeps = 2000;
+    auto result = GibbsMarginals(*graph_, options);
+    ASSERT_TRUE(result.ok());
+    marginals_ = result->marginals;
+  }
+
+  KnowledgeBase kb_;
+  RelationalKB rkb_;
+  FactId first_inferred_ = 0;
+  std::unique_ptr<FactorGraph> graph_;
+  std::vector<double> marginals_;
+};
+
+TEST_F(QueryPipelineTest, WritebackFillsInferredWeights) {
+  auto written = WriteMarginalsToTPi(rkb_.t_pi.get(), *graph_, marginals_);
+  ASSERT_TRUE(written.ok()) << written.status();
+  EXPECT_EQ(*written, 5);  // the five inferred atoms
+  for (int64_t i = 0; i < rkb_.t_pi->NumRows(); ++i) {
+    EXPECT_FALSE(rkb_.t_pi->row(i)[tpi::kW].is_null());
+  }
+  // Base facts keep their extraction weights.
+  EXPECT_DOUBLE_EQ(rkb_.t_pi->row(0)[tpi::kW].f64(), 0.96);
+}
+
+TEST_F(QueryPipelineTest, WritebackValidatesMarginalArity) {
+  std::vector<double> wrong(3, 0.5);
+  EXPECT_FALSE(WriteMarginalsToTPi(rkb_.t_pi.get(), *graph_, wrong).ok());
+}
+
+TEST_F(QueryPipelineTest, FindByPattern) {
+  ASSERT_TRUE(
+      WriteMarginalsToTPi(rkb_.t_pi.get(), *graph_, marginals_).ok());
+  KbQuery query(&kb_, rkb_.t_pi, first_inferred_);
+
+  auto live = query.Find("live_in", "Ruth Gruber", std::nullopt);
+  ASSERT_EQ(live.size(), 2u);
+  EXPECT_TRUE(live[0].inferred);
+  EXPECT_GE(live[0].score, live[1].score);  // sorted by score
+
+  auto exact = query.Find("born_in", "Ruth Gruber", "Brooklyn");
+  ASSERT_EQ(exact.size(), 1u);
+  EXPECT_FALSE(exact[0].inferred);
+  EXPECT_DOUBLE_EQ(exact[0].score, 0.93);
+
+  EXPECT_TRUE(query.Find("no_such_relation", std::nullopt, std::nullopt)
+                  .empty());
+  EXPECT_TRUE(query.Find("born_in", "Nobody", std::nullopt).empty());
+}
+
+TEST_F(QueryPipelineTest, MinScoreFilters) {
+  ASSERT_TRUE(
+      WriteMarginalsToTPi(rkb_.t_pi.get(), *graph_, marginals_).ok());
+  KbQuery query(&kb_, rkb_.t_pi, first_inferred_);
+  auto all = query.Find("born_in", std::nullopt, std::nullopt);
+  auto high = query.Find("born_in", std::nullopt, std::nullopt, 0.95);
+  EXPECT_EQ(all.size(), 2u);
+  ASSERT_EQ(high.size(), 1u);
+  EXPECT_DOUBLE_EQ(high[0].score, 0.96);
+}
+
+TEST_F(QueryPipelineTest, FactsAboutEntity) {
+  ASSERT_TRUE(
+      WriteMarginalsToTPi(rkb_.t_pi.get(), *graph_, marginals_).ok());
+  KbQuery query(&kb_, rkb_.t_pi, first_inferred_);
+  auto about = query.FactsAbout("Brooklyn");
+  // born_in, live_in, grow_up_in (as y) + located_in (as x) = 4.
+  EXPECT_EQ(about.size(), 4u);
+  EXPECT_TRUE(query.FactsAbout("Nobody").empty());
+  for (const auto& f : about) {
+    std::string rendered = query.ToString(f);
+    EXPECT_NE(rendered.find("Brooklyn"), std::string::npos);
+  }
+}
+
+TEST_F(QueryPipelineTest, UnscoredFactsSortLast) {
+  // Before write-back, inferred facts have NaN scores and sort last.
+  KbQuery query(&kb_, rkb_.t_pi, first_inferred_);
+  auto about = query.FactsAbout("Brooklyn");
+  ASSERT_EQ(about.size(), 4u);
+  EXPECT_FALSE(std::isnan(about[0].score));  // born_in 0.93 first
+  EXPECT_TRUE(std::isnan(about.back().score));
+  // min_score filters NaN-scored facts out.
+  EXPECT_EQ(query.FactsAbout("Brooklyn", 0.1).size(), 1u);
+}
+
+}  // namespace
+}  // namespace probkb

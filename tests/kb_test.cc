@@ -1,0 +1,293 @@
+#include <gtest/gtest.h>
+
+#include "kb/class_hierarchy.h"
+#include "kb/dictionary.h"
+#include "kb/knowledge_base.h"
+#include "kb/relational_model.h"
+#include "kb/rule.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+
+namespace probkb {
+namespace {
+
+TEST(DictionaryTest, InternAndLookup) {
+  Dictionary d;
+  EXPECT_EQ(d.GetOrAdd("a"), 0);
+  EXPECT_EQ(d.GetOrAdd("b"), 1);
+  EXPECT_EQ(d.GetOrAdd("a"), 0);  // idempotent
+  EXPECT_EQ(d.size(), 2);
+  EXPECT_EQ(d.Lookup("b"), 1);
+  EXPECT_EQ(d.Lookup("missing"), kInvalidId);
+  EXPECT_EQ(*d.GetName(1), "b");
+  EXPECT_FALSE(d.GetName(5).ok());
+  EXPECT_EQ(d.NameOrPlaceholder(5), "#5");
+}
+
+// --- Structural partitioning (Definitions 5 and 6) --------------------------
+
+Clause MakeClause(RelationId head, int hv1, int hv2,
+                  std::vector<Atom> body, std::vector<ClassId> classes) {
+  Clause c;
+  c.head = {head, hv1, hv2};
+  c.body = std::move(body);
+  c.var_classes = std::move(classes);
+  c.weight = 1.0;
+  return c;
+}
+
+TEST(PartitionClauseTest, RecognizesAllSixStructures) {
+  // Variables: x=0, y=1, z=2; relations: p=0, q=1, r=2; classes 10, 11, 12.
+  struct Case {
+    std::vector<Atom> body;
+    RuleStructure expected;
+  };
+  std::vector<Case> cases = {
+      {{{1, 0, 1}}, RuleStructure::kM1},
+      {{{1, 1, 0}}, RuleStructure::kM2},
+      {{{1, 2, 0}, {2, 2, 1}}, RuleStructure::kM3},
+      {{{1, 0, 2}, {2, 2, 1}}, RuleStructure::kM4},
+      {{{1, 2, 0}, {2, 1, 2}}, RuleStructure::kM5},
+      {{{1, 0, 2}, {2, 1, 2}}, RuleStructure::kM6},
+  };
+  for (const auto& test_case : cases) {
+    auto rule = PartitionClause(
+        MakeClause(0, 0, 1, test_case.body, {10, 11, 12}));
+    ASSERT_TRUE(rule.ok()) << rule.status();
+    EXPECT_EQ(rule->structure, test_case.expected);
+    EXPECT_EQ(rule->head, 0);
+    EXPECT_EQ(rule->body1, 1);
+    EXPECT_EQ(rule->c1, 10);
+    EXPECT_EQ(rule->c2, 11);
+    if (rule->body_length() == 2) {
+      EXPECT_EQ(rule->body2, 2);
+      EXPECT_EQ(rule->c3, 12);
+    }
+  }
+}
+
+TEST(PartitionClauseTest, CanonicalizesVariableNumbering) {
+  // Same M3 rule but with variables renamed (x=5, y=3, z=9): structural
+  // equivalence must ignore variable names.
+  Clause c;
+  c.head = {0, 5, 3};
+  c.body = {{1, 9, 5}, {2, 9, 3}};
+  c.var_classes.resize(10, kInvalidId);
+  c.var_classes[5] = 10;
+  c.var_classes[3] = 11;
+  c.var_classes[9] = 12;
+  auto rule = PartitionClause(c);
+  ASSERT_TRUE(rule.ok());
+  EXPECT_EQ(rule->structure, RuleStructure::kM3);
+  EXPECT_EQ(rule->c1, 10);
+  EXPECT_EQ(rule->c2, 11);
+  EXPECT_EQ(rule->c3, 12);
+}
+
+TEST(PartitionClauseTest, BodyAtomOrderIsCanonical) {
+  // M3 with the body atoms swapped in source order still lands in M3 with
+  // q = the atom mentioning x.
+  auto rule = PartitionClause(
+      MakeClause(0, 0, 1, {{2, 2, 1}, {1, 2, 0}}, {10, 11, 12}));
+  ASSERT_TRUE(rule.ok());
+  EXPECT_EQ(rule->structure, RuleStructure::kM3);
+  EXPECT_EQ(rule->body1, 1);  // q mentions x
+  EXPECT_EQ(rule->body2, 2);
+}
+
+TEST(PartitionClauseTest, RejectsOutOfScopeClauses) {
+  // Head variables equal.
+  EXPECT_FALSE(PartitionClause(
+      MakeClause(0, 0, 0, {{1, 0, 1}}, {10, 11})).ok());
+  // Length-1 body using a non-head variable.
+  EXPECT_FALSE(PartitionClause(
+      MakeClause(0, 0, 1, {{1, 0, 2}}, {10, 11, 12})).ok());
+  // Two different non-head variables.
+  EXPECT_FALSE(PartitionClause(
+      MakeClause(0, 0, 1, {{1, 2, 0}, {2, 3, 1}}, {10, 11, 12, 13})).ok());
+  // Both body atoms mention x.
+  EXPECT_FALSE(PartitionClause(
+      MakeClause(0, 0, 1, {{1, 2, 0}, {2, 2, 0}}, {10, 11, 12})).ok());
+  // Body of length 3.
+  EXPECT_FALSE(PartitionClause(
+      MakeClause(0, 0, 1, {{1, 0, 1}, {1, 0, 1}, {1, 0, 1}}, {10, 11})).ok());
+  // Empty body.
+  EXPECT_FALSE(PartitionClause(MakeClause(0, 0, 1, {}, {10, 11})).ok());
+  // Missing class annotation.
+  EXPECT_FALSE(PartitionClause(
+      MakeClause(0, 0, 1, {{1, 2, 0}, {2, 2, 1}}, {10, 11, kInvalidId})).ok());
+}
+
+// Property: RuleToClause o PartitionClause is the identity on canonical
+// rules, for randomly generated rules of every structure.
+class RuleRoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RuleRoundTripTest, PartitionInvertsExpansion) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  for (int i = 0; i < 50; ++i) {
+    HornRule rule;
+    rule.structure =
+        static_cast<RuleStructure>(rng.UniformInt(1, kNumRuleStructures));
+    rule.head = rng.UniformInt(0, 30);
+    rule.body1 = rng.UniformInt(0, 30);
+    rule.c1 = rng.UniformInt(0, 10);
+    rule.c2 = rng.UniformInt(0, 10);
+    if (rule.body_length() == 2) {
+      rule.body2 = rng.UniformInt(0, 30);
+      rule.c3 = rng.UniformInt(0, 10);
+    }
+    rule.weight = rng.UniformDouble(0.1, 3.0);
+    auto back = PartitionClause(RuleToClause(rule));
+    ASSERT_TRUE(back.ok()) << back.status();
+    EXPECT_EQ(*back, rule);
+    EXPECT_DOUBLE_EQ(back->weight, rule.weight);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RuleRoundTripTest, ::testing::Range(0, 8));
+
+// --- KnowledgeBase -----------------------------------------------------------
+
+TEST(KnowledgeBaseTest, AddFactByNameInternsSymbols) {
+  KnowledgeBase kb;
+  kb.AddFactByName("born_in", "Ann", "Person", "Paris", "City", 0.9);
+  kb.AddFactByName("born_in", "Bob", "Person", "Paris", "City", 0.8);
+  EXPECT_EQ(kb.relations().size(), 1);
+  EXPECT_EQ(kb.entities().size(), 3);
+  EXPECT_EQ(kb.classes().size(), 2);
+  ASSERT_EQ(kb.facts().size(), 2u);
+  EXPECT_EQ(kb.facts()[0].y, kb.facts()[1].y);  // shared Paris
+}
+
+TEST(KnowledgeBaseTest, ValidateCatchesDanglingIds) {
+  KnowledgeBase kb;
+  kb.AddFactByName("r", "a", "C", "b", "C", 1.0);
+  EXPECT_TRUE(kb.Validate().ok());
+  Fact bad;
+  bad.relation = 99;
+  bad.x = 0;
+  bad.c1 = 0;
+  bad.y = 1;
+  bad.c2 = 0;
+  kb.AddFact(bad);
+  EXPECT_FALSE(kb.Validate().ok());
+}
+
+TEST(KnowledgeBaseTest, ToStringHelpers) {
+  KnowledgeBase kb = testutil::BuildPaperExampleKB();
+  std::string fact = kb.FactToString(kb.facts()[0]);
+  EXPECT_NE(fact.find("born_in"), std::string::npos);
+  EXPECT_NE(fact.find("Ruth Gruber"), std::string::npos);
+  std::string rule = kb.RuleToString(kb.rules()[0]);
+  EXPECT_NE(rule.find("live_in"), std::string::npos);
+  EXPECT_NE(rule.find("born_in"), std::string::npos);
+  EXPECT_NE(kb.StatsString().find("# facts 2"), std::string::npos);
+}
+
+// --- Relational encoding ------------------------------------------------------
+
+TEST(RelationalModelTest, SchemasMatchDefinitions) {
+  EXPECT_EQ(TPiSchema().num_fields(), tpi::kWidth);
+  EXPECT_EQ(TPiSchema().GetFieldIndex("w"), tpi::kW);
+  EXPECT_EQ(MLen2Schema().num_fields(), 5);
+  EXPECT_EQ(MLen3Schema().num_fields(), 7);
+  EXPECT_EQ(TPhiSchema().GetFieldIndex("I3"), tphi::kI3);
+  EXPECT_EQ(TOmegaSchema().GetFieldIndex("deg"), tomega::kDeg);
+}
+
+TEST(RelationalModelTest, FactRowRoundTrip) {
+  auto t = Table::Make(TPiSchema());
+  Fact f{3, 4, 5, 6, 7, 0.25};
+  AppendFactRow(t.get(), 11, f);
+  ASSERT_EQ(t->NumRows(), 1);
+  EXPECT_EQ(t->row(0)[tpi::kI].i64(), 11);
+  Fact back = FactFromRow(t->row(0));
+  EXPECT_EQ(back.relation, 3);
+  EXPECT_EQ(back.x, 4);
+  EXPECT_DOUBLE_EQ(back.weight, 0.25);
+
+  // NaN weight encodes as SQL NULL.
+  Fact unweighted = f;
+  unweighted.weight = std::nan("");
+  AppendFactRow(t.get(), 12, unweighted);
+  EXPECT_TRUE(t->row(1)[tpi::kW].is_null());
+  EXPECT_FALSE(FactFromRow(t->row(1)).has_weight());
+}
+
+TEST(RelationalModelTest, RulesRoutedToPartitionTables) {
+  KnowledgeBase kb = testutil::BuildPaperExampleKB();
+  RelationalKB rkb = BuildRelationalModel(kb);
+  EXPECT_EQ(rkb.m[0]->NumRows(), 4);
+  EXPECT_EQ(rkb.m[2]->NumRows(), 2);
+  for (int i : {1, 3, 4, 5}) {
+    EXPECT_EQ(rkb.m[static_cast<size_t>(i)]->NumRows(), 0);
+  }
+  // M1 rows carry (R1, R2, C1, C2, w).
+  RowView row = rkb.m[0]->row(0);
+  EXPECT_EQ(row[mlen2::kR1].i64(), kb.relations().Lookup("live_in"));
+  EXPECT_EQ(row[mlen2::kR2].i64(), kb.relations().Lookup("born_in"));
+  EXPECT_DOUBLE_EQ(row[mlen2::kW].f64(), 1.40);
+}
+
+TEST(RelationalModelTest, ConstraintAndMembershipTables) {
+  KnowledgeBase kb = testutil::BuildPaperExampleKB();
+  kb.AddClassMember({0, 1});
+  kb.AddSignature({0, 1, 2});
+  RelationalKB rkb = BuildRelationalModel(kb);
+  ASSERT_EQ(rkb.t_omega->NumRows(), 1);
+  EXPECT_EQ(rkb.t_omega->row(0)[tomega::kArg].i64(), 1);
+  EXPECT_EQ(rkb.t_omega->row(0)[tomega::kDeg].i64(), 1);
+  EXPECT_EQ(rkb.t_c->NumRows(), 1);
+  EXPECT_EQ(rkb.t_r->NumRows(), 1);
+}
+
+
+// --- Class hierarchy (Definition 1, Remark 1) ----------------------------------
+
+TEST(ClassHierarchyTest, SubsetImpliesSubclass) {
+  KnowledgeBase kb;
+  ClassId place = kb.classes().GetOrAdd("Place");
+  ClassId city = kb.classes().GetOrAdd("City");
+  ClassId person = kb.classes().GetOrAdd("Person");
+  EntityId nyc = kb.entities().GetOrAdd("NYC");
+  EntityId paris = kb.entities().GetOrAdd("Paris");
+  EntityId alps = kb.entities().GetOrAdd("Alps");
+  EntityId ann = kb.entities().GetOrAdd("Ann");
+  // Cities are places; the Alps are a place but not a city.
+  for (EntityId e : {nyc, paris, alps}) kb.AddClassMember({place, e});
+  for (EntityId e : {nyc, paris}) kb.AddClassMember({city, e});
+  kb.AddClassMember({person, ann});
+
+  auto edges = ComputeClassHierarchy(kb);
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0].subclass, city);
+  EXPECT_EQ(edges[0].superclass, place);
+  EXPECT_TRUE(IsSubclassOf(kb, city, place));
+  EXPECT_FALSE(IsSubclassOf(kb, place, city));
+  EXPECT_FALSE(IsSubclassOf(kb, person, place));
+}
+
+TEST(ClassHierarchyTest, EqualMemberSetsAreMutualSubclasses) {
+  KnowledgeBase kb;
+  ClassId a = kb.classes().GetOrAdd("A");
+  ClassId b = kb.classes().GetOrAdd("B");
+  EntityId e = kb.entities().GetOrAdd("e");
+  kb.AddClassMember({a, e});
+  kb.AddClassMember({b, e});
+  auto edges = ComputeClassHierarchy(kb);
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_TRUE(IsSubclassOf(kb, a, b));
+  EXPECT_TRUE(IsSubclassOf(kb, b, a));
+}
+
+TEST(ClassHierarchyTest, EmptyClassesIgnored) {
+  KnowledgeBase kb;
+  kb.classes().GetOrAdd("Empty");
+  ClassId full = kb.classes().GetOrAdd("Full");
+  kb.AddClassMember({full, kb.entities().GetOrAdd("e")});
+  EXPECT_TRUE(ComputeClassHierarchy(kb).empty());
+  EXPECT_FALSE(IsSubclassOf(kb, kb.classes().Lookup("Empty"), full));
+}
+
+}  // namespace
+}  // namespace probkb

@@ -1,0 +1,143 @@
+#include "infer/map_inference.h"
+
+#include <gtest/gtest.h>
+
+#include "grounding/grounder.h"
+#include "tests/test_util.h"
+
+namespace probkb {
+namespace {
+
+FactorGraph GraphFromPhi(TablePtr t_pi, TablePtr t_phi) {
+  auto graph = FactorGraph::FromTables(*t_pi, *t_phi);
+  EXPECT_TRUE(graph.ok());
+  return std::move(*graph);
+}
+
+TEST(ExactMapTest, SingleVariable) {
+  auto t_pi = Table::Make(TPiSchema());
+  AppendFactRow(t_pi.get(), 0, {1, 2, 3, 4, 5, 2.0});
+  auto t_phi = Table::Make(TPhiSchema());
+  t_phi->AppendRow({Value::Int64(0), Value::Null(), Value::Null(),
+                    Value::Float64(2.0)});
+  FactorGraph g = GraphFromPhi(t_pi, t_phi);
+  auto map = ExactMap(g);
+  ASSERT_TRUE(map.ok());
+  EXPECT_EQ(map->assignment[0], 1);  // positive weight favors true
+  EXPECT_DOUBLE_EQ(map->log_score, 2.0);
+
+  // Negative weight flips the preference.
+  auto t_phi2 = Table::Make(TPhiSchema());
+  t_phi2->AppendRow({Value::Int64(0), Value::Null(), Value::Null(),
+                     Value::Float64(-2.0)});
+  FactorGraph g2 = GraphFromPhi(t_pi, t_phi2);
+  auto map2 = ExactMap(g2);
+  ASSERT_TRUE(map2.ok());
+  EXPECT_EQ(map2->assignment[0], 0);
+  EXPECT_DOUBLE_EQ(map2->log_score, 0.0);
+}
+
+TEST(ExactMapTest, RefusesLargeGraphs) {
+  auto t_pi = Table::Make(TPiSchema());
+  for (int i = 0; i < 25; ++i) {
+    AppendFactRow(t_pi.get(), i, {1, i, 3, i + 100, 5, 0.5});
+  }
+  Table t_phi(TPhiSchema());
+  FactorGraph g = GraphFromPhi(t_pi, Table::Make(TPhiSchema()));
+  EXPECT_FALSE(ExactMap(g, 20).ok());
+}
+
+TEST(MapOptionsTest, Validation) {
+  auto t_pi = Table::Make(TPiSchema());
+  AppendFactRow(t_pi.get(), 0, {1, 2, 3, 4, 5, 1.0});
+  FactorGraph g = GraphFromPhi(t_pi, Table::Make(TPhiSchema()));
+  IcmOptions icm;
+  icm.restarts = 0;
+  EXPECT_FALSE(IcmMap(g, icm).ok());
+  MaxWalkSatOptions mws;
+  mws.max_tries = 0;
+  EXPECT_FALSE(MaxWalkSatMap(g, mws).ok());
+}
+
+TEST(MaxWalkSatTest, RejectsNegativeWeights) {
+  auto t_pi = Table::Make(TPiSchema());
+  AppendFactRow(t_pi.get(), 0, {1, 2, 3, 4, 5, 1.0});
+  auto t_phi = Table::Make(TPhiSchema());
+  t_phi->AppendRow({Value::Int64(0), Value::Null(), Value::Null(),
+                    Value::Float64(-1.0)});
+  FactorGraph g = GraphFromPhi(t_pi, t_phi);
+  EXPECT_FALSE(MaxWalkSatMap(g).ok());
+}
+
+TEST(MapTest, PaperExampleAllTrueIsMap) {
+  // All weights are positive and the factors are Horn clauses, so the
+  // all-true world satisfies every clause — it must be a MAP world.
+  KnowledgeBase kb = testutil::BuildPaperExampleKB();
+  RelationalKB rkb = BuildRelationalModel(kb);
+  Grounder grounder(&rkb, GroundingOptions{});
+  ASSERT_TRUE(grounder.GroundAtoms().ok());
+  auto phi = grounder.GroundFactors();
+  ASSERT_TRUE(phi.ok());
+  FactorGraph g = GraphFromPhi(rkb.t_pi, *phi);
+
+  auto exact = ExactMap(g);
+  ASSERT_TRUE(exact.ok());
+  double total_weight = 0;
+  for (const auto& f : g.factors()) total_weight += f.weight;
+  EXPECT_DOUBLE_EQ(exact->log_score, total_weight);
+
+  auto icm = IcmMap(g);
+  ASSERT_TRUE(icm.ok());
+  EXPECT_DOUBLE_EQ(icm->log_score, exact->log_score);
+  auto mws = MaxWalkSatMap(g);
+  ASSERT_TRUE(mws.ok());
+  EXPECT_DOUBLE_EQ(mws->log_score, exact->log_score);
+}
+
+// Property: local search reaches the exact MAP score on random small Horn
+// graphs (restarts make this reliable at n = 8).
+class MapPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MapPropertyTest, LocalSearchMatchesExact) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 900);
+  const int n = 8;
+  auto t_pi = Table::Make(TPiSchema());
+  for (int i = 0; i < n; ++i) {
+    AppendFactRow(t_pi.get(), i, {1, i, 3, i + 100, 5, 0.5});
+  }
+  auto t_phi = Table::Make(TPhiSchema());
+  for (int i = 0; i < n; i += 2) {
+    t_phi->AppendRow({Value::Int64(i), Value::Null(), Value::Null(),
+                      Value::Float64(rng.UniformDouble(0.0, 2.0))});
+  }
+  for (int i = 0; i < 8; ++i) {
+    int head = static_cast<int>(rng.Uniform(n));
+    int b1 = static_cast<int>(rng.Uniform(n));
+    int b2 = static_cast<int>(rng.Uniform(n));
+    if (head == b1 || head == b2 || b1 == b2) continue;
+    t_phi->AppendRow({Value::Int64(head), Value::Int64(b1),
+                      rng.Bernoulli(0.5) ? Value::Int64(b2) : Value::Null(),
+                      Value::Float64(rng.UniformDouble(0.1, 2.0))});
+  }
+  FactorGraph g = GraphFromPhi(t_pi, t_phi);
+
+  auto exact = ExactMap(g);
+  ASSERT_TRUE(exact.ok());
+  IcmOptions icm_options;
+  icm_options.restarts = 16;
+  icm_options.seed = static_cast<uint64_t>(GetParam());
+  auto icm = IcmMap(g, icm_options);
+  ASSERT_TRUE(icm.ok());
+  EXPECT_NEAR(icm->log_score, exact->log_score, 1e-9);
+
+  MaxWalkSatOptions mws_options;
+  mws_options.seed = static_cast<uint64_t>(GetParam());
+  auto mws = MaxWalkSatMap(g, mws_options);
+  ASSERT_TRUE(mws.ok());
+  EXPECT_NEAR(mws->log_score, exact->log_score, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MapPropertyTest, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace probkb

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "mln/parser.h"
+
+#include "datagen/synthetic_kb.h"
+#include "grounding/grounder.h"
+#include "tests/test_util.h"
+
+namespace probkb {
+namespace {
+
+constexpr const char* kPaperProgram = R"(
+// ReVerb-Sherlock running example (Table 1).
+class Writer
+class City
+class Place
+relation born_in(Writer, City)
+
+0.96 born_in(Ruth_Gruber:Writer, New_York_City:City)
+0.93 born_in(Ruth_Gruber:Writer, Brooklyn:Place)
+
+1.40 live_in(x:Writer, y:Place) :- born_in(x, y)
+1.53 live_in(x:Writer, y:City) :- born_in(x, y)
+0.32 located_in(x:Place, y:City) :- live_in(z:Writer, x), live_in(z, y)
+0.52 located_in(x:Place, y:City) :- born_in(z:Writer, x), born_in(z, y)
+
+functional born_in 1 1
+)";
+
+TEST(ParserTest, ParsesPaperExample) {
+  auto kb = ParseMln(kPaperProgram);
+  ASSERT_TRUE(kb.ok()) << kb.status();
+  EXPECT_EQ(kb->facts().size(), 2u);
+  EXPECT_EQ(kb->rules().size(), 4u);
+  EXPECT_EQ(kb->constraints().size(), 1u);
+  EXPECT_EQ(kb->signatures().size(), 1u);
+  EXPECT_EQ(kb->classes().size(), 3);
+
+  const HornRule& m1 = kb->rules()[0];
+  EXPECT_EQ(m1.structure, RuleStructure::kM1);
+  EXPECT_EQ(m1.head, kb->relations().Lookup("live_in"));
+  EXPECT_EQ(m1.c2, kb->classes().Lookup("Place"));
+  EXPECT_DOUBLE_EQ(m1.weight, 1.40);
+  EXPECT_DOUBLE_EQ(m1.score, 1.40);  // defaults to weight
+
+  const HornRule& m3 = kb->rules()[2];
+  EXPECT_EQ(m3.structure, RuleStructure::kM3);
+  EXPECT_EQ(m3.body1, kb->relations().Lookup("live_in"));
+  EXPECT_EQ(m3.c3, kb->classes().Lookup("Writer"));
+}
+
+TEST(ParserTest, RuleScoreAnnotation) {
+  auto kb = ParseMln(
+      "0.5 a(x:C, y:C) :- b(x, y) score=0.91\n");
+  ASSERT_TRUE(kb.ok()) << kb.status();
+  EXPECT_DOUBLE_EQ(kb->rules()[0].weight, 0.5);
+  EXPECT_DOUBLE_EQ(kb->rules()[0].score, 0.91);
+}
+
+TEST(ParserTest, CommentsAndBlankLines) {
+  auto kb = ParseMln(
+      "# leading comment\n"
+      "\n"
+      "0.9 r(a:C, b:C)  // trailing comment\n");
+  ASSERT_TRUE(kb.ok()) << kb.status();
+  EXPECT_EQ(kb->facts().size(), 1u);
+}
+
+TEST(ParserTest, FunctionalDeclarations) {
+  auto kb = ParseMln(
+      "functional lives_in 1 3\n"
+      "functional capital_of 2 1\n");
+  ASSERT_TRUE(kb.ok());
+  ASSERT_EQ(kb->constraints().size(), 2u);
+  EXPECT_EQ(kb->constraints()[0].type, FunctionalityType::kTypeI);
+  EXPECT_EQ(kb->constraints()[0].degree, 3);
+  EXPECT_EQ(kb->constraints()[1].type, FunctionalityType::kTypeII);
+}
+
+TEST(ParserTest, MemberDeclarations) {
+  auto kb = ParseMln("member City Paris\n");
+  ASSERT_TRUE(kb.ok());
+  ASSERT_EQ(kb->class_members().size(), 1u);
+  EXPECT_EQ(kb->class_members()[0].cls, kb->classes().Lookup("City"));
+}
+
+TEST(ParserTest, ErrorsCarryLineNumbers) {
+  struct Case {
+    const char* text;
+    const char* fragment;
+  };
+  std::vector<Case> cases = {
+      {"0.9 r(a, b:C)\n", "entity:Class"},           // unannotated fact arg
+      {"xyz\n", "weight"},                           // garbage line
+      {"0.9 r(a:C b:C)\n", "','"},                   // missing comma
+      {"functional r 3 1\n", "type"},                // bad type
+      {"functional r 1 0\n", "degree"},              // bad degree
+      {"0.5 p(x:C, y:C) :- q(x, w)\n", "class"},     // unannotated variable
+      {"0.5 p(x:C, x:C) :- q(x, x)\n", "distinct"},  // outside six structures
+  };
+  for (const auto& test_case : cases) {
+    auto kb = ParseMln(test_case.text);
+    ASSERT_FALSE(kb.ok()) << test_case.text;
+    EXPECT_NE(kb.status().message().find("line 1"), std::string::npos)
+        << kb.status();
+    EXPECT_NE(kb.status().message().find(test_case.fragment),
+              std::string::npos)
+        << kb.status();
+  }
+}
+
+TEST(ParserTest, ConflictingVariableClassesRejected) {
+  auto kb = ParseMln("0.5 p(x:A, y:B) :- q(x:C, y)\n");
+  EXPECT_FALSE(kb.ok());
+}
+
+TEST(ParserTest, SerializeRoundTrip) {
+  auto kb = ParseMln(kPaperProgram);
+  ASSERT_TRUE(kb.ok());
+  std::string text = SerializeMln(*kb);
+  auto kb2 = ParseMln(text);
+  ASSERT_TRUE(kb2.ok()) << kb2.status() << "\n" << text;
+  EXPECT_EQ(kb2->facts().size(), kb->facts().size());
+  ASSERT_EQ(kb2->rules().size(), kb->rules().size());
+  for (size_t i = 0; i < kb->rules().size(); ++i) {
+    EXPECT_EQ(kb2->rules()[i].structure, kb->rules()[i].structure);
+    EXPECT_DOUBLE_EQ(kb2->rules()[i].weight, kb->rules()[i].weight);
+  }
+  EXPECT_EQ(kb2->constraints().size(), kb->constraints().size());
+}
+
+TEST(ParserTest, RoundTripPreservesGroundingBehaviour) {
+  // The textual KB grounds to the same atoms as the programmatic fixture.
+  auto parsed = ParseMln(kPaperProgram);
+  ASSERT_TRUE(parsed.ok());
+  KnowledgeBase programmatic = testutil::BuildPaperExampleKB();
+  // Symbol ids differ; compare via names by checking counts only here —
+  // grounding equivalence is covered in grounding_test.
+  EXPECT_EQ(parsed->facts().size(), programmatic.facts().size());
+  // The fixture has 6 rules (incl. grow_up_in); the text program has 4.
+  EXPECT_EQ(parsed->rules().size(), 4u);
+}
+
+TEST(ParserTest, FileNotFound) {
+  auto kb = ParseMlnFile("/nonexistent/path.mln");
+  EXPECT_FALSE(kb.ok());
+  EXPECT_EQ(kb.status().code(), StatusCode::kIOError);
+}
+
+
+// Property: SerializeMln round-trips generated KBs (grounding-equivalent
+// programs with identical rule partitions and constraint sets).
+class SerializePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SerializePropertyTest, GeneratedKbRoundTrips) {
+  SyntheticKbConfig cfg;
+  cfg.scale = 0.002;
+  cfg.seed = static_cast<uint64_t>(GetParam()) * 37 + 3;
+  auto skb = GenerateReverbSherlockKb(cfg);
+  ASSERT_TRUE(skb.ok());
+
+  std::string text = SerializeMln(skb->kb);
+  auto back = ParseMln(text);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->facts().size(), skb->kb.facts().size());
+  ASSERT_EQ(back->rules().size(), skb->kb.rules().size());
+  EXPECT_EQ(back->constraints().size(), skb->kb.constraints().size());
+  EXPECT_EQ(back->class_members().size(), skb->kb.class_members().size());
+  for (size_t i = 0; i < back->rules().size(); ++i) {
+    EXPECT_EQ(back->rules()[i].structure, skb->kb.rules()[i].structure);
+    EXPECT_NEAR(back->rules()[i].weight, skb->kb.rules()[i].weight, 1e-9);
+    EXPECT_NEAR(back->rules()[i].score, skb->kb.rules()[i].score, 1e-9);
+  }
+
+  // Same closure from both programs.
+  RelationalKB rkb1 = BuildRelationalModel(skb->kb);
+  RelationalKB rkb2 = BuildRelationalModel(*back);
+  GroundingOptions options;
+  options.max_iterations = 2;
+  Grounder g1(&rkb1, options), g2(&rkb2, options);
+  ASSERT_TRUE(g1.GroundAtoms().ok());
+  ASSERT_TRUE(g2.GroundAtoms().ok());
+  // Symbol ids can differ between the dictionaries; compare sizes (full
+  // atom-set equality is covered via the shared-dictionary tests).
+  EXPECT_EQ(rkb2.t_pi->NumRows(), rkb1.t_pi->NumRows());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerializePropertyTest,
+                         ::testing::Range(0, 4));
+
+}  // namespace
+}  // namespace probkb

@@ -1,0 +1,298 @@
+#include <gtest/gtest.h>
+
+#include "datagen/synthetic_kb.h"
+#include "grounding/grounder.h"
+#include "quality/error_analysis.h"
+#include "quality/rule_cleaning.h"
+#include "quality/rule_feedback.h"
+#include "tests/test_util.h"
+
+namespace probkb {
+namespace {
+
+HornRule RuleWithScore(double score) {
+  HornRule r;
+  r.structure = RuleStructure::kM1;
+  r.head = 0;
+  r.body1 = 1;
+  r.c1 = 0;
+  r.c2 = 0;
+  r.weight = 1.0;
+  r.score = score;
+  return r;
+}
+
+TEST(RuleCleaningTest, KeepsTopThetaByScore) {
+  std::vector<HornRule> rules = {RuleWithScore(0.1), RuleWithScore(0.9),
+                                 RuleWithScore(0.5), RuleWithScore(0.7)};
+  auto kept = TopThetaRules(rules, 0.5);
+  ASSERT_EQ(kept.size(), 2u);
+  // Input order preserved among the kept rules (0.9 appears before 0.7).
+  EXPECT_DOUBLE_EQ(kept[0].score, 0.9);
+  EXPECT_DOUBLE_EQ(kept[1].score, 0.7);
+}
+
+TEST(RuleCleaningTest, BoundaryThetas) {
+  std::vector<HornRule> rules = {RuleWithScore(0.1), RuleWithScore(0.9)};
+  EXPECT_EQ(TopThetaRules(rules, 1.0).size(), 2u);
+  EXPECT_EQ(TopThetaRules(rules, 2.0).size(), 2u);
+  EXPECT_EQ(TopThetaRules(rules, 0.0).size(), 0u);
+  // Never rounds down to zero for positive theta.
+  EXPECT_EQ(TopThetaRules(rules, 0.01).size(), 1u);
+  EXPECT_TRUE(TopThetaRules({}, 0.5).empty());
+}
+
+TEST(RuleCleaningTest, RoundsToNearestCount) {
+  std::vector<HornRule> rules;
+  for (int i = 0; i < 10; ++i) {
+    rules.push_back(RuleWithScore(i / 10.0));
+  }
+  EXPECT_EQ(TopThetaRules(rules, 0.25).size(), 3u);  // llround(2.5) = 3
+  auto kept = TopThetaRules(rules, 0.2);
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_DOUBLE_EQ(kept[0].score, 0.8);
+  EXPECT_DOUBLE_EQ(kept[1].score, 0.9);
+}
+
+TEST(ErrorSourceTest, Names) {
+  EXPECT_STREQ(ErrorSourceToString(ErrorSource::kAmbiguousEntity),
+               "Ambiguities (detected)");
+  EXPECT_STREQ(ErrorSourceToString(ErrorSource::kIncorrectRule),
+               "Incorrect rules");
+}
+
+TEST(ClassifyViolatorsTest, UsesLabelPrecedence) {
+  // TPi with facts about three entities: 10 (ambiguous), 20 (keyed to a
+  // bad-rule head), 30 (incorrect extraction).
+  auto t_pi = Table::Make(TPiSchema());
+  AppendFactRow(t_pi.get(), 0, {1, 10, 0, 100, 0, 0.9});
+  AppendFactRow(t_pi.get(), 1, {7, 20, 0, 101, 0, 0.9});  // relation 7 = bad head
+  AppendFactRow(t_pi.get(), 2, {2, 30, 0, 102, 0, 0.9});
+
+  auto violators = Table::Make(Schema({{"e", ColumnType::kInt64},
+                                       {"Ce", ColumnType::kInt64},
+                                       {"arg", ColumnType::kInt64}}));
+  violators->AppendRow({Value::Int64(10), Value::Int64(0), Value::Int64(1)});
+  violators->AppendRow({Value::Int64(20), Value::Int64(0), Value::Int64(1)});
+  violators->AppendRow({Value::Int64(30), Value::Int64(0), Value::Int64(1)});
+  violators->AppendRow({Value::Int64(40), Value::Int64(0), Value::Int64(1)});
+
+  ErrorLabels labels;
+  labels.ambiguous_entities.insert(10);
+  labels.bad_rule_heads.insert(7);
+  labels.incorrect_extractions.insert({2, 30, 102});
+
+  auto classified = ClassifyViolators(*violators, *t_pi, nullptr, nullptr, labels);
+  ASSERT_EQ(classified.size(), 4u);
+  EXPECT_EQ(classified[0].source, ErrorSource::kAmbiguousEntity);
+  EXPECT_EQ(classified[1].source, ErrorSource::kIncorrectRule);
+  EXPECT_EQ(classified[2].source, ErrorSource::kIncorrectExtraction);
+  EXPECT_EQ(classified[3].source, ErrorSource::kUnknown);
+
+  auto dist = ErrorSourceDistribution(classified);
+  EXPECT_DOUBLE_EQ(dist[ErrorSource::kAmbiguousEntity], 0.25);
+  EXPECT_DOUBLE_EQ(dist[ErrorSource::kUnknown], 0.25);
+}
+
+TEST(ClassifyViolatorsTest, DetectsAmbiguousJoinKeyViaLineage) {
+  // Fact 2 (inferred, NULL weight) is derived by joining facts 0 and 1
+  // through entity 50, which is labeled ambiguous. Its subject entity 60
+  // violates a constraint; the classifier should blame the join key.
+  auto t_pi = Table::Make(TPiSchema());
+  AppendFactRow(t_pi.get(), 0, {1, 50, 0, 60, 0, 0.9});
+  AppendFactRow(t_pi.get(), 1, {2, 50, 0, 61, 0, 0.9});
+  Fact inferred{3, 60, 0, 61, 0, std::nan("")};
+  AppendFactRow(t_pi.get(), 2, inferred);
+
+  auto t_phi = Table::Make(TPhiSchema());
+  t_phi->AppendRow({Value::Int64(2), Value::Int64(0), Value::Int64(1),
+                    Value::Float64(0.5)});
+  auto graph = FactorGraph::FromTables(*t_pi, *t_phi);
+  ASSERT_TRUE(graph.ok());
+
+  auto violators = Table::Make(Schema({{"e", ColumnType::kInt64},
+                                       {"Ce", ColumnType::kInt64},
+                                       {"arg", ColumnType::kInt64}}));
+  violators->AppendRow({Value::Int64(60), Value::Int64(0), Value::Int64(1)});
+
+  ErrorLabels labels;
+  labels.ambiguous_entities.insert(50);
+
+  auto classified = ClassifyViolators(*violators, *t_pi, nullptr, &*graph, labels);
+  ASSERT_EQ(classified.size(), 1u);
+  EXPECT_EQ(classified[0].source, ErrorSource::kAmbiguousJoinKey);
+}
+
+TEST(QualityIntegrationTest, RuleCleaningImprovesPrecision) {
+  SyntheticKbConfig cfg;
+  cfg.scale = 0.01;
+  auto skb = GenerateReverbSherlockKb(cfg);
+  ASSERT_TRUE(skb.ok());
+
+  auto run = [&](double theta) {
+    KnowledgeBase kb = skb->kb;
+    *kb.mutable_rules() = TopThetaRules(kb.rules(), theta);
+    RelationalKB rkb = BuildRelationalModel(kb);
+    GroundingOptions options;
+    options.max_iterations = 5;
+    Grounder grounder(&rkb, options);
+    EXPECT_TRUE(grounder.GroundAtoms().ok());
+    return EvaluateInferred(*rkb.t_pi, skb->truth);
+  };
+
+  PrecisionReport raw = run(1.0);
+  PrecisionReport cleaned = run(0.2);
+  EXPECT_GT(cleaned.precision, raw.precision);
+  EXPECT_LT(cleaned.inferred, raw.inferred);  // precision/recall trade
+}
+
+TEST(QualityIntegrationTest, ConstraintsRemoveInjectedViolations) {
+  SyntheticKbConfig cfg;
+  cfg.scale = 0.01;
+  auto skb = GenerateReverbSherlockKb(cfg);
+  ASSERT_TRUE(skb.ok());
+  RelationalKB rkb = BuildRelationalModel(skb->kb);
+  Grounder grounder(&rkb, GroundingOptions{});
+  auto deleted = grounder.ApplyConstraints();
+  ASSERT_TRUE(deleted.ok());
+  EXPECT_GT(*deleted, 0);  // injected errors violate constraints
+
+  // After application, no Type-I violations remain.
+  ExecContext ec;
+  auto violators = FindConstraintViolators(rkb.t_pi, rkb.t_omega, &ec);
+  ASSERT_TRUE(violators.ok());
+  EXPECT_EQ((*violators)->NumRows(), 0);
+}
+
+TEST(QualityIntegrationTest, ViolatorClassificationFindsInjectedSources) {
+  SyntheticKbConfig cfg;
+  cfg.scale = 0.02;
+  auto skb = GenerateReverbSherlockKb(cfg);
+  ASSERT_TRUE(skb.ok());
+  RelationalKB rkb = BuildRelationalModel(skb->kb);
+  GroundingOptions options;
+  options.max_iterations = 4;
+  Grounder grounder(&rkb, options);
+  ASSERT_TRUE(grounder.GroundAtoms().ok());
+  auto phi = grounder.GroundFactors();
+  ASSERT_TRUE(phi.ok());
+  auto graph = FactorGraph::FromTables(*rkb.t_pi, **phi);
+  ASSERT_TRUE(graph.ok());
+
+  ExecContext ec;
+  auto violators = FindConstraintViolators(rkb.t_pi, rkb.t_omega, &ec);
+  ASSERT_TRUE(violators.ok());
+  ASSERT_GT((*violators)->NumRows(), 10);
+
+  auto classified =
+      ClassifyViolators(**violators, *rkb.t_pi, rkb.t_omega.get(), &*graph,
+                        skb->truth.labels);
+  auto dist = ErrorSourceDistribution(classified);
+  // Ambiguity must be a major detected source (Figure 7(b): 34%).
+  EXPECT_GT(dist[ErrorSource::kAmbiguousEntity], 0.05);
+  // The classifier should attribute most violations to *something*.
+  EXPECT_LT(dist[ErrorSource::kUnknown], 0.5);
+}
+
+
+// --- Rule reliability feedback (Section 6.2.3 extension) -----------------------
+
+TEST(RuleFeedbackTest, BadRulesAccumulateViolations) {
+  SyntheticKbConfig cfg;
+  cfg.scale = 0.02;
+  auto skb = GenerateReverbSherlockKb(cfg);
+  ASSERT_TRUE(skb.ok());
+  RelationalKB rkb = BuildRelationalModel(skb->kb);
+  GroundingOptions options;
+  options.max_iterations = 3;
+  Grounder grounder(&rkb, options);
+  ASSERT_TRUE(grounder.GroundAtoms().ok());
+  auto phi = grounder.GroundFactors();
+  ASSERT_TRUE(phi.ok());
+  auto graph = FactorGraph::FromTables(*rkb.t_pi, **phi);
+  ASSERT_TRUE(graph.ok());
+  ExecContext ec;
+  auto violators = FindConstraintViolators(rkb.t_pi, rkb.t_omega, &ec);
+  ASSERT_TRUE(violators.ok());
+
+  auto feedback =
+      ComputeRuleFeedback(skb->kb.rules(), *rkb.t_pi, **violators, *graph);
+  ASSERT_TRUE(feedback.ok());
+  ASSERT_EQ(feedback->size(), skb->kb.rules().size());
+
+  double bad_sum = 0, good_sum = 0;
+  int64_t bad_n = 0, good_n = 0;
+  for (const RuleFeedback& f : *feedback) {
+    if (f.total_derivations == 0) continue;
+    if (skb->truth.incorrect_rule_indices.count(f.rule_index) > 0) {
+      bad_sum += f.violation_rate;
+      ++bad_n;
+    } else {
+      good_sum += f.violation_rate;
+      ++good_n;
+    }
+  }
+  ASSERT_GT(bad_n, 0);
+  ASSERT_GT(good_n, 0);
+  // Unsound rules violate constraints at a higher rate on average.
+  EXPECT_GT(bad_sum / bad_n, good_sum / good_n);
+}
+
+TEST(RuleFeedbackTest, ApplyFeedbackLowersOffendersScores) {
+  std::vector<HornRule> rules(2);
+  rules[0].score = 0.8;
+  rules[1].score = 0.8;
+  std::vector<RuleFeedback> feedback(2);
+  feedback[0].rule_index = 0;
+  feedback[0].violation_rate = 0.5;
+  feedback[1].rule_index = 1;
+  feedback[1].violation_rate = 0.0;
+  auto adjusted = ApplyFeedbackToScores(rules, feedback, 1.0);
+  EXPECT_DOUBLE_EQ(adjusted[0].score, 0.4);
+  EXPECT_DOUBLE_EQ(adjusted[1].score, 0.8);
+}
+
+TEST(RuleFeedbackTest, FeedbackImprovesRuleCleaning) {
+  // The Section 6.2.3 idea end-to-end: clean rules by feedback-adjusted
+  // scores and compare expansion precision against raw-score cleaning.
+  SyntheticKbConfig cfg;
+  cfg.scale = 0.02;
+  auto skb = GenerateReverbSherlockKb(cfg);
+  ASSERT_TRUE(skb.ok());
+
+  // Pass 1: ground with everything, collect feedback.
+  RelationalKB rkb = BuildRelationalModel(skb->kb);
+  GroundingOptions options;
+  options.max_iterations = 3;
+  Grounder grounder(&rkb, options);
+  ASSERT_TRUE(grounder.GroundAtoms().ok());
+  auto phi = grounder.GroundFactors();
+  ASSERT_TRUE(phi.ok());
+  auto graph = FactorGraph::FromTables(*rkb.t_pi, **phi);
+  ASSERT_TRUE(graph.ok());
+  ExecContext ec;
+  auto violators = FindConstraintViolators(rkb.t_pi, rkb.t_omega, &ec);
+  ASSERT_TRUE(violators.ok());
+  auto feedback =
+      ComputeRuleFeedback(skb->kb.rules(), *rkb.t_pi, **violators, *graph);
+  ASSERT_TRUE(feedback.ok());
+
+  auto precision_with = [&](const std::vector<HornRule>& rules) {
+    KnowledgeBase kb = skb->kb;
+    *kb.mutable_rules() = TopThetaRules(rules, 0.3);
+    RelationalKB clean_rkb = BuildRelationalModel(kb);
+    GroundingOptions clean_options;
+    clean_options.max_iterations = 4;
+    Grounder clean_grounder(&clean_rkb, clean_options);
+    EXPECT_TRUE(clean_grounder.GroundAtoms().ok());
+    return EvaluateInferred(*clean_rkb.t_pi, skb->truth).precision;
+  };
+
+  double raw = precision_with(skb->kb.rules());
+  double adjusted = precision_with(
+      ApplyFeedbackToScores(skb->kb.rules(), *feedback, 1.0));
+  EXPECT_GE(adjusted, raw);
+}
+
+}  // namespace
+}  // namespace probkb

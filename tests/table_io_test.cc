@@ -1,0 +1,101 @@
+#include "relational/table_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "engine/ops.h"
+#include "kb/relational_model.h"
+#include "tests/test_util.h"
+
+namespace probkb {
+namespace {
+
+TablePtr SampleTable() {
+  auto t = Table::Make(Schema({{"I", ColumnType::kInt64},
+                               {"w", ColumnType::kFloat64}}));
+  t->AppendRow({Value::Int64(1), Value::Float64(0.5)});
+  t->AppendRow({Value::Int64(-7), Value::Null()});
+  t->AppendRow({Value::Null(), Value::Float64(1e-300)});
+  return t;
+}
+
+TEST(TableIoTest, RoundTripPreservesValues) {
+  auto t = SampleTable();
+  std::ostringstream out;
+  ASSERT_TRUE(WriteTableTsv(*t, &out).ok());
+  std::istringstream in(out.str());
+  auto back = ReadTableTsv(t->schema(), &in);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_TRUE(TablesEqualAsBags(**back, *t));
+}
+
+TEST(TableIoTest, NullEncodedAsBackslashN) {
+  auto t = SampleTable();
+  std::ostringstream out;
+  ASSERT_TRUE(WriteTableTsv(*t, &out).ok());
+  EXPECT_NE(out.str().find("\\N"), std::string::npos);
+}
+
+TEST(TableIoTest, HeaderValidated) {
+  auto t = SampleTable();
+  std::ostringstream out;
+  ASSERT_TRUE(WriteTableTsv(*t, &out).ok());
+  Schema other({{"X", ColumnType::kInt64}, {"w", ColumnType::kFloat64}});
+  std::istringstream in(out.str());
+  auto result = ReadTableTsv(other, &in);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+}
+
+TEST(TableIoTest, MalformedRowsRejected) {
+  Schema schema({{"a", ColumnType::kInt64}});
+  {
+    std::istringstream in("# a INT64\nnot_a_number\n");
+    EXPECT_FALSE(ReadTableTsv(schema, &in).ok());
+  }
+  {
+    std::istringstream in("# a INT64\n1\t2\n");  // too many fields
+    EXPECT_FALSE(ReadTableTsv(schema, &in).ok());
+  }
+  {
+    std::istringstream in("");  // missing header
+    EXPECT_FALSE(ReadTableTsv(schema, &in).ok());
+  }
+}
+
+TEST(TableIoTest, EmptyTableRoundTrips) {
+  Table t(TPiSchema());
+  std::ostringstream out;
+  ASSERT_TRUE(WriteTableTsv(t, &out).ok());
+  std::istringstream in(out.str());
+  auto back = ReadTableTsv(TPiSchema(), &in);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ((*back)->NumRows(), 0);
+}
+
+TEST(TableIoTest, FileRoundTrip) {
+  auto t = SampleTable();
+  std::string path = ::testing::TempDir() + "/probkb_io_test.tsv";
+  ASSERT_TRUE(WriteTableTsvFile(*t, path).ok());
+  auto back = ReadTableTsvFile(t->schema(), path);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_TRUE(TablesEqualAsBags(**back, *t));
+  EXPECT_FALSE(ReadTableTsvFile(t->schema(), "/nonexistent.tsv").ok());
+}
+
+TEST(TableIoTest, DoublePrecisionSurvives) {
+  auto t = Table::Make(Schema({{"w", ColumnType::kFloat64}}));
+  t->AppendRow({Value::Float64(0.1 + 0.2)});  // not exactly representable
+  t->AppendRow({Value::Float64(1.0 / 3.0)});
+  std::ostringstream out;
+  ASSERT_TRUE(WriteTableTsv(*t, &out).ok());
+  std::istringstream in(out.str());
+  auto back = ReadTableTsv(t->schema(), &in);
+  ASSERT_TRUE(back.ok());
+  EXPECT_DOUBLE_EQ((*back)->row(0)[0].f64(), 0.1 + 0.2);
+  EXPECT_DOUBLE_EQ((*back)->row(1)[0].f64(), 1.0 / 3.0);
+}
+
+}  // namespace
+}  // namespace probkb

@@ -1,0 +1,243 @@
+// probkb — command-line front end for the ProbKB library.
+//
+//   probkb stats   program.mln
+//   probkb ground  program.mln [--iterations N] [--constraints]
+//                  [--rule-theta F] [--semi-naive]
+//                  [--tpi out.tsv] [--tphi out.tsv]
+//   probkb infer   program.mln [--sweeps N] [--map] [same grounding flags]
+//   probkb explain program.mln --fact 'rel(x, y)'
+//
+// Grounds an MLN program with the batched algorithm and optionally runs
+// marginal (Gibbs) or MAP inference, printing facts with probabilities.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "factor/factor_graph.h"
+#include "grounding/grounder.h"
+#include "infer/gibbs.h"
+#include "infer/map_inference.h"
+#include "mln/parser.h"
+#include "quality/rule_cleaning.h"
+#include "relational/table_io.h"
+
+namespace {
+
+using namespace probkb;
+
+struct CliOptions {
+  std::string command;
+  std::string program_path;
+  int iterations = 15;
+  bool constraints = false;
+  bool semi_naive = false;
+  double rule_theta = 1.0;
+  int sweeps = 2000;
+  bool map_inference = false;
+  std::string tpi_out;
+  std::string tphi_out;
+  std::string fact_query;
+};
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: probkb <stats|ground|infer|explain> <program.mln> [flags]\n"
+      "  --iterations N    grounding iteration cap (default 15)\n"
+      "  --constraints     apply functional constraints each iteration\n"
+      "  --semi-naive      semi-naive (delta) evaluation\n"
+      "  --rule-theta F    keep the top-F fraction of rules by score\n"
+      "  --sweeps N        Gibbs sample sweeps (infer; default 2000)\n"
+      "  --map             MAP (most likely world) instead of marginals\n"
+      "  --tpi FILE        dump the grounded facts table as TSV\n"
+      "  --tphi FILE       dump the factor table as TSV\n"
+      "  --fact 'r(a, b)'  fact to explain (explain)\n");
+  return 2;
+}
+
+bool ParseArgs(int argc, char** argv, CliOptions* options) {
+  if (argc < 3) return false;
+  options->command = argv[1];
+  options->program_path = argv[2];
+  for (int i = 3; i < argc; ++i) {
+    std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (flag == "--iterations") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->iterations = std::atoi(v);
+    } else if (flag == "--constraints") {
+      options->constraints = true;
+    } else if (flag == "--semi-naive") {
+      options->semi_naive = true;
+    } else if (flag == "--rule-theta") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->rule_theta = std::atof(v);
+    } else if (flag == "--sweeps") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->sweeps = std::atoi(v);
+    } else if (flag == "--map") {
+      options->map_inference = true;
+    } else if (flag == "--tpi") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->tpi_out = v;
+    } else if (flag == "--tphi") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->tphi_out = v;
+    } else if (flag == "--fact") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->fact_query = v;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string DescribeFact(const KnowledgeBase& kb, const RelationalKB& rkb,
+                         FactId id) {
+  for (int64_t j = 0; j < rkb.t_pi->NumRows(); ++j) {
+    if (rkb.t_pi->row(j)[tpi::kI].i64() == id) {
+      return kb.FactToString(FactFromRow(rkb.t_pi->row(j)));
+    }
+  }
+  return "?";
+}
+
+int Run(const CliOptions& options) {
+  auto kb = ParseMlnFile(options.program_path);
+  if (!kb.ok()) {
+    std::fprintf(stderr, "%s\n", kb.status().ToString().c_str());
+    return 1;
+  }
+  if (options.command == "stats") {
+    std::printf("%s\n", kb->StatsString().c_str());
+    return 0;
+  }
+
+  if (options.rule_theta < 1.0) {
+    *kb->mutable_rules() = TopThetaRules(kb->rules(), options.rule_theta);
+    std::printf("rule cleaning kept %zu rules\n", kb->rules().size());
+  }
+
+  RelationalKB rkb = BuildRelationalModel(*kb);
+  GroundingOptions grounding;
+  grounding.max_iterations = options.iterations;
+  grounding.apply_constraints_each_iteration = options.constraints;
+  grounding.evaluation = options.semi_naive ? EvaluationMode::kSemiNaive
+                                            : EvaluationMode::kNaive;
+  Grounder grounder(&rkb, grounding);
+  if (auto st = grounder.GroundAtoms(); !st.ok()) {
+    std::fprintf(stderr, "grounding: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  auto t_phi = grounder.GroundFactors();
+  if (!t_phi.ok()) {
+    std::fprintf(stderr, "%s\n", t_phi.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("grounded: %lld atoms, %lld factors, %d iterations\n",
+              static_cast<long long>(grounder.stats().final_atoms),
+              static_cast<long long>((*t_phi)->NumRows()),
+              grounder.stats().iterations);
+
+  if (!options.tpi_out.empty()) {
+    if (auto st = WriteTableTsvFile(*rkb.t_pi, options.tpi_out); !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", options.tpi_out.c_str());
+  }
+  if (!options.tphi_out.empty()) {
+    if (auto st = WriteTableTsvFile(**t_phi, options.tphi_out); !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", options.tphi_out.c_str());
+  }
+  if (options.command == "ground") return 0;
+
+  auto graph = FactorGraph::FromTables(*rkb.t_pi, **t_phi);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+
+  if (options.command == "explain") {
+    if (options.fact_query.empty()) {
+      std::fprintf(stderr, "explain requires --fact 'relation(x, y)'\n");
+      return 2;
+    }
+    for (int64_t i = 0; i < rkb.t_pi->NumRows(); ++i) {
+      std::string rendered =
+          kb->FactToString(FactFromRow(rkb.t_pi->row(i)));
+      if (rendered.find(options.fact_query) == std::string::npos) continue;
+      int32_t v = graph->VariableOf(rkb.t_pi->row(i)[tpi::kI].i64());
+      std::printf("%s\n",
+                  graph
+                      ->ExplainLineage(v, 6,
+                                       [&](FactId id) {
+                                         return DescribeFact(*kb, rkb, id);
+                                       })
+                      .c_str());
+      return 0;
+    }
+    std::fprintf(stderr, "no fact matching '%s'\n",
+                 options.fact_query.c_str());
+    return 1;
+  }
+
+  if (options.command != "infer") return Usage();
+  if (options.map_inference) {
+    auto map = IcmMap(*graph);
+    if (!map.ok()) {
+      std::fprintf(stderr, "%s\n", map.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("MAP log-score %.3f\n", map->log_score);
+    for (int64_t i = 0; i < rkb.t_pi->NumRows(); ++i) {
+      int32_t v = graph->VariableOf(rkb.t_pi->row(i)[tpi::kI].i64());
+      std::printf("  %d  %s\n",
+                  map->assignment[static_cast<size_t>(v)],
+                  kb->FactToString(FactFromRow(rkb.t_pi->row(i))).c_str());
+    }
+    return 0;
+  }
+  GibbsOptions gibbs;
+  gibbs.schedule = GibbsSchedule::kChromatic;
+  gibbs.sample_sweeps = options.sweeps;
+  auto result = GibbsMarginals(*graph, gibbs);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  for (int64_t i = 0; i < rkb.t_pi->NumRows(); ++i) {
+    int32_t v = graph->VariableOf(rkb.t_pi->row(i)[tpi::kI].i64());
+    std::printf("  P=%.3f  %s\n",
+                result->marginals[static_cast<size_t>(v)],
+                kb->FactToString(FactFromRow(rkb.t_pi->row(i))).c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  if (!ParseArgs(argc, argv, &options)) return Usage();
+  if (options.command != "stats" && options.command != "ground" &&
+      options.command != "infer" && options.command != "explain") {
+    return Usage();
+  }
+  return Run(options);
+}
