@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_seminaive.dir/ablation_seminaive.cc.o"
+  "CMakeFiles/ablation_seminaive.dir/ablation_seminaive.cc.o.d"
+  "ablation_seminaive"
+  "ablation_seminaive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_seminaive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

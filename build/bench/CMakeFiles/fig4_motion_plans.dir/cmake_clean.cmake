@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_motion_plans.dir/fig4_motion_plans.cc.o"
+  "CMakeFiles/fig4_motion_plans.dir/fig4_motion_plans.cc.o.d"
+  "fig4_motion_plans"
+  "fig4_motion_plans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_motion_plans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6a_rules_scaling.dir/fig6a_rules_scaling.cc.o"
+  "CMakeFiles/fig6a_rules_scaling.dir/fig6a_rules_scaling.cc.o.d"
+  "fig6a_rules_scaling"
+  "fig6a_rules_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6a_rules_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

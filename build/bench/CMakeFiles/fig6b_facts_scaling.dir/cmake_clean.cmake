@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6b_facts_scaling.dir/fig6b_facts_scaling.cc.o"
+  "CMakeFiles/fig6b_facts_scaling.dir/fig6b_facts_scaling.cc.o.d"
+  "fig6b_facts_scaling"
+  "fig6b_facts_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6b_facts_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6c_mpp_views.dir/fig6c_mpp_views.cc.o"
+  "CMakeFiles/fig6c_mpp_views.dir/fig6c_mpp_views.cc.o.d"
+  "fig6c_mpp_views"
+  "fig6c_mpp_views.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6c_mpp_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

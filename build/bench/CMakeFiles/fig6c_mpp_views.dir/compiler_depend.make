@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig6c_mpp_views.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7a_quality.dir/fig7a_quality.cc.o"
+  "CMakeFiles/fig7a_quality.dir/fig7a_quality.cc.o.d"
+  "fig7a_quality"
+  "fig7a_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7a_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7b_error_sources.dir/fig7b_error_sources.cc.o"
+  "CMakeFiles/fig7b_error_sources.dir/fig7b_error_sources.cc.o.d"
+  "fig7b_error_sources"
+  "fig7b_error_sources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7b_error_sources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

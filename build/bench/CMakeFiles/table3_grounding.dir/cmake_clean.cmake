@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_grounding.dir/table3_grounding.cc.o"
+  "CMakeFiles/table3_grounding.dir/table3_grounding.cc.o.d"
+  "table3_grounding"
+  "table3_grounding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_grounding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

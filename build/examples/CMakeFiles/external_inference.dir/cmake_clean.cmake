@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/external_inference.dir/external_inference.cpp.o"
+  "CMakeFiles/external_inference.dir/external_inference.cpp.o.d"
+  "external_inference"
+  "external_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/external_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knowledge_expansion.dir/knowledge_expansion.cpp.o"
+  "CMakeFiles/knowledge_expansion.dir/knowledge_expansion.cpp.o.d"
+  "knowledge_expansion"
+  "knowledge_expansion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knowledge_expansion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

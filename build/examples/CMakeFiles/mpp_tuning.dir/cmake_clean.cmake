@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpp_tuning.dir/mpp_tuning.cpp.o"
+  "CMakeFiles/mpp_tuning.dir/mpp_tuning.cpp.o.d"
+  "mpp_tuning"
+  "mpp_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpp_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

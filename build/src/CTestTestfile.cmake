@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("relational")
+subdirs("engine")
+subdirs("mpp")
+subdirs("kb")
+subdirs("mln")
+subdirs("factor")
+subdirs("grounding")
+subdirs("tuffy")
+subdirs("quality")
+subdirs("infer")
+subdirs("datagen")
+subdirs("core")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probkb_core.dir/probkb.cc.o"
+  "CMakeFiles/probkb_core.dir/probkb.cc.o.d"
+  "libprobkb_core.a"
+  "libprobkb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probkb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

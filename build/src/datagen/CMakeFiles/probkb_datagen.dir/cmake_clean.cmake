@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probkb_datagen.dir/ground_truth.cc.o"
+  "CMakeFiles/probkb_datagen.dir/ground_truth.cc.o.d"
+  "CMakeFiles/probkb_datagen.dir/synthetic_kb.cc.o"
+  "CMakeFiles/probkb_datagen.dir/synthetic_kb.cc.o.d"
+  "libprobkb_datagen.a"
+  "libprobkb_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probkb_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

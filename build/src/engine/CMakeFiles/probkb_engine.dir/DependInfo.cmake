@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/exec_context.cc" "src/engine/CMakeFiles/probkb_engine.dir/exec_context.cc.o" "gcc" "src/engine/CMakeFiles/probkb_engine.dir/exec_context.cc.o.d"
+  "/root/repo/src/engine/ops.cc" "src/engine/CMakeFiles/probkb_engine.dir/ops.cc.o" "gcc" "src/engine/CMakeFiles/probkb_engine.dir/ops.cc.o.d"
+  "/root/repo/src/engine/plan.cc" "src/engine/CMakeFiles/probkb_engine.dir/plan.cc.o" "gcc" "src/engine/CMakeFiles/probkb_engine.dir/plan.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/relational/CMakeFiles/probkb_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/probkb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probkb_engine.dir/exec_context.cc.o"
+  "CMakeFiles/probkb_engine.dir/exec_context.cc.o.d"
+  "CMakeFiles/probkb_engine.dir/ops.cc.o"
+  "CMakeFiles/probkb_engine.dir/ops.cc.o.d"
+  "CMakeFiles/probkb_engine.dir/plan.cc.o"
+  "CMakeFiles/probkb_engine.dir/plan.cc.o.d"
+  "libprobkb_engine.a"
+  "libprobkb_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probkb_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probkb_factor.dir/factor_graph.cc.o"
+  "CMakeFiles/probkb_factor.dir/factor_graph.cc.o.d"
+  "libprobkb_factor.a"
+  "libprobkb_factor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probkb_factor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

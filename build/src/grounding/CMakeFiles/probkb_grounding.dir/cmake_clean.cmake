@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probkb_grounding.dir/grounder.cc.o"
+  "CMakeFiles/probkb_grounding.dir/grounder.cc.o.d"
+  "CMakeFiles/probkb_grounding.dir/mpp_grounder.cc.o"
+  "CMakeFiles/probkb_grounding.dir/mpp_grounder.cc.o.d"
+  "CMakeFiles/probkb_grounding.dir/partition_queries.cc.o"
+  "CMakeFiles/probkb_grounding.dir/partition_queries.cc.o.d"
+  "libprobkb_grounding.a"
+  "libprobkb_grounding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probkb_grounding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probkb_infer.dir/gibbs.cc.o"
+  "CMakeFiles/probkb_infer.dir/gibbs.cc.o.d"
+  "CMakeFiles/probkb_infer.dir/map_inference.cc.o"
+  "CMakeFiles/probkb_infer.dir/map_inference.cc.o.d"
+  "CMakeFiles/probkb_infer.dir/writeback.cc.o"
+  "CMakeFiles/probkb_infer.dir/writeback.cc.o.d"
+  "libprobkb_infer.a"
+  "libprobkb_infer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probkb_infer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

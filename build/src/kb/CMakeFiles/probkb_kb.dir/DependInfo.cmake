@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kb/class_hierarchy.cc" "src/kb/CMakeFiles/probkb_kb.dir/class_hierarchy.cc.o" "gcc" "src/kb/CMakeFiles/probkb_kb.dir/class_hierarchy.cc.o.d"
+  "/root/repo/src/kb/dictionary.cc" "src/kb/CMakeFiles/probkb_kb.dir/dictionary.cc.o" "gcc" "src/kb/CMakeFiles/probkb_kb.dir/dictionary.cc.o.d"
+  "/root/repo/src/kb/kb_query.cc" "src/kb/CMakeFiles/probkb_kb.dir/kb_query.cc.o" "gcc" "src/kb/CMakeFiles/probkb_kb.dir/kb_query.cc.o.d"
+  "/root/repo/src/kb/knowledge_base.cc" "src/kb/CMakeFiles/probkb_kb.dir/knowledge_base.cc.o" "gcc" "src/kb/CMakeFiles/probkb_kb.dir/knowledge_base.cc.o.d"
+  "/root/repo/src/kb/relational_model.cc" "src/kb/CMakeFiles/probkb_kb.dir/relational_model.cc.o" "gcc" "src/kb/CMakeFiles/probkb_kb.dir/relational_model.cc.o.d"
+  "/root/repo/src/kb/rule.cc" "src/kb/CMakeFiles/probkb_kb.dir/rule.cc.o" "gcc" "src/kb/CMakeFiles/probkb_kb.dir/rule.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/relational/CMakeFiles/probkb_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/probkb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

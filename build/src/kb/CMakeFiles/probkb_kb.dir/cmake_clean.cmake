@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probkb_kb.dir/class_hierarchy.cc.o"
+  "CMakeFiles/probkb_kb.dir/class_hierarchy.cc.o.d"
+  "CMakeFiles/probkb_kb.dir/dictionary.cc.o"
+  "CMakeFiles/probkb_kb.dir/dictionary.cc.o.d"
+  "CMakeFiles/probkb_kb.dir/kb_query.cc.o"
+  "CMakeFiles/probkb_kb.dir/kb_query.cc.o.d"
+  "CMakeFiles/probkb_kb.dir/knowledge_base.cc.o"
+  "CMakeFiles/probkb_kb.dir/knowledge_base.cc.o.d"
+  "CMakeFiles/probkb_kb.dir/relational_model.cc.o"
+  "CMakeFiles/probkb_kb.dir/relational_model.cc.o.d"
+  "CMakeFiles/probkb_kb.dir/rule.cc.o"
+  "CMakeFiles/probkb_kb.dir/rule.cc.o.d"
+  "libprobkb_kb.a"
+  "libprobkb_kb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probkb_kb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mln/parser.cc" "src/mln/CMakeFiles/probkb_mln.dir/parser.cc.o" "gcc" "src/mln/CMakeFiles/probkb_mln.dir/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kb/CMakeFiles/probkb_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/probkb_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/probkb_relational.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probkb_mln.dir/parser.cc.o"
+  "CMakeFiles/probkb_mln.dir/parser.cc.o.d"
+  "libprobkb_mln.a"
+  "libprobkb_mln.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probkb_mln.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

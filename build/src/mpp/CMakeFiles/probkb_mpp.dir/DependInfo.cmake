@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpp/cost_model.cc" "src/mpp/CMakeFiles/probkb_mpp.dir/cost_model.cc.o" "gcc" "src/mpp/CMakeFiles/probkb_mpp.dir/cost_model.cc.o.d"
+  "/root/repo/src/mpp/distributed_table.cc" "src/mpp/CMakeFiles/probkb_mpp.dir/distributed_table.cc.o" "gcc" "src/mpp/CMakeFiles/probkb_mpp.dir/distributed_table.cc.o.d"
+  "/root/repo/src/mpp/distribution.cc" "src/mpp/CMakeFiles/probkb_mpp.dir/distribution.cc.o" "gcc" "src/mpp/CMakeFiles/probkb_mpp.dir/distribution.cc.o.d"
+  "/root/repo/src/mpp/mpp_context.cc" "src/mpp/CMakeFiles/probkb_mpp.dir/mpp_context.cc.o" "gcc" "src/mpp/CMakeFiles/probkb_mpp.dir/mpp_context.cc.o.d"
+  "/root/repo/src/mpp/mpp_ops.cc" "src/mpp/CMakeFiles/probkb_mpp.dir/mpp_ops.cc.o" "gcc" "src/mpp/CMakeFiles/probkb_mpp.dir/mpp_ops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/probkb_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/probkb_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/probkb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

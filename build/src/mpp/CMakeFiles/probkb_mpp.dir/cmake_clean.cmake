@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probkb_mpp.dir/cost_model.cc.o"
+  "CMakeFiles/probkb_mpp.dir/cost_model.cc.o.d"
+  "CMakeFiles/probkb_mpp.dir/distributed_table.cc.o"
+  "CMakeFiles/probkb_mpp.dir/distributed_table.cc.o.d"
+  "CMakeFiles/probkb_mpp.dir/distribution.cc.o"
+  "CMakeFiles/probkb_mpp.dir/distribution.cc.o.d"
+  "CMakeFiles/probkb_mpp.dir/mpp_context.cc.o"
+  "CMakeFiles/probkb_mpp.dir/mpp_context.cc.o.d"
+  "CMakeFiles/probkb_mpp.dir/mpp_ops.cc.o"
+  "CMakeFiles/probkb_mpp.dir/mpp_ops.cc.o.d"
+  "libprobkb_mpp.a"
+  "libprobkb_mpp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probkb_mpp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

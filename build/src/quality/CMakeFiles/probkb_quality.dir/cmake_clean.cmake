@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probkb_quality.dir/error_analysis.cc.o"
+  "CMakeFiles/probkb_quality.dir/error_analysis.cc.o.d"
+  "CMakeFiles/probkb_quality.dir/rule_cleaning.cc.o"
+  "CMakeFiles/probkb_quality.dir/rule_cleaning.cc.o.d"
+  "CMakeFiles/probkb_quality.dir/rule_feedback.cc.o"
+  "CMakeFiles/probkb_quality.dir/rule_feedback.cc.o.d"
+  "libprobkb_quality.a"
+  "libprobkb_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probkb_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

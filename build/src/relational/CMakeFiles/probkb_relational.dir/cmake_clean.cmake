@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probkb_relational.dir/catalog.cc.o"
+  "CMakeFiles/probkb_relational.dir/catalog.cc.o.d"
+  "CMakeFiles/probkb_relational.dir/schema.cc.o"
+  "CMakeFiles/probkb_relational.dir/schema.cc.o.d"
+  "CMakeFiles/probkb_relational.dir/table.cc.o"
+  "CMakeFiles/probkb_relational.dir/table.cc.o.d"
+  "CMakeFiles/probkb_relational.dir/table_io.cc.o"
+  "CMakeFiles/probkb_relational.dir/table_io.cc.o.d"
+  "CMakeFiles/probkb_relational.dir/value.cc.o"
+  "CMakeFiles/probkb_relational.dir/value.cc.o.d"
+  "libprobkb_relational.a"
+  "libprobkb_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probkb_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

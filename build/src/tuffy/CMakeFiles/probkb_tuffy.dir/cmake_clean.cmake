@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probkb_tuffy.dir/tuffy_grounder.cc.o"
+  "CMakeFiles/probkb_tuffy.dir/tuffy_grounder.cc.o.d"
+  "libprobkb_tuffy.a"
+  "libprobkb_tuffy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probkb_tuffy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probkb_util.dir/logging.cc.o"
+  "CMakeFiles/probkb_util.dir/logging.cc.o.d"
+  "CMakeFiles/probkb_util.dir/status.cc.o"
+  "CMakeFiles/probkb_util.dir/status.cc.o.d"
+  "CMakeFiles/probkb_util.dir/strings.cc.o"
+  "CMakeFiles/probkb_util.dir/strings.cc.o.d"
+  "libprobkb_util.a"
+  "libprobkb_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probkb_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kb_query_test.dir/kb_query_test.cc.o"
+  "CMakeFiles/kb_query_test.dir/kb_query_test.cc.o.d"
+  "kb_query_test"
+  "kb_query_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kb_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/map_inference_test.dir/map_inference_test.cc.o"
+  "CMakeFiles/map_inference_test.dir/map_inference_test.cc.o.d"
+  "map_inference_test"
+  "map_inference_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/map_inference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

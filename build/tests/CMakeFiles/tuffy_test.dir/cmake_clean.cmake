@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tuffy_test.dir/tuffy_test.cc.o"
+  "CMakeFiles/tuffy_test.dir/tuffy_test.cc.o.d"
+  "tuffy_test"
+  "tuffy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tuffy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

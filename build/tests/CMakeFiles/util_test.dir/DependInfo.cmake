@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util_test.cc" "tests/CMakeFiles/util_test.dir/util_test.cc.o" "gcc" "tests/CMakeFiles/util_test.dir/util_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/probkb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/grounding/CMakeFiles/probkb_grounding.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuffy/CMakeFiles/probkb_tuffy.dir/DependInfo.cmake"
+  "/root/repo/build/src/quality/CMakeFiles/probkb_quality.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/probkb_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/infer/CMakeFiles/probkb_infer.dir/DependInfo.cmake"
+  "/root/repo/build/src/factor/CMakeFiles/probkb_factor.dir/DependInfo.cmake"
+  "/root/repo/build/src/mln/CMakeFiles/probkb_mln.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpp/CMakeFiles/probkb_mpp.dir/DependInfo.cmake"
+  "/root/repo/build/src/kb/CMakeFiles/probkb_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/probkb_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/probkb_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/probkb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probkb.dir/probkb_main.cc.o"
+  "CMakeFiles/probkb.dir/probkb_main.cc.o.d"
+  "probkb"
+  "probkb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probkb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
