@@ -2,8 +2,10 @@
 #define PROBKB_CORE_PROBKB_H_
 
 #include <memory>
+#include <string>
 
 #include "factor/factor_graph.h"
+#include "fault/fault_injector.h"
 #include "grounding/grounder.h"
 #include "grounding/mpp_grounder.h"
 #include "infer/gibbs.h"
@@ -32,6 +34,26 @@ struct ExpansionOptions {
   bool use_mpp = false;
   int mpp_segments = 32;
   MppMode mpp_mode = MppMode::kViews;
+  /// Deterministic fault injection threaded through the engines (chaos
+  /// testing; see DESIGN.md "Fault model and recovery"). Off by default.
+  FaultInjectionOptions fault_injection;
+  /// Retry/backoff budget for recovering injected segment failures on the
+  /// MPP simulator.
+  RetryPolicy retry;
+  /// Resume grounding from grounding.checkpoint_dir when that directory
+  /// holds a complete checkpoint from an earlier (interrupted) run.
+  bool resume_from_checkpoint = false;
+};
+
+/// \brief How many statements each pipeline stage abandoned to a budget
+/// failure (deadline, simulated memory, cancellation). All zero unless
+/// ExpansionResult::partial.
+struct StageFailureCounters {
+  int grounding = 0;
+  int factor_grounding = 0;
+  int inference = 0;
+  int Total() const { return grounding + factor_grounding + inference; }
+  std::string ToString() const;
 };
 
 /// \brief Everything the pipeline produces.
@@ -50,6 +72,17 @@ struct ExpansionResult {
   /// Inference record (marginals indexed by graph variable); default-
   /// constructed when run_inference was false.
   GibbsResult inference;
+  /// Graceful degradation: true when a budget failure stopped the
+  /// pipeline early. t_pi then holds every fact expanded before the stop,
+  /// `failures` counts what each stage abandoned, and `stop_reason` is
+  /// the status that ended the run. Later stages (factor grounding,
+  /// inference) are skipped once a stage goes partial.
+  bool partial = false;
+  StageFailureCounters failures;
+  Status stop_reason;
+  /// Injected-fault and recovery accounting (all zero unless
+  /// options.fault_injection.enabled).
+  FaultStats fault_stats;
 };
 
 /// \brief Runs the whole ProbKB pipeline over `kb` and returns the

@@ -14,4 +14,25 @@ std::string ExecStats::ToString() const {
   return out;
 }
 
+Status ExecContext::CheckBudget(const std::string& label) {
+  const int64_t op_index = ops_started_++;
+  if (injector_ != nullptr) {
+    PROBKB_RETURN_NOT_OK(injector_->OperatorFault(op_index, label));
+  }
+  if (budget_.deadline_seconds > 0 &&
+      timer_.Seconds() > budget_.deadline_seconds) {
+    return Status::DeadlineExceeded(
+        StrFormat("plan exceeded its %.3fs deadline at operator %s",
+                  budget_.deadline_seconds, label.c_str()));
+  }
+  if (budget_.max_produced_rows > 0 &&
+      produced_rows_ > budget_.max_produced_rows) {
+    return Status::ResourceExhausted(StrFormat(
+        "plan produced %lld rows, over the %lld-row budget, at operator %s",
+        static_cast<long long>(produced_rows_),
+        static_cast<long long>(budget_.max_produced_rows), label.c_str()));
+  }
+  return Status::OK();
+}
+
 }  // namespace probkb

@@ -5,6 +5,10 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault_injector.h"
+#include "util/status.h"
+#include "util/timer.h"
+
 namespace probkb {
 
 /// \brief Per-operator execution statistics.
@@ -39,18 +43,54 @@ struct ExecStats {
   std::string ToString() const;
 };
 
-/// \brief Execution context threaded through a plan; owns the stats sink.
+/// \brief Resource limits of one plan execution: a wall-clock deadline and
+/// a produced-row cap (the simulator's proxy for operator memory). Zero
+/// means unlimited.
+struct ExecBudget {
+  double deadline_seconds = 0.0;
+  int64_t max_produced_rows = 0;
+};
+
+/// \brief Execution context threaded through a plan; owns the stats sink,
+/// the resource budget, and the fault-injection hook.
 class ExecContext {
  public:
   ExecContext() = default;
 
-  void Record(NodeStats stats) { stats_.nodes.push_back(std::move(stats)); }
+  void Record(NodeStats stats) {
+    produced_rows_ += stats.rows_out;
+    stats_.nodes.push_back(std::move(stats));
+  }
+
+  /// \brief Arms the budget; the deadline clock starts here.
+  void set_budget(ExecBudget budget) {
+    budget_ = budget;
+    timer_.Reset();
+  }
+  const ExecBudget& budget() const { return budget_; }
+
+  /// \brief Attaches a fault injector (not owned); operators consult it to
+  /// simulate memory/deadline trips at exact, seeded points.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+  FaultInjector* fault_injector() const { return injector_; }
+
+  /// \brief Budget and fault gate called by every operator before it runs:
+  /// kDeadlineExceeded past the deadline, kResourceExhausted past the row
+  /// cap, or whatever the injector decides for this operator index.
+  Status CheckBudget(const std::string& label);
+
+  int64_t produced_rows() const { return produced_rows_; }
 
   const ExecStats& stats() const { return stats_; }
   ExecStats* mutable_stats() { return &stats_; }
 
  private:
   ExecStats stats_;
+  ExecBudget budget_;
+  Timer timer_;
+  FaultInjector* injector_ = nullptr;
+  int64_t produced_rows_ = 0;
+  int64_t ops_started_ = 0;
 };
 
 }  // namespace probkb

@@ -43,6 +43,7 @@ const char* JoinTypeToString(JoinType t) {
 // ScanNode -------------------------------------------------------------------
 
 Result<TablePtr> ScanNode::Execute(ExecContext* ctx) {
+  PROBKB_RETURN_NOT_OK(ctx->CheckBudget(Label()));
   ctx->Record({Label(), table_->NumRows(), table_->NumRows(), 0.0});
   return table_;
 }
@@ -56,6 +57,7 @@ FilterNode::FilterNode(PlanNodePtr input, RowPredicate pred,
 }
 
 Result<TablePtr> FilterNode::Execute(ExecContext* ctx) {
+  PROBKB_RETURN_NOT_OK(ctx->CheckBudget(Label()));
   PROBKB_ASSIGN_OR_RETURN(TablePtr in, children_[0]->Execute(ctx));
   Timer timer;
   auto out = Table::Make(in->schema());
@@ -79,6 +81,7 @@ ProjectNode::ProjectNode(PlanNodePtr input, std::vector<ProjectExpr> exprs)
 }
 
 Result<TablePtr> ProjectNode::Execute(ExecContext* ctx) {
+  PROBKB_RETURN_NOT_OK(ctx->CheckBudget(Label()));
   PROBKB_ASSIGN_OR_RETURN(TablePtr in, children_[0]->Execute(ctx));
   Timer timer;
   auto out = Table::Make(output_schema_);
@@ -115,6 +118,7 @@ HashJoinNode::HashJoinNode(PlanNodePtr left, PlanNodePtr right,
 }
 
 Result<TablePtr> HashJoinNode::Execute(ExecContext* ctx) {
+  PROBKB_RETURN_NOT_OK(ctx->CheckBudget(Label()));
   PROBKB_ASSIGN_OR_RETURN(TablePtr left, children_[0]->Execute(ctx));
   PROBKB_ASSIGN_OR_RETURN(TablePtr right, children_[1]->Execute(ctx));
   Timer timer;
@@ -190,6 +194,7 @@ DistinctNode::DistinctNode(PlanNodePtr input, std::vector<int> key_cols)
 }
 
 Result<TablePtr> DistinctNode::Execute(ExecContext* ctx) {
+  PROBKB_RETURN_NOT_OK(ctx->CheckBudget(Label()));
   PROBKB_ASSIGN_OR_RETURN(TablePtr in, children_[0]->Execute(ctx));
   Timer timer;
   std::vector<int> keys = key_cols_;
@@ -229,6 +234,7 @@ AggregateNode::AggregateNode(PlanNodePtr input, std::vector<int> group_cols,
 }
 
 Result<TablePtr> AggregateNode::Execute(ExecContext* ctx) {
+  PROBKB_RETURN_NOT_OK(ctx->CheckBudget(Label()));
   PROBKB_ASSIGN_OR_RETURN(TablePtr in, children_[0]->Execute(ctx));
   Timer timer;
 
@@ -371,6 +377,7 @@ UnionAllNode::UnionAllNode(std::vector<PlanNodePtr> inputs)
 }
 
 Result<TablePtr> UnionAllNode::Execute(ExecContext* ctx) {
+  PROBKB_RETURN_NOT_OK(ctx->CheckBudget(Label()));
   PROBKB_ASSIGN_OR_RETURN(TablePtr first, children_[0]->Execute(ctx));
   Timer timer;
   auto out = first->Clone();

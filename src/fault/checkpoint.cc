@@ -1,0 +1,194 @@
+#include "fault/checkpoint.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "relational/table_io.h"
+#include "util/strings.h"
+
+namespace probkb {
+
+namespace {
+
+constexpr const char kManifestName[] = "MANIFEST";
+constexpr const char kFormatLine[] = "probkb-grounding-checkpoint 1";
+
+std::string PathJoin(const std::string& dir, const std::string& name) {
+  return (std::filesystem::path(dir) / name).string();
+}
+
+Status WriteSegmentGroup(const std::string& dir, const char* prefix,
+                         const std::vector<TablePtr>& segments) {
+  for (size_t s = 0; s < segments.size(); ++s) {
+    if (segments[s] == nullptr) {
+      return Status::InvalidArgument(
+          StrFormat("checkpoint segment group '%s' has a null table",
+                    prefix));
+    }
+    PROBKB_RETURN_NOT_OK(WriteTableTsvFile(
+        *segments[s], PathJoin(dir, StrFormat("%s.seg%zu.tsv", prefix, s))));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<TablePtr>> ReadSegmentGroup(const Schema& schema,
+                                               const std::string& dir,
+                                               const char* prefix, int n) {
+  std::vector<TablePtr> segments;
+  segments.reserve(static_cast<size_t>(n));
+  for (int s = 0; s < n; ++s) {
+    PROBKB_ASSIGN_OR_RETURN(
+        TablePtr seg,
+        ReadTableTsvFile(schema,
+                         PathJoin(dir, StrFormat("%s.seg%d.tsv", prefix, s))));
+    segments.push_back(std::move(seg));
+  }
+  return segments;
+}
+
+}  // namespace
+
+Schema BannedEntitySchema() {
+  return Schema({{"e", ColumnType::kInt64}, {"c", ColumnType::kInt64}});
+}
+
+bool GroundingCheckpointExists(const std::string& dir) {
+  std::error_code ec;
+  return std::filesystem::is_regular_file(PathJoin(dir, kManifestName), ec);
+}
+
+Status WriteGroundingCheckpoint(const GroundingCheckpoint& cp,
+                                const std::string& dir) {
+  if (cp.t_pi == nullptr) {
+    return Status::InvalidArgument("checkpoint has no t_pi table");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create checkpoint dir '" + dir +
+                           "': " + ec.message());
+  }
+  PROBKB_RETURN_NOT_OK(
+      WriteTableTsvFile(*cp.t_pi, PathJoin(dir, "t_pi.tsv")));
+  const Table empty_banned(BannedEntitySchema());
+  PROBKB_RETURN_NOT_OK(WriteTableTsvFile(
+      cp.banned_x ? *cp.banned_x : empty_banned,
+      PathJoin(dir, "banned_x.tsv")));
+  PROBKB_RETURN_NOT_OK(WriteTableTsvFile(
+      cp.banned_y ? *cp.banned_y : empty_banned,
+      PathJoin(dir, "banned_y.tsv")));
+
+  const bool has_views = !cp.tx_segments.empty();
+  if (cp.num_segments > 0) {
+    if (static_cast<int>(cp.t0_segments.size()) != cp.num_segments) {
+      return Status::InvalidArgument(
+          "checkpoint t0 segment count does not match num_segments");
+    }
+    PROBKB_RETURN_NOT_OK(WriteSegmentGroup(dir, "t0", cp.t0_segments));
+    if (has_views) {
+      if (static_cast<int>(cp.tx_segments.size()) != cp.num_segments ||
+          static_cast<int>(cp.ty_segments.size()) != cp.num_segments ||
+          static_cast<int>(cp.txy_segments.size()) != cp.num_segments) {
+        return Status::InvalidArgument(
+            "checkpoint view segment counts do not match num_segments");
+      }
+      PROBKB_RETURN_NOT_OK(WriteSegmentGroup(dir, "tx", cp.tx_segments));
+      PROBKB_RETURN_NOT_OK(WriteSegmentGroup(dir, "ty", cp.ty_segments));
+      PROBKB_RETURN_NOT_OK(WriteSegmentGroup(dir, "txy", cp.txy_segments));
+    }
+  }
+
+  // The MANIFEST lands last, via rename: its presence certifies the tables
+  // above are complete.
+  const std::string tmp = PathJoin(dir, "MANIFEST.tmp");
+  {
+    std::ofstream out(tmp);
+    if (!out) return Status::IOError("cannot open '" + tmp + "' for write");
+    out << kFormatLine << "\n"
+        << "iteration " << cp.iteration << "\n"
+        << "next_fact_id " << cp.next_fact_id << "\n"
+        << "delta_start " << cp.delta_start << "\n"
+        << "num_segments " << cp.num_segments << "\n"
+        << "has_views " << (has_views ? 1 : 0) << "\n";
+    if (!out.good()) return Status::IOError("manifest write failed");
+  }
+  std::filesystem::rename(tmp, PathJoin(dir, kManifestName), ec);
+  if (ec) {
+    return Status::IOError("cannot finalize checkpoint manifest: " +
+                           ec.message());
+  }
+  return Status::OK();
+}
+
+Result<GroundingCheckpoint> ReadGroundingCheckpoint(
+    const Schema& t_pi_schema, const std::string& dir) {
+  if (!GroundingCheckpointExists(dir)) {
+    return Status::NotFound("no checkpoint manifest under '" + dir + "'");
+  }
+  std::ifstream in(PathJoin(dir, kManifestName));
+  if (!in) return Status::IOError("cannot open checkpoint manifest");
+  std::string line;
+  if (!std::getline(in, line) || line != kFormatLine) {
+    return Status::ParseError("unrecognized checkpoint format: '" + line +
+                              "'");
+  }
+  GroundingCheckpoint cp;
+  int64_t iteration = 0;
+  int64_t has_views = 0;
+  bool have_iteration = false, have_next_id = false;
+  while (std::getline(in, line)) {
+    auto tokens = Split(StripWhitespace(line), ' ');
+    if (tokens.size() != 2) continue;
+    int64_t v = 0;
+    if (!ParseInt64(tokens[1], &v)) {
+      return Status::ParseError("bad checkpoint manifest value in '" + line +
+                                "'");
+    }
+    if (tokens[0] == "iteration") {
+      iteration = v;
+      have_iteration = true;
+    } else if (tokens[0] == "next_fact_id") {
+      cp.next_fact_id = v;
+      have_next_id = true;
+    } else if (tokens[0] == "delta_start") {
+      cp.delta_start = v;
+    } else if (tokens[0] == "num_segments") {
+      cp.num_segments = static_cast<int>(v);
+    } else if (tokens[0] == "has_views") {
+      has_views = v;
+    }
+  }
+  if (!have_iteration || !have_next_id) {
+    return Status::ParseError("checkpoint manifest is missing fields");
+  }
+  cp.iteration = static_cast<int>(iteration);
+  PROBKB_ASSIGN_OR_RETURN(
+      cp.t_pi, ReadTableTsvFile(t_pi_schema, PathJoin(dir, "t_pi.tsv")));
+  PROBKB_ASSIGN_OR_RETURN(
+      cp.banned_x,
+      ReadTableTsvFile(BannedEntitySchema(), PathJoin(dir, "banned_x.tsv")));
+  PROBKB_ASSIGN_OR_RETURN(
+      cp.banned_y,
+      ReadTableTsvFile(BannedEntitySchema(), PathJoin(dir, "banned_y.tsv")));
+  if (cp.num_segments > 0) {
+    PROBKB_ASSIGN_OR_RETURN(
+        cp.t0_segments,
+        ReadSegmentGroup(t_pi_schema, dir, "t0", cp.num_segments));
+    if (has_views != 0) {
+      PROBKB_ASSIGN_OR_RETURN(
+          cp.tx_segments,
+          ReadSegmentGroup(t_pi_schema, dir, "tx", cp.num_segments));
+      PROBKB_ASSIGN_OR_RETURN(
+          cp.ty_segments,
+          ReadSegmentGroup(t_pi_schema, dir, "ty", cp.num_segments));
+      PROBKB_ASSIGN_OR_RETURN(
+          cp.txy_segments,
+          ReadSegmentGroup(t_pi_schema, dir, "txy", cp.num_segments));
+    }
+  }
+  return cp;
+}
+
+}  // namespace probkb

@@ -7,6 +7,15 @@
 
 namespace probkb {
 
+namespace {
+
+uint64_t BanKey(int64_t entity, int64_t cls) {
+  PROBKB_DCHECK(cls >= 0 && cls < (1 << 20));
+  return (static_cast<uint64_t>(entity) << 20) | static_cast<uint64_t>(cls);
+}
+
+}  // namespace
+
 std::string GroundingStats::ToString() const {
   std::string out = StrFormat(
       "grounding: %d iterations, atoms %lld -> %lld, %lld factors, "
@@ -28,6 +37,25 @@ Grounder::Grounder(RelationalKB* rkb, GroundingOptions options)
   stats_.initial_atoms = rkb_->t_pi->NumRows();
 }
 
+Status Grounder::ArmStatement(ExecContext* ec) {
+  ec->set_fault_injector(injector_);
+  if (options_.deadline_seconds > 0 || options_.max_rows_per_statement > 0) {
+    ExecBudget budget;
+    budget.max_produced_rows = options_.max_rows_per_statement;
+    if (options_.deadline_seconds > 0) {
+      budget.deadline_seconds =
+          options_.deadline_seconds - lifetime_timer_.Seconds();
+      if (budget.deadline_seconds <= 0) {
+        return Status::DeadlineExceeded(StrFormat(
+            "grounding exceeded its %.3fs deadline",
+            options_.deadline_seconds));
+      }
+    }
+    ec->set_budget(budget);
+  }
+  return Status::OK();
+}
+
 Status Grounder::CollectInferredAtoms(TablePtr probe1, TablePtr probe2,
                                       bool skip_length2,
                                       std::vector<TablePtr>* out) {
@@ -36,6 +64,7 @@ Status Grounder::CollectInferredAtoms(TablePtr probe1, TablePtr probe2,
     TablePtr m = rkb_->m[static_cast<size_t>(p - 1)];
     if (m->NumRows() == 0) continue;
     ExecContext ec;
+    PROBKB_RETURN_NOT_OK(ArmStatement(&ec));
     PROBKB_ASSIGN_OR_RETURN(
         TablePtr atoms, GroundAtomsForPartition(p, m, probe1, probe2, &ec));
     out->push_back(std::move(atoms));
@@ -100,10 +129,66 @@ Result<int64_t> Grounder::GroundAtomsIteration() {
   return added;
 }
 
+Status Grounder::MaybeCheckpoint() {
+  if (options_.checkpoint_dir.empty()) return Status::OK();
+  const int every = options_.checkpoint_every > 0 ? options_.checkpoint_every
+                                                  : 1;
+  if (stats_.iterations % every != 0) return Status::OK();
+  GroundingCheckpoint cp;
+  cp.iteration = stats_.iterations;
+  cp.next_fact_id = rkb_->next_fact_id;
+  cp.delta_start = delta_start_;
+  cp.t_pi = rkb_->t_pi;
+  cp.banned_x = Table::Make(BannedEntitySchema());
+  cp.banned_y = Table::Make(BannedEntitySchema());
+  for (const auto& [e, c] : banned_x_) {
+    cp.banned_x->AppendRow({Value::Int64(e), Value::Int64(c)});
+  }
+  for (const auto& [e, c] : banned_y_) {
+    cp.banned_y->AppendRow({Value::Int64(e), Value::Int64(c)});
+  }
+  return WriteGroundingCheckpoint(cp, options_.checkpoint_dir);
+}
+
+Status Grounder::ResumeFrom(const std::string& checkpoint_dir) {
+  PROBKB_ASSIGN_OR_RETURN(GroundingCheckpoint cp,
+                          ReadGroundingCheckpoint(TPiSchema(),
+                                                  checkpoint_dir));
+  *rkb_->t_pi = std::move(*cp.t_pi);
+  rkb_->next_fact_id = cp.next_fact_id;
+  delta_start_ = cp.delta_start;
+  stats_.iterations = cp.iteration;
+  banned_x_.clear();
+  banned_y_.clear();
+  banned_x_keys_.clear();
+  banned_y_keys_.clear();
+  for (int64_t i = 0; i < cp.banned_x->NumRows(); ++i) {
+    RowView row = cp.banned_x->row(i);
+    banned_x_.emplace_back(row[0].i64(), row[1].i64());
+    banned_x_keys_.insert(BanKey(row[0].i64(), row[1].i64()));
+  }
+  for (int64_t i = 0; i < cp.banned_y->NumRows(); ++i) {
+    RowView row = cp.banned_y->row(i);
+    banned_y_.emplace_back(row[0].i64(), row[1].i64());
+    banned_y_keys_.insert(BanKey(row[0].i64(), row[1].i64()));
+  }
+  return Status::OK();
+}
+
 Status Grounder::GroundAtoms() {
-  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+  // `stats_.iterations` starts above zero after ResumeFrom, so a resumed
+  // run honours the same iteration cap as an uninterrupted one.
+  while (stats_.iterations < options_.max_iterations) {
     PROBKB_ASSIGN_OR_RETURN(int64_t added, GroundAtomsIteration());
+    PROBKB_RETURN_NOT_OK(MaybeCheckpoint());
     if (added == 0) break;
+    if (options_.deadline_seconds > 0 &&
+        lifetime_timer_.Seconds() > options_.deadline_seconds) {
+      stats_.final_atoms = rkb_->t_pi->NumRows();
+      return Status::DeadlineExceeded(StrFormat(
+          "grounding exceeded its %.3fs deadline after iteration %d",
+          options_.deadline_seconds, stats_.iterations));
+    }
   }
   stats_.final_atoms = rkb_->t_pi->NumRows();
   return Status::OK();
@@ -116,6 +201,7 @@ Result<TablePtr> Grounder::GroundFactors() {
     TablePtr m = rkb_->m[static_cast<size_t>(p - 1)];
     if (m->NumRows() == 0) continue;
     ExecContext ec;
+    PROBKB_RETURN_NOT_OK(ArmStatement(&ec));
     PROBKB_ASSIGN_OR_RETURN(
         TablePtr factors,
         GroundFactorsForPartition(p, m, rkb_->t_pi, rkb_->t_pi, rkb_->t_pi,
@@ -127,6 +213,7 @@ Result<TablePtr> Grounder::GroundFactors() {
   }
   {
     ExecContext ec;
+    PROBKB_RETURN_NOT_OK(ArmStatement(&ec));
     PROBKB_ASSIGN_OR_RETURN(TablePtr singletons,
                             SingletonFactors(rkb_->t_pi, &ec));
     t_phi->AppendTable(*singletons);
@@ -138,15 +225,6 @@ Result<TablePtr> Grounder::GroundFactors() {
   return t_phi;
 }
 
-namespace {
-
-uint64_t BanKey(int64_t entity, int64_t cls) {
-  PROBKB_DCHECK(cls >= 0 && cls < (1 << 20));
-  return (static_cast<uint64_t>(entity) << 20) | static_cast<uint64_t>(cls);
-}
-
-}  // namespace
-
 bool Grounder::IsBanned(const RowView& atom) const {
   return banned_x_keys_.count(
              BanKey(atom[atom::kX].i64(), atom[atom::kC1].i64())) > 0 ||
@@ -156,6 +234,7 @@ bool Grounder::IsBanned(const RowView& atom) const {
 
 Result<int64_t> Grounder::ApplyConstraints() {
   ExecContext ec;
+  PROBKB_RETURN_NOT_OK(ArmStatement(&ec));
   ++stats_.statements;
   PROBKB_ASSIGN_OR_RETURN(
       TablePtr violators,

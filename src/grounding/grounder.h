@@ -6,9 +6,12 @@
 #include <utility>
 #include <vector>
 
+#include "fault/checkpoint.h"
+#include "fault/fault_injector.h"
 #include "grounding/partition_queries.h"
 #include "kb/relational_model.h"
 #include "util/result.h"
+#include "util/timer.h"
 
 namespace probkb {
 
@@ -35,6 +38,19 @@ struct GroundingOptions {
   /// trip). Charged identically to ProbKB and Tuffy-T; see DESIGN.md. Set
   /// to 0 to report raw engine time only.
   double per_statement_seconds = 0.0;
+  /// Iteration-level checkpointing: when non-empty, a complete snapshot of
+  /// the fixpoint state lands here after every `checkpoint_every`-th
+  /// iteration; ResumeFrom() restarts a grounder from it.
+  std::string checkpoint_dir;
+  int checkpoint_every = 1;
+  /// Grounding deadline in seconds; 0 = unlimited. The single-node
+  /// grounder measures wall-clock, the MPP grounder simulated time; on
+  /// expiry GroundAtoms returns kDeadlineExceeded with the last completed
+  /// iteration checkpointed (when checkpointing is on).
+  double deadline_seconds = 0.0;
+  /// Memory proxy: kResourceExhausted once a single statement's operators
+  /// have produced this many rows. 0 = unlimited.
+  int64_t max_rows_per_statement = 0;
 };
 
 /// \brief Execution record of one grounding run.
@@ -82,6 +98,15 @@ class Grounder {
   /// \brief Query 3 over the current TPi. Returns facts deleted.
   Result<int64_t> ApplyConstraints();
 
+  /// \brief Restores the fixpoint state (TPi, fact-id counter, bans,
+  /// iteration count) from a checkpoint written by a previous run; call
+  /// before GroundAtoms() to continue where that run stopped.
+  Status ResumeFrom(const std::string& checkpoint_dir);
+
+  /// \brief Threads a fault injector into every statement's ExecContext
+  /// (simulated operator memory/deadline trips). Not owned.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+
   const GroundingStats& stats() const { return stats_; }
   const RelationalKB& rkb() const { return *rkb_; }
 
@@ -103,6 +128,11 @@ class Grounder {
   /// (not yet merged) inferred-atom tables.
   Status CollectInferredAtoms(TablePtr probe1, TablePtr probe2,
                               bool skip_length2, std::vector<TablePtr>* out);
+  /// Arms a statement's ExecContext with the remaining deadline, the row
+  /// budget, and the fault injector; kDeadlineExceeded if none remains.
+  Status ArmStatement(ExecContext* ec);
+  /// Writes an iteration checkpoint when options call for one.
+  Status MaybeCheckpoint();
 
   RelationalKB* rkb_;
   /// Semi-naive state: TPi row count at the start of the last iteration's
@@ -110,6 +140,9 @@ class Grounder {
   int64_t delta_start_ = 0;
   GroundingOptions options_;
   GroundingStats stats_;
+  FaultInjector* injector_ = nullptr;
+  /// Wall-clock since construction; the deadline budget counts from here.
+  Timer lifetime_timer_;
   std::vector<std::pair<EntityId, ClassId>> banned_x_;
   std::vector<std::pair<EntityId, ClassId>> banned_y_;
   std::unordered_set<uint64_t> banned_x_keys_;

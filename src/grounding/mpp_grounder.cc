@@ -1,5 +1,8 @@
 #include "grounding/mpp_grounder.h"
 
+#include <algorithm>
+#include <memory>
+
 #include "engine/ops.h"
 #include "util/strings.h"
 #include "util/timer.h"
@@ -17,13 +20,17 @@ const std::vector<int> kAtomDistKeys = {atom::kR, atom::kC1, atom::kC2};
 
 MppGrounder::MppGrounder(const RelationalKB& rkb, int num_segments,
                          MppMode mode, GroundingOptions options,
-                         CostParams cost_params)
+                         CostParams cost_params, FaultInjector* injector,
+                         RetryPolicy retry)
     : ctx_(num_segments, cost_params),
       mode_(mode),
       options_(options),
       m_(rkb.m),
       t_omega_(rkb.t_omega),
       next_fact_id_(rkb.next_fact_id) {
+  ctx_.set_fault_injector(injector);
+  ctx_.set_retry_policy(retry);
+  ctx_.set_deadline_seconds(options_.deadline_seconds);
   stats_.initial_atoms = rkb.t_pi->NumRows();
   t_pi_ = DistributedTable::Distribute(*rkb.t_pi, num_segments,
                                        Distribution::Hash(ViewKeysT0()), "T0");
@@ -136,27 +143,52 @@ Result<int64_t> MppGrounder::MergeAtoms(const DistributedTable& atoms) {
 
   if (mode_ == MppMode::kViews && added > 0) {
     // Incremental view maintenance: ship only the delta rows to each view.
+    // Each delta row remembers its T0 origin segment so an injected fault
+    // can replay exactly the victim's contribution.
     Table delta(TPiSchema());
+    std::vector<int> origin;
     for (int s = 0; s < n; ++s) {
       const Table& seg = *t_pi_->segment(s);
       for (int64_t r = old_sizes[static_cast<size_t>(s)]; r < seg.NumRows();
            ++r) {
         delta.AppendRow(seg.row(r));
+        origin.push_back(s);
       }
     }
     for (DistributedTablePtr view : {view_tx_, view_ty_, view_txy_}) {
       const auto& keys = view->distribution().key_cols;
+      std::vector<int> targets(static_cast<size_t>(delta.NumRows()));
+      std::vector<std::vector<int64_t>> sent(
+          static_cast<size_t>(n),
+          std::vector<int64_t>(static_cast<size_t>(n)));
       for (int64_t r = 0; r < delta.NumRows(); ++r) {
-        RowView row = delta.row(r);
-        int target = DistributedTable::TargetSegment(row, keys, n);
-        view->mutable_segment(target)->AppendRow(row);
+        int target = DistributedTable::TargetSegment(delta.row(r), keys, n);
+        targets[static_cast<size_t>(r)] = target;
+        ++sent[static_cast<size_t>(origin[static_cast<size_t>(r)])]
+              [static_cast<size_t>(target)];
       }
-      MppStep step;
-      step.kind = MppStep::Kind::kRedistribute;
-      step.label = "refresh " + view->name();
-      step.tuples_shipped = delta.NumRows();
-      step.seconds = ctx_.MotionSeconds(delta.NumRows());
-      ctx_.mutable_cost()->Add(std::move(step));
+      auto resend = [&](const FaultEvent& f) -> int64_t {
+        if (f.kind == FaultKind::kSegmentFailure) {
+          int64_t t = 0;
+          for (int64_t batch : sent[static_cast<size_t>(f.segment)]) {
+            t += batch;
+          }
+          return t;
+        }
+        return sent[static_cast<size_t>(f.segment)][
+            static_cast<size_t>(f.target)];
+      };
+      // The refresh is a real motion: it consumes a motion index, can be
+      // struck by injected faults, and only mutates the view once the
+      // (possibly recovered) shipment succeeded.
+      PROBKB_RETURN_NOT_OK(
+          ctx_.AccountMotion(MppStep::Kind::kRedistribute,
+                             "refresh " + view->name(), delta.NumRows(),
+                             resend));
+      for (int64_t r = 0; r < delta.NumRows(); ++r) {
+        view->mutable_segment(targets[static_cast<size_t>(r)])
+            ->AppendRow(delta.row(r));
+      }
     }
   }
   return added;
@@ -190,11 +222,95 @@ Result<int64_t> MppGrounder::GroundAtomsIteration() {
 }
 
 Status MppGrounder::GroundAtoms() {
-  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+  // `stats_.iterations` starts above zero after ResumeFrom, so a resumed
+  // run honours the same iteration cap as an uninterrupted one. A deadline
+  // or fault error propagates out of the iteration with the last completed
+  // iteration's checkpoint intact on disk.
+  while (stats_.iterations < options_.max_iterations) {
+    PROBKB_RETURN_NOT_OK(ctx_.CheckDeadline());
     PROBKB_ASSIGN_OR_RETURN(int64_t added, GroundAtomsIteration());
+    PROBKB_RETURN_NOT_OK(MaybeCheckpoint());
     if (added == 0) break;
   }
   stats_.final_atoms = t_pi_->NumRows();
+  return Status::OK();
+}
+
+Status MppGrounder::MaybeCheckpoint() {
+  if (options_.checkpoint_dir.empty()) return Status::OK();
+  const int every =
+      options_.checkpoint_every > 0 ? options_.checkpoint_every : 1;
+  if (stats_.iterations % every != 0) return Status::OK();
+  GroundingCheckpoint cp;
+  cp.iteration = stats_.iterations;
+  cp.next_fact_id = next_fact_id_;
+  cp.num_segments = ctx_.num_segments();
+  // The gathered copy is informational (and lets the single-node reader
+  // inspect it); the per-segment files are what resume restores.
+  cp.t_pi = t_pi_->ToLocal();
+  for (int s = 0; s < ctx_.num_segments(); ++s) {
+    cp.t0_segments.push_back(t_pi_->segment(s));
+  }
+  if (mode_ == MppMode::kViews) {
+    for (int s = 0; s < ctx_.num_segments(); ++s) {
+      cp.tx_segments.push_back(view_tx_->segment(s));
+      cp.ty_segments.push_back(view_ty_->segment(s));
+      cp.txy_segments.push_back(view_txy_->segment(s));
+    }
+  }
+  cp.banned_x = Table::Make(BannedEntitySchema());
+  cp.banned_y = Table::Make(BannedEntitySchema());
+  auto dump = [](const std::unordered_set<uint64_t>& keys, Table* out) {
+    std::vector<uint64_t> sorted(keys.begin(), keys.end());
+    std::sort(sorted.begin(), sorted.end());
+    for (uint64_t k : sorted) {
+      out->AppendRow({Value::Int64(static_cast<int64_t>(k >> 20)),
+                      Value::Int64(static_cast<int64_t>(
+                          k & ((uint64_t{1} << 20) - 1)))});
+    }
+  };
+  dump(banned_x_keys_, cp.banned_x.get());
+  dump(banned_y_keys_, cp.banned_y.get());
+  return WriteGroundingCheckpoint(cp, options_.checkpoint_dir);
+}
+
+Status MppGrounder::ResumeFrom(const std::string& checkpoint_dir) {
+  PROBKB_ASSIGN_OR_RETURN(
+      GroundingCheckpoint cp,
+      ReadGroundingCheckpoint(TPiSchema(), checkpoint_dir));
+  if (cp.num_segments != ctx_.num_segments()) {
+    return Status::InvalidArgument(StrFormat(
+        "checkpoint was taken with %d segments but the grounder has %d",
+        cp.num_segments, ctx_.num_segments()));
+  }
+  const bool has_views = !cp.tx_segments.empty();
+  if ((mode_ == MppMode::kViews) != has_views) {
+    return Status::InvalidArgument(
+        "checkpoint view mode does not match the grounder's MppMode");
+  }
+  t_pi_ = std::make_shared<DistributedTable>(
+      TPiSchema(), cp.t0_segments, Distribution::Hash(ViewKeysT0()), "T0");
+  if (mode_ == MppMode::kViews) {
+    view_tx_ = std::make_shared<DistributedTable>(
+        TPiSchema(), cp.tx_segments, Distribution::Hash(ViewKeysTx()), "Tx");
+    view_ty_ = std::make_shared<DistributedTable>(
+        TPiSchema(), cp.ty_segments, Distribution::Hash(ViewKeysTy()), "Ty");
+    view_txy_ = std::make_shared<DistributedTable>(
+        TPiSchema(), cp.txy_segments, Distribution::Hash(ViewKeysTxy()),
+        "Txy");
+  }
+  next_fact_id_ = cp.next_fact_id;
+  stats_.iterations = cp.iteration;
+  banned_x_keys_.clear();
+  banned_y_keys_.clear();
+  for (int64_t i = 0; i < cp.banned_x->NumRows(); ++i) {
+    RowView row = cp.banned_x->row(i);
+    banned_x_keys_.insert(BanKey(row[0].i64(), row[1].i64()));
+  }
+  for (int64_t i = 0; i < cp.banned_y->NumRows(); ++i) {
+    RowView row = cp.banned_y->row(i);
+    banned_y_keys_.insert(BanKey(row[0].i64(), row[1].i64()));
+  }
   return Status::OK();
 }
 

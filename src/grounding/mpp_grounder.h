@@ -24,10 +24,17 @@ enum class MppMode { kNoViews, kViews };
 /// distributed by (R, C1, x, C2), (R, C1, C2, y) and (R, C1, x, C2, y), so
 /// every grounding join finds a collocated TPi instance and only the small
 /// M_i / intermediate side moves (Example 5).
+///
+/// With a FaultInjector the simulator's motions detect and recover
+/// injected segment failures (see MppContext); the grounder adds the
+/// layer above: iteration-level checkpoints (options.checkpoint_dir) and
+/// ResumeFrom(), so a run aborted by a deadline or an unrecoverable
+/// motion restarts from the last completed iteration instead of scratch.
 class MppGrounder {
  public:
   MppGrounder(const RelationalKB& rkb, int num_segments, MppMode mode,
-              GroundingOptions options, CostParams cost_params = {});
+              GroundingOptions options, CostParams cost_params = {},
+              FaultInjector* injector = nullptr, RetryPolicy retry = {});
 
   /// \brief Algorithm 1 lines 2-7 on the simulator.
   Status GroundAtoms();
@@ -41,6 +48,10 @@ class MppGrounder {
 
   /// \brief Query 3 on the simulator; keeps the views consistent.
   Result<int64_t> ApplyConstraints();
+
+  /// \brief Restores TPi (and its views), the fact-id counter, the bans,
+  /// and the iteration count from a checkpoint; call before GroundAtoms().
+  Status ResumeFrom(const std::string& checkpoint_dir);
 
   /// \brief Gathered copy of the current TPi (for verification).
   TablePtr GatherTPi() const;
@@ -66,6 +77,8 @@ class MppGrounder {
   /// probe is collocated with the key order, broadcast-left otherwise.
   MotionPolicy PolicyFor(const DistributedTable& probe,
                          const std::vector<int>& t_keys) const;
+  /// Writes an iteration checkpoint when options call for one.
+  Status MaybeCheckpoint();
 
   mutable MppContext ctx_;
   MppMode mode_;

@@ -36,28 +36,39 @@ double Sigmoid(double x) {
   return e / (1.0 + e);
 }
 
-/// Runs one chain; returns the per-variable count of sampled ones.
-std::vector<int64_t> RunChain(const FactorGraph& graph,
-                              const GibbsOptions& options,
-                              const std::vector<int32_t>& order,
-                              uint64_t seed) {
+/// Fresh chain state: zero assignment, seeded RNG, zero sample counts.
+GibbsChainState InitChain(int num_variables, uint64_t seed) {
+  GibbsChainState st;
+  st.assignment.assign(static_cast<size_t>(num_variables), 0);
+  st.ones.assign(static_cast<size_t>(num_variables), 0);
+  st.rng_state = Rng(seed).State();
+  return st;
+}
+
+/// Advances one chain from its saved state up to sweep `end_sweep`
+/// (exclusive). Restoring the RNG words makes the continuation replay the
+/// exact sample path an uninterrupted run would take.
+void AdvanceChain(const FactorGraph& graph, const GibbsOptions& options,
+                  const std::vector<int32_t>& order, int end_sweep,
+                  GibbsChainState* st) {
   const int n = graph.num_variables();
-  Rng rng(seed);
-  std::vector<uint8_t> assignment(static_cast<size_t>(n), 0);
-  std::vector<int64_t> ones(static_cast<size_t>(n), 0);
-  const int total_sweeps = options.burn_in_sweeps + options.sample_sweeps;
-  for (int sweep = 0; sweep < total_sweeps; ++sweep) {
+  Rng rng(0);
+  rng.SetState(st->rng_state);
+  auto& assignment = st->assignment;
+  for (int sweep = st->sweeps_done; sweep < end_sweep; ++sweep) {
     for (int32_t v : order) {
       double p1 = Sigmoid(ConditionalLogOdds(graph, v, &assignment));
       assignment[static_cast<size_t>(v)] = rng.Bernoulli(p1) ? 1 : 0;
     }
     if (sweep >= options.burn_in_sweeps) {
       for (int32_t v = 0; v < n; ++v) {
-        ones[static_cast<size_t>(v)] += assignment[static_cast<size_t>(v)];
+        st->ones[static_cast<size_t>(v)] +=
+            assignment[static_cast<size_t>(v)];
       }
     }
   }
-  return ones;
+  st->sweeps_done = end_sweep;
+  st->rng_state = rng.State();
 }
 
 /// Gelman-Rubin potential scale reduction factor for one variable given
@@ -91,7 +102,8 @@ double Psrf(const std::vector<int64_t>& chain_ones, int64_t samples) {
 }  // namespace
 
 Result<GibbsResult> GibbsMarginals(const FactorGraph& graph,
-                                   const GibbsOptions& options) {
+                                   const GibbsOptions& options,
+                                   GibbsCheckpoint* checkpoint) {
   if (options.burn_in_sweeps < 0 || options.sample_sweeps <= 0) {
     return Status::InvalidArgument("sweep counts must be positive");
   }
@@ -130,57 +142,86 @@ Result<GibbsResult> GibbsMarginals(const FactorGraph& graph,
     color_sizes.assign(1, n);
   }
 
-  std::vector<std::vector<int64_t>> per_chain_ones;
-  per_chain_ones.reserve(static_cast<size_t>(options.num_chains));
-  for (int chain = 0; chain < options.num_chains; ++chain) {
-    per_chain_ones.push_back(RunChain(
-        graph, options, order,
-        options.seed + 0x9E3779B97F4A7C15ULL * static_cast<uint64_t>(chain)));
+  // Chain state lives in the caller's checkpoint when one is supplied, so
+  // an interrupted run continues from its last sweep boundary; otherwise
+  // in a local that starts fresh and completes in this call.
+  GibbsCheckpoint local_state;
+  GibbsCheckpoint* state = checkpoint ? checkpoint : &local_state;
+  const int total_sweeps = options.burn_in_sweeps + options.sample_sweeps;
+  if (state->chains.empty()) {
+    state->chains.reserve(static_cast<size_t>(options.num_chains));
+    for (int chain = 0; chain < options.num_chains; ++chain) {
+      state->chains.push_back(InitChain(
+          n, options.seed +
+                 0x9E3779B97F4A7C15ULL * static_cast<uint64_t>(chain)));
+    }
+  } else if (static_cast<int>(state->chains.size()) != options.num_chains ||
+             static_cast<int>(state->chains.front().assignment.size()) != n) {
+    return Status::InvalidArgument(
+        "Gibbs checkpoint does not match num_chains / the factor graph");
+  }
+
+  const int sweeps_before = state->sweeps_done();
+  int end_sweep = total_sweeps;
+  if (options.max_sweeps_per_call > 0) {
+    end_sweep = std::min(total_sweeps,
+                         sweeps_before + options.max_sweeps_per_call);
+  }
+  for (GibbsChainState& st : state->chains) {
+    AdvanceChain(graph, options, order, end_sweep, &st);
   }
 
   GibbsResult result;
+  result.sweeps_done = end_sweep;
+  result.complete = end_sweep == total_sweeps;
   result.marginals.assign(static_cast<size_t>(n), 0.0);
-  const double denom = static_cast<double>(options.sample_sweeps) *
+  const int64_t sampled =
+      std::max(0, end_sweep - options.burn_in_sweeps);
+  const double denom = static_cast<double>(sampled) *
                        static_cast<double>(options.num_chains);
-  for (int32_t v = 0; v < n; ++v) {
-    int64_t total = 0;
-    for (const auto& ones : per_chain_ones) {
-      total += ones[static_cast<size_t>(v)];
+  if (sampled > 0) {
+    for (int32_t v = 0; v < n; ++v) {
+      int64_t total = 0;
+      for (const GibbsChainState& st : state->chains) {
+        total += st.ones[static_cast<size_t>(v)];
+      }
+      result.marginals[static_cast<size_t>(v)] =
+          static_cast<double>(total) / denom;
     }
-    result.marginals[static_cast<size_t>(v)] =
-        static_cast<double>(total) / denom;
   }
 
   // Convergence diagnostic across chains.
   result.max_psrf = 1.0;
-  if (options.num_chains > 1) {
+  if (options.num_chains > 1 && sampled > 0) {
     std::vector<int64_t> chain_ones(static_cast<size_t>(options.num_chains));
     for (int32_t v = 0; v < n; ++v) {
       for (int c = 0; c < options.num_chains; ++c) {
         chain_ones[static_cast<size_t>(c)] =
-            per_chain_ones[static_cast<size_t>(c)][static_cast<size_t>(v)];
+            state->chains[static_cast<size_t>(c)].ones[static_cast<size_t>(v)];
       }
       result.max_psrf =
-          std::max(result.max_psrf, Psrf(chain_ones, options.sample_sweeps));
+          std::max(result.max_psrf, Psrf(chain_ones, sampled));
     }
   }
 
   result.seconds = timer.Seconds();
   result.num_colors = num_colors;
-  const int total_sweeps = options.burn_in_sweeps + options.sample_sweeps;
-  if (options.schedule == GibbsSchedule::kChromatic && n > 0) {
+  const int sweeps_run = end_sweep - sweeps_before;
+  if (options.schedule == GibbsSchedule::kChromatic && n > 0 &&
+      sweeps_run > 0) {
     // Modelled parallel sweep: each color runs its variables across P
-    // workers; colors are barriers (Gonzalez et al.).
+    // workers; colors are barriers (Gonzalez et al.). Scaled by the sweeps
+    // this call actually ran, so partial calls sum to the full-run model.
     double per_var =
         result.seconds /
-        (static_cast<double>(n) * total_sweeps * options.num_chains);
+        (static_cast<double>(n) * sweeps_run * options.num_chains);
     double parallel_sweep = 0.0;
     for (int64_t size : color_sizes) {
       parallel_sweep +=
           per_var * std::ceil(static_cast<double>(size) / options.parallelism);
     }
     result.simulated_parallel_seconds =
-        parallel_sweep * total_sweeps * options.num_chains;
+        parallel_sweep * sweeps_run * options.num_chains;
   } else {
     result.simulated_parallel_seconds = result.seconds;
   }

@@ -1,6 +1,8 @@
 #ifndef PROBKB_INFER_GIBBS_H_
 #define PROBKB_INFER_GIBBS_H_
 
+#include <array>
+#include <cstdint>
 #include <vector>
 
 #include "factor/factor_graph.h"
@@ -28,6 +30,29 @@ struct GibbsOptions {
   /// Gelman-Rubin convergence diagnostic; marginals average the chains.
   int num_chains = 1;
   uint64_t seed = 42;
+  /// Fault tolerance: advance each chain by at most this many sweeps per
+  /// call, persisting progress in the caller's GibbsCheckpoint (0 runs to
+  /// completion in one call). A run split across calls is bit-identical
+  /// to an uninterrupted one — the checkpoint carries the exact RNG state.
+  int max_sweeps_per_call = 0;
+};
+
+/// \brief Resumable state of one Gibbs chain at a sweep boundary.
+struct GibbsChainState {
+  int sweeps_done = 0;
+  /// xoshiro256** words; restoring them replays the identical sample path.
+  std::array<uint64_t, 4> rng_state{};
+  std::vector<uint8_t> assignment;
+  /// Per-variable count of post-burn-in sweeps that sampled 1.
+  std::vector<int64_t> ones;
+};
+
+/// \brief Sampler state across chains; pass an empty one to start fresh.
+struct GibbsCheckpoint {
+  std::vector<GibbsChainState> chains;
+  int sweeps_done() const {
+    return chains.empty() ? 0 : chains.front().sweeps_done;
+  }
 };
 
 struct GibbsResult {
@@ -42,12 +67,23 @@ struct GibbsResult {
   /// Max potential-scale-reduction factor (Gelman-Rubin R-hat) over
   /// variables; ~1.0 indicates the chains mixed. 1.0 when num_chains == 1.
   double max_psrf = 1.0;
+  /// False when max_sweeps_per_call stopped the run early; call again with
+  /// the same checkpoint to continue. Marginals then cover only the
+  /// post-burn-in sweeps completed so far.
+  bool complete = true;
+  int sweeps_done = 0;
 };
 
 /// \brief Gibbs sampling for marginal inference over the ground factor
 /// graph (the MLN marginal-inference step, Eq. (4)).
+///
+/// With a non-null `checkpoint` the sampler initializes from (and updates)
+/// that state, enabling interrupted-and-resumed runs; with
+/// options.max_sweeps_per_call set it returns after that many additional
+/// sweeps with result.complete == false until the schedule finishes.
 Result<GibbsResult> GibbsMarginals(const FactorGraph& graph,
-                                   const GibbsOptions& options);
+                                   const GibbsOptions& options,
+                                   GibbsCheckpoint* checkpoint = nullptr);
 
 /// \brief Exact marginals by enumeration; the test oracle. Fails for more
 /// than `max_variables` variables.

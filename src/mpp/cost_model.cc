@@ -15,6 +15,8 @@ const char* KindName(MppStep::Kind k) {
       return "Broadcast Motion";
     case MppStep::Kind::kGather:
       return "Gather Motion";
+    case MppStep::Kind::kRecovery:
+      return "Recovery";
   }
   return "?";
 }

@@ -1,10 +1,144 @@
 #include "mpp/mpp_context.h"
 
 #include <algorithm>
+#include <set>
 
 #include "util/strings.h"
 
 namespace probkb {
+
+Status MppContext::CheckDeadline() const {
+  if (deadline_seconds_ > 0 &&
+      cost_.simulated_seconds() > deadline_seconds_) {
+    return Status::DeadlineExceeded(
+        StrFormat("simulated time %.3fs exceeded the %.3fs deadline",
+                  cost_.simulated_seconds(), deadline_seconds_));
+  }
+  return Status::OK();
+}
+
+Status MppContext::BeginMotion(const std::string& label,
+                               int64_t* motion_index) {
+  *motion_index = next_motion_index_++;
+  if (injector_ != nullptr) {
+    PROBKB_RETURN_NOT_OK(injector_->OperatorFault(*motion_index, label));
+  }
+  return CheckDeadline();
+}
+
+Status MppContext::RecoverMotion(
+    int64_t motion_index, const std::string& label,
+    const std::vector<FaultEvent>& faults,
+    const std::function<int64_t(const FaultEvent&)>& resend_tuples) {
+  if (faults.empty()) return Status::OK();
+  FaultStats* stats = injector_->mutable_stats();
+
+  double backoff_seconds = 0.0;
+  int64_t reshipped = 0;
+
+  // Batch-level faults recover in one exchange with the (alive) sender:
+  // a dropped batch is retransmitted from the sender's materialized
+  // output, a duplicated batch is detected against the sender's declared
+  // row count and the extra copy discarded.
+  std::vector<FaultEvent> pending;  // segment failures, retried below
+  for (const FaultEvent& f : faults) {
+    switch (f.kind) {
+      case FaultKind::kSegmentFailure:
+        pending.push_back(f);
+        break;
+      case FaultKind::kDropBatch:
+        backoff_seconds += retry_.BackoffSeconds(1);
+        reshipped += resend_tuples(f);
+        ++stats->retries;
+        ++stats->recovered_faults;
+        break;
+      case FaultKind::kDuplicateBatch:
+        // The duplicate burned interconnect bandwidth before detection.
+        reshipped += resend_tuples(f);
+        ++stats->recovered_faults;
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Segment failures: re-run each victim's partition from the surviving
+  // materialized-view inputs, under capped exponential backoff. A retry
+  // can itself be struck (the injector's schedule decides), so this loops
+  // until the pending set drains or the attempt budget runs out.
+  for (int attempt = 1; !pending.empty(); ++attempt) {
+    if (attempt > retry_.max_attempts) {
+      ++stats->unrecovered_motions;
+      // Account what recovery burned before giving up.
+      MppStep step;
+      step.kind = MppStep::Kind::kRecovery;
+      step.label = "recovery " + label + " (failed)";
+      step.tuples_shipped = reshipped;
+      step.seconds = backoff_seconds + MotionSeconds(reshipped);
+      cost_.Add(std::move(step));
+      stats->backoff_seconds += backoff_seconds;
+      stats->tuples_reshipped += reshipped;
+      return Status::ResourceExhausted(StrFormat(
+          "motion %lld (%s): segment %d still failed after %d attempts",
+          static_cast<long long>(motion_index), label.c_str(),
+          pending.front().segment, retry_.max_attempts));
+    }
+    backoff_seconds += retry_.BackoffSeconds(attempt);
+    ++stats->retries;
+
+    std::vector<FaultEvent> retry_faults =
+        injector_->MotionFaults(motion_index, attempt, num_segments_);
+    std::set<int> failed_again;
+    for (const FaultEvent& f : retry_faults) {
+      if (f.kind == FaultKind::kSegmentFailure) failed_again.insert(f.segment);
+    }
+
+    std::vector<FaultEvent> still_pending;
+    for (const FaultEvent& f : pending) {
+      if (failed_again.count(f.segment) > 0) {
+        still_pending.push_back(f);
+      } else {
+        reshipped += resend_tuples(f);
+        ++stats->recovered_faults;
+      }
+    }
+    pending = std::move(still_pending);
+  }
+
+  MppStep step;
+  step.kind = MppStep::Kind::kRecovery;
+  step.label = "recovery " + label;
+  step.tuples_shipped = reshipped;
+  step.seconds = backoff_seconds + MotionSeconds(reshipped);
+  cost_.Add(std::move(step));
+  stats->backoff_seconds += backoff_seconds;
+  stats->tuples_reshipped += reshipped;
+  return Status::OK();
+}
+
+Status MppContext::AccountMotion(
+    MppStep::Kind kind, const std::string& label, int64_t tuples_shipped,
+    const std::function<int64_t(const FaultEvent&)>& resend_tuples) {
+  int64_t motion_index = 0;
+  PROBKB_RETURN_NOT_OK(BeginMotion(label, &motion_index));
+
+  if (injector_ != nullptr && tuples_shipped > 0) {
+    std::vector<FaultEvent> faults =
+        injector_->MotionFaults(motion_index, 0, num_segments_);
+    PROBKB_RETURN_NOT_OK(
+        RecoverMotion(motion_index, label, faults, resend_tuples));
+  }
+
+  MppStep step;
+  step.kind = kind;
+  step.label = label;
+  step.tuples_shipped = tuples_shipped;
+  step.seconds = kind == MppStep::Kind::kBroadcast
+                     ? BroadcastSeconds(tuples_shipped)
+                     : MotionSeconds(tuples_shipped);
+  cost_.Add(std::move(step));
+  return Status::OK();
+}
 
 Result<DistributedTablePtr> MppContext::Redistribute(
     const DistributedTable& input, std::vector<int> key_cols,
@@ -15,6 +149,11 @@ Result<DistributedTablePtr> MppContext::Redistribute(
           StrFormat("redistribute key column %d out of range", c));
     }
   }
+  const std::string label =
+      input.name().empty() ? "redistribute" : input.name();
+  int64_t motion_index = 0;
+  PROBKB_RETURN_NOT_OK(BeginMotion(label, &motion_index));
+
   const int n = num_segments_;
   std::vector<TablePtr> segments;
   segments.reserve(static_cast<size_t>(n));
@@ -23,7 +162,7 @@ Result<DistributedTablePtr> MppContext::Redistribute(
   int64_t shipped = 0;
   if (input.distribution().is_replicated()) {
     // Each segment keeps only the slice of its copy that hashes to it; no
-    // interconnect traffic is needed.
+    // interconnect traffic (and hence no motion faults) is involved.
     const Table& src = *input.segment(0);
     for (int64_t r = 0; r < src.NumRows(); ++r) {
       RowView row = src.row(r);
@@ -31,20 +170,50 @@ Result<DistributedTablePtr> MppContext::Redistribute(
       segments[static_cast<size_t>(target)]->AppendRow(row);
     }
   } else {
+    // Per-sender batch counts: sent[s][t] tuples cross from segment s to
+    // segment t. They double as the recovery bookkeeping — a victim's
+    // whole contribution (segment failure) or one batch (drop/duplicate)
+    // can be replayed from the surviving input partition.
+    std::vector<std::vector<int64_t>> sent(
+        static_cast<size_t>(n), std::vector<int64_t>(static_cast<size_t>(n)));
     for (int s = 0; s < n; ++s) {
       const Table& src = *input.segment(s);
       for (int64_t r = 0; r < src.NumRows(); ++r) {
         RowView row = src.row(r);
         int target = DistributedTable::TargetSegment(row, key_cols, n);
-        if (target != s) ++shipped;
+        if (target != s) {
+          ++shipped;
+          ++sent[static_cast<size_t>(s)][static_cast<size_t>(target)];
+        }
+        // Appending in sender order keeps assembly canonical: recovery
+        // recomputes a victim's rows into exactly these positions, so a
+        // recovered run is bit-identical to a fault-free one.
         segments[static_cast<size_t>(target)]->AppendRow(row);
       }
+    }
+    if (injector_ != nullptr) {
+      std::vector<FaultEvent> faults =
+          injector_->MotionFaults(motion_index, 0, n);
+      auto resend = [&](const FaultEvent& f) -> int64_t {
+        if (f.kind == FaultKind::kSegmentFailure) {
+          // Everything the victim shipped anywhere must be replayed.
+          int64_t t = 0;
+          for (int64_t batch : sent[static_cast<size_t>(f.segment)]) {
+            t += batch;
+          }
+          return t;
+        }
+        return sent[static_cast<size_t>(f.segment)][
+            static_cast<size_t>(f.target)];
+      };
+      PROBKB_RETURN_NOT_OK(
+          RecoverMotion(motion_index, label, faults, resend));
     }
   }
 
   MppStep step;
   step.kind = MppStep::Kind::kRedistribute;
-  step.label = input.name().empty() ? "redistribute" : input.name();
+  step.label = label;
   step.tuples_shipped = shipped;
   step.seconds = MotionSeconds(shipped);
   cost_.Add(std::move(step));
@@ -56,14 +225,27 @@ Result<DistributedTablePtr> MppContext::Redistribute(
 
 Result<DistributedTablePtr> MppContext::Broadcast(
     const DistributedTable& input, std::string name) {
+  const std::string label = input.name().empty() ? "broadcast" : input.name();
+  int64_t motion_index = 0;
+  PROBKB_RETURN_NOT_OK(BeginMotion(label, &motion_index));
+
   TablePtr full = input.ToLocal();
   int64_t shipped = input.distribution().is_replicated()
                         ? 0
                         : full->NumRows() * (num_segments_ - 1);
 
+  if (injector_ != nullptr && shipped > 0) {
+    // Any fault on a broadcast costs one full copy re-sent to the victim
+    // (the source table survives on its home segments).
+    std::vector<FaultEvent> faults =
+        injector_->MotionFaults(motion_index, 0, num_segments_);
+    auto resend = [&](const FaultEvent&) { return full->NumRows(); };
+    PROBKB_RETURN_NOT_OK(RecoverMotion(motion_index, label, faults, resend));
+  }
+
   MppStep step;
   step.kind = MppStep::Kind::kBroadcast;
-  step.label = input.name().empty() ? "broadcast" : input.name();
+  step.label = label;
   step.tuples_shipped = shipped;
   step.seconds = BroadcastSeconds(shipped);
   cost_.Add(std::move(step));
@@ -75,8 +257,25 @@ Result<DistributedTablePtr> MppContext::Broadcast(
 }
 
 Result<TablePtr> MppContext::Gather(const DistributedTable& input) {
+  const std::string label = input.name().empty() ? "gather" : input.name();
+  int64_t motion_index = 0;
+  PROBKB_RETURN_NOT_OK(BeginMotion(label, &motion_index));
+
   TablePtr out = input.ToLocal();
   int64_t shipped = out->NumRows();
+
+  if (injector_ != nullptr && shipped > 0) {
+    // A victim's rows are re-pulled from its (restarted) segment; a batch
+    // fault costs the same single-segment replay.
+    std::vector<FaultEvent> faults =
+        injector_->MotionFaults(motion_index, 0, num_segments_);
+    auto resend = [&](const FaultEvent& f) {
+      return f.segment < input.num_segments()
+                 ? input.segment(f.segment)->NumRows()
+                 : 0;
+    };
+    PROBKB_RETURN_NOT_OK(RecoverMotion(motion_index, label, faults, resend));
+  }
 
   MppStep step;
   step.kind = MppStep::Kind::kGather;

@@ -1,9 +1,11 @@
 #ifndef PROBKB_MPP_MPP_CONTEXT_H_
 #define PROBKB_MPP_MPP_CONTEXT_H_
 
+#include <functional>
 #include <string>
 #include <vector>
 
+#include "fault/fault_injector.h"
 #include "mpp/cost_model.h"
 #include "mpp/distributed_table.h"
 #include "util/result.h"
@@ -17,6 +19,15 @@ namespace probkb {
 /// because they are the interconnect; distributed relational operators are
 /// free functions in mpp_ops.h that call back into this context to account
 /// for their per-segment work.
+///
+/// With a FaultInjector attached, every motion becomes a detect-and-recover
+/// loop: a failed segment's contribution is recomputed from the surviving
+/// materialized inputs and re-shipped under capped exponential backoff,
+/// with the retry cost charged to MppCost as kRecovery steps. Recovery
+/// reassembles outputs in canonical segment order, so a recovered run is
+/// bit-identical to a fault-free one. A motion that stays failed past the
+/// retry budget returns kResourceExhausted; an injected deadline trip (or
+/// an exceeded simulated deadline) returns kDeadlineExceeded.
 class MppContext {
  public:
   explicit MppContext(int num_segments, CostParams params = {})
@@ -27,6 +38,22 @@ class MppContext {
 
   MppCost* mutable_cost() { return &cost_; }
   const MppCost& cost() const { return cost_; }
+
+  /// \brief Attaches the fault source (not owned; may be nullptr).
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+  FaultInjector* fault_injector() const { return injector_; }
+
+  void set_retry_policy(RetryPolicy policy) { retry_ = policy; }
+  const RetryPolicy& retry_policy() const { return retry_; }
+
+  /// \brief Budget on *simulated* elapsed seconds; 0 disables. Checked at
+  /// every motion and by CheckDeadline() callers at iteration boundaries.
+  void set_deadline_seconds(double seconds) { deadline_seconds_ = seconds; }
+  double deadline_seconds() const { return deadline_seconds_; }
+
+  /// \brief kDeadlineExceeded once accumulated simulated time passes the
+  /// deadline (deterministic: simulated time is modelled, not measured).
+  Status CheckDeadline() const;
 
   /// \brief Re-hashes `input` onto a new hash distribution. Tuples already
   /// on their target segment do not touch the interconnect (Greenplum
@@ -41,6 +68,17 @@ class MppContext {
 
   /// \brief Collects all rows on the coordinator.
   Result<TablePtr> Gather(const DistributedTable& input);
+
+  /// \brief Accounts a motion whose data movement the caller performed
+  /// itself (e.g. the grounder's incremental view refresh, which appends
+  /// delta rows straight into view segments). Consumes a motion index and
+  /// runs the same fault gate and recovery loop as the built-in motions,
+  /// then charges `tuples_shipped` as a step of `kind`. `resend_tuples`
+  /// follows the RecoverMotion contract.
+  Status AccountMotion(MppStep::Kind kind, const std::string& label,
+                       int64_t tuples_shipped,
+                       const std::function<int64_t(const FaultEvent&)>&
+                           resend_tuples);
 
   /// \brief Accounts a per-segment compute phase: `seg_seconds[i]` is the
   /// measured wall-clock of segment i's plan. Simulated elapsed takes the
@@ -62,9 +100,27 @@ class MppContext {
   }
 
  private:
+  /// Deadline / injected-budget gate at the head of every motion; on OK,
+  /// returns the motion's index via `motion_index`.
+  Status BeginMotion(const std::string& label, int64_t* motion_index);
+
+  /// Runs the detect/retry loop for the segments named in `faults`.
+  /// `resend_tuples(segment)` is the interconnect traffic needed to replay
+  /// one victim's contribution. Accumulates backoff and re-ship cost into
+  /// a kRecovery step and the injector stats; kResourceExhausted when a
+  /// segment stays failed past the retry budget.
+  Status RecoverMotion(int64_t motion_index, const std::string& label,
+                       const std::vector<FaultEvent>& faults,
+                       const std::function<int64_t(const FaultEvent&)>&
+                           resend_tuples);
+
   int num_segments_;
   CostParams params_;
   MppCost cost_;
+  FaultInjector* injector_ = nullptr;
+  RetryPolicy retry_;
+  double deadline_seconds_ = 0.0;
+  int64_t next_motion_index_ = 0;
 };
 
 }  // namespace probkb

@@ -1,6 +1,7 @@
 #ifndef PROBKB_UTIL_RANDOM_H_
 #define PROBKB_UTIL_RANDOM_H_
 
+#include <array>
 #include <cmath>
 #include <cstdint>
 
@@ -97,6 +98,13 @@ class Rng {
     }
     uint64_t idx = static_cast<uint64_t>(v) - (v >= 1.0 ? 1 : 0);
     return idx >= n ? n - 1 : idx;
+  }
+
+  /// \brief Raw generator state, for checkpoint/resume of long-running
+  /// samplers. Restoring a saved state continues the exact stream.
+  std::array<uint64_t, 4> State() const { return {s_[0], s_[1], s_[2], s_[3]}; }
+  void SetState(const std::array<uint64_t, 4>& state) {
+    for (int i = 0; i < 4; ++i) s_[i] = state[static_cast<size_t>(i)];
   }
 
   /// Standard normal via Box-Muller.

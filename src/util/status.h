@@ -19,7 +19,19 @@ enum class StatusCode : int {
   kInternal = 6,
   kIOError = 7,
   kParseError = 8,
+  kCancelled = 9,
+  kDeadlineExceeded = 10,
+  kResourceExhausted = 11,
 };
+
+/// \brief True for failures that mean "ran out of budget / asked to stop"
+/// rather than "wrong answer". The expansion pipeline converts these into
+/// partial results (ExpansionResult::partial) instead of propagating them.
+inline bool IsBudgetFailure(StatusCode code) {
+  return code == StatusCode::kCancelled ||
+         code == StatusCode::kDeadlineExceeded ||
+         code == StatusCode::kResourceExhausted;
+}
 
 /// \brief Returns a human-readable name for a status code ("Invalid argument").
 const char* StatusCodeToString(StatusCode code);
@@ -71,6 +83,15 @@ class Status {
   }
   static Status ParseError(std::string msg) {
     return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return state_ == nullptr; }

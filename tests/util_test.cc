@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
 #include <set>
+#include <vector>
 
 #include "util/logging.h"
 #include "util/random.h"
@@ -50,6 +52,38 @@ Status Chained(int x) {
 TEST(StatusTest, ReturnNotOkMacroPropagates) {
   EXPECT_TRUE(Chained(1).ok());
   EXPECT_EQ(Chained(-1).code(), StatusCode::kOutOfRange);
+}
+
+TEST(StatusTest, BudgetFailureFactories) {
+  Status cancelled = Status::Cancelled("stop requested");
+  EXPECT_EQ(cancelled.code(), StatusCode::kCancelled);
+  EXPECT_EQ(cancelled.ToString(), "Cancelled: stop requested");
+
+  Status deadline = Status::DeadlineExceeded("too slow");
+  EXPECT_EQ(deadline.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(deadline.ToString(), "Deadline exceeded: too slow");
+
+  Status exhausted = Status::ResourceExhausted("out of rows");
+  EXPECT_EQ(exhausted.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(exhausted.ToString(), "Resource exhausted: out of rows");
+}
+
+TEST(StatusTest, StatusCodeToStringCoversAllCodes) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kResourceExhausted);
+       ++c) {
+    EXPECT_STRNE(StatusCodeToString(static_cast<StatusCode>(c)), "Unknown")
+        << "code " << c;
+  }
+}
+
+TEST(StatusTest, IsBudgetFailureClassifiesCodes) {
+  EXPECT_TRUE(IsBudgetFailure(StatusCode::kCancelled));
+  EXPECT_TRUE(IsBudgetFailure(StatusCode::kDeadlineExceeded));
+  EXPECT_TRUE(IsBudgetFailure(StatusCode::kResourceExhausted));
+  EXPECT_FALSE(IsBudgetFailure(StatusCode::kOk));
+  EXPECT_FALSE(IsBudgetFailure(StatusCode::kInternal));
+  EXPECT_FALSE(IsBudgetFailure(StatusCode::kInvalidArgument));
+  EXPECT_FALSE(IsBudgetFailure(StatusCode::kIOError));
 }
 
 Result<int> ParsePositive(int x) {
@@ -119,6 +153,20 @@ TEST(RngTest, DeterministicForSeed) {
   Rng a(123), b(123), c(124);
   EXPECT_EQ(a.Next(), b.Next());
   EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(RngTest, StateRoundTripReplaysExactStream) {
+  Rng rng(123);
+  for (int i = 0; i < 57; ++i) rng.Next();  // advance off the seed boundary
+  std::array<uint64_t, 4> saved = rng.State();
+  std::vector<uint64_t> expected;
+  for (int i = 0; i < 100; ++i) expected.push_back(rng.Next());
+
+  Rng restored(999);  // different seed: the state must fully override it
+  restored.SetState(saved);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(restored.Next(), expected[static_cast<size_t>(i)]) << i;
+  }
 }
 
 TEST(RngTest, UniformRespectsBounds) {

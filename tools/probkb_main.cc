@@ -2,13 +2,18 @@
 //
 //   probkb stats   program.mln
 //   probkb ground  program.mln [--iterations N] [--constraints]
-//                  [--rule-theta F] [--semi-naive]
+//                  [--rule-theta F] [--semi-naive] [--deadline S]
+//                  [--max-rows N] [--checkpoint DIR] [--resume]
 //                  [--tpi out.tsv] [--tphi out.tsv]
 //   probkb infer   program.mln [--sweeps N] [--map] [same grounding flags]
 //   probkb explain program.mln --fact 'rel(x, y)'
 //
 // Grounds an MLN program with the batched algorithm and optionally runs
 // marginal (Gibbs) or MAP inference, printing facts with probabilities.
+//
+// Exit codes: 0 success, 1 error, 2 usage, and — for budget failures that
+// end a run early with a partial (checkpointed) expansion — 4 deadline
+// exceeded, 5 resource exhausted, 6 cancelled.
 
 #include <cstdio>
 #include <cstring>
@@ -36,6 +41,10 @@ struct CliOptions {
   double rule_theta = 1.0;
   int sweeps = 2000;
   bool map_inference = false;
+  double deadline_seconds = 0.0;
+  int64_t max_rows = 0;
+  std::string checkpoint_dir;
+  bool resume = false;
   std::string tpi_out;
   std::string tphi_out;
   std::string fact_query;
@@ -49,12 +58,31 @@ int Usage() {
       "  --constraints     apply functional constraints each iteration\n"
       "  --semi-naive      semi-naive (delta) evaluation\n"
       "  --rule-theta F    keep the top-F fraction of rules by score\n"
+      "  --deadline S      grounding deadline in seconds (exit 4 past it)\n"
+      "  --max-rows N      per-statement produced-row cap (exit 5 past it)\n"
+      "  --checkpoint DIR  write an iteration checkpoint into DIR\n"
+      "  --resume          resume grounding from --checkpoint DIR\n"
       "  --sweeps N        Gibbs sample sweeps (infer; default 2000)\n"
       "  --map             MAP (most likely world) instead of marginals\n"
       "  --tpi FILE        dump the grounded facts table as TSV\n"
       "  --tphi FILE       dump the factor table as TSV\n"
       "  --fact 'r(a, b)'  fact to explain (explain)\n");
   return 2;
+}
+
+/// Distinct process exit codes per budget-failure kind, so wrapper scripts
+/// can tell "ran out of time" from "ran out of memory" from a crash.
+int ExitCodeFor(const Status& st) {
+  switch (st.code()) {
+    case StatusCode::kDeadlineExceeded:
+      return 4;
+    case StatusCode::kResourceExhausted:
+      return 5;
+    case StatusCode::kCancelled:
+      return 6;
+    default:
+      return st.ok() ? 0 : 1;
+  }
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* options) {
@@ -78,6 +106,20 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       const char* v = next();
       if (v == nullptr) return false;
       options->rule_theta = std::atof(v);
+    } else if (flag == "--deadline") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->deadline_seconds = std::atof(v);
+    } else if (flag == "--max-rows") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->max_rows = std::atoll(v);
+    } else if (flag == "--checkpoint") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->checkpoint_dir = v;
+    } else if (flag == "--resume") {
+      options->resume = true;
     } else if (flag == "--sweeps") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -136,20 +178,67 @@ int Run(const CliOptions& options) {
   grounding.apply_constraints_each_iteration = options.constraints;
   grounding.evaluation = options.semi_naive ? EvaluationMode::kSemiNaive
                                             : EvaluationMode::kNaive;
+  grounding.deadline_seconds = options.deadline_seconds;
+  grounding.max_rows_per_statement = options.max_rows;
+  grounding.checkpoint_dir = options.checkpoint_dir;
   Grounder grounder(&rkb, grounding);
+  if (options.resume) {
+    if (options.checkpoint_dir.empty()) {
+      std::fprintf(stderr, "--resume requires --checkpoint DIR\n");
+      return 2;
+    }
+    if (GroundingCheckpointExists(options.checkpoint_dir)) {
+      if (auto st = grounder.ResumeFrom(options.checkpoint_dir); !st.ok()) {
+        std::fprintf(stderr, "resume: %s\n", st.ToString().c_str());
+        return 1;
+      }
+      std::printf("resumed from %s at iteration %d\n",
+                  options.checkpoint_dir.c_str(),
+                  grounder.stats().iterations);
+    }
+  }
+
+  // Budget failures degrade to a partial expansion: counters below say
+  // which stage gave up, the dumps still happen, and the exit code tells
+  // callers why the run stopped short.
+  bool partial = false;
+  Status stop_reason;
+  int grounding_failures = 0;
+  int factor_failures = 0;
   if (auto st = grounder.GroundAtoms(); !st.ok()) {
-    std::fprintf(stderr, "grounding: %s\n", st.ToString().c_str());
-    return 1;
+    if (IsBudgetFailure(st.code())) {
+      partial = true;
+      stop_reason = st;
+      ++grounding_failures;
+    } else {
+      std::fprintf(stderr, "grounding: %s\n", st.ToString().c_str());
+      return 1;
+    }
   }
-  auto t_phi = grounder.GroundFactors();
-  if (!t_phi.ok()) {
-    std::fprintf(stderr, "%s\n", t_phi.status().ToString().c_str());
-    return 1;
+  TablePtr t_phi = Table::Make(TPhiSchema());
+  if (!partial) {
+    auto factors = grounder.GroundFactors();
+    if (factors.ok()) {
+      t_phi = factors.MoveValueOrDie();
+    } else if (IsBudgetFailure(factors.status().code())) {
+      partial = true;
+      stop_reason = factors.status();
+      ++factor_failures;
+    } else {
+      std::fprintf(stderr, "%s\n", factors.status().ToString().c_str());
+      return 1;
+    }
   }
-  std::printf("grounded: %lld atoms, %lld factors, %d iterations\n",
-              static_cast<long long>(grounder.stats().final_atoms),
-              static_cast<long long>((*t_phi)->NumRows()),
-              grounder.stats().iterations);
+  std::printf("grounded: %lld atoms, %lld factors, %d iterations%s\n",
+              static_cast<long long>(rkb.t_pi->NumRows()),
+              static_cast<long long>(t_phi->NumRows()),
+              grounder.stats().iterations, partial ? " (partial)" : "");
+  if (partial) {
+    std::printf("partial expansion: %s\n",
+                stop_reason.ToString().c_str());
+    std::printf("stage failures: grounding %d, factor grounding %d\n",
+                grounding_failures, factor_failures);
+  }
 
   if (!options.tpi_out.empty()) {
     if (auto st = WriteTableTsvFile(*rkb.t_pi, options.tpi_out); !st.ok()) {
@@ -159,15 +248,16 @@ int Run(const CliOptions& options) {
     std::printf("wrote %s\n", options.tpi_out.c_str());
   }
   if (!options.tphi_out.empty()) {
-    if (auto st = WriteTableTsvFile(**t_phi, options.tphi_out); !st.ok()) {
+    if (auto st = WriteTableTsvFile(*t_phi, options.tphi_out); !st.ok()) {
       std::fprintf(stderr, "%s\n", st.ToString().c_str());
       return 1;
     }
     std::printf("wrote %s\n", options.tphi_out.c_str());
   }
+  if (partial) return ExitCodeFor(stop_reason);
   if (options.command == "ground") return 0;
 
-  auto graph = FactorGraph::FromTables(*rkb.t_pi, **t_phi);
+  auto graph = FactorGraph::FromTables(*rkb.t_pi, *t_phi);
   if (!graph.ok()) {
     std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
     return 1;
@@ -219,7 +309,7 @@ int Run(const CliOptions& options) {
   auto result = GibbsMarginals(*graph, gibbs);
   if (!result.ok()) {
     std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
-    return 1;
+    return ExitCodeFor(result.status());
   }
   for (int64_t i = 0; i < rkb.t_pi->NumRows(); ++i) {
     int32_t v = graph->VariableOf(rkb.t_pi->row(i)[tpi::kI].i64());
