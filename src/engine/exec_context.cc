@@ -14,8 +14,15 @@ std::string ExecStats::ToString() const {
   return out;
 }
 
+Status ExecContext::Record(NodeStats stats) {
+  produced_rows_ += stats.rows_out;
+  const std::string label = stats.label;
+  stats_.nodes.push_back(std::move(stats));
+  return CheckRowBudget(label);
+}
+
 Status ExecContext::CheckBudget(const std::string& label) {
-  const int64_t op_index = ops_started_++;
+  const int64_t op_index = (*op_counter_)++;
   if (injector_ != nullptr) {
     PROBKB_RETURN_NOT_OK(injector_->OperatorFault(op_index, label));
   }
@@ -25,6 +32,10 @@ Status ExecContext::CheckBudget(const std::string& label) {
         StrFormat("plan exceeded its %.3fs deadline at operator %s",
                   budget_.deadline_seconds, label.c_str()));
   }
+  return CheckRowBudget(label);
+}
+
+Status ExecContext::CheckRowBudget(const std::string& label) const {
   if (budget_.max_produced_rows > 0 &&
       produced_rows_ > budget_.max_produced_rows) {
     return Status::ResourceExhausted(StrFormat(

@@ -57,10 +57,11 @@ class ExecContext {
  public:
   ExecContext() = default;
 
-  void Record(NodeStats stats) {
-    produced_rows_ += stats.rows_out;
-    stats_.nodes.push_back(std::move(stats));
-  }
+  /// \brief Records one operator's stats and charges its output against the
+  /// row budget: kResourceExhausted as soon as the cap is crossed, rather
+  /// than before the *next* operator starts (which would let one operator
+  /// overshoot arbitrarily and never trip on a statement's last operator).
+  Status Record(NodeStats stats);
 
   /// \brief Arms the budget; the deadline clock starts here.
   void set_budget(ExecBudget budget) {
@@ -74,6 +75,13 @@ class ExecContext {
   void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
   FaultInjector* fault_injector() const { return injector_; }
 
+  /// \brief Points operator numbering at a counter shared across statements
+  /// (not owned, must outlive this context). A grounding run threads one
+  /// counter into every statement's context, so a scheduled operator-budget
+  /// fault addresses a single global execution point instead of "operator k
+  /// of every statement".
+  void set_shared_op_counter(int64_t* counter) { op_counter_ = counter; }
+
   /// \brief Budget and fault gate called by every operator before it runs:
   /// kDeadlineExceeded past the deadline, kResourceExhausted past the row
   /// cap, or whatever the injector decides for this operator index.
@@ -85,12 +93,15 @@ class ExecContext {
   ExecStats* mutable_stats() { return &stats_; }
 
  private:
+  Status CheckRowBudget(const std::string& label) const;
+
   ExecStats stats_;
   ExecBudget budget_;
   Timer timer_;
   FaultInjector* injector_ = nullptr;
   int64_t produced_rows_ = 0;
-  int64_t ops_started_ = 0;
+  int64_t local_op_counter_ = 0;
+  int64_t* op_counter_ = &local_op_counter_;
 };
 
 }  // namespace probkb

@@ -44,7 +44,8 @@ const char* JoinTypeToString(JoinType t) {
 
 Result<TablePtr> ScanNode::Execute(ExecContext* ctx) {
   PROBKB_RETURN_NOT_OK(ctx->CheckBudget(Label()));
-  ctx->Record({Label(), table_->NumRows(), table_->NumRows(), 0.0});
+  PROBKB_RETURN_NOT_OK(
+      ctx->Record({Label(), table_->NumRows(), table_->NumRows(), 0.0}));
   return table_;
 }
 
@@ -65,7 +66,8 @@ Result<TablePtr> FilterNode::Execute(ExecContext* ctx) {
     RowView row = in->row(i);
     if (pred_(row)) out->AppendRow(row);
   }
-  ctx->Record({Label(), in->NumRows(), out->NumRows(), timer.Seconds()});
+  PROBKB_RETURN_NOT_OK(
+      ctx->Record({Label(), in->NumRows(), out->NumRows(), timer.Seconds()}));
   return out;
 }
 
@@ -96,7 +98,8 @@ Result<TablePtr> ProjectNode::Execute(ExecContext* ctx) {
     }
     out->AppendRow(buf);
   }
-  ctx->Record({Label(), in->NumRows(), out->NumRows(), timer.Seconds()});
+  PROBKB_RETURN_NOT_OK(
+      ctx->Record({Label(), in->NumRows(), out->NumRows(), timer.Seconds()}));
   return out;
 }
 
@@ -181,8 +184,9 @@ Result<TablePtr> HashJoinNode::Execute(ExecContext* ctx) {
     if (type_ == JoinType::kLeftAnti && !matched) out->AppendRow(lrow);
   }
 
-  ctx->Record({Label(), left->NumRows() + right->NumRows(), out->NumRows(),
-               timer.Seconds()});
+  PROBKB_RETURN_NOT_OK(ctx->Record({Label(),
+                                    left->NumRows() + right->NumRows(),
+                                    out->NumRows(), timer.Seconds()}));
   return out;
 }
 
@@ -219,7 +223,8 @@ Result<TablePtr> DistinctNode::Execute(ExecContext* ctx) {
       out->AppendRow(row);
     }
   }
-  ctx->Record({Label(), in->NumRows(), out->NumRows(), timer.Seconds()});
+  PROBKB_RETURN_NOT_OK(
+      ctx->Record({Label(), in->NumRows(), out->NumRows(), timer.Seconds()}));
   return out;
 }
 
@@ -365,7 +370,8 @@ Result<TablePtr> AggregateNode::Execute(ExecContext* ctx) {
     }
   }
 
-  ctx->Record({Label(), in->NumRows(), out->NumRows(), timer.Seconds()});
+  PROBKB_RETURN_NOT_OK(
+      ctx->Record({Label(), in->NumRows(), out->NumRows(), timer.Seconds()}));
   return out;
 }
 
@@ -390,7 +396,8 @@ Result<TablePtr> UnionAllNode::Execute(ExecContext* ctx) {
     rows_in += t->NumRows();
     out->AppendTable(*t);
   }
-  ctx->Record({Label(), rows_in, out->NumRows(), timer.Seconds()});
+  PROBKB_RETURN_NOT_OK(
+      ctx->Record({Label(), rows_in, out->NumRows(), timer.Seconds()}));
   return out;
 }
 

@@ -1,9 +1,8 @@
 #include "fault/checkpoint.h"
 
-#include <cinttypes>
-#include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <map>
 
 #include "relational/table_io.h"
 #include "util/strings.h"
@@ -13,36 +12,69 @@ namespace probkb {
 namespace {
 
 constexpr const char kManifestName[] = "MANIFEST";
+constexpr const char kStagingName[] = ".staging";
 constexpr const char kFormatLine[] = "probkb-grounding-checkpoint 1";
 
 std::string PathJoin(const std::string& dir, const std::string& name) {
   return (std::filesystem::path(dir) / name).string();
 }
 
-Status WriteSegmentGroup(const std::string& dir, const char* prefix,
-                         const std::vector<TablePtr>& segments) {
+/// One table file written into the staging directory: its final name and
+/// its row count, recorded in the MANIFEST for read-time validation.
+struct StagedTable {
+  std::string name;
+  int64_t rows = 0;
+};
+
+Status StageTable(const Table& table, const std::string& staging,
+                  std::string name, std::vector<StagedTable>* staged) {
+  PROBKB_RETURN_NOT_OK(WriteTableTsvFile(table, PathJoin(staging, name)));
+  staged->push_back({std::move(name), table.NumRows()});
+  return Status::OK();
+}
+
+Status StageSegmentGroup(const std::string& staging, const char* prefix,
+                         const std::vector<TablePtr>& segments,
+                         std::vector<StagedTable>* staged) {
   for (size_t s = 0; s < segments.size(); ++s) {
     if (segments[s] == nullptr) {
       return Status::InvalidArgument(
           StrFormat("checkpoint segment group '%s' has a null table",
                     prefix));
     }
-    PROBKB_RETURN_NOT_OK(WriteTableTsvFile(
-        *segments[s], PathJoin(dir, StrFormat("%s.seg%zu.tsv", prefix, s))));
+    PROBKB_RETURN_NOT_OK(StageTable(
+        *segments[s], staging, StrFormat("%s.seg%zu.tsv", prefix, s),
+        staged));
   }
   return Status::OK();
 }
 
-Result<std::vector<TablePtr>> ReadSegmentGroup(const Schema& schema,
-                                               const std::string& dir,
-                                               const char* prefix, int n) {
+Result<TablePtr> ReadCheckpointTable(
+    const Schema& schema, const std::string& dir, const std::string& name,
+    const std::map<std::string, int64_t>& manifest_rows) {
+  PROBKB_ASSIGN_OR_RETURN(TablePtr table,
+                          ReadTableTsvFile(schema, PathJoin(dir, name)));
+  auto it = manifest_rows.find(name);
+  if (it != manifest_rows.end() && it->second != table->NumRows()) {
+    return Status::ParseError(StrFormat(
+        "checkpoint table '%s' has %lld rows but the manifest records %lld",
+        name.c_str(), static_cast<long long>(table->NumRows()),
+        static_cast<long long>(it->second)));
+  }
+  return table;
+}
+
+Result<std::vector<TablePtr>> ReadSegmentGroup(
+    const Schema& schema, const std::string& dir, const char* prefix, int n,
+    const std::map<std::string, int64_t>& manifest_rows) {
   std::vector<TablePtr> segments;
   segments.reserve(static_cast<size_t>(n));
   for (int s = 0; s < n; ++s) {
     PROBKB_ASSIGN_OR_RETURN(
         TablePtr seg,
-        ReadTableTsvFile(schema,
-                         PathJoin(dir, StrFormat("%s.seg%d.tsv", prefix, s))));
+        ReadCheckpointTable(schema, dir,
+                            StrFormat("%s.seg%d.tsv", prefix, s),
+                            manifest_rows));
     segments.push_back(std::move(seg));
   }
   return segments;
@@ -64,61 +96,104 @@ Status WriteGroundingCheckpoint(const GroundingCheckpoint& cp,
   if (cp.t_pi == nullptr) {
     return Status::InvalidArgument("checkpoint has no t_pi table");
   }
-  std::error_code ec;
-  std::filesystem::create_directories(dir, ec);
-  if (ec) {
-    return Status::IOError("cannot create checkpoint dir '" + dir +
-                           "': " + ec.message());
-  }
-  PROBKB_RETURN_NOT_OK(
-      WriteTableTsvFile(*cp.t_pi, PathJoin(dir, "t_pi.tsv")));
-  const Table empty_banned(BannedEntitySchema());
-  PROBKB_RETURN_NOT_OK(WriteTableTsvFile(
-      cp.banned_x ? *cp.banned_x : empty_banned,
-      PathJoin(dir, "banned_x.tsv")));
-  PROBKB_RETURN_NOT_OK(WriteTableTsvFile(
-      cp.banned_y ? *cp.banned_y : empty_banned,
-      PathJoin(dir, "banned_y.tsv")));
-
   const bool has_views = !cp.tx_segments.empty();
   if (cp.num_segments > 0) {
     if (static_cast<int>(cp.t0_segments.size()) != cp.num_segments) {
       return Status::InvalidArgument(
           "checkpoint t0 segment count does not match num_segments");
     }
-    PROBKB_RETURN_NOT_OK(WriteSegmentGroup(dir, "t0", cp.t0_segments));
-    if (has_views) {
-      if (static_cast<int>(cp.tx_segments.size()) != cp.num_segments ||
-          static_cast<int>(cp.ty_segments.size()) != cp.num_segments ||
-          static_cast<int>(cp.txy_segments.size()) != cp.num_segments) {
-        return Status::InvalidArgument(
-            "checkpoint view segment counts do not match num_segments");
-      }
-      PROBKB_RETURN_NOT_OK(WriteSegmentGroup(dir, "tx", cp.tx_segments));
-      PROBKB_RETURN_NOT_OK(WriteSegmentGroup(dir, "ty", cp.ty_segments));
-      PROBKB_RETURN_NOT_OK(WriteSegmentGroup(dir, "txy", cp.txy_segments));
+    if (has_views &&
+        (static_cast<int>(cp.tx_segments.size()) != cp.num_segments ||
+         static_cast<int>(cp.ty_segments.size()) != cp.num_segments ||
+         static_cast<int>(cp.txy_segments.size()) != cp.num_segments)) {
+      return Status::InvalidArgument(
+          "checkpoint view segment counts do not match num_segments");
     }
   }
 
-  // The MANIFEST lands last, via rename: its presence certifies the tables
-  // above are complete.
-  const std::string tmp = PathJoin(dir, "MANIFEST.tmp");
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create checkpoint dir '" + dir +
+                           "': " + ec.message());
+  }
+
+  // Stage the complete snapshot in a scratch subdirectory first; the live
+  // directory is only touched by the commit below. The commit removes the
+  // previous MANIFEST before the first table file is replaced and renames
+  // the new MANIFEST into place last, so at every crash point the
+  // directory holds the old complete checkpoint, no checkpoint at all, or
+  // the new complete one — an existing MANIFEST always certifies a
+  // consistent snapshot, even when the same dir is rewritten every
+  // iteration.
+  const std::string staging = PathJoin(dir, kStagingName);
+  std::filesystem::remove_all(staging, ec);  // debris of a crashed write
+  std::filesystem::create_directories(staging, ec);
+  if (ec) {
+    return Status::IOError("cannot create checkpoint staging dir '" +
+                           staging + "': " + ec.message());
+  }
+
+  std::vector<StagedTable> staged;
+  PROBKB_RETURN_NOT_OK(StageTable(*cp.t_pi, staging, "t_pi.tsv", &staged));
+  const Table empty_banned(BannedEntitySchema());
+  PROBKB_RETURN_NOT_OK(StageTable(cp.banned_x ? *cp.banned_x : empty_banned,
+                                  staging, "banned_x.tsv", &staged));
+  PROBKB_RETURN_NOT_OK(StageTable(cp.banned_y ? *cp.banned_y : empty_banned,
+                                  staging, "banned_y.tsv", &staged));
+  if (cp.num_segments > 0) {
+    PROBKB_RETURN_NOT_OK(
+        StageSegmentGroup(staging, "t0", cp.t0_segments, &staged));
+    if (has_views) {
+      PROBKB_RETURN_NOT_OK(
+          StageSegmentGroup(staging, "tx", cp.tx_segments, &staged));
+      PROBKB_RETURN_NOT_OK(
+          StageSegmentGroup(staging, "ty", cp.ty_segments, &staged));
+      PROBKB_RETURN_NOT_OK(
+          StageSegmentGroup(staging, "txy", cp.txy_segments, &staged));
+    }
+  }
+
   {
-    std::ofstream out(tmp);
-    if (!out) return Status::IOError("cannot open '" + tmp + "' for write");
+    const std::string manifest = PathJoin(staging, kManifestName);
+    std::ofstream out(manifest);
+    if (!out) {
+      return Status::IOError("cannot open '" + manifest + "' for write");
+    }
     out << kFormatLine << "\n"
         << "iteration " << cp.iteration << "\n"
         << "next_fact_id " << cp.next_fact_id << "\n"
         << "delta_start " << cp.delta_start << "\n"
         << "num_segments " << cp.num_segments << "\n"
         << "has_views " << (has_views ? 1 : 0) << "\n";
+    for (const StagedTable& t : staged) {
+      out << "rows " << t.name << " " << t.rows << "\n";
+    }
     if (!out.good()) return Status::IOError("manifest write failed");
   }
-  std::filesystem::rename(tmp, PathJoin(dir, kManifestName), ec);
+
+  // Commit: retire the old checkpoint, move tables into place, MANIFEST
+  // last.
+  std::filesystem::remove(PathJoin(dir, kManifestName), ec);
+  if (ec) {
+    return Status::IOError("cannot retire previous checkpoint manifest: " +
+                           ec.message());
+  }
+  for (const StagedTable& t : staged) {
+    std::filesystem::rename(PathJoin(staging, t.name), PathJoin(dir, t.name),
+                            ec);
+    if (ec) {
+      return Status::IOError("cannot commit checkpoint table '" + t.name +
+                             "': " + ec.message());
+    }
+  }
+  std::filesystem::rename(PathJoin(staging, kManifestName),
+                          PathJoin(dir, kManifestName), ec);
   if (ec) {
     return Status::IOError("cannot finalize checkpoint manifest: " +
                            ec.message());
   }
+  std::filesystem::remove_all(staging, ec);
   return Status::OK();
 }
 
@@ -138,8 +213,18 @@ Result<GroundingCheckpoint> ReadGroundingCheckpoint(
   int64_t iteration = 0;
   int64_t has_views = 0;
   bool have_iteration = false, have_next_id = false;
+  std::map<std::string, int64_t> manifest_rows;
   while (std::getline(in, line)) {
     auto tokens = Split(StripWhitespace(line), ' ');
+    if (tokens.size() == 3 && tokens[0] == "rows") {
+      int64_t rows = 0;
+      if (!ParseInt64(tokens[2], &rows)) {
+        return Status::ParseError("bad checkpoint manifest value in '" +
+                                  line + "'");
+      }
+      manifest_rows[std::string(tokens[1])] = rows;
+      continue;
+    }
     if (tokens.size() != 2) continue;
     int64_t v = 0;
     if (!ParseInt64(tokens[1], &v)) {
@@ -165,27 +250,28 @@ Result<GroundingCheckpoint> ReadGroundingCheckpoint(
   }
   cp.iteration = static_cast<int>(iteration);
   PROBKB_ASSIGN_OR_RETURN(
-      cp.t_pi, ReadTableTsvFile(t_pi_schema, PathJoin(dir, "t_pi.tsv")));
+      cp.t_pi,
+      ReadCheckpointTable(t_pi_schema, dir, "t_pi.tsv", manifest_rows));
   PROBKB_ASSIGN_OR_RETURN(
-      cp.banned_x,
-      ReadTableTsvFile(BannedEntitySchema(), PathJoin(dir, "banned_x.tsv")));
+      cp.banned_x, ReadCheckpointTable(BannedEntitySchema(), dir,
+                                       "banned_x.tsv", manifest_rows));
   PROBKB_ASSIGN_OR_RETURN(
-      cp.banned_y,
-      ReadTableTsvFile(BannedEntitySchema(), PathJoin(dir, "banned_y.tsv")));
+      cp.banned_y, ReadCheckpointTable(BannedEntitySchema(), dir,
+                                       "banned_y.tsv", manifest_rows));
   if (cp.num_segments > 0) {
     PROBKB_ASSIGN_OR_RETURN(
-        cp.t0_segments,
-        ReadSegmentGroup(t_pi_schema, dir, "t0", cp.num_segments));
+        cp.t0_segments, ReadSegmentGroup(t_pi_schema, dir, "t0",
+                                         cp.num_segments, manifest_rows));
     if (has_views != 0) {
       PROBKB_ASSIGN_OR_RETURN(
-          cp.tx_segments,
-          ReadSegmentGroup(t_pi_schema, dir, "tx", cp.num_segments));
+          cp.tx_segments, ReadSegmentGroup(t_pi_schema, dir, "tx",
+                                           cp.num_segments, manifest_rows));
       PROBKB_ASSIGN_OR_RETURN(
-          cp.ty_segments,
-          ReadSegmentGroup(t_pi_schema, dir, "ty", cp.num_segments));
+          cp.ty_segments, ReadSegmentGroup(t_pi_schema, dir, "ty",
+                                           cp.num_segments, manifest_rows));
       PROBKB_ASSIGN_OR_RETURN(
-          cp.txy_segments,
-          ReadSegmentGroup(t_pi_schema, dir, "txy", cp.num_segments));
+          cp.txy_segments, ReadSegmentGroup(t_pi_schema, dir, "txy",
+                                            cp.num_segments, manifest_rows));
     }
   }
   return cp;

@@ -36,6 +36,11 @@ const char* FaultKindToString(FaultKind kind);
 /// order across a simulation (MppContext assigns the index); `attempt` 0 is
 /// the first try of a motion and k > 0 its k-th retry, so a schedule can
 /// make the same motion fail repeatedly to exhaust the retry budget.
+/// Operator-budget kinds (kMemoryExhausted / kDeadlineTrip) reuse `motion`
+/// as a global operator index: the MPP simulator uses the motion index
+/// itself, the single-node engine numbers operators consecutively across
+/// all statements of a grounding run (one shared counter, see
+/// ExecContext::set_shared_op_counter).
 struct FaultEvent {
   FaultKind kind = FaultKind::kSegmentFailure;
   int64_t motion = 0;

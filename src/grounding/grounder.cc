@@ -39,6 +39,7 @@ Grounder::Grounder(RelationalKB* rkb, GroundingOptions options)
 
 Status Grounder::ArmStatement(ExecContext* ec) {
   ec->set_fault_injector(injector_);
+  ec->set_shared_op_counter(&op_counter_);
   if (options_.deadline_seconds > 0 || options_.max_rows_per_statement > 0) {
     ExecBudget budget;
     budget.max_produced_rows = options_.max_rows_per_statement;

@@ -141,6 +141,10 @@ class Grounder {
   GroundingOptions options_;
   GroundingStats stats_;
   FaultInjector* injector_ = nullptr;
+  /// Operator numbering shared by every statement's ExecContext, so a
+  /// scheduled operator-budget fault addresses one global execution point
+  /// of the run instead of "operator k of every statement".
+  int64_t op_counter_ = 0;
   /// Wall-clock since construction; the deadline budget counts from here.
   Timer lifetime_timer_;
   std::vector<std::pair<EntityId, ClassId>> banned_x_;

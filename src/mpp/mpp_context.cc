@@ -1,7 +1,7 @@
 #include "mpp/mpp_context.h"
 
 #include <algorithm>
-#include <set>
+#include <map>
 
 #include "util/strings.h"
 
@@ -39,26 +39,31 @@ Status MppContext::RecoverMotion(
   // Batch-level faults recover in one exchange with the (alive) sender:
   // a dropped batch is retransmitted from the sender's materialized
   // output, a duplicated batch is detected against the sender's declared
-  // row count and the extra copy discarded.
-  std::vector<FaultEvent> pending;  // segment failures, retried below
-  for (const FaultEvent& f : faults) {
+  // row count and the extra copy discarded. Applies to first-try faults
+  // and to batch faults scheduled on retry attempts alike, so every
+  // injected fault is either recovered or charged as unrecovered.
+  auto absorb_batch_fault = [&](const FaultEvent& f) {
     switch (f.kind) {
-      case FaultKind::kSegmentFailure:
-        pending.push_back(f);
-        break;
       case FaultKind::kDropBatch:
         backoff_seconds += retry_.BackoffSeconds(1);
         reshipped += resend_tuples(f);
         ++stats->retries;
         ++stats->recovered_faults;
-        break;
+        return true;
       case FaultKind::kDuplicateBatch:
         // The duplicate burned interconnect bandwidth before detection.
         reshipped += resend_tuples(f);
         ++stats->recovered_faults;
-        break;
+        return true;
       default:
-        break;
+        return false;
+    }
+  };
+
+  std::vector<FaultEvent> pending;  // segment failures, retried below
+  for (const FaultEvent& f : faults) {
+    if (!absorb_batch_fault(f) && f.kind == FaultKind::kSegmentFailure) {
+      pending.push_back(f);
     }
   }
 
@@ -86,22 +91,29 @@ Status MppContext::RecoverMotion(
     backoff_seconds += retry_.BackoffSeconds(attempt);
     ++stats->retries;
 
-    std::vector<FaultEvent> retry_faults =
-        injector_->MotionFaults(motion_index, attempt, num_segments_);
-    std::set<int> failed_again;
-    for (const FaultEvent& f : retry_faults) {
-      if (f.kind == FaultKind::kSegmentFailure) failed_again.insert(f.segment);
+    std::map<int, FaultEvent> failed_again;
+    for (const FaultEvent& f :
+         injector_->MotionFaults(motion_index, attempt, num_segments_)) {
+      if (!absorb_batch_fault(f) && f.kind == FaultKind::kSegmentFailure) {
+        failed_again.emplace(f.segment, f);
+      }
     }
 
     std::vector<FaultEvent> still_pending;
     for (const FaultEvent& f : pending) {
-      if (failed_again.count(f.segment) > 0) {
+      auto it = failed_again.find(f.segment);
+      if (it != failed_again.end()) {
         still_pending.push_back(f);
+        failed_again.erase(it);
       } else {
         reshipped += resend_tuples(f);
         ++stats->recovered_faults;
       }
     }
+    // A retry-time segment failure that struck a segment not mid-recovery
+    // claims a fresh victim: its contribution is lost too and must be
+    // replayed on the next attempt.
+    for (const auto& [segment, f] : failed_again) still_pending.push_back(f);
     pending = std::move(still_pending);
   }
 
@@ -191,7 +203,10 @@ Result<DistributedTablePtr> MppContext::Redistribute(
         segments[static_cast<size_t>(target)]->AppendRow(row);
       }
     }
-    if (injector_ != nullptr) {
+    // Like Broadcast/Gather, only a redistribute that actually touched the
+    // interconnect can fault: when every row hashed to its home segment
+    // there is no traffic to strike.
+    if (injector_ != nullptr && shipped > 0) {
       std::vector<FaultEvent> faults =
           injector_->MotionFaults(motion_index, 0, n);
       auto resend = [&](const FaultEvent& f) -> int64_t {

@@ -6,12 +6,14 @@
 #include <vector>
 
 #include "core/probkb.h"
+#include "engine/exec_context.h"
 #include "fault/checkpoint.h"
 #include "fault/fault_injector.h"
 #include "grounding/grounder.h"
 #include "grounding/mpp_grounder.h"
 #include "infer/gibbs.h"
 #include "kb/relational_model.h"
+#include "mpp/mpp_context.h"
 #include "relational/table_io.h"
 #include "tests/test_util.h"
 
@@ -189,6 +191,85 @@ TEST(FaultInjectorTest, RandomFaultCapIsHonored) {
   EXPECT_EQ(fired, 2);
 }
 
+// --- Motion recovery accounting ------------------------------------------------
+
+Schema OneKeySchema() { return Schema({{"k", ColumnType::kInt64}}); }
+
+TablePtr MakeKeyTable(int n) {
+  auto t = Table::Make(OneKeySchema());
+  for (int i = 0; i < n; ++i) t->AppendRow({Value::Int64(i)});
+  return t;
+}
+
+TEST(MppMotionRecoveryTest, RetryScheduledBatchFaultsAreRecovered) {
+  auto dist = DistributedTable::Distribute(*MakeKeyTable(12), kSegments,
+                                           Distribution::Random());
+  // A segment failure forces a retry; that retry is itself struck by a
+  // dropped and a duplicated batch. All three must be recovered and
+  // accounted, so the recovered counter matches the injected total.
+  FaultInjectionOptions options;
+  options.enabled = true;
+  options.schedule = {
+      {FaultKind::kSegmentFailure, /*motion=*/0, /*attempt=*/0, 0, -1},
+      {FaultKind::kDropBatch, /*motion=*/0, /*attempt=*/1, 0, 1},
+      {FaultKind::kDuplicateBatch, /*motion=*/0, /*attempt=*/1, 1, 0},
+  };
+  FaultInjector injector(options);
+  MppContext ctx(kSegments);
+  ctx.set_fault_injector(&injector);
+  auto out = ctx.Redistribute(*dist, {0});
+  ASSERT_TRUE(out.ok()) << out.status();
+  const FaultStats& stats = injector.stats();
+  EXPECT_EQ(stats.segment_failures, 1);
+  EXPECT_EQ(stats.batches_dropped, 1);
+  EXPECT_EQ(stats.batches_duplicated, 1);
+  EXPECT_EQ(stats.recovered_faults, stats.InjectedTotal());
+  EXPECT_EQ(stats.unrecovered_motions, 0);
+}
+
+TEST(MppMotionRecoveryTest, RetrySegmentFailureClaimsFreshVictim) {
+  auto dist = DistributedTable::Distribute(*MakeKeyTable(12), kSegments,
+                                           Distribution::Random());
+  // The retry of segment 0's recovery kills segment 1 instead: the new
+  // victim joins the pending set and is replayed on the next attempt.
+  FaultInjectionOptions options;
+  options.enabled = true;
+  options.schedule = {
+      {FaultKind::kSegmentFailure, /*motion=*/0, /*attempt=*/0, 0, -1},
+      {FaultKind::kSegmentFailure, /*motion=*/0, /*attempt=*/1, 1, -1},
+  };
+  FaultInjector injector(options);
+  MppContext ctx(kSegments);
+  ctx.set_fault_injector(&injector);
+  auto out = ctx.Redistribute(*dist, {0});
+  ASSERT_TRUE(out.ok()) << out.status();
+  const FaultStats& stats = injector.stats();
+  EXPECT_EQ(stats.segment_failures, 2);
+  EXPECT_EQ(stats.recovered_faults, stats.InjectedTotal());
+  EXPECT_GE(stats.retries, 2);
+  EXPECT_EQ(stats.unrecovered_motions, 0);
+}
+
+TEST(MppMotionRecoveryTest, ZeroTrafficRedistributeDoesNotConsultInjector) {
+  // Input already hash-distributed on the redistribute key: every row is
+  // home, nothing crosses the interconnect, and — matching Broadcast and
+  // Gather — no fault can strike, so the scheduled failure never fires.
+  auto dist = DistributedTable::Distribute(*MakeKeyTable(12), kSegments,
+                                           Distribution::Hash({0}));
+  FaultInjectionOptions options;
+  options.enabled = true;
+  options.schedule = {
+      {FaultKind::kSegmentFailure, /*motion=*/0, /*attempt=*/0, 0, -1},
+  };
+  FaultInjector injector(options);
+  MppContext ctx(kSegments);
+  ctx.set_fault_injector(&injector);
+  auto out = ctx.Redistribute(*dist, {0});
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ(injector.stats().InjectedTotal(), 0);
+  EXPECT_EQ(injector.stats().retries, 0);
+}
+
 // --- Checkpoint serialization --------------------------------------------------
 
 TEST(CheckpointTest, RoundTripsScalarsTablesAndSegments) {
@@ -247,6 +328,66 @@ TEST(CheckpointTest, MissingManifestMeansNoCheckpoint) {
   ASSERT_TRUE(WriteTableTsvFile(*Table::Make(TPiSchema()), dir + "/t_pi.tsv")
                   .ok());
   EXPECT_FALSE(GroundingCheckpointExists(dir));
+}
+
+TablePtr MakeTPiRows(int n) {
+  auto t = Table::Make(TPiSchema());
+  for (int i = 0; i < n; ++i) {
+    t->AppendRow({Value::Int64(i), Value::Int64(2), Value::Int64(3),
+                  Value::Int64(4), Value::Int64(5), Value::Int64(6),
+                  Value::Float64(0.5)});
+  }
+  return t;
+}
+
+TEST(CheckpointTest, RewritingSameDirectoryKeepsSnapshotConsistent) {
+  // Iteration k writes into the same directory as iteration k-1 (the
+  // checkpoint_every=1 production shape). The commit protocol retires the
+  // old MANIFEST before touching any table file and lands the new MANIFEST
+  // last, so the reloaded state is all-new, never a k/k-1 mix.
+  GroundingCheckpoint a;
+  a.iteration = 1;
+  a.next_fact_id = 10;
+  a.delta_start = 0;
+  a.t_pi = MakeTPiRows(2);
+  a.num_segments = 2;
+  a.t0_segments = {MakeTPiRows(1), MakeTPiRows(1)};
+  std::string dir = FreshDir("rewrite");
+  ASSERT_TRUE(WriteGroundingCheckpoint(a, dir).ok());
+
+  GroundingCheckpoint b;
+  b.iteration = 2;
+  b.next_fact_id = 13;
+  b.delta_start = 2;
+  b.t_pi = MakeTPiRows(5);  // different shape: more rows, no segments
+  ASSERT_TRUE(WriteGroundingCheckpoint(b, dir).ok());
+
+  auto loaded = ReadGroundingCheckpoint(TPiSchema(), dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->iteration, 2);
+  EXPECT_EQ(loaded->next_fact_id, 13);
+  EXPECT_EQ(loaded->delta_start, 2);
+  EXPECT_EQ(loaded->num_segments, 0);
+  EXPECT_TRUE(TablesIdentical(*loaded->t_pi, *b.t_pi));
+  // A committed write leaves no staging debris behind.
+  EXPECT_FALSE(std::filesystem::exists(dir + "/.staging"));
+}
+
+TEST(CheckpointTest, ManifestRowCountsDetectTamperedTables) {
+  GroundingCheckpoint cp;
+  cp.iteration = 1;
+  cp.next_fact_id = 5;
+  cp.t_pi = MakeTPiRows(3);
+  std::string dir = FreshDir("tamper");
+  ASSERT_TRUE(WriteGroundingCheckpoint(cp, dir).ok());
+  ASSERT_TRUE(ReadGroundingCheckpoint(TPiSchema(), dir).ok());
+
+  // Truncate t_pi.tsv behind the manifest's back: the recorded row count
+  // no longer matches, so the checkpoint is rejected instead of silently
+  // resuming from torn state.
+  ASSERT_TRUE(
+      WriteTableTsvFile(*MakeTPiRows(1), dir + "/t_pi.tsv").ok());
+  EXPECT_FALSE(ReadGroundingCheckpoint(TPiSchema(), dir).ok());
 }
 
 // --- Single-node checkpoint/resume ---------------------------------------------
@@ -308,6 +449,41 @@ TEST(ExecBudgetTest, RowCapTripsResourceExhausted) {
   ASSERT_FALSE(st.ok());
   EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
   EXPECT_TRUE(IsBudgetFailure(st.code()));
+}
+
+TEST(ExecBudgetTest, RowCapTripsWhenCrossedNotOneOperatorLate) {
+  ExecContext ctx;
+  ExecBudget budget;
+  budget.max_produced_rows = 10;
+  ctx.set_budget(budget);
+  EXPECT_TRUE(ctx.CheckBudget("scan").ok());
+  // The overshooting operator trips the cap itself — even as the last
+  // operator of a statement, with no later CheckBudget to catch it.
+  EXPECT_EQ(ctx.Record({"scan", 0, 100, 0.0}).code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(ExecBudgetTest, SharedOperatorCounterSpansStatements) {
+  FaultInjectionOptions options;
+  options.enabled = true;
+  options.schedule = {
+      {FaultKind::kMemoryExhausted, /*motion=*/2, 0, -1, -1},
+  };
+  FaultInjector injector(options);
+  int64_t op_counter = 0;
+  ExecContext first;
+  first.set_fault_injector(&injector);
+  first.set_shared_op_counter(&op_counter);
+  EXPECT_TRUE(first.CheckBudget("op0").ok());
+  EXPECT_TRUE(first.CheckBudget("op1").ok());
+  // A fresh statement continues the numbering, so operator index 2 names
+  // one global execution point, not the third operator of every statement.
+  ExecContext second;
+  second.set_fault_injector(&injector);
+  second.set_shared_op_counter(&op_counter);
+  EXPECT_EQ(second.CheckBudget("op2").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(injector.stats().memory_trips, 1);
 }
 
 TEST(ExecBudgetTest, ExpiredWallClockDeadlineTripsDeadlineExceeded) {
