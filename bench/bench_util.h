@@ -35,6 +35,17 @@ inline void PrintHeader(const std::string& title) {
   std::printf("\n==== %s ====\n", title.c_str());
 }
 
+/// Path given via `--json <path>` on a bench runner's command line, or ""
+/// when absent. Runners that support it dump their measurements as a JSON
+/// document alongside the human-readable report, so CI can track perf over
+/// time.
+inline std::string JsonPathFromArgs(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") return argv[i + 1];
+  }
+  return "";
+}
+
 }  // namespace bench
 }  // namespace probkb
 

@@ -8,9 +8,10 @@
 
 #include "bench/perf_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace probkb;
   using namespace probkb::bench;
+  const std::string json_path = JsonPathFromArgs(argc, argv);
   const double scale = BenchScale();
   const int kSegments = 32;
   PrintHeader("Figure 6(c): MPP configurations on S2");
@@ -26,6 +27,12 @@ int main() {
   std::printf("\n%12s | %12s %12s %12s | %10s\n", "paper #facts",
               "ProbKB(s)", "ProbKB-pn(s)", "ProbKB-p(s)", "#inferred");
 
+  struct JsonRow {
+    int64_t paper_facts;
+    double probkb_s, probkb_pn_s, probkb_p_s;
+    int64_t inferred;
+  };
+  std::vector<JsonRow> json_rows;
   for (int64_t paper_count : paper_facts) {
     int64_t target =
         std::max<int64_t>(64, static_cast<int64_t>(paper_count * scale));
@@ -45,6 +52,34 @@ int main() {
                 single->modeled_seconds, no_views->modeled_seconds,
                 views->modeled_seconds,
                 static_cast<long long>(single->inferred));
+    json_rows.push_back({paper_count, single->modeled_seconds,
+                         no_views->modeled_seconds, views->modeled_seconds,
+                         single->inferred});
+  }
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n  \"bench\": \"fig6c_mpp_views\",\n  \"scale\": %g,\n"
+                 "  \"segments\": %d,\n  \"rows\": [\n",
+                 scale, kSegments);
+    for (size_t i = 0; i < json_rows.size(); ++i) {
+      const JsonRow& row = json_rows[i];
+      std::fprintf(f,
+                   "    {\"paper_facts\": %lld, \"probkb_s\": %g, "
+                   "\"probkb_pn_s\": %g, \"probkb_p_s\": %g, "
+                   "\"inferred\": %lld}%s\n",
+                   static_cast<long long>(row.paper_facts), row.probkb_s,
+                   row.probkb_pn_s, row.probkb_p_s,
+                   static_cast<long long>(row.inferred),
+                   i + 1 == json_rows.size() ? "" : ",");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
   }
   std::printf(
       "\nShape target (paper, 10M facts): both MPP configurations beat "

@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "engine/flat_hash.h"
 #include "engine/ops.h"
 #include "engine/plan.h"
 #include "factor/factor_graph.h"
@@ -88,6 +89,48 @@ void BM_SetUnionInto(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * rows);
 }
 BENCHMARK(BM_SetUnionInto)->Arg(1 << 12)->Arg(1 << 15);
+
+// The Reserve() contract of FlatRowIndex: sizing from the input
+// cardinality up front skips every mid-build rehash. The pair below
+// measures exactly what the SetUnionInto / KeyIndex pre-reserve fix buys.
+void BM_FlatIndexInsertReserved(benchmark::State& state) {
+  const int64_t rows = state.range(0);
+  auto t = RandomTable(rows, rows / 2, 9);
+  std::vector<size_t> hashes(static_cast<size_t>(rows));
+  const std::vector<int> cols = {0, 1};
+  for (int64_t i = 0; i < rows; ++i) {
+    hashes[static_cast<size_t>(i)] = HashRowKey(t->row(i), cols);
+  }
+  for (auto _ : state) {
+    FlatRowIndex index;
+    index.Reserve(rows);
+    for (int64_t i = 0; i < rows; ++i) {
+      index.Insert(hashes[static_cast<size_t>(i)], i);
+    }
+    benchmark::DoNotOptimize(index);
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_FlatIndexInsertReserved)->Arg(1 << 12)->Arg(1 << 15);
+
+void BM_FlatIndexInsertUnreserved(benchmark::State& state) {
+  const int64_t rows = state.range(0);
+  auto t = RandomTable(rows, rows / 2, 9);
+  std::vector<size_t> hashes(static_cast<size_t>(rows));
+  const std::vector<int> cols = {0, 1};
+  for (int64_t i = 0; i < rows; ++i) {
+    hashes[static_cast<size_t>(i)] = HashRowKey(t->row(i), cols);
+  }
+  for (auto _ : state) {
+    FlatRowIndex index;  // grows through every doubling
+    for (int64_t i = 0; i < rows; ++i) {
+      index.Insert(hashes[static_cast<size_t>(i)], i);
+    }
+    benchmark::DoNotOptimize(index);
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_FlatIndexInsertUnreserved)->Arg(1 << 12)->Arg(1 << 15);
 
 void BM_RedistributeMotion(benchmark::State& state) {
   const int64_t rows = state.range(0);

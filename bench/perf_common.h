@@ -21,12 +21,14 @@ struct PerfPoint {
   int64_t factors = 0;
 };
 
-inline Result<PerfPoint> RunProbKbOnce(const KnowledgeBase& kb) {
+inline Result<PerfPoint> RunProbKbOnce(const KnowledgeBase& kb,
+                                       int num_threads = 1) {
   const double stmt = StatementSeconds();
   PerfPoint point;
   RelationalKB rkb = BuildRelationalModel(kb);
   GroundingOptions options;
   options.max_iterations = 1;
+  options.num_threads = num_threads;
   Grounder grounder(&rkb, options);
   Timer timer;
   PROBKB_ASSIGN_OR_RETURN(point.inferred, grounder.GroundAtomsIteration());
@@ -40,12 +42,13 @@ inline Result<PerfPoint> RunProbKbOnce(const KnowledgeBase& kb) {
 }
 
 inline Result<PerfPoint> RunMppOnce(const KnowledgeBase& kb, int segments,
-                                    MppMode mode) {
+                                    MppMode mode, int num_threads = 1) {
   const double stmt = StatementSeconds();
   PerfPoint point;
   RelationalKB rkb = BuildRelationalModel(kb);
   GroundingOptions options;
   options.max_iterations = 1;
+  options.num_threads = num_threads;
   MppGrounder grounder(rkb, segments, mode, options);
   PROBKB_ASSIGN_OR_RETURN(point.inferred, grounder.GroundAtomsIteration());
   PROBKB_ASSIGN_OR_RETURN(TablePtr phi, grounder.GroundFactors());

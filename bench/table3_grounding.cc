@@ -41,7 +41,8 @@ void PrintColumn(const PhaseResult& phase) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = bench::JsonPathFromArgs(argc, argv);
   const double scale = bench::BenchScale();
   const double stmt = bench::StatementSeconds();
   const int kIterations = 4;
@@ -207,5 +208,46 @@ int main() {
       "%.1fx | ProbKB/ProbKB-p: %.1fx\n",
       runs[2].load.modeled / runs[1].load.modeled,
       total(runs[2]) / total(runs[1]), total(runs[1]) / total(runs[0]));
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n  \"bench\": \"table3_grounding\",\n"
+                 "  \"scale\": %g,\n  \"statement_ms\": %g,\n"
+                 "  \"segments\": %d,\n  \"systems\": [\n",
+                 scale, stmt * 1e3, kSegments);
+    for (size_t i = 0; i < runs.size(); ++i) {
+      const SystemRun& run = runs[i];
+      std::fprintf(f,
+                   "    {\"name\": \"%s\", \"load_modeled_s\": %g, "
+                   "\"load_measured_s\": %g,\n     \"query1_modeled_s\": [",
+                   run.name.c_str(), run.load.modeled, run.load.measured);
+      for (size_t j = 0; j < run.iterations.size(); ++j) {
+        std::fprintf(f, "%s%g", j == 0 ? "" : ", ",
+                     run.iterations[j].modeled);
+      }
+      std::fprintf(f, "],\n     \"query1_measured_s\": [");
+      for (size_t j = 0; j < run.iterations.size(); ++j) {
+        std::fprintf(f, "%s%g", j == 0 ? "" : ", ",
+                     run.iterations[j].measured);
+      }
+      std::fprintf(f, "],\n     \"query2_modeled_s\": %g, \"atoms\": [",
+                   run.query2.modeled);
+      for (size_t j = 0; j < run.result_sizes.size(); ++j) {
+        std::fprintf(f, "%s%lld", j == 0 ? "" : ", ",
+                     static_cast<long long>(run.result_sizes[j]));
+      }
+      std::fprintf(f, "], \"factors\": %lld}%s\n",
+                   static_cast<long long>(run.factors),
+                   i + 1 == runs.size() ? "" : ",");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
   return 0;
 }

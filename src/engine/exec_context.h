@@ -7,6 +7,7 @@
 
 #include "fault/fault_injector.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace probkb {
@@ -82,6 +83,15 @@ class ExecContext {
   /// of every statement".
   void set_shared_op_counter(int64_t* counter) { op_counter_ = counter; }
 
+  /// \brief Attaches a thread pool (not owned; may be nullptr). Operators
+  /// with a data-parallel inner loop (the hash-join probe) fan morsels out
+  /// over it; a null pool or a pool of one is the exact serial path. The
+  /// pool never changes an operator's *output*: morsel results are merged
+  /// in morsel order, and budget/fault bookkeeping stays on the thread
+  /// executing the plan.
+  void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
+  ThreadPool* thread_pool() const { return pool_; }
+
   /// \brief Budget and fault gate called by every operator before it runs:
   /// kDeadlineExceeded past the deadline, kResourceExhausted past the row
   /// cap, or whatever the injector decides for this operator index.
@@ -99,6 +109,7 @@ class ExecContext {
   ExecBudget budget_;
   Timer timer_;
   FaultInjector* injector_ = nullptr;
+  ThreadPool* pool_ = nullptr;
   int64_t produced_rows_ = 0;
   int64_t local_op_counter_ = 0;
   int64_t* op_counter_ = &local_op_counter_;

@@ -1,0 +1,153 @@
+#ifndef PROBKB_ENGINE_FLAT_HASH_H_
+#define PROBKB_ENGINE_FLAT_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace probkb {
+
+/// \brief Open-addressing hash index mapping a precomputed row-key hash to
+/// the chain of row ids inserted under it.
+///
+/// This replaces `std::unordered_map<size_t, std::vector<int64_t>>` on the
+/// engine's hot paths (join build sides, distinct/dedup sets, KeyIndex):
+/// one flat slot array probed linearly instead of a node allocation per
+/// bucket, and one entry pool instead of a vector per key. Keys are the
+/// hashes of dictionary-encoded int64 row keys, already well mixed by
+/// Value::Hash, so linear probing on the low bits behaves.
+///
+/// Semantics match the map it replaces: chains are keyed on the *hash* —
+/// two distinct row keys that collide on their size_t hash share a chain,
+/// and callers filter chain rows with RowKeyEquals exactly as they filtered
+/// bucket vectors. Chains preserve insertion order (each slot keeps a tail
+/// pointer), which keeps join outputs bit-identical to the serial engine's
+/// bucket push_back order. Growth re-probes the slot array only; the entry
+/// pool never moves.
+class FlatRowIndex {
+ public:
+  FlatRowIndex() = default;
+
+  /// \brief Sizes the table for `expected_rows` inserts up front, so bulk
+  /// builds (join build side, SetUnionInto over a known delta) do not
+  /// rehash mid-insert.
+  explicit FlatRowIndex(int64_t expected_rows) { Reserve(expected_rows); }
+
+  /// \brief Ensures capacity for `expected_rows` additional inserts without
+  /// a rehash.
+  void Reserve(int64_t expected_rows) {
+    if (expected_rows < 0) expected_rows = 0;
+    entries_.reserve(entries_.size() + static_cast<size_t>(expected_rows));
+    // Distinct hashes <= inserts; size the slot array for the worst case.
+    size_t want = SlotCountFor(static_cast<size_t>(expected_rows) +
+                               occupied_slots_);
+    if (want > slots_.size()) Rehash(want);
+  }
+
+  /// \brief Appends `row` to the chain of `hash`.
+  void Insert(size_t hash, int64_t row) {
+    if (slots_.empty() ||
+        (occupied_slots_ + 1) * 10 > slots_.size() * kMaxLoadPercent) {
+      Rehash(SlotCountFor(occupied_slots_ + 1));
+    }
+    Slot& slot = FindSlot(slots_, hash);
+    const int64_t entry = static_cast<int64_t>(entries_.size());
+    entries_.push_back({row, kNil});
+    if (slot.head == kNil) {
+      slot.hash = hash;
+      slot.head = entry;
+      ++occupied_slots_;
+    } else {
+      entries_[static_cast<size_t>(slot.tail)].next = entry;
+    }
+    slot.tail = entry;
+  }
+
+  /// \brief First entry of the chain for `hash`, or -1. Walk with Next();
+  /// read the row id with Row().
+  int64_t Head(size_t hash) const {
+    if (slots_.empty()) return kNil;
+    const size_t mask = slots_.size() - 1;
+    size_t pos = hash & mask;
+    for (;;) {
+      const Slot& slot = slots_[pos];
+      if (slot.head == kNil) return kNil;
+      if (slot.hash == hash) return slot.head;
+      pos = (pos + 1) & mask;
+    }
+  }
+
+  int64_t Next(int64_t entry) const {
+    PROBKB_DCHECK(entry >= 0 &&
+                  entry < static_cast<int64_t>(entries_.size()));
+    return entries_[static_cast<size_t>(entry)].next;
+  }
+
+  int64_t Row(int64_t entry) const {
+    PROBKB_DCHECK(entry >= 0 &&
+                  entry < static_cast<int64_t>(entries_.size()));
+    return entries_[static_cast<size_t>(entry)].row;
+  }
+
+  /// Total rows inserted (not distinct hashes).
+  int64_t size() const { return static_cast<int64_t>(entries_.size()); }
+
+  /// Slot-array capacity, exposed for tests asserting Reserve() prevents
+  /// mid-build rehashes.
+  size_t slot_capacity() const { return slots_.size(); }
+
+ private:
+  static constexpr int64_t kNil = -1;
+  // Grow once a slot array is 7/10 full (x10 to stay in integers).
+  static constexpr size_t kMaxLoadPercent = 7;
+
+  struct Slot {
+    size_t hash = 0;
+    int64_t head = kNil;  // kNil marks an empty slot
+    int64_t tail = kNil;
+  };
+
+  struct Entry {
+    int64_t row;
+    int64_t next;
+  };
+
+  /// Smallest power of two holding `keys` distinct hashes under the load
+  /// cap.
+  static size_t SlotCountFor(size_t keys) {
+    size_t want = 16;
+    while (want * kMaxLoadPercent < keys * 10) want <<= 1;
+    return want;
+  }
+
+  /// Linear probe to the slot holding `hash`, or the first empty slot.
+  static Slot& FindSlot(std::vector<Slot>& slots, size_t hash) {
+    const size_t mask = slots.size() - 1;
+    size_t pos = hash & mask;
+    for (;;) {
+      Slot& slot = slots[pos];
+      if (slot.head == kNil || slot.hash == hash) return slot;
+      pos = (pos + 1) & mask;
+    }
+  }
+
+  void Rehash(size_t new_slot_count) {
+    if (new_slot_count < 16) new_slot_count = 16;
+    std::vector<Slot> fresh(new_slot_count);
+    for (const Slot& slot : slots_) {
+      if (slot.head == kNil) continue;
+      FindSlot(fresh, slot.hash) = slot;
+    }
+    slots_ = std::move(fresh);
+  }
+
+  std::vector<Slot> slots_;
+  std::vector<Entry> entries_;
+  size_t occupied_slots_ = 0;
+};
+
+}  // namespace probkb
+
+#endif  // PROBKB_ENGINE_FLAT_HASH_H_

@@ -4,32 +4,50 @@
 
 namespace probkb {
 
-KeyIndex::KeyIndex(const Table* table, std::vector<int> key_cols)
+KeyIndex::KeyIndex(const Table* table, std::vector<int> key_cols,
+                   int64_t expected_extra_rows)
+    : KeyIndex(table, std::move(key_cols), expected_extra_rows,
+               /*index_existing=*/true) {}
+
+KeyIndex::KeyIndex(const Table* table, std::vector<int> key_cols,
+                   int64_t expected_extra_rows, bool index_existing)
     : table_(table), key_cols_(std::move(key_cols)) {
-  buckets_.reserve(static_cast<size_t>(table->NumRows()) * 2 + 16);
+  if (!index_existing) return;
+  index_.Reserve(table->NumRows() + expected_extra_rows);
   for (int64_t i = 0; i < table_->NumRows(); ++i) AddRow(i);
+}
+
+KeyIndex KeyIndex::Empty(const Table* table, std::vector<int> key_cols,
+                         int64_t expected_rows) {
+  KeyIndex index(table, std::move(key_cols), /*expected_extra_rows=*/0,
+                 /*index_existing=*/false);
+  index.index_.Reserve(expected_rows);
+  return index;
 }
 
 bool KeyIndex::Contains(const RowView& row,
                         std::span<const int> probe_cols) const {
   size_t h = HashRowKey(row, probe_cols);
-  auto it = buckets_.find(h);
-  if (it == buckets_.end()) return false;
-  for (int64_t j : it->second) {
-    if (RowKeyEquals(row, table_->row(j), probe_cols, key_cols_)) return true;
+  for (int64_t e = index_.Head(h); e >= 0; e = index_.Next(e)) {
+    if (RowKeyEquals(row, table_->row(index_.Row(e)), probe_cols,
+                     key_cols_)) {
+      return true;
+    }
   }
   return false;
 }
 
 void KeyIndex::AddRow(int64_t i) {
-  buckets_[HashRowKey(table_->row(i), key_cols_)].push_back(i);
-  ++num_rows_;
+  index_.Insert(HashRowKey(table_->row(i), key_cols_), i);
 }
 
 int64_t SetUnionInto(Table* dst, const Table& src,
                      const std::vector<int>& key_cols) {
   PROBKB_CHECK(dst->width() == src.width());
-  KeyIndex index(dst, key_cols);
+  // Pre-reserve for the delta: without this, a large src rehashes the
+  // index log(src/dst) times mid-merge.
+  KeyIndex index(dst, key_cols, src.NumRows());
+  dst->ReserveRows(src.NumRows());
   int64_t added = 0;
   for (int64_t i = 0; i < src.NumRows(); ++i) {
     RowView row = src.row(i);
@@ -62,6 +80,14 @@ int64_t DeleteMatching(Table* table, const std::vector<int>& table_cols,
 bool TablesEqualAsBags(const Table& a, const Table& b) {
   if (a.width() != b.width() || a.NumRows() != b.NumRows()) return false;
   return a.SortedRows() == b.SortedRows();
+}
+
+bool TablesEqualExact(const Table& a, const Table& b) {
+  if (a.width() != b.width() || a.NumRows() != b.NumRows()) return false;
+  for (int64_t i = 0; i < a.NumRows(); ++i) {
+    if (!a.row(i).Equals(b.row(i))) return false;
+  }
+  return true;
 }
 
 }  // namespace probkb

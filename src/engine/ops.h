@@ -1,9 +1,9 @@
 #ifndef PROBKB_ENGINE_OPS_H_
 #define PROBKB_ENGINE_OPS_H_
 
-#include <unordered_map>
 #include <vector>
 
+#include "engine/flat_hash.h"
 #include "relational/table.h"
 
 namespace probkb {
@@ -12,13 +12,24 @@ namespace probkb {
 ///
 /// Supports membership probes and incremental inserts; grounding uses it to
 /// merge newly inferred atoms into TPi with set semantics, and constraint
-/// application uses it to delete facts keyed by violating entities.
+/// application uses it to delete facts keyed by violating entities. Backed
+/// by FlatRowIndex (one flat probe array) rather than a node-based map.
 class KeyIndex {
  public:
   /// Indexes `table` on `key_cols`. The table must outlive the index; rows
   /// appended to the table after construction are not indexed unless added
-  /// via AddRow().
-  KeyIndex(const Table* table, std::vector<int> key_cols);
+  /// via AddRow(). `expected_extra_rows` pre-sizes the hash table for that
+  /// many future AddRow() calls on top of the table's current rows, so
+  /// callers growing the table in bulk (SetUnionInto, the TPi merge) do not
+  /// pay a rehash per doubling.
+  KeyIndex(const Table* table, std::vector<int> key_cols,
+           int64_t expected_extra_rows = 0);
+
+  /// \brief Index over `table` that starts *empty* (no rows indexed yet):
+  /// the caller adds rows one by one via AddRow(). Used for incremental
+  /// dedup of a batch against itself. Pre-sized for `expected_rows`.
+  static KeyIndex Empty(const Table* table, std::vector<int> key_cols,
+                        int64_t expected_rows);
 
   /// \brief True if some indexed row matches `row` (compared on
   /// `probe_cols`, which must parallel this index's key columns).
@@ -27,13 +38,15 @@ class KeyIndex {
   /// \brief Indexes row `i` of the underlying table.
   void AddRow(int64_t i);
 
-  int64_t NumIndexedRows() const { return num_rows_; }
+  int64_t NumIndexedRows() const { return index_.size(); }
 
  private:
+  KeyIndex(const Table* table, std::vector<int> key_cols,
+           int64_t expected_extra_rows, bool index_existing);
+
   const Table* table_;
   std::vector<int> key_cols_;
-  std::unordered_map<size_t, std::vector<int64_t>> buckets_;
-  int64_t num_rows_ = 0;
+  FlatRowIndex index_;
 };
 
 /// \brief Appends to `dst` the rows of `src` whose key (on `key_cols`,
@@ -41,7 +54,8 @@ class KeyIndex {
 /// within `src` as well. Returns the number of rows appended.
 ///
 /// This is the set-semantics union of Algorithm 1 line 5
-/// (TPi <- TPi U (U_j T_j)).
+/// (TPi <- TPi U (U_j T_j)). The dedup index is pre-sized for
+/// `dst->NumRows() + src.NumRows()` keys up front.
 int64_t SetUnionInto(Table* dst, const Table& src,
                      const std::vector<int>& key_cols);
 
@@ -58,6 +72,12 @@ int64_t DeleteMatching(Table* table, const std::vector<int>& table_cols,
 /// insensitive). Used heavily by equivalence tests (ProbKB vs Tuffy-T,
 /// single-node vs MPP).
 bool TablesEqualAsBags(const Table& a, const Table& b);
+
+/// \brief True if the two tables contain the same rows in the same order.
+/// The parallel-vs-serial equivalence tests use this: the threaded engine
+/// must reproduce the serial engine's output bit-identically, not just as
+/// a bag.
+bool TablesEqualExact(const Table& a, const Table& b);
 
 }  // namespace probkb
 

@@ -1,8 +1,10 @@
 #include "engine/plan.h"
 
+#include <algorithm>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "engine/flat_hash.h"
 #include "util/timer.h"
 
 namespace probkb {
@@ -141,23 +143,24 @@ Result<TablePtr> HashJoinNode::Execute(ExecContext* ctx) {
   }
   auto out = Table::Make(out_schema);
 
-  // Build side: hash of right-key -> row indices.
-  std::unordered_map<size_t, std::vector<int64_t>> build;
-  build.reserve(static_cast<size_t>(right->NumRows()) * 2 + 16);
+  // Build side: hash of right-key -> chain of row indices, in row order.
+  FlatRowIndex build(right->NumRows());
   for (int64_t i = 0; i < right->NumRows(); ++i) {
-    build[HashRowKey(right->row(i), right_keys_)].push_back(i);
+    build.Insert(HashRowKey(right->row(i), right_keys_), i);
   }
 
-  std::vector<Value> out_buf(type_ == JoinType::kInner ? output_cols_.size()
-                                                       : 0);
-  std::vector<Value> concat_buf;
-  for (int64_t i = 0; i < left->NumRows(); ++i) {
-    RowView lrow = left->row(i);
-    auto it = build.find(HashRowKey(lrow, left_keys_));
-    bool matched = false;
-    if (it != build.end()) {
-      for (int64_t r : it->second) {
-        RowView rrow = right->row(r);
+  // Probes a left-row range into `dst`. Reads only shared immutable state
+  // (inputs, build index, residual), so morsels can run it concurrently.
+  auto probe_range = [&](int64_t begin, int64_t end, Table* dst) {
+    std::vector<Value> out_buf(type_ == JoinType::kInner ? output_cols_.size()
+                                                         : 0);
+    std::vector<Value> concat_buf;
+    for (int64_t i = begin; i < end; ++i) {
+      RowView lrow = left->row(i);
+      bool matched = false;
+      for (int64_t e = build.Head(HashRowKey(lrow, left_keys_)); e >= 0;
+           e = build.Next(e)) {
+        RowView rrow = right->row(build.Row(e));
         if (!RowKeyEquals(lrow, rrow, left_keys_, right_keys_)) continue;
         if (residual_ != nullptr) {
           ConcatRow(lrow, rrow, &concat_buf);
@@ -174,14 +177,37 @@ Result<TablePtr> HashJoinNode::Execute(ExecContext* ctx) {
                              ? lrow[oc.column]
                              : rrow[oc.column];
           }
-          out->AppendRow(out_buf);
+          dst->AppendRow(out_buf);
         } else {
           break;  // semi/anti only need existence
         }
       }
+      if (type_ == JoinType::kLeftSemi && matched) dst->AppendRow(lrow);
+      if (type_ == JoinType::kLeftAnti && !matched) dst->AppendRow(lrow);
     }
-    if (type_ == JoinType::kLeftSemi && matched) out->AppendRow(lrow);
-    if (type_ == JoinType::kLeftAnti && !matched) out->AppendRow(lrow);
+  };
+
+  // Morsel-parallel probe: fixed row ranges, one private output table per
+  // morsel, concatenated in morsel order — the output is bit-identical to
+  // the serial probe loop regardless of scheduling.
+  constexpr int64_t kMorselRows = 2048;
+  ThreadPool* pool = ctx->thread_pool();
+  if (pool != nullptr && pool->num_threads() > 1 &&
+      left->NumRows() >= 2 * kMorselRows) {
+    const int64_t morsels = (left->NumRows() + kMorselRows - 1) / kMorselRows;
+    std::vector<TablePtr> parts(static_cast<size_t>(morsels));
+    pool->ParallelFor(morsels, 1, [&](int64_t m_begin, int64_t m_end) {
+      for (int64_t m = m_begin; m < m_end; ++m) {
+        auto part = Table::Make(out_schema);
+        int64_t begin = m * kMorselRows;
+        int64_t end = std::min(begin + kMorselRows, left->NumRows());
+        probe_range(begin, end, part.get());
+        parts[static_cast<size_t>(m)] = std::move(part);
+      }
+    });
+    for (const TablePtr& part : parts) out->AppendTable(*part);
+  } else {
+    probe_range(0, left->NumRows(), out.get());
   }
 
   PROBKB_RETURN_NOT_OK(ctx->Record({Label(),
@@ -206,20 +232,20 @@ Result<TablePtr> DistinctNode::Execute(ExecContext* ctx) {
     for (int c = 0; c < in->width(); ++c) keys.push_back(c);
   }
   auto out = Table::Make(in->schema());
-  std::unordered_map<size_t, std::vector<int64_t>> seen;
-  seen.reserve(static_cast<size_t>(in->NumRows()) * 2 + 16);
+  // Dedup set over the output rows; chains keyed on the row-key hash.
+  FlatRowIndex seen(in->NumRows());
   for (int64_t i = 0; i < in->NumRows(); ++i) {
     RowView row = in->row(i);
-    auto& bucket = seen[HashRowKey(row, keys)];
+    size_t h = HashRowKey(row, keys);
     bool dup = false;
-    for (int64_t j : bucket) {
-      if (RowKeyEquals(row, out->row(j), keys, keys)) {
+    for (int64_t e = seen.Head(h); e >= 0; e = seen.Next(e)) {
+      if (RowKeyEquals(row, out->row(seen.Row(e)), keys, keys)) {
         dup = true;
         break;
       }
     }
     if (!dup) {
-      bucket.push_back(out->NumRows());
+      seen.Insert(h, out->NumRows());
       out->AppendRow(row);
     }
   }

@@ -35,11 +35,14 @@ std::string GroundingStats::ToString() const {
 Grounder::Grounder(RelationalKB* rkb, GroundingOptions options)
     : rkb_(rkb), options_(options) {
   stats_.initial_atoms = rkb_->t_pi->NumRows();
+  const int threads = ThreadPool::ResolveThreads(options_.num_threads);
+  if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
 }
 
 Status Grounder::ArmStatement(ExecContext* ec) {
   ec->set_fault_injector(injector_);
   ec->set_shared_op_counter(&op_counter_);
+  ec->set_thread_pool(pool_.get());
   if (options_.deadline_seconds > 0 || options_.max_rows_per_statement > 0) {
     ExecBudget budget;
     budget.max_produced_rows = options_.max_rows_per_statement;

@@ -1,6 +1,7 @@
 #ifndef PROBKB_GROUNDING_GROUNDER_H_
 #define PROBKB_GROUNDING_GROUNDER_H_
 
+#include <memory>
 #include <string>
 #include <unordered_set>
 #include <utility>
@@ -11,6 +12,7 @@
 #include "grounding/partition_queries.h"
 #include "kb/relational_model.h"
 #include "util/result.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace probkb {
@@ -51,6 +53,11 @@ struct GroundingOptions {
   /// Memory proxy: kResourceExhausted once a single statement's operators
   /// have produced this many rows. 0 = unlimited.
   int64_t max_rows_per_statement = 0;
+  /// Executor threads for per-segment / morsel parallelism. 0 = auto
+  /// (PROBKB_THREADS, else hardware_concurrency); 1 = the exact serial
+  /// path. Any setting produces bit-identical outputs — see DESIGN.md
+  /// "Threading model".
+  int num_threads = 0;
 };
 
 /// \brief Execution record of one grounding run.
@@ -135,6 +142,9 @@ class Grounder {
   Status MaybeCheckpoint();
 
   RelationalKB* rkb_;
+  /// Morsel-parallel executor for the statement plans; null on the serial
+  /// path (options_.num_threads resolves to 1).
+  std::unique_ptr<ThreadPool> pool_;
   /// Semi-naive state: TPi row count at the start of the last iteration's
   /// merge (rows from here on are the delta).
   int64_t delta_start_ = 0;

@@ -31,6 +31,11 @@ MppGrounder::MppGrounder(const RelationalKB& rkb, int num_segments,
   ctx_.set_fault_injector(injector);
   ctx_.set_retry_policy(retry);
   ctx_.set_deadline_seconds(options_.deadline_seconds);
+  const int threads = ThreadPool::ResolveThreads(options_.num_threads);
+  if (threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(threads);
+    ctx_.set_thread_pool(pool_.get());
+  }
   stats_.initial_atoms = rkb.t_pi->NumRows();
   t_pi_ = DistributedTable::Distribute(*rkb.t_pi, num_segments,
                                        Distribution::Hash(ViewKeysT0()), "T0");
@@ -113,9 +118,21 @@ Result<int64_t> MppGrounder::MergeAtoms(const DistributedTable& atoms) {
       DistributedTablePtr collocated,
       ctx_.Redistribute(atoms, kAtomDistKeys, "inferred_atoms"));
 
-  // Drop atoms keyed by banned entities (per-segment, no motion needed).
+  const int n = ctx_.num_segments();
+  auto for_each_segment = [&](const std::function<void(int)>& body) {
+    if (pool_ != nullptr && pool_->num_threads() > 1 && n > 1) {
+      pool_->ParallelFor(n, 1, [&](int64_t begin, int64_t end) {
+        for (int64_t s = begin; s < end; ++s) body(static_cast<int>(s));
+      });
+    } else {
+      for (int s = 0; s < n; ++s) body(s);
+    }
+  };
+
+  // Drop atoms keyed by banned entities (per-segment, no motion needed;
+  // segments only read the shared ban sets, so the fan-out is safe).
   if (!banned_x_keys_.empty() || !banned_y_keys_.empty()) {
-    for (int s = 0; s < ctx_.num_segments(); ++s) {
+    for_each_segment([&](int s) {
       DeleteWhere(collocated->mutable_segment(s).get(),
                   [this](const RowView& row) {
                     return banned_x_keys_.count(BanKey(
@@ -125,19 +142,30 @@ Result<int64_t> MppGrounder::MergeAtoms(const DistributedTable& atoms) {
                                row[atom::kY].i64(), row[atom::kC2].i64())) >
                                0;
                   });
-    }
+    });
   }
 
-  const int n = ctx_.num_segments();
+  // Two-phase merge. Phase 1 (parallel): per-segment read-only dedup
+  // selecting the new atom rows. Phase 2 (serial): append the selections
+  // in canonical segment order, drawing fact ids from the shared counter —
+  // ids come out identical to the serial engine's regardless of thread
+  // count.
   std::vector<int64_t> old_sizes(static_cast<size_t>(n));
   std::vector<double> seg_seconds(static_cast<size_t>(n));
+  std::vector<std::vector<int64_t>> selected(static_cast<size_t>(n));
+  for_each_segment([&](int s) {
+    Timer timer;
+    selected[static_cast<size_t>(s)] =
+        SelectNewAtomRows(*t_pi_->segment(s), *collocated->segment(s));
+    seg_seconds[static_cast<size_t>(s)] = timer.Seconds();
+  });
   int64_t added = 0;
   for (int s = 0; s < n; ++s) {
     old_sizes[static_cast<size_t>(s)] = t_pi_->segment(s)->NumRows();
-    Timer timer;
-    added += MergeAtomsIntoTPi(t_pi_->mutable_segment(s).get(),
-                               *collocated->segment(s), &next_fact_id_);
-    seg_seconds[static_cast<size_t>(s)] = timer.Seconds();
+    added += AppendAtomRows(t_pi_->mutable_segment(s).get(),
+                            *collocated->segment(s),
+                            selected[static_cast<size_t>(s)],
+                            &next_fact_id_);
   }
   ctx_.RecordCompute("union into T0", seg_seconds);
 

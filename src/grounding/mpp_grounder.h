@@ -2,6 +2,7 @@
 #define PROBKB_GROUNDING_MPP_GROUNDER_H_
 
 #include <array>
+#include <memory>
 #include <optional>
 #include <unordered_set>
 #include <vector>
@@ -84,6 +85,13 @@ class MppGrounder {
   MppMode mode_;
   GroundingOptions options_;
   GroundingStats stats_;
+
+  /// Executor for per-segment fan-out (options_.num_threads; see
+  /// GroundingOptions). Null when resolved to one thread — the exact
+  /// serial path. Attached to ctx_, which hands it to motions and
+  /// per-segment operators; results always merge in canonical segment
+  /// order, so thread count never changes any output.
+  std::unique_ptr<ThreadPool> pool_;
 
   /// Constraint bans, mirroring the single-node grounder: entities deleted
   /// by Query 3 must not be re-derived, or the fixpoint never converges.

@@ -273,23 +273,55 @@ Result<TablePtr> SingletonFactors(TablePtr t_pi, ExecContext* ctx) {
   return plan->Execute(ctx);
 }
 
-int64_t MergeAtomsIntoTPi(Table* t_pi, const Table& atoms, FactId* next_id) {
-  static const std::vector<int> tpi_key = {tpi::kR, tpi::kX, tpi::kC1,
-                                           tpi::kY, tpi::kC2};
-  static const std::vector<int> atom_key = {atom::kR, atom::kX, atom::kC1,
-                                            atom::kY, atom::kC2};
-  KeyIndex index(t_pi, tpi_key);
-  int64_t added = 0;
+namespace {
+
+const std::vector<int>& TPiMergeKey() {
+  static const std::vector<int> key = {tpi::kR, tpi::kX, tpi::kC1, tpi::kY,
+                                       tpi::kC2};
+  return key;
+}
+
+const std::vector<int>& AtomMergeKey() {
+  static const std::vector<int> key = {atom::kR, atom::kX, atom::kC1,
+                                       atom::kY, atom::kC2};
+  return key;
+}
+
+}  // namespace
+
+std::vector<int64_t> SelectNewAtomRows(const Table& t_pi,
+                                       const Table& atoms) {
+  // Existing facts plus a second index over `atoms` itself for the
+  // within-batch dedup, both pre-sized so large deltas do not rehash
+  // mid-merge.
+  KeyIndex existing(&t_pi, TPiMergeKey());
+  KeyIndex pending = KeyIndex::Empty(&atoms, AtomMergeKey(), atoms.NumRows());
+  std::vector<int64_t> selected;
   for (int64_t i = 0; i < atoms.NumRows(); ++i) {
     RowView row = atoms.row(i);
-    if (index.Contains(row, atom_key)) continue;
+    if (existing.Contains(row, AtomMergeKey())) continue;
+    if (pending.Contains(row, AtomMergeKey())) continue;
+    pending.AddRow(i);
+    selected.push_back(i);
+  }
+  return selected;
+}
+
+int64_t AppendAtomRows(Table* t_pi, const Table& atoms,
+                       const std::vector<int64_t>& rows, FactId* next_id) {
+  t_pi->ReserveRows(static_cast<int64_t>(rows.size()));
+  for (int64_t i : rows) {
+    RowView row = atoms.row(i);
     t_pi->AppendRow({Value::Int64((*next_id)++), row[atom::kR], row[atom::kX],
                      row[atom::kC1], row[atom::kY], row[atom::kC2],
                      Value::Null()});
-    index.AddRow(t_pi->NumRows() - 1);
-    ++added;
   }
-  return added;
+  return static_cast<int64_t>(rows.size());
+}
+
+int64_t MergeAtomsIntoTPi(Table* t_pi, const Table& atoms, FactId* next_id) {
+  return AppendAtomRows(t_pi, atoms, SelectNewAtomRows(*t_pi, atoms),
+                        next_id);
 }
 
 namespace {

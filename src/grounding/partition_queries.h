@@ -94,8 +94,22 @@ Result<TablePtr> SingletonFactors(TablePtr t_pi, ExecContext* ctx);
 
 /// \brief Merges `atoms` into `t_pi` with set semantics on
 /// (R, x, C1, y, C2); new atoms get ids from `*next_id` and NULL weight.
-/// Returns the number of rows added.
+/// Returns the number of rows added. Equivalent to AppendAtomRows over
+/// SelectNewAtomRows.
 int64_t MergeAtomsIntoTPi(Table* t_pi, const Table& atoms, FactId* next_id);
+
+/// \brief Dedup phase of the TPi merge: the row indices of `atoms` that are
+/// new w.r.t. `t_pi` (and w.r.t. earlier `atoms` rows), in row order. Pure
+/// read-only selection — the MPP grounder runs it for all segments in
+/// parallel, then assigns fact ids serially in canonical segment order so
+/// ids come out bit-identical to the serial engine's.
+std::vector<int64_t> SelectNewAtomRows(const Table& t_pi, const Table& atoms);
+
+/// \brief Id-assignment phase of the TPi merge: appends the selected
+/// `atoms` rows to `t_pi` with consecutive ids from `*next_id` and NULL
+/// weight. Returns the number of rows appended.
+int64_t AppendAtomRows(Table* t_pi, const Table& atoms,
+                       const std::vector<int64_t>& rows, FactId* next_id);
 
 /// \brief Query 3: deletes from `t_pi` all facts keyed by entities that
 /// violate a functional constraint of `t_omega` (both Type I and Type II).

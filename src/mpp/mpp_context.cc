@@ -188,20 +188,59 @@ Result<DistributedTablePtr> MppContext::Redistribute(
     // can be replayed from the surviving input partition.
     std::vector<std::vector<int64_t>> sent(
         static_cast<size_t>(n), std::vector<int64_t>(static_cast<size_t>(n)));
-    for (int s = 0; s < n; ++s) {
+    // Phase 1: route. Each sender's rows hash to their targets; senders
+    // are independent, so the pool fans them out.
+    std::vector<std::vector<int>> targets(static_cast<size_t>(n));
+    auto route_sender = [&](int s) {
       const Table& src = *input.segment(s);
+      std::vector<int>& tgt = targets[static_cast<size_t>(s)];
+      tgt.resize(static_cast<size_t>(src.NumRows()));
+      std::vector<int64_t>& row_sent = sent[static_cast<size_t>(s)];
       for (int64_t r = 0; r < src.NumRows(); ++r) {
-        RowView row = src.row(r);
-        int target = DistributedTable::TargetSegment(row, key_cols, n);
-        if (target != s) {
-          ++shipped;
-          ++sent[static_cast<size_t>(s)][static_cast<size_t>(target)];
-        }
-        // Appending in sender order keeps assembly canonical: recovery
-        // recomputes a victim's rows into exactly these positions, so a
-        // recovered run is bit-identical to a fault-free one.
-        segments[static_cast<size_t>(target)]->AppendRow(row);
+        int target =
+            DistributedTable::TargetSegment(src.row(r), key_cols, n);
+        tgt[static_cast<size_t>(r)] = target;
+        if (target != s) ++row_sent[static_cast<size_t>(target)];
       }
+    };
+    // Phase 2: assemble. Each target segment scans the senders in order
+    // and appends its rows; targets write disjoint output tables, and the
+    // sender-major scan keeps assembly canonical — recovery recomputes a
+    // victim's rows into exactly these positions, so a recovered (or
+    // threaded) run is bit-identical to a serial fault-free one.
+    auto fill_target = [&](int t) {
+      Table* dst = segments[static_cast<size_t>(t)].get();
+      int64_t expected = 0;
+      for (int s = 0; s < n; ++s) {
+        expected += sent[static_cast<size_t>(s)][static_cast<size_t>(t)];
+      }
+      expected += input.segment(t)->NumRows();  // upper bound: local rows
+      dst->ReserveRows(expected);
+      for (int s = 0; s < n; ++s) {
+        const Table& src = *input.segment(s);
+        const std::vector<int>& tgt = targets[static_cast<size_t>(s)];
+        for (int64_t r = 0; r < src.NumRows(); ++r) {
+          if (tgt[static_cast<size_t>(r)] == t) dst->AppendRow(src.row(r));
+        }
+      }
+    };
+    if (pool_ != nullptr && pool_->num_threads() > 1 && n > 1) {
+      pool_->ParallelFor(n, 1, [&](int64_t begin, int64_t end) {
+        for (int64_t s = begin; s < end; ++s) {
+          route_sender(static_cast<int>(s));
+        }
+      });
+      pool_->ParallelFor(n, 1, [&](int64_t begin, int64_t end) {
+        for (int64_t t = begin; t < end; ++t) {
+          fill_target(static_cast<int>(t));
+        }
+      });
+    } else {
+      for (int s = 0; s < n; ++s) route_sender(s);
+      for (int t = 0; t < n; ++t) fill_target(t);
+    }
+    for (int s = 0; s < n; ++s) {
+      for (int64_t batch : sent[static_cast<size_t>(s)]) shipped += batch;
     }
     // Like Broadcast/Gather, only a redistribute that actually touched the
     // interconnect can fault: when every row hashed to its home segment

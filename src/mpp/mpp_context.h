@@ -9,6 +9,7 @@
 #include "mpp/cost_model.h"
 #include "mpp/distributed_table.h"
 #include "util/result.h"
+#include "util/thread_pool.h"
 
 namespace probkb {
 
@@ -45,6 +46,16 @@ class MppContext {
 
   void set_retry_policy(RetryPolicy policy) { retry_ = policy; }
   const RetryPolicy& retry_policy() const { return retry_; }
+
+  /// \brief Attaches a thread pool (not owned; may be nullptr) that runs
+  /// per-segment operator work and motion preparation concurrently.
+  /// Determinism contract: motion indices are assigned and the fault
+  /// injector consulted on the orchestrating thread *before* any fan-out,
+  /// and parallel results are merged in canonical segment order — so cost
+  /// traces, fault schedules, and output tables are bit-identical to the
+  /// serial engine's.
+  void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
+  ThreadPool* thread_pool() const { return pool_; }
 
   /// \brief Budget on *simulated* elapsed seconds; 0 disables. Checked at
   /// every motion and by CheckDeadline() callers at iteration boundaries.
@@ -118,6 +129,7 @@ class MppContext {
   CostParams params_;
   MppCost cost_;
   FaultInjector* injector_ = nullptr;
+  ThreadPool* pool_ = nullptr;
   RetryPolicy retry_;
   double deadline_seconds_ = 0.0;
   int64_t next_motion_index_ = 0;

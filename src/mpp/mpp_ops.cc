@@ -34,26 +34,51 @@ bool CollocatedOn(const Distribution& left, const Distribution& right,
   return true;
 }
 
+/// Runs the pool-gated fan-out shared by the per-segment operators: calls
+/// `body(s)` for every segment, concurrently when the context carries a
+/// pool of more than one thread, serially (in segment order) otherwise.
+/// Segments are independent units writing disjoint slots, so the two paths
+/// produce identical state.
+void ForEachSegment(MppContext* ctx, int num_segments,
+                    const std::function<void(int)>& body) {
+  ThreadPool* pool = ctx->thread_pool();
+  if (pool != nullptr && pool->num_threads() > 1 && num_segments > 1) {
+    pool->ParallelFor(num_segments, 1, [&](int64_t begin, int64_t end) {
+      for (int64_t s = begin; s < end; ++s) body(static_cast<int>(s));
+    });
+  } else {
+    for (int s = 0; s < num_segments; ++s) body(s);
+  }
+}
+
 /// Runs `make_plan(segment_table_a, segment_table_b)` on every segment pair,
 /// measuring per-segment time, and assembles a DistributedTable with the
-/// declared distribution.
+/// declared distribution. Segments fan out onto the context's thread pool;
+/// each gets a fresh ExecContext (no injector, no nested pool), and error
+/// statuses surface in canonical segment order, so the threaded path reports
+/// the same first failure as the serial one.
 template <typename MakePlan>
 Result<DistributedTablePtr> PerSegment(MppContext* ctx, int num_segments,
                                        const Schema* out_schema_hint,
                                        Distribution out_dist,
                                        const std::string& label,
                                        MakePlan make_plan) {
-  std::vector<TablePtr> out_segments;
-  out_segments.reserve(static_cast<size_t>(num_segments));
+  std::vector<TablePtr> out_segments(static_cast<size_t>(num_segments));
   std::vector<double> seg_seconds(static_cast<size_t>(num_segments), 0.0);
-  for (int s = 0; s < num_segments; ++s) {
+  std::vector<Status> statuses(static_cast<size_t>(num_segments));
+  ForEachSegment(ctx, num_segments, [&](int s) {
     ExecContext ec;
     Timer timer;
     PlanNodePtr plan = make_plan(s);
-    PROBKB_ASSIGN_OR_RETURN(TablePtr result, plan->Execute(&ec));
+    Result<TablePtr> result = plan->Execute(&ec);
     seg_seconds[static_cast<size_t>(s)] = timer.Seconds();
-    out_segments.push_back(std::move(result));
-  }
+    if (result.ok()) {
+      out_segments[static_cast<size_t>(s)] = result.MoveValueOrDie();
+    } else {
+      statuses[static_cast<size_t>(s)] = result.status();
+    }
+  });
+  for (const Status& st : statuses) PROBKB_RETURN_NOT_OK(st);
   ctx->RecordCompute(label, seg_seconds);
   Schema schema =
       out_schema_hint != nullptr ? *out_schema_hint : out_segments[0]->schema();
@@ -254,14 +279,20 @@ Result<int64_t> MppSetUnionInto(MppContext* ctx, DistributedTable* dst,
     PROBKB_ASSIGN_OR_RETURN(
         src_ready, ctx->Redistribute(src, dst->distribution().key_cols));
   }
-  std::vector<double> seg_seconds(static_cast<size_t>(ctx->num_segments()));
-  int64_t added = 0;
-  for (int s = 0; s < ctx->num_segments(); ++s) {
+  // Each segment unions into its own partition — disjoint writes, so the
+  // fan-out is safe; per-segment counts are summed in canonical order.
+  const int n = ctx->num_segments();
+  std::vector<double> seg_seconds(static_cast<size_t>(n));
+  std::vector<int64_t> seg_added(static_cast<size_t>(n), 0);
+  ForEachSegment(ctx, n, [&](int s) {
     Timer timer;
-    added += SetUnionInto(dst->mutable_segment(s).get(),
-                          *src_ready->segment(s), key_cols);
+    seg_added[static_cast<size_t>(s)] =
+        SetUnionInto(dst->mutable_segment(s).get(), *src_ready->segment(s),
+                     key_cols);
     seg_seconds[static_cast<size_t>(s)] = timer.Seconds();
-  }
+  });
+  int64_t added = 0;
+  for (int64_t a : seg_added) added += a;
   ctx->RecordCompute("union into " + dst->name(), seg_seconds);
   return added;
 }
@@ -276,14 +307,20 @@ Result<int64_t> MppDeleteMatching(MppContext* ctx, DistributedTable* dst,
   } else {
     PROBKB_ASSIGN_OR_RETURN(keys_ready, ctx->Broadcast(keys));
   }
-  std::vector<double> seg_seconds(static_cast<size_t>(ctx->num_segments()));
-  int64_t deleted = 0;
-  for (int s = 0; s < ctx->num_segments(); ++s) {
+  // Broadcast keys share one TablePtr across segments — concurrent const
+  // reads are safe; each segment deletes from its own partition.
+  const int n = ctx->num_segments();
+  std::vector<double> seg_seconds(static_cast<size_t>(n));
+  std::vector<int64_t> seg_deleted(static_cast<size_t>(n), 0);
+  ForEachSegment(ctx, n, [&](int s) {
     Timer timer;
-    deleted += DeleteMatching(dst->mutable_segment(s).get(), dst_cols,
-                              *keys_ready->segment(s), key_cols);
+    seg_deleted[static_cast<size_t>(s)] =
+        DeleteMatching(dst->mutable_segment(s).get(), dst_cols,
+                       *keys_ready->segment(s), key_cols);
     seg_seconds[static_cast<size_t>(s)] = timer.Seconds();
-  }
+  });
+  int64_t deleted = 0;
+  for (int64_t d : seg_deleted) deleted += d;
   ctx->RecordCompute("delete from " + dst->name(), seg_seconds);
   return deleted;
 }

@@ -1,0 +1,149 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace probkb {
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(num_threads < 1 ? 1 : num_threads) {
+  const int workers = num_threads_ - 1;
+  queues_.resize(static_cast<size_t>(workers));
+  workers_.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    // No workers: run inline. Callers treat Submit as "eventually runs".
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t target = 0;
+    for (size_t q = 1; q < queues_.size(); ++q) {
+      if (queues_[q].size() < queues_[target].size()) target = q;
+    }
+    queues_[target].push_back(std::move(task));
+    ++pending_tasks_;
+  }
+  cv_.notify_one();
+}
+
+bool ThreadPool::PopTask(int worker_index, std::function<void()>* task) {
+  // Own deque back first (LIFO keeps caches warm), then steal from the
+  // front of a sibling (FIFO takes the oldest, largest-granularity work).
+  auto& own = queues_[static_cast<size_t>(worker_index)];
+  if (!own.empty()) {
+    *task = std::move(own.back());
+    own.pop_back();
+    return true;
+  }
+  for (size_t offset = 1; offset < queues_.size(); ++offset) {
+    auto& victim =
+        queues_[(static_cast<size_t>(worker_index) + offset) % queues_.size()];
+    if (!victim.empty()) {
+      *task = std::move(victim.front());
+      victim.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::WorkerLoop(int worker_index) {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return shutdown_ || pending_tasks_ > 0; });
+      if (!PopTask(worker_index, &task)) {
+        if (shutdown_) return;
+        continue;
+      }
+      --pending_tasks_;
+    }
+    task();
+  }
+}
+
+struct ThreadPool::ParallelState {
+  std::atomic<int64_t> next_chunk{0};
+  std::atomic<int64_t> done_chunks{0};
+  int64_t total_chunks = 0;
+  int64_t n = 0;
+  int64_t grain = 0;
+  const std::function<void(int64_t, int64_t)>* fn = nullptr;
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+
+  /// Claims chunks until none remain; every executor (workers and the
+  /// caller) runs this same loop.
+  void Drain() {
+    for (;;) {
+      int64_t chunk = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (chunk >= total_chunks) return;
+      int64_t begin = chunk * grain;
+      int64_t end = begin + grain < n ? begin + grain : n;
+      (*fn)(begin, end);
+      if (done_chunks.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          total_chunks) {
+        std::lock_guard<std::mutex> lock(done_mu);
+        done_cv.notify_all();
+      }
+    }
+  }
+};
+
+void ThreadPool::ParallelFor(int64_t n, int64_t grain,
+                             const std::function<void(int64_t, int64_t)>& fn) {
+  if (n <= 0) return;
+  if (grain < 1) grain = 1;
+  if (workers_.empty() || n <= grain) {
+    fn(0, n);
+    return;
+  }
+  auto state = std::make_shared<ParallelState>();
+  state->total_chunks = (n + grain - 1) / grain;
+  state->n = n;
+  state->grain = grain;
+  state->fn = &fn;
+
+  // Helpers hold the state alive; `fn` outlives them because the caller
+  // blocks below until every chunk is done.
+  int64_t helpers = static_cast<int64_t>(workers_.size());
+  if (helpers > state->total_chunks - 1) helpers = state->total_chunks - 1;
+  for (int64_t h = 0; h < helpers; ++h) {
+    Submit([state] { state->Drain(); });
+  }
+  state->Drain();
+  std::unique_lock<std::mutex> lock(state->done_mu);
+  state->done_cv.wait(lock, [&] {
+    return state->done_chunks.load(std::memory_order_acquire) ==
+           state->total_chunks;
+  });
+}
+
+int ThreadPool::ResolveThreads(int requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("PROBKB_THREADS")) {
+    int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+}  // namespace probkb

@@ -1,0 +1,74 @@
+#ifndef PROBKB_UTIL_THREAD_POOL_H_
+#define PROBKB_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace probkb {
+
+/// \brief Work-stealing thread pool behind the engine's parallel operators.
+///
+/// A pool of size N owns N-1 worker threads; the calling thread is the N-th
+/// executor, so `ThreadPool(1)` spawns nothing and every ParallelFor runs
+/// inline on the caller — the exact serial path. Each worker drains its own
+/// deque LIFO and steals FIFO from siblings when empty.
+///
+/// Tasks must not throw: the engine reports failures through Status values
+/// collected per task, never through exceptions crossing the pool boundary.
+/// ParallelFor is safe to call from inside a pool task (the caller always
+/// participates in draining its own chunks, so a saturated pool degrades to
+/// inline execution instead of deadlocking).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads - 1` workers; `num_threads` is clamped to >= 1.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total executors: workers plus the calling thread.
+  int num_threads() const { return num_threads_; }
+
+  /// \brief Enqueues one task onto the least-loaded deque. Fire-and-forget;
+  /// completion is the caller's business (ParallelFor tracks its own).
+  void Submit(std::function<void()> task);
+
+  /// \brief Runs `fn(begin, end)` over disjoint chunks covering [0, n),
+  /// each at most `grain` long, on the workers *and* the calling thread.
+  /// Blocks until every chunk finished. Chunk boundaries are deterministic
+  /// (0..grain, grain..2*grain, ...); which thread runs a chunk is not, so
+  /// `fn` must write only to per-chunk state (e.g. slot `begin / grain` of
+  /// a results vector) for deterministic output.
+  void ParallelFor(int64_t n, int64_t grain,
+                   const std::function<void(int64_t, int64_t)>& fn);
+
+  /// \brief Resolves a thread-count request: `requested > 0` wins, else the
+  /// PROBKB_THREADS environment variable, else hardware_concurrency.
+  /// Always >= 1.
+  static int ResolveThreads(int requested);
+
+ private:
+  struct ParallelState;
+
+  void WorkerLoop(int worker_index);
+  /// Pops from own deque (LIFO) or steals from a sibling (FIFO).
+  bool PopTask(int worker_index, std::function<void()>* task);
+
+  int num_threads_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool shutdown_ = false;
+  int64_t pending_tasks_ = 0;
+  std::vector<std::deque<std::function<void()>>> queues_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace probkb
+
+#endif  // PROBKB_UTIL_THREAD_POOL_H_

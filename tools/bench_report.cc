@@ -1,0 +1,187 @@
+// bench_report — perf-tracking harness for the threaded grounding engine.
+//
+//   bench_report [--json BENCH_parallel.json]
+//
+// Runs the table3-style grounding workload (single node) and the fig6c
+// MPP-views workload at 1, 2, 4 and 8 worker threads, verifies that every
+// thread count produces bit-identical outputs to the serial run, and
+// writes a JSON document with the measured wall-clock times and speedups.
+// CI keeps the JSON so thread-scaling regressions show up as diffs.
+//
+// Times here are *measured* engine seconds (no modelled per-statement
+// overhead): thread scaling is about real compute, and the modelled
+// overhead is thread-count independent by construction.
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "datagen/synthetic_kb.h"
+#include "engine/ops.h"
+#include "grounding/grounder.h"
+#include "grounding/mpp_grounder.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace probkb;
+
+constexpr int kIterations = 4;
+constexpr int kSegments = 32;
+const std::vector<int> kThreadCounts = {1, 2, 4, 8};
+
+struct ThreadPoint {
+  int threads = 1;
+  double seconds = 0;
+  bool identical = false;  // output bit-identical to the serial run
+};
+
+struct WorkloadReport {
+  std::string name;
+  double serial_seconds = 0;
+  std::vector<ThreadPoint> points;
+};
+
+/// Single-node grounding: 4 iterations + factor construction, like
+/// table3_grounding's ProbKB column. Returns the final TPi for the
+/// equivalence check.
+bool RunSingleNode(const KnowledgeBase& kb, int threads, double* seconds,
+                   TablePtr* t_pi_out) {
+  RelationalKB rkb = BuildRelationalModel(kb);
+  GroundingOptions options;
+  options.max_iterations = kIterations;
+  options.num_threads = threads;
+  Grounder grounder(&rkb, options);
+  Timer timer;
+  for (int i = 0; i < kIterations; ++i) {
+    if (!grounder.GroundAtomsIteration().ok()) return false;
+  }
+  if (!grounder.GroundFactors().ok()) return false;
+  *seconds = timer.Seconds();
+  *t_pi_out = rkb.t_pi;
+  return true;
+}
+
+/// MPP grounding with views (fig6c's ProbKB-p configuration); the time is
+/// real wall clock of the simulator, which is where the thread pool works.
+bool RunMppViews(const KnowledgeBase& kb, int threads, double* seconds,
+                 TablePtr* t_pi_out) {
+  RelationalKB rkb = BuildRelationalModel(kb);
+  GroundingOptions options;
+  options.max_iterations = kIterations;
+  options.num_threads = threads;
+  MppGrounder grounder(rkb, kSegments, MppMode::kViews, options);
+  Timer timer;
+  for (int i = 0; i < kIterations; ++i) {
+    if (!grounder.GroundAtomsIteration().ok()) return false;
+  }
+  if (!grounder.GroundFactors().ok()) return false;
+  *seconds = timer.Seconds();
+  *t_pi_out = grounder.GatherTPi();
+  return true;
+}
+
+template <typename RunFn>
+bool RunWorkload(const std::string& name, const KnowledgeBase& kb,
+                 RunFn run, WorkloadReport* report) {
+  report->name = name;
+  TablePtr serial_t_pi;
+  if (!run(kb, 1, &report->serial_seconds, &serial_t_pi)) {
+    std::fprintf(stderr, "%s: serial run failed\n", name.c_str());
+    return false;
+  }
+  for (int threads : kThreadCounts) {
+    ThreadPoint point;
+    point.threads = threads;
+    TablePtr t_pi;
+    if (!run(kb, threads, &point.seconds, &t_pi)) {
+      std::fprintf(stderr, "%s: %d-thread run failed\n", name.c_str(),
+                   threads);
+      return false;
+    }
+    point.identical = TablesEqualExact(*serial_t_pi, *t_pi);
+    if (!point.identical) {
+      std::fprintf(stderr,
+                   "%s: %d-thread output DIFFERS from the serial run\n",
+                   name.c_str(), threads);
+    }
+    report->points.push_back(point);
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path = bench::JsonPathFromArgs(argc, argv);
+  if (json_path.empty()) json_path = "BENCH_parallel.json";
+  const double scale = bench::BenchScale();
+
+  bench::PrintHeader("bench_report: thread scaling");
+  std::printf("scale=%.3f, hardware threads=%u\n", scale,
+              std::thread::hardware_concurrency());
+
+  SyntheticKbConfig config;
+  config.scale = scale;
+  auto skb = GenerateReverbSherlockKb(config);
+  if (!skb.ok()) {
+    std::fprintf(stderr, "%s\n", skb.status().ToString().c_str());
+    return 1;
+  }
+
+  std::vector<WorkloadReport> reports(2);
+  if (!RunWorkload("table3_grounding", skb->kb, RunSingleNode,
+                   &reports[0]) ||
+      !RunWorkload("fig6c_mpp_views", skb->kb, RunMppViews, &reports[1])) {
+    return 1;
+  }
+
+  bool all_identical = true;
+  for (const WorkloadReport& report : reports) {
+    std::printf("\n%-18s serial %.3fs\n", report.name.c_str(),
+                report.serial_seconds);
+    for (const ThreadPoint& point : report.points) {
+      std::printf("  --threads %d: %.3fs  speedup %.2fx  %s\n",
+                  point.threads, point.seconds,
+                  point.seconds > 0 ? report.serial_seconds / point.seconds
+                                    : 0.0,
+                  point.identical ? "bit-identical" : "MISMATCH");
+      all_identical = all_identical && point.identical;
+    }
+  }
+
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"bench_report\",\n  \"scale\": %g,\n"
+               "  \"hardware_threads\": %u,\n  \"workloads\": [\n",
+               scale, std::thread::hardware_concurrency());
+  for (size_t i = 0; i < reports.size(); ++i) {
+    const WorkloadReport& report = reports[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"serial_s\": %g, \"points\": [\n",
+                 report.name.c_str(), report.serial_seconds);
+    for (size_t j = 0; j < report.points.size(); ++j) {
+      const ThreadPoint& point = report.points[j];
+      std::fprintf(f,
+                   "      {\"threads\": %d, \"seconds\": %g, "
+                   "\"speedup\": %g, \"identical\": %s}%s\n",
+                   point.threads, point.seconds,
+                   point.seconds > 0 ? report.serial_seconds / point.seconds
+                                     : 0.0,
+                   point.identical ? "true" : "false",
+                   j + 1 == report.points.size() ? "" : ",");
+    }
+    std::fprintf(f, "    ]}%s\n", i + 1 == reports.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", json_path.c_str());
+
+  return all_identical ? 0 : 1;
+}

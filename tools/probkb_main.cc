@@ -4,7 +4,7 @@
 //   probkb ground  program.mln [--iterations N] [--constraints]
 //                  [--rule-theta F] [--semi-naive] [--deadline S]
 //                  [--max-rows N] [--checkpoint DIR] [--resume]
-//                  [--tpi out.tsv] [--tphi out.tsv]
+//                  [--threads N] [--tpi out.tsv] [--tphi out.tsv]
 //   probkb infer   program.mln [--sweeps N] [--map] [same grounding flags]
 //   probkb explain program.mln --fact 'rel(x, y)'
 //
@@ -43,6 +43,7 @@ struct CliOptions {
   bool map_inference = false;
   double deadline_seconds = 0.0;
   int64_t max_rows = 0;
+  int num_threads = 0;
   std::string checkpoint_dir;
   bool resume = false;
   std::string tpi_out;
@@ -62,6 +63,8 @@ int Usage() {
       "  --max-rows N      per-statement produced-row cap (exit 5 past it)\n"
       "  --checkpoint DIR  write an iteration checkpoint into DIR\n"
       "  --resume          resume grounding from --checkpoint DIR\n"
+      "  --threads N       grounding worker threads (default: all cores;\n"
+      "                    1 = serial; output is identical either way)\n"
       "  --sweeps N        Gibbs sample sweeps (infer; default 2000)\n"
       "  --map             MAP (most likely world) instead of marginals\n"
       "  --tpi FILE        dump the grounded facts table as TSV\n"
@@ -120,6 +123,14 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       options->checkpoint_dir = v;
     } else if (flag == "--resume") {
       options->resume = true;
+    } else if (flag == "--threads") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->num_threads = std::atoi(v);
+      if (options->num_threads <= 0) {
+        std::fprintf(stderr, "--threads wants a positive integer\n");
+        return false;
+      }
     } else if (flag == "--sweeps") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -181,6 +192,7 @@ int Run(const CliOptions& options) {
   grounding.deadline_seconds = options.deadline_seconds;
   grounding.max_rows_per_statement = options.max_rows;
   grounding.checkpoint_dir = options.checkpoint_dir;
+  grounding.num_threads = options.num_threads;
   Grounder grounder(&rkb, grounding);
   if (options.resume) {
     if (options.checkpoint_dir.empty()) {
