@@ -35,15 +35,21 @@ inline void PrintHeader(const std::string& title) {
   std::printf("\n==== %s ====\n", title.c_str());
 }
 
+/// Value of `<flag> <value>` on a bench runner's command line, or "" when
+/// absent.
+inline std::string ArgValue(int argc, char** argv, const std::string& flag) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (argv[i] == flag) return argv[i + 1];
+  }
+  return "";
+}
+
 /// Path given via `--json <path>` on a bench runner's command line, or ""
 /// when absent. Runners that support it dump their measurements as a JSON
 /// document alongside the human-readable report, so CI can track perf over
 /// time.
 inline std::string JsonPathFromArgs(int argc, char** argv) {
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::string(argv[i]) == "--json") return argv[i + 1];
-  }
-  return "";
+  return ArgValue(argc, argv, "--json");
 }
 
 }  // namespace bench

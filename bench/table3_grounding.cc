@@ -14,6 +14,7 @@
 #include "datagen/synthetic_kb.h"
 #include "grounding/grounder.h"
 #include "grounding/mpp_grounder.h"
+#include "obs/stats_registry.h"
 #include "tuffy/tuffy_grounder.h"
 #include "util/timer.h"
 
@@ -43,6 +44,8 @@ void PrintColumn(const PhaseResult& phase) {
 
 int main(int argc, char** argv) {
   const std::string json_path = bench::JsonPathFromArgs(argc, argv);
+  const std::string stats_json_path =
+      bench::ArgValue(argc, argv, "--stats_json");
   const double scale = bench::BenchScale();
   const double stmt = bench::StatementSeconds();
   const int kIterations = 4;
@@ -83,6 +86,14 @@ int main(int argc, char** argv) {
   options.max_iterations = kIterations;
   std::vector<SystemRun> runs;
 
+  // Execution-stats registries for the two ProbKB systems, attached only
+  // when `--stats_json` (or PROBKB_TRACE) asks for them so the default
+  // bench numbers stay instrumentation-free.
+  StatsRegistry mpp_registry;
+  StatsRegistry single_registry;
+  const bool want_stats =
+      !stats_json_path.empty() || mpp_registry.trace_enabled();
+
   // --- ProbKB-p (MPP simulator with views) ----------------------------------
   {
     SystemRun run;
@@ -90,6 +101,7 @@ int main(int argc, char** argv) {
     Timer timer;
     RelationalKB rkb = BuildRelationalModel(kb);
     MppGrounder grounder(rkb, kSegments, MppMode::kViews, options);
+    if (want_stats) grounder.set_stats_registry(&mpp_registry);
     // Loading distributes one facts table (+ views); one COPY statement.
     run.load = {timer.Seconds() / kSegments + 2 * stmt, timer.Seconds()};
     int64_t prev_stmts = 0;
@@ -121,6 +133,7 @@ int main(int argc, char** argv) {
     RelationalKB rkb = BuildRelationalModel(kb);
     run.load = {timer.Seconds() + 2 * stmt, timer.Seconds()};
     Grounder grounder(&rkb, options);
+    if (want_stats) grounder.set_stats_registry(&single_registry);
     int64_t prev_stmts = 0;
     for (int iter = 0; iter < kIterations; ++iter) {
       auto added = grounder.GroundAtomsIteration();
@@ -248,6 +261,28 @@ int main(int argc, char** argv) {
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
     std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  if (!stats_json_path.empty()) {
+    std::FILE* f = std::fopen(stats_json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", stats_json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n  \"bench\": \"table3_grounding\",\n  \"systems\": {\n"
+                 "    \"ProbKB-p\": %s,\n    \"ProbKB\": %s\n  }\n}\n",
+                 mpp_registry.ToJson().c_str(),
+                 single_registry.ToJson().c_str());
+    std::fclose(f);
+    std::printf("wrote %s\n", stats_json_path.c_str());
+  }
+  if (want_stats) {
+    // With PROBKB_TRACE set, the (richer) MPP run's spans win the file.
+    if (auto st = mpp_registry.WriteTraceIfEnabled(); !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
   }
   return 0;
 }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "fault/fault_injector.h"
+#include "obs/stats_registry.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -18,11 +19,19 @@ namespace probkb {
 /// scan input, ...), `rows_out` the produced tuples. The MPP cost model
 /// converts these counts into simulated time, and the bench harnesses print
 /// them in Figure-4-style plan annotations.
+///
+/// Operators record in post-order (children finish before their parent), so
+/// `num_children` lets a consumer rebuild the exact plan tree from the flat
+/// record stream.
 struct NodeStats {
   std::string label;
   int64_t rows_in = 0;
   int64_t rows_out = 0;
   double seconds = 0.0;
+  double build_seconds = 0.0;  // hash-join: building the hash index
+  double probe_seconds = 0.0;  // hash-join: probing it
+  int64_t rehashes = 0;        // mid-build index growths (0 when pre-sized)
+  int num_children = 0;
 };
 
 /// \brief Accumulated statistics of one plan execution.
@@ -92,6 +101,15 @@ class ExecContext {
   void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
   ThreadPool* thread_pool() const { return pool_; }
 
+  /// \brief Mirrors every Record into `sink` under `scope` (not owned; may
+  /// be nullptr to detach). Purely observational: recording happens after
+  /// the budget/fault gates and copies values out, so an attached sink
+  /// never changes control flow, row order, or operator numbering.
+  void set_stats_sink(StatsRegistry* sink, std::string scope) {
+    stats_sink_ = sink;
+    stats_scope_ = std::move(scope);
+  }
+
   /// \brief Budget and fault gate called by every operator before it runs:
   /// kDeadlineExceeded past the deadline, kResourceExhausted past the row
   /// cap, or whatever the injector decides for this operator index.
@@ -108,6 +126,8 @@ class ExecContext {
   ExecStats stats_;
   ExecBudget budget_;
   Timer timer_;
+  StatsRegistry* stats_sink_ = nullptr;
+  std::string stats_scope_;
   FaultInjector* injector_ = nullptr;
   ThreadPool* pool_ = nullptr;
   int64_t produced_rows_ = 0;

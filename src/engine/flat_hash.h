@@ -98,6 +98,10 @@ class FlatRowIndex {
   /// mid-build rehashes.
   size_t slot_capacity() const { return slots_.size(); }
 
+  /// Slot-array growths after the initial allocation; a pre-sized bulk
+  /// build keeps this at 0.
+  int64_t rehash_count() const { return rehash_count_; }
+
  private:
   static constexpr int64_t kNil = -1;
   // Grow once a slot array is 7/10 full (x10 to stay in integers).
@@ -135,6 +139,7 @@ class FlatRowIndex {
 
   void Rehash(size_t new_slot_count) {
     if (new_slot_count < 16) new_slot_count = 16;
+    if (!slots_.empty()) ++rehash_count_;
     std::vector<Slot> fresh(new_slot_count);
     for (const Slot& slot : slots_) {
       if (slot.head == kNil) continue;
@@ -146,6 +151,7 @@ class FlatRowIndex {
   std::vector<Slot> slots_;
   std::vector<Entry> entries_;
   size_t occupied_slots_ = 0;
+  int64_t rehash_count_ = 0;
 };
 
 }  // namespace probkb

@@ -18,6 +18,17 @@ void ConcatRow(const RowView& l, const RowView& r, std::vector<Value>* out) {
   out->insert(out->end(), r.values().begin(), r.values().end());
 }
 
+NodeStats MakeStats(std::string label, int64_t rows_in, int64_t rows_out,
+                    double seconds, int num_children) {
+  NodeStats ns;
+  ns.label = std::move(label);
+  ns.rows_in = rows_in;
+  ns.rows_out = rows_out;
+  ns.seconds = seconds;
+  ns.num_children = num_children;
+  return ns;
+}
+
 }  // namespace
 
 std::string PlanNode::Explain(int indent) const {
@@ -46,8 +57,8 @@ const char* JoinTypeToString(JoinType t) {
 
 Result<TablePtr> ScanNode::Execute(ExecContext* ctx) {
   PROBKB_RETURN_NOT_OK(ctx->CheckBudget(Label()));
-  PROBKB_RETURN_NOT_OK(
-      ctx->Record({Label(), table_->NumRows(), table_->NumRows(), 0.0}));
+  PROBKB_RETURN_NOT_OK(ctx->Record(
+      MakeStats(Label(), table_->NumRows(), table_->NumRows(), 0.0, 0)));
   return table_;
 }
 
@@ -68,8 +79,8 @@ Result<TablePtr> FilterNode::Execute(ExecContext* ctx) {
     RowView row = in->row(i);
     if (pred_(row)) out->AppendRow(row);
   }
-  PROBKB_RETURN_NOT_OK(
-      ctx->Record({Label(), in->NumRows(), out->NumRows(), timer.Seconds()}));
+  PROBKB_RETURN_NOT_OK(ctx->Record(
+      MakeStats(Label(), in->NumRows(), out->NumRows(), timer.Seconds(), 1)));
   return out;
 }
 
@@ -100,8 +111,8 @@ Result<TablePtr> ProjectNode::Execute(ExecContext* ctx) {
     }
     out->AppendRow(buf);
   }
-  PROBKB_RETURN_NOT_OK(
-      ctx->Record({Label(), in->NumRows(), out->NumRows(), timer.Seconds()}));
+  PROBKB_RETURN_NOT_OK(ctx->Record(
+      MakeStats(Label(), in->NumRows(), out->NumRows(), timer.Seconds(), 1)));
   return out;
 }
 
@@ -144,10 +155,12 @@ Result<TablePtr> HashJoinNode::Execute(ExecContext* ctx) {
   auto out = Table::Make(out_schema);
 
   // Build side: hash of right-key -> chain of row indices, in row order.
+  Timer build_timer;
   FlatRowIndex build(right->NumRows());
   for (int64_t i = 0; i < right->NumRows(); ++i) {
     build.Insert(HashRowKey(right->row(i), right_keys_), i);
   }
+  const double build_seconds = build_timer.Seconds();
 
   // Probes a left-row range into `dst`. Reads only shared immutable state
   // (inputs, build index, residual), so morsels can run it concurrently.
@@ -191,6 +204,7 @@ Result<TablePtr> HashJoinNode::Execute(ExecContext* ctx) {
   // morsel, concatenated in morsel order — the output is bit-identical to
   // the serial probe loop regardless of scheduling.
   constexpr int64_t kMorselRows = 2048;
+  Timer probe_timer;
   ThreadPool* pool = ctx->thread_pool();
   if (pool != nullptr && pool->num_threads() > 1 &&
       left->NumRows() >= 2 * kMorselRows) {
@@ -210,9 +224,12 @@ Result<TablePtr> HashJoinNode::Execute(ExecContext* ctx) {
     probe_range(0, left->NumRows(), out.get());
   }
 
-  PROBKB_RETURN_NOT_OK(ctx->Record({Label(),
-                                    left->NumRows() + right->NumRows(),
-                                    out->NumRows(), timer.Seconds()}));
+  NodeStats ns = MakeStats(Label(), left->NumRows() + right->NumRows(),
+                           out->NumRows(), timer.Seconds(), 2);
+  ns.build_seconds = build_seconds;
+  ns.probe_seconds = probe_timer.Seconds();
+  ns.rehashes = build.rehash_count();
+  PROBKB_RETURN_NOT_OK(ctx->Record(std::move(ns)));
   return out;
 }
 
@@ -249,8 +266,10 @@ Result<TablePtr> DistinctNode::Execute(ExecContext* ctx) {
       out->AppendRow(row);
     }
   }
-  PROBKB_RETURN_NOT_OK(
-      ctx->Record({Label(), in->NumRows(), out->NumRows(), timer.Seconds()}));
+  NodeStats ns = MakeStats(Label(), in->NumRows(), out->NumRows(),
+                           timer.Seconds(), 1);
+  ns.rehashes = seen.rehash_count();
+  PROBKB_RETURN_NOT_OK(ctx->Record(std::move(ns)));
   return out;
 }
 
@@ -396,8 +415,8 @@ Result<TablePtr> AggregateNode::Execute(ExecContext* ctx) {
     }
   }
 
-  PROBKB_RETURN_NOT_OK(
-      ctx->Record({Label(), in->NumRows(), out->NumRows(), timer.Seconds()}));
+  PROBKB_RETURN_NOT_OK(ctx->Record(
+      MakeStats(Label(), in->NumRows(), out->NumRows(), timer.Seconds(), 1)));
   return out;
 }
 
@@ -422,8 +441,9 @@ Result<TablePtr> UnionAllNode::Execute(ExecContext* ctx) {
     rows_in += t->NumRows();
     out->AppendTable(*t);
   }
-  PROBKB_RETURN_NOT_OK(
-      ctx->Record({Label(), rows_in, out->NumRows(), timer.Seconds()}));
+  PROBKB_RETURN_NOT_OK(ctx->Record(
+      MakeStats(Label(), rows_in, out->NumRows(), timer.Seconds(),
+                static_cast<int>(children_.size()))));
   return out;
 }
 

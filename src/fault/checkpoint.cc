@@ -5,6 +5,7 @@
 #include <map>
 
 #include "relational/table_io.h"
+#include "util/logging.h"
 #include "util/strings.h"
 
 namespace probkb {
@@ -201,6 +202,23 @@ Result<GroundingCheckpoint> ReadGroundingCheckpoint(
     const Schema& t_pi_schema, const std::string& dir) {
   if (!GroundingCheckpointExists(dir)) {
     return Status::NotFound("no checkpoint manifest under '" + dir + "'");
+  }
+  // A crash between staging and commit leaves `.staging` behind; the next
+  // *write* would clear it, but a resume-only run never writes, so the
+  // debris would otherwise survive forever. The MANIFEST protocol makes
+  // removal safe: whatever is in staging was never certified.
+  {
+    const std::string staging = PathJoin(dir, kStagingName);
+    std::error_code ec;
+    if (std::filesystem::exists(staging, ec)) {
+      PROBKB_LOG(Warning) << "removing orphaned checkpoint staging dir '"
+                          << staging << "' left by an interrupted write";
+      std::filesystem::remove_all(staging, ec);
+      if (ec) {
+        return Status::IOError("cannot remove orphaned staging dir '" +
+                               staging + "': " + ec.message());
+      }
+    }
   }
   std::ifstream in(PathJoin(dir, kManifestName));
   if (!in) return Status::IOError("cannot open checkpoint manifest");

@@ -63,14 +63,25 @@ Status Grounder::ArmStatement(ExecContext* ec) {
 Status Grounder::CollectInferredAtoms(TablePtr probe1, TablePtr probe2,
                                       bool skip_length2,
                                       std::vector<TablePtr>* out) {
+  const int iteration = stats_.iterations + 1;
   for (int p = 1; p <= kNumRuleStructures; ++p) {
     if (skip_length2 && GetPartitionSpec(p).body_length == 1) continue;
     TablePtr m = rkb_->m[static_cast<size_t>(p - 1)];
     if (m->NumRows() == 0) continue;
     ExecContext ec;
     PROBKB_RETURN_NOT_OK(ArmStatement(&ec));
+    if (obs_ != nullptr) {
+      ec.set_stats_sink(obs_, StrFormat("iter%d/M%d", iteration, p));
+    }
+    Timer join_timer;
     PROBKB_ASSIGN_OR_RETURN(
         TablePtr atoms, GroundAtomsForPartition(p, m, probe1, probe2, &ec));
+    if (obs_ != nullptr) {
+      // Semi-naive's second probe order lands in the same (iteration,
+      // partition) cell; the registry accumulates both passes.
+      obs_->RecordPartitionIteration(iteration, p, atoms->NumRows(),
+                                     join_timer.Seconds());
+    }
     out->push_back(std::move(atoms));
     ++stats_.statements;
   }
@@ -195,7 +206,26 @@ Status Grounder::GroundAtoms() {
     }
   }
   stats_.final_atoms = rkb_->t_pi->NumRows();
+  SnapshotWorkerStats();
   return Status::OK();
+}
+
+void Grounder::SnapshotWorkerStats() {
+  if (obs_ != nullptr && pool_ != nullptr) {
+    const std::vector<PoolWorkerStats> workers = pool_->WorkerStats();
+    std::vector<WorkerTotals> totals;
+    totals.reserve(workers.size());
+    for (const PoolWorkerStats& w : workers) {
+      WorkerTotals t;
+      t.worker = w.worker;
+      t.tasks_run = w.tasks_run;
+      t.steals = w.steals;
+      t.busy_seconds = w.busy_seconds;
+      t.idle_seconds = w.idle_seconds;
+      totals.push_back(t);
+    }
+    obs_->RecordWorkers(totals);
+  }
 }
 
 Result<TablePtr> Grounder::GroundFactors() {
@@ -206,6 +236,9 @@ Result<TablePtr> Grounder::GroundFactors() {
     if (m->NumRows() == 0) continue;
     ExecContext ec;
     PROBKB_RETURN_NOT_OK(ArmStatement(&ec));
+    if (obs_ != nullptr) {
+      ec.set_stats_sink(obs_, StrFormat("query2/M%d", p));
+    }
     PROBKB_ASSIGN_OR_RETURN(
         TablePtr factors,
         GroundFactorsForPartition(p, m, rkb_->t_pi, rkb_->t_pi, rkb_->t_pi,
@@ -218,6 +251,7 @@ Result<TablePtr> Grounder::GroundFactors() {
   {
     ExecContext ec;
     PROBKB_RETURN_NOT_OK(ArmStatement(&ec));
+    if (obs_ != nullptr) ec.set_stats_sink(obs_, "query2/singletons");
     PROBKB_ASSIGN_OR_RETURN(TablePtr singletons,
                             SingletonFactors(rkb_->t_pi, &ec));
     t_phi->AppendTable(*singletons);
@@ -226,6 +260,7 @@ Result<TablePtr> Grounder::GroundFactors() {
   stats_.ground_factors_seconds += timer.Seconds();
   stats_.factors = t_phi->NumRows();
   stats_.final_atoms = rkb_->t_pi->NumRows();
+  SnapshotWorkerStats();
   return t_phi;
 }
 
@@ -239,6 +274,7 @@ bool Grounder::IsBanned(const RowView& atom) const {
 Result<int64_t> Grounder::ApplyConstraints() {
   ExecContext ec;
   PROBKB_RETURN_NOT_OK(ArmStatement(&ec));
+  if (obs_ != nullptr) ec.set_stats_sink(obs_, "query3");
   ++stats_.statements;
   PROBKB_ASSIGN_OR_RETURN(
       TablePtr violators,

@@ -114,6 +114,14 @@ class Grounder {
   /// (simulated operator memory/deadline trips). Not owned.
   void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
 
+  /// \brief Attaches an execution-stats registry (not owned; may be
+  /// nullptr). Every statement's operators then report into it under an
+  /// "iter<i>/M<p>" / "query2/..." / "query3" scope, the fixpoint reports
+  /// per-iteration per-partition delta sizes and join times, and the pool's
+  /// worker counters are snapshotted at the end of each phase. Purely
+  /// observational — outputs are bit-identical with or without it.
+  void set_stats_registry(StatsRegistry* registry) { obs_ = registry; }
+
   const GroundingStats& stats() const { return stats_; }
   const RelationalKB& rkb() const { return *rkb_; }
 
@@ -141,7 +149,12 @@ class Grounder {
   /// Writes an iteration checkpoint when options call for one.
   Status MaybeCheckpoint();
 
+  /// Snapshots the pool's worker counters into the registry (no-op without
+  /// a registry or a pool).
+  void SnapshotWorkerStats();
+
   RelationalKB* rkb_;
+  StatsRegistry* obs_ = nullptr;
   /// Morsel-parallel executor for the statement plans; null on the serial
   /// path (options_.num_threads resolves to 1).
   std::unique_ptr<ThreadPool> pool_;

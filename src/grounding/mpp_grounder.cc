@@ -224,11 +224,18 @@ Result<int64_t> MppGrounder::MergeAtoms(const DistributedTable& atoms) {
 
 Result<int64_t> MppGrounder::GroundAtomsIteration() {
   const double start_cost = ctx_.cost().simulated_seconds();
+  const int iteration = stats_.iterations + 1;
   std::vector<DistributedTablePtr> inferred;
   for (int p = 1; p <= kNumRuleStructures; ++p) {
     if (m_[static_cast<size_t>(p - 1)]->NumRows() == 0) continue;
+    const double partition_start = ctx_.cost().simulated_seconds();
     PROBKB_ASSIGN_OR_RETURN(DistributedTablePtr atoms,
                             GroundAtomsPartition(p));
+    if (obs_ != nullptr) {
+      obs_->RecordPartitionIteration(
+          iteration, p, atoms->NumRows(),
+          ctx_.cost().simulated_seconds() - partition_start);
+    }
     inferred.push_back(std::move(atoms));
     ++stats_.statements;
   }
@@ -261,7 +268,24 @@ Status MppGrounder::GroundAtoms() {
     if (added == 0) break;
   }
   stats_.final_atoms = t_pi_->NumRows();
+  SnapshotWorkerStats();
   return Status::OK();
+}
+
+void MppGrounder::SnapshotWorkerStats() {
+  if (obs_ != nullptr && pool_ != nullptr) {
+    std::vector<WorkerTotals> totals;
+    for (const PoolWorkerStats& w : pool_->WorkerStats()) {
+      WorkerTotals t;
+      t.worker = w.worker;
+      t.tasks_run = w.tasks_run;
+      t.steals = w.steals;
+      t.busy_seconds = w.busy_seconds;
+      t.idle_seconds = w.idle_seconds;
+      totals.push_back(t);
+    }
+    obs_->RecordWorkers(totals);
+  }
 }
 
 Status MppGrounder::MaybeCheckpoint() {
@@ -430,6 +454,7 @@ Result<TablePtr> MppGrounder::GroundFactors() {
       ctx_.cost().simulated_seconds() - start_cost;
   stats_.factors = t_phi->NumRows();
   stats_.final_atoms = t_pi_->NumRows();
+  SnapshotWorkerStats();
   return t_phi;
 }
 

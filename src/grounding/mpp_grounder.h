@@ -62,6 +62,15 @@ class MppGrounder {
   MppMode mode() const { return mode_; }
   int num_segments() const { return ctx_.num_segments(); }
 
+  /// \brief Attaches an execution-stats registry (not owned; may be
+  /// nullptr): the context reports motions and compute phases, and the
+  /// fixpoint reports per-iteration per-partition delta sizes and
+  /// simulated join times. Purely observational.
+  void set_stats_registry(StatsRegistry* registry) {
+    obs_ = registry;
+    ctx_.set_stats_registry(registry);
+  }
+
  private:
   /// Runs Query 1-p distributed; returns inferred atoms (distribution
   /// Random).
@@ -80,11 +89,15 @@ class MppGrounder {
                          const std::vector<int>& t_keys) const;
   /// Writes an iteration checkpoint when options call for one.
   Status MaybeCheckpoint();
+  /// Snapshots the pool's worker counters into the registry (no-op without
+  /// a registry or a pool).
+  void SnapshotWorkerStats();
 
   mutable MppContext ctx_;
   MppMode mode_;
   GroundingOptions options_;
   GroundingStats stats_;
+  StatsRegistry* obs_ = nullptr;
 
   /// Executor for per-segment fan-out (options_.num_threads; see
   /// GroundingOptions). Null when resolved to one thread — the exact

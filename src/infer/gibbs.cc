@@ -167,11 +167,25 @@ Result<GibbsResult> GibbsMarginals(const FactorGraph& graph,
     end_sweep = std::min(total_sweeps,
                          sweeps_before + options.max_sweeps_per_call);
   }
+  std::vector<double> chain_seconds;
+  chain_seconds.reserve(state->chains.size());
   for (GibbsChainState& st : state->chains) {
+    Timer chain_timer;
     AdvanceChain(graph, options, order, end_sweep, &st);
+    chain_seconds.push_back(chain_timer.Seconds());
   }
 
   GibbsResult result;
+  result.chain_seconds = chain_seconds;
+  {
+    const double updates =
+        static_cast<double>(end_sweep - sweeps_before) *
+        static_cast<double>(n);
+    result.chain_samples_per_sec.reserve(chain_seconds.size());
+    for (double s : chain_seconds) {
+      result.chain_samples_per_sec.push_back(s > 0 ? updates / s : 0.0);
+    }
+  }
   result.sweeps_done = end_sweep;
   result.complete = end_sweep == total_sweeps;
   result.marginals.assign(static_cast<size_t>(n), 0.0);

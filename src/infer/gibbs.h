@@ -72,6 +72,11 @@ struct GibbsResult {
   /// post-burn-in sweeps completed so far.
   bool complete = true;
   int sweeps_done = 0;
+  /// Per-chain throughput of *this call*: wall-clock seconds spent
+  /// advancing chain i and its sampling rate in variable updates per
+  /// second (sweeps_run x num_variables / seconds).
+  std::vector<double> chain_seconds;
+  std::vector<double> chain_samples_per_sec;
 };
 
 /// \brief Gibbs sampling for marginal inference over the ground factor

@@ -7,6 +7,26 @@
 
 namespace probkb {
 
+namespace {
+
+const char* KindName(MppStep::Kind kind) {
+  switch (kind) {
+    case MppStep::Kind::kCompute:
+      return "compute";
+    case MppStep::Kind::kRedistribute:
+      return "redistribute";
+    case MppStep::Kind::kBroadcast:
+      return "broadcast";
+    case MppStep::Kind::kGather:
+      return "gather";
+    case MppStep::Kind::kRecovery:
+      return "recovery";
+  }
+  return "?";
+}
+
+}  // namespace
+
 Status MppContext::CheckDeadline() const {
   if (deadline_seconds_ > 0 &&
       cost_.simulated_seconds() > deadline_seconds_) {
@@ -148,7 +168,13 @@ Status MppContext::AccountMotion(
   step.seconds = kind == MppStep::Kind::kBroadcast
                      ? BroadcastSeconds(tuples_shipped)
                      : MotionSeconds(tuples_shipped);
+  const double seconds = step.seconds;
   cost_.Add(std::move(step));
+  if (obs_ != nullptr) {
+    // Caller-performed movement: the context never sees the schema or the
+    // per-segment placement, so bytes and skew stay unreported here.
+    obs_->RecordMotion(label, KindName(kind), tuples_shipped, 0, seconds, {});
+  }
   return Status::OK();
 }
 
@@ -272,6 +298,15 @@ Result<DistributedTablePtr> MppContext::Redistribute(
   step.seconds = MotionSeconds(shipped);
   cost_.Add(std::move(step));
 
+  if (obs_ != nullptr) {
+    std::vector<int64_t> per_segment;
+    per_segment.reserve(static_cast<size_t>(n));
+    for (const TablePtr& seg : segments) per_segment.push_back(seg->NumRows());
+    obs_->RecordMotion(label, "redistribute", shipped,
+                       shipped * input.schema().num_fields() * 8,
+                       MotionSeconds(shipped), per_segment);
+  }
+
   return std::make_shared<DistributedTable>(
       input.schema(), std::move(segments), Distribution::Hash(key_cols),
       name.empty() ? input.name() + "_redist" : std::move(name));
@@ -303,6 +338,14 @@ Result<DistributedTablePtr> MppContext::Broadcast(
   step.tuples_shipped = shipped;
   step.seconds = BroadcastSeconds(shipped);
   cost_.Add(std::move(step));
+
+  if (obs_ != nullptr) {
+    std::vector<int64_t> per_segment(static_cast<size_t>(num_segments_),
+                                     full->NumRows());
+    obs_->RecordMotion(label, "broadcast", shipped,
+                       shipped * input.schema().num_fields() * 8,
+                       BroadcastSeconds(shipped), per_segment);
+  }
 
   std::vector<TablePtr> segments(static_cast<size_t>(num_segments_), full);
   return std::make_shared<DistributedTable>(
@@ -337,6 +380,16 @@ Result<TablePtr> MppContext::Gather(const DistributedTable& input) {
   step.tuples_shipped = shipped;
   step.seconds = MotionSeconds(shipped);
   cost_.Add(std::move(step));
+  if (obs_ != nullptr) {
+    std::vector<int64_t> per_segment;
+    per_segment.reserve(static_cast<size_t>(input.num_segments()));
+    for (int s = 0; s < input.num_segments(); ++s) {
+      per_segment.push_back(input.segment(s)->NumRows());
+    }
+    obs_->RecordMotion(label, "gather", shipped,
+                       shipped * input.schema().num_fields() * 8,
+                       MotionSeconds(shipped), per_segment);
+  }
   return out;
 }
 
@@ -351,6 +404,10 @@ void MppContext::RecordCompute(const std::string& label,
           : *std::max_element(seg_seconds.begin(), seg_seconds.end());
   step.total_work_seconds = 0.0;
   for (double s : seg_seconds) step.total_work_seconds += s;
+  if (obs_ != nullptr) {
+    obs_->RecordCompute(label, step.seconds, step.total_work_seconds,
+                        static_cast<int>(seg_seconds.size()));
+  }
   cost_.Add(std::move(step));
 }
 

@@ -8,6 +8,7 @@
 #include "fault/fault_injector.h"
 #include "mpp/cost_model.h"
 #include "mpp/distributed_table.h"
+#include "obs/stats_registry.h"
 #include "util/result.h"
 #include "util/thread_pool.h"
 
@@ -56,6 +57,15 @@ class MppContext {
   /// serial engine's.
   void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
   ThreadPool* thread_pool() const { return pool_; }
+
+  /// \brief Attaches an execution-stats registry (not owned; may be
+  /// nullptr). Motions then report their shipped tuple/byte volume and
+  /// post-motion per-segment row distribution, and compute phases their
+  /// per-segment time skew. Recording happens on the orchestrating thread
+  /// after the fault-recovery loop settles, so an attached registry never
+  /// changes motion indices, fault schedules, or outputs.
+  void set_stats_registry(StatsRegistry* registry) { obs_ = registry; }
+  StatsRegistry* stats_registry() const { return obs_; }
 
   /// \brief Budget on *simulated* elapsed seconds; 0 disables. Checked at
   /// every motion and by CheckDeadline() callers at iteration boundaries.
@@ -129,6 +139,7 @@ class MppContext {
   CostParams params_;
   MppCost cost_;
   FaultInjector* injector_ = nullptr;
+  StatsRegistry* obs_ = nullptr;
   ThreadPool* pool_ = nullptr;
   RetryPolicy retry_;
   double deadline_seconds_ = 0.0;

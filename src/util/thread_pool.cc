@@ -3,12 +3,20 @@
 #include <atomic>
 #include <cstdlib>
 
+#include "util/logging.h"
+#include "util/strings.h"
+
 namespace probkb {
 
 ThreadPool::ThreadPool(int num_threads)
-    : num_threads_(num_threads < 1 ? 1 : num_threads) {
+    : num_threads_(num_threads < 1 ? 1 : num_threads),
+      start_time_(std::chrono::steady_clock::now()) {
   const int workers = num_threads_ - 1;
   queues_.resize(static_cast<size_t>(workers));
+  if (workers > 0) {
+    counters_ = std::make_unique<WorkerCounters[]>(
+        static_cast<size_t>(workers));
+  }
   workers_.reserve(static_cast<size_t>(workers));
   for (int i = 0; i < workers; ++i) {
     workers_.emplace_back([this, i] { WorkerLoop(i); });
@@ -57,6 +65,8 @@ bool ThreadPool::PopTask(int worker_index, std::function<void()>* task) {
     if (!victim.empty()) {
       *task = std::move(victim.front());
       victim.pop_front();
+      counters_[static_cast<size_t>(worker_index)].steals.fetch_add(
+          1, std::memory_order_relaxed);
       return true;
     }
   }
@@ -75,7 +85,14 @@ void ThreadPool::WorkerLoop(int worker_index) {
       }
       --pending_tasks_;
     }
+    const auto run_start = std::chrono::steady_clock::now();
     task();
+    WorkerCounters& c = counters_[static_cast<size_t>(worker_index)];
+    c.busy_ns.fetch_add(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::steady_clock::now() - run_start)
+                            .count(),
+                        std::memory_order_relaxed);
+    c.tasks.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -136,14 +153,52 @@ void ThreadPool::ParallelFor(int64_t n, int64_t grain,
   });
 }
 
+std::vector<PoolWorkerStats> ThreadPool::WorkerStats() const {
+  std::vector<PoolWorkerStats> out;
+  const double lifetime =
+      std::chrono::duration_cast<std::chrono::duration<double>>(
+          std::chrono::steady_clock::now() - start_time_)
+          .count();
+  out.reserve(workers_.size());
+  for (size_t i = 0; i < workers_.size(); ++i) {
+    const WorkerCounters& c = counters_[i];
+    PoolWorkerStats s;
+    s.worker = static_cast<int>(i);
+    s.tasks_run = c.tasks.load(std::memory_order_relaxed);
+    s.steals = c.steals.load(std::memory_order_relaxed);
+    s.busy_seconds =
+        static_cast<double>(c.busy_ns.load(std::memory_order_relaxed)) * 1e-9;
+    s.idle_seconds = lifetime - s.busy_seconds;
+    if (s.idle_seconds < 0) s.idle_seconds = 0;
+    out.push_back(s);
+  }
+  return out;
+}
+
 int ThreadPool::ResolveThreads(int requested) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int hardware = hw > 0 ? static_cast<int>(hw) : 1;
   if (requested > 0) return requested;
   if (const char* env = std::getenv("PROBKB_THREADS")) {
-    int v = std::atoi(env);
-    if (v > 0) return v;
+    // The env var reaches us unvalidated from the shell; require a plain
+    // base-10 integer in [1, kMaxEnvThreads] instead of trusting whatever
+    // atoi makes of it ("8x" used to read as 8, "abc" as 0 == auto).
+    int64_t v = 0;
+    if (!ParseInt64(StripWhitespace(env), &v) || v < 1) {
+      PROBKB_LOG(Warning)
+          << "ignoring PROBKB_THREADS='" << env
+          << "' (expected an integer in [1, " << kMaxEnvThreads
+          << "]); using " << hardware << " threads";
+      return hardware;
+    }
+    if (v > kMaxEnvThreads) {
+      PROBKB_LOG(Warning) << "clamping PROBKB_THREADS=" << v << " to "
+                          << kMaxEnvThreads;
+      return kMaxEnvThreads;
+    }
+    return static_cast<int>(v);
   }
-  unsigned hw = std::thread::hardware_concurrency();
-  return hw > 0 ? static_cast<int>(hw) : 1;
+  return hardware;
 }
 
 }  // namespace probkb

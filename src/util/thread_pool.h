@@ -1,15 +1,29 @@
 #ifndef PROBKB_UTIL_THREAD_POOL_H_
 #define PROBKB_UTIL_THREAD_POOL_H_
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 namespace probkb {
+
+/// \brief Lifetime counters of one pool worker, snapshotted by
+/// ThreadPool::WorkerStats(). `idle_seconds` is pool lifetime minus busy
+/// time at snapshot.
+struct PoolWorkerStats {
+  int worker = 0;
+  int64_t tasks_run = 0;
+  int64_t steals = 0;
+  double busy_seconds = 0.0;
+  double idle_seconds = 0.0;
+};
 
 /// \brief Work-stealing thread pool behind the engine's parallel operators.
 ///
@@ -50,11 +64,32 @@ class ThreadPool {
 
   /// \brief Resolves a thread-count request: `requested > 0` wins, else the
   /// PROBKB_THREADS environment variable, else hardware_concurrency.
-  /// Always >= 1.
+  /// Always >= 1. A PROBKB_THREADS value that is not a plain positive
+  /// integer is rejected with a warning (falling back to the hardware
+  /// count), and values above kMaxEnvThreads are clamped to it.
   static int ResolveThreads(int requested);
+
+  /// Upper bound honoured for PROBKB_THREADS; absurd values clamp here.
+  static constexpr int kMaxEnvThreads = 256;
+
+  /// \brief Snapshot of the per-worker profiling counters: tasks run,
+  /// steals, busy and idle seconds per worker (the calling thread is not a
+  /// worker and is not listed). Counters are per-worker atomics bumped
+  /// only by the owning worker, so snapshotting is safe at any time and
+  /// costs the hot path two relaxed atomic adds per *task* (never per
+  /// row).
+  std::vector<PoolWorkerStats> WorkerStats() const;
 
  private:
   struct ParallelState;
+
+  /// Per-worker profiling slots; each worker writes only its own (relaxed
+  /// ordering is enough — readers only want eventually-consistent totals).
+  struct WorkerCounters {
+    std::atomic<int64_t> tasks{0};
+    std::atomic<int64_t> steals{0};
+    std::atomic<int64_t> busy_ns{0};
+  };
 
   void WorkerLoop(int worker_index);
   /// Pops from own deque (LIFO) or steals from a sibling (FIFO).
@@ -66,6 +101,8 @@ class ThreadPool {
   bool shutdown_ = false;
   int64_t pending_tasks_ = 0;
   std::vector<std::deque<std::function<void()>>> queues_;
+  std::unique_ptr<WorkerCounters[]> counters_;
+  std::chrono::steady_clock::time_point start_time_;
   std::vector<std::thread> workers_;
 };
 

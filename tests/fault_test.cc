@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -371,6 +372,40 @@ TEST(CheckpointTest, RewritingSameDirectoryKeepsSnapshotConsistent) {
   EXPECT_TRUE(TablesIdentical(*loaded->t_pi, *b.t_pi));
   // A committed write leaves no staging debris behind.
   EXPECT_FALSE(std::filesystem::exists(dir + "/.staging"));
+}
+
+TEST(CheckpointTest, ReadRemovesOrphanedStagingDebris) {
+  // A crash after staging but before commit leaves `<dir>/.staging` behind.
+  // The next write clears it, but a resume-only run never writes — the read
+  // path must detect and remove the orphan (whatever it holds was never
+  // certified by a MANIFEST) while loading the committed snapshot intact.
+  GroundingCheckpoint cp;
+  cp.iteration = 4;
+  cp.next_fact_id = 17;
+  cp.t_pi = MakeTPiRows(3);
+  std::string dir = FreshDir("orphan_staging");
+  ASSERT_TRUE(WriteGroundingCheckpoint(cp, dir).ok());
+
+  // Simulate the interrupted writer: a staging dir with a half-written
+  // table and a complete-but-uncommitted manifest.
+  const std::string staging = dir + "/.staging";
+  std::filesystem::create_directories(staging);
+  ASSERT_TRUE(
+      WriteTableTsvFile(*MakeTPiRows(9), staging + "/t_pi.tsv").ok());
+  {
+    std::ofstream manifest(staging + "/MANIFEST");
+    manifest << "probkb-grounding-checkpoint 1\niteration 9\n";
+  }
+
+  auto loaded = ReadGroundingCheckpoint(TPiSchema(), dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->iteration, 4);  // the committed snapshot, not staging
+  EXPECT_TRUE(TablesIdentical(*loaded->t_pi, *cp.t_pi));
+  EXPECT_FALSE(std::filesystem::exists(staging));
+
+  // Reading again (no debris) stays clean.
+  EXPECT_TRUE(ReadGroundingCheckpoint(TPiSchema(), dir).ok());
+  EXPECT_FALSE(std::filesystem::exists(staging));
 }
 
 TEST(CheckpointTest, ManifestRowCountsDetectTamperedTables) {

@@ -18,6 +18,7 @@
 #include "fault/fault_injector.h"
 #include "grounding/grounder.h"
 #include "grounding/mpp_grounder.h"
+#include "obs/stats_registry.h"
 #include "tests/test_util.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
@@ -93,6 +94,53 @@ TEST(ThreadPoolTest, ResolveThreadsPrecedence) {
   EXPECT_GE(ThreadPool::ResolveThreads(0), 1);  // hardware fallback
 }
 
+TEST(ThreadPoolTest, ResolveThreadsRejectsGarbageEnvValues) {
+  const int hardware = [] {
+    unsetenv("PROBKB_THREADS");
+    return ThreadPool::ResolveThreads(0);
+  }();
+  // Non-numeric, empty, trailing-junk, negative, and zero values must all
+  // fall back to the hardware count instead of crashing or going absurd.
+  for (const char* garbage :
+       {"abc", "", "  ", "4x", "1e9", "-3", "0", "2 4", "0x10"}) {
+    setenv("PROBKB_THREADS", garbage, 1);
+    EXPECT_EQ(ThreadPool::ResolveThreads(0), hardware)
+        << "PROBKB_THREADS='" << garbage << "'";
+  }
+  // Surrounding whitespace around a sane value is tolerated.
+  setenv("PROBKB_THREADS", "  6  ", 1);
+  EXPECT_EQ(ThreadPool::ResolveThreads(0), 6);
+  // Absurdly large values clamp to the documented ceiling.
+  setenv("PROBKB_THREADS", "999999", 1);
+  EXPECT_EQ(ThreadPool::ResolveThreads(0), ThreadPool::kMaxEnvThreads);
+  // An explicit request still beats even a garbage env value.
+  setenv("PROBKB_THREADS", "abc", 1);
+  EXPECT_EQ(ThreadPool::ResolveThreads(7), 7);
+  unsetenv("PROBKB_THREADS");
+}
+
+TEST(ThreadPoolTest, WorkerStatsCountTasks) {
+  ThreadPool pool(4);
+  pool.ParallelFor(1000, 10, [](int64_t, int64_t) {});
+  const std::vector<PoolWorkerStats> stats = pool.WorkerStats();
+  ASSERT_EQ(stats.size(), 3u);  // workers only; the caller is the 4th lane
+  int64_t tasks = 0;
+  for (const PoolWorkerStats& w : stats) {
+    EXPECT_GE(w.tasks_run, 0);
+    EXPECT_GE(w.steals, 0);
+    EXPECT_GE(w.busy_seconds, 0.0);
+    EXPECT_GE(w.idle_seconds, 0.0);
+    tasks += w.tasks_run;
+  }
+  // ParallelFor submits one drainer helper per worker; by snapshot time
+  // each worker has run at most its share of them.
+  EXPECT_LE(tasks, 3);
+
+  ThreadPool serial(1);
+  serial.ParallelFor(100, 10, [](int64_t, int64_t) {});
+  EXPECT_TRUE(serial.WorkerStats().empty());
+}
+
 // --- FlatRowIndex --------------------------------------------------------------
 
 TEST(FlatRowIndexTest, ChainsPreserveInsertionOrder) {
@@ -158,6 +206,46 @@ TEST(FlatRowIndexTest, ReservePreventsMidBuildRehash) {
     unreserved.Insert(static_cast<size_t>(i) * 0x9E3779B97F4A7C15ull, i);
   }
   EXPECT_EQ(unreserved.slot_capacity(), reserved.slot_capacity());
+}
+
+TEST(FlatRowIndexTest, ReserveOnPartialIndexKeepsCapacityAndChainOrder) {
+  FlatRowIndex index;
+  // Partially fill with four hash-colliding chains: multiples of 1<<20 all
+  // land on home slot 0 at any power-of-two slot count up to 2^20, so the
+  // chains only stay distinct through linear probing.
+  constexpr size_t kStride = size_t{1} << 20;
+  constexpr int64_t kPrefill = 64;
+  for (int64_t i = 0; i < kPrefill; ++i) {
+    index.Insert(static_cast<size_t>(i % 4) * kStride, i);
+  }
+  const int64_t rehashes_before = index.rehash_count();
+
+  // Reserving for the remaining bulk insert on the partially built index
+  // must grow exactly once (the Reserve itself) and then hold capacity
+  // steady through the insert.
+  constexpr int64_t kTotal = 4000;
+  index.Reserve(kTotal - kPrefill);
+  EXPECT_EQ(index.rehash_count(), rehashes_before + 1);
+  const size_t capacity = index.slot_capacity();
+  for (int64_t i = kPrefill; i < kTotal; ++i) {
+    index.Insert(static_cast<size_t>(i) * 0x9E3779B97F4A7C15ull, i);
+  }
+  EXPECT_EQ(index.slot_capacity(), capacity);
+  EXPECT_EQ(index.rehash_count(), rehashes_before + 1);
+  EXPECT_EQ(index.size(), kTotal);
+
+  // The Reserve's rehash re-probed every colliding chain; insertion order
+  // within each chain must have survived it.
+  for (int64_t k = 0; k < 4; ++k) {
+    std::vector<int64_t> chain;
+    for (int64_t e = index.Head(static_cast<size_t>(k) * kStride); e >= 0;
+         e = index.Next(e)) {
+      chain.push_back(index.Row(e));
+    }
+    std::vector<int64_t> expected;
+    for (int64_t i = k; i < kPrefill; i += 4) expected.push_back(i);
+    EXPECT_EQ(chain, expected) << "chain " << k;
+  }
 }
 
 // --- TablesEqualExact ----------------------------------------------------------
@@ -255,6 +343,104 @@ TEST(ParallelGroundingTest, FixpointBitIdenticalAcrossThreadCounts) {
     EXPECT_TRUE(TablesEqualExact(**phi_serial, **phi))
         << threads << " threads: TPhi differs from serial";
     EXPECT_EQ(serial.stats().iterations, grounder.stats().iterations);
+  }
+}
+
+TEST(ParallelGroundingTest, StatsOnIsBitIdenticalAcrossThreadCounts) {
+  // Acceptance gate for the observability layer: attaching a StatsRegistry
+  // must not perturb any output at any thread count — it only copies
+  // values out after the fact.
+  KnowledgeBase kb = BiggishKB();
+  GroundingOptions baseline_options;
+  baseline_options.max_iterations = 3;
+  baseline_options.apply_constraints_each_iteration = true;
+  baseline_options.num_threads = 1;
+  RelationalKB rkb_baseline = BuildRelationalModel(kb);
+  Grounder baseline(&rkb_baseline, baseline_options);  // stats OFF
+  ASSERT_TRUE(baseline.GroundAtoms().ok());
+  auto phi_baseline = baseline.GroundFactors();
+  ASSERT_TRUE(phi_baseline.ok());
+
+  for (int threads : {1, 2, 4, 8}) {
+    GroundingOptions options = baseline_options;
+    options.num_threads = threads;
+    RelationalKB rkb = BuildRelationalModel(kb);
+    Grounder grounder(&rkb, options);
+    StatsRegistry registry;
+    grounder.set_stats_registry(&registry);
+    ASSERT_TRUE(grounder.GroundAtoms().ok());
+    auto phi = grounder.GroundFactors();
+    ASSERT_TRUE(phi.ok());
+    EXPECT_TRUE(TablesEqualExact(*rkb_baseline.t_pi, *rkb.t_pi))
+        << threads << " threads with stats on: TPi differs";
+    EXPECT_TRUE(TablesEqualExact(**phi_baseline, **phi))
+        << threads << " threads with stats on: TPhi differs";
+
+    // And the registry actually observed the run: partition cells for
+    // every iteration, operator records, and (threads > 1) worker slots.
+    EXPECT_FALSE(registry.partition_iterations().empty());
+    EXPECT_FALSE(registry.statements().empty());
+    int max_iter = 0;
+    for (const PartitionIterStats& cell : registry.partition_iterations()) {
+      EXPECT_GE(cell.partition, 1);
+      EXPECT_LE(cell.partition, kNumRuleStructures);
+      EXPECT_GE(cell.delta_rows, 0);
+      EXPECT_GE(cell.join_seconds, 0.0);
+      if (cell.iteration > max_iter) max_iter = cell.iteration;
+    }
+    EXPECT_EQ(max_iter, grounder.stats().iterations);
+    if (threads > 1) {
+      EXPECT_EQ(registry.workers().size(),
+                static_cast<size_t>(threads - 1));
+    } else {
+      EXPECT_TRUE(registry.workers().empty());
+    }
+  }
+}
+
+TEST(ParallelMppTest, StatsOnMppIsBitIdenticalAndRecordsMotions) {
+  KnowledgeBase kb = BiggishKB();
+  GroundingOptions options;
+  options.max_iterations = 3;
+  options.num_threads = 1;
+  RelationalKB rkb_baseline = BuildRelationalModel(kb);
+  MppGrounder baseline(rkb_baseline, kSegments, MppMode::kViews, options);
+  ASSERT_TRUE(baseline.GroundAtoms().ok());
+  auto phi_baseline = baseline.GroundFactors();
+  ASSERT_TRUE(phi_baseline.ok());
+  TablePtr tpi_baseline = baseline.GatherTPi();
+
+  for (int threads : {1, 4}) {
+    GroundingOptions opts = options;
+    opts.num_threads = threads;
+    RelationalKB rkb = BuildRelationalModel(kb);
+    MppGrounder grounder(rkb, kSegments, MppMode::kViews, opts);
+    StatsRegistry registry;
+    grounder.set_stats_registry(&registry);
+    ASSERT_TRUE(grounder.GroundAtoms().ok());
+    auto phi = grounder.GroundFactors();
+    ASSERT_TRUE(phi.ok());
+    EXPECT_TRUE(TablesEqualExact(*tpi_baseline, *grounder.GatherTPi()))
+        << threads << " threads with stats on: gathered TPi differs";
+    EXPECT_TRUE(TablesEqualExact(**phi_baseline, **phi))
+        << threads << " threads with stats on: TPhi differs";
+
+    // Motion totals must reconcile with the cost model's step log.
+    int64_t steps_shipped = 0;
+    for (const MppStep& step : grounder.cost().steps()) {
+      if (step.kind != MppStep::Kind::kCompute) {
+        steps_shipped += step.tuples_shipped;
+      }
+    }
+    int64_t motions_shipped = 0;
+    for (const MotionTotals& m : registry.motion_totals()) {
+      EXPECT_GE(m.tuples_shipped, 0);
+      EXPECT_GE(m.max_skew, 0.0);
+      motions_shipped += m.tuples_shipped;
+    }
+    EXPECT_EQ(motions_shipped, steps_shipped)
+        << threads << " threads: registry and cost log disagree";
+    EXPECT_FALSE(registry.compute_totals().empty());
   }
 }
 

@@ -22,6 +22,7 @@
 #include "engine/ops.h"
 #include "grounding/grounder.h"
 #include "grounding/mpp_grounder.h"
+#include "obs/stats_registry.h"
 #include "util/timer.h"
 
 namespace {
@@ -42,18 +43,28 @@ struct WorkloadReport {
   std::string name;
   double serial_seconds = 0;
   std::vector<ThreadPoint> points;
+  /// StatsRegistry::ToJson() of a serial stats-on run; "" when skipped.
+  std::string breakdown;
 };
+
+/// hardware_concurrency() may legitimately return 0 ("unknown"); every
+/// consumer here wants a positive count.
+unsigned HardwareThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
 
 /// Single-node grounding: 4 iterations + factor construction, like
 /// table3_grounding's ProbKB column. Returns the final TPi for the
 /// equivalence check.
 bool RunSingleNode(const KnowledgeBase& kb, int threads, double* seconds,
-                   TablePtr* t_pi_out) {
+                   TablePtr* t_pi_out, StatsRegistry* stats) {
   RelationalKB rkb = BuildRelationalModel(kb);
   GroundingOptions options;
   options.max_iterations = kIterations;
   options.num_threads = threads;
   Grounder grounder(&rkb, options);
+  if (stats != nullptr) grounder.set_stats_registry(stats);
   Timer timer;
   for (int i = 0; i < kIterations; ++i) {
     if (!grounder.GroundAtomsIteration().ok()) return false;
@@ -67,12 +78,13 @@ bool RunSingleNode(const KnowledgeBase& kb, int threads, double* seconds,
 /// MPP grounding with views (fig6c's ProbKB-p configuration); the time is
 /// real wall clock of the simulator, which is where the thread pool works.
 bool RunMppViews(const KnowledgeBase& kb, int threads, double* seconds,
-                 TablePtr* t_pi_out) {
+                 TablePtr* t_pi_out, StatsRegistry* stats) {
   RelationalKB rkb = BuildRelationalModel(kb);
   GroundingOptions options;
   options.max_iterations = kIterations;
   options.num_threads = threads;
   MppGrounder grounder(rkb, kSegments, MppMode::kViews, options);
+  if (stats != nullptr) grounder.set_stats_registry(stats);
   Timer timer;
   for (int i = 0; i < kIterations; ++i) {
     if (!grounder.GroundAtomsIteration().ok()) return false;
@@ -121,7 +133,7 @@ int main(int argc, char** argv) {
 
   bench::PrintHeader("bench_report: thread scaling");
   std::printf("scale=%.3f, hardware threads=%u\n", scale,
-              std::thread::hardware_concurrency());
+              HardwareThreads());
 
   SyntheticKbConfig config;
   config.scale = scale;
@@ -131,12 +143,47 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  auto single_node = [](const KnowledgeBase& kb, int threads,
+                        double* seconds, TablePtr* t_pi) {
+    return RunSingleNode(kb, threads, seconds, t_pi, nullptr);
+  };
+  auto mpp_views = [](const KnowledgeBase& kb, int threads, double* seconds,
+                      TablePtr* t_pi) {
+    return RunMppViews(kb, threads, seconds, t_pi, nullptr);
+  };
   std::vector<WorkloadReport> reports(2);
-  if (!RunWorkload("table3_grounding", skb->kb, RunSingleNode,
-                   &reports[0]) ||
-      !RunWorkload("fig6c_mpp_views", skb->kb, RunMppViews, &reports[1])) {
+  if (!RunWorkload("table3_grounding", skb->kb, single_node, &reports[0]) ||
+      !RunWorkload("fig6c_mpp_views", skb->kb, mpp_views, &reports[1])) {
     return 1;
   }
+
+  // Stats overhead + per-workload breakdowns: a serial stats-off run and a
+  // serial stats-on run back to back on the single-node workload measure
+  // what the observability layer costs (budget: < 5%); the stats-on
+  // registries become each workload's "breakdown" JSON section.
+  double stats_off_seconds = 0.0;
+  double stats_on_seconds = 0.0;
+  StatsRegistry single_stats;
+  StatsRegistry mpp_stats;
+  {
+    TablePtr ignored_t_pi;
+    double ignored_seconds = 0.0;
+    if (!RunSingleNode(skb->kb, 1, &stats_off_seconds, &ignored_t_pi,
+                       nullptr) ||
+        !RunSingleNode(skb->kb, 1, &stats_on_seconds, &ignored_t_pi,
+                       &single_stats) ||
+        !RunMppViews(skb->kb, 1, &ignored_seconds, &ignored_t_pi,
+                     &mpp_stats)) {
+      std::fprintf(stderr, "stats-overhead runs failed\n");
+      return 1;
+    }
+  }
+  reports[0].breakdown = single_stats.ToJson();
+  reports[1].breakdown = mpp_stats.ToJson();
+  const double overhead_pct =
+      stats_off_seconds > 0
+          ? (stats_on_seconds - stats_off_seconds) / stats_off_seconds * 100.0
+          : 0.0;
 
   bool all_identical = true;
   for (const WorkloadReport& report : reports) {
@@ -151,6 +198,8 @@ int main(int argc, char** argv) {
       all_identical = all_identical && point.identical;
     }
   }
+  std::printf("\nstats overhead: off %.3fs, on %.3fs (%+.1f%%)\n",
+              stats_off_seconds, stats_on_seconds, overhead_pct);
 
   std::FILE* f = std::fopen(json_path.c_str(), "w");
   if (f == nullptr) {
@@ -159,8 +208,12 @@ int main(int argc, char** argv) {
   }
   std::fprintf(f,
                "{\n  \"bench\": \"bench_report\",\n  \"scale\": %g,\n"
-               "  \"hardware_threads\": %u,\n  \"workloads\": [\n",
-               scale, std::thread::hardware_concurrency());
+               "  \"hardware_threads\": %u,\n"
+               "  \"stats_overhead\": {\"off_seconds\": %g, "
+               "\"on_seconds\": %g, \"overhead_pct\": %g},\n"
+               "  \"workloads\": [\n",
+               scale, HardwareThreads(), stats_off_seconds, stats_on_seconds,
+               overhead_pct);
   for (size_t i = 0; i < reports.size(); ++i) {
     const WorkloadReport& report = reports[i];
     std::fprintf(f,
@@ -177,7 +230,10 @@ int main(int argc, char** argv) {
                    point.identical ? "true" : "false",
                    j + 1 == report.points.size() ? "" : ",");
     }
-    std::fprintf(f, "    ]}%s\n", i + 1 == reports.size() ? "" : ",");
+    std::fprintf(f, "    ],\n     \"breakdown\": %s}%s\n",
+                 report.breakdown.empty() ? "null"
+                                          : report.breakdown.c_str(),
+                 i + 1 == reports.size() ? "" : ",");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);

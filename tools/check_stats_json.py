@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Validates a ProbKB execution-stats JSON document.
+
+Usage: check_stats_json.py STATS_JSON [TRACE_JSON]
+
+Accepts either a bare StatsRegistry document (the probkb CLI's
+``--stats_json`` output) or the table3_grounding wrapper
+``{"bench": ..., "systems": {name: <registry>, ...}}``.
+
+Checks per registry:
+  * each statement's operator list, recorded in post-order with
+    ``num_children``, reconstructs into a well-formed forest;
+  * along every pipeline edge the parent's rows_in equals the sum of its
+    children's rows_out (scan leaves read rows_in == rows_out == the table's
+    row count, so the invariant holds recursively);
+  * partition cells name partitions 1..6 with non-negative delta rows and
+    join times;
+  * motions ship non-negative tuple/byte counts.
+
+With a TRACE_JSON argument the Chrome-trace file must parse and carry
+non-negative complete events. Exits non-zero on the first violation.
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_stats_json: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_statement_forest(scope, ops):
+    """Rebuilds the post-order op list into trees, checking edge totals."""
+    stack = []  # of (rows_out, label)
+    for i, op in enumerate(ops):
+        for key in ("label", "rows_in", "rows_out", "num_children"):
+            if key not in op:
+                fail(f"statement '{scope}' op {i} is missing '{key}'")
+        n = op["num_children"]
+        if n < 0:
+            fail(f"statement '{scope}' op '{op['label']}' has "
+                 f"num_children {n} < 0")
+        if n > len(stack):
+            fail(f"statement '{scope}' op '{op['label']}' wants {n} "
+                 f"children but only {len(stack)} subtrees are open")
+        if op["rows_in"] < 0 or op["rows_out"] < 0:
+            fail(f"statement '{scope}' op '{op['label']}' has negative "
+                 f"row counts")
+        if n > 0:
+            children = stack[len(stack) - n:]
+            child_rows = sum(rows for rows, _ in children)
+            if op["rows_in"] != child_rows:
+                labels = ", ".join(label for _, label in children)
+                fail(f"statement '{scope}' op '{op['label']}' reads "
+                     f"rows_in={op['rows_in']} but its children "
+                     f"[{labels}] produced {child_rows}")
+            del stack[len(stack) - n:]
+        stack.append((op["rows_out"], op["label"]))
+    if not ops:
+        return 0
+    if not stack:
+        fail(f"statement '{scope}' reconstructed to zero roots")
+    return len(stack)
+
+
+def check_registry(name, reg):
+    for key in ("statements", "operators", "partitions", "motions"):
+        if key not in reg:
+            fail(f"registry '{name}' is missing the '{key}' section")
+
+    edges = 0
+    for st in reg["statements"]:
+        check_statement_forest(st.get("scope", "?"), st["ops"])
+        edges += sum(1 for op in st["ops"] if op["num_children"] > 0)
+
+    for cell in reg["partitions"]:
+        p = cell.get("partition", 0)
+        if not 1 <= p <= 6:
+            fail(f"registry '{name}' has partition {p} outside M1..M6")
+        if cell.get("delta_rows", -1) < 0:
+            fail(f"registry '{name}' iteration {cell.get('iteration')} "
+                 f"M{p} has negative delta_rows")
+        if cell.get("join_seconds", -1) < 0:
+            fail(f"registry '{name}' iteration {cell.get('iteration')} "
+                 f"M{p} has negative join_seconds")
+
+    for m in reg["motions"]:
+        if m.get("tuples_shipped", -1) < 0 or m.get("bytes_shipped", -1) < 0:
+            fail(f"registry '{name}' motion '{m.get('label')}' ships "
+                 f"negative volume")
+
+    print(f"  {name}: {len(reg['statements'])} statements "
+          f"({edges} checked edges), {len(reg['partitions'])} partition "
+          f"cells, {len(reg['motions'])} motion labels: OK")
+
+
+def check_trace(path):
+    with open(path, encoding="utf-8") as f:
+        trace = json.load(f)
+    events = trace.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"trace '{path}' has no traceEvents")
+    for ev in events:
+        if ev.get("ph") != "X":
+            fail(f"trace '{path}' has a non-complete event: {ev}")
+        if ev.get("ts", -1) < 0 or ev.get("dur", -1) < 0:
+            fail(f"trace '{path}' has a negative timestamp: {ev}")
+    print(f"  trace {path}: {len(events)} events: OK")
+
+
+def main(argv):
+    if len(argv) < 2 or len(argv) > 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(argv[1], encoding="utf-8") as f:
+        doc = json.load(f)
+
+    print(f"check_stats_json: {argv[1]}")
+    if "systems" in doc:
+        if not doc["systems"]:
+            fail("wrapper document has an empty 'systems' map")
+        for name, reg in doc["systems"].items():
+            check_registry(name, reg)
+    else:
+        check_registry("stats", doc)
+
+    if len(argv) == 3:
+        check_trace(argv[2])
+    print("check_stats_json: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

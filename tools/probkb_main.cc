@@ -16,6 +16,7 @@
 // exceeded, 5 resource exhausted, 6 cancelled.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -25,6 +26,7 @@
 #include "infer/gibbs.h"
 #include "infer/map_inference.h"
 #include "mln/parser.h"
+#include "obs/stats_registry.h"
 #include "quality/rule_cleaning.h"
 #include "relational/table_io.h"
 
@@ -49,6 +51,8 @@ struct CliOptions {
   std::string tpi_out;
   std::string tphi_out;
   std::string fact_query;
+  bool stats = false;
+  std::string stats_json;
 };
 
 int Usage() {
@@ -69,7 +73,10 @@ int Usage() {
       "  --map             MAP (most likely world) instead of marginals\n"
       "  --tpi FILE        dump the grounded facts table as TSV\n"
       "  --tphi FILE       dump the factor table as TSV\n"
-      "  --fact 'r(a, b)'  fact to explain (explain)\n");
+      "  --fact 'r(a, b)'  fact to explain (explain)\n"
+      "  --stats           print an EXPLAIN ANALYZE execution report\n"
+      "  --stats_json FILE write the execution stats as JSON\n"
+      "  (set PROBKB_TRACE=FILE for a chrome://tracing span dump)\n");
   return 2;
 }
 
@@ -149,6 +156,12 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       const char* v = next();
       if (v == nullptr) return false;
       options->fact_query = v;
+    } else if (flag == "--stats") {
+      options->stats = true;
+    } else if (flag == "--stats_json") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->stats_json = v;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -194,6 +207,31 @@ int Run(const CliOptions& options) {
   grounding.checkpoint_dir = options.checkpoint_dir;
   grounding.num_threads = options.num_threads;
   Grounder grounder(&rkb, grounding);
+
+  // One registry per run collects operator/motion/partition stats; it is
+  // only attached (and thus only fed) when some output was requested, so
+  // the default path keeps its zero-instrumentation behavior.
+  StatsRegistry registry;
+  const bool want_stats = options.stats || !options.stats_json.empty() ||
+                          registry.trace_enabled();
+  if (want_stats) grounder.set_stats_registry(&registry);
+  auto emit_stats = [&]() -> int {
+    if (!want_stats) return 0;
+    if (options.stats) std::printf("%s", registry.ToText().c_str());
+    if (!options.stats_json.empty()) {
+      if (auto st = registry.WriteJsonFile(options.stats_json); !st.ok()) {
+        std::fprintf(stderr, "%s\n", st.ToString().c_str());
+        return 1;
+      }
+      std::printf("wrote %s\n", options.stats_json.c_str());
+    }
+    if (auto st = registry.WriteTraceIfEnabled(); !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    return 0;
+  };
+
   if (options.resume) {
     if (options.checkpoint_dir.empty()) {
       std::fprintf(stderr, "--resume requires --checkpoint DIR\n");
@@ -266,8 +304,11 @@ int Run(const CliOptions& options) {
     }
     std::printf("wrote %s\n", options.tphi_out.c_str());
   }
-  if (partial) return ExitCodeFor(stop_reason);
-  if (options.command == "ground") return 0;
+  if (partial) {
+    emit_stats();
+    return ExitCodeFor(stop_reason);
+  }
+  if (options.command == "ground") return emit_stats();
 
   auto graph = FactorGraph::FromTables(*rkb.t_pi, *t_phi);
   if (!graph.ok()) {
@@ -292,7 +333,7 @@ int Run(const CliOptions& options) {
                                          return DescribeFact(*kb, rkb, id);
                                        })
                       .c_str());
-      return 0;
+      return emit_stats();
     }
     std::fprintf(stderr, "no fact matching '%s'\n",
                  options.fact_query.c_str());
@@ -313,7 +354,7 @@ int Run(const CliOptions& options) {
                   map->assignment[static_cast<size_t>(v)],
                   kb->FactToString(FactFromRow(rkb.t_pi->row(i))).c_str());
     }
-    return 0;
+    return emit_stats();
   }
   GibbsOptions gibbs;
   gibbs.schedule = GibbsSchedule::kChromatic;
@@ -323,13 +364,20 @@ int Run(const CliOptions& options) {
     std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
     return ExitCodeFor(result.status());
   }
+  if (want_stats) {
+    for (size_t c = 0; c < result->chain_seconds.size(); ++c) {
+      registry.RecordGibbsChain(static_cast<int>(c), result->sweeps_done,
+                                graph->num_variables(),
+                                result->chain_seconds[c]);
+    }
+  }
   for (int64_t i = 0; i < rkb.t_pi->NumRows(); ++i) {
     int32_t v = graph->VariableOf(rkb.t_pi->row(i)[tpi::kI].i64());
     std::printf("  P=%.3f  %s\n",
                 result->marginals[static_cast<size_t>(v)],
                 kb->FactToString(FactFromRow(rkb.t_pi->row(i))).c_str());
   }
-  return 0;
+  return emit_stats();
 }
 
 }  // namespace
