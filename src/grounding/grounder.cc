@@ -1,6 +1,7 @@
 #include "grounding/grounder.h"
 
 #include "engine/ops.h"
+#include "obs/flight_recorder.h"
 
 #include "util/strings.h"
 #include "util/timer.h"
@@ -141,6 +142,10 @@ Result<int64_t> Grounder::GroundAtomsIteration() {
   stats_.iteration_new_atoms.push_back(added);
   stats_.ground_atoms_seconds += secs;
   ++stats_.iterations;
+  if (obs_ != nullptr) obs_->RecordLatency("grounding_iteration", secs);
+  FlightRecorder::Global()->Record(FrEvent::kIterationBoundary, "grounder",
+                                   stats_.iterations, added,
+                                   rkb_->t_pi->NumRows());
   return added;
 }
 

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "engine/ops.h"
+#include "obs/flight_recorder.h"
 #include "util/strings.h"
 #include "util/timer.h"
 
@@ -253,6 +254,10 @@ Result<int64_t> MppGrounder::GroundAtomsIteration() {
   stats_.iteration_new_atoms.push_back(added);
   stats_.ground_atoms_seconds += secs;
   ++stats_.iterations;
+  if (obs_ != nullptr) obs_->RecordLatency("grounding_iteration", secs);
+  FlightRecorder::Global()->Record(FrEvent::kIterationBoundary,
+                                   "mpp_grounder", stats_.iterations, added,
+                                   t_pi_->NumRows());
   return added;
 }
 

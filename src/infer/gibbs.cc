@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/flight_recorder.h"
+#include "obs/stats_registry.h"
 #include "util/strings.h"
 #include "util/timer.h"
 
@@ -55,7 +57,10 @@ void AdvanceChain(const FactorGraph& graph, const GibbsOptions& options,
   Rng rng(0);
   rng.SetState(st->rng_state);
   auto& assignment = st->assignment;
+  // Per-sweep latencies are only recorded with a stats sink attached.
+  const bool timed = options.stats != nullptr;
   for (int sweep = st->sweeps_done; sweep < end_sweep; ++sweep) {
+    Timer sweep_timer;
     for (int32_t v : order) {
       double p1 = Sigmoid(ConditionalLogOdds(graph, v, &assignment));
       assignment[static_cast<size_t>(v)] = rng.Bernoulli(p1) ? 1 : 0;
@@ -65,6 +70,9 @@ void AdvanceChain(const FactorGraph& graph, const GibbsOptions& options,
         st->ones[static_cast<size_t>(v)] +=
             assignment[static_cast<size_t>(v)];
       }
+    }
+    if (timed) {
+      options.stats->RecordLatency("gibbs_sweep", sweep_timer.Seconds());
     }
   }
   st->sweeps_done = end_sweep;
@@ -169,10 +177,19 @@ Result<GibbsResult> GibbsMarginals(const FactorGraph& graph,
   }
   std::vector<double> chain_seconds;
   chain_seconds.reserve(state->chains.size());
-  for (GibbsChainState& st : state->chains) {
+  for (size_t chain = 0; chain < state->chains.size(); ++chain) {
+    GibbsChainState& st = state->chains[chain];
     Timer chain_timer;
     AdvanceChain(graph, options, order, end_sweep, &st);
     chain_seconds.push_back(chain_timer.Seconds());
+    if (options.stats != nullptr) {
+      options.stats->RecordGibbsChain(static_cast<int>(chain),
+                                      end_sweep - sweeps_before, n,
+                                      chain_seconds.back());
+    }
+    FlightRecorder::Global()->Record(
+        FrEvent::kGibbsMilestone, "sweeps", static_cast<int64_t>(chain),
+        st.sweeps_done, end_sweep == total_sweeps ? 1 : 0);
   }
 
   GibbsResult result;

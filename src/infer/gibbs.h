@@ -20,6 +20,8 @@ namespace probkb {
 /// parallel sweep time alongside the exact same samples.
 enum class GibbsSchedule { kSequential, kChromatic };
 
+class StatsRegistry;
+
 struct GibbsOptions {
   int burn_in_sweeps = 200;
   int sample_sweeps = 800;
@@ -35,6 +37,10 @@ struct GibbsOptions {
   /// completion in one call). A run split across calls is bit-identical
   /// to an uninterrupted one — the checkpoint carries the exact RNG state.
   int max_sweeps_per_call = 0;
+  /// Optional execution-stats sink: per-chain throughput plus a
+  /// "gibbs_sweep" latency histogram (per-sweep timing is only taken when
+  /// attached). Never affects the sample path.
+  StatsRegistry* stats = nullptr;
 };
 
 /// \brief Resumable state of one Gibbs chain at a sweep boundary.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "obs/flight_recorder.h"
 #include "util/strings.h"
 
 namespace probkb {
@@ -40,6 +41,8 @@ Status MppContext::CheckDeadline() const {
 Status MppContext::BeginMotion(const std::string& label,
                                int64_t* motion_index) {
   *motion_index = next_motion_index_++;
+  FlightRecorder::Global()->Record(FrEvent::kMotionBegin, label,
+                                   *motion_index);
   if (injector_ != nullptr) {
     PROBKB_RETURN_NOT_OK(injector_->OperatorFault(*motion_index, label));
   }
@@ -55,6 +58,7 @@ Status MppContext::RecoverMotion(
 
   double backoff_seconds = 0.0;
   int64_t reshipped = 0;
+  int64_t recovered = 0;  // shadow of stats->recovered_faults, this motion
 
   // Batch-level faults recover in one exchange with the (alive) sender:
   // a dropped batch is retransmitted from the sender's materialized
@@ -69,11 +73,13 @@ Status MppContext::RecoverMotion(
         reshipped += resend_tuples(f);
         ++stats->retries;
         ++stats->recovered_faults;
+        ++recovered;
         return true;
       case FaultKind::kDuplicateBatch:
         // The duplicate burned interconnect bandwidth before detection.
         reshipped += resend_tuples(f);
         ++stats->recovered_faults;
+        ++recovered;
         return true;
       default:
         return false;
@@ -94,6 +100,9 @@ Status MppContext::RecoverMotion(
   for (int attempt = 1; !pending.empty(); ++attempt) {
     if (attempt > retry_.max_attempts) {
       ++stats->unrecovered_motions;
+      FlightRecorder::Global()->Record(FrEvent::kMotionFailed, label,
+                                       motion_index, retry_.max_attempts,
+                                       pending.front().segment);
       // Account what recovery burned before giving up.
       MppStep step;
       step.kind = MppStep::Kind::kRecovery;
@@ -110,6 +119,9 @@ Status MppContext::RecoverMotion(
     }
     backoff_seconds += retry_.BackoffSeconds(attempt);
     ++stats->retries;
+    FlightRecorder::Global()->Record(
+        FrEvent::kRetryAttempt, label, motion_index, attempt,
+        static_cast<int64_t>(pending.size()));
 
     std::map<int, FaultEvent> failed_again;
     for (const FaultEvent& f :
@@ -128,6 +140,7 @@ Status MppContext::RecoverMotion(
       } else {
         reshipped += resend_tuples(f);
         ++stats->recovered_faults;
+        ++recovered;
       }
     }
     // A retry-time segment failure that struck a segment not mid-recovery
@@ -145,6 +158,8 @@ Status MppContext::RecoverMotion(
   cost_.Add(std::move(step));
   stats->backoff_seconds += backoff_seconds;
   stats->tuples_reshipped += reshipped;
+  FlightRecorder::Global()->Record(FrEvent::kMotionRecovered, label,
+                                   motion_index, recovered, reshipped);
   return Status::OK();
 }
 

@@ -1,0 +1,382 @@
+#include "obs/bench_baseline.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace probkb {
+
+namespace {
+
+/// Minimal recursive-descent JSON reader, just enough for the bench_report
+/// document: objects, arrays, strings, numbers, true/false/null. Unknown
+/// subtrees (the nested "breakdown" stats objects) are skipped wholesale.
+class JsonCursor {
+ public:
+  explicit JsonCursor(std::string_view text) : text_(text) {}
+
+  bool failed() const { return failed_; }
+  std::string error() const { return error_; }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char Peek() {
+    SkipSpace();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  bool Consume(char c) {
+    if (Peek() != c) {
+      Fail(StrFormat("expected '%c' at offset %zu", c, pos_));
+      return false;
+    }
+    ++pos_;
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return false;
+    out->clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        char esc = text_[pos_++];
+        switch (esc) {
+          case 'n':
+            c = '\n';
+            break;
+          case 't':
+            c = '\t';
+            break;
+          case 'r':
+            c = '\r';
+            break;
+          case 'u':
+            // Good enough for bench reports: keep the escape verbatim.
+            out->push_back('\\');
+            c = 'u';
+            break;
+          default:
+            c = esc;
+        }
+      }
+      out->push_back(c);
+    }
+    if (pos_ >= text_.size()) {
+      Fail("unterminated string");
+      return false;
+    }
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool ParseNumber(double* out) {
+    SkipSpace();
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start ||
+        !ParseDouble(text_.substr(start, pos_ - start), out)) {
+      Fail(StrFormat("malformed number at offset %zu", start));
+      return false;
+    }
+    return true;
+  }
+
+  /// Skips one complete value of any type.
+  bool SkipValue() {
+    switch (Peek()) {
+      case '{': {
+        ++pos_;
+        if (Peek() == '}') {
+          ++pos_;
+          return true;
+        }
+        while (true) {
+          std::string key;
+          if (!ParseString(&key) || !Consume(':') || !SkipValue()) {
+            return false;
+          }
+          if (Peek() == ',') {
+            ++pos_;
+            continue;
+          }
+          return Consume('}');
+        }
+      }
+      case '[': {
+        ++pos_;
+        if (Peek() == ']') {
+          ++pos_;
+          return true;
+        }
+        while (true) {
+          if (!SkipValue()) return false;
+          if (Peek() == ',') {
+            ++pos_;
+            continue;
+          }
+          return Consume(']');
+        }
+      }
+      case '"': {
+        std::string ignored;
+        return ParseString(&ignored);
+      }
+      case 't':
+        return ConsumeWord("true");
+      case 'f':
+        return ConsumeWord("false");
+      case 'n':
+        return ConsumeWord("null");
+      default: {
+        double ignored;
+        return ParseNumber(&ignored);
+      }
+    }
+  }
+
+  /// Walks an object, invoking `on_field(key)` positioned at each value;
+  /// the callback must consume or skip exactly that value.
+  template <typename Fn>
+  bool ParseObject(Fn on_field) {
+    if (!Consume('{')) return false;
+    if (Peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      std::string key;
+      if (!ParseString(&key) || !Consume(':')) return false;
+      if (!on_field(key)) return false;
+      if (failed_) return false;
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      return Consume('}');
+    }
+  }
+
+  /// Walks an array, invoking `on_element()` positioned at each element.
+  template <typename Fn>
+  bool ParseArray(Fn on_element) {
+    if (!Consume('[')) return false;
+    if (Peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      if (!on_element()) return false;
+      if (failed_) return false;
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      return Consume(']');
+    }
+  }
+
+ private:
+  bool ConsumeWord(std::string_view word) {
+    SkipSpace();
+    if (text_.substr(pos_, word.size()) != word) {
+      Fail(StrFormat("malformed literal at offset %zu", pos_));
+      return false;
+    }
+    pos_ += word.size();
+    return true;
+  }
+
+  void Fail(const std::string& message) {
+    if (!failed_) {
+      failed_ = true;
+      error_ = message;
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+  std::string error_;
+};
+
+bool ParsePoint(JsonCursor* cursor, BenchPoint* point) {
+  return cursor->ParseObject([&](const std::string& key) {
+    if (key == "threads") {
+      double v = 0;
+      if (!cursor->ParseNumber(&v)) return false;
+      point->threads = static_cast<int>(v);
+      return true;
+    }
+    if (key == "seconds") return cursor->ParseNumber(&point->seconds);
+    return cursor->SkipValue();
+  });
+}
+
+bool ParseWorkload(JsonCursor* cursor, BenchWorkload* workload) {
+  return cursor->ParseObject([&](const std::string& key) {
+    if (key == "name") return cursor->ParseString(&workload->name);
+    if (key == "serial_s") {
+      return cursor->ParseNumber(&workload->serial_seconds);
+    }
+    if (key == "points") {
+      return cursor->ParseArray([&]() {
+        BenchPoint point;
+        if (!ParsePoint(cursor, &point)) return false;
+        workload->points.push_back(point);
+        return true;
+      });
+    }
+    return cursor->SkipValue();  // breakdown, future fields
+  });
+}
+
+}  // namespace
+
+const BenchWorkload* BenchReport::Find(std::string_view name) const {
+  for (const BenchWorkload& workload : workloads) {
+    if (workload.name == name) return &workload;
+  }
+  return nullptr;
+}
+
+Result<BenchReport> ParseBenchReportJson(std::string_view json) {
+  JsonCursor cursor(json);
+  BenchReport report;
+  const bool ok = cursor.ParseObject([&](const std::string& key) {
+    if (key == "workloads") {
+      return cursor.ParseArray([&]() {
+        BenchWorkload workload;
+        if (!ParseWorkload(&cursor, &workload)) return false;
+        report.workloads.push_back(std::move(workload));
+        return true;
+      });
+    }
+    return cursor.SkipValue();
+  });
+  if (!ok || cursor.failed()) {
+    return Status::InvalidArgument(
+        "bench report JSON: " +
+        (cursor.failed() ? cursor.error() : std::string("parse error")));
+  }
+  if (report.workloads.empty()) {
+    return Status::InvalidArgument(
+        "bench report JSON has no \"workloads\" section");
+  }
+  return report;
+}
+
+Result<BenchReport> ReadBenchReportFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IOError("cannot read bench report '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  auto parsed = ParseBenchReportJson(buffer.str());
+  if (!parsed.ok()) {
+    return Status::InvalidArgument(path + ": " +
+                                   parsed.status().message());
+  }
+  return parsed;
+}
+
+BenchComparison CompareBenchReports(const BenchReport& baseline,
+                                    const BenchReport& current,
+                                    double threshold) {
+  BenchComparison comparison;
+  comparison.threshold = threshold;
+  for (const BenchWorkload& base_workload : baseline.workloads) {
+    const BenchWorkload* cur_workload = current.Find(base_workload.name);
+    for (const BenchPoint& base_point : base_workload.points) {
+      BenchDelta delta;
+      delta.workload = base_workload.name;
+      delta.threads = base_point.threads;
+      delta.baseline_seconds = base_point.seconds;
+      const BenchPoint* cur_point = nullptr;
+      if (cur_workload != nullptr) {
+        for (const BenchPoint& p : cur_workload->points) {
+          if (p.threads == base_point.threads) {
+            cur_point = &p;
+            break;
+          }
+        }
+      }
+      if (cur_point == nullptr) {
+        delta.missing = true;
+        delta.regression = true;
+      } else {
+        delta.current_seconds = cur_point->seconds;
+        delta.delta_fraction =
+            base_point.seconds > 0
+                ? (cur_point->seconds - base_point.seconds) /
+                      base_point.seconds
+                : 0.0;
+        delta.regression = delta.delta_fraction > threshold;
+      }
+      comparison.has_regression =
+          comparison.has_regression || delta.regression;
+      comparison.deltas.push_back(std::move(delta));
+    }
+  }
+  return comparison;
+}
+
+std::string BenchComparison::ToText() const {
+  std::string out = StrFormat(
+      "bench regression gate (threshold %+.0f%%)\n", threshold * 100.0);
+  for (const BenchDelta& delta : deltas) {
+    if (delta.missing) {
+      out += StrFormat("  %-20s --threads %d  MISSING from current report\n",
+                       delta.workload.c_str(), delta.threads);
+      continue;
+    }
+    out += StrFormat("  %-20s --threads %d  %.3fs -> %.3fs  (%+.1f%%)%s\n",
+                     delta.workload.c_str(), delta.threads,
+                     delta.baseline_seconds, delta.current_seconds,
+                     delta.delta_fraction * 100.0,
+                     delta.regression ? "  REGRESSION" : "");
+  }
+  out += has_regression ? "RESULT: REGRESSION\n" : "RESULT: OK\n";
+  return out;
+}
+
+std::string BenchComparison::ToJson() const {
+  std::string out = "{\n";
+  out += StrFormat("  \"threshold\": %g,\n", threshold);
+  out += StrFormat("  \"has_regression\": %s,\n",
+                   has_regression ? "true" : "false");
+  out += "  \"deltas\": [";
+  bool first = true;
+  for (const BenchDelta& delta : deltas) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += StrFormat(
+        "    {\"workload\": \"%s\", \"threads\": %d, "
+        "\"baseline_s\": %g, \"current_s\": %g, \"delta_pct\": %g, "
+        "\"regression\": %s, \"missing\": %s}",
+        delta.workload.c_str(), delta.threads, delta.baseline_seconds,
+        delta.current_seconds, delta.delta_fraction * 100.0,
+        delta.regression ? "true" : "false",
+        delta.missing ? "true" : "false");
+  }
+  out += first ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace probkb

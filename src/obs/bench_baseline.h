@@ -1,0 +1,76 @@
+#ifndef PROBKB_OBS_BENCH_BASELINE_H_
+#define PROBKB_OBS_BENCH_BASELINE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace probkb {
+
+/// \brief One thread-count measurement from a BENCH_parallel.json report.
+struct BenchPoint {
+  int threads = 0;
+  double seconds = 0.0;
+};
+
+/// \brief One workload section of a bench_report JSON document.
+struct BenchWorkload {
+  std::string name;
+  double serial_seconds = 0.0;
+  std::vector<BenchPoint> points;
+};
+
+/// \brief The comparable subset of a bench_report run.
+struct BenchReport {
+  std::vector<BenchWorkload> workloads;
+
+  /// \brief Workload by name, or nullptr.
+  const BenchWorkload* Find(std::string_view name) const;
+};
+
+/// \brief Parses the JSON written by tools/bench_report. Tolerates and
+/// skips fields it does not know (notably the nested "breakdown" stats
+/// objects), so report-format growth does not break old baselines.
+Result<BenchReport> ParseBenchReportJson(std::string_view json);
+
+/// \brief ParseBenchReportJson over a file's contents.
+Result<BenchReport> ReadBenchReportFile(const std::string& path);
+
+/// \brief One (workload, thread-count) cell of a baseline/current diff.
+struct BenchDelta {
+  std::string workload;
+  int threads = 0;
+  double baseline_seconds = 0.0;
+  double current_seconds = 0.0;
+  /// (current - baseline) / baseline; +0.25 means 25% slower than baseline.
+  double delta_fraction = 0.0;
+  bool regression = false;
+  /// Workload/thread-count present in the baseline but absent from the
+  /// current report (counts as a regression: coverage silently shrank).
+  bool missing = false;
+};
+
+/// \brief The result of CompareBenchReports.
+struct BenchComparison {
+  double threshold = 0.10;
+  std::vector<BenchDelta> deltas;
+  bool has_regression = false;
+
+  std::string ToText() const;
+  std::string ToJson() const;
+};
+
+/// \brief Diffs `current` against `baseline`: every baseline
+/// (workload, threads) point must exist in `current` and be no more than
+/// `threshold` (fractional, default 10%) slower. Extra workloads in
+/// `current` are reported informationally and never fail the gate.
+BenchComparison CompareBenchReports(const BenchReport& baseline,
+                                    const BenchReport& current,
+                                    double threshold = 0.10);
+
+}  // namespace probkb
+
+#endif  // PROBKB_OBS_BENCH_BASELINE_H_

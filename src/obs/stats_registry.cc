@@ -103,6 +103,13 @@ void StatsRegistry::RecordOp(const std::string& scope, const OpRecord& op) {
   t.probe_seconds += op.probe_seconds;
   t.rehashes += op.rehashes;
 
+  if (op.build_seconds > 0) {
+    RecordLatency("join_build", op.build_seconds);
+  }
+  if (op.probe_seconds > 0) {
+    RecordLatency("join_probe", op.probe_seconds);
+  }
+
   Trace(op.label, "op/" + scope, op.seconds, 0);
 }
 
@@ -151,6 +158,7 @@ void StatsRegistry::RecordMotion(const std::string& label,
   for (int64_t v : per_segment_rows) {
     if (v > t.max_segment_tuples) t.max_segment_tuples = v;
   }
+  RecordLatency("motion_ship", seconds);
 
   Trace(label, "motion/" + kind, seconds, 1);
 }
@@ -194,6 +202,21 @@ void StatsRegistry::RecordGibbsChain(int chain, int64_t sweeps,
                   : 0.0;
   gibbs_chains_.push_back(s);
   Trace(StrFormat("gibbs chain %d", chain), "gibbs", seconds, 3);
+}
+
+void StatsRegistry::RecordLatency(const std::string& name, double seconds) {
+  auto [it, inserted] = latency_index_.emplace(name, latencies_.size());
+  if (inserted) {
+    latencies_.emplace_back(name, LatencyHistogram());
+  }
+  latencies_[it->second].second.Record(seconds);
+}
+
+const LatencyHistogram* StatsRegistry::FindLatency(
+    const std::string& name) const {
+  auto it = latency_index_.find(name);
+  return it == latency_index_.end() ? nullptr
+                                    : &latencies_[it->second].second;
 }
 
 std::string StatsRegistry::ToText() const {
@@ -261,6 +284,13 @@ std::string StatsRegistry::ToText() const {
       out += StrFormat(
           "  chain %-3d %10lld samples %8.3fs  %12.0f samples/s\n", c.chain,
           static_cast<long long>(c.sweeps), c.seconds, c.samples_per_sec);
+    }
+  }
+
+  if (!latencies_.empty()) {
+    out += "latency histograms:\n";
+    for (const auto& [name, hist] : latencies_) {
+      out += StrFormat("  %-22s %s\n", name.c_str(), hist.Summary().c_str());
     }
   }
 
@@ -418,7 +448,21 @@ std::string StatsRegistry::ToJson() const {
         c.chain, static_cast<long long>(c.sweeps), c.seconds,
         c.samples_per_sec);
   }
-  out += gibbs_chains_.empty() ? "]\n" : "\n  ]\n";
+  out += gibbs_chains_.empty() ? "],\n" : "\n  ],\n";
+
+  out += "  \"latencies\": [";
+  for (size_t i = 0; i < latencies_.size(); ++i) {
+    const auto& [name, hist] = latencies_[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += StrFormat(
+        "    {\"name\": \"%s\", \"count\": %lld, \"sum_seconds\": %.6f,"
+        " \"p50_s\": %.6f, \"p95_s\": %.6f, \"p99_s\": %.6f,"
+        " \"max_s\": %.6f}",
+        JsonEscape(name).c_str(), static_cast<long long>(hist.count()),
+        hist.sum_seconds(), hist.Percentile(50), hist.Percentile(95),
+        hist.Percentile(99), hist.max_seconds());
+  }
+  out += latencies_.empty() ? "]\n" : "\n  ]\n";
 
   out += "}\n";
   return out;

@@ -5,8 +5,10 @@
 #include <cstdint>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "obs/histogram.h"
 #include "util/status.h"
 
 namespace probkb {
@@ -148,6 +150,21 @@ class StatsRegistry {
   void RecordGibbsChain(int chain, int64_t sweeps, int64_t num_variables,
                         double seconds);
 
+  /// \brief Folds one latency sample into the named HDR histogram
+  /// (created on first use). Callers: grounding iterations, motion ship
+  /// times, hash-join build/probe, Gibbs sweeps. Same single-threaded
+  /// contract as every other Record* call.
+  void RecordLatency(const std::string& name, double seconds);
+
+  /// \brief Named histograms in first-recorded order.
+  const std::vector<std::pair<std::string, LatencyHistogram>>& latencies()
+      const {
+    return latencies_;
+  }
+
+  /// \brief Histogram by name, or nullptr if never recorded.
+  const LatencyHistogram* FindLatency(const std::string& name) const;
+
   const std::vector<StatementTrace>& statements() const {
     return statements_;
   }
@@ -210,6 +227,8 @@ class StatsRegistry {
   std::unordered_map<std::string, size_t> compute_index_;
   std::vector<WorkerTotals> workers_;
   std::vector<GibbsChainStats> gibbs_chains_;
+  std::vector<std::pair<std::string, LatencyHistogram>> latencies_;
+  std::unordered_map<std::string, size_t> latency_index_;
 
   std::string trace_path_;
   std::vector<TraceEvent> trace_events_;

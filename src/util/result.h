@@ -2,10 +2,10 @@
 #define PROBKB_UTIL_RESULT_H_
 
 #include <cstdlib>
-#include <iostream>
 #include <utility>
 #include <variant>
 
+#include "util/logging.h"
 #include "util/status.h"
 
 namespace probkb {
@@ -22,7 +22,7 @@ class Result {
   Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
   Result(Status status) : repr_(std::move(status)) {  // NOLINT
     if (std::get<Status>(repr_).ok()) {
-      std::cerr << "Result<T> constructed from OK status\n";
+      PROBKB_LOG(Error) << "Result<T> constructed from OK status";
       std::abort();
     }
   }
@@ -56,8 +56,8 @@ class Result {
  private:
   void CheckOk() const {
     if (!ok()) {
-      std::cerr << "Result::ValueOrDie on error: " << status().ToString()
-                << "\n";
+      PROBKB_LOG(Error) << "Result::ValueOrDie on error: "
+                        << status().ToString();
       std::abort();
     }
   }

@@ -14,6 +14,8 @@
 #include "engine/exec_context.h"
 #include "engine/ops.h"
 #include "engine/plan.h"
+#include "obs/bench_baseline.h"
+#include "obs/histogram.h"
 #include "obs/stats_registry.h"
 #include "tests/test_util.h"
 
@@ -263,6 +265,250 @@ TEST(StatsSinkTest, DistinctReportsPreSizedBuildAsRehashFree) {
   // reported counter must show a rehash-free build (the counter itself is
   // exercised by the FlatRowIndex unit tests).
   EXPECT_EQ(distinct.rehashes, 0);
+}
+
+// --- LatencyHistogram ----------------------------------------------------------
+
+TEST(LatencyHistogramTest, EmptyHistogramIsZeros) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.sum_seconds(), 0.0);
+  EXPECT_EQ(h.max_seconds(), 0.0);
+  EXPECT_EQ(h.Percentile(50), 0.0);
+  EXPECT_EQ(h.Percentile(99), 0.0);
+  EXPECT_NE(h.Summary().find("n=0"), std::string::npos);
+}
+
+TEST(LatencyHistogramTest, PercentilesTrackRecordedDistribution) {
+  LatencyHistogram h;
+  // 100 samples: 1ms..100ms.
+  for (int i = 1; i <= 100; ++i) h.Record(i * 1e-3);
+  EXPECT_EQ(h.count(), 100);
+  EXPECT_NEAR(h.sum_seconds(), 5.050, 1e-9);
+  EXPECT_DOUBLE_EQ(h.max_seconds(), 0.100);
+
+  // Bucket midpoints are within ~6% of the true value (1/16 sub-bucketing)
+  // so percentile estimates carry the same tolerance.
+  EXPECT_NEAR(h.Percentile(50), 0.050, 0.050 * 0.07);
+  EXPECT_NEAR(h.Percentile(95), 0.095, 0.095 * 0.07);
+  // The top percentile never exceeds the exactly tracked max.
+  EXPECT_LE(h.Percentile(99), h.max_seconds());
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 0.100);
+}
+
+TEST(LatencyHistogramTest, HandlesExtremesWithoutOverflow) {
+  LatencyHistogram h;
+  h.Record(-1.0);     // clamps to 0
+  h.Record(0.0);      // sub-microsecond bucket
+  h.Record(1e-7);     // below 1us resolution
+  h.Record(7200.0);   // two hours: beyond the top octave, clamped bucket
+  EXPECT_EQ(h.count(), 4);
+  EXPECT_DOUBLE_EQ(h.max_seconds(), 7200.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 7200.0);
+  EXPECT_GE(h.Percentile(99), 0.0);
+}
+
+TEST(LatencyHistogramTest, SummaryIsHumanReadable) {
+  LatencyHistogram h;
+  for (int i = 0; i < 5; ++i) h.Record(0.002);
+  const std::string s = h.Summary();
+  EXPECT_NE(s.find("n=5"), std::string::npos);
+  EXPECT_NE(s.find("p50="), std::string::npos);
+  EXPECT_NE(s.find("p95="), std::string::npos);
+  EXPECT_NE(s.find("p99="), std::string::npos);
+  EXPECT_NE(s.find("max="), std::string::npos);
+}
+
+// --- StatsRegistry latency integration -----------------------------------------
+
+TEST(StatsRegistryTest, NamedLatenciesAppearInTextAndJson) {
+  StatsRegistry registry;
+  registry.RecordLatency("grounding_iteration", 0.010);
+  registry.RecordLatency("grounding_iteration", 0.020);
+  registry.RecordLatency("gibbs_sweep", 0.001);
+
+  const LatencyHistogram* grounding =
+      registry.FindLatency("grounding_iteration");
+  ASSERT_NE(grounding, nullptr);
+  EXPECT_EQ(grounding->count(), 2);
+  EXPECT_EQ(registry.FindLatency("no_such_metric"), nullptr);
+  ASSERT_EQ(registry.latencies().size(), 2u);
+  // Registration order is preserved (deterministic reports).
+  EXPECT_EQ(registry.latencies()[0].first, "grounding_iteration");
+  EXPECT_EQ(registry.latencies()[1].first, "gibbs_sweep");
+
+  const std::string text = registry.ToText();
+  EXPECT_NE(text.find("latency histograms:"), std::string::npos);
+  EXPECT_NE(text.find("grounding_iteration"), std::string::npos);
+  EXPECT_NE(text.find("n=2"), std::string::npos);
+
+  const std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"latencies\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"gibbs_sweep\""), std::string::npos);
+  EXPECT_NE(json.find("\"p95_s\""), std::string::npos);
+}
+
+TEST(StatsRegistryTest, OpAndMotionRecordsFeedLatencyHistograms) {
+  StatsRegistry registry;
+  OpRecord op = MakeOp("HashJoin", 100, 50, 2);
+  op.build_seconds = 0.003;
+  op.probe_seconds = 0.004;
+  registry.RecordOp("q", op);
+  registry.RecordMotion("redistribute t_pi", "Redistribute", 100, 800,
+                        0.005, {});
+
+  const LatencyHistogram* build = registry.FindLatency("join_build");
+  ASSERT_NE(build, nullptr);
+  EXPECT_EQ(build->count(), 1);
+  const LatencyHistogram* probe = registry.FindLatency("join_probe");
+  ASSERT_NE(probe, nullptr);
+  EXPECT_EQ(probe->count(), 1);
+  const LatencyHistogram* ship = registry.FindLatency("motion_ship");
+  ASSERT_NE(ship, nullptr);
+  EXPECT_EQ(ship->count(), 1);
+  EXPECT_NEAR(ship->sum_seconds(), 0.005, 1e-9);
+}
+
+// --- Bench baseline parsing & comparison ---------------------------------------
+
+/// A miniature but shape-faithful BENCH_parallel.json: top-level scalars,
+/// an overhead object, and workloads with nested point arrays plus a
+/// "breakdown" subtree that the parser must skip, not choke on.
+const char kBenchJson[] = R"({
+  "bench": "bench_report",
+  "scale": 1,
+  "hardware_threads": 8,
+  "stats_overhead": {"off_seconds": 1.0, "on_seconds": 1.02,
+                     "overhead_pct": 2.0},
+  "workloads": [
+    {"name": "table3_grounding", "serial_s": 2.0, "points": [
+      {"threads": 1, "seconds": 2.0, "speedup": 1.0, "identical": true},
+      {"threads": 4, "seconds": 0.6, "speedup": 3.33, "identical": true}
+    ],
+     "breakdown": {"statements": [{"label": "x", "ops": [1, 2]}],
+                   "note": "skipped \"subtree\""}},
+    {"name": "fig6c_mpp_views", "serial_s": 3.0, "points": [
+      {"threads": 1, "seconds": 3.0, "speedup": 1.0, "identical": true}
+    ],
+     "breakdown": null}
+  ]
+})";
+
+TEST(BenchBaselineTest, ParsesRealShapedReport) {
+  auto report = ParseBenchReportJson(kBenchJson);
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_EQ(report->workloads.size(), 2u);
+  const BenchWorkload* w = report->Find("table3_grounding");
+  ASSERT_NE(w, nullptr);
+  EXPECT_DOUBLE_EQ(w->serial_seconds, 2.0);
+  ASSERT_EQ(w->points.size(), 2u);
+  EXPECT_EQ(w->points[1].threads, 4);
+  EXPECT_DOUBLE_EQ(w->points[1].seconds, 0.6);
+  const BenchWorkload* mpp = report->Find("fig6c_mpp_views");
+  ASSERT_NE(mpp, nullptr);
+  ASSERT_EQ(mpp->points.size(), 1u);
+  EXPECT_EQ(report->Find("nope"), nullptr);
+}
+
+TEST(BenchBaselineTest, RejectsGarbageAndEmptyReports) {
+  EXPECT_FALSE(ParseBenchReportJson("").ok());
+  EXPECT_FALSE(ParseBenchReportJson("not json").ok());
+  EXPECT_FALSE(ParseBenchReportJson("{\"workloads\": []}").ok());
+  EXPECT_FALSE(ParseBenchReportJson("{\"bench\": \"x\"}").ok());
+  EXPECT_FALSE(ReadBenchReportFile("/nonexistent/bench.json").ok());
+}
+
+BenchReport MakeReport(double t1, double t4) {
+  BenchReport report;
+  BenchWorkload w;
+  w.name = "table3_grounding";
+  w.serial_seconds = t1;
+  w.points = {{1, t1}, {4, t4}};
+  report.workloads.push_back(w);
+  return report;
+}
+
+TEST(BenchCompareTest, WithinThresholdPasses) {
+  BenchComparison cmp = CompareBenchReports(MakeReport(2.0, 0.6),
+                                            MakeReport(2.1, 0.63));
+  EXPECT_FALSE(cmp.has_regression);
+  ASSERT_EQ(cmp.deltas.size(), 2u);
+  EXPECT_NEAR(cmp.deltas[0].delta_fraction, 0.05, 1e-9);
+  EXPECT_NE(cmp.ToText().find("RESULT: OK"), std::string::npos);
+}
+
+TEST(BenchCompareTest, SyntheticTenPercentRegressionFails) {
+  // 12% slower on the 4-thread point: over the 10% gate.
+  BenchComparison cmp = CompareBenchReports(MakeReport(2.0, 0.6),
+                                            MakeReport(2.0, 0.672));
+  EXPECT_TRUE(cmp.has_regression);
+  int flagged = 0;
+  for (const BenchDelta& d : cmp.deltas) {
+    if (d.regression) {
+      ++flagged;
+      EXPECT_EQ(d.threads, 4);
+      EXPECT_NEAR(d.delta_fraction, 0.12, 1e-9);
+    }
+  }
+  EXPECT_EQ(flagged, 1);
+  EXPECT_NE(cmp.ToText().find("REGRESSION"), std::string::npos);
+  EXPECT_NE(cmp.ToJson().find("\"has_regression\": true"),
+            std::string::npos);
+}
+
+TEST(BenchCompareTest, ThresholdBoundaryIsExclusive) {
+  // Exactly at the threshold is allowed; the gate trips strictly above
+  // it. Exact binary fractions (2.0 -> 2.25 is +12.5%) keep the boundary
+  // comparison free of floating-point noise.
+  BenchComparison at = CompareBenchReports(MakeReport(2.0, 0.5),
+                                           MakeReport(2.25, 0.5625),
+                                           /*threshold=*/0.125);
+  EXPECT_FALSE(at.has_regression);
+  BenchComparison over = CompareBenchReports(MakeReport(2.0, 0.5),
+                                             MakeReport(2.3, 0.5625),
+                                             /*threshold=*/0.125);
+  EXPECT_TRUE(over.has_regression);
+  // A tighter threshold moves the gate.
+  BenchComparison strict = CompareBenchReports(
+      MakeReport(2.0, 0.5), MakeReport(2.125, 0.5), /*threshold=*/0.04);
+  EXPECT_TRUE(strict.has_regression);
+}
+
+TEST(BenchCompareTest, MissingCoverageCountsAsRegression) {
+  // A workload present in the baseline but absent from the current report
+  // means coverage silently shrank — that must fail the gate.
+  BenchReport baseline = MakeReport(2.0, 0.6);
+  BenchWorkload extra;
+  extra.name = "fig6c_mpp_views";
+  extra.serial_seconds = 1.0;
+  extra.points = {{1, 1.0}};
+  baseline.workloads.push_back(extra);
+
+  BenchComparison cmp =
+      CompareBenchReports(baseline, MakeReport(2.0, 0.6));
+  EXPECT_TRUE(cmp.has_regression);
+  bool saw_missing = false;
+  for (const BenchDelta& d : cmp.deltas) {
+    if (d.missing) {
+      saw_missing = true;
+      EXPECT_EQ(d.workload, "fig6c_mpp_views");
+    }
+  }
+  EXPECT_TRUE(saw_missing);
+
+  // The reverse (current has extra workloads) is growth, not regression.
+  BenchComparison grown =
+      CompareBenchReports(MakeReport(2.0, 0.6), baseline);
+  EXPECT_FALSE(grown.has_regression);
+}
+
+TEST(BenchCompareTest, FasterIsNeverARegression) {
+  BenchComparison cmp = CompareBenchReports(MakeReport(2.0, 0.6),
+                                            MakeReport(1.0, 0.3));
+  EXPECT_FALSE(cmp.has_regression);
+  for (const BenchDelta& d : cmp.deltas) {
+    EXPECT_LT(d.delta_fraction, 0.0);
+  }
 }
 
 }  // namespace

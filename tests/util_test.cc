@@ -2,7 +2,11 @@
 
 #include <array>
 #include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <set>
+#include <sstream>
 #include <vector>
 
 #include "util/logging.h"
@@ -258,6 +262,152 @@ TEST(LoggingTest, LevelGating) {
 TEST(CheckTest, PassingCheckIsNoop) {
   PROBKB_CHECK(1 + 1 == 2);
   PROBKB_DCHECK(true);
+}
+
+TEST(CheckTest, DcheckMatchesBuildConfig) {
+  // Under NDEBUG the condition must not even be evaluated (hot paths pay
+  // nothing); in debug builds it is evaluated exactly once.
+  int evaluations = 0;
+  PROBKB_DCHECK(++evaluations > 0);
+#ifdef NDEBUG
+  EXPECT_EQ(evaluations, 0);
+#else
+  EXPECT_EQ(evaluations, 1);
+#endif
+}
+
+TEST(LoggingTest, ParseLogLevelAcceptsNamesAndNumbers) {
+  LogLevel level = LogLevel::kError;
+  EXPECT_TRUE(ParseLogLevel("debug", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("INFO", &level));
+  EXPECT_EQ(level, LogLevel::kInfo);
+  EXPECT_TRUE(ParseLogLevel("Warning", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  EXPECT_TRUE(ParseLogLevel("warn", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  EXPECT_TRUE(ParseLogLevel("error", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+  EXPECT_TRUE(ParseLogLevel("0", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("3", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+
+  level = LogLevel::kInfo;
+  EXPECT_FALSE(ParseLogLevel("", &level));
+  EXPECT_FALSE(ParseLogLevel("verbose", &level));
+  EXPECT_FALSE(ParseLogLevel("4", &level));
+  EXPECT_FALSE(ParseLogLevel("-1", &level));
+  EXPECT_EQ(level, LogLevel::kInfo);  // rejected parses leave *out alone
+}
+
+/// RAII guard for the PROBKB_LOG_LEVEL env var so tests can't leak state.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) {
+      saved_ = old;
+      had_value_ = true;
+    }
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_value_) {
+      ::setenv(name_, saved_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  std::string saved_;
+  bool had_value_ = false;
+};
+
+TEST(LoggingTest, ResolveLogLevelPrecedenceAndFallback) {
+  {
+    // CLI value wins over the environment.
+    ScopedEnv env("PROBKB_LOG_LEVEL", "error");
+    EXPECT_EQ(ResolveLogLevel("debug"), LogLevel::kDebug);
+    // No CLI value: the environment decides.
+    EXPECT_EQ(ResolveLogLevel(nullptr), LogLevel::kError);
+  }
+  {
+    // Neither set: Info.
+    ScopedEnv env("PROBKB_LOG_LEVEL", nullptr);
+    EXPECT_EQ(ResolveLogLevel(nullptr), LogLevel::kInfo);
+  }
+  {
+    // Garbage falls back to Info (with a warning), mirroring
+    // ResolveThreads' handling of a bad PROBKB_THREADS.
+    ScopedEnv env("PROBKB_LOG_LEVEL", "chatty");
+    EXPECT_EQ(ResolveLogLevel(nullptr), LogLevel::kInfo);
+    EXPECT_EQ(ResolveLogLevel("extremely-verbose"), LogLevel::kInfo);
+  }
+}
+
+/// Captures every record handed to sinks; registered via AddLogSink.
+class CaptureSink : public LogSink {
+ public:
+  void Write(const LogRecord& record) override { records.push_back(record); }
+  std::vector<LogRecord> records;
+};
+
+TEST(LoggingTest, CustomSinkSeesSubsystemTaggedRecords) {
+  LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kDebug);
+  CaptureSink sink;
+  AddLogSink(&sink);
+  PROBKB_SLOG(Fault, Warning) << "retrying motion " << 7;
+  PROBKB_LOG(Info) << "plain";
+  RemoveLogSink(&sink);
+  PROBKB_LOG(Info) << "after removal";  // must not reach the sink
+  SetLogLevel(original);
+
+  ASSERT_EQ(sink.records.size(), 2u);
+  EXPECT_EQ(sink.records[0].level, LogLevel::kWarning);
+  EXPECT_EQ(sink.records[0].subsystem, LogSubsystem::kFault);
+  EXPECT_EQ(sink.records[0].message, "retrying motion 7");
+  EXPECT_STREQ(sink.records[0].file, "util_test.cc");  // basename only
+  EXPECT_GT(sink.records[0].line, 0);
+  EXPECT_EQ(sink.records[1].subsystem, LogSubsystem::kGeneral);
+}
+
+TEST(LoggingTest, JsonSinkWritesOneObjectPerLine) {
+  const std::string path =
+      ::testing::TempDir() + "/probkb_util_log_test.jsonl";
+  std::filesystem::remove(path);
+  LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kInfo);
+  ASSERT_TRUE(EnableJsonLogSink(path).ok());
+  PROBKB_SLOG(Mpp, Info) << "shipped \"42\" tuples";
+  PROBKB_LOG(Debug) << "below threshold";  // dropped, not written
+  DisableJsonLogSink();
+  PROBKB_LOG(Info) << "sink closed";  // must not reach the file
+  SetLogLevel(original);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"level\": \"INFO\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"subsystem\": \"mpp\""), std::string::npos);
+  // Quotes inside the message arrive escaped — the line stays valid JSON.
+  EXPECT_NE(lines[0].find("shipped \\\"42\\\" tuples"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"ts\": "), std::string::npos);
+
+  // A path that cannot be opened reports an error instead of dropping logs
+  // silently.
+  EXPECT_FALSE(EnableJsonLogSink("/nonexistent-dir/x/log.jsonl").ok());
+  std::filesystem::remove(path);
 }
 
 }  // namespace

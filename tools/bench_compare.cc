@@ -1,0 +1,89 @@
+// bench_compare — the bench regression gate.
+//
+//   bench_compare BASELINE.json CURRENT.json [--threshold FRACTION]
+//                 [--out COMPARISON.json]
+//
+// Diffs a fresh bench_report JSON against a committed baseline
+// (bench/baselines/BENCH_parallel.json) and exits non-zero when any
+// (workload, thread-count) point got more than `threshold` (default 0.10
+// = 10%) slower, or disappeared from the current report. CI runs this
+// after bench_report so throughput regressions fail the build instead of
+// landing silently.
+//
+// Exit codes: 0 no regression, 1 regression found, 2 usage/parse error.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "obs/bench_baseline.h"
+#include "util/strings.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: bench_compare BASELINE.json CURRENT.json "
+               "[--threshold FRACTION] [--out FILE]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path;
+  std::string current_path;
+  std::string out_path;
+  double threshold = 0.10;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--threshold") == 0) {
+      if (i + 1 >= argc || !probkb::ParseDouble(argv[++i], &threshold) ||
+          threshold < 0) {
+        std::fprintf(stderr, "--threshold needs a non-negative number\n");
+        return Usage();
+      }
+    } else if (std::strcmp(arg, "--out") == 0) {
+      if (i + 1 >= argc) return Usage();
+      out_path = argv[++i];
+    } else if (arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg);
+      return Usage();
+    } else if (baseline_path.empty()) {
+      baseline_path = arg;
+    } else if (current_path.empty()) {
+      current_path = arg;
+    } else {
+      return Usage();
+    }
+  }
+  if (baseline_path.empty() || current_path.empty()) return Usage();
+
+  auto baseline = probkb::ReadBenchReportFile(baseline_path);
+  if (!baseline.ok()) {
+    std::fprintf(stderr, "%s\n", baseline.status().ToString().c_str());
+    return 2;
+  }
+  auto current = probkb::ReadBenchReportFile(current_path);
+  if (!current.ok()) {
+    std::fprintf(stderr, "%s\n", current.status().ToString().c_str());
+    return 2;
+  }
+
+  const probkb::BenchComparison comparison =
+      probkb::CompareBenchReports(*baseline, *current, threshold);
+  std::fputs(comparison.ToText().c_str(), stdout);
+
+  if (!out_path.empty()) {
+    std::ofstream out(out_path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 2;
+    }
+    out << comparison.ToJson();
+  }
+
+  return comparison.has_regression ? 1 : 0;
+}

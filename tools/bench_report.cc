@@ -22,7 +22,9 @@
 #include "engine/ops.h"
 #include "grounding/grounder.h"
 #include "grounding/mpp_grounder.h"
+#include "obs/flight_recorder.h"
 #include "obs/stats_registry.h"
+#include "util/logging.h"
 #include "util/timer.h"
 
 namespace {
@@ -185,6 +187,35 @@ int main(int argc, char** argv) {
           ? (stats_on_seconds - stats_off_seconds) / stats_off_seconds * 100.0
           : 0.0;
 
+  // Flight-recorder + structured-logging overhead on table3_grounding: a
+  // serial run with the recorder killed vs one with the recorder on AND a
+  // JSONL log sink attached (the worst supported observability config
+  // short of PROBKB_TRACE). Budget: < 5%.
+  double obs_off_seconds = 0.0;
+  double obs_on_seconds = 0.0;
+  {
+    FlightRecorder* recorder = FlightRecorder::Global();
+    const char* log_path = "BENCH_log.jsonl";
+    TablePtr ignored_t_pi;
+    recorder->set_enabled(false);
+    bool ok = RunSingleNode(skb->kb, 1, &obs_off_seconds, &ignored_t_pi,
+                            nullptr);
+    recorder->set_enabled(true);
+    recorder->Reset();
+    ok = ok && EnableJsonLogSink(log_path).ok() &&
+         RunSingleNode(skb->kb, 1, &obs_on_seconds, &ignored_t_pi, nullptr);
+    DisableJsonLogSink();
+    std::remove(log_path);
+    if (!ok) {
+      std::fprintf(stderr, "recorder-overhead runs failed\n");
+      return 1;
+    }
+  }
+  const double obs_overhead_pct =
+      obs_off_seconds > 0
+          ? (obs_on_seconds - obs_off_seconds) / obs_off_seconds * 100.0
+          : 0.0;
+
   bool all_identical = true;
   for (const WorkloadReport& report : reports) {
     std::printf("\n%-18s serial %.3fs\n", report.name.c_str(),
@@ -200,6 +231,8 @@ int main(int argc, char** argv) {
   }
   std::printf("\nstats overhead: off %.3fs, on %.3fs (%+.1f%%)\n",
               stats_off_seconds, stats_on_seconds, overhead_pct);
+  std::printf("recorder+logging overhead: off %.3fs, on %.3fs (%+.1f%%)\n",
+              obs_off_seconds, obs_on_seconds, obs_overhead_pct);
 
   std::FILE* f = std::fopen(json_path.c_str(), "w");
   if (f == nullptr) {
@@ -211,9 +244,12 @@ int main(int argc, char** argv) {
                "  \"hardware_threads\": %u,\n"
                "  \"stats_overhead\": {\"off_seconds\": %g, "
                "\"on_seconds\": %g, \"overhead_pct\": %g},\n"
+               "  \"obs_overhead\": {\"off_seconds\": %g, "
+               "\"on_seconds\": %g, \"overhead_pct\": %g},\n"
                "  \"workloads\": [\n",
                scale, HardwareThreads(), stats_off_seconds, stats_on_seconds,
-               overhead_pct);
+               overhead_pct, obs_off_seconds, obs_on_seconds,
+               obs_overhead_pct);
   for (size_t i = 0; i < reports.size(); ++i) {
     const WorkloadReport& report = reports[i];
     std::fprintf(f,

@@ -26,9 +26,11 @@
 #include "infer/gibbs.h"
 #include "infer/map_inference.h"
 #include "mln/parser.h"
+#include "obs/flight_recorder.h"
 #include "obs/stats_registry.h"
 #include "quality/rule_cleaning.h"
 #include "relational/table_io.h"
+#include "util/logging.h"
 
 namespace {
 
@@ -53,6 +55,9 @@ struct CliOptions {
   std::string fact_query;
   bool stats = false;
   std::string stats_json;
+  std::string log_level;
+  std::string log_json;
+  std::string post_mortem;
 };
 
 int Usage() {
@@ -76,6 +81,11 @@ int Usage() {
       "  --fact 'r(a, b)'  fact to explain (explain)\n"
       "  --stats           print an EXPLAIN ANALYZE execution report\n"
       "  --stats_json FILE write the execution stats as JSON\n"
+      "  --log_level L     debug|info|warning|error or 0-3 (default info;\n"
+      "                    env PROBKB_LOG_LEVEL)\n"
+      "  --log_json FILE   mirror log lines into FILE as JSONL\n"
+      "                    (env PROBKB_LOG)\n"
+      "  --post_mortem FILE  write the flight-recorder timeline as JSON\n"
       "  (set PROBKB_TRACE=FILE for a chrome://tracing span dump)\n");
   return 2;
 }
@@ -162,6 +172,18 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       const char* v = next();
       if (v == nullptr) return false;
       options->stats_json = v;
+    } else if (flag == "--log_level") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->log_level = v;
+    } else if (flag == "--log_json") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->log_json = v;
+    } else if (flag == "--post_mortem") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->post_mortem = v;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -359,17 +381,13 @@ int Run(const CliOptions& options) {
   GibbsOptions gibbs;
   gibbs.schedule = GibbsSchedule::kChromatic;
   gibbs.sample_sweeps = options.sweeps;
+  // The sampler now reports its own chains (and a per-sweep latency
+  // histogram) straight into the registry.
+  if (want_stats) gibbs.stats = &registry;
   auto result = GibbsMarginals(*graph, gibbs);
   if (!result.ok()) {
     std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
     return ExitCodeFor(result.status());
-  }
-  if (want_stats) {
-    for (size_t c = 0; c < result->chain_seconds.size(); ++c) {
-      registry.RecordGibbsChain(static_cast<int>(c), result->sweeps_done,
-                                graph->num_variables(),
-                                result->chain_seconds[c]);
-    }
   }
   for (int64_t i = 0; i < rkb.t_pi->NumRows(); ++i) {
     int32_t v = graph->VariableOf(rkb.t_pi->row(i)[tpi::kI].i64());
@@ -389,5 +407,31 @@ int main(int argc, char** argv) {
       options.command != "infer" && options.command != "explain") {
     return Usage();
   }
-  return Run(options);
+  SetLogLevel(ResolveLogLevel(
+      options.log_level.empty() ? nullptr : options.log_level.c_str()));
+  if (auto st = ResolveJsonLogSink(
+          options.log_json.empty() ? nullptr : options.log_json.c_str());
+      !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 2;
+  }
+
+  const int code = Run(options);
+
+  // Flight-recorder post-mortem: the merged event timeline goes to stderr
+  // whenever the pipeline exits non-OK (usage errors excluded — nothing
+  // ran), and to --post_mortem FILE as JSON whenever one was requested.
+  constexpr size_t kPostMortemEvents = 256;
+  FlightRecorder* recorder = FlightRecorder::Global();
+  if (code != 0 && code != 2) {
+    std::fputs(recorder->DumpText(kPostMortemEvents).c_str(), stderr);
+  }
+  if (!options.post_mortem.empty()) {
+    if (auto st = recorder->WriteDump(options.post_mortem); !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return code != 0 ? code : 1;
+    }
+    std::printf("wrote %s\n", options.post_mortem.c_str());
+  }
+  return code;
 }
