@@ -3,10 +3,50 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
+
+#if defined(__linux__)
+#include <sys/resource.h>
+#endif
 
 namespace probkb {
 namespace bench {
+
+/// Peak resident set size of this process in bytes, or 0 when unknown.
+/// Prefers VmHWM from /proc/self/status (resettable, see TryResetPeakRss);
+/// falls back to getrusage's lifetime ru_maxrss.
+inline long long PeakRssBytes() {
+#if defined(__linux__)
+  if (std::FILE* f = std::fopen("/proc/self/status", "r")) {
+    char line[256];
+    long long kb = 0;
+    while (std::fgets(line, sizeof(line), f) != nullptr) {
+      if (std::sscanf(line, "VmHWM: %lld kB", &kb) == 1) break;
+    }
+    std::fclose(f);
+    if (kb > 0) return kb * 1024;
+  }
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) == 0) return ru.ru_maxrss * 1024LL;
+#endif
+  return 0;
+}
+
+/// Resets the kernel's high-water-mark RSS counter so PeakRssBytes()
+/// measures only the workload that follows. Returns false (and leaves the
+/// counter alone) where /proc/self/clear_refs is unavailable — callers then
+/// get a whole-process peak, which is still an upper bound.
+inline bool TryResetPeakRss() {
+#if defined(__linux__)
+  if (std::FILE* f = std::fopen("/proc/self/clear_refs", "w")) {
+    const bool ok = std::fputs("5", f) >= 0;
+    std::fclose(f);
+    return ok;
+  }
+#endif
+  return false;
+}
 
 /// Default fraction of ReVerb-Sherlock scale the benchmarks run at; a
 /// single core grinds the full 407K-fact / 31K-rule workload too slowly

@@ -5,6 +5,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "engine/flat_hash.h"
 #include "engine/ops.h"
 #include "engine/plan.h"
@@ -131,6 +134,112 @@ void BM_FlatIndexInsertUnreserved(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * rows);
 }
 BENCHMARK(BM_FlatIndexInsertUnreserved)->Arg(1 << 12)->Arg(1 << 15);
+
+// Scalar vs batched-prefetch probe over the same prebuilt index: the pair
+// isolates what the DRAMHiT-style pipeline (hash a batch, prefetch every
+// home slot, then resolve serially) buys on an index too large for cache.
+// Matches per probe and output order are identical in both variants.
+void BM_ScalarProbe(benchmark::State& state) {
+  const int64_t rows = state.range(0);
+  const std::vector<int> cols = {0, 1};
+  auto build = RandomTable(rows, rows / 4, 10);
+  auto probe = RandomTable(rows, rows / 4, 11);
+  FlatRowIndex index(rows);
+  {
+    std::vector<size_t> hashes(static_cast<size_t>(rows));
+    build->HashRows(cols, 0, rows, hashes.data());
+    for (int64_t i = 0; i < rows; ++i) {
+      index.Insert(hashes[static_cast<size_t>(i)], i);
+    }
+  }
+  for (auto _ : state) {
+    int64_t matches = 0;
+    for (int64_t i = 0; i < rows; ++i) {
+      RowView row = probe->row(i);
+      const size_t h = HashRowKey(row, cols);
+      for (int64_t e = index.Head(h); e >= 0; e = index.Next(e)) {
+        if (RowKeyEquals(build->row(index.Row(e)), row, cols, cols)) {
+          ++matches;
+        }
+      }
+    }
+    benchmark::DoNotOptimize(matches);
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_ScalarProbe)->Arg(1 << 15)->Arg(1 << 18);
+
+void BM_BatchedPrefetchProbe(benchmark::State& state) {
+  const int64_t rows = state.range(0);
+  const std::vector<int> cols = {0, 1};
+  auto build = RandomTable(rows, rows / 4, 10);
+  auto probe = RandomTable(rows, rows / 4, 11);
+  FlatRowIndex index(rows);
+  {
+    std::vector<size_t> hashes(static_cast<size_t>(rows));
+    build->HashRows(cols, 0, rows, hashes.data());
+    for (int64_t i = 0; i < rows; ++i) {
+      index.Insert(hashes[static_cast<size_t>(i)], i);
+    }
+  }
+  constexpr int64_t kBatch = 32;
+  size_t hashes[kBatch];
+  for (auto _ : state) {
+    int64_t matches = 0;
+    for (int64_t base = 0; base < rows; base += kBatch) {
+      const int64_t end = std::min(base + kBatch, rows);
+      probe->HashRows(cols, base, end, hashes);
+      for (int64_t i = base; i < end; ++i) {
+        index.PrefetchHash(hashes[i - base]);
+      }
+      for (int64_t i = base; i < end; ++i) {
+        const size_t h = hashes[i - base];
+        RowView row = probe->row(i);
+        for (int64_t e = index.Head(h); e >= 0; e = index.Next(e)) {
+          if (RowKeyEquals(build->row(index.Row(e)), row, cols, cols)) {
+            ++matches;
+          }
+        }
+      }
+    }
+    benchmark::DoNotOptimize(matches);
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_BatchedPrefetchProbe)->Arg(1 << 15)->Arg(1 << 18);
+
+// Row-major vs columnar scan of the same table: the RowView facade
+// materializes a Value per cell, the columnar loop reads the contiguous
+// int64 array directly — the difference is the tax every batch loop in the
+// engine stopped paying when Table went columnar.
+void BM_ScanRowMajor(benchmark::State& state) {
+  const int64_t rows = state.range(0);
+  auto t = RandomTable(rows, rows, 12);
+  for (auto _ : state) {
+    int64_t sum = 0;
+    for (int64_t i = 0; i < rows; ++i) {
+      RowView row = t->row(i);
+      sum += row[0].i64() + row[1].i64();
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * rows * 2);
+}
+BENCHMARK(BM_ScanRowMajor)->Arg(1 << 15)->Arg(1 << 18);
+
+void BM_ScanColumnar(benchmark::State& state) {
+  const int64_t rows = state.range(0);
+  auto t = RandomTable(rows, rows, 12);
+  for (auto _ : state) {
+    int64_t sum = 0;
+    const int64_t* a = t->Int64Data(0);
+    const int64_t* b = t->Int64Data(1);
+    for (int64_t i = 0; i < rows; ++i) sum += a[i] + b[i];
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * rows * 2);
+}
+BENCHMARK(BM_ScanColumnar)->Arg(1 << 15)->Arg(1 << 18);
 
 void BM_RedistributeMotion(benchmark::State& state) {
   const int64_t rows = state.range(0);

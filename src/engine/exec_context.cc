@@ -26,6 +26,7 @@ Status ExecContext::Record(NodeStats stats) {
     op.build_seconds = stats.build_seconds;
     op.probe_seconds = stats.probe_seconds;
     op.rehashes = stats.rehashes;
+    op.build_partitions = stats.build_partitions;
     op.num_children = stats.num_children;
     stats_sink_->RecordOp(stats_scope_, op);
   }

@@ -31,6 +31,7 @@ struct NodeStats {
   double build_seconds = 0.0;  // hash-join: building the hash index
   double probe_seconds = 0.0;  // hash-join: probing it
   int64_t rehashes = 0;        // mid-build index growths (0 when pre-sized)
+  int build_partitions = 0;    // hash-join: build-side partition fan-out
   int num_children = 0;
 };
 

@@ -1,5 +1,6 @@
 #include "engine/ops.h"
 
+#include <algorithm>
 #include <functional>
 
 namespace probkb {
@@ -14,7 +15,18 @@ KeyIndex::KeyIndex(const Table* table, std::vector<int> key_cols,
     : table_(table), key_cols_(std::move(key_cols)) {
   if (!index_existing) return;
   index_.Reserve(table->NumRows() + expected_extra_rows);
-  for (int64_t i = 0; i < table_->NumRows(); ++i) AddRow(i);
+  // Batched build: hash the key columns in contiguous chunks instead of
+  // materializing a Value per cell per row.
+  constexpr int64_t kChunk = 4096;
+  size_t hashes[kChunk];
+  const int64_t n = table_->NumRows();
+  for (int64_t base = 0; base < n; base += kChunk) {
+    const int64_t end = std::min(base + kChunk, n);
+    table_->HashRows(key_cols_, base, end, hashes);
+    for (int64_t i = base; i < end; ++i) {
+      index_.Insert(hashes[i - base], i);
+    }
+  }
 }
 
 KeyIndex KeyIndex::Empty(const Table* table, std::vector<int> key_cols,
@@ -27,8 +39,12 @@ KeyIndex KeyIndex::Empty(const Table* table, std::vector<int> key_cols,
 
 bool KeyIndex::Contains(const RowView& row,
                         std::span<const int> probe_cols) const {
-  size_t h = HashRowKey(row, probe_cols);
-  for (int64_t e = index_.Head(h); e >= 0; e = index_.Next(e)) {
+  return ContainsHashed(HashRowKey(row, probe_cols), row, probe_cols);
+}
+
+bool KeyIndex::ContainsHashed(size_t hash, const RowView& row,
+                              std::span<const int> probe_cols) const {
+  for (int64_t e = index_.Head(hash); e >= 0; e = index_.Next(e)) {
     if (RowKeyEquals(row, table_->row(index_.Row(e)), probe_cols,
                      key_cols_)) {
       return true;
@@ -48,13 +64,24 @@ int64_t SetUnionInto(Table* dst, const Table& src,
   // index log(src/dst) times mid-merge.
   KeyIndex index(dst, key_cols, src.NumRows());
   dst->ReserveRows(src.NumRows());
+  // Batch-hash src keys once. An appended row is a copy of the src row, so
+  // its key hash in dst equals the src hash — reuse it for AddRowHashed.
+  constexpr int64_t kBatch = 64;
+  size_t hashes[kBatch];
   int64_t added = 0;
-  for (int64_t i = 0; i < src.NumRows(); ++i) {
-    RowView row = src.row(i);
-    if (!index.Contains(row, key_cols)) {
-      dst->AppendRow(row);
-      index.AddRow(dst->NumRows() - 1);
-      ++added;
+  const int64_t n = src.NumRows();
+  for (int64_t base = 0; base < n; base += kBatch) {
+    const int64_t end = std::min(base + kBatch, n);
+    src.HashRows(key_cols, base, end, hashes);
+    for (int64_t i = base; i < end; ++i) index.PrefetchHash(hashes[i - base]);
+    for (int64_t i = base; i < end; ++i) {
+      const size_t h = hashes[i - base];
+      RowView row = src.row(i);
+      if (!index.ContainsHashed(h, row, key_cols)) {
+        dst->AppendRow(row);
+        index.AddRowHashed(h, dst->NumRows() - 1);
+        ++added;
+      }
     }
   }
   return added;
@@ -72,9 +99,21 @@ int64_t DeleteWhere(Table* table,
 int64_t DeleteMatching(Table* table, const std::vector<int>& table_cols,
                        const Table& keys, const std::vector<int>& key_cols) {
   KeyIndex index(&keys, key_cols);
-  return DeleteWhere(table, [&](const RowView& row) {
-    return index.Contains(row, table_cols);
-  });
+  // Batch-hash the probe keys and mark survivors directly.
+  std::vector<bool> keep(static_cast<size_t>(table->NumRows()));
+  constexpr int64_t kBatch = 64;
+  size_t hashes[kBatch];
+  const int64_t n = table->NumRows();
+  for (int64_t base = 0; base < n; base += kBatch) {
+    const int64_t end = std::min(base + kBatch, n);
+    table->HashRows(table_cols, base, end, hashes);
+    for (int64_t i = base; i < end; ++i) index.PrefetchHash(hashes[i - base]);
+    for (int64_t i = base; i < end; ++i) {
+      keep[static_cast<size_t>(i)] =
+          !index.ContainsHashed(hashes[i - base], table->row(i), table_cols);
+    }
+  }
+  return table->FilterInPlace(keep);
 }
 
 bool TablesEqualAsBags(const Table& a, const Table& b) {

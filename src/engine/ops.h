@@ -35,8 +35,22 @@ class KeyIndex {
   /// `probe_cols`, which must parallel this index's key columns).
   bool Contains(const RowView& row, std::span<const int> probe_cols) const;
 
+  /// \brief Contains() with the probe hash already computed (batched
+  /// callers hash whole row ranges with Table::HashRows and reuse them).
+  /// `hash` must equal HashRowKey(row, probe_cols).
+  bool ContainsHashed(size_t hash, const RowView& row,
+                      std::span<const int> probe_cols) const;
+
   /// \brief Indexes row `i` of the underlying table.
   void AddRow(int64_t i);
+
+  /// \brief AddRow() with the key hash already computed. `hash` must equal
+  /// HashRowKey(table->row(i), key_cols).
+  void AddRowHashed(size_t hash, int64_t i) { index_.Insert(hash, i); }
+
+  /// \brief Prefetches the slot a later ContainsHashed(hash, ...) will
+  /// touch (see FlatRowIndex::PrefetchHash).
+  void PrefetchHash(size_t hash) const { index_.PrefetchHash(hash); }
 
   int64_t NumIndexedRows() const { return index_.size(); }
 

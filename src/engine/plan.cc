@@ -14,9 +14,18 @@ namespace {
 // Concatenated left+right row materialized for residual predicates.
 void ConcatRow(const RowView& l, const RowView& r, std::vector<Value>* out) {
   out->clear();
-  out->insert(out->end(), l.values().begin(), l.values().end());
-  out->insert(out->end(), r.values().begin(), r.values().end());
+  for (int c = 0; c < l.width(); ++c) out->push_back(l[c]);
+  for (int c = 0; c < r.width(); ++c) out->push_back(r[c]);
 }
+
+// Rows a probe batch covers in the batched prefetch pipeline: enough
+// in-flight prefetches to hide a DRAM miss, small enough to stay in L1.
+constexpr int64_t kProbeBatchRows = 32;
+
+// Below this input size the thread pool is skipped entirely (probe
+// morsels, build partitioning, batch hashing): dispatch overhead beats
+// the win on tiny deltas.
+constexpr int64_t kParallelMinRows = 8192;
 
 NodeStats MakeStats(std::string label, int64_t rows_in, int64_t rows_out,
                     double seconds, int num_children) {
@@ -100,16 +109,33 @@ Result<TablePtr> ProjectNode::Execute(ExecContext* ctx) {
   PROBKB_ASSIGN_OR_RETURN(TablePtr in, children_[0]->Execute(ctx));
   Timer timer;
   auto out = Table::Make(output_schema_);
-  out->ReserveRows(in->NumRows());
-  std::vector<Value> buf(exprs_.size());
-  for (int64_t i = 0; i < in->NumRows(); ++i) {
-    RowView row = in->row(i);
-    for (size_t c = 0; c < exprs_.size(); ++c) {
-      const auto& e = exprs_[c];
-      buf[c] = e.kind == ProjectExpr::Kind::kColumn ? row[e.column]
-                                                    : e.constant;
+  // All-column projections with matching types are per-column vector
+  // copies; anything with constants (or a type rewrite) materializes rows.
+  bool all_columns = !exprs_.empty();
+  for (const auto& e : exprs_) {
+    if (e.kind != ProjectExpr::Kind::kColumn ||
+        in->schema().field(e.column).type != e.type) {
+      all_columns = false;
+      break;
     }
-    out->AppendRow(buf);
+  }
+  if (all_columns) {
+    std::vector<int> cols;
+    cols.reserve(exprs_.size());
+    for (const auto& e : exprs_) cols.push_back(e.column);
+    out->AppendProjectedRows(*in, cols);
+  } else {
+    out->ReserveRows(in->NumRows());
+    std::vector<Value> buf(exprs_.size());
+    for (int64_t i = 0; i < in->NumRows(); ++i) {
+      RowView row = in->row(i);
+      for (size_t c = 0; c < exprs_.size(); ++c) {
+        const auto& e = exprs_[c];
+        buf[c] = e.kind == ProjectExpr::Kind::kColumn ? row[e.column]
+                                                      : e.constant;
+      }
+      out->AppendRow(buf);
+    }
   }
   PROBKB_RETURN_NOT_OK(ctx->Record(
       MakeStats(Label(), in->NumRows(), out->NumRows(), timer.Seconds(), 1)));
@@ -154,60 +180,123 @@ Result<TablePtr> HashJoinNode::Execute(ExecContext* ctx) {
   }
   auto out = Table::Make(out_schema);
 
-  // Build side: hash of right-key -> chain of row indices, in row order.
+  ThreadPool* pool = ctx->thread_pool();
+
+  // Build side: batch-hash the right keys (tight per-column loops), then
+  // build the index. With a pool and a big enough input the build is
+  // morsel-parallel: the hash array is filled chunk-wise, and the index is
+  // hash-partitioned so each partition is built independently from that
+  // shared array (see PartitionedRowIndex for the bit-identity argument).
   Timer build_timer;
-  FlatRowIndex build(right->NumRows());
-  for (int64_t i = 0; i < right->NumRows(); ++i) {
-    build.Insert(HashRowKey(right->row(i), right_keys_), i);
+  const int64_t build_rows = right->NumRows();
+  const bool parallel_build = pool != nullptr && pool->num_threads() > 1 &&
+                              build_rows >= kParallelMinRows;
+  std::vector<size_t> right_hashes(static_cast<size_t>(build_rows));
+  constexpr int64_t kHashChunkRows = 4096;
+  if (parallel_build) {
+    const int64_t chunks = (build_rows + kHashChunkRows - 1) / kHashChunkRows;
+    pool->ParallelFor(chunks, 1, [&](int64_t cb, int64_t ce) {
+      for (int64_t c = cb; c < ce; ++c) {
+        const int64_t begin = c * kHashChunkRows;
+        const int64_t end = std::min(begin + kHashChunkRows, build_rows);
+        right->HashRows(right_keys_, begin, end,
+                        right_hashes.data() + begin);
+      }
+    });
+  } else if (build_rows > 0) {
+    right->HashRows(right_keys_, 0, build_rows, right_hashes.data());
+  }
+
+  int num_parts = 1;
+  if (parallel_build) {
+    while (num_parts < pool->num_threads() && num_parts < 16) {
+      num_parts <<= 1;
+    }
+  }
+  PartitionedRowIndex build(num_parts);
+  if (num_parts == 1) {
+    FlatRowIndex& part = build.part(0);
+    part.Reserve(build_rows);
+    for (int64_t i = 0; i < build_rows; ++i) {
+      part.Insert(right_hashes[static_cast<size_t>(i)], i);
+    }
+  } else {
+    // Each partition task scans the shared hash array in row order and
+    // keeps only its hash range, so chain order matches the serial build.
+    pool->ParallelFor(num_parts, 1, [&](int64_t pb, int64_t pe) {
+      for (int64_t p = pb; p < pe; ++p) {
+        FlatRowIndex& part = build.part(static_cast<size_t>(p));
+        int64_t mine = 0;
+        for (size_t h : right_hashes) {
+          if (build.PartOf(h) == static_cast<size_t>(p)) ++mine;
+        }
+        part.Reserve(mine);
+        for (int64_t i = 0; i < build_rows; ++i) {
+          const size_t h = right_hashes[static_cast<size_t>(i)];
+          if (build.PartOf(h) == static_cast<size_t>(p)) part.Insert(h, i);
+        }
+      }
+    });
   }
   const double build_seconds = build_timer.Seconds();
 
-  // Probes a left-row range into `dst`. Reads only shared immutable state
-  // (inputs, build index, residual), so morsels can run it concurrently.
+  // Probes a left-row range into `dst` with the batched prefetch pipeline:
+  // hash a batch of probe keys, prefetch every batch member's slot, then
+  // resolve the batch serially in row order — resolution order equals the
+  // plain serial loop's, so output stays bit-identical at every thread
+  // count. Reads only shared immutable state (inputs, build index,
+  // residual), so morsels can run it concurrently.
   auto probe_range = [&](int64_t begin, int64_t end, Table* dst) {
     std::vector<Value> out_buf(type_ == JoinType::kInner ? output_cols_.size()
                                                          : 0);
     std::vector<Value> concat_buf;
-    for (int64_t i = begin; i < end; ++i) {
-      RowView lrow = left->row(i);
-      bool matched = false;
-      for (int64_t e = build.Head(HashRowKey(lrow, left_keys_)); e >= 0;
-           e = build.Next(e)) {
-        RowView rrow = right->row(build.Row(e));
-        if (!RowKeyEquals(lrow, rrow, left_keys_, right_keys_)) continue;
-        if (residual_ != nullptr) {
-          ConcatRow(lrow, rrow, &concat_buf);
-          if (!residual_(RowView(concat_buf.data(),
-                                 static_cast<int>(concat_buf.size())))) {
-            continue;
+    size_t hashes[kProbeBatchRows];
+    for (int64_t base = begin; base < end; base += kProbeBatchRows) {
+      const int64_t batch = std::min(kProbeBatchRows, end - base);
+      left->HashRows(left_keys_, base, base + batch, hashes);
+      for (int64_t k = 0; k < batch; ++k) build.PrefetchHash(hashes[k]);
+      for (int64_t k = 0; k < batch; ++k) {
+        const size_t h = hashes[k];
+        RowView lrow = left->row(base + k);
+        const FlatRowIndex& index = build.PartFor(h);
+        bool matched = false;
+        for (int64_t e = index.Head(h); e >= 0; e = index.Next(e)) {
+          RowView rrow = right->row(index.Row(e));
+          if (!RowKeyEquals(lrow, rrow, left_keys_, right_keys_)) continue;
+          if (residual_ != nullptr) {
+            ConcatRow(lrow, rrow, &concat_buf);
+            if (!residual_(RowView(concat_buf.data(),
+                                   static_cast<int>(concat_buf.size())))) {
+              continue;
+            }
+          }
+          matched = true;
+          if (type_ == JoinType::kInner) {
+            for (size_t c = 0; c < output_cols_.size(); ++c) {
+              const auto& oc = output_cols_[c];
+              out_buf[c] = oc.side == JoinOutputCol::Side::kLeft
+                               ? lrow[oc.column]
+                               : rrow[oc.column];
+            }
+            dst->AppendRow(out_buf);
+          } else {
+            break;  // semi/anti only need existence
           }
         }
-        matched = true;
-        if (type_ == JoinType::kInner) {
-          for (size_t c = 0; c < output_cols_.size(); ++c) {
-            const auto& oc = output_cols_[c];
-            out_buf[c] = oc.side == JoinOutputCol::Side::kLeft
-                             ? lrow[oc.column]
-                             : rrow[oc.column];
-          }
-          dst->AppendRow(out_buf);
-        } else {
-          break;  // semi/anti only need existence
-        }
+        if (type_ == JoinType::kLeftSemi && matched) dst->AppendRow(lrow);
+        if (type_ == JoinType::kLeftAnti && !matched) dst->AppendRow(lrow);
       }
-      if (type_ == JoinType::kLeftSemi && matched) dst->AppendRow(lrow);
-      if (type_ == JoinType::kLeftAnti && !matched) dst->AppendRow(lrow);
     }
   };
 
   // Morsel-parallel probe: fixed row ranges, one private output table per
   // morsel, concatenated in morsel order — the output is bit-identical to
-  // the serial probe loop regardless of scheduling.
+  // the serial probe loop regardless of scheduling. Small probe sides run
+  // serially: morsel dispatch on a tiny delta costs more than it saves.
   constexpr int64_t kMorselRows = 2048;
   Timer probe_timer;
-  ThreadPool* pool = ctx->thread_pool();
   if (pool != nullptr && pool->num_threads() > 1 &&
-      left->NumRows() >= 2 * kMorselRows) {
+      left->NumRows() >= kParallelMinRows) {
     const int64_t morsels = (left->NumRows() + kMorselRows - 1) / kMorselRows;
     std::vector<TablePtr> parts(static_cast<size_t>(morsels));
     pool->ParallelFor(morsels, 1, [&](int64_t m_begin, int64_t m_end) {
@@ -229,6 +318,7 @@ Result<TablePtr> HashJoinNode::Execute(ExecContext* ctx) {
   ns.build_seconds = build_seconds;
   ns.probe_seconds = probe_timer.Seconds();
   ns.rehashes = build.rehash_count();
+  ns.build_partitions = build.num_parts();
   PROBKB_RETURN_NOT_OK(ctx->Record(std::move(ns)));
   return out;
 }
@@ -250,20 +340,29 @@ Result<TablePtr> DistinctNode::Execute(ExecContext* ctx) {
   }
   auto out = Table::Make(in->schema());
   // Dedup set over the output rows; chains keyed on the row-key hash.
+  // Batched prefetch pipeline: `seen` is pre-sized for every input row, so
+  // its slot array never moves mid-scan and batch-ahead prefetches stay
+  // valid even though rows are inserted during resolution.
   FlatRowIndex seen(in->NumRows());
-  for (int64_t i = 0; i < in->NumRows(); ++i) {
-    RowView row = in->row(i);
-    size_t h = HashRowKey(row, keys);
-    bool dup = false;
-    for (int64_t e = seen.Head(h); e >= 0; e = seen.Next(e)) {
-      if (RowKeyEquals(row, out->row(seen.Row(e)), keys, keys)) {
-        dup = true;
-        break;
+  size_t hashes[kProbeBatchRows];
+  for (int64_t base = 0; base < in->NumRows(); base += kProbeBatchRows) {
+    const int64_t batch = std::min(kProbeBatchRows, in->NumRows() - base);
+    in->HashRows(keys, base, base + batch, hashes);
+    for (int64_t k = 0; k < batch; ++k) seen.PrefetchHash(hashes[k]);
+    for (int64_t k = 0; k < batch; ++k) {
+      RowView row = in->row(base + k);
+      const size_t h = hashes[k];
+      bool dup = false;
+      for (int64_t e = seen.Head(h); e >= 0; e = seen.Next(e)) {
+        if (RowKeyEquals(row, out->row(seen.Row(e)), keys, keys)) {
+          dup = true;
+          break;
+        }
       }
-    }
-    if (!dup) {
-      seen.Insert(h, out->NumRows());
-      out->AppendRow(row);
+      if (!dup) {
+        seen.Insert(h, out->NumRows());
+        out->AppendRow(row);
+      }
     }
   }
   NodeStats ns = MakeStats(Label(), in->NumRows(), out->NumRows(),
@@ -318,9 +417,15 @@ Result<TablePtr> AggregateNode::Execute(ExecContext* ctx) {
   std::unordered_map<size_t, std::vector<GroupState>> groups;
   groups.reserve(1024);
 
+  // Group-key hashes for the whole input in one batched pass.
+  std::vector<size_t> row_hashes(static_cast<size_t>(in->NumRows()));
+  if (in->NumRows() > 0) {
+    in->HashRows(group_cols_, 0, in->NumRows(), row_hashes.data());
+  }
+
   for (int64_t i = 0; i < in->NumRows(); ++i) {
     RowView row = in->row(i);
-    size_t h = HashRowKey(row, group_cols_);
+    size_t h = row_hashes[static_cast<size_t>(i)];
     auto& bucket = groups[h];
     GroupState* state = nullptr;
     for (auto& g : bucket) {

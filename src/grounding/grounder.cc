@@ -109,9 +109,7 @@ Result<int64_t> Grounder::GroundAtomsIteration() {
     // Queries run as (delta, full) and (full, delta); the overlap
     // (delta, delta) is produced twice and removed by the set-merge.
     auto delta = Table::Make(TPiSchema());
-    for (int64_t i = delta_start_; i < rkb_->t_pi->NumRows(); ++i) {
-      delta->AppendRow(rkb_->t_pi->row(i));
-    }
+    delta->AppendRows(*rkb_->t_pi, delta_start_, rkb_->t_pi->NumRows());
     PROBKB_RETURN_NOT_OK(
         CollectInferredAtoms(delta, rkb_->t_pi, false, &inferred));
     // Length-2 rules have one body atom, so the delta pass above already

@@ -120,8 +120,13 @@ Result<int64_t> MppGrounder::MergeAtoms(const DistributedTable& atoms) {
       ctx_.Redistribute(atoms, kAtomDistKeys, "inferred_atoms"));
 
   const int n = ctx_.num_segments();
-  auto for_each_segment = [&](const std::function<void(int)>& body) {
-    if (pool_ != nullptr && pool_->num_threads() > 1 && n > 1) {
+  // Fan-out gated on the rows the phase actually touches: per-iteration
+  // deltas are often tiny, and dispatching n segment tasks for a few
+  // hundred rows costs more than the work (the fig6c regression).
+  auto for_each_segment = [&](int64_t total_rows,
+                              const std::function<void(int)>& body) {
+    if (pool_ != nullptr && pool_->num_threads() > 1 && n > 1 &&
+        total_rows >= MppContext::kSerialFanoutRowCutoff) {
       pool_->ParallelFor(n, 1, [&](int64_t begin, int64_t end) {
         for (int64_t s = begin; s < end; ++s) body(static_cast<int>(s));
       });
@@ -133,7 +138,7 @@ Result<int64_t> MppGrounder::MergeAtoms(const DistributedTable& atoms) {
   // Drop atoms keyed by banned entities (per-segment, no motion needed;
   // segments only read the shared ban sets, so the fan-out is safe).
   if (!banned_x_keys_.empty() || !banned_y_keys_.empty()) {
-    for_each_segment([&](int s) {
+    for_each_segment(collocated->PhysicalRows(), [&](int s) {
       DeleteWhere(collocated->mutable_segment(s).get(),
                   [this](const RowView& row) {
                     return banned_x_keys_.count(BanKey(
@@ -154,7 +159,8 @@ Result<int64_t> MppGrounder::MergeAtoms(const DistributedTable& atoms) {
   std::vector<int64_t> old_sizes(static_cast<size_t>(n));
   std::vector<double> seg_seconds(static_cast<size_t>(n));
   std::vector<std::vector<int64_t>> selected(static_cast<size_t>(n));
-  for_each_segment([&](int s) {
+  for_each_segment(t_pi_->PhysicalRows() + collocated->PhysicalRows(),
+                   [&](int s) {
     Timer timer;
     selected[static_cast<size_t>(s)] =
         SelectNewAtomRows(*t_pi_->segment(s), *collocated->segment(s));
@@ -178,23 +184,24 @@ Result<int64_t> MppGrounder::MergeAtoms(const DistributedTable& atoms) {
     std::vector<int> origin;
     for (int s = 0; s < n; ++s) {
       const Table& seg = *t_pi_->segment(s);
-      for (int64_t r = old_sizes[static_cast<size_t>(s)]; r < seg.NumRows();
-           ++r) {
-        delta.AppendRow(seg.row(r));
-        origin.push_back(s);
-      }
+      const int64_t from = old_sizes[static_cast<size_t>(s)];
+      delta.AppendRows(seg, from, seg.NumRows());
+      origin.insert(origin.end(), static_cast<size_t>(seg.NumRows() - from),
+                    s);
     }
     for (DistributedTablePtr view : {view_tx_, view_ty_, view_txy_}) {
       const auto& keys = view->distribution().key_cols;
       std::vector<int> targets(static_cast<size_t>(delta.NumRows()));
+      if (delta.NumRows() > 0) {
+        DistributedTable::TargetSegments(delta, keys, n, 0, delta.NumRows(),
+                                         targets.data());
+      }
       std::vector<std::vector<int64_t>> sent(
           static_cast<size_t>(n),
           std::vector<int64_t>(static_cast<size_t>(n)));
       for (int64_t r = 0; r < delta.NumRows(); ++r) {
-        int target = DistributedTable::TargetSegment(delta.row(r), keys, n);
-        targets[static_cast<size_t>(r)] = target;
         ++sent[static_cast<size_t>(origin[static_cast<size_t>(r)])]
-              [static_cast<size_t>(target)];
+              [static_cast<size_t>(targets[static_cast<size_t>(r)])];
       }
       auto resend = [&](const FaultEvent& f) -> int64_t {
         if (f.kind == FaultKind::kSegmentFailure) {
@@ -216,7 +223,7 @@ Result<int64_t> MppGrounder::MergeAtoms(const DistributedTable& atoms) {
                              resend));
       for (int64_t r = 0; r < delta.NumRows(); ++r) {
         view->mutable_segment(targets[static_cast<size_t>(r)])
-            ->AppendRow(delta.row(r));
+            ->AppendRows(delta, r, r + 1);
       }
     }
   }

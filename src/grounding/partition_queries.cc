@@ -1,5 +1,6 @@
 #include "grounding/partition_queries.h"
 
+#include <algorithm>
 #include <array>
 
 #include "engine/ops.h"
@@ -297,12 +298,23 @@ std::vector<int64_t> SelectNewAtomRows(const Table& t_pi,
   KeyIndex existing(&t_pi, TPiMergeKey());
   KeyIndex pending = KeyIndex::Empty(&atoms, AtomMergeKey(), atoms.NumRows());
   std::vector<int64_t> selected;
-  for (int64_t i = 0; i < atoms.NumRows(); ++i) {
-    RowView row = atoms.row(i);
-    if (existing.Contains(row, AtomMergeKey())) continue;
-    if (pending.Contains(row, AtomMergeKey())) continue;
-    pending.AddRow(i);
-    selected.push_back(i);
+  // Both indexes key on the same atom columns, so one batched hash of the
+  // atom key serves the t_pi lookup, the within-batch dedup lookup, and the
+  // insert into `pending`.
+  constexpr int64_t kBatch = 64;
+  size_t hashes[kBatch];
+  for (int64_t base = 0; base < atoms.NumRows(); base += kBatch) {
+    const int64_t end = std::min(base + kBatch, atoms.NumRows());
+    atoms.HashRows(AtomMergeKey(), base, end, hashes);
+    for (int64_t i = base; i < end; ++i) existing.PrefetchHash(hashes[i - base]);
+    for (int64_t i = base; i < end; ++i) {
+      const size_t h = hashes[i - base];
+      RowView row = atoms.row(i);
+      if (existing.ContainsHashed(h, row, AtomMergeKey())) continue;
+      if (pending.ContainsHashed(h, row, AtomMergeKey())) continue;
+      pending.AddRowHashed(h, i);
+      selected.push_back(i);
+    }
   }
   return selected;
 }

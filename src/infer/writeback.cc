@@ -1,5 +1,8 @@
 #include "infer/writeback.h"
 
+#include <utility>
+#include <vector>
+
 #include "kb/relational_model.h"
 #include "util/strings.h"
 
@@ -12,32 +15,24 @@ Result<int64_t> WriteMarginalsToTPi(Table* t_pi, const FactorGraph& graph,
         "marginal vector has %zu entries for %d variables",
         marginals.size(), graph.num_variables()));
   }
-  // Rebuild the table with updated weights (Table has no in-place cell
-  // mutation; grounding-sized rebuilds are cheap relative to inference).
-  auto updated = Table::Make(t_pi->schema());
-  updated->ReserveRows(t_pi->NumRows());
-  int64_t written = 0;
-  std::vector<Value> row_buf(static_cast<size_t>(t_pi->width()));
+  // Validate every null-weight row before mutating anything, so an error
+  // leaves the table untouched; then patch the weight column in place.
+  std::vector<std::pair<int64_t, int32_t>> pending;
   for (int64_t i = 0; i < t_pi->NumRows(); ++i) {
     RowView row = t_pi->row(i);
-    for (int c = 0; c < t_pi->width(); ++c) {
-      row_buf[static_cast<size_t>(c)] = row[c];
+    if (!row[tpi::kW].is_null()) continue;
+    int32_t v = graph.VariableOf(row[tpi::kI].i64());
+    if (v < 0) {
+      return Status::InvalidArgument(StrFormat(
+          "fact id %lld is not a factor-graph variable",
+          static_cast<long long>(row[tpi::kI].i64())));
     }
-    if (row[tpi::kW].is_null()) {
-      int32_t v = graph.VariableOf(row[tpi::kI].i64());
-      if (v < 0) {
-        return Status::InvalidArgument(StrFormat(
-            "fact id %lld is not a factor-graph variable",
-            static_cast<long long>(row[tpi::kI].i64())));
-      }
-      row_buf[tpi::kW] =
-          Value::Float64(marginals[static_cast<size_t>(v)]);
-      ++written;
-    }
-    updated->AppendRow(row_buf);
+    pending.emplace_back(i, v);
   }
-  *t_pi = std::move(*updated);
-  return written;
+  for (const auto& [row, var] : pending) {
+    t_pi->SetFloat64(row, tpi::kW, marginals[static_cast<size_t>(var)]);
+  }
+  return static_cast<int64_t>(pending.size());
 }
 
 }  // namespace probkb

@@ -1,5 +1,7 @@
 #include "mpp/distributed_table.h"
 
+#include <algorithm>
+
 #include "util/logging.h"
 #include "util/strings.h"
 
@@ -22,6 +24,22 @@ int DistributedTable::TargetSegment(const RowView& row,
                           static_cast<size_t>(num_segments));
 }
 
+void DistributedTable::TargetSegments(const Table& table,
+                                      std::span<const int> key_cols,
+                                      int num_segments, int64_t begin,
+                                      int64_t end, int* out) {
+  constexpr int64_t kChunk = 4096;
+  size_t hashes[kChunk];
+  for (int64_t base = begin; base < end; base += kChunk) {
+    const int64_t stop = std::min(base + kChunk, end);
+    table.HashRows(key_cols, base, stop, hashes);
+    for (int64_t i = base; i < stop; ++i) {
+      out[i - begin] = static_cast<int>(hashes[i - base] %
+                                        static_cast<size_t>(num_segments));
+    }
+  }
+}
+
 DistributedTablePtr DistributedTable::Distribute(const Table& local,
                                                  int num_segments,
                                                  Distribution dist,
@@ -38,12 +56,19 @@ DistributedTablePtr DistributedTable::Distribute(const Table& local,
     for (int i = 0; i < num_segments; ++i) {
       segments.push_back(Table::Make(local.schema()));
     }
-    for (int64_t r = 0; r < local.NumRows(); ++r) {
-      RowView row = local.row(r);
-      int target = dist.is_hash()
-                       ? TargetSegment(row, dist.key_cols, num_segments)
-                       : static_cast<int>(r % num_segments);
-      segments[static_cast<size_t>(target)]->AppendRow(row);
+    if (dist.is_hash()) {
+      std::vector<int> targets(static_cast<size_t>(local.NumRows()));
+      TargetSegments(local, dist.key_cols, num_segments, 0, local.NumRows(),
+                     targets.data());
+      for (int64_t r = 0; r < local.NumRows(); ++r) {
+        segments[static_cast<size_t>(targets[static_cast<size_t>(r)])]
+            ->AppendRows(local, r, r + 1);
+      }
+    } else {
+      for (int64_t r = 0; r < local.NumRows(); ++r) {
+        segments[static_cast<size_t>(r % num_segments)]->AppendRows(local, r,
+                                                                    r + 1);
+      }
     }
   }
   return std::make_shared<DistributedTable>(local.schema(),
@@ -96,8 +121,11 @@ Status DistributedTable::ValidatePlacement() const {
   if (!dist_.is_hash()) return Status::OK();
   for (int s = 0; s < num_segments(); ++s) {
     const Table& t = *segments_[static_cast<size_t>(s)];
+    std::vector<int> targets(static_cast<size_t>(t.NumRows()));
+    TargetSegments(t, dist_.key_cols, num_segments(), 0, t.NumRows(),
+                   targets.data());
     for (int64_t r = 0; r < t.NumRows(); ++r) {
-      int target = TargetSegment(t.row(r), dist_.key_cols, num_segments());
+      int target = targets[static_cast<size_t>(r)];
       if (target != s) {
         return Status::Internal(StrFormat(
             "table '%s': row %lld of segment %d hashes to segment %d",

@@ -63,6 +63,14 @@ class DistributedTable {
   static int TargetSegment(const RowView& row, std::span<const int> key_cols,
                            int num_segments);
 
+  /// \brief Batched TargetSegment over rows [begin, end) of `table`,
+  /// filling `out[0 .. end-begin)`. Uses Table::HashRows, which matches
+  /// HashRowKey bit for bit, so placement is identical to the scalar path
+  /// (and to pre-existing checkpoints).
+  static void TargetSegments(const Table& table, std::span<const int> key_cols,
+                             int num_segments, int64_t begin, int64_t end,
+                             int* out);
+
   /// \brief Verifies every row is on the segment its distribution demands.
   Status ValidatePlacement() const;
 

@@ -217,10 +217,12 @@ Result<DistributedTablePtr> MppContext::Redistribute(
     // Each segment keeps only the slice of its copy that hashes to it; no
     // interconnect traffic (and hence no motion faults) is involved.
     const Table& src = *input.segment(0);
+    std::vector<int> targets(static_cast<size_t>(src.NumRows()));
+    DistributedTable::TargetSegments(src, key_cols, n, 0, src.NumRows(),
+                                     targets.data());
     for (int64_t r = 0; r < src.NumRows(); ++r) {
-      RowView row = src.row(r);
-      int target = DistributedTable::TargetSegment(row, key_cols, n);
-      segments[static_cast<size_t>(target)]->AppendRow(row);
+      segments[static_cast<size_t>(targets[static_cast<size_t>(r)])]
+          ->AppendRows(src, r, r + 1);
     }
   } else {
     // Per-sender batch counts: sent[s][t] tuples cross from segment s to
@@ -236,11 +238,13 @@ Result<DistributedTablePtr> MppContext::Redistribute(
       const Table& src = *input.segment(s);
       std::vector<int>& tgt = targets[static_cast<size_t>(s)];
       tgt.resize(static_cast<size_t>(src.NumRows()));
+      if (src.NumRows() > 0) {
+        DistributedTable::TargetSegments(src, key_cols, n, 0, src.NumRows(),
+                                         tgt.data());
+      }
       std::vector<int64_t>& row_sent = sent[static_cast<size_t>(s)];
       for (int64_t r = 0; r < src.NumRows(); ++r) {
-        int target =
-            DistributedTable::TargetSegment(src.row(r), key_cols, n);
-        tgt[static_cast<size_t>(r)] = target;
+        const int target = tgt[static_cast<size_t>(r)];
         if (target != s) ++row_sent[static_cast<size_t>(target)];
       }
     };
@@ -261,11 +265,12 @@ Result<DistributedTablePtr> MppContext::Redistribute(
         const Table& src = *input.segment(s);
         const std::vector<int>& tgt = targets[static_cast<size_t>(s)];
         for (int64_t r = 0; r < src.NumRows(); ++r) {
-          if (tgt[static_cast<size_t>(r)] == t) dst->AppendRow(src.row(r));
+          if (tgt[static_cast<size_t>(r)] == t) dst->AppendRows(src, r, r + 1);
         }
       }
     };
-    if (pool_ != nullptr && pool_->num_threads() > 1 && n > 1) {
+    if (pool_ != nullptr && pool_->num_threads() > 1 && n > 1 &&
+        input.PhysicalRows() >= kSerialFanoutRowCutoff) {
       pool_->ParallelFor(n, 1, [&](int64_t begin, int64_t end) {
         for (int64_t s = begin; s < end; ++s) {
           route_sender(static_cast<int>(s));

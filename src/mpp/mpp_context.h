@@ -32,6 +32,14 @@ namespace probkb {
 /// an exceeded simulated deadline) returns kDeadlineExceeded.
 class MppContext {
  public:
+  /// \brief Total-input-rows floor below which per-segment fan-out runs
+  /// serially even with a pool attached. Dispatching N segment tasks for a
+  /// few hundred rows costs more than the tasks themselves — the
+  /// fig6c_mpp_views workload regressed below 1.0x speedup at 2-8 threads
+  /// purely on fan-out overhead over tiny per-iteration deltas. Outputs are
+  /// unaffected: the serial path is the same code in segment order.
+  static constexpr int64_t kSerialFanoutRowCutoff = 8192;
+
   explicit MppContext(int num_segments, CostParams params = {})
       : num_segments_(num_segments), params_(params) {}
 

@@ -36,13 +36,15 @@ bool CollocatedOn(const Distribution& left, const Distribution& right,
 
 /// Runs the pool-gated fan-out shared by the per-segment operators: calls
 /// `body(s)` for every segment, concurrently when the context carries a
-/// pool of more than one thread, serially (in segment order) otherwise.
-/// Segments are independent units writing disjoint slots, so the two paths
-/// produce identical state.
-void ForEachSegment(MppContext* ctx, int num_segments,
+/// pool of more than one thread AND the operator touches enough rows
+/// (`total_rows`, summed over every input) to amortize the dispatch,
+/// serially (in segment order) otherwise. Segments are independent units
+/// writing disjoint slots, so the two paths produce identical state.
+void ForEachSegment(MppContext* ctx, int num_segments, int64_t total_rows,
                     const std::function<void(int)>& body) {
   ThreadPool* pool = ctx->thread_pool();
-  if (pool != nullptr && pool->num_threads() > 1 && num_segments > 1) {
+  if (pool != nullptr && pool->num_threads() > 1 && num_segments > 1 &&
+      total_rows >= MppContext::kSerialFanoutRowCutoff) {
     pool->ParallelFor(num_segments, 1, [&](int64_t begin, int64_t end) {
       for (int64_t s = begin; s < end; ++s) body(static_cast<int>(s));
     });
@@ -59,6 +61,7 @@ void ForEachSegment(MppContext* ctx, int num_segments,
 /// the same first failure as the serial one.
 template <typename MakePlan>
 Result<DistributedTablePtr> PerSegment(MppContext* ctx, int num_segments,
+                                       int64_t input_rows,
                                        const Schema* out_schema_hint,
                                        Distribution out_dist,
                                        const std::string& label,
@@ -66,7 +69,7 @@ Result<DistributedTablePtr> PerSegment(MppContext* ctx, int num_segments,
   std::vector<TablePtr> out_segments(static_cast<size_t>(num_segments));
   std::vector<double> seg_seconds(static_cast<size_t>(num_segments), 0.0);
   std::vector<Status> statuses(static_cast<size_t>(num_segments));
-  ForEachSegment(ctx, num_segments, [&](int s) {
+  ForEachSegment(ctx, num_segments, input_rows, [&](int s) {
     ExecContext ec;
     Timer timer;
     PlanNodePtr plan = make_plan(s);
@@ -169,7 +172,8 @@ Result<DistributedTablePtr> MppHashJoin(MppContext* ctx,
   auto left_ref = left;
   auto right_ref = right;
   return PerSegment(
-      ctx, n, nullptr, std::move(out_dist), spec.label, [&](int s) {
+      ctx, n, left->PhysicalRows() + right->PhysicalRows(), nullptr,
+      std::move(out_dist), spec.label, [&](int s) {
         return HashJoin(Scan(left_ref->segment(s), left_ref->name()),
                         Scan(right_ref->segment(s), right_ref->name()),
                         spec.left_keys, spec.right_keys, spec.type,
@@ -182,8 +186,8 @@ Result<DistributedTablePtr> MppFilterProject(
     std::optional<std::vector<ProjectExpr>> exprs, Distribution output_dist,
     const std::string& label) {
   return PerSegment(
-      ctx, ctx->num_segments(), nullptr, std::move(output_dist), label,
-      [&](int s) {
+      ctx, ctx->num_segments(), input->PhysicalRows(), nullptr,
+      std::move(output_dist), label, [&](int s) {
         PlanNodePtr plan = Scan(input->segment(s), input->name());
         if (pred != nullptr) plan = Filter(std::move(plan), pred);
         if (exprs.has_value()) plan = Project(std::move(plan), *exprs);
@@ -215,8 +219,8 @@ Result<DistributedTablePtr> MppDistinct(MppContext* ctx,
   }
   Distribution out_dist = input->distribution();
   auto input_ref = input;
-  return PerSegment(ctx, ctx->num_segments(), nullptr, std::move(out_dist),
-                    label, [&](int s) {
+  return PerSegment(ctx, ctx->num_segments(), input->PhysicalRows(), nullptr,
+                    std::move(out_dist), label, [&](int s) {
                       return Distinct(
                           Scan(input_ref->segment(s), input_ref->name()),
                           key_cols);
@@ -254,7 +258,7 @@ Result<DistributedTablePtr> MppAggregate(MppContext* ctx,
   }
   auto input_ref = input;
   return PerSegment(
-      ctx, ctx->num_segments(), nullptr,
+      ctx, ctx->num_segments(), input->PhysicalRows(), nullptr,
       out_dist_keys.empty() ? Distribution::Random()
                             : Distribution::Hash(out_dist_keys),
       label, [&](int s) {
@@ -284,7 +288,8 @@ Result<int64_t> MppSetUnionInto(MppContext* ctx, DistributedTable* dst,
   const int n = ctx->num_segments();
   std::vector<double> seg_seconds(static_cast<size_t>(n));
   std::vector<int64_t> seg_added(static_cast<size_t>(n), 0);
-  ForEachSegment(ctx, n, [&](int s) {
+  ForEachSegment(ctx, n, dst->PhysicalRows() + src_ready->PhysicalRows(),
+                 [&](int s) {
     Timer timer;
     seg_added[static_cast<size_t>(s)] =
         SetUnionInto(dst->mutable_segment(s).get(), *src_ready->segment(s),
@@ -312,7 +317,8 @@ Result<int64_t> MppDeleteMatching(MppContext* ctx, DistributedTable* dst,
   const int n = ctx->num_segments();
   std::vector<double> seg_seconds(static_cast<size_t>(n));
   std::vector<int64_t> seg_deleted(static_cast<size_t>(n), 0);
-  ForEachSegment(ctx, n, [&](int s) {
+  ForEachSegment(ctx, n, dst->PhysicalRows() + keys_ready->PhysicalRows(),
+                 [&](int s) {
     Timer timer;
     seg_deleted[static_cast<size_t>(s)] =
         DeleteMatching(dst->mutable_segment(s).get(), dst_cols,

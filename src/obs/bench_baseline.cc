@@ -233,6 +233,12 @@ bool ParseWorkload(JsonCursor* cursor, BenchWorkload* workload) {
     if (key == "serial_s") {
       return cursor->ParseNumber(&workload->serial_seconds);
     }
+    if (key == "peak_rss_bytes") {
+      double v = 0;
+      if (!cursor->ParseNumber(&v)) return false;
+      workload->peak_rss_bytes = static_cast<long long>(v);
+      return true;
+    }
     if (key == "points") {
       return cursor->ParseArray([&]() {
         BenchPoint point;
@@ -297,11 +303,26 @@ Result<BenchReport> ReadBenchReportFile(const std::string& path) {
 
 BenchComparison CompareBenchReports(const BenchReport& baseline,
                                     const BenchReport& current,
-                                    double threshold) {
+                                    double threshold,
+                                    double memory_threshold) {
   BenchComparison comparison;
   comparison.threshold = threshold;
+  comparison.memory_threshold = memory_threshold;
   for (const BenchWorkload& base_workload : baseline.workloads) {
     const BenchWorkload* cur_workload = current.Find(base_workload.name);
+    if (base_workload.peak_rss_bytes > 0 && cur_workload != nullptr &&
+        cur_workload->peak_rss_bytes > 0) {
+      BenchMemoryDelta mem;
+      mem.workload = base_workload.name;
+      mem.baseline_bytes = base_workload.peak_rss_bytes;
+      mem.current_bytes = cur_workload->peak_rss_bytes;
+      mem.delta_fraction =
+          static_cast<double>(mem.current_bytes - mem.baseline_bytes) /
+          static_cast<double>(mem.baseline_bytes);
+      mem.regression = mem.delta_fraction > memory_threshold;
+      comparison.has_regression = comparison.has_regression || mem.regression;
+      comparison.memory_deltas.push_back(std::move(mem));
+    }
     for (const BenchPoint& base_point : base_workload.points) {
       BenchDelta delta;
       delta.workload = base_workload.name;
@@ -351,6 +372,19 @@ std::string BenchComparison::ToText() const {
                      delta.delta_fraction * 100.0,
                      delta.regression ? "  REGRESSION" : "");
   }
+  if (!memory_deltas.empty()) {
+    out += StrFormat("memory gate (threshold %+.0f%%)\n",
+                     memory_threshold * 100.0);
+    for (const BenchMemoryDelta& mem : memory_deltas) {
+      out += StrFormat(
+          "  %-20s peak RSS  %.1f MiB -> %.1f MiB  (%+.1f%%)%s\n",
+          mem.workload.c_str(),
+          static_cast<double>(mem.baseline_bytes) / (1024.0 * 1024.0),
+          static_cast<double>(mem.current_bytes) / (1024.0 * 1024.0),
+          mem.delta_fraction * 100.0,
+          mem.regression ? "  REGRESSION" : "");
+    }
+  }
   out += has_regression ? "RESULT: REGRESSION\n" : "RESULT: OK\n";
   return out;
 }
@@ -373,6 +407,19 @@ std::string BenchComparison::ToJson() const {
         delta.current_seconds, delta.delta_fraction * 100.0,
         delta.regression ? "true" : "false",
         delta.missing ? "true" : "false");
+  }
+  out += first ? "],\n" : "\n  ],\n";
+  out += StrFormat("  \"memory_threshold\": %g,\n", memory_threshold);
+  out += "  \"memory_deltas\": [";
+  first = true;
+  for (const BenchMemoryDelta& mem : memory_deltas) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += StrFormat(
+        "    {\"workload\": \"%s\", \"baseline_bytes\": %lld, "
+        "\"current_bytes\": %lld, \"delta_pct\": %g, \"regression\": %s}",
+        mem.workload.c_str(), mem.baseline_bytes, mem.current_bytes,
+        mem.delta_fraction * 100.0, mem.regression ? "true" : "false");
   }
   out += first ? "]\n" : "\n  ]\n";
   out += "}\n";

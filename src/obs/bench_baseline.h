@@ -20,6 +20,8 @@ struct BenchPoint {
 struct BenchWorkload {
   std::string name;
   double serial_seconds = 0.0;
+  /// Peak RSS of the serial run; 0 when the report predates the field.
+  long long peak_rss_bytes = 0;
   std::vector<BenchPoint> points;
 };
 
@@ -53,10 +55,24 @@ struct BenchDelta {
   bool missing = false;
 };
 
+/// \brief One workload's peak-RSS cell of a baseline/current diff. Only
+/// produced when both reports carry a positive peak_rss_bytes — reports
+/// predating the field never fail the memory gate.
+struct BenchMemoryDelta {
+  std::string workload;
+  long long baseline_bytes = 0;
+  long long current_bytes = 0;
+  /// (current - baseline) / baseline; +0.20 means 20% more peak memory.
+  double delta_fraction = 0.0;
+  bool regression = false;
+};
+
 /// \brief The result of CompareBenchReports.
 struct BenchComparison {
   double threshold = 0.10;
+  double memory_threshold = 0.15;
   std::vector<BenchDelta> deltas;
+  std::vector<BenchMemoryDelta> memory_deltas;
   bool has_regression = false;
 
   std::string ToText() const;
@@ -65,11 +81,14 @@ struct BenchComparison {
 
 /// \brief Diffs `current` against `baseline`: every baseline
 /// (workload, threads) point must exist in `current` and be no more than
-/// `threshold` (fractional, default 10%) slower. Extra workloads in
+/// `threshold` (fractional, default 10%) slower, and — where both reports
+/// record it — each workload's serial peak RSS no more than
+/// `memory_threshold` (fractional, default 15%) larger. Extra workloads in
 /// `current` are reported informationally and never fail the gate.
 BenchComparison CompareBenchReports(const BenchReport& baseline,
                                     const BenchReport& current,
-                                    double threshold = 0.10);
+                                    double threshold = 0.10,
+                                    double memory_threshold = 0.15);
 
 }  // namespace probkb
 

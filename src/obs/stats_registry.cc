@@ -102,6 +102,9 @@ void StatsRegistry::RecordOp(const std::string& scope, const OpRecord& op) {
   t.build_seconds += op.build_seconds;
   t.probe_seconds += op.probe_seconds;
   t.rehashes += op.rehashes;
+  if (op.build_partitions > t.max_build_partitions) {
+    t.max_build_partitions = op.build_partitions;
+  }
 
   if (op.build_seconds > 0) {
     RecordLatency("join_build", op.build_seconds);
@@ -312,6 +315,9 @@ std::string StatsRegistry::ToText() const {
                             op.build_seconds * 1e3, op.probe_seconds * 1e3,
                             static_cast<long long>(op.rehashes));
         }
+        if (op.build_partitions > 1) {
+          node += StrFormat(" [build x%d]", op.build_partitions);
+        }
         node += "\n";
         int children = op.num_children;
         if (children > static_cast<int>(stack.size())) {
@@ -360,11 +366,11 @@ std::string StatsRegistry::ToJson() const {
           "      {\"label\": \"%s\", \"rows_in\": %lld, \"rows_out\": %lld,"
           " \"seconds\": %.6f, \"build_seconds\": %.6f,"
           " \"probe_seconds\": %.6f, \"rehashes\": %lld,"
-          " \"num_children\": %d}",
+          " \"build_partitions\": %d, \"num_children\": %d}",
           JsonEscape(op.label).c_str(), static_cast<long long>(op.rows_in),
           static_cast<long long>(op.rows_out), op.seconds, op.build_seconds,
           op.probe_seconds, static_cast<long long>(op.rehashes),
-          op.num_children);
+          op.build_partitions, op.num_children);
     }
     out += st.ops.empty() ? "]}" : "\n    ]}";
   }
@@ -377,11 +383,12 @@ std::string StatsRegistry::ToJson() const {
     out += StrFormat(
         "    {\"label\": \"%s\", \"invocations\": %lld, \"rows_in\": %lld,"
         " \"rows_out\": %lld, \"seconds\": %.6f, \"build_seconds\": %.6f,"
-        " \"probe_seconds\": %.6f, \"rehashes\": %lld}",
+        " \"probe_seconds\": %.6f, \"rehashes\": %lld,"
+        " \"max_build_partitions\": %d}",
         JsonEscape(t.label).c_str(), static_cast<long long>(t.invocations),
         static_cast<long long>(t.rows_in), static_cast<long long>(t.rows_out),
         t.seconds, t.build_seconds, t.probe_seconds,
-        static_cast<long long>(t.rehashes));
+        static_cast<long long>(t.rehashes), t.max_build_partitions);
   }
   out += op_totals_.empty() ? "],\n" : "\n  ],\n";
 

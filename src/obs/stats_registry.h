@@ -26,6 +26,8 @@ struct OpRecord {
   double probe_seconds = 0.0;
   /// Mid-build growths of the operator's hash index (0 when pre-sized).
   int64_t rehashes = 0;
+  /// Hash-join build-side partition fan-out (1 = serial build, 0 = n/a).
+  int build_partitions = 0;
   int num_children = 0;
 };
 
@@ -45,6 +47,8 @@ struct OpTotals {
   double build_seconds = 0.0;
   double probe_seconds = 0.0;
   int64_t rehashes = 0;
+  /// Widest build-side partition fan-out seen for this label.
+  int max_build_partitions = 0;
 };
 
 /// \brief One (iteration, partition) cell of the grounding fixpoint: the

@@ -9,41 +9,249 @@ std::string RowView::ToString() const {
   std::string out = "[";
   for (int i = 0; i < width_; ++i) {
     if (i > 0) out += ", ";
-    out += data_[i].ToString();
+    out += (*this)[i].ToString();
   }
   out += "]";
   return out;
 }
 
-void Table::AppendTable(const Table& other) {
-  PROBKB_CHECK(other.width() == width());
-  values_.insert(values_.end(), other.values_.begin(), other.values_.end());
+void Table::ExtendNullWords(int64_t n) {
+  const size_t words = static_cast<size_t>((num_rows_ + n + 63) >> 6);
+  for (Column& c : cols_) {
+    if (c.null_words.size() < words) c.null_words.resize(words, 0);
+  }
+}
+
+void Table::AppendRow(std::span<const Value> row) {
+  PROBKB_DCHECK(static_cast<int>(row.size()) == width());
+  ExtendNullWords(1);
+  const int64_t r = num_rows_;
+  for (size_t ci = 0; ci < cols_.size(); ++ci) {
+    Column& c = cols_[ci];
+    const Value& v = row[ci];
+    if (v.is_null()) {
+      SetNullBit(&c, r);
+      if (c.type == ColumnType::kInt64) {
+        c.i64.push_back(0);
+      } else {
+        c.f64.push_back(0.0);
+      }
+    } else if (c.type == ColumnType::kInt64) {
+      PROBKB_DCHECK(v.is_int64());
+      c.i64.push_back(v.i64());
+    } else {
+      PROBKB_DCHECK(v.is_float64());
+      c.f64.push_back(v.f64());
+    }
+  }
+  ++num_rows_;
+}
+
+void Table::AppendRow(const RowView& row) {
+  const Table* src = row.backing_table();
+  if (src != nullptr) {
+    AppendRows(*src, row.row_index(), row.row_index() + 1);
+    return;
+  }
+  PROBKB_DCHECK(row.width() == width());
+  ExtendNullWords(1);
+  const int64_t r = num_rows_;
+  for (int ci = 0; ci < width(); ++ci) {
+    Column& c = cols_[static_cast<size_t>(ci)];
+    const Value v = row[ci];
+    if (v.is_null()) {
+      SetNullBit(&c, r);
+      if (c.type == ColumnType::kInt64) {
+        c.i64.push_back(0);
+      } else {
+        c.f64.push_back(0.0);
+      }
+    } else if (c.type == ColumnType::kInt64) {
+      PROBKB_DCHECK(v.is_int64());
+      c.i64.push_back(v.i64());
+    } else {
+      PROBKB_DCHECK(v.is_float64());
+      c.f64.push_back(v.f64());
+    }
+  }
+  ++num_rows_;
+}
+
+void Table::AppendRows(const Table& src, int64_t begin, int64_t end) {
+  PROBKB_CHECK(src.width() == width());
+  PROBKB_DCHECK(begin >= 0 && begin <= end && end <= src.NumRows());
+  const int64_t n = end - begin;
+  if (n == 0) return;
+  ExtendNullWords(n);
+  for (size_t ci = 0; ci < cols_.size(); ++ci) {
+    Column& dst = cols_[ci];
+    const Column& from = src.cols_[ci];
+    PROBKB_DCHECK(dst.type == from.type);
+    if (dst.type == ColumnType::kInt64) {
+      dst.i64.insert(dst.i64.end(), from.i64.begin() + begin,
+                     from.i64.begin() + end);
+    } else {
+      dst.f64.insert(dst.f64.end(), from.f64.begin() + begin,
+                     from.f64.begin() + end);
+    }
+    if (from.null_count > 0) {
+      for (int64_t r = begin; r < end; ++r) {
+        if (IsNullBit(from, r)) SetNullBit(&dst, num_rows_ + (r - begin));
+      }
+    }
+  }
+  num_rows_ += n;
+}
+
+void Table::AppendProjectedRows(const Table& src,
+                                std::span<const int> src_cols) {
+  PROBKB_CHECK(static_cast<int>(src_cols.size()) == width());
+  const int64_t n = src.NumRows();
+  if (n == 0) return;
+  ExtendNullWords(n);
+  for (size_t ci = 0; ci < cols_.size(); ++ci) {
+    Column& dst = cols_[ci];
+    const Column& from = src.cols_[static_cast<size_t>(src_cols[ci])];
+    PROBKB_CHECK(dst.type == from.type);
+    if (dst.type == ColumnType::kInt64) {
+      dst.i64.insert(dst.i64.end(), from.i64.begin(), from.i64.end());
+    } else {
+      dst.f64.insert(dst.f64.end(), from.f64.begin(), from.f64.end());
+    }
+    if (from.null_count > 0) {
+      for (int64_t r = 0; r < n; ++r) {
+        if (IsNullBit(from, r)) SetNullBit(&dst, num_rows_ + r);
+      }
+    }
+  }
+  num_rows_ += n;
+}
+
+void Table::ReserveRows(int64_t n) {
+  const size_t rows = static_cast<size_t>(num_rows_ + n);
+  for (Column& c : cols_) {
+    if (c.type == ColumnType::kInt64) {
+      c.i64.reserve(rows);
+    } else {
+      c.f64.reserve(rows);
+    }
+    c.null_words.reserve((rows + 63) >> 6);
+  }
+}
+
+void Table::Clear() {
+  for (Column& c : cols_) {
+    c.i64.clear();
+    c.f64.clear();
+    c.null_words.clear();
+    c.null_count = 0;
+  }
+  num_rows_ = 0;
 }
 
 int64_t Table::FilterInPlace(const std::vector<bool>& keep) {
   PROBKB_CHECK(static_cast<int64_t>(keep.size()) == NumRows());
-  const int w = width();
+  const int64_t n = num_rows_;
   int64_t write = 0;
-  int64_t removed = 0;
-  for (int64_t r = 0; r < NumRows(); ++r) {
-    if (keep[static_cast<size_t>(r)]) {
-      if (write != r) {
-        std::copy(values_.begin() + r * w, values_.begin() + (r + 1) * w,
-                  values_.begin() + write * w);
+  for (int64_t r = 0; r < n; ++r) {
+    if (keep[static_cast<size_t>(r)]) ++write;
+  }
+  const int64_t kept = write;
+  for (Column& c : cols_) {
+    write = 0;
+    if (c.type == ColumnType::kInt64) {
+      for (int64_t r = 0; r < n; ++r) {
+        if (keep[static_cast<size_t>(r)]) {
+          c.i64[static_cast<size_t>(write++)] = c.i64[static_cast<size_t>(r)];
+        }
       }
-      ++write;
+      c.i64.resize(static_cast<size_t>(kept));
     } else {
-      ++removed;
+      for (int64_t r = 0; r < n; ++r) {
+        if (keep[static_cast<size_t>(r)]) {
+          c.f64[static_cast<size_t>(write++)] = c.f64[static_cast<size_t>(r)];
+        }
+      }
+      c.f64.resize(static_cast<size_t>(kept));
+    }
+    if (c.null_count > 0) {
+      std::vector<uint64_t> words(static_cast<size_t>((kept + 63) >> 6), 0);
+      int64_t nulls = 0;
+      write = 0;
+      for (int64_t r = 0; r < n; ++r) {
+        if (!keep[static_cast<size_t>(r)]) continue;
+        if (IsNullBit(c, r)) {
+          words[static_cast<size_t>(write >> 6)] |=
+              uint64_t{1} << (static_cast<uint64_t>(write) & 63);
+          ++nulls;
+        }
+        ++write;
+      }
+      c.null_words = std::move(words);
+      c.null_count = nulls;
+    } else {
+      c.null_words.resize(static_cast<size_t>((kept + 63) >> 6));
     }
   }
-  values_.resize(static_cast<size_t>(write * w));
-  return removed;
+  num_rows_ = kept;
+  return n - kept;
 }
 
 TablePtr Table::Clone() const {
   auto out = Table::Make(schema_);
-  out->values_ = values_;
+  out->num_rows_ = num_rows_;
+  out->cols_ = cols_;
   return out;
+}
+
+void Table::SetFloat64(int64_t row, int col, double v) {
+  PROBKB_DCHECK(row >= 0 && row < NumRows());
+  Column& c = cols_[static_cast<size_t>(col)];
+  PROBKB_CHECK(c.type == ColumnType::kFloat64);
+  c.f64[static_cast<size_t>(row)] = v;
+  if (c.null_count > 0 && IsNullBit(c, row)) {
+    c.null_words[static_cast<size_t>(row >> 6)] &=
+        ~(uint64_t{1} << (static_cast<uint64_t>(row) & 63));
+    --c.null_count;
+  }
+}
+
+void Table::HashRows(std::span<const int> key_cols, int64_t begin,
+                     int64_t end, size_t* out) const {
+  PROBKB_DCHECK(begin >= 0 && begin <= end && end <= NumRows());
+  const int64_t n = end - begin;
+  for (int64_t i = 0; i < n; ++i) out[i] = kRowHashSeed;
+  for (int kc : key_cols) {
+    const Column& c = cols_[static_cast<size_t>(kc)];
+    if (c.type == ColumnType::kInt64) {
+      const int64_t* data = c.i64.data() + begin;
+      if (c.null_count == 0) {
+        for (int64_t i = 0; i < n; ++i) {
+          out[i] = CombineRowHash(out[i], value_hash::OfInt64(data[i]));
+        }
+      } else {
+        for (int64_t i = 0; i < n; ++i) {
+          out[i] = CombineRowHash(out[i], IsNullBit(c, begin + i)
+                                              ? value_hash::OfNull()
+                                              : value_hash::OfInt64(data[i]));
+        }
+      }
+    } else {
+      const double* data = c.f64.data() + begin;
+      if (c.null_count == 0) {
+        for (int64_t i = 0; i < n; ++i) {
+          out[i] = CombineRowHash(out[i], value_hash::OfFloat64(data[i]));
+        }
+      } else {
+        for (int64_t i = 0; i < n; ++i) {
+          out[i] = CombineRowHash(out[i],
+                                  IsNullBit(c, begin + i)
+                                      ? value_hash::OfNull()
+                                      : value_hash::OfFloat64(data[i]));
+        }
+      }
+    }
+  }
 }
 
 std::string Table::ToString(int64_t max_rows) const {
@@ -61,17 +269,19 @@ std::vector<std::vector<Value>> Table::SortedRows() const {
   std::vector<std::vector<Value>> rows;
   rows.reserve(static_cast<size_t>(NumRows()));
   for (int64_t i = 0; i < NumRows(); ++i) {
-    auto view = row(i);
-    rows.emplace_back(view.values().begin(), view.values().end());
+    std::vector<Value> materialized;
+    materialized.reserve(static_cast<size_t>(width()));
+    for (int c = 0; c < width(); ++c) materialized.push_back(ValueAt(i, c));
+    rows.push_back(std::move(materialized));
   }
   std::sort(rows.begin(), rows.end());
   return rows;
 }
 
 size_t HashRowKey(const RowView& row, std::span<const int> key_cols) {
-  size_t h = 0x243F6A8885A308D3ULL;  // pi digits
+  size_t h = kRowHashSeed;
   for (int c : key_cols) {
-    h ^= row[c].Hash() + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+    h = CombineRowHash(h, row[c].Hash());
   }
   return h;
 }

@@ -18,24 +18,29 @@ namespace probkb {
 class Table;
 using TablePtr = std::shared_ptr<Table>;
 
-/// \brief Non-owning view of one row of a Table.
+/// \brief Non-owning view of one row.
+///
+/// Two backings share this facade: a row of a (columnar) Table, or a raw
+/// `Value` buffer materialized by an operator (residual-predicate input,
+/// aggregate output). `operator[]` therefore returns a Value by value; the
+/// cell itself no longer exists contiguously in memory for table-backed
+/// views.
 class RowView {
  public:
   RowView(const Value* data, int width) : data_(data), width_(width) {}
+  inline RowView(const Table* table, int64_t row);
 
   int width() const { return width_; }
-  const Value& operator[](int col) const {
-    PROBKB_DCHECK(col >= 0 && col < width_);
-    return data_[col];
-  }
-  std::span<const Value> values() const {
-    return {data_, static_cast<size_t>(width_)};
-  }
+  inline Value operator[](int col) const;
+
+  /// Table backing this view, or nullptr for buffer-backed views.
+  const Table* backing_table() const { return table_; }
+  int64_t row_index() const { return row_; }
 
   bool Equals(const RowView& other) const {
     if (width_ != other.width_) return false;
     for (int i = 0; i < width_; ++i) {
-      if (data_[i] != other.data_[i]) return false;
+      if ((*this)[i] != other[i]) return false;
     }
     return true;
   }
@@ -43,18 +48,33 @@ class RowView {
   std::string ToString() const;
 
  private:
-  const Value* data_;
-  int width_;
+  const Table* table_ = nullptr;
+  int64_t row_ = 0;
+  const Value* data_ = nullptr;
+  int width_ = 0;
 };
 
-/// \brief Row-major in-memory relation: a Schema plus a flat value buffer.
+/// \brief Columnar in-memory relation: a Schema plus one typed vector
+/// (`int64_t` or `double`) and a null bitmap per column.
+///
+/// Every column is either a dictionary-encoded int64 id or a float64
+/// weight (see ColumnType), so storing the 16-byte tagged Value scalar per
+/// cell wasted half the bytes and broke the contiguity the join hot loops
+/// want. Columns store 8 bytes per cell plus one bit of null bitmap; NULL
+/// cells hold a zero sentinel in the typed vector and set their bit.
+/// RowView/AppendRow remain as a row-oriented compatibility facade.
 ///
 /// Rows are appended, scanned by index, and deleted in bulk; this matches
 /// how the grounding algorithm uses its tables (bulk inserts from joins,
 /// bulk deletes from constraint application).
 class Table {
  public:
-  explicit Table(Schema schema) : schema_(std::move(schema)) {}
+  explicit Table(Schema schema) : schema_(std::move(schema)) {
+    cols_.resize(static_cast<size_t>(schema_.num_fields()));
+    for (int c = 0; c < schema_.num_fields(); ++c) {
+      cols_[static_cast<size_t>(c)].type = schema_.field(c).type;
+    }
+  }
 
   static TablePtr Make(Schema schema) {
     return std::make_shared<Table>(std::move(schema));
@@ -62,35 +82,49 @@ class Table {
 
   const Schema& schema() const { return schema_; }
   int width() const { return schema_.num_fields(); }
-  int64_t NumRows() const {
-    return width() == 0 ? 0
-                        : static_cast<int64_t>(values_.size()) / width();
-  }
+  int64_t NumRows() const { return width() == 0 ? 0 : num_rows_; }
 
   RowView row(int64_t i) const {
     PROBKB_DCHECK(i >= 0 && i < NumRows());
-    return RowView(values_.data() + i * width(), width());
+    return RowView(this, i);
+  }
+
+  /// \brief Materializes one cell. NULL bits win over the sentinel stored
+  /// in the typed vector.
+  Value ValueAt(int64_t row, int col) const {
+    PROBKB_DCHECK(row >= 0 && row < NumRows());
+    PROBKB_DCHECK(col >= 0 && col < width());
+    const Column& c = cols_[static_cast<size_t>(col)];
+    if (c.null_count > 0 && IsNullBit(c, row)) return Value::Null();
+    return c.type == ColumnType::kInt64
+               ? Value::Int64(c.i64[static_cast<size_t>(row)])
+               : Value::Float64(c.f64[static_cast<size_t>(row)]);
   }
 
   /// \brief Appends one row; `row.size()` must equal the schema width.
-  void AppendRow(std::span<const Value> row) {
-    PROBKB_DCHECK(static_cast<int>(row.size()) == width());
-    values_.insert(values_.end(), row.begin(), row.end());
-  }
+  void AppendRow(std::span<const Value> row);
   void AppendRow(std::initializer_list<Value> row) {
     AppendRow(std::span<const Value>(row.begin(), row.size()));
   }
-  void AppendRow(const RowView& row) { AppendRow(row.values()); }
+  void AppendRow(const RowView& row);
 
   /// \brief Appends all rows of `other`; schemas must have equal width.
-  void AppendTable(const Table& other);
-
-  /// \brief Reserves space for `n` additional rows.
-  void ReserveRows(int64_t n) {
-    values_.reserve(values_.size() + static_cast<size_t>(n * width()));
+  void AppendTable(const Table& other) {
+    AppendRows(other, 0, other.NumRows());
   }
 
-  void Clear() { values_.clear(); }
+  /// \brief Appends rows [begin, end) of `src` as contiguous per-column
+  /// copies (no per-cell Value materialization). Column types must match.
+  void AppendRows(const Table& src, int64_t begin, int64_t end);
+
+  /// \brief Appends every row of `src`, keeping only columns `src_cols`
+  /// (in order). The columnar fast path behind all-column projections.
+  void AppendProjectedRows(const Table& src, std::span<const int> src_cols);
+
+  /// \brief Reserves space for `n` additional rows.
+  void ReserveRows(int64_t n);
+
+  void Clear();
 
   /// \brief Removes rows for which `keep[i]` is false. `keep.size()` must be
   /// NumRows(). Returns the number of rows removed.
@@ -99,10 +133,47 @@ class Table {
   /// \brief Deep copy.
   TablePtr Clone() const;
 
-  /// \brief Rough memory footprint in bytes (used by the MPP cost model).
+  /// \brief Exact memory footprint of the column data in bytes: 8 bytes per
+  /// cell plus the null-bitmap words (used by the MPP cost model).
   int64_t ByteSize() const {
-    return static_cast<int64_t>(values_.size() * sizeof(Value));
+    int64_t bytes = 0;
+    for (const Column& c : cols_) {
+      bytes += static_cast<int64_t>(
+          (c.type == ColumnType::kInt64 ? c.i64.size() : c.f64.size()) *
+              sizeof(int64_t) +
+          c.null_words.size() * sizeof(uint64_t));
+    }
+    return bytes;
   }
+
+  // Columnar accessors for batch loops. The raw pointers alias the typed
+  // vectors: valid until the next append/filter. Null cells hold a zero
+  // sentinel; consult IsNull()/ColumnHasNulls() where NULLs can occur.
+  const int64_t* Int64Data(int col) const {
+    PROBKB_DCHECK(ColType(col) == ColumnType::kInt64);
+    return cols_[static_cast<size_t>(col)].i64.data();
+  }
+  const double* Float64Data(int col) const {
+    PROBKB_DCHECK(ColType(col) == ColumnType::kFloat64);
+    return cols_[static_cast<size_t>(col)].f64.data();
+  }
+  bool ColumnHasNulls(int col) const {
+    return cols_[static_cast<size_t>(col)].null_count > 0;
+  }
+  bool IsNull(int64_t row, int col) const {
+    const Column& c = cols_[static_cast<size_t>(col)];
+    return c.null_count > 0 && IsNullBit(c, row);
+  }
+
+  /// \brief Overwrites a float64 cell in place, clearing its null bit.
+  /// Inference writes marginals back into TPi's weight column with this.
+  void SetFloat64(int64_t row, int col, double v);
+
+  /// \brief Batch row-key hashing: fills `out[0 .. end-begin)` with
+  /// HashRowKey(row(begin + i), key_cols), computed as one tight loop per
+  /// key column over the contiguous column data.
+  void HashRows(std::span<const int> key_cols, int64_t begin, int64_t end,
+                size_t* out) const;
 
   /// \brief Pretty-prints up to `max_rows` rows (debugging / examples).
   std::string ToString(int64_t max_rows = 20) const;
@@ -112,9 +183,51 @@ class Table {
   std::vector<std::vector<Value>> SortedRows() const;
 
  private:
+  struct Column {
+    ColumnType type = ColumnType::kInt64;
+    std::vector<int64_t> i64;         // data when type == kInt64
+    std::vector<double> f64;          // data when type == kFloat64
+    std::vector<uint64_t> null_words; // bit r set => row r is NULL
+    int64_t null_count = 0;
+  };
+
+  ColumnType ColType(int col) const {
+    PROBKB_DCHECK(col >= 0 && col < width());
+    return cols_[static_cast<size_t>(col)].type;
+  }
+
+  static bool IsNullBit(const Column& c, int64_t row) {
+    return (c.null_words[static_cast<size_t>(row >> 6)] >>
+            (static_cast<uint64_t>(row) & 63)) &
+           1;
+  }
+  static void SetNullBit(Column* c, int64_t row) {
+    c->null_words[static_cast<size_t>(row >> 6)] |=
+        uint64_t{1} << (static_cast<uint64_t>(row) & 63);
+    ++c->null_count;
+  }
+  /// Grows every column's bitmap to cover rows [0, num_rows_ + n).
+  void ExtendNullWords(int64_t n);
+
   Schema schema_;
-  std::vector<Value> values_;
+  int64_t num_rows_ = 0;
+  std::vector<Column> cols_;
 };
+
+inline RowView::RowView(const Table* table, int64_t row)
+    : table_(table), row_(row), width_(table->width()) {}
+
+inline Value RowView::operator[](int col) const {
+  PROBKB_DCHECK(col >= 0 && col < width_);
+  return table_ != nullptr ? table_->ValueAt(row_, col) : data_[col];
+}
+
+/// Seed and combine step of the row-key hash; Table::HashRows and
+/// HashRowKey share them so batched and scalar hashing agree bit for bit.
+inline constexpr size_t kRowHashSeed = 0x243F6A8885A308D3ULL;  // pi digits
+inline size_t CombineRowHash(size_t h, size_t value_hash) {
+  return h ^ (value_hash + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2));
+}
 
 /// \brief Hashes the key columns of a row (for joins / distinct / hash
 /// distribution).

@@ -21,7 +21,7 @@ Status WriteTableTsv(const Table& table, std::ostream* out) {
     RowView row = table.row(i);
     for (int c = 0; c < table.width(); ++c) {
       if (c > 0) *out << '\t';
-      const Value& v = row[c];
+      const Value v = row[c];
       if (v.is_null()) {
         *out << "\\N";
       } else if (v.is_int64()) {

@@ -1,8 +1,10 @@
 #ifndef PROBKB_RELATIONAL_VALUE_H_
 #define PROBKB_RELATIONAL_VALUE_H_
 
+#include <cmath>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <ostream>
 #include <string>
 
@@ -16,6 +18,37 @@ namespace probkb {
 enum class ColumnType : uint8_t { kInt64 = 0, kFloat64 = 1 };
 
 const char* ColumnTypeToString(ColumnType type);
+
+/// Per-type hash primitives shared by Value::Hash and the columnar batch
+/// hashers (Table::HashRows): both paths must produce identical hashes or
+/// a batched probe would miss chains the scalar path built.
+namespace value_hash {
+
+inline uint64_t Mix(uint64_t h) {
+  // Fibonacci-style mix.
+  h ^= h >> 33;
+  h *= 0xFF51AFD7ED558CCDULL;
+  h ^= h >> 33;
+  return h;
+}
+
+inline size_t OfNull() {
+  return static_cast<size_t>(Mix(0x9E3779B97F4A7C15ULL));
+}
+
+inline size_t OfInt64(int64_t v) {
+  return static_cast<size_t>(Mix(static_cast<uint64_t>(v)));
+}
+
+inline size_t OfFloat64(double d) {
+  // Normalize -0.0 to 0.0 and every NaN payload to one canonical NaN so
+  // equal (or all-NaN) values land in one hash chain.
+  if (d == 0.0) d = 0.0;
+  if (std::isnan(d)) d = std::numeric_limits<double>::quiet_NaN();
+  return static_cast<size_t>(Mix(std::hash<double>{}(d)));
+}
+
+}  // namespace value_hash
 
 /// \brief A nullable scalar: NULL, int64, or float64. 16 bytes, trivially
 /// copyable.
@@ -67,26 +100,15 @@ class Value {
   }
 
   size_t Hash() const {
-    uint64_t h = 0;
     switch (tag_) {
       case Tag::kNull:
-        h = 0x9E3779B97F4A7C15ULL;
-        break;
+        return value_hash::OfNull();
       case Tag::kInt64:
-        h = static_cast<uint64_t>(i64_);
-        break;
-      case Tag::kFloat64: {
-        // Normalize -0.0 to 0.0 so equal values hash equally.
-        double d = f64_ == 0.0 ? 0.0 : f64_;
-        h = std::hash<double>{}(d);
-        break;
-      }
+        return value_hash::OfInt64(i64_);
+      case Tag::kFloat64:
+        return value_hash::OfFloat64(f64_);
     }
-    // Fibonacci-style mix.
-    h ^= h >> 33;
-    h *= 0xFF51AFD7ED558CCDULL;
-    h ^= h >> 33;
-    return static_cast<size_t>(h);
+    return 0;
   }
 
   std::string ToString() const;

@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstring>
+#include <limits>
+
 #include "relational/catalog.h"
 #include "relational/schema.h"
 #include "relational/table.h"
@@ -30,6 +34,25 @@ TEST(ValueTest, HashConsistentWithEquality) {
   EXPECT_EQ(Value::Int64(42).Hash(), Value::Int64(42).Hash());
   EXPECT_EQ(Value::Null().Hash(), Value::Null().Hash());
   EXPECT_EQ(Value::Float64(0.0).Hash(), Value::Float64(-0.0).Hash());
+}
+
+TEST(ValueTest, HashNormalizesNaNPayloads) {
+  // Every NaN bit pattern hashes identically (like -0.0 vs 0.0), so the
+  // batched column hasher and the scalar Value path can both canonicalize
+  // without disagreeing on chain placement.
+  const double quiet = std::numeric_limits<double>::quiet_NaN();
+  const double negated = -quiet;  // differs in the sign bit
+  double payload = quiet;
+  uint64_t bits;
+  std::memcpy(&bits, &payload, sizeof(bits));
+  bits |= 0x5ULL;  // perturb mantissa payload bits, still a NaN
+  std::memcpy(&payload, &bits, sizeof(bits));
+  ASSERT_TRUE(std::isnan(negated));
+  ASSERT_TRUE(std::isnan(payload));
+  EXPECT_EQ(Value::Float64(quiet).Hash(), Value::Float64(negated).Hash());
+  EXPECT_EQ(Value::Float64(quiet).Hash(), Value::Float64(payload).Hash());
+  // NaN is still not equal to a non-NaN, and hashes apart from one.
+  EXPECT_NE(Value::Float64(quiet).Hash(), Value::Float64(1.0).Hash());
 }
 
 TEST(ValueTest, Ordering) {
@@ -113,6 +136,66 @@ TEST(TableTest, ByteSizeGrowsWithRows) {
   int64_t empty = t.ByteSize();
   t.AppendRow({Value::Int64(1), Value::Int64(2)});
   EXPECT_GT(t.ByteSize(), empty);
+}
+
+Schema MixedCol() {
+  return Schema({{"a", ColumnType::kInt64}, {"w", ColumnType::kFloat64}});
+}
+
+TEST(TableTest, ColumnarAccessorsAndNulls) {
+  Table t(MixedCol());
+  t.AppendRow({Value::Int64(7), Value::Float64(0.5)});
+  t.AppendRow({Value::Null(), Value::Null()});
+  t.AppendRow({Value::Int64(9), Value::Float64(1.5)});
+  // Raw column data: null cells hold the zero sentinel, the bitmap decides.
+  EXPECT_EQ(t.Int64Data(0)[0], 7);
+  EXPECT_EQ(t.Int64Data(0)[1], 0);
+  EXPECT_EQ(t.Int64Data(0)[2], 9);
+  EXPECT_DOUBLE_EQ(t.Float64Data(1)[2], 1.5);
+  EXPECT_TRUE(t.ColumnHasNulls(0));
+  EXPECT_TRUE(t.IsNull(1, 0));
+  EXPECT_FALSE(t.IsNull(0, 0));
+  // RowView reads through the facade agree with the raw columns.
+  EXPECT_TRUE(t.row(1)[0].is_null());
+  EXPECT_TRUE(t.row(1)[1].is_null());
+  EXPECT_EQ(t.row(2)[0].i64(), 9);
+  // A null int cell is not Int64(0): the sentinel never leaks.
+  EXPECT_NE(t.row(1)[0], Value::Int64(0));
+}
+
+TEST(TableTest, SetFloat64PatchesInPlace) {
+  Table t(MixedCol());
+  t.AppendRow({Value::Int64(1), Value::Null()});
+  t.AppendRow({Value::Int64(2), Value::Float64(0.25)});
+  EXPECT_TRUE(t.row(0)[1].is_null());
+  t.SetFloat64(0, 1, 0.75);
+  EXPECT_FALSE(t.row(0)[1].is_null());
+  EXPECT_DOUBLE_EQ(t.row(0)[1].f64(), 0.75);
+  EXPECT_DOUBLE_EQ(t.row(1)[1].f64(), 0.25);  // neighbours untouched
+  EXPECT_FALSE(t.ColumnHasNulls(1));
+}
+
+TEST(TableTest, BatchHashMatchesScalarHash) {
+  Table t(MixedCol());
+  t.AppendRow({Value::Int64(3), Value::Float64(-0.0)});
+  t.AppendRow({Value::Null(), Value::Float64(2.5)});
+  t.AppendRow({Value::Int64(-8), Value::Null()});
+  const std::vector<int> keys = {0, 1};
+  std::vector<size_t> batched(static_cast<size_t>(t.NumRows()));
+  t.HashRows(keys, 0, t.NumRows(), batched.data());
+  for (int64_t i = 0; i < t.NumRows(); ++i) {
+    EXPECT_EQ(batched[static_cast<size_t>(i)], HashRowKey(t.row(i), keys))
+        << "row " << i;
+  }
+}
+
+TEST(TableTest, AppendRowsRange) {
+  auto src = testutil::MakeTable(TwoCol(), {{1, 2}, {3, 4}, {5, 6}, {7, 8}});
+  Table dst(TwoCol());
+  dst.AppendRows(*src, 1, 3);
+  ASSERT_EQ(dst.NumRows(), 2);
+  EXPECT_EQ(dst.row(0)[0].i64(), 3);
+  EXPECT_EQ(dst.row(1)[0].i64(), 5);
 }
 
 TEST(CatalogTest, RegisterGetDrop) {

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "engine/ops.h"
+#include "fault/checkpoint.h"
 #include "kb/relational_model.h"
 #include "tests/test_util.h"
 
@@ -95,6 +96,81 @@ TEST(TableIoTest, DoublePrecisionSurvives) {
   ASSERT_TRUE(back.ok());
   EXPECT_DOUBLE_EQ((*back)->row(0)[0].f64(), 0.1 + 0.2);
   EXPECT_DOUBLE_EQ((*back)->row(1)[0].f64(), 1.0 / 3.0);
+}
+
+// A TSV fixture captured verbatim from the row-major Table era. The
+// columnar Table must parse it and re-serialize it byte-identically: the
+// on-disk interchange format is a compatibility contract, not an
+// implementation detail.
+TEST(TableIoTest, PreColumnarFixtureRoundTripsByteIdentically) {
+  const std::string fixture =
+      "# I INT64 w FLOAT64\n"
+      "1\t0.5\n"
+      "-7\t\\N\n"
+      "\\N\t0.25\n";
+  Schema schema({{"I", ColumnType::kInt64}, {"w", ColumnType::kFloat64}});
+  std::istringstream in(fixture);
+  auto table = ReadTableTsv(schema, &in);
+  ASSERT_TRUE(table.ok()) << table.status();
+  ASSERT_EQ((*table)->NumRows(), 3);
+  EXPECT_EQ((*table)->row(0)[0], Value::Int64(1));
+  EXPECT_TRUE((*table)->row(1)[1].is_null());
+  EXPECT_TRUE((*table)->row(2)[0].is_null());
+  std::ostringstream out;
+  ASSERT_TRUE(WriteTableTsv(**table, &out).ok());
+  EXPECT_EQ(out.str(), fixture);
+}
+
+// Full checkpoint cycle through the columnar Table: a PR-1-style
+// GroundingCheckpoint (TPi + ban sets + MPP segments) written and read
+// back must restore every table bit-exactly — row order included, since
+// it determines fact-id assignment on resume.
+TEST(TableIoTest, GroundingCheckpointRoundTripsThroughColumnarTable) {
+  GroundingCheckpoint cp;
+  cp.iteration = 3;
+  cp.next_fact_id = 41;
+  cp.delta_start = 2;
+  cp.t_pi = Table::Make(TPiSchema());
+  cp.t_pi->AppendRow({Value::Int64(40), Value::Int64(1), Value::Int64(2),
+                      Value::Int64(3), Value::Int64(4), Value::Int64(5),
+                      Value::Float64(0.5)});
+  cp.t_pi->AppendRow({Value::Int64(39), Value::Int64(1), Value::Int64(6),
+                      Value::Int64(3), Value::Int64(7), Value::Int64(5),
+                      Value::Null()});
+  cp.banned_x = Table::Make(BannedEntitySchema());
+  cp.banned_x->AppendRow({Value::Int64(2), Value::Int64(3)});
+  cp.banned_y = Table::Make(BannedEntitySchema());
+  cp.num_segments = 2;
+  for (int s = 0; s < 2; ++s) {
+    auto seg = Table::Make(TPiSchema());
+    seg->AppendRow({Value::Int64(10 + s), Value::Int64(1), Value::Int64(s),
+                    Value::Int64(3), Value::Int64(s), Value::Int64(5),
+                    Value::Float64(0.25 * (s + 1))});
+    cp.t0_segments.push_back(seg);
+    cp.tx_segments.push_back(seg->Clone());
+    cp.ty_segments.push_back(Table::Make(TPiSchema()));
+    cp.txy_segments.push_back(Table::Make(TPiSchema()));
+  }
+  const std::string dir = ::testing::TempDir() + "/probkb_cp_columnar";
+  ASSERT_TRUE(WriteGroundingCheckpoint(cp, dir).ok());
+  ASSERT_TRUE(GroundingCheckpointExists(dir));
+  auto back = ReadGroundingCheckpoint(TPiSchema(), dir);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->iteration, cp.iteration);
+  EXPECT_EQ(back->next_fact_id, cp.next_fact_id);
+  EXPECT_EQ(back->delta_start, cp.delta_start);
+  EXPECT_EQ(back->num_segments, 2);
+  EXPECT_TRUE(TablesEqualExact(*back->t_pi, *cp.t_pi));
+  EXPECT_TRUE(TablesEqualExact(*back->banned_x, *cp.banned_x));
+  EXPECT_TRUE(TablesEqualExact(*back->banned_y, *cp.banned_y));
+  for (int s = 0; s < 2; ++s) {
+    EXPECT_TRUE(
+        TablesEqualExact(*back->t0_segments[s], *cp.t0_segments[s]));
+    EXPECT_TRUE(
+        TablesEqualExact(*back->tx_segments[s], *cp.tx_segments[s]));
+    EXPECT_TRUE(
+        TablesEqualExact(*back->ty_segments[s], *cp.ty_segments[s]));
+  }
 }
 
 }  // namespace

@@ -1,14 +1,16 @@
 // bench_compare — the bench regression gate.
 //
 //   bench_compare BASELINE.json CURRENT.json [--threshold FRACTION]
-//                 [--out COMPARISON.json]
+//                 [--memory-threshold FRACTION] [--out COMPARISON.json]
 //
 // Diffs a fresh bench_report JSON against a committed baseline
 // (bench/baselines/BENCH_parallel.json) and exits non-zero when any
 // (workload, thread-count) point got more than `threshold` (default 0.10
-// = 10%) slower, or disappeared from the current report. CI runs this
-// after bench_report so throughput regressions fail the build instead of
-// landing silently.
+// = 10%) slower, disappeared from the current report, or — when both
+// reports record peak_rss_bytes — a workload's serial peak RSS grew more
+// than `memory-threshold` (default 0.15 = 15%). CI runs this after
+// bench_report so throughput and memory regressions fail the build
+// instead of landing silently.
 //
 // Exit codes: 0 no regression, 1 regression found, 2 usage/parse error.
 
@@ -25,7 +27,8 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: bench_compare BASELINE.json CURRENT.json "
-               "[--threshold FRACTION] [--out FILE]\n");
+               "[--threshold FRACTION] [--memory-threshold FRACTION] "
+               "[--out FILE]\n");
   return 2;
 }
 
@@ -36,6 +39,7 @@ int main(int argc, char** argv) {
   std::string current_path;
   std::string out_path;
   double threshold = 0.10;
+  double memory_threshold = 0.15;
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -43,6 +47,14 @@ int main(int argc, char** argv) {
       if (i + 1 >= argc || !probkb::ParseDouble(argv[++i], &threshold) ||
           threshold < 0) {
         std::fprintf(stderr, "--threshold needs a non-negative number\n");
+        return Usage();
+      }
+    } else if (std::strcmp(arg, "--memory-threshold") == 0) {
+      if (i + 1 >= argc ||
+          !probkb::ParseDouble(argv[++i], &memory_threshold) ||
+          memory_threshold < 0) {
+        std::fprintf(stderr,
+                     "--memory-threshold needs a non-negative number\n");
         return Usage();
       }
     } else if (std::strcmp(arg, "--out") == 0) {
@@ -72,8 +84,8 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const probkb::BenchComparison comparison =
-      probkb::CompareBenchReports(*baseline, *current, threshold);
+  const probkb::BenchComparison comparison = probkb::CompareBenchReports(
+      *baseline, *current, threshold, memory_threshold);
   std::fputs(comparison.ToText().c_str(), stdout);
 
   if (!out_path.empty()) {

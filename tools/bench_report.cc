@@ -44,6 +44,9 @@ struct ThreadPoint {
 struct WorkloadReport {
   std::string name;
   double serial_seconds = 0;
+  /// Peak RSS of the serial run in bytes (high-water mark reset right
+  /// before it where the kernel allows; whole-process peak otherwise).
+  long long peak_rss_bytes = 0;
   std::vector<ThreadPoint> points;
   /// StatsRegistry::ToJson() of a serial stats-on run; "" when skipped.
   std::string breakdown;
@@ -102,10 +105,12 @@ bool RunWorkload(const std::string& name, const KnowledgeBase& kb,
                  RunFn run, WorkloadReport* report) {
   report->name = name;
   TablePtr serial_t_pi;
+  bench::TryResetPeakRss();
   if (!run(kb, 1, &report->serial_seconds, &serial_t_pi)) {
     std::fprintf(stderr, "%s: serial run failed\n", name.c_str());
     return false;
   }
+  report->peak_rss_bytes = bench::PeakRssBytes();
   for (int threads : kThreadCounts) {
     ThreadPoint point;
     point.threads = threads;
@@ -218,8 +223,9 @@ int main(int argc, char** argv) {
 
   bool all_identical = true;
   for (const WorkloadReport& report : reports) {
-    std::printf("\n%-18s serial %.3fs\n", report.name.c_str(),
-                report.serial_seconds);
+    std::printf("\n%-18s serial %.3fs  peak RSS %.1f MiB\n",
+                report.name.c_str(), report.serial_seconds,
+                static_cast<double>(report.peak_rss_bytes) / (1024.0 * 1024.0));
     for (const ThreadPoint& point : report.points) {
       std::printf("  --threads %d: %.3fs  speedup %.2fx  %s\n",
                   point.threads, point.seconds,
@@ -253,8 +259,10 @@ int main(int argc, char** argv) {
   for (size_t i = 0; i < reports.size(); ++i) {
     const WorkloadReport& report = reports[i];
     std::fprintf(f,
-                 "    {\"name\": \"%s\", \"serial_s\": %g, \"points\": [\n",
-                 report.name.c_str(), report.serial_seconds);
+                 "    {\"name\": \"%s\", \"serial_s\": %g, "
+                 "\"peak_rss_bytes\": %lld, \"points\": [\n",
+                 report.name.c_str(), report.serial_seconds,
+                 report.peak_rss_bytes);
     for (size_t j = 0; j < report.points.size(); ++j) {
       const ThreadPoint& point = report.points[j];
       std::fprintf(f,
