@@ -84,6 +84,14 @@ inline std::string ArgValue(int argc, char** argv, const std::string& flag) {
   return "";
 }
 
+/// True when a bare `<flag>` is present on a bench runner's command line.
+inline bool HasFlag(int argc, char** argv, const std::string& flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i] == flag) return true;
+  }
+  return false;
+}
+
 /// Path given via `--json <path>` on a bench runner's command line, or ""
 /// when absent. Runners that support it dump their measurements as a JSON
 /// document alongside the human-readable report, so CI can track perf over

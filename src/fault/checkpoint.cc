@@ -1,5 +1,10 @@
 #include "fault/checkpoint.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -16,6 +21,31 @@ namespace {
 constexpr const char kManifestName[] = "MANIFEST";
 constexpr const char kStagingName[] = ".staging";
 constexpr const char kFormatLine[] = "probkb-grounding-checkpoint 1";
+
+std::function<void(const std::string&)>& FsyncObserver() {
+  static std::function<void(const std::string&)> observer;
+  return observer;
+}
+
+/// Flushes `path` (a file or a directory) to stable storage. Without this,
+/// a power loss after the MANIFEST rename could surface a manifest that
+/// certifies torn table files: rename() orders metadata, not data.
+Status FsyncPath(const std::string& path, bool is_dir) {
+  int fd = open(path.c_str(), is_dir ? (O_RDONLY | O_DIRECTORY) : O_RDONLY);
+  if (fd < 0) {
+    return Status::IOError("cannot open '" + path +
+                           "' for fsync: " + std::strerror(errno));
+  }
+  if (fsync(fd) != 0) {
+    const int err = errno;
+    close(fd);
+    return Status::IOError("fsync of '" + path +
+                           "' failed: " + std::strerror(err));
+  }
+  close(fd);
+  if (FsyncObserver()) FsyncObserver()(path);
+  return Status::OK();
+}
 
 std::string PathJoin(const std::string& dir, const std::string& name) {
   return (std::filesystem::path(dir) / name).string();
@@ -83,6 +113,11 @@ Result<std::vector<TablePtr>> ReadSegmentGroup(
 }
 
 }  // namespace
+
+void SetCheckpointFsyncObserverForTest(
+    std::function<void(const std::string&)> observer) {
+  FsyncObserver() = std::move(observer);
+}
 
 Schema BannedEntitySchema() {
   return Schema({{"e", ColumnType::kInt64}, {"c", ColumnType::kInt64}});
@@ -174,8 +209,18 @@ Status WriteGroundingCheckpoint(const GroundingCheckpoint& cp,
     if (!out.good()) return Status::IOError("manifest write failed");
   }
 
+  // Make the staged bytes durable before any rename publishes them: every
+  // staged table file and the staged MANIFEST are fsynced, so the commit
+  // below only moves data that has already reached stable storage.
+  for (const StagedTable& t : staged) {
+    PROBKB_RETURN_NOT_OK(FsyncPath(PathJoin(staging, t.name), false));
+  }
+  PROBKB_RETURN_NOT_OK(FsyncPath(PathJoin(staging, kManifestName), false));
+
   // Commit: retire the old checkpoint, move tables into place, MANIFEST
-  // last.
+  // last. The directory itself is fsynced before the MANIFEST rename (the
+  // table renames must be durable before a manifest can certify them) and
+  // after it (the certification itself must survive power loss).
   std::filesystem::remove(PathJoin(dir, kManifestName), ec);
   if (ec) {
     return Status::IOError("cannot retire previous checkpoint manifest: " +
@@ -189,12 +234,14 @@ Status WriteGroundingCheckpoint(const GroundingCheckpoint& cp,
                              "': " + ec.message());
     }
   }
+  PROBKB_RETURN_NOT_OK(FsyncPath(dir, true));
   std::filesystem::rename(PathJoin(staging, kManifestName),
                           PathJoin(dir, kManifestName), ec);
   if (ec) {
     return Status::IOError("cannot finalize checkpoint manifest: " +
                            ec.message());
   }
+  PROBKB_RETURN_NOT_OK(FsyncPath(dir, true));
   std::filesystem::remove_all(staging, ec);
   // Deliberately no directory path in the payload: dump bytes must not
   // depend on where the checkpoint lives (paths differ per run/thread).

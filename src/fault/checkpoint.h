@@ -1,6 +1,7 @@
 #ifndef PROBKB_FAULT_CHECKPOINT_H_
 #define PROBKB_FAULT_CHECKPOINT_H_
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -56,6 +57,14 @@ Result<GroundingCheckpoint> ReadGroundingCheckpoint(
 
 /// \brief True if `dir` holds a complete checkpoint (a MANIFEST exists).
 bool GroundingCheckpointExists(const std::string& dir);
+
+/// \brief Test hook: observes every fsync the checkpoint writer issues, in
+/// issue order, with the path being synced. A crash-durability regression
+/// test asserts that every staged table file, the staged MANIFEST, and the
+/// checkpoint directory (before and after the MANIFEST rename) are synced.
+/// Pass nullptr to uninstall. Not thread-safe; tests only.
+void SetCheckpointFsyncObserverForTest(
+    std::function<void(const std::string&)> observer);
 
 }  // namespace probkb
 

@@ -204,7 +204,7 @@ Result<int64_t> MppGrounder::MergeAtoms(const DistributedTable& atoms) {
               [static_cast<size_t>(targets[static_cast<size_t>(r)])];
       }
       auto resend = [&](const FaultEvent& f) -> int64_t {
-        if (f.kind == FaultKind::kSegmentFailure) {
+        if (IsSegmentLoss(f.kind)) {
           int64_t t = 0;
           for (int64_t batch : sent[static_cast<size_t>(f.segment)]) {
             t += batch;
@@ -216,14 +216,26 @@ Result<int64_t> MppGrounder::MergeAtoms(const DistributedTable& atoms) {
       };
       // The refresh is a real motion: it consumes a motion index, can be
       // struck by injected faults, and only mutates the view once the
-      // (possibly recovered) shipment succeeded.
+      // (possibly recovered) shipment succeeded. Under a process runtime
+      // the delta physically ships through the target workers and the
+      // views append the echoed copies instead of the local rows.
+      std::vector<TablePtr> delivered;
       PROBKB_RETURN_NOT_OK(
           ctx_.AccountMotion(MppStep::Kind::kRedistribute,
                              "refresh " + view->name(), delta.NumRows(),
-                             resend));
-      for (int64_t r = 0; r < delta.NumRows(); ++r) {
-        view->mutable_segment(targets[static_cast<size_t>(r)])
-            ->AppendRows(delta, r, r + 1);
+                             resend, &delta, targets, &delivered));
+      if (!delivered.empty()) {
+        for (int t = 0; t < n; ++t) {
+          if (delivered[static_cast<size_t>(t)] != nullptr) {
+            view->mutable_segment(t)->AppendTable(
+                *delivered[static_cast<size_t>(t)]);
+          }
+        }
+      } else {
+        for (int64_t r = 0; r < delta.NumRows(); ++r) {
+          view->mutable_segment(targets[static_cast<size_t>(r)])
+              ->AppendRows(delta, r, r + 1);
+        }
       }
     }
   }

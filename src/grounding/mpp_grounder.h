@@ -71,6 +71,17 @@ class MppGrounder {
     ctx_.set_stats_registry(registry);
   }
 
+  /// \brief Attaches a spawned process runtime (not owned; may be
+  /// nullptr): motions then ship partitions through real worker processes
+  /// (see MppContext::set_runtime). Drops the thread pool — forking from a
+  /// multi-threaded orchestrator is unsafe, and in process mode the
+  /// parallelism lives in the workers, not the supervisor.
+  void AttachRuntime(ProcessRuntime* runtime) {
+    ctx_.set_thread_pool(nullptr);
+    pool_.reset();
+    ctx_.set_runtime(runtime);
+  }
+
  private:
   /// Runs Query 1-p distributed; returns inferred atoms (distribution
   /// Random).

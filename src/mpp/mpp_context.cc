@@ -43,10 +43,31 @@ Status MppContext::BeginMotion(const std::string& label,
   *motion_index = next_motion_index_++;
   FlightRecorder::Global()->Record(FrEvent::kMotionBegin, label,
                                    *motion_index);
+  // Supervisor upkeep rides the motion clock (not wall time), so heartbeat
+  // events land at deterministic points of the motion sequence.
+  if (runtime_ != nullptr) runtime_->HeartbeatTick(*motion_index);
   if (injector_ != nullptr) {
     PROBKB_RETURN_NOT_OK(injector_->OperatorFault(*motion_index, label));
   }
   return CheckDeadline();
+}
+
+std::vector<int> MppContext::ApplyPhysicalFaults(
+    const std::vector<FaultEvent>& faults) {
+  std::vector<int> corrupt(static_cast<size_t>(num_segments_), 0);
+  if (runtime_ == nullptr) return corrupt;
+  for (const FaultEvent& f : faults) {
+    if (IsSegmentLoss(f.kind)) {
+      // The victim's worker really dies; the exchange loop detects the
+      // broken channel, harvests the journal, and respawns it.
+      runtime_->KillWorker(f.segment);
+    } else if (f.kind == FaultKind::kCorruptFrame) {
+      if (f.target >= 0 && f.target < num_segments_) {
+        ++corrupt[static_cast<size_t>(f.target)];
+      }
+    }
+  }
+  return corrupt;
 }
 
 Status MppContext::RecoverMotion(
@@ -69,6 +90,9 @@ Status MppContext::RecoverMotion(
   auto absorb_batch_fault = [&](const FaultEvent& f) {
     switch (f.kind) {
       case FaultKind::kDropBatch:
+      case FaultKind::kCorruptFrame:
+        // A corrupted frame is detected by the receiver's checksum and
+        // NACKed, costing the same one-batch retransmission as a drop.
         backoff_seconds += retry_.BackoffSeconds(1);
         reshipped += resend_tuples(f);
         ++stats->retries;
@@ -86,9 +110,9 @@ Status MppContext::RecoverMotion(
     }
   };
 
-  std::vector<FaultEvent> pending;  // segment failures, retried below
+  std::vector<FaultEvent> pending;  // segment-loss faults, retried below
   for (const FaultEvent& f : faults) {
-    if (!absorb_batch_fault(f) && f.kind == FaultKind::kSegmentFailure) {
+    if (!absorb_batch_fault(f) && IsSegmentLoss(f.kind)) {
       pending.push_back(f);
     }
   }
@@ -126,7 +150,7 @@ Status MppContext::RecoverMotion(
     std::map<int, FaultEvent> failed_again;
     for (const FaultEvent& f :
          injector_->MotionFaults(motion_index, attempt, num_segments_)) {
-      if (!absorb_batch_fault(f) && f.kind == FaultKind::kSegmentFailure) {
+      if (!absorb_batch_fault(f) && IsSegmentLoss(f.kind)) {
         failed_again.emplace(f.segment, f);
       }
     }
@@ -165,13 +189,42 @@ Status MppContext::RecoverMotion(
 
 Status MppContext::AccountMotion(
     MppStep::Kind kind, const std::string& label, int64_t tuples_shipped,
-    const std::function<int64_t(const FaultEvent&)>& resend_tuples) {
+    const std::function<int64_t(const FaultEvent&)>& resend_tuples,
+    const Table* payload, std::span<const int> payload_targets,
+    std::vector<TablePtr>* delivered) {
   int64_t motion_index = 0;
   PROBKB_RETURN_NOT_OK(BeginMotion(label, &motion_index));
 
+  // One consultation per (motion, attempt 0): the list drives both the
+  // physical faults below and the modelled recovery accounting, so the
+  // injector's random stream is identical in sim and process mode.
+  std::vector<FaultEvent> faults;
   if (injector_ != nullptr && tuples_shipped > 0) {
-    std::vector<FaultEvent> faults =
-        injector_->MotionFaults(motion_index, 0, num_segments_);
+    faults = injector_->MotionFaults(motion_index, 0, num_segments_);
+  }
+
+  if (runtime_ != nullptr && payload != nullptr && tuples_shipped > 0) {
+    std::vector<int> corrupt = ApplyPhysicalFaults(faults);
+    PROBKB_DCHECK(payload_targets.size() ==
+                  static_cast<size_t>(payload->NumRows()));
+    delivered->assign(static_cast<size_t>(num_segments_), nullptr);
+    for (int t = 0; t < num_segments_; ++t) {
+      // Each target's slice keeps the payload's row order, so appending
+      // the echoed slice reproduces the caller's local append order.
+      Table slice(payload->schema());
+      for (int64_t r = 0; r < payload->NumRows(); ++r) {
+        if (payload_targets[static_cast<size_t>(r)] == t) {
+          slice.AppendRows(*payload, r, r + 1);
+        }
+      }
+      Result<TablePtr> echoed = runtime_->Exchange(
+          t, motion_index, slice, label, corrupt[static_cast<size_t>(t)]);
+      PROBKB_RETURN_NOT_OK(echoed.status());
+      (*delivered)[static_cast<size_t>(t)] = echoed.MoveValueOrDie();
+    }
+  }
+
+  if (injector_ != nullptr && tuples_shipped > 0) {
     PROBKB_RETURN_NOT_OK(
         RecoverMotion(motion_index, label, faults, resend_tuples));
   }
@@ -269,7 +322,8 @@ Result<DistributedTablePtr> MppContext::Redistribute(
         }
       }
     };
-    if (pool_ != nullptr && pool_->num_threads() > 1 && n > 1 &&
+    const bool physical = runtime_ != nullptr;
+    if (!physical && pool_ != nullptr && pool_->num_threads() > 1 && n > 1 &&
         input.PhysicalRows() >= kSerialFanoutRowCutoff) {
       pool_->ParallelFor(n, 1, [&](int64_t begin, int64_t end) {
         for (int64_t s = begin; s < end; ++s) {
@@ -281,21 +335,76 @@ Result<DistributedTablePtr> MppContext::Redistribute(
           fill_target(static_cast<int>(t));
         }
       });
-    } else {
+    } else if (!physical) {
       for (int s = 0; s < n; ++s) route_sender(s);
       for (int t = 0; t < n; ++t) fill_target(t);
+    } else {
+      // Process mode: route on the (single-threaded) supervisor, assemble
+      // from echoed frames below.
+      for (int s = 0; s < n; ++s) route_sender(s);
     }
     for (int s = 0; s < n; ++s) {
       for (int64_t batch : sent[static_cast<size_t>(s)]) shipped += batch;
     }
     // Like Broadcast/Gather, only a redistribute that actually touched the
     // interconnect can fault: when every row hashed to its home segment
-    // there is no traffic to strike.
+    // there is no traffic to strike. One fault consultation drives both
+    // the physical actions and the modelled recovery.
+    std::vector<FaultEvent> faults;
     if (injector_ != nullptr && shipped > 0) {
-      std::vector<FaultEvent> faults =
-          injector_->MotionFaults(motion_index, 0, n);
+      faults = injector_->MotionFaults(motion_index, 0, n);
+    }
+    if (physical) {
+      if (shipped > 0) {
+        std::vector<int> corrupt = ApplyPhysicalFaults(faults);
+        for (int t = 0; t < n; ++t) {
+          // Every cross-segment row bound for t, sender-major — the same
+          // order fill_target scans, so the echoed copy slices back into
+          // canonical positions.
+          Table inbound(input.schema());
+          for (int s = 0; s < n; ++s) {
+            if (s == t) continue;
+            const Table& src = *input.segment(s);
+            const std::vector<int>& tgt = targets[static_cast<size_t>(s)];
+            for (int64_t r = 0; r < src.NumRows(); ++r) {
+              if (tgt[static_cast<size_t>(r)] == t) {
+                inbound.AppendRows(src, r, r + 1);
+              }
+            }
+          }
+          Result<TablePtr> echoed = runtime_->Exchange(
+              t, motion_index, inbound, label,
+              corrupt[static_cast<size_t>(t)]);
+          if (!echoed.ok()) return echoed.status();
+          // Rebuild segment t in fill_target's sender-major order: local
+          // rows come from this address space, cross rows from the frames
+          // that round-tripped through worker t.
+          Table* dst = segments[static_cast<size_t>(t)].get();
+          int64_t offset = 0;
+          for (int s = 0; s < n; ++s) {
+            if (s == t) {
+              const Table& src = *input.segment(s);
+              const std::vector<int>& tgt = targets[static_cast<size_t>(s)];
+              for (int64_t r = 0; r < src.NumRows(); ++r) {
+                if (tgt[static_cast<size_t>(r)] == t) {
+                  dst->AppendRows(src, r, r + 1);
+                }
+              }
+            } else {
+              const int64_t batch =
+                  sent[static_cast<size_t>(s)][static_cast<size_t>(t)];
+              dst->AppendRows(**echoed, offset, offset + batch);
+              offset += batch;
+            }
+          }
+        }
+      } else {
+        for (int t = 0; t < n; ++t) fill_target(t);
+      }
+    }
+    if (injector_ != nullptr && shipped > 0) {
       auto resend = [&](const FaultEvent& f) -> int64_t {
-        if (f.kind == FaultKind::kSegmentFailure) {
+        if (IsSegmentLoss(f.kind)) {
           // Everything the victim shipped anywhere must be replayed.
           int64_t t = 0;
           for (int64_t batch : sent[static_cast<size_t>(f.segment)]) {
@@ -343,11 +452,28 @@ Result<DistributedTablePtr> MppContext::Broadcast(
                         ? 0
                         : full->NumRows() * (num_segments_ - 1);
 
+  std::vector<FaultEvent> faults;
+  if (injector_ != nullptr && shipped > 0) {
+    faults = injector_->MotionFaults(motion_index, 0, num_segments_);
+  }
+
+  // Process mode: every segment's copy physically round-trips through its
+  // worker; segment t holds the tuples exactly as they came off the wire.
+  std::vector<TablePtr> echoed_copies;
+  if (runtime_ != nullptr && shipped > 0) {
+    std::vector<int> corrupt = ApplyPhysicalFaults(faults);
+    echoed_copies.resize(static_cast<size_t>(num_segments_));
+    for (int t = 0; t < num_segments_; ++t) {
+      Result<TablePtr> echoed = runtime_->Exchange(
+          t, motion_index, *full, label, corrupt[static_cast<size_t>(t)]);
+      if (!echoed.ok()) return echoed.status();
+      echoed_copies[static_cast<size_t>(t)] = echoed.MoveValueOrDie();
+    }
+  }
+
   if (injector_ != nullptr && shipped > 0) {
     // Any fault on a broadcast costs one full copy re-sent to the victim
     // (the source table survives on its home segments).
-    std::vector<FaultEvent> faults =
-        injector_->MotionFaults(motion_index, 0, num_segments_);
     auto resend = [&](const FaultEvent&) { return full->NumRows(); };
     PROBKB_RETURN_NOT_OK(RecoverMotion(motion_index, label, faults, resend));
   }
@@ -367,7 +493,10 @@ Result<DistributedTablePtr> MppContext::Broadcast(
                        BroadcastSeconds(shipped), per_segment);
   }
 
-  std::vector<TablePtr> segments(static_cast<size_t>(num_segments_), full);
+  std::vector<TablePtr> segments =
+      echoed_copies.empty()
+          ? std::vector<TablePtr>(static_cast<size_t>(num_segments_), full)
+          : std::move(echoed_copies);
   return std::make_shared<DistributedTable>(
       input.schema(), std::move(segments), Distribution::Replicated(),
       name.empty() ? input.name() + "_bcast" : std::move(name));
@@ -381,11 +510,32 @@ Result<TablePtr> MppContext::Gather(const DistributedTable& input) {
   TablePtr out = input.ToLocal();
   int64_t shipped = out->NumRows();
 
+  std::vector<FaultEvent> faults;
+  if (injector_ != nullptr && shipped > 0) {
+    faults = injector_->MotionFaults(motion_index, 0, num_segments_);
+  }
+
+  if (runtime_ != nullptr && shipped > 0 &&
+      !input.distribution().is_replicated()) {
+    // Process mode: pull every partition off its worker and assemble the
+    // coordinator copy from the echoed frames, in canonical segment order
+    // (the exact order ToLocal concatenates).
+    std::vector<int> corrupt = ApplyPhysicalFaults(faults);
+    TablePtr wired = Table::Make(input.schema());
+    wired->ReserveRows(shipped);
+    for (int s = 0; s < input.num_segments(); ++s) {
+      Result<TablePtr> echoed = runtime_->Exchange(
+          s, motion_index, *input.segment(s), label,
+          corrupt[static_cast<size_t>(s)]);
+      if (!echoed.ok()) return echoed.status();
+      wired->AppendTable(**echoed);
+    }
+    out = std::move(wired);
+  }
+
   if (injector_ != nullptr && shipped > 0) {
     // A victim's rows are re-pulled from its (restarted) segment; a batch
     // fault costs the same single-segment replay.
-    std::vector<FaultEvent> faults =
-        injector_->MotionFaults(motion_index, 0, num_segments_);
     auto resend = [&](const FaultEvent& f) {
       return f.segment < input.num_segments()
                  ? input.segment(f.segment)->NumRows()

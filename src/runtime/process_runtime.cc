@@ -1,0 +1,453 @@
+#include "runtime/process_runtime.h"
+
+#include <signal.h>
+#include <sys/mman.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/flight_recorder.h"
+#include "runtime/wire.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace probkb {
+
+namespace {
+
+/// Shared-memory worker journal: a fixed ring the worker writes and the
+/// supervisor harvests after death. Lives in a MAP_SHARED|MAP_ANONYMOUS
+/// mapping established before fork, so SIGKILL cannot take it down with
+/// the worker.
+struct JournalHeader {
+  std::atomic<uint64_t> head;  // frames ever journaled by the worker
+};
+
+struct JournalSlot {
+  int64_t motion = -1;
+  int64_t bytes = 0;
+  int32_t kind = 0;  // wire::FrameType of the handled request
+  int32_t pad = 0;
+};
+
+JournalSlot* JournalSlots(void* journal) {
+  return reinterpret_cast<JournalSlot*>(
+      static_cast<JournalHeader*>(journal) + 1);
+}
+
+void JournalAppend(void* journal, int capacity, wire::FrameType kind,
+                   int64_t motion, int64_t bytes) {
+  auto* header = static_cast<JournalHeader*>(journal);
+  uint64_t head = header->head.load(std::memory_order_relaxed);
+  JournalSlot& slot =
+      JournalSlots(journal)[head % static_cast<uint64_t>(capacity)];
+  slot.motion = motion;
+  slot.bytes = bytes;
+  slot.kind = static_cast<int32_t>(kind);
+  header->head.store(head + 1, std::memory_order_release);
+}
+
+}  // namespace
+
+const char* RuntimeKindName(RuntimeKind kind) {
+  switch (kind) {
+    case RuntimeKind::kSim:
+      return "sim";
+    case RuntimeKind::kProcess:
+      return "process";
+  }
+  return "?";
+}
+
+bool ParseRuntimeKind(std::string_view text, RuntimeKind* out) {
+  std::string lower(text);
+  for (char& ch : lower) ch = static_cast<char>(std::tolower(ch));
+  if (lower == "sim") {
+    *out = RuntimeKind::kSim;
+    return true;
+  }
+  if (lower == "process") {
+    *out = RuntimeKind::kProcess;
+    return true;
+  }
+  return false;
+}
+
+RuntimeKind ResolveRuntimeKind(const char* requested) {
+  RuntimeKind kind = RuntimeKind::kSim;
+  if (requested != nullptr) {
+    if (!ParseRuntimeKind(StripWhitespace(requested), &kind)) {
+      PROBKB_SLOG(Runtime, Warning)
+          << "invalid --runtime value '" << requested
+          << "' (want sim|process); using sim";
+      return RuntimeKind::kSim;
+    }
+    return kind;
+  }
+  const char* env = std::getenv("PROBKB_RUNTIME");
+  if (env != nullptr && env[0] != '\0') {
+    if (!ParseRuntimeKind(StripWhitespace(env), &kind)) {
+      PROBKB_SLOG(Runtime, Warning)
+          << "invalid PROBKB_RUNTIME value '" << env
+          << "' (want sim|process); using sim";
+      return RuntimeKind::kSim;
+    }
+    return kind;
+  }
+  return RuntimeKind::kSim;
+}
+
+std::string ProcessRuntimeStats::ToString() const {
+  return StrFormat(
+      "exchanges=%lld frames=%lld frame_retries=%lld deaths=%lld "
+      "respawns=%lld heartbeats=%lld",
+      static_cast<long long>(exchanges), static_cast<long long>(frames_shipped),
+      static_cast<long long>(frame_retries),
+      static_cast<long long>(worker_deaths), static_cast<long long>(respawns),
+      static_cast<long long>(heartbeats));
+}
+
+ProcessRuntime::ProcessRuntime(ProcessRuntimeOptions options)
+    : options_(std::move(options)) {
+  if (options_.num_segments < 1) options_.num_segments = 1;
+  if (options_.journal_capacity < 1) options_.journal_capacity = 1;
+}
+
+ProcessRuntime::~ProcessRuntime() { Shutdown(); }
+
+size_t ProcessRuntime::JournalBytes() const {
+  return sizeof(JournalHeader) +
+         static_cast<size_t>(options_.journal_capacity) * sizeof(JournalSlot);
+}
+
+void ProcessRuntime::WorkerMain(int fd, void* journal, int journal_capacity) {
+  // Children never return into the supervisor's stack: no stdio, no flight
+  // recorder, no exit handlers — just the wire loop and _exit.
+  for (;;) {
+    Result<wire::Frame> read = wire::ReadFrame(fd, /*deadline_seconds=*/0);
+    if (!read.ok()) {
+      if (read.status().code() == StatusCode::kDataLoss) {
+        // Damaged inbound frame: journal the rejection and NACK so the
+        // supervisor resends.
+        JournalAppend(journal, journal_capacity, wire::FrameType::kNack, -1,
+                      0);
+        if (!wire::WriteFrame(fd, wire::FrameType::kNack, -1, {}).ok()) {
+          _exit(2);
+        }
+        continue;
+      }
+      _exit(2);  // channel to the supervisor broke; nothing left to do
+    }
+    wire::Frame& frame = *read;
+    switch (frame.type) {
+      case wire::FrameType::kPing:
+        JournalAppend(journal, journal_capacity, frame.type, frame.motion, 0);
+        if (!wire::WriteFrame(fd, wire::FrameType::kPong, frame.motion, {})
+                 .ok()) {
+          _exit(2);
+        }
+        break;
+      case wire::FrameType::kExchange:
+        JournalAppend(journal, journal_capacity, frame.type, frame.motion,
+                      static_cast<int64_t>(frame.payload.size()));
+        // Echo the partition back: the supervisor deserializes the ack, so
+        // every tuple of the motion provably crossed the process boundary
+        // in both directions with its checksum intact.
+        if (!wire::WriteFrame(fd, wire::FrameType::kExchangeAck, frame.motion,
+                              frame.payload)
+                 .ok()) {
+          _exit(2);
+        }
+        break;
+      case wire::FrameType::kShutdown:
+        _exit(0);
+      default:
+        _exit(3);  // protocol violation; supervisor will respawn
+    }
+  }
+}
+
+Status ProcessRuntime::SpawnWorker(int segment, int64_t motion) {
+  Worker& worker = workers_[static_cast<size_t>(segment)];
+  void* journal = mmap(nullptr, JournalBytes(), PROT_READ | PROT_WRITE,
+                       MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  if (journal == MAP_FAILED) {
+    return Status::Internal(std::string("worker journal mmap failed: ") +
+                            std::strerror(errno));
+  }
+  std::memset(journal, 0, JournalBytes());
+  int fds[2];
+  if (socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    munmap(journal, JournalBytes());
+    return Status::Internal(std::string("worker socketpair failed: ") +
+                            std::strerror(errno));
+  }
+  pid_t pid = fork();
+  if (pid < 0) {
+    close(fds[0]);
+    close(fds[1]);
+    munmap(journal, JournalBytes());
+    return Status::Internal(std::string("worker fork failed: ") +
+                            std::strerror(errno));
+  }
+  if (pid == 0) {
+    close(fds[0]);
+    // Drop every inherited supervisor-side channel so a sibling's peer
+    // count reflects only the supervisor.
+    for (const Worker& other : workers_) {
+      if (other.fd >= 0) close(other.fd);
+    }
+    WorkerMain(fds[1], journal, options_.journal_capacity);
+  }
+  close(fds[1]);
+  worker.pid = pid;
+  worker.fd = fds[0];
+  worker.journal = journal;
+  worker.reaped = false;
+  worker.wait_status = 0;
+  FlightRecorder::Global()->Record(FrEvent::kWorkerSpawn, "", segment,
+                                   worker.generation, motion);
+  return Status::OK();
+}
+
+Status ProcessRuntime::Spawn() {
+  if (alive_) return Status::OK();
+  if (options_.fail_spawn_for_test) {
+    return Status::Internal("worker spawn disabled (fail_spawn_for_test)");
+  }
+  workers_.assign(static_cast<size_t>(options_.num_segments), Worker{});
+  for (int s = 0; s < options_.num_segments; ++s) {
+    Status st = SpawnWorker(s, /*motion=*/-1);
+    if (!st.ok()) {
+      for (int t = 0; t < s; ++t) {
+        if (!workers_[static_cast<size_t>(t)].reaped) {
+          kill(workers_[static_cast<size_t>(t)].pid, SIGKILL);
+          waitpid(workers_[static_cast<size_t>(t)].pid, nullptr, 0);
+          workers_[static_cast<size_t>(t)].reaped = true;
+        }
+        TearDownWorker(t);
+      }
+      workers_.clear();
+      return st;
+    }
+  }
+  alive_ = true;
+  return Status::OK();
+}
+
+void ProcessRuntime::HarvestJournal(int segment) {
+  Worker& worker = workers_[static_cast<size_t>(segment)];
+  if (worker.journal == nullptr) return;
+  auto* header = static_cast<JournalHeader*>(worker.journal);
+  const uint64_t head = header->head.load(std::memory_order_acquire);
+  int64_t last_motion = -1;
+  if (head > 0) {
+    last_motion =
+        JournalSlots(worker.journal)
+            [(head - 1) % static_cast<uint64_t>(options_.journal_capacity)]
+                .motion;
+  }
+  FlightRecorder::Global()->Record(FrEvent::kWorkerPostMortem, "", segment,
+                                   static_cast<int64_t>(head), last_motion);
+}
+
+void ProcessRuntime::TearDownWorker(int segment) {
+  Worker& worker = workers_[static_cast<size_t>(segment)];
+  if (worker.fd >= 0) {
+    close(worker.fd);
+    worker.fd = -1;
+  }
+  if (worker.journal != nullptr) {
+    munmap(worker.journal, JournalBytes());
+    worker.journal = nullptr;
+  }
+  worker.pid = -1;
+}
+
+Status ProcessRuntime::HandleWorkerFailure(int segment, int64_t motion,
+                                           const char* reason,
+                                           bool force_kill) {
+  Worker& worker = workers_[static_cast<size_t>(segment)];
+  if (!worker.reaped) {
+    if (force_kill) kill(worker.pid, SIGKILL);
+    // The channel broke (or the worker hung past its deadline and was just
+    // killed), so this waitpid terminates promptly.
+    waitpid(worker.pid, &worker.wait_status, 0);
+    worker.reaped = true;
+  }
+  const int sig =
+      WIFSIGNALED(worker.wait_status) ? WTERMSIG(worker.wait_status) : 0;
+  ++stats_.worker_deaths;
+  FlightRecorder::Global()->Record(FrEvent::kWorkerKilled, reason, segment,
+                                   motion, sig);
+  PROBKB_SLOG(Runtime, Warning)
+      << "worker segment=" << segment << " died (" << reason
+      << ", signal=" << sig << ") at motion " << motion << "; respawning";
+  HarvestJournal(segment);
+  TearDownWorker(segment);
+  ++worker.generation;
+  Status st = SpawnWorker(segment, motion);
+  if (!st.ok()) {
+    PROBKB_SLOG(Runtime, Error)
+        << "worker segment=" << segment << " respawn failed: " << st;
+    return st;
+  }
+  ++stats_.respawns;
+  FlightRecorder::Global()->Record(FrEvent::kWorkerRespawn, "", segment,
+                                   motion, worker.generation);
+  return Status::OK();
+}
+
+Result<TablePtr> ProcessRuntime::Exchange(int segment, int64_t motion,
+                                          const Table& rows,
+                                          const std::string& label,
+                                          int corrupt_frames) {
+  if (!alive_) return Status::Internal("process runtime not spawned");
+  if (segment < 0 || segment >= options_.num_segments) {
+    return Status::InvalidArgument("exchange segment out of range");
+  }
+  std::string payload;
+  wire::SerializeTable(rows, &payload);
+  const int max_attempts = options_.retry.max_attempts > 0
+                               ? options_.retry.max_attempts
+                               : 1;
+  StatusCode last_code = StatusCode::kResourceExhausted;
+  std::string last_msg = "no attempt made";
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0) {
+      ++stats_.frame_retries;
+      FlightRecorder::Global()->Record(FrEvent::kFrameRetry, label, segment,
+                                       motion, attempt);
+    }
+    const int fd = workers_[static_cast<size_t>(segment)].fd;
+    ++stats_.frames_shipped;
+    const bool corrupt = corrupt_frames > 0;
+    if (corrupt) --corrupt_frames;
+    Status sent = wire::WriteFrame(fd, wire::FrameType::kExchange, motion,
+                                   payload, corrupt);
+    if (!sent.ok()) {
+      // EPIPE: the worker died before we could ship the frame.
+      last_code = sent.code();
+      last_msg = sent.message();
+      PROBKB_RETURN_NOT_OK(
+          HandleWorkerFailure(segment, motion, "send_failed", false));
+      continue;
+    }
+    Result<wire::Frame> reply =
+        wire::ReadFrame(fd, options_.frame_deadline_seconds);
+    if (!reply.ok()) {
+      last_code = reply.status().code();
+      last_msg = reply.status().message();
+      if (last_code == StatusCode::kDeadlineExceeded) {
+        // Hung worker: kill it so recovery can proceed deterministically.
+        PROBKB_RETURN_NOT_OK(
+            HandleWorkerFailure(segment, motion, "deadline", true));
+      } else if (last_code == StatusCode::kDataLoss) {
+        // The ack itself arrived damaged; resend the whole round trip.
+      } else {
+        PROBKB_RETURN_NOT_OK(
+            HandleWorkerFailure(segment, motion, "channel_broken", false));
+      }
+      continue;
+    }
+    if (reply->type == wire::FrameType::kNack) {
+      last_code = StatusCode::kDataLoss;
+      last_msg = "worker rejected damaged frame";
+      continue;
+    }
+    if (reply->type != wire::FrameType::kExchangeAck ||
+        reply->motion != motion) {
+      last_code = StatusCode::kDataLoss;
+      last_msg = "unexpected reply frame";
+      continue;
+    }
+    ++stats_.exchanges;
+    return wire::DeserializeTable(rows.schema(), reply->payload);
+  }
+  std::string msg = StrFormat(
+      "motion %lld exchange with segment %d exhausted %d attempts (%s): ",
+      static_cast<long long>(motion), segment, max_attempts, label.c_str());
+  msg += last_msg;
+  // Persistent corruption is data loss; a worker that can never answer in
+  // time is a deadline failure; anything else exhausted the retry budget.
+  if (last_code == StatusCode::kDataLoss) return Status::DataLoss(msg);
+  if (last_code == StatusCode::kDeadlineExceeded) {
+    return Status::DeadlineExceeded(msg);
+  }
+  return Status::ResourceExhausted(msg);
+}
+
+Status ProcessRuntime::Ping(int segment) {
+  if (!alive_) return Status::Internal("process runtime not spawned");
+  const int fd = workers_[static_cast<size_t>(segment)].fd;
+  PROBKB_RETURN_NOT_OK(
+      wire::WriteFrame(fd, wire::FrameType::kPing, -1, {}));
+  Result<wire::Frame> reply =
+      wire::ReadFrame(fd, options_.frame_deadline_seconds);
+  PROBKB_RETURN_NOT_OK(reply.status());
+  if (reply->type != wire::FrameType::kPong) {
+    return Status::Internal("heartbeat reply was not PONG");
+  }
+  return Status::OK();
+}
+
+void ProcessRuntime::HeartbeatTick(int64_t motion) {
+  if (!alive_ || options_.heartbeat_every_motions <= 0) return;
+  ++heartbeat_motions_;
+  if (heartbeat_motions_ % options_.heartbeat_every_motions != 0) return;
+  int alive_workers = 0;
+  for (int s = 0; s < options_.num_segments; ++s) {
+    Status st = Ping(s);
+    if (!st.ok()) {
+      const bool hung = st.code() == StatusCode::kDeadlineExceeded;
+      if (!HandleWorkerFailure(s, motion, "heartbeat", hung).ok()) continue;
+    }
+    ++alive_workers;
+  }
+  ++stats_.heartbeats;
+  FlightRecorder::Global()->Record(FrEvent::kWorkerHeartbeat, "", motion,
+                                   alive_workers, options_.num_segments);
+}
+
+void ProcessRuntime::KillWorker(int segment) {
+  if (!alive_ || segment < 0 || segment >= options_.num_segments) return;
+  Worker& worker = workers_[static_cast<size_t>(segment)];
+  if (worker.reaped || worker.pid < 0) return;
+  kill(worker.pid, SIGKILL);
+  waitpid(worker.pid, &worker.wait_status, 0);
+  worker.reaped = true;
+  // Deliberately no detection here: the next exchange or heartbeat that
+  // contacts this segment finds the broken channel, exactly like an
+  // organic crash.
+}
+
+void ProcessRuntime::Shutdown() {
+  if (workers_.empty()) return;
+  for (int s = 0; s < static_cast<int>(workers_.size()); ++s) {
+    Worker& worker = workers_[static_cast<size_t>(s)];
+    if (worker.pid < 0) continue;
+    if (!worker.reaped) {
+      if (worker.fd >= 0) {
+        // Best-effort orderly exit; a dead worker just yields EPIPE.
+        wire::WriteFrame(worker.fd, wire::FrameType::kShutdown, -1, {})
+            .ok();
+      }
+      waitpid(worker.pid, &worker.wait_status, 0);
+      worker.reaped = true;
+    }
+    // Every worker's ring lands in the supervisor's dump, so the final
+    // post-mortem aggregates what each segment actually processed.
+    HarvestJournal(s);
+    TearDownWorker(s);
+  }
+  workers_.clear();
+  alive_ = false;
+}
+
+}  // namespace probkb

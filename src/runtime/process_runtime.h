@@ -1,0 +1,155 @@
+#ifndef PROBKB_RUNTIME_PROCESS_RUNTIME_H_
+#define PROBKB_RUNTIME_PROCESS_RUNTIME_H_
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/fault_injector.h"
+#include "relational/table.h"
+#include "util/result.h"
+
+namespace probkb {
+
+/// \brief Which segment runtime executes behind the MppContext motion
+/// contract: the deterministic in-process simulator, or real forked worker
+/// processes supervised over Unix-domain sockets.
+enum class RuntimeKind { kSim = 0, kProcess = 1 };
+
+const char* RuntimeKindName(RuntimeKind kind);
+
+/// \brief Parses "sim" / "process" (case-insensitive). False otherwise.
+bool ParseRuntimeKind(std::string_view text, RuntimeKind* out);
+
+/// \brief Resolves the runtime request: `requested` (a CLI --runtime value;
+/// may be nullptr) wins, else the PROBKB_RUNTIME environment variable, else
+/// the simulator. A value that does not parse is rejected with a warning
+/// and falls back to the simulator, mirroring ThreadPool::ResolveThreads.
+RuntimeKind ResolveRuntimeKind(const char* requested);
+
+/// \brief Tuning knobs of the supervised process runtime.
+struct ProcessRuntimeOptions {
+  int num_segments = 1;
+  /// Per-frame read deadline on the supervisor side; a worker that does
+  /// not answer within it is declared hung, killed, and respawned.
+  double frame_deadline_seconds = 5.0;
+  /// Heartbeat-ping every worker once per this many motions (0 disables).
+  int heartbeat_every_motions = 16;
+  /// Retry budget shared with the simulator's recovery accounting.
+  RetryPolicy retry;
+  /// Slots in each worker's shared-memory journal ring.
+  int journal_capacity = 256;
+  /// Test hook: makes Spawn() fail so callers exercise the graceful
+  /// degradation path back to the simulator.
+  bool fail_spawn_for_test = false;
+};
+
+/// \brief Counters the supervisor accumulates across a run.
+struct ProcessRuntimeStats {
+  int64_t exchanges = 0;
+  int64_t frames_shipped = 0;
+  int64_t frame_retries = 0;
+  int64_t worker_deaths = 0;
+  int64_t respawns = 0;
+  int64_t heartbeats = 0;
+  std::string ToString() const;
+};
+
+/// \brief Supervisor of one forked worker process per segment.
+///
+/// Workers are forked (no exec) holding one end of a socketpair and run a
+/// strict request/response loop: Ping->Pong, Exchange->EchoAck (verifying
+/// the inbound frame checksum; a damaged frame earns a Nack), Shutdown->
+/// exit. Each worker journals the frames it handled into a shared-memory
+/// ring (mmap MAP_SHARED|MAP_ANONYMOUS) that survives SIGKILL, so the
+/// supervisor can aggregate a dead worker's post-mortem into the flight
+/// recorder before respawning it.
+///
+/// The supervisor is the only side that enforces deadlines and retries:
+/// a frame failure is classified as corruption (worker Nack -> resend),
+/// death (waitpid -> journal harvest -> respawn -> resend), or hang
+/// (deadline -> kill -> treated as death). The retry budget comes from the
+/// same RetryPolicy the simulator charges, so exhausting it maps to
+/// kDataLoss (persistent corruption) / kDeadlineExceeded (persistent
+/// hangs) / kResourceExhausted (a segment that cannot stay alive).
+///
+/// Fork safety: the runtime must be spawned and driven from a
+/// single-threaded supervisor (MppGrounder drops its thread pool when a
+/// runtime is attached); children never touch stdio, the flight recorder,
+/// or malloc-heavy paths — they only run the wire loop and _exit.
+class ProcessRuntime {
+ public:
+  explicit ProcessRuntime(ProcessRuntimeOptions options);
+  ~ProcessRuntime();
+
+  ProcessRuntime(const ProcessRuntime&) = delete;
+  ProcessRuntime& operator=(const ProcessRuntime&) = delete;
+
+  /// \brief Forks one worker per segment. On any failure, already spawned
+  /// workers are torn down and the runtime stays unusable (alive() false),
+  /// letting callers degrade to the simulator.
+  Status Spawn();
+
+  bool alive() const { return alive_; }
+  int num_segments() const { return options_.num_segments; }
+  const ProcessRuntimeStats& stats() const { return stats_; }
+
+  /// \brief Ships `rows` to worker `segment` for `motion` and returns the
+  /// worker's echoed copy (deserialized from the wire, so the caller holds
+  /// tuples that genuinely crossed the process boundary twice). Retries
+  /// corruption, death, and hangs under the RetryPolicy budget.
+  /// `corrupt_frames` > 0 damages that many outbound frames (after their
+  /// checksum is computed) to exercise the detection path.
+  Result<TablePtr> Exchange(int segment, int64_t motion, const Table& rows,
+                            const std::string& label, int corrupt_frames = 0);
+
+  /// \brief Heartbeat probe of one worker (Ping -> Pong round trip).
+  Status Ping(int segment);
+
+  /// \brief Called once per motion; every heartbeat_every_motions motions
+  /// it pings all workers, respawning any that died since last contact.
+  void HeartbeatTick(int64_t motion);
+
+  /// \brief Fault hook: SIGKILLs worker `segment` and reaps it. The death
+  /// is *detected* (journal harvest, flight-recorder events, respawn) by
+  /// the next exchange or heartbeat that contacts the segment, exactly as
+  /// an organic crash would be.
+  void KillWorker(int segment);
+
+  /// \brief Orderly shutdown of every worker; harvests journals first.
+  void Shutdown();
+
+ private:
+  struct Worker {
+    pid_t pid = -1;
+    int fd = -1;
+    void* journal = nullptr;  // shared ring, JournalBytes() long
+    int generation = 0;
+    bool reaped = false;
+    int wait_status = 0;
+  };
+
+  size_t JournalBytes() const;
+  Status SpawnWorker(int segment, int64_t motion);
+  /// Blocks in waitpid until the worker is reaped (killing it first when
+  /// `force_kill`), records kWorkerKilled + the journal post-mortem, and
+  /// respawns. `reason` lands in the flight-recorder detail field.
+  Status HandleWorkerFailure(int segment, int64_t motion,
+                             const char* reason, bool force_kill);
+  void HarvestJournal(int segment);
+  void TearDownWorker(int segment);
+  [[noreturn]] static void WorkerMain(int fd, void* journal,
+                                      int journal_capacity);
+
+  ProcessRuntimeOptions options_;
+  std::vector<Worker> workers_;
+  ProcessRuntimeStats stats_;
+  int64_t heartbeat_motions_ = 0;
+  bool alive_ = false;
+};
+
+}  // namespace probkb
+
+#endif  // PROBKB_RUNTIME_PROCESS_RUNTIME_H_

@@ -1,0 +1,90 @@
+#ifndef PROBKB_RUNTIME_WIRE_H_
+#define PROBKB_RUNTIME_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "relational/table.h"
+#include "util/result.h"
+
+namespace probkb {
+namespace wire {
+
+/// \brief Frame types of the supervisor <-> worker protocol. Every request
+/// from the supervisor is answered by exactly one response frame, so the
+/// channel is a strict request/response alternation and a worker never has
+/// more than one frame in flight.
+enum class FrameType : uint16_t {
+  kPing = 1,       // heartbeat probe                     payload: empty
+  kPong,           // heartbeat answer                    payload: empty
+  kExchange,       // ship a table partition to a worker  payload: table
+  kExchangeAck,    // the partition, echoed back          payload: table
+  kNack,           // checksum mismatch on receipt        payload: empty
+  kShutdown,       // orderly worker exit                 payload: empty
+};
+
+const char* FrameTypeName(FrameType type);
+
+/// \brief Fixed-size header preceding every frame payload.
+///
+/// `checksum` covers the payload bytes only; it is built from the same
+/// value_hash::Mix / CombineRowHash primitives the join and placement
+/// hashes use, so the wire format shares one well-tested mixing function
+/// with the rest of the engine. A receiver recomputes the checksum over
+/// the bytes it read and rejects the frame on mismatch (kNack from a
+/// worker, kDataLoss retry from the supervisor).
+struct FrameHeader {
+  uint32_t magic = kMagic;
+  uint16_t type = 0;
+  uint16_t flags = 0;
+  int64_t motion = 0;       // motion index the frame belongs to (-1: none)
+  uint64_t payload_len = 0;
+  uint64_t checksum = 0;
+
+  static constexpr uint32_t kMagic = 0x50424B46;  // "PBKF"
+};
+
+/// \brief One parsed frame.
+struct Frame {
+  FrameType type = FrameType::kPing;
+  int64_t motion = -1;
+  std::string payload;
+};
+
+/// \brief Payload checksum: kRowHashSeed-seeded CombineRowHash over the
+/// Mix of each 8-byte word (tail bytes zero-padded), plus the length so a
+/// truncated-but-zero tail cannot collide with the original.
+uint64_t FrameChecksum(const void* data, size_t len);
+
+/// \brief Writes one frame to `fd` (a blocking Unix-domain socket).
+/// `corrupt` > 0 flips one payload byte *after* the checksum was computed,
+/// so the receiver is guaranteed to detect the damage — the fault
+/// injector's kCorruptFrame class uses this to strike real frames.
+Status WriteFrame(int fd, FrameType type, int64_t motion,
+                  std::string_view payload, bool corrupt = false);
+
+/// \brief Reads one frame, waiting at most `deadline_seconds` (0 disables
+/// the deadline) for the first byte and between chunks. Returns
+/// kDeadlineExceeded on timeout, kUnavailable-style IOError on EOF /
+/// connection reset, and kDataLoss when the payload checksum mismatches
+/// (the frame is consumed either way, so the caller can retry).
+Result<Frame> ReadFrame(int fd, double deadline_seconds);
+
+/// \brief Serializes a table into `out` (appending): row count, column
+/// count, then per column the type tag, the raw 8-byte cell words, and the
+/// null bitmap words. Lossless: doubles round-trip bit for bit and NULL
+/// cells keep their zero sentinel, so a deserialized table is byte-
+/// identical to the source for hashing, placement, and checkpoint
+/// purposes.
+void SerializeTable(const Table& table, std::string* out);
+
+/// \brief Inverse of SerializeTable; validates the encoded shape against
+/// `schema`.
+Result<TablePtr> DeserializeTable(const Schema& schema,
+                                  std::string_view bytes);
+
+}  // namespace wire
+}  // namespace probkb
+
+#endif  // PROBKB_RUNTIME_WIRE_H_

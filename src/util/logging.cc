@@ -148,6 +148,8 @@ const char* LogSubsystemName(LogSubsystem subsystem) {
       return "infer";
     case LogSubsystem::kObs:
       return "obs";
+    case LogSubsystem::kRuntime:
+      return "runtime";
   }
   return "?";
 }

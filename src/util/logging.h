@@ -23,6 +23,7 @@ enum class LogSubsystem : int {
   kFault,
   kInfer,
   kObs,
+  kRuntime,
 };
 
 const char* LogLevelName(LogLevel level);

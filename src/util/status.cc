@@ -28,6 +28,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Deadline exceeded";
     case StatusCode::kResourceExhausted:
       return "Resource exhausted";
+    case StatusCode::kDataLoss:
+      return "Data loss";
   }
   return "Unknown";
 }

@@ -22,6 +22,7 @@ enum class StatusCode : int {
   kCancelled = 9,
   kDeadlineExceeded = 10,
   kResourceExhausted = 11,
+  kDataLoss = 12,
 };
 
 /// \brief True for failures that mean "ran out of budget / asked to stop"
@@ -92,6 +93,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return state_ == nullptr; }

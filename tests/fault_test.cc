@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <climits>
+#include <cmath>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -97,6 +100,30 @@ TEST(RetryPolicyTest, BackoffIsCappedExponential) {
   flat.max_backoff_seconds = 10.0;
   EXPECT_DOUBLE_EQ(flat.BackoffSeconds(1), 0.5);
   EXPECT_DOUBLE_EQ(flat.BackoffSeconds(7), 0.5);
+}
+
+TEST(RetryPolicyTest, BackoffSurvivesAbsurdAttemptCounts) {
+  // An attempt counter gone wild (wrapped, corrupted, or just a very long
+  // retry storm) must clamp to the cap — finite, immediately, never +inf
+  // from an unbounded product and never an O(attempt) spin.
+  RetryPolicy p;  // 0.05s initial, x2, capped at 2s
+  EXPECT_DOUBLE_EQ(p.BackoffSeconds(1), 0.05);
+  EXPECT_DOUBLE_EQ(p.BackoffSeconds(10), 2.0);
+  const double extreme = p.BackoffSeconds(INT_MAX);
+  EXPECT_TRUE(std::isfinite(extreme));
+  EXPECT_DOUBLE_EQ(extreme, 2.0);
+
+  RetryPolicy flat;
+  flat.initial_backoff_seconds = 0.5;
+  flat.backoff_multiplier = 1.0;  // never reaches the cap by multiplying
+  flat.max_backoff_seconds = 10.0;
+  EXPECT_DOUBLE_EQ(flat.BackoffSeconds(INT_MAX), 0.5);
+
+  RetryPolicy tight;
+  tight.initial_backoff_seconds = 5.0;  // starts above its own cap
+  tight.max_backoff_seconds = 2.0;
+  EXPECT_DOUBLE_EQ(tight.BackoffSeconds(1), 2.0);
+  EXPECT_DOUBLE_EQ(tight.BackoffSeconds(INT_MAX), 2.0);
 }
 
 // --- FaultInjector -------------------------------------------------------------
@@ -372,6 +399,50 @@ TEST(CheckpointTest, RewritingSameDirectoryKeepsSnapshotConsistent) {
   EXPECT_TRUE(TablesIdentical(*loaded->t_pi, *b.t_pi));
   // A committed write leaves no staging debris behind.
   EXPECT_FALSE(std::filesystem::exists(dir + "/.staging"));
+}
+
+TEST(CheckpointTest, CommitFsyncsStagedFilesThenDirectory) {
+  // Crash-durability regression: rename() orders metadata, not data, so a
+  // checkpoint is only durable if every staged file is fsynced before the
+  // renames publish it and the directory is fsynced around the MANIFEST
+  // rename. Losing any of these fsyncs would let a power cut surface a
+  // MANIFEST that certifies torn table files.
+  GroundingCheckpoint cp;
+  cp.iteration = 2;
+  cp.next_fact_id = 9;
+  cp.t_pi = MakeTPiRows(4);
+  cp.num_segments = 2;
+  cp.t0_segments = {MakeTPiRows(1), MakeTPiRows(3)};
+
+  std::string dir = FreshDir("fsync");
+  std::vector<std::string> synced;
+  SetCheckpointFsyncObserverForTest(
+      [&](const std::string& path) { synced.push_back(path); });
+  Status st = WriteGroundingCheckpoint(cp, dir);
+  SetCheckpointFsyncObserverForTest(nullptr);
+  ASSERT_TRUE(st.ok()) << st;
+
+  const auto staged = [](const std::string& p) {
+    return p.find("/.staging/") != std::string::npos;
+  };
+  // Every staged table file plus the staged MANIFEST is synced: t_pi, the
+  // two t0 segment tables, the banned tables, and the MANIFEST itself.
+  EXPECT_GE(std::count_if(synced.begin(), synced.end(), staged), 4);
+  EXPECT_EQ(std::count(synced.begin(), synced.end(),
+                       dir + "/.staging/MANIFEST"),
+            1);
+  // The directory is synced exactly twice: once after the table renames
+  // (before a MANIFEST may certify them) and once after the MANIFEST
+  // rename (making the commit itself durable) — and that is the last
+  // fsync of the protocol.
+  EXPECT_EQ(std::count(synced.begin(), synced.end(), dir), 2);
+  ASSERT_FALSE(synced.empty());
+  EXPECT_EQ(synced.back(), dir);
+  // Ordering: no staged file is synced after the first directory sync —
+  // all data hits the disk before any rename is made durable.
+  auto first_dir = std::find(synced.begin(), synced.end(), dir);
+  ASSERT_NE(first_dir, synced.end());
+  EXPECT_TRUE(std::none_of(first_dir, synced.end(), staged));
 }
 
 TEST(CheckpointTest, ReadRemovesOrphanedStagingDebris) {

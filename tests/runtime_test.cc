@@ -1,0 +1,509 @@
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <climits>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "grounding/mpp_grounder.h"
+#include "kb/relational_model.h"
+#include "mpp/mpp_context.h"
+#include "obs/flight_recorder.h"
+#include "runtime/process_runtime.h"
+#include "runtime/wire.h"
+#include "tests/test_util.h"
+
+namespace probkb {
+namespace {
+
+/// Bit-identical comparison (same as fault_test): row count and every row
+/// equal in order, ids and weights included.
+::testing::AssertionResult TablesIdentical(const Table& a, const Table& b) {
+  if (a.NumRows() != b.NumRows()) {
+    return ::testing::AssertionFailure()
+           << "row counts differ: " << a.NumRows() << " vs " << b.NumRows();
+  }
+  for (int64_t i = 0; i < a.NumRows(); ++i) {
+    if (!a.row(i).Equals(b.row(i))) {
+      return ::testing::AssertionFailure() << "rows differ at index " << i;
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+int CountEvents(const std::vector<FrRecord>& timeline, FrEvent event) {
+  int n = 0;
+  for (const FrRecord& r : timeline) {
+    if (r.event == event) ++n;
+  }
+  return n;
+}
+
+Schema MixedSchema() {
+  return Schema({{"k", ColumnType::kInt64}, {"w", ColumnType::kFloat64}});
+}
+
+TablePtr MixedTable(int rows) {
+  auto t = Table::Make(MixedSchema());
+  for (int i = 0; i < rows; ++i) {
+    // Exercise NULLs on both column types and a non-trivial double.
+    t->AppendRow({i % 5 == 3 ? Value::Null() : Value::Int64(i * 7 - 3),
+                  i % 4 == 1 ? Value::Null() : Value::Float64(0.1 * i - 2.5)});
+  }
+  return t;
+}
+
+// --- Wire format ---------------------------------------------------------------
+
+TEST(WireTest, TableSerializationRoundTripsBitIdentically) {
+  TablePtr t = MixedTable(37);
+  std::string payload;
+  wire::SerializeTable(*t, &payload);
+  auto back = wire::DeserializeTable(t->schema(), payload);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_TRUE(TablesIdentical(**back, *t));
+  // NULLs survive as NULLs, not as zero values.
+  EXPECT_TRUE((*back)->IsNull(3, 0));
+  EXPECT_TRUE((*back)->IsNull(1, 1));
+  EXPECT_FALSE((*back)->IsNull(0, 0));
+}
+
+TEST(WireTest, EmptyTableRoundTrips) {
+  TablePtr t = Table::Make(MixedSchema());
+  std::string payload;
+  wire::SerializeTable(*t, &payload);
+  auto back = wire::DeserializeTable(t->schema(), payload);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ((*back)->NumRows(), 0);
+}
+
+TEST(WireTest, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(wire::DeserializeTable(MixedSchema(), "short").ok());
+  std::string payload;
+  wire::SerializeTable(*MixedTable(4), &payload);
+  payload.push_back('x');  // trailing junk
+  EXPECT_FALSE(wire::DeserializeTable(MixedSchema(), payload).ok());
+}
+
+TEST(WireTest, FrameRoundTripsOverSocketpair) {
+  int fds[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  std::string payload;
+  wire::SerializeTable(*MixedTable(11), &payload);
+  ASSERT_TRUE(
+      wire::WriteFrame(fds[0], wire::FrameType::kExchange, 42, payload).ok());
+  auto frame = wire::ReadFrame(fds[1], /*deadline_seconds=*/5.0);
+  ASSERT_TRUE(frame.ok()) << frame.status();
+  EXPECT_EQ(frame->type, wire::FrameType::kExchange);
+  EXPECT_EQ(frame->motion, 42);
+  EXPECT_EQ(frame->payload, payload);
+  close(fds[0]);
+  close(fds[1]);
+}
+
+TEST(WireTest, CorruptedFrameIsDetectedAsDataLoss) {
+  int fds[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  std::string payload;
+  wire::SerializeTable(*MixedTable(11), &payload);
+  ASSERT_TRUE(wire::WriteFrame(fds[0], wire::FrameType::kExchange, 7, payload,
+                               /*corrupt=*/true)
+                  .ok());
+  auto frame = wire::ReadFrame(fds[1], /*deadline_seconds=*/5.0);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kDataLoss);
+  // The damaged frame was fully consumed: the channel stays usable.
+  ASSERT_TRUE(
+      wire::WriteFrame(fds[0], wire::FrameType::kPing, -1, {}).ok());
+  auto ping = wire::ReadFrame(fds[1], /*deadline_seconds=*/5.0);
+  ASSERT_TRUE(ping.ok()) << ping.status();
+  EXPECT_EQ(ping->type, wire::FrameType::kPing);
+  close(fds[0]);
+  close(fds[1]);
+}
+
+TEST(WireTest, ReadDeadlineTripsOnSilentPeer) {
+  int fds[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  auto frame = wire::ReadFrame(fds[1], /*deadline_seconds=*/0.05);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kDeadlineExceeded);
+  close(fds[0]);
+  close(fds[1]);
+}
+
+TEST(WireTest, ChecksumCoversLength) {
+  const char data[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+  EXPECT_NE(wire::FrameChecksum(data, 4), wire::FrameChecksum(data, 8));
+}
+
+// --- Runtime selection ---------------------------------------------------------
+
+TEST(RuntimeKindTest, ParseAcceptsCanonicalNames) {
+  RuntimeKind kind = RuntimeKind::kProcess;
+  EXPECT_TRUE(ParseRuntimeKind("sim", &kind));
+  EXPECT_EQ(kind, RuntimeKind::kSim);
+  EXPECT_TRUE(ParseRuntimeKind("PROCESS", &kind));
+  EXPECT_EQ(kind, RuntimeKind::kProcess);
+  EXPECT_FALSE(ParseRuntimeKind("greenplum", &kind));
+}
+
+TEST(RuntimeKindTest, ResolvePrefersRequestThenEnvThenSim) {
+  unsetenv("PROBKB_RUNTIME");
+  EXPECT_EQ(ResolveRuntimeKind(nullptr), RuntimeKind::kSim);
+  EXPECT_EQ(ResolveRuntimeKind("process"), RuntimeKind::kProcess);
+  // Garbage falls back to sim with a warning, mirroring ResolveThreads.
+  EXPECT_EQ(ResolveRuntimeKind("bogus"), RuntimeKind::kSim);
+  setenv("PROBKB_RUNTIME", "process", 1);
+  EXPECT_EQ(ResolveRuntimeKind(nullptr), RuntimeKind::kProcess);
+  EXPECT_EQ(ResolveRuntimeKind("sim"), RuntimeKind::kSim);  // CLI wins
+  setenv("PROBKB_RUNTIME", "cluster", 1);
+  EXPECT_EQ(ResolveRuntimeKind(nullptr), RuntimeKind::kSim);
+  unsetenv("PROBKB_RUNTIME");
+}
+
+// --- ProcessRuntime supervision ------------------------------------------------
+
+ProcessRuntimeOptions SmallRuntime(int segments) {
+  ProcessRuntimeOptions options;
+  options.num_segments = segments;
+  options.frame_deadline_seconds = 10.0;  // generous; CI machines are slow
+  return options;
+}
+
+TEST(ProcessRuntimeTest, ExchangeEchoesTuplesThroughWorkers) {
+  ProcessRuntime runtime(SmallRuntime(2));
+  ASSERT_TRUE(runtime.Spawn().ok());
+  ASSERT_TRUE(runtime.alive());
+  TablePtr t = MixedTable(23);
+  for (int s = 0; s < 2; ++s) {
+    auto echoed = runtime.Exchange(s, /*motion=*/s, *t, "echo");
+    ASSERT_TRUE(echoed.ok()) << echoed.status();
+    EXPECT_TRUE(TablesIdentical(**echoed, *t));
+  }
+  EXPECT_TRUE(runtime.Ping(0).ok());
+  EXPECT_EQ(runtime.stats().exchanges, 2);
+  EXPECT_EQ(runtime.stats().worker_deaths, 0);
+  runtime.Shutdown();
+  EXPECT_FALSE(runtime.alive());
+}
+
+TEST(ProcessRuntimeTest, SpawnFailureLeavesRuntimeUnusable) {
+  ProcessRuntimeOptions options = SmallRuntime(2);
+  options.fail_spawn_for_test = true;
+  ProcessRuntime runtime(options);
+  EXPECT_FALSE(runtime.Spawn().ok());
+  EXPECT_FALSE(runtime.alive());
+  EXPECT_FALSE(runtime.Exchange(0, 0, *MixedTable(1), "dead").ok());
+}
+
+TEST(ProcessRuntimeTest, KilledWorkerIsDetectedHarvestedAndRespawned) {
+  FlightRecorder::Global()->Reset();
+  ProcessRuntime runtime(SmallRuntime(2));
+  ASSERT_TRUE(runtime.Spawn().ok());
+  TablePtr t = MixedTable(9);
+  ASSERT_TRUE(runtime.Exchange(1, /*motion=*/0, *t, "warmup").ok());
+
+  runtime.KillWorker(1);
+  // The kill is detected by the next exchange, which retries through the
+  // respawned worker and still succeeds.
+  auto echoed = runtime.Exchange(1, /*motion=*/1, *t, "after_kill");
+  ASSERT_TRUE(echoed.ok()) << echoed.status();
+  EXPECT_TRUE(TablesIdentical(**echoed, *t));
+  EXPECT_EQ(runtime.stats().worker_deaths, 1);
+  EXPECT_EQ(runtime.stats().respawns, 1);
+  runtime.Shutdown();
+
+  std::vector<FrRecord> timeline = FlightRecorder::Global()->MergedTimeline();
+  // 2 initial spawns + 1 respawn-spawn; the kill and respawn are recorded
+  // with deterministic payloads (segment, motion, SIGKILL).
+  EXPECT_EQ(CountEvents(timeline, FrEvent::kWorkerSpawn), 3);
+  EXPECT_EQ(CountEvents(timeline, FrEvent::kWorkerRespawn), 1);
+  ASSERT_EQ(CountEvents(timeline, FrEvent::kWorkerKilled), 1);
+  // Dead worker's shared-memory journal was aggregated into the dump: the
+  // death post-mortem plus one per worker at shutdown.
+  EXPECT_EQ(CountEvents(timeline, FrEvent::kWorkerPostMortem), 3);
+  for (const FrRecord& r : timeline) {
+    if (r.event != FrEvent::kWorkerKilled) continue;
+    EXPECT_EQ(r.a, 1);        // segment
+    EXPECT_EQ(r.b, 1);        // motion where the death was detected
+    EXPECT_EQ(r.c, SIGKILL);  // signal
+  }
+}
+
+TEST(ProcessRuntimeTest, HeartbeatDetectsKilledWorker) {
+  FlightRecorder::Global()->Reset();
+  ProcessRuntimeOptions options = SmallRuntime(2);
+  options.heartbeat_every_motions = 1;
+  ProcessRuntime runtime(options);
+  ASSERT_TRUE(runtime.Spawn().ok());
+  runtime.KillWorker(0);
+  runtime.HeartbeatTick(/*motion=*/5);
+  EXPECT_EQ(runtime.stats().heartbeats, 1);
+  EXPECT_EQ(runtime.stats().worker_deaths, 1);
+  EXPECT_EQ(runtime.stats().respawns, 1);
+  runtime.Shutdown();
+  std::vector<FrRecord> timeline = FlightRecorder::Global()->MergedTimeline();
+  ASSERT_EQ(CountEvents(timeline, FrEvent::kWorkerHeartbeat), 1);
+  for (const FrRecord& r : timeline) {
+    if (r.event != FrEvent::kWorkerHeartbeat) continue;
+    EXPECT_EQ(r.a, 5);  // motion
+    EXPECT_EQ(r.b, 2);  // both workers alive again after the respawn
+  }
+}
+
+TEST(ProcessRuntimeTest, CorruptFramesAreRetriedToABitIdenticalResult) {
+  FlightRecorder::Global()->Reset();
+  ProcessRuntime runtime(SmallRuntime(1));
+  ASSERT_TRUE(runtime.Spawn().ok());
+  TablePtr t = MixedTable(31);
+  // Two outbound frames are damaged after their checksum is computed; the
+  // worker NACKs each, and the third attempt delivers cleanly.
+  auto echoed =
+      runtime.Exchange(0, /*motion=*/3, *t, "corrupt", /*corrupt_frames=*/2);
+  ASSERT_TRUE(echoed.ok()) << echoed.status();
+  EXPECT_TRUE(TablesIdentical(**echoed, *t));
+  EXPECT_EQ(runtime.stats().frame_retries, 2);
+  EXPECT_EQ(runtime.stats().worker_deaths, 0);
+  runtime.Shutdown();
+  std::vector<FrRecord> timeline = FlightRecorder::Global()->MergedTimeline();
+  EXPECT_EQ(CountEvents(timeline, FrEvent::kFrameRetry), 2);
+}
+
+TEST(ProcessRuntimeTest, ExhaustedRetryBudgetIsDataLossWithPostMortem) {
+  FlightRecorder::Global()->Reset();
+  ProcessRuntimeOptions options = SmallRuntime(1);
+  options.retry.max_attempts = 3;
+  ProcessRuntime runtime(options);
+  ASSERT_TRUE(runtime.Spawn().ok());
+  TablePtr t = MixedTable(8);
+  // Every attempt in the budget is corrupted: persistent corruption must
+  // surface as kDataLoss, not be misreported as a timeout or a crash.
+  auto echoed =
+      runtime.Exchange(0, /*motion=*/9, *t, "doomed", /*corrupt_frames=*/3);
+  ASSERT_FALSE(echoed.ok());
+  EXPECT_EQ(echoed.status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(runtime.stats().frame_retries, 2);
+  runtime.Shutdown();
+  std::vector<FrRecord> timeline = FlightRecorder::Global()->MergedTimeline();
+  EXPECT_EQ(CountEvents(timeline, FrEvent::kFrameRetry), 2);
+  // The worker's ring still reaches the dump at shutdown, so the
+  // post-mortem shows what the segment saw before the budget ran out.
+  EXPECT_EQ(CountEvents(timeline, FrEvent::kWorkerPostMortem), 1);
+}
+
+// --- Simulator oracle ----------------------------------------------------------
+
+struct MppRun {
+  TablePtr tpi;
+  TablePtr tphi;
+  std::vector<MppStep> steps;
+};
+
+/// Grounds the paper-example KB on `segments` segments, optionally behind a
+/// process runtime and/or a fault injector, and returns the gathered
+/// outputs plus the cost trace.
+MppRun RunGrounding(const KnowledgeBase& kb, int segments,
+                    FaultInjector* injector, ProcessRuntime* runtime) {
+  MppRun run;
+  RelationalKB rkb = BuildRelationalModel(kb);
+  MppGrounder grounder(rkb, segments, MppMode::kViews, GroundingOptions{},
+                       CostParams{}, injector, RetryPolicy{});
+  if (runtime != nullptr) grounder.AttachRuntime(runtime);
+  Status st = grounder.GroundAtoms();
+  EXPECT_TRUE(st.ok()) << st;
+  if (!st.ok()) return run;
+  auto phi = grounder.GroundFactors();
+  EXPECT_TRUE(phi.ok()) << phi.status();
+  if (!phi.ok()) return run;
+  run.tpi = grounder.GatherTPi();
+  run.tphi = *phi;
+  run.steps = grounder.cost().steps();
+  return run;
+}
+
+/// The motion sequences of two runs match: same steps in the same order,
+/// each with the same label and shipping the same tuples. Compute steps'
+/// wall-clock is excluded (it is the one nondeterministic quantity); the
+/// modelled seconds of motion and recovery steps must agree exactly.
+void ExpectSameMotionSequence(const std::vector<MppStep>& a,
+                              const std::vector<MppStep>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE("step " + std::to_string(i) + " (" + a[i].label + ")");
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(a[i].label, b[i].label);
+    EXPECT_EQ(a[i].tuples_shipped, b[i].tuples_shipped);
+    if (a[i].kind != MppStep::Kind::kCompute) {
+      EXPECT_DOUBLE_EQ(a[i].seconds, b[i].seconds);
+    }
+  }
+}
+
+TEST(ProcessOracleTest, ProcessModeMatchesSimulatorBitIdentically) {
+  KnowledgeBase kb = testutil::BuildPaperExampleKB();
+  for (int segments : {2, 4, 8}) {
+    SCOPED_TRACE("segments " + std::to_string(segments));
+    MppRun sim = RunGrounding(kb, segments, nullptr, nullptr);
+    ASSERT_NE(sim.tpi, nullptr);
+
+    ProcessRuntime runtime(SmallRuntime(segments));
+    ASSERT_TRUE(runtime.Spawn().ok());
+    MppRun process = RunGrounding(kb, segments, nullptr, &runtime);
+    ASSERT_NE(process.tpi, nullptr);
+    EXPECT_GT(runtime.stats().exchanges, 0);
+    runtime.Shutdown();
+
+    // Process mode is a transport change, not a semantics change: same
+    // tuples, same motion sequence, same modelled cost.
+    EXPECT_TRUE(TablesIdentical(*process.tpi, *sim.tpi));
+    EXPECT_TRUE(TablesIdentical(*process.tphi, *sim.tphi));
+    ExpectSameMotionSequence(sim.steps, process.steps);
+  }
+}
+
+// --- Chaos: worker kills + frame corruption under the process runtime ----------
+
+TEST(ProcessChaosTest, ScheduledWorkerKillRecoversBitIdentically) {
+  KnowledgeBase kb = testutil::BuildPaperExampleKB();
+  MppRun baseline = RunGrounding(kb, 2, nullptr, nullptr);
+  ASSERT_NE(baseline.tpi, nullptr);
+
+  // Find motions that actually ship tuples (those consult the injector).
+  std::vector<int64_t> candidates;
+  for (size_t i = 0, motion = 0; i < baseline.steps.size(); ++i) {
+    const MppStep& step = baseline.steps[i];
+    if (step.kind == MppStep::Kind::kCompute ||
+        step.kind == MppStep::Kind::kRecovery) {
+      continue;
+    }
+    if (step.kind == MppStep::Kind::kRedistribute && step.tuples_shipped > 0) {
+      candidates.push_back(static_cast<int64_t>(motion));
+    }
+    ++motion;
+  }
+  ASSERT_GE(candidates.size(), 2u);
+
+  FlightRecorder::Global()->Reset();
+  FaultInjectionOptions fault_options;
+  fault_options.enabled = true;
+  {
+    FaultEvent kill;
+    kill.kind = FaultKind::kWorkerKill;
+    kill.motion = candidates[0];
+    kill.segment = 1;
+    fault_options.schedule.push_back(kill);
+    FaultEvent corrupt;
+    corrupt.kind = FaultKind::kCorruptFrame;
+    corrupt.motion = candidates.back();
+    corrupt.target = 0;
+    fault_options.schedule.push_back(corrupt);
+  }
+  FaultInjector injector(fault_options);
+  ProcessRuntime runtime(SmallRuntime(2));
+  ASSERT_TRUE(runtime.Spawn().ok());
+  MppRun chaos = RunGrounding(kb, 2, &injector, &runtime);
+  ASSERT_NE(chaos.tpi, nullptr);
+  runtime.Shutdown();
+
+  EXPECT_EQ(injector.stats().worker_kills, 1);
+  EXPECT_EQ(injector.stats().frames_corrupted, 1);
+  EXPECT_EQ(injector.stats().unrecovered_motions, 0);
+  EXPECT_EQ(runtime.stats().worker_deaths, 1);
+  EXPECT_EQ(runtime.stats().respawns, 1);
+  EXPECT_GE(runtime.stats().frame_retries, 1);
+  EXPECT_TRUE(TablesIdentical(*chaos.tpi, *baseline.tpi));
+  EXPECT_TRUE(TablesIdentical(*chaos.tphi, *baseline.tphi));
+
+  std::vector<FrRecord> timeline = FlightRecorder::Global()->MergedTimeline();
+  EXPECT_EQ(CountEvents(timeline, FrEvent::kWorkerKilled), 1);
+  EXPECT_EQ(CountEvents(timeline, FrEvent::kWorkerRespawn), 1);
+  EXPECT_GE(CountEvents(timeline, FrEvent::kFrameRetry), 1);
+}
+
+/// The acceptance sweep: for every chaos seed and 2/4/8 segments, process-
+/// mode grounding with random worker kills and frame corruption produces
+/// tables bit-identical to the fault-free simulator run, and the
+/// supervisor's flight-recorder dump accounts for every spawn, kill, and
+/// respawn. PROBKB_CHAOS_SEED adds a CI-chosen seed to the sweep.
+TEST(ProcessChaosTest, RandomKillSweepIsBitIdenticalToFaultFreeSim) {
+  KnowledgeBase kb = testutil::BuildPaperExampleKB();
+  std::vector<uint64_t> seeds = {1, 2, 3};
+  if (const char* env = std::getenv("PROBKB_CHAOS_SEED")) {
+    seeds.push_back(static_cast<uint64_t>(std::strtoull(env, nullptr, 10)));
+  }
+  int64_t kills_total = 0;
+  for (int segments : {2, 4, 8}) {
+    MppRun baseline = RunGrounding(kb, segments, nullptr, nullptr);
+    ASSERT_NE(baseline.tpi, nullptr);
+    for (uint64_t seed : seeds) {
+      SCOPED_TRACE("segments " + std::to_string(segments) + " seed " +
+                   std::to_string(seed));
+      FlightRecorder::Global()->Reset();
+      FaultInjectionOptions fault_options;
+      fault_options.enabled = true;
+      fault_options.seed = seed;
+      fault_options.worker_kill_prob = 0.25;
+      fault_options.corrupt_frame_prob = 0.2;
+      FaultInjector injector(fault_options);
+      ProcessRuntime runtime(SmallRuntime(segments));
+      ASSERT_TRUE(runtime.Spawn().ok());
+      MppRun chaos = RunGrounding(kb, segments, &injector, &runtime);
+      ASSERT_NE(chaos.tpi, nullptr);
+      runtime.Shutdown();
+
+      EXPECT_TRUE(TablesIdentical(*chaos.tpi, *baseline.tpi));
+      EXPECT_TRUE(TablesIdentical(*chaos.tphi, *baseline.tphi));
+      EXPECT_EQ(injector.stats().unrecovered_motions, 0);
+      EXPECT_EQ(runtime.stats().worker_deaths,
+                injector.stats().worker_kills);
+      EXPECT_EQ(runtime.stats().respawns, injector.stats().worker_kills);
+      kills_total += injector.stats().worker_kills;
+
+      // The dump records the full worker lifecycle: one spawn per segment
+      // plus one per respawn, and kills match respawns one for one.
+      std::vector<FrRecord> timeline =
+          FlightRecorder::Global()->MergedTimeline();
+      EXPECT_EQ(CountEvents(timeline, FrEvent::kWorkerSpawn),
+                segments + static_cast<int>(runtime.stats().respawns));
+      EXPECT_EQ(CountEvents(timeline, FrEvent::kWorkerKilled),
+                static_cast<int>(runtime.stats().worker_deaths));
+      EXPECT_EQ(CountEvents(timeline, FrEvent::kWorkerRespawn),
+                static_cast<int>(runtime.stats().respawns));
+    }
+  }
+  EXPECT_GT(kills_total, 0) << "sweep never killed a worker";
+}
+
+/// Same seed, same configuration -> byte-identical post-mortem dump. Every
+/// recorded payload is a deterministic quantity (segments, motions,
+/// generations, signals — never pids or wall-clock), so a chaos failure
+/// can be diffed across reruns.
+TEST(ProcessChaosTest, ChaosDumpIsDeterministicAcrossReruns) {
+  KnowledgeBase kb = testutil::BuildPaperExampleKB();
+  auto run_once = [&]() -> std::string {
+    FlightRecorder::Global()->Reset();
+    FaultInjectionOptions fault_options;
+    fault_options.enabled = true;
+    fault_options.seed = 7;
+    fault_options.worker_kill_prob = 0.3;
+    fault_options.corrupt_frame_prob = 0.2;
+    FaultInjector injector(fault_options);
+    ProcessRuntime runtime(SmallRuntime(4));
+    EXPECT_TRUE(runtime.Spawn().ok());
+    MppRun run = RunGrounding(kb, 4, &injector, &runtime);
+    EXPECT_NE(run.tpi, nullptr);
+    runtime.Shutdown();
+    return FlightRecorder::Global()->DumpText();
+  };
+  std::string first = run_once();
+  std::string second = run_once();
+  EXPECT_GT(first.size(), 0u);
+  EXPECT_EQ(first, second);
+}
+
+}  // namespace
+}  // namespace probkb

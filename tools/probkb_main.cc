@@ -18,11 +18,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "factor/factor_graph.h"
 #include "grounding/grounder.h"
+#include "grounding/mpp_grounder.h"
 #include "infer/gibbs.h"
 #include "infer/map_inference.h"
 #include "mln/parser.h"
@@ -30,6 +32,7 @@
 #include "obs/stats_registry.h"
 #include "quality/rule_cleaning.h"
 #include "relational/table_io.h"
+#include "runtime/process_runtime.h"
 #include "util/logging.h"
 
 namespace {
@@ -48,6 +51,8 @@ struct CliOptions {
   double deadline_seconds = 0.0;
   int64_t max_rows = 0;
   int num_threads = 0;
+  int num_segments = 0;
+  std::string runtime;
   std::string checkpoint_dir;
   bool resume = false;
   std::string tpi_out;
@@ -74,6 +79,11 @@ int Usage() {
       "  --resume          resume grounding from --checkpoint DIR\n"
       "  --threads N       grounding worker threads (default: all cores;\n"
       "                    1 = serial; output is identical either way)\n"
+      "  --segments N      ground on the N-segment MPP engine instead of\n"
+      "                    the single-node grounder (ProbKB-p views plan)\n"
+      "  --runtime R       sim | process: segment runtime for --segments\n"
+      "                    (default sim; env PROBKB_RUNTIME; process forks\n"
+      "                    one supervised worker per segment)\n"
       "  --sweeps N        Gibbs sample sweeps (infer; default 2000)\n"
       "  --map             MAP (most likely world) instead of marginals\n"
       "  --tpi FILE        dump the grounded facts table as TSV\n"
@@ -148,6 +158,18 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
         std::fprintf(stderr, "--threads wants a positive integer\n");
         return false;
       }
+    } else if (flag == "--segments") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->num_segments = std::atoi(v);
+      if (options->num_segments <= 0) {
+        std::fprintf(stderr, "--segments wants a positive integer\n");
+        return false;
+      }
+    } else if (flag == "--runtime") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->runtime = v;
     } else if (flag == "--sweeps") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -228,7 +250,6 @@ int Run(const CliOptions& options) {
   grounding.max_rows_per_statement = options.max_rows;
   grounding.checkpoint_dir = options.checkpoint_dir;
   grounding.num_threads = options.num_threads;
-  Grounder grounder(&rkb, grounding);
 
   // One registry per run collects operator/motion/partition stats; it is
   // only attached (and thus only fed) when some output was requested, so
@@ -236,7 +257,6 @@ int Run(const CliOptions& options) {
   StatsRegistry registry;
   const bool want_stats = options.stats || !options.stats_json.empty() ||
                           registry.trace_enabled();
-  if (want_stats) grounder.set_stats_registry(&registry);
   auto emit_stats = [&]() -> int {
     if (!want_stats) return 0;
     if (options.stats) std::printf("%s", registry.ToText().c_str());
@@ -254,20 +274,9 @@ int Run(const CliOptions& options) {
     return 0;
   };
 
-  if (options.resume) {
-    if (options.checkpoint_dir.empty()) {
-      std::fprintf(stderr, "--resume requires --checkpoint DIR\n");
-      return 2;
-    }
-    if (GroundingCheckpointExists(options.checkpoint_dir)) {
-      if (auto st = grounder.ResumeFrom(options.checkpoint_dir); !st.ok()) {
-        std::fprintf(stderr, "resume: %s\n", st.ToString().c_str());
-        return 1;
-      }
-      std::printf("resumed from %s at iteration %d\n",
-                  options.checkpoint_dir.c_str(),
-                  grounder.stats().iterations);
-    }
+  if (options.resume && options.checkpoint_dir.empty()) {
+    std::fprintf(stderr, "--resume requires --checkpoint DIR\n");
+    return 2;
   }
 
   // Budget failures degrade to a partial expansion: counters below say
@@ -277,34 +286,106 @@ int Run(const CliOptions& options) {
   Status stop_reason;
   int grounding_failures = 0;
   int factor_failures = 0;
-  if (auto st = grounder.GroundAtoms(); !st.ok()) {
-    if (IsBudgetFailure(st.code())) {
-      partial = true;
-      stop_reason = st;
-      ++grounding_failures;
-    } else {
+  int iterations = 0;
+  TablePtr t_phi = Table::Make(TPhiSchema());
+  auto absorb_budget_failure = [&](const Status& st, int* failures) -> bool {
+    if (!IsBudgetFailure(st.code())) return false;
+    partial = true;
+    stop_reason = st;
+    ++*failures;
+    return true;
+  };
+
+  if (options.num_segments > 0) {
+    // MPP path: ground on the shared-nothing engine (ProbKB-p views plan)
+    // and gather TPi back so the downstream stages see the same tables the
+    // single-node grounder would produce. --runtime=process additionally
+    // ships every motion through forked, supervised worker processes; if
+    // the workers cannot spawn the run degrades to the in-process
+    // simulator rather than failing.
+    MppGrounder mpp(rkb, options.num_segments, MppMode::kViews, grounding);
+    if (want_stats) mpp.set_stats_registry(&registry);
+    std::unique_ptr<ProcessRuntime> runtime;
+    if (ResolveRuntimeKind(options.runtime.empty()
+                               ? nullptr
+                               : options.runtime.c_str()) ==
+        RuntimeKind::kProcess) {
+      ProcessRuntimeOptions runtime_options;
+      runtime_options.num_segments = options.num_segments;
+      runtime = std::make_unique<ProcessRuntime>(runtime_options);
+      if (auto st = runtime->Spawn(); !st.ok()) {
+        PROBKB_SLOG(Runtime, Warning)
+            << "process runtime unavailable ("
+            << st.ToString() << "); degrading to the simulator";
+        runtime.reset();
+      } else {
+        mpp.AttachRuntime(runtime.get());
+      }
+    }
+    if (options.resume && GroundingCheckpointExists(options.checkpoint_dir)) {
+      if (auto st = mpp.ResumeFrom(options.checkpoint_dir); !st.ok()) {
+        std::fprintf(stderr, "resume: %s\n", st.ToString().c_str());
+        return 1;
+      }
+      std::printf("resumed from %s at iteration %d\n",
+                  options.checkpoint_dir.c_str(), mpp.stats().iterations);
+    }
+    if (auto st = mpp.GroundAtoms();
+        !st.ok() && !absorb_budget_failure(st, &grounding_failures)) {
       std::fprintf(stderr, "grounding: %s\n", st.ToString().c_str());
       return 1;
     }
-  }
-  TablePtr t_phi = Table::Make(TPhiSchema());
-  if (!partial) {
-    auto factors = grounder.GroundFactors();
-    if (factors.ok()) {
-      t_phi = factors.MoveValueOrDie();
-    } else if (IsBudgetFailure(factors.status().code())) {
-      partial = true;
-      stop_reason = factors.status();
-      ++factor_failures;
-    } else {
-      std::fprintf(stderr, "%s\n", factors.status().ToString().c_str());
+    if (!partial) {
+      auto factors = mpp.GroundFactors();
+      if (factors.ok()) {
+        t_phi = factors.MoveValueOrDie();
+      } else if (!absorb_budget_failure(factors.status(),
+                                        &factor_failures)) {
+        std::fprintf(stderr, "%s\n", factors.status().ToString().c_str());
+        return 1;
+      }
+    }
+    rkb.t_pi = mpp.GatherTPi();
+    iterations = mpp.stats().iterations;
+    if (runtime != nullptr) {
+      runtime->Shutdown();
+      if (want_stats) {
+        std::printf("%s\n", runtime->stats().ToString().c_str());
+      }
+    }
+  } else {
+    Grounder grounder(&rkb, grounding);
+    if (want_stats) grounder.set_stats_registry(&registry);
+    if (options.resume && GroundingCheckpointExists(options.checkpoint_dir)) {
+      if (auto st = grounder.ResumeFrom(options.checkpoint_dir); !st.ok()) {
+        std::fprintf(stderr, "resume: %s\n", st.ToString().c_str());
+        return 1;
+      }
+      std::printf("resumed from %s at iteration %d\n",
+                  options.checkpoint_dir.c_str(),
+                  grounder.stats().iterations);
+    }
+    if (auto st = grounder.GroundAtoms();
+        !st.ok() && !absorb_budget_failure(st, &grounding_failures)) {
+      std::fprintf(stderr, "grounding: %s\n", st.ToString().c_str());
       return 1;
     }
+    if (!partial) {
+      auto factors = grounder.GroundFactors();
+      if (factors.ok()) {
+        t_phi = factors.MoveValueOrDie();
+      } else if (!absorb_budget_failure(factors.status(),
+                                        &factor_failures)) {
+        std::fprintf(stderr, "%s\n", factors.status().ToString().c_str());
+        return 1;
+      }
+    }
+    iterations = grounder.stats().iterations;
   }
   std::printf("grounded: %lld atoms, %lld factors, %d iterations%s\n",
               static_cast<long long>(rkb.t_pi->NumRows()),
               static_cast<long long>(t_phi->NumRows()),
-              grounder.stats().iterations, partial ? " (partial)" : "");
+              iterations, partial ? " (partial)" : "");
   if (partial) {
     std::printf("partial expansion: %s\n",
                 stop_reason.ToString().c_str());
