@@ -1,4 +1,5 @@
 #include "engine/ops.h"
+#include "engine/tunables.h"
 
 #include <algorithm>
 #include <functional>
@@ -17,11 +18,10 @@ KeyIndex::KeyIndex(const Table* table, std::vector<int> key_cols,
   index_.Reserve(table->NumRows() + expected_extra_rows);
   // Batched build: hash the key columns in contiguous chunks instead of
   // materializing a Value per cell per row.
-  constexpr int64_t kChunk = 4096;
-  size_t hashes[kChunk];
+  size_t hashes[kIndexBuildChunkRows];
   const int64_t n = table_->NumRows();
-  for (int64_t base = 0; base < n; base += kChunk) {
-    const int64_t end = std::min(base + kChunk, n);
+  for (int64_t base = 0; base < n; base += kIndexBuildChunkRows) {
+    const int64_t end = std::min(base + kIndexBuildChunkRows, n);
     table_->HashRows(key_cols_, base, end, hashes);
     for (int64_t i = base; i < end; ++i) {
       index_.Insert(hashes[i - base], i);
@@ -66,12 +66,11 @@ int64_t SetUnionInto(Table* dst, const Table& src,
   dst->ReserveRows(src.NumRows());
   // Batch-hash src keys once. An appended row is a copy of the src row, so
   // its key hash in dst equals the src hash — reuse it for AddRowHashed.
-  constexpr int64_t kBatch = 64;
-  size_t hashes[kBatch];
+  size_t hashes[kHashBatchRows];
   int64_t added = 0;
   const int64_t n = src.NumRows();
-  for (int64_t base = 0; base < n; base += kBatch) {
-    const int64_t end = std::min(base + kBatch, n);
+  for (int64_t base = 0; base < n; base += kHashBatchRows) {
+    const int64_t end = std::min(base + kHashBatchRows, n);
     src.HashRows(key_cols, base, end, hashes);
     for (int64_t i = base; i < end; ++i) index.PrefetchHash(hashes[i - base]);
     for (int64_t i = base; i < end; ++i) {
@@ -101,11 +100,10 @@ int64_t DeleteMatching(Table* table, const std::vector<int>& table_cols,
   KeyIndex index(&keys, key_cols);
   // Batch-hash the probe keys and mark survivors directly.
   std::vector<bool> keep(static_cast<size_t>(table->NumRows()));
-  constexpr int64_t kBatch = 64;
-  size_t hashes[kBatch];
+  size_t hashes[kHashBatchRows];
   const int64_t n = table->NumRows();
-  for (int64_t base = 0; base < n; base += kBatch) {
-    const int64_t end = std::min(base + kBatch, n);
+  for (int64_t base = 0; base < n; base += kHashBatchRows) {
+    const int64_t end = std::min(base + kHashBatchRows, n);
     table->HashRows(table_cols, base, end, hashes);
     for (int64_t i = base; i < end; ++i) index.PrefetchHash(hashes[i - base]);
     for (int64_t i = base; i < end; ++i) {

@@ -30,13 +30,25 @@ class PlanNode {
   PlanNode& operator=(const PlanNode&) = delete;
 
   /// \brief Runs the subtree rooted here and returns the result table.
+  /// Bodies live in executor.cc (the plan IR itself is structural only).
   virtual Result<TablePtr> Execute(ExecContext* ctx) = 0;
 
   /// \brief Short operator name for EXPLAIN output, e.g. "HashJoin".
   virtual std::string Label() const = 0;
 
-  /// \brief EXPLAIN-style tree rendering.
+  /// \brief EXPLAIN-style tree rendering. Nodes carrying cardinality
+  /// annotations render as "Label (est=N obs=M)" with "?" for unknown;
+  /// un-annotated nodes render the bare label.
   std::string Explain(int indent = 0) const;
+
+  /// Estimated output cardinality, annotated by the planner before
+  /// execution (-1 = no estimate). Observed cardinality is recorded by
+  /// Execute, so after a run `est_rows` vs `obs_rows` is the per-node
+  /// estimation error the next iteration's plan is corrected with.
+  int64_t est_rows() const { return est_rows_; }
+  void set_est_rows(int64_t rows) { est_rows_ = rows; }
+  int64_t obs_rows() const { return obs_rows_; }
+  void set_obs_rows(int64_t rows) { obs_rows_ = rows; }
 
   const std::vector<PlanNodePtr>& children() const { return children_; }
 
@@ -46,6 +58,8 @@ class PlanNode {
       : children_(std::move(children)) {}
 
   std::vector<PlanNodePtr> children_;
+  int64_t est_rows_ = -1;
+  int64_t obs_rows_ = -1;
 };
 
 /// \brief Leaf node scanning an existing table (zero-copy).
@@ -56,6 +70,10 @@ class ScanNode : public PlanNode {
 
   Result<TablePtr> Execute(ExecContext* ctx) override;
   std::string Label() const override { return "SeqScan on " + name_; }
+
+  /// Scan inputs are materialized, so their size is known at plan time —
+  /// the one exact leaf cardinality the planner's estimates grow from.
+  int64_t TableRows() const { return table_->NumRows(); }
 
  private:
   TablePtr table_;
@@ -161,6 +179,9 @@ class HashJoinNode : public PlanNode {
   std::string Label() const override {
     return std::string("HashJoin (") + JoinTypeToString(type_) + ")";
   }
+
+  JoinType join_type() const { return type_; }
+  bool has_residual() const { return residual_ != nullptr; }
 
  private:
   std::vector<int> left_keys_;

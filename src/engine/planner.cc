@@ -1,0 +1,137 @@
+#include "engine/planner.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/strings.h"
+
+namespace probkb {
+
+const char* MotionChoiceToString(MotionChoice c) {
+  switch (c) {
+    case MotionChoice::kRedistribute:
+      return "redistribute";
+    case MotionChoice::kBroadcastRight:
+      return "broadcast-right";
+    case MotionChoice::kBroadcastLeft:
+      return "broadcast-left";
+  }
+  return "?";
+}
+
+std::string MotionDecision::ToString() const {
+  std::string out = StrFormat("%s redistribute=%.3es broadcast-right=%.3es",
+                              MotionChoiceToString(choice),
+                              redistribute_seconds, broadcast_right_seconds);
+  if (broadcast_left_seconds == std::numeric_limits<double>::infinity()) {
+    out += " broadcast-left=n/a";
+  } else {
+    out += StrFormat(" broadcast-left=%.3es", broadcast_left_seconds);
+  }
+  return out;
+}
+
+MotionDecision AdaptivePlanner::DecideJoinMotion(const JoinMotionQuery& q) {
+  MotionDecision d;
+  const double n = static_cast<double>(model_.num_segments);
+  const double spt = model_.seconds_per_shipped_tuple;
+  const double lat = model_.motion_latency;
+  const double disc = model_.broadcast_tuple_discount;
+  if (model_.num_segments > 1) {
+    // Redistribute: each non-collocated side ships the (n-1)/n fraction of
+    // its rows that hash to another segment (plus one motion latency).
+    const double moved_frac = (n - 1.0) / n;
+    double redist = 0.0;
+    if (!q.left_collocated) {
+      redist += lat + static_cast<double>(q.left_rows) * moved_frac * spt;
+    }
+    if (!q.right_collocated) {
+      redist += lat + static_cast<double>(q.right_rows) * moved_frac * spt;
+    }
+    d.redistribute_seconds = redist;
+    // Broadcast ships rows x (n-1) replicas at the discounted rate and
+    // leaves the other side in place regardless of its placement.
+    d.broadcast_right_seconds =
+        lat + static_cast<double>(q.right_rows) * (n - 1.0) * disc * spt;
+    d.broadcast_left_seconds =
+        q.inner_join
+            ? lat + static_cast<double>(q.left_rows) * (n - 1.0) * disc * spt
+            : std::numeric_limits<double>::infinity();
+  } else {
+    // Single segment: nothing ships; keep the redistribute shape.
+    d.broadcast_left_seconds =
+        q.inner_join ? 0.0 : std::numeric_limits<double>::infinity();
+  }
+
+  // Deterministic tie-break: redistribute < broadcast-right <
+  // broadcast-left. Strict `<` keeps earlier candidates on equal cost.
+  d.choice = MotionChoice::kRedistribute;
+  double best = d.redistribute_seconds;
+  if (d.broadcast_right_seconds < best) {
+    best = d.broadcast_right_seconds;
+    d.choice = MotionChoice::kBroadcastRight;
+  }
+  if (d.broadcast_left_seconds < best) {
+    d.choice = MotionChoice::kBroadcastLeft;
+  }
+  decision_log_.emplace_back(q, d);
+  return d;
+}
+
+std::string AdaptivePlanner::ExplainDecisions() const {
+  std::string out;
+  for (const auto& [q, d] : decision_log_) {
+    out += StrFormat("%s: %s  left=%lld%s right=%lld%s%s\n  %s\n",
+                     q.statement.c_str(), MotionChoiceToString(d.choice),
+                     static_cast<long long>(q.left_rows),
+                     q.left_collocated ? "@key" : "",
+                     static_cast<long long>(q.right_rows),
+                     q.right_collocated ? "@key" : "",
+                     q.from_observation ? " (from observation)"
+                                        : " (cold start)",
+                     d.ToString().c_str());
+  }
+  return out;
+}
+
+namespace {
+
+int64_t AnnotateSubtree(PlanNode* node) {
+  std::vector<int64_t> child_est;
+  child_est.reserve(node->children().size());
+  for (const auto& c : node->children()) {
+    child_est.push_back(AnnotateSubtree(c.get()));
+  }
+  int64_t est = 0;
+  if (auto* scan = dynamic_cast<ScanNode*>(node)) {
+    est = scan->TableRows();
+  } else if (auto* join = dynamic_cast<HashJoinNode*>(node)) {
+    // The grounding joins are key / foreign-key shaped (M against a view
+    // keyed on the rule columns), so the inner-join output is on the order
+    // of the larger input; semi/anti joins emit a subset of the left.
+    est = join->join_type() == JoinType::kInner
+              ? std::max(child_est[0], child_est[1])
+              : child_est[0];
+  } else if (dynamic_cast<UnionAllNode*>(node) != nullptr) {
+    for (int64_t e : child_est) est += e;
+  } else if (!child_est.empty()) {
+    est = child_est[0];
+  }
+  node->set_est_rows(est);
+  return est;
+}
+
+}  // namespace
+
+int64_t AnnotatePlanEstimates(PlanNode* root, const AdaptivePlanner* planner,
+                              const std::string& statement) {
+  int64_t est = AnnotateSubtree(root);
+  if (planner != nullptr && !statement.empty() &&
+      planner->HasObservation(statement)) {
+    est = planner->ObservedRows(statement, est);
+    root->set_est_rows(est);
+  }
+  return est;
+}
+
+}  // namespace probkb

@@ -40,6 +40,12 @@ Grounder::Grounder(RelationalKB* rkb, GroundingOptions options)
   if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
 }
 
+std::string Grounder::ExplainPlans() const {
+  std::string out;
+  for (const std::string& tree : explain_lines_) out += tree;
+  return out;
+}
+
 Status Grounder::ArmStatement(ExecContext* ec) {
   ec->set_fault_injector(injector_);
   ec->set_shared_op_counter(&op_counter_);
@@ -75,8 +81,16 @@ Status Grounder::CollectInferredAtoms(TablePtr probe1, TablePtr probe2,
       ec.set_stats_sink(obs_, StrFormat("iter%d/M%d", iteration, p));
     }
     Timer join_timer;
-    PROBKB_ASSIGN_OR_RETURN(
-        TablePtr atoms, GroundAtomsForPartition(p, m, probe1, probe2, &ec));
+    const std::string stmt = StrFormat("Query1-%d", p);
+    PlanNodePtr plan = BuildAtomsPlan(p, m, probe1, probe2);
+    // Warm estimate: the previous iteration's observed output for this
+    // statement; cold start falls back to the tree's structural heuristic.
+    AnnotatePlanEstimates(plan.get(), &planner_, stmt);
+    PROBKB_ASSIGN_OR_RETURN(TablePtr atoms, plan->Execute(&ec));
+    planner_.ObserveRows(stmt, atoms->NumRows());
+    explain_lines_.push_back(StrFormat("%s (iter %d):\n", stmt.c_str(),
+                                       iteration) +
+                             plan->Explain(1));
     if (obs_ != nullptr) {
       // Semi-naive's second probe order lands in the same (iteration,
       // partition) cell; the registry accumulates both passes.
@@ -97,6 +111,7 @@ Result<int64_t> Grounder::GroundAtomsIteration() {
         "apply_constraints_each_iteration");
   }
   Timer timer;
+  explain_lines_.clear();
   // Apply every partition against the *same* TPi snapshot, then merge: this
   // matches Algorithm 1, which unions all T_j after the partition loop.
   std::vector<TablePtr> inferred;

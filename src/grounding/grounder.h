@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "engine/planner.h"
 #include "fault/checkpoint.h"
 #include "fault/fault_injector.h"
 #include "grounding/partition_queries.h"
@@ -125,6 +126,12 @@ class Grounder {
   const GroundingStats& stats() const { return stats_; }
   const RelationalKB& rkb() const { return *rkb_; }
 
+  /// \brief EXPLAIN text of the last iteration's Query 1 plans: one tree
+  /// per partition with estimated (cold start: heuristic; warm: previous
+  /// iteration's observation for the same statement) and observed
+  /// cardinalities. Stable text — no timings — so goldens can pin it.
+  std::string ExplainPlans() const;
+
   /// \brief Entities banned by constraint application, as (entity, class)
   /// keys on the x side (Type I) and y side (Type II). Atoms keyed by a
   /// banned entity are never merged back into TPi — without this, a
@@ -170,6 +177,12 @@ class Grounder {
   int64_t op_counter_ = 0;
   /// Wall-clock since construction; the deadline budget counts from here.
   Timer lifetime_timer_;
+  /// Cardinality-observation history: statement label -> last observed
+  /// output rows. Single-node runs have no motions to plan, so only the
+  /// feedback half of the planner is used (estimates for --explain).
+  AdaptivePlanner planner_{MotionCostModel{}};
+  /// Rendered Query 1 plan trees of the last iteration (see ExplainPlans).
+  std::vector<std::string> explain_lines_;
   std::vector<std::pair<EntityId, ClassId>> banned_x_;
   std::vector<std::pair<EntityId, ClassId>> banned_y_;
   std::unordered_set<uint64_t> banned_x_keys_;

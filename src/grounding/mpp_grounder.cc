@@ -26,9 +26,13 @@ MppGrounder::MppGrounder(const RelationalKB& rkb, int num_segments,
     : ctx_(num_segments, cost_params),
       mode_(mode),
       options_(options),
+      planner_(MotionCostModel{cost_params.seconds_per_shipped_tuple,
+                               cost_params.broadcast_tuple_discount,
+                               cost_params.motion_latency, num_segments}),
       m_(rkb.m),
       t_omega_(rkb.t_omega),
       next_fact_id_(rkb.next_fact_id) {
+  ctx_.set_planner(&planner_);
   ctx_.set_fault_injector(injector);
   ctx_.set_retry_policy(retry);
   ctx_.set_deadline_seconds(options_.deadline_seconds);
@@ -60,15 +64,20 @@ DistributedTablePtr MppGrounder::ProbeFor(
   return t_pi_;
 }
 
-MotionPolicy MppGrounder::PolicyFor(const DistributedTable& probe,
-                                    const std::vector<int>& t_keys) const {
-  // With a collocated view, only the (small) M_i / intermediate side moves
-  // — a redistribute motion (Figure 4 left). Without one, redistributing
-  // the whole facts table would be far worse than broadcasting the
-  // intermediate result, which is the plan Greenplum picks (Figure 4
-  // right).
-  return probe.distribution().IsHashOn(t_keys) ? MotionPolicy::kAuto
-                                               : MotionPolicy::kBroadcastLeft;
+void MppGrounder::ObserveStatement(const std::string& label, int64_t estimate,
+                                   int64_t observed) {
+  planner_.ObserveRows(label, observed);
+  explain_lines_.push_back(
+      StrFormat("%s: est=%lld obs=%lld\n", label.c_str(),
+                static_cast<long long>(estimate),
+                static_cast<long long>(observed)));
+}
+
+std::string MppGrounder::ExplainPlans() const {
+  std::string out;
+  for (const std::string& line : explain_lines_) out += line;
+  out += planner_.ExplainDecisions();
+  return out;
 }
 
 Result<DistributedTablePtr> MppGrounder::GroundAtomsPartition(int p) {
@@ -87,10 +96,15 @@ Result<DistributedTablePtr> MppGrounder::GroundAtomsPartition(int p) {
   js1.output_cols = spec.body_length == 1 ? Len2AtomOutputCols(spec)
                                           : J1OutputCols(spec);
   js1.output_dist = Distribution::Random();
-  js1.policy = PolicyFor(*probe1, spec.t_keys1);
   js1.label = StrFormat("Query1-%d join1", p);
+  js1.policy = motion_policy_;
+  // Cold start estimates the join at the (small) M_i side's size — the
+  // paper-§5 assumption that rules, not facts, bound the intermediate;
+  // warm iterations reuse the previous iteration's observation.
+  const int64_t est1 = planner_.ObservedRows(js1.label, m_local->NumRows());
   PROBKB_ASSIGN_OR_RETURN(DistributedTablePtr j,
                           MppHashJoin(&ctx_, m_dist, probe1, js1));
+  ObserveStatement(js1.label, est1, j->NumRows());
   if (spec.body_length == 1) return j;
 
   DistributedTablePtr probe2 = ProbeFor(spec.t_keys2);
@@ -100,9 +114,13 @@ Result<DistributedTablePtr> MppGrounder::GroundAtomsPartition(int p) {
   js2.type = JoinType::kInner;
   js2.output_cols = Len3AtomOutputCols(spec);
   js2.output_dist = Distribution::Random();
-  js2.policy = PolicyFor(*probe2, spec.t_keys2);
   js2.label = StrFormat("Query1-%d join2", p);
-  return MppHashJoin(&ctx_, j, probe2, js2);
+  js2.policy = motion_policy_;
+  const int64_t est2 = planner_.ObservedRows(js2.label, j->NumRows());
+  PROBKB_ASSIGN_OR_RETURN(DistributedTablePtr j2,
+                          MppHashJoin(&ctx_, j, probe2, js2));
+  ObserveStatement(js2.label, est2, j2->NumRows());
+  return j2;
 }
 
 namespace {
@@ -126,7 +144,7 @@ Result<int64_t> MppGrounder::MergeAtoms(const DistributedTable& atoms) {
   auto for_each_segment = [&](int64_t total_rows,
                               const std::function<void(int)>& body) {
     if (pool_ != nullptr && pool_->num_threads() > 1 && n > 1 &&
-        total_rows >= MppContext::kSerialFanoutRowCutoff) {
+        total_rows >= MppContext::SerialFanoutRowCutoff()) {
       pool_->ParallelFor(n, 1, [&](int64_t begin, int64_t end) {
         for (int64_t s = begin; s < end; ++s) body(static_cast<int>(s));
       });
@@ -162,8 +180,24 @@ Result<int64_t> MppGrounder::MergeAtoms(const DistributedTable& atoms) {
   for_each_segment(t_pi_->PhysicalRows() + collocated->PhysicalRows(),
                    [&](int s) {
     Timer timer;
-    selected[static_cast<size_t>(s)] =
-        SelectNewAtomRows(*t_pi_->segment(s), *collocated->segment(s));
+    std::vector<int64_t>& rows = selected[static_cast<size_t>(s)];
+    rows = SelectNewAtomRows(*t_pi_->segment(s), *collocated->segment(s));
+    // Canonical append order: sort the selection by atom content. The
+    // selected rows of a segment are a policy-independent *set* (matches
+    // land on the stationary side's segment no matter how the other side
+    // moved), but their arrival order depends on the motions the planner
+    // chose — sorting makes the fact-id assignment, and hence TPi,
+    // bit-identical across broadcast/redistribute plan choices. Rows are
+    // unique after dedup, so the order is total.
+    const Table& seg = *collocated->segment(s);
+    std::sort(rows.begin(), rows.end(), [&seg](int64_t a, int64_t b) {
+      for (int c = atom::kR; c <= atom::kC2; ++c) {
+        const int64_t va = seg.row(a)[c].i64();
+        const int64_t vb = seg.row(b)[c].i64();
+        if (va != vb) return va < vb;
+      }
+      return false;
+    });
     seg_seconds[static_cast<size_t>(s)] = timer.Seconds();
   });
   int64_t added = 0;
@@ -245,6 +279,11 @@ Result<int64_t> MppGrounder::MergeAtoms(const DistributedTable& atoms) {
 Result<int64_t> MppGrounder::GroundAtomsIteration() {
   const double start_cost = ctx_.cost().simulated_seconds();
   const int iteration = stats_.iterations + 1;
+  // Fresh explain/decision log per iteration: ExplainPlans() reports the
+  // plans the *latest* deltas produced. The observation history persists —
+  // it is what makes iteration N+1's estimates warm.
+  explain_lines_.clear();
+  planner_.ClearDecisionLog();
   std::vector<DistributedTablePtr> inferred;
   for (int p = 1; p <= kNumRuleStructures; ++p) {
     if (m_[static_cast<size_t>(p - 1)]->NumRows() == 0) continue;
@@ -407,10 +446,12 @@ Result<DistributedTablePtr> MppGrounder::GroundFactorsPartition(int p) {
   js1.output_cols = spec.body_length == 1 ? Len2FactorCandidateCols(spec)
                                           : J1OutputCols(spec);
   js1.output_dist = Distribution::Random();
-  js1.policy = PolicyFor(*probe1, spec.t_keys1);
   js1.label = StrFormat("Query2-%d join1", p);
+  js1.policy = motion_policy_;
+  const int64_t est1 = planner_.ObservedRows(js1.label, m_local->NumRows());
   PROBKB_ASSIGN_OR_RETURN(DistributedTablePtr candidates,
                           MppHashJoin(&ctx_, m_dist, probe1, js1));
+  ObserveStatement(js1.label, est1, candidates->NumRows());
 
   if (spec.body_length == 2) {
     DistributedTablePtr probe2 = ProbeFor(spec.t_keys2);
@@ -420,10 +461,13 @@ Result<DistributedTablePtr> MppGrounder::GroundFactorsPartition(int p) {
     js2.type = JoinType::kInner;
     js2.output_cols = Len3FactorCandidateCols(spec);
     js2.output_dist = Distribution::Random();
-    js2.policy = PolicyFor(*probe2, spec.t_keys2);
     js2.label = StrFormat("Query2-%d join2", p);
+    js2.policy = motion_policy_;
+    const int64_t est2 =
+        planner_.ObservedRows(js2.label, candidates->NumRows());
     PROBKB_ASSIGN_OR_RETURN(candidates,
                             MppHashJoin(&ctx_, candidates, probe2, js2));
+    ObserveStatement(js2.label, est2, candidates->NumRows());
   }
 
   DistributedTablePtr head = ProbeFor(ViewKeysTxy());
@@ -433,10 +477,12 @@ Result<DistributedTablePtr> MppGrounder::GroundFactorsPartition(int p) {
   js3.type = JoinType::kInner;
   js3.output_cols = FactorHeadOutputCols(has_i3);
   js3.output_dist = Distribution::Random();
-  js3.policy = PolicyFor(*head, ViewKeysTxy());
   js3.label = StrFormat("Query2-%d head", p);
+  js3.policy = motion_policy_;
+  const int64_t est3 = planner_.ObservedRows(js3.label, candidates->NumRows());
   PROBKB_ASSIGN_OR_RETURN(DistributedTablePtr factors,
                           MppHashJoin(&ctx_, candidates, head, js3));
+  ObserveStatement(js3.label, est3, factors->NumRows());
   if (!has_i3) {
     PROBKB_ASSIGN_OR_RETURN(
         factors,

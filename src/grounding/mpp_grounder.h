@@ -62,6 +62,26 @@ class MppGrounder {
   MppMode mode() const { return mode_; }
   int num_segments() const { return ctx_.num_segments(); }
 
+  /// \brief EXPLAIN text of the distributed statements since the last
+  /// iteration boundary: one est/obs cardinality line per join (estimates
+  /// are the previous iteration's observation for the same statement, or
+  /// the input-size cold-start heuristic), followed by the planner's
+  /// motion-decision log (chosen motion + the costed alternatives). Stable
+  /// text — no timings — so goldens can pin it.
+  std::string ExplainPlans() const;
+
+  /// \brief The grounder-owned adaptive planner (attached to the context;
+  /// kAuto joins consult it). Exposed for tests.
+  const AdaptivePlanner& planner() const { return planner_; }
+
+  /// \brief Forces every grounding join's motion policy instead of the
+  /// cost-based default — the paper's static configurations (e.g.
+  /// ProbKB-pn's broadcast plans) and plan-equivalence tests. Whatever the
+  /// policy, results are bit-identical: motions only change which route
+  /// tuples take, and the TPi merge assigns fact ids in a
+  /// route-independent canonical order.
+  void set_motion_policy(MotionPolicy policy) { motion_policy_ = policy; }
+
   /// \brief Attaches an execution-stats registry (not owned; may be
   /// nullptr): the context reports motions and compute phases, and the
   /// fixpoint reports per-iteration per-partition delta sizes and
@@ -94,10 +114,10 @@ class MppGrounder {
   /// Picks the TPi instance collocated with `t_keys` (a view under kViews;
   /// the canonical copy otherwise).
   DistributedTablePtr ProbeFor(const std::vector<int>& t_keys) const;
-  /// Motion policy for a join whose TPi side is `probe`: kAuto when the
-  /// probe is collocated with the key order, broadcast-left otherwise.
-  MotionPolicy PolicyFor(const DistributedTable& probe,
-                         const std::vector<int>& t_keys) const;
+  /// Records a statement's estimated/observed cardinality into the planner
+  /// history and the explain log.
+  void ObserveStatement(const std::string& label, int64_t estimate,
+                        int64_t observed);
   /// Writes an iteration checkpoint when options call for one.
   Status MaybeCheckpoint();
   /// Snapshots the pool's worker counters into the registry (no-op without
@@ -109,6 +129,19 @@ class MppGrounder {
   GroundingOptions options_;
   GroundingStats stats_;
   StatsRegistry* obs_ = nullptr;
+
+  /// Cost-based motion planner fed by per-statement observations; attached
+  /// to ctx_ so every MotionPolicy::kAuto join consults it. Decisions are
+  /// pure functions of the actual input sizes and placements (logical row
+  /// counts — identical across thread counts and runtimes), so plan choice
+  /// never breaks bit-identity.
+  AdaptivePlanner planner_;
+  /// Per-statement est/obs lines since the last iteration boundary (see
+  /// ExplainPlans).
+  std::vector<std::string> explain_lines_;
+  /// Motion policy stamped on every grounding join spec (see
+  /// set_motion_policy).
+  MotionPolicy motion_policy_ = MotionPolicy::kAuto;
 
   /// Executor for per-segment fan-out (options_.num_threads; see
   /// GroundingOptions). Null when resolved to one thread — the exact

@@ -4,6 +4,7 @@
 #include <array>
 
 #include "engine/ops.h"
+#include "engine/tunables.h"
 
 namespace probkb {
 
@@ -212,21 +213,25 @@ PlanNodePtr BuildJ1(const PartitionSpec& spec, TablePtr m, TablePtr t_probe) {
 
 }  // namespace
 
+PlanNodePtr BuildAtomsPlan(int p, TablePtr m, TablePtr t_probe,
+                           TablePtr t_probe2) {
+  const PartitionSpec& spec = GetPartitionSpec(p);
+  if (spec.body_length == 1) {
+    return HashJoin(Scan(std::move(m), "M" + std::to_string(p)),
+                    Scan(std::move(t_probe), "T"), spec.m_keys1, spec.t_keys1,
+                    JoinType::kInner, Len2AtomOutputCols(spec));
+  }
+  PlanNodePtr j1 = BuildJ1(spec, std::move(m), std::move(t_probe));
+  return HashJoin(std::move(j1), Scan(std::move(t_probe2), "T"),
+                  spec.j1_keys2, spec.t_keys2, JoinType::kInner,
+                  Len3AtomOutputCols(spec));
+}
+
 Result<TablePtr> GroundAtomsForPartition(int p, TablePtr m, TablePtr t_probe,
                                          TablePtr t_probe2,
                                          ExecContext* ctx) {
-  const PartitionSpec& spec = GetPartitionSpec(p);
-  if (spec.body_length == 1) {
-    auto plan =
-        HashJoin(Scan(std::move(m), "M" + std::to_string(p)),
-                 Scan(std::move(t_probe), "T"), spec.m_keys1, spec.t_keys1,
-                 JoinType::kInner, Len2AtomOutputCols(spec));
-    return plan->Execute(ctx);
-  }
-  PlanNodePtr j1 = BuildJ1(spec, std::move(m), std::move(t_probe));
-  auto plan = HashJoin(std::move(j1), Scan(std::move(t_probe2), "T"),
-                       spec.j1_keys2, spec.t_keys2, JoinType::kInner,
-                       Len3AtomOutputCols(spec));
+  auto plan =
+      BuildAtomsPlan(p, std::move(m), std::move(t_probe), std::move(t_probe2));
   return plan->Execute(ctx);
 }
 
@@ -301,10 +306,9 @@ std::vector<int64_t> SelectNewAtomRows(const Table& t_pi,
   // Both indexes key on the same atom columns, so one batched hash of the
   // atom key serves the t_pi lookup, the within-batch dedup lookup, and the
   // insert into `pending`.
-  constexpr int64_t kBatch = 64;
-  size_t hashes[kBatch];
-  for (int64_t base = 0; base < atoms.NumRows(); base += kBatch) {
-    const int64_t end = std::min(base + kBatch, atoms.NumRows());
+  size_t hashes[kHashBatchRows];
+  for (int64_t base = 0; base < atoms.NumRows(); base += kHashBatchRows) {
+    const int64_t end = std::min(base + kHashBatchRows, atoms.NumRows());
     atoms.HashRows(AtomMergeKey(), base, end, hashes);
     for (int64_t i = base; i < end; ++i) existing.PrefetchHash(hashes[i - base]);
     for (int64_t i = base; i < end; ++i) {

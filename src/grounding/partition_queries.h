@@ -71,8 +71,18 @@ std::vector<JoinOutputCol> FactorHeadOutputCols(bool has_i3);
 /// Projection that nulls out I3 in length-2 factors.
 std::vector<ProjectExpr> NullI3Projection();
 
+/// \brief Builds (without executing) the Query 1-p plan tree: the one- or
+/// two-join pipeline that applies every rule of partition `p` and emits
+/// inferred atoms (R, x, C1, y, C2), not yet deduplicated. Exposed
+/// separately from GroundAtomsForPartition so the adaptive planner can
+/// annotate the tree with cardinality estimates and --explain can render
+/// it before/after execution.
+PlanNodePtr BuildAtomsPlan(int p, TablePtr m, TablePtr t_probe,
+                           TablePtr t_probe2);
+
 /// \brief Query 1-p: applies every rule of partition `p` in one batch and
 /// returns the inferred atoms (R, x, C1, y, C2), not yet deduplicated.
+/// Equivalent to executing BuildAtomsPlan(p, ...).
 ///
 /// `t_probe` and `t_probe2` are the TPi instances to probe for the first
 /// and second body atoms (identical for single-node execution; different

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "engine/tunables.h"
 #include "util/logging.h"
 #include "util/strings.h"
 
@@ -28,10 +29,9 @@ void DistributedTable::TargetSegments(const Table& table,
                                       std::span<const int> key_cols,
                                       int num_segments, int64_t begin,
                                       int64_t end, int* out) {
-  constexpr int64_t kChunk = 4096;
-  size_t hashes[kChunk];
-  for (int64_t base = begin; base < end; base += kChunk) {
-    const int64_t stop = std::min(base + kChunk, end);
+  size_t hashes[kSegmentHashChunkRows];
+  for (int64_t base = begin; base < end; base += kSegmentHashChunkRows) {
+    const int64_t stop = std::min(base + kSegmentHashChunkRows, end);
     table.HashRows(key_cols, base, stop, hashes);
     for (int64_t i = base; i < stop; ++i) {
       out[i - begin] = static_cast<int>(hashes[i - base] %

@@ -324,7 +324,7 @@ Result<DistributedTablePtr> MppContext::Redistribute(
     };
     const bool physical = runtime_ != nullptr;
     if (!physical && pool_ != nullptr && pool_->num_threads() > 1 && n > 1 &&
-        input.PhysicalRows() >= kSerialFanoutRowCutoff) {
+        input.PhysicalRows() >= SerialFanoutRowCutoff()) {
       pool_->ParallelFor(n, 1, [&](int64_t begin, int64_t end) {
         for (int64_t s = begin; s < end; ++s) {
           route_sender(static_cast<int>(s));

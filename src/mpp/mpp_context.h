@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "engine/planner.h"
+#include "engine/tunables.h"
 #include "fault/fault_injector.h"
 #include "mpp/cost_model.h"
 #include "mpp/distributed_table.h"
@@ -40,7 +42,11 @@ class MppContext {
   /// fig6c_mpp_views workload regressed below 1.0x speedup at 2-8 threads
   /// purely on fan-out overhead over tiny per-iteration deltas. Outputs are
   /// unaffected: the serial path is the same code in segment order.
-  static constexpr int64_t kSerialFanoutRowCutoff = 8192;
+  /// Routed through Tunables (engine/tunables.h) so auto-calibration can
+  /// push it out of reach on hosts where fan-out never wins.
+  static int64_t SerialFanoutRowCutoff() {
+    return GetTunables().serial_fanout_row_cutoff;
+  }
 
   explicit MppContext(int num_segments, CostParams params = {})
       : num_segments_(num_segments), params_(params) {}
@@ -89,6 +95,15 @@ class MppContext {
   /// changes motion indices, fault schedules, or outputs.
   void set_stats_registry(StatsRegistry* registry) { obs_ = registry; }
   StatsRegistry* stats_registry() const { return obs_; }
+
+  /// \brief Attaches the adaptive planner (not owned; may be nullptr).
+  /// With a planner attached, MotionPolicy::kAuto joins in mpp_ops ask it
+  /// to cost broadcast-vs-redistribute from the actual input sizes instead
+  /// of applying the static collocation rule. Decisions only change which
+  /// route tuples take, never the joined result; with no planner attached
+  /// kAuto behaves exactly like the pre-planner static rule.
+  void set_planner(AdaptivePlanner* planner) { planner_ = planner; }
+  AdaptivePlanner* planner() const { return planner_; }
 
   /// \brief Budget on *simulated* elapsed seconds; 0 disables. Checked at
   /// every motion and by CheckDeadline() callers at iteration boundaries.
@@ -179,6 +194,7 @@ class MppContext {
   MppCost cost_;
   FaultInjector* injector_ = nullptr;
   StatsRegistry* obs_ = nullptr;
+  AdaptivePlanner* planner_ = nullptr;
   ThreadPool* pool_ = nullptr;
   ProcessRuntime* runtime_ = nullptr;
   RetryPolicy retry_;

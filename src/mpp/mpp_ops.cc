@@ -44,7 +44,7 @@ void ForEachSegment(MppContext* ctx, int num_segments, int64_t total_rows,
                     const std::function<void(int)>& body) {
   ThreadPool* pool = ctx->thread_pool();
   if (pool != nullptr && pool->num_threads() > 1 && num_segments > 1 &&
-      total_rows >= MppContext::kSerialFanoutRowCutoff) {
+      total_rows >= MppContext::SerialFanoutRowCutoff()) {
     pool->ParallelFor(num_segments, 1, [&](int64_t begin, int64_t end) {
       for (int64_t s = begin; s < end; ++s) body(static_cast<int>(s));
     });
@@ -116,8 +116,37 @@ Result<DistributedTablePtr> MppHashJoin(MppContext* ctx,
       !left->distribution().is_replicated() &&
       !CollocatedOn(left->distribution(), right->distribution(),
                     spec.left_keys, spec.right_keys)) {
+    // Resolve the policy to a concrete motion. kAuto asks the attached
+    // planner to cost the candidates from the actual input sizes; with no
+    // planner it is the static redistribute rule (the pre-planner
+    // behavior, so kAuto stays byte-for-byte compatible by default).
+    MotionChoice choice = MotionChoice::kRedistribute;
     switch (spec.policy) {
       case MotionPolicy::kAuto: {
+        if (AdaptivePlanner* planner = ctx->planner(); planner != nullptr) {
+          JoinMotionQuery q;
+          q.statement = spec.label;
+          q.left_rows = left->NumRows();
+          q.right_rows = right->NumRows();
+          q.left_collocated = left->distribution().IsHashOn(spec.left_keys);
+          q.right_collocated = right->distribution().IsHashOn(spec.right_keys);
+          q.inner_join = spec.type == JoinType::kInner;
+          choice = planner->DecideJoinMotion(q).choice;
+        }
+        break;
+      }
+      case MotionPolicy::kRedistribute:
+        choice = MotionChoice::kRedistribute;
+        break;
+      case MotionPolicy::kBroadcastRight:
+        choice = MotionChoice::kBroadcastRight;
+        break;
+      case MotionPolicy::kBroadcastLeft:
+        choice = MotionChoice::kBroadcastLeft;
+        break;
+    }
+    switch (choice) {
+      case MotionChoice::kRedistribute: {
         if (!left->distribution().IsHashOn(spec.left_keys)) {
           PROBKB_ASSIGN_OR_RETURN(left,
                                   ctx->Redistribute(*left, spec.left_keys));
@@ -128,11 +157,11 @@ Result<DistributedTablePtr> MppHashJoin(MppContext* ctx,
         }
         break;
       }
-      case MotionPolicy::kBroadcastRight: {
+      case MotionChoice::kBroadcastRight: {
         PROBKB_ASSIGN_OR_RETURN(right, ctx->Broadcast(*right));
         break;
       }
-      case MotionPolicy::kBroadcastLeft: {
+      case MotionChoice::kBroadcastLeft: {
         if (spec.type != JoinType::kInner) {
           return Status::InvalidArgument(
               "broadcast-left is only valid for inner joins");

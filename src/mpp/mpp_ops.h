@@ -12,11 +12,16 @@ namespace probkb {
 
 /// \brief How a non-collocated join acquires collocation.
 ///
-/// kAuto redistributes whichever side is not already hashed on its join
-/// keys (the optimized plans of Figure 4). kBroadcastRight/kBroadcastLeft
-/// force a broadcast of that side (the unoptimized plan Greenplum picks in
-/// Figure 4 right, used by the ProbKB-pn configuration).
-enum class MotionPolicy { kAuto, kBroadcastRight, kBroadcastLeft };
+/// kAuto consults the context's AdaptivePlanner when one is attached
+/// (costing redistribute vs. broadcast from the actual input sizes and
+/// placements); without a planner it falls back to kRedistribute — the
+/// static rule of the optimized plans of Figure 4: redistribute whichever
+/// side is not already hashed on its join keys. kRedistribute /
+/// kBroadcastRight / kBroadcastLeft force that motion (broadcast-right is
+/// the unoptimized plan Greenplum picks in Figure 4 right, used by the
+/// ProbKB-pn configuration); forced policies exist for the paper's static
+/// configurations and for plan-equivalence tests.
+enum class MotionPolicy { kAuto, kRedistribute, kBroadcastRight, kBroadcastLeft };
 
 /// \brief Full specification of a distributed hash join.
 struct MppJoinSpec {

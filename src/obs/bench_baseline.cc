@@ -239,6 +239,24 @@ bool ParseWorkload(JsonCursor* cursor, BenchWorkload* workload) {
       workload->peak_rss_bytes = static_cast<long long>(v);
       return true;
     }
+    if (key == "shipped_bytes") {
+      double v = 0;
+      if (!cursor->ParseNumber(&v)) return false;
+      workload->shipped_bytes = static_cast<long long>(v);
+      return true;
+    }
+    if (key == "broadcast_motions") {
+      double v = 0;
+      if (!cursor->ParseNumber(&v)) return false;
+      workload->broadcast_motions = static_cast<long long>(v);
+      return true;
+    }
+    if (key == "redistribute_motions") {
+      double v = 0;
+      if (!cursor->ParseNumber(&v)) return false;
+      workload->redistribute_motions = static_cast<long long>(v);
+      return true;
+    }
     if (key == "points") {
       return cursor->ParseArray([&]() {
         BenchPoint point;
@@ -304,12 +322,29 @@ Result<BenchReport> ReadBenchReportFile(const std::string& path) {
 BenchComparison CompareBenchReports(const BenchReport& baseline,
                                     const BenchReport& current,
                                     double threshold,
-                                    double memory_threshold) {
+                                    double memory_threshold,
+                                    double shipped_threshold) {
   BenchComparison comparison;
   comparison.threshold = threshold;
   comparison.memory_threshold = memory_threshold;
+  comparison.shipped_threshold = shipped_threshold;
   for (const BenchWorkload& base_workload : baseline.workloads) {
     const BenchWorkload* cur_workload = current.Find(base_workload.name);
+    if (base_workload.shipped_bytes > 0 && cur_workload != nullptr &&
+        cur_workload->shipped_bytes > 0) {
+      BenchShippedDelta shipped;
+      shipped.workload = base_workload.name;
+      shipped.baseline_bytes = base_workload.shipped_bytes;
+      shipped.current_bytes = cur_workload->shipped_bytes;
+      shipped.delta_fraction =
+          static_cast<double>(shipped.current_bytes -
+                              shipped.baseline_bytes) /
+          static_cast<double>(shipped.baseline_bytes);
+      shipped.regression = shipped.delta_fraction > shipped_threshold;
+      comparison.has_regression =
+          comparison.has_regression || shipped.regression;
+      comparison.shipped_deltas.push_back(std::move(shipped));
+    }
     if (base_workload.peak_rss_bytes > 0 && cur_workload != nullptr &&
         cur_workload->peak_rss_bytes > 0) {
       BenchMemoryDelta mem;
@@ -385,6 +420,19 @@ std::string BenchComparison::ToText() const {
           mem.regression ? "  REGRESSION" : "");
     }
   }
+  if (!shipped_deltas.empty()) {
+    out += StrFormat("shipped-bytes gate (threshold %+.0f%%)\n",
+                     shipped_threshold * 100.0);
+    for (const BenchShippedDelta& shipped : shipped_deltas) {
+      out += StrFormat(
+          "  %-20s shipped  %.1f KiB -> %.1f KiB  (%+.1f%%)%s\n",
+          shipped.workload.c_str(),
+          static_cast<double>(shipped.baseline_bytes) / 1024.0,
+          static_cast<double>(shipped.current_bytes) / 1024.0,
+          shipped.delta_fraction * 100.0,
+          shipped.regression ? "  REGRESSION" : "");
+    }
+  }
   out += has_regression ? "RESULT: REGRESSION\n" : "RESULT: OK\n";
   return out;
 }
@@ -420,6 +468,20 @@ std::string BenchComparison::ToJson() const {
         "\"current_bytes\": %lld, \"delta_pct\": %g, \"regression\": %s}",
         mem.workload.c_str(), mem.baseline_bytes, mem.current_bytes,
         mem.delta_fraction * 100.0, mem.regression ? "true" : "false");
+  }
+  out += first ? "],\n" : "\n  ],\n";
+  out += StrFormat("  \"shipped_threshold\": %g,\n", shipped_threshold);
+  out += "  \"shipped_deltas\": [";
+  first = true;
+  for (const BenchShippedDelta& shipped : shipped_deltas) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += StrFormat(
+        "    {\"workload\": \"%s\", \"baseline_bytes\": %lld, "
+        "\"current_bytes\": %lld, \"delta_pct\": %g, \"regression\": %s}",
+        shipped.workload.c_str(), shipped.baseline_bytes,
+        shipped.current_bytes, shipped.delta_fraction * 100.0,
+        shipped.regression ? "true" : "false");
   }
   out += first ? "]\n" : "\n  ]\n";
   out += "}\n";

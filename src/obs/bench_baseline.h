@@ -22,6 +22,15 @@ struct BenchWorkload {
   double serial_seconds = 0.0;
   /// Peak RSS of the serial run; 0 when the report predates the field.
   long long peak_rss_bytes = 0;
+  /// Interconnect traffic of the serial MPP run (StatsRegistry motion
+  /// totals); 0 when the workload has no motions or the report predates
+  /// the field.
+  long long shipped_bytes = 0;
+  /// Motion mix of the serial MPP run: how many broadcast vs. redistribute
+  /// motions the (adaptive) planner chose. Informational — recorded so a
+  /// plan-choice flip shows up in the baseline diff.
+  long long broadcast_motions = 0;
+  long long redistribute_motions = 0;
   std::vector<BenchPoint> points;
 };
 
@@ -67,12 +76,26 @@ struct BenchMemoryDelta {
   bool regression = false;
 };
 
+/// \brief One workload's shipped-bytes cell of a baseline/current diff.
+/// Only produced when both reports carry a positive shipped_bytes —
+/// reports predating the field never fail the shipped gate.
+struct BenchShippedDelta {
+  std::string workload;
+  long long baseline_bytes = 0;
+  long long current_bytes = 0;
+  /// (current - baseline) / baseline; +0.10 means 10% more traffic.
+  double delta_fraction = 0.0;
+  bool regression = false;
+};
+
 /// \brief The result of CompareBenchReports.
 struct BenchComparison {
   double threshold = 0.10;
   double memory_threshold = 0.15;
+  double shipped_threshold = 0.10;
   std::vector<BenchDelta> deltas;
   std::vector<BenchMemoryDelta> memory_deltas;
+  std::vector<BenchShippedDelta> shipped_deltas;
   bool has_regression = false;
 
   std::string ToText() const;
@@ -82,13 +105,16 @@ struct BenchComparison {
 /// \brief Diffs `current` against `baseline`: every baseline
 /// (workload, threads) point must exist in `current` and be no more than
 /// `threshold` (fractional, default 10%) slower, and — where both reports
-/// record it — each workload's serial peak RSS no more than
-/// `memory_threshold` (fractional, default 15%) larger. Extra workloads in
-/// `current` are reported informationally and never fail the gate.
+/// record them — each workload's serial peak RSS no more than
+/// `memory_threshold` (fractional, default 15%) larger and its shipped
+/// interconnect bytes no more than `shipped_threshold` (fractional,
+/// default 10%) larger. Extra workloads in `current` are reported
+/// informationally and never fail the gate.
 BenchComparison CompareBenchReports(const BenchReport& baseline,
                                     const BenchReport& current,
                                     double threshold = 0.10,
-                                    double memory_threshold = 0.15);
+                                    double memory_threshold = 0.15,
+                                    double shipped_threshold = 0.10);
 
 }  // namespace probkb
 

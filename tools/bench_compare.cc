@@ -1,16 +1,19 @@
 // bench_compare — the bench regression gate.
 //
 //   bench_compare BASELINE.json CURRENT.json [--threshold FRACTION]
-//                 [--memory-threshold FRACTION] [--out COMPARISON.json]
+//                 [--memory-threshold FRACTION]
+//                 [--shipped-threshold FRACTION] [--out COMPARISON.json]
 //
 // Diffs a fresh bench_report JSON against a committed baseline
 // (bench/baselines/BENCH_parallel.json) and exits non-zero when any
 // (workload, thread-count) point got more than `threshold` (default 0.10
 // = 10%) slower, disappeared from the current report, or — when both
-// reports record peak_rss_bytes — a workload's serial peak RSS grew more
-// than `memory-threshold` (default 0.15 = 15%). CI runs this after
-// bench_report so throughput and memory regressions fail the build
-// instead of landing silently.
+// reports record the field — a workload's serial peak RSS grew more than
+// `memory-threshold` (default 0.15 = 15%) or its shipped interconnect
+// bytes grew more than `shipped-threshold` (default 0.10 = 10%; a plan
+// choice that ships more data is a regression even when wall-clock hides
+// it). CI runs this after bench_report so throughput, memory, and traffic
+// regressions fail the build instead of landing silently.
 //
 // Exit codes: 0 no regression, 1 regression found, 2 usage/parse error.
 
@@ -28,7 +31,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage: bench_compare BASELINE.json CURRENT.json "
                "[--threshold FRACTION] [--memory-threshold FRACTION] "
-               "[--out FILE]\n");
+               "[--shipped-threshold FRACTION] [--out FILE]\n");
   return 2;
 }
 
@@ -40,6 +43,7 @@ int main(int argc, char** argv) {
   std::string out_path;
   double threshold = 0.10;
   double memory_threshold = 0.15;
+  double shipped_threshold = 0.10;
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -55,6 +59,14 @@ int main(int argc, char** argv) {
           memory_threshold < 0) {
         std::fprintf(stderr,
                      "--memory-threshold needs a non-negative number\n");
+        return Usage();
+      }
+    } else if (std::strcmp(arg, "--shipped-threshold") == 0) {
+      if (i + 1 >= argc ||
+          !probkb::ParseDouble(argv[++i], &shipped_threshold) ||
+          shipped_threshold < 0) {
+        std::fprintf(stderr,
+                     "--shipped-threshold needs a non-negative number\n");
         return Usage();
       }
     } else if (std::strcmp(arg, "--out") == 0) {
@@ -85,7 +97,7 @@ int main(int argc, char** argv) {
   }
 
   const probkb::BenchComparison comparison = probkb::CompareBenchReports(
-      *baseline, *current, threshold, memory_threshold);
+      *baseline, *current, threshold, memory_threshold, shipped_threshold);
   std::fputs(comparison.ToText().c_str(), stdout);
 
   if (!out_path.empty()) {

@@ -20,6 +20,7 @@
 #include "bench/bench_util.h"
 #include "datagen/synthetic_kb.h"
 #include "engine/ops.h"
+#include "engine/tunables.h"
 #include "grounding/grounder.h"
 #include "grounding/mpp_grounder.h"
 #include "obs/flight_recorder.h"
@@ -47,6 +48,13 @@ struct WorkloadReport {
   /// Peak RSS of the serial run in bytes (high-water mark reset right
   /// before it where the kernel allows; whole-process peak otherwise).
   long long peak_rss_bytes = 0;
+  /// Interconnect traffic and motion mix of the serial stats-on MPP run
+  /// (all zero for single-node workloads). bench_compare gates
+  /// shipped_bytes; the mix records which motions the planner chose so a
+  /// plan flip is visible in the baseline diff.
+  long long shipped_bytes = 0;
+  long long broadcast_motions = 0;
+  long long redistribute_motions = 0;
   std::vector<ThreadPoint> points;
   /// StatsRegistry::ToJson() of a serial stats-on run; "" when skipped.
   std::string breakdown;
@@ -142,6 +150,14 @@ int main(int argc, char** argv) {
   std::printf("scale=%.3f, hardware threads=%u\n", scale,
               HardwareThreads());
 
+  // Calibrated execution knobs: measure (or read from cache) this host's
+  // serial-vs-parallel crossover so the bench numbers reflect what a tuned
+  // deployment would see — on a 1-core host this disables fan-out
+  // entirely, which is exactly the fig6c multi-thread fix. Env vars still
+  // win over calibration.
+  SetTunables(ApplyTunablesEnv(AutoTuneTunables()));
+  std::printf("tunables: %s\n", GetTunables().ToString().c_str());
+
   SyntheticKbConfig config;
   config.scale = scale;
   auto skb = GenerateReverbSherlockKb(config);
@@ -187,6 +203,14 @@ int main(int argc, char** argv) {
   }
   reports[0].breakdown = single_stats.ToJson();
   reports[1].breakdown = mpp_stats.ToJson();
+  for (const MotionTotals& motion : mpp_stats.motion_totals()) {
+    reports[1].shipped_bytes += motion.bytes_shipped;
+    if (motion.kind == "broadcast") {
+      reports[1].broadcast_motions += motion.count;
+    } else if (motion.kind == "redistribute") {
+      reports[1].redistribute_motions += motion.count;
+    }
+  }
   const double overhead_pct =
       stats_off_seconds > 0
           ? (stats_on_seconds - stats_off_seconds) / stats_off_seconds * 100.0
@@ -260,9 +284,12 @@ int main(int argc, char** argv) {
     const WorkloadReport& report = reports[i];
     std::fprintf(f,
                  "    {\"name\": \"%s\", \"serial_s\": %g, "
-                 "\"peak_rss_bytes\": %lld, \"points\": [\n",
+                 "\"peak_rss_bytes\": %lld, \"shipped_bytes\": %lld, "
+                 "\"broadcast_motions\": %lld, "
+                 "\"redistribute_motions\": %lld, \"points\": [\n",
                  report.name.c_str(), report.serial_seconds,
-                 report.peak_rss_bytes);
+                 report.peak_rss_bytes, report.shipped_bytes,
+                 report.broadcast_motions, report.redistribute_motions);
     for (size_t j = 0; j < report.points.size(); ++j) {
       const ThreadPoint& point = report.points[j];
       std::fprintf(f,

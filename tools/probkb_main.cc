@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/tunables.h"
 #include "factor/factor_graph.h"
 #include "grounding/grounder.h"
 #include "grounding/mpp_grounder.h"
@@ -58,6 +59,9 @@ struct CliOptions {
   std::string tpi_out;
   std::string tphi_out;
   std::string fact_query;
+  bool explain_plans = false;
+  bool auto_tune = false;
+  std::vector<std::string> tunable_overrides;
   bool stats = false;
   std::string stats_json;
   std::string log_level;
@@ -89,6 +93,15 @@ int Usage() {
       "  --tpi FILE        dump the grounded facts table as TSV\n"
       "  --tphi FILE       dump the factor table as TSV\n"
       "  --fact 'r(a, b)'  fact to explain (explain)\n"
+      "  --explain         dump the chosen plan trees / motion decisions of\n"
+      "                    the last grounding iteration (est vs observed\n"
+      "                    cardinalities)\n"
+      "  --auto-tune       calibrate execution knobs with a startup\n"
+      "                    microbench (cached; see PROBKB_TUNABLES_CACHE)\n"
+      "  --tunable K=V     override one execution knob (parallel_min_rows,\n"
+      "                    hash_chunk_rows, morsel_rows,\n"
+      "                    serial_fanout_row_cutoff, max_build_partitions);\n"
+      "                    repeatable, wins over --auto-tune and env\n"
       "  --stats           print an EXPLAIN ANALYZE execution report\n"
       "  --stats_json FILE write the execution stats as JSON\n"
       "  --log_level L     debug|info|warning|error or 0-3 (default info;\n"
@@ -113,6 +126,42 @@ int ExitCodeFor(const Status& st) {
     default:
       return st.ok() ? 0 : 1;
   }
+}
+
+// Resolves the execution knobs for this run: calibration (--auto-tune) is
+// the base, PROBKB_* env vars refine it, and explicit --tunable K=V flags
+// win. False (usage error) on a malformed override.
+bool ApplyCliTunables(const CliOptions& options) {
+  Tunables tun = options.auto_tune ? AutoTuneTunables() : GetTunables();
+  tun = ApplyTunablesEnv(tun);
+  for (const std::string& kv : options.tunable_overrides) {
+    const size_t eq = kv.find('=');
+    const long long value =
+        eq == std::string::npos ? 0 : std::atoll(kv.c_str() + eq + 1);
+    if (eq == std::string::npos || value <= 0) {
+      std::fprintf(stderr,
+                   "--tunable wants K=V with a positive integer, got '%s'\n",
+                   kv.c_str());
+      return false;
+    }
+    const std::string key = kv.substr(0, eq);
+    if (key == "parallel_min_rows") {
+      tun.parallel_min_rows = value;
+    } else if (key == "hash_chunk_rows") {
+      tun.hash_chunk_rows = value;
+    } else if (key == "morsel_rows") {
+      tun.morsel_rows = value;
+    } else if (key == "serial_fanout_row_cutoff") {
+      tun.serial_fanout_row_cutoff = value;
+    } else if (key == "max_build_partitions") {
+      tun.max_build_partitions = static_cast<int>(value);
+    } else {
+      std::fprintf(stderr, "unknown tunable '%s'\n", key.c_str());
+      return false;
+    }
+  }
+  SetTunables(tun);
+  return true;
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* options) {
@@ -188,6 +237,14 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       const char* v = next();
       if (v == nullptr) return false;
       options->fact_query = v;
+    } else if (flag == "--explain") {
+      options->explain_plans = true;
+    } else if (flag == "--auto-tune") {
+      options->auto_tune = true;
+    } else if (flag == "--tunable") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->tunable_overrides.push_back(v);
     } else if (flag == "--stats") {
       options->stats = true;
     } else if (flag == "--stats_json") {
@@ -283,6 +340,7 @@ int Run(const CliOptions& options) {
   // which stage gave up, the dumps still happen, and the exit code tells
   // callers why the run stopped short.
   bool partial = false;
+  std::string explain_text;
   Status stop_reason;
   int grounding_failures = 0;
   int factor_failures = 0;
@@ -347,6 +405,7 @@ int Run(const CliOptions& options) {
     }
     rkb.t_pi = mpp.GatherTPi();
     iterations = mpp.stats().iterations;
+    if (options.explain_plans) explain_text = mpp.ExplainPlans();
     if (runtime != nullptr) {
       runtime->Shutdown();
       if (want_stats) {
@@ -381,11 +440,13 @@ int Run(const CliOptions& options) {
       }
     }
     iterations = grounder.stats().iterations;
+    if (options.explain_plans) explain_text = grounder.ExplainPlans();
   }
   std::printf("grounded: %lld atoms, %lld factors, %d iterations%s\n",
               static_cast<long long>(rkb.t_pi->NumRows()),
               static_cast<long long>(t_phi->NumRows()),
               iterations, partial ? " (partial)" : "");
+  if (options.explain_plans) std::printf("%s", explain_text.c_str());
   if (partial) {
     std::printf("partial expansion: %s\n",
                 stop_reason.ToString().c_str());
@@ -496,6 +557,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 2;
   }
+  if (!ApplyCliTunables(options)) return 2;
 
   const int code = Run(options);
 
