@@ -1,0 +1,143 @@
+#include "grounding/local_grounder.h"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <set>
+#include <unordered_set>
+
+#include "engine/exec_context.h"
+#include "grounding/partition_queries.h"
+
+namespace probkb {
+
+namespace {
+
+/// Identity of one deduction for cross-direction dedup: the same factor
+/// can be found backward (from its head) and forward (from a body).
+/// Duplicates across partitions stay distinct, matching the batch
+/// grounder's bag union.
+std::array<int64_t, 5> FactorKey(int p, const RowView& f) {
+  int64_t w_bits = 0;
+  const double w = f[tphi::kW].f64();
+  std::memcpy(&w_bits, &w, sizeof(w_bits));
+  return {p, f[tphi::kI1].i64(),
+          f[tphi::kI2].is_null() ? int64_t{-1} : f[tphi::kI2].i64(),
+          f[tphi::kI3].is_null() ? int64_t{-1} : f[tphi::kI3].i64(), w_bits};
+}
+
+}  // namespace
+
+std::unordered_map<FactId, int64_t> BuildFactRowIndex(const Table& t_pi) {
+  std::unordered_map<FactId, int64_t> out;
+  out.reserve(static_cast<size_t>(t_pi.NumRows()));
+  for (int64_t i = 0; i < t_pi.NumRows(); ++i) {
+    out.emplace(t_pi.row(i)[tpi::kI].i64(), i);
+  }
+  return out;
+}
+
+Result<LocalGrounding> GroundLocalSubgraph(
+    TablePtr t_pi, const std::array<TablePtr, kNumRuleStructures>& m,
+    const std::unordered_map<FactId, int64_t>& row_of,
+    const std::vector<int64_t>& seed_rows,
+    const LocalGroundingOptions& opts) {
+  LocalGrounding out;
+  out.total_atoms = t_pi->NumRows();
+  out.t_phi = Table::Make(TPhiSchema());
+
+  std::unordered_set<FactId> visited;
+  std::vector<FactId> frontier;
+  for (int64_t r : seed_rows) {
+    FactId id = t_pi->row(r)[tpi::kI].i64();
+    if (visited.insert(id).second) frontier.push_back(id);
+  }
+
+  std::set<std::array<int64_t, 5>> seen_factors;
+  for (int depth = 0; depth < opts.max_depth && !frontier.empty(); ++depth) {
+    // Materialize the frontier in ascending id order so the joins (and
+    // therefore the factor rows) come out the same however the BFS
+    // happened to discover the atoms.
+    std::sort(frontier.begin(), frontier.end());
+    auto frontier_table = Table::Make(t_pi->schema());
+    for (FactId id : frontier) {
+      auto it = row_of.find(id);
+      if (it != row_of.end()) frontier_table->AppendRow(t_pi->row(it->second));
+    }
+
+    std::vector<FactId> next;
+    auto absorb = [&](int p, const Table& factors) {
+      for (int64_t i = 0; i < factors.NumRows(); ++i) {
+        RowView f = factors.row(i);
+        if (!seen_factors.insert(FactorKey(p, f)).second) continue;
+        out.t_phi->AppendRow(f);
+        for (int col : {tphi::kI1, tphi::kI2, tphi::kI3}) {
+          if (f[col].is_null()) continue;
+          FactId atom = f[col].i64();
+          if (visited.insert(atom).second) next.push_back(atom);
+        }
+      }
+    };
+    for (int p = 1; p <= kNumRuleStructures; ++p) {
+      TablePtr mp = m[static_cast<size_t>(p - 1)];
+      if (mp == nullptr || mp->NumRows() == 0) continue;
+      // Backward: factors whose head is a frontier atom.
+      {
+        ExecContext ec;
+        PROBKB_ASSIGN_OR_RETURN(
+            TablePtr factors,
+            GroundFactorsForPartition(p, mp, t_pi, t_pi, frontier_table,
+                                      &ec));
+        absorb(p, *factors);
+      }
+      // Forward: factors with a frontier atom in the first (and, for
+      // length-3 partitions, the second) body slot; heads resolve against
+      // the full TPi.
+      {
+        ExecContext ec;
+        PROBKB_ASSIGN_OR_RETURN(
+            TablePtr factors,
+            GroundFactorsForPartition(p, mp, frontier_table, t_pi, t_pi,
+                                      &ec));
+        absorb(p, *factors);
+      }
+      if (GetPartitionSpec(p).body_length == 2) {
+        ExecContext ec;
+        PROBKB_ASSIGN_OR_RETURN(
+            TablePtr factors,
+            GroundFactorsForPartition(p, mp, t_pi, frontier_table, t_pi,
+                                      &ec));
+        absorb(p, *factors);
+      }
+    }
+    out.depth_reached = depth + 1;
+    frontier = std::move(next);
+    // The atom budget cuts *expansion* only, and only at a round boundary:
+    // every atom a collected factor references is already in `visited`, so
+    // the factor set stays closed over sub_t_pi.
+    if (opts.max_atoms > 0 &&
+        static_cast<int64_t>(visited.size()) >= opts.max_atoms) {
+      break;
+    }
+  }
+  out.truncated = !frontier.empty();
+
+  std::vector<FactId> ids(visited.begin(), visited.end());
+  std::sort(ids.begin(), ids.end());
+  out.sub_t_pi = Table::Make(t_pi->schema());
+  for (FactId id : ids) {
+    auto it = row_of.find(id);
+    if (it != row_of.end()) out.sub_t_pi->AppendRow(t_pi->row(it->second));
+  }
+  out.grounded_atoms = out.sub_t_pi->NumRows();
+
+  {
+    ExecContext ec;
+    PROBKB_ASSIGN_OR_RETURN(TablePtr singletons,
+                            SingletonFactors(out.sub_t_pi, &ec));
+    out.t_phi->AppendTable(*singletons);
+  }
+  return out;
+}
+
+}  // namespace probkb

@@ -7,6 +7,64 @@
 
 namespace probkb {
 
+std::string QueryPattern::ToString() const {
+  if (is_entity_query()) return entity;
+  return relation + "(" + (x.has_value() ? *x : std::string("*")) + ", " +
+         (y.has_value() ? *y : std::string("*")) + ")";
+}
+
+namespace {
+
+/// `*` and `?` both mean "any"; everything else is a name to resolve.
+std::optional<std::string> ParseArgToken(std::string_view token) {
+  if (token == "*" || token == "?") return std::nullopt;
+  return std::string(token);
+}
+
+}  // namespace
+
+Result<QueryPattern> ParseQueryPattern(std::string_view text) {
+  std::string trimmed(StripWhitespace(text));
+  if (trimmed.empty()) {
+    return Status::InvalidArgument("empty query");
+  }
+  QueryPattern pattern;
+  const size_t open = trimmed.find('(');
+  if (open == std::string::npos) {
+    if (trimmed.find(')') != std::string::npos ||
+        trimmed.find(',') != std::string::npos) {
+      return Status::InvalidArgument("malformed query '" + trimmed +
+                                     "': expected rel(x, y) or an entity");
+    }
+    pattern.entity = trimmed;
+    return pattern;
+  }
+  if (trimmed.back() != ')') {
+    return Status::InvalidArgument("malformed query '" + trimmed +
+                                   "': missing ')'");
+  }
+  pattern.relation = StripWhitespace(trimmed.substr(0, open));
+  if (pattern.relation.empty()) {
+    return Status::InvalidArgument("malformed query '" + trimmed +
+                                   "': empty relation name");
+  }
+  std::string args = trimmed.substr(open + 1, trimmed.size() - open - 2);
+  std::vector<std::string_view> parts = Split(args, ',');
+  if (parts.size() != 2) {
+    return Status::InvalidArgument("malformed query '" + trimmed +
+                                   "': expected exactly two arguments");
+  }
+  std::string_view x = StripWhitespace(parts[0]);
+  std::string_view y = StripWhitespace(parts[1]);
+  if (x.empty() || y.empty()) {
+    return Status::InvalidArgument("malformed query '" + trimmed +
+                                   "': empty argument");
+  }
+  pattern.x = ParseArgToken(x);
+  pattern.y = ParseArgToken(y);
+  return pattern;
+}
+
 KbQuery::KbQuery(const KnowledgeBase* kb, TablePtr t_pi,
                  FactId first_inferred_id)
     : kb_(kb), t_pi_(std::move(t_pi)), first_inferred_id_(first_inferred_id) {
@@ -89,6 +147,38 @@ std::vector<KbQuery::ScoredFact> KbQuery::FactsAbout(
   auto it = by_entity_.find(e);
   if (it == by_entity_.end()) return out;
   CollectSorted(it->second, min_score, nullptr, &out);
+  return out;
+}
+
+std::vector<int64_t> KbQuery::SeedRows(const QueryPattern& pattern) const {
+  std::vector<int64_t> out;
+  if (pattern.is_entity_query()) {
+    EntityId e = kb_->entities().Lookup(pattern.entity);
+    if (e == kInvalidId) return out;
+    auto it = by_entity_.find(e);
+    if (it == by_entity_.end()) return out;
+    out = it->second;  // built in ascending row order
+    return out;
+  }
+  RelationId rel = kb_->relations().Lookup(pattern.relation);
+  if (rel == kInvalidId) return out;
+  EntityId want_x = kInvalidId, want_y = kInvalidId;
+  if (pattern.x.has_value()) {
+    want_x = kb_->entities().Lookup(*pattern.x);
+    if (want_x == kInvalidId) return out;
+  }
+  if (pattern.y.has_value()) {
+    want_y = kb_->entities().Lookup(*pattern.y);
+    if (want_y == kInvalidId) return out;
+  }
+  auto it = by_relation_.find(rel);
+  if (it == by_relation_.end()) return out;
+  for (int64_t i : it->second) {
+    RowView row = t_pi_->row(i);
+    if (want_x != kInvalidId && row[tpi::kX].i64() != want_x) continue;
+    if (want_y != kInvalidId && row[tpi::kY].i64() != want_y) continue;
+    out.push_back(i);
+  }
   return out;
 }
 

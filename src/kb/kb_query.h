@@ -14,6 +14,29 @@
 
 namespace probkb {
 
+/// \brief One parsed serve-mode query: a fact pattern `relation(x, y)`
+/// with `*` (or `?`) wildcards, or a bare entity name meaning "all facts
+/// mentioning this entity".
+struct QueryPattern {
+  /// Empty for entity queries.
+  std::string relation;
+  /// Unset components are wildcards.
+  std::optional<std::string> x;
+  std::optional<std::string> y;
+  /// Set for entity queries only.
+  std::string entity;
+
+  bool is_entity_query() const { return relation.empty(); }
+  std::string ToString() const;
+};
+
+/// \brief Parses the textual query forms the serve CLI accepts:
+/// "rel(x, y)", "rel(x, *)", "rel(*, *)", or a bare "Entity". Whitespace
+/// around tokens is ignored; empty input or an unbalanced pattern is an
+/// InvalidArgument error (name resolution happens later, against the KB
+/// dictionaries — unknown names are empty answers, not errors).
+Result<QueryPattern> ParseQueryPattern(std::string_view text);
+
 /// \brief Read-side API over an expanded knowledge base.
 ///
 /// After grounding + marginal write-back, the expanded TPi answers fact
@@ -52,6 +75,11 @@ class KbQuery {
   /// by descending score.
   std::vector<ScoredFact> FactsAbout(std::string_view entity,
                                      double min_score = 0.0) const;
+
+  /// \brief TPi row indices matching `pattern`, in ascending row order —
+  /// the seed set the serve path grounds backward from. Unknown names
+  /// yield an empty result.
+  std::vector<int64_t> SeedRows(const QueryPattern& pattern) const;
 
   /// \brief Renders a scored fact ("0.87 live_in(Ann, Paris) [inferred]").
   std::string ToString(const ScoredFact& fact) const;

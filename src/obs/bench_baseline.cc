@@ -1,5 +1,6 @@
 #include "obs/bench_baseline.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cmath>
 #include <cstdlib>
@@ -330,8 +331,12 @@ BenchComparison CompareBenchReports(const BenchReport& baseline,
   comparison.shipped_threshold = shipped_threshold;
   for (const BenchWorkload& base_workload : baseline.workloads) {
     const BenchWorkload* cur_workload = current.Find(base_workload.name);
-    if (base_workload.shipped_bytes > 0 && cur_workload != nullptr &&
-        cur_workload->shipped_bytes > 0) {
+    // Byte gates skip only when a report predates the field (-1). A
+    // recorded zero is a measurement: the denominator floors at one byte so
+    // traffic or RSS appearing where the baseline had none registers as
+    // growth instead of auto-passing on a 0/0.
+    if (base_workload.shipped_bytes >= 0 && cur_workload != nullptr &&
+        cur_workload->shipped_bytes >= 0) {
       BenchShippedDelta shipped;
       shipped.workload = base_workload.name;
       shipped.baseline_bytes = base_workload.shipped_bytes;
@@ -339,21 +344,21 @@ BenchComparison CompareBenchReports(const BenchReport& baseline,
       shipped.delta_fraction =
           static_cast<double>(shipped.current_bytes -
                               shipped.baseline_bytes) /
-          static_cast<double>(shipped.baseline_bytes);
+          static_cast<double>(std::max(shipped.baseline_bytes, 1LL));
       shipped.regression = shipped.delta_fraction > shipped_threshold;
       comparison.has_regression =
           comparison.has_regression || shipped.regression;
       comparison.shipped_deltas.push_back(std::move(shipped));
     }
-    if (base_workload.peak_rss_bytes > 0 && cur_workload != nullptr &&
-        cur_workload->peak_rss_bytes > 0) {
+    if (base_workload.peak_rss_bytes >= 0 && cur_workload != nullptr &&
+        cur_workload->peak_rss_bytes >= 0) {
       BenchMemoryDelta mem;
       mem.workload = base_workload.name;
       mem.baseline_bytes = base_workload.peak_rss_bytes;
       mem.current_bytes = cur_workload->peak_rss_bytes;
       mem.delta_fraction =
           static_cast<double>(mem.current_bytes - mem.baseline_bytes) /
-          static_cast<double>(mem.baseline_bytes);
+          static_cast<double>(std::max(mem.baseline_bytes, 1LL));
       mem.regression = mem.delta_fraction > memory_threshold;
       comparison.has_regression = comparison.has_regression || mem.regression;
       comparison.memory_deltas.push_back(std::move(mem));
@@ -377,12 +382,19 @@ BenchComparison CompareBenchReports(const BenchReport& baseline,
         delta.regression = true;
       } else {
         delta.current_seconds = cur_point->seconds;
+        // A zero (or negative) baseline timing — a corrupt or placeholder
+        // report — must neither divide by zero nor auto-pass: the
+        // denominator floors at 1ns so any real current timing shows up as
+        // a huge slowdown, while the absolute slack keeps two
+        // effectively-zero timings comparing equal.
+        constexpr double kMinBaselineSeconds = 1e-9;
+        constexpr double kAbsoluteSlackSeconds = 1e-6;
         delta.delta_fraction =
-            base_point.seconds > 0
-                ? (cur_point->seconds - base_point.seconds) /
-                      base_point.seconds
-                : 0.0;
-        delta.regression = delta.delta_fraction > threshold;
+            (cur_point->seconds - base_point.seconds) /
+            std::max(base_point.seconds, kMinBaselineSeconds);
+        delta.regression =
+            delta.delta_fraction > threshold &&
+            cur_point->seconds - base_point.seconds > kAbsoluteSlackSeconds;
       }
       comparison.has_regression =
           comparison.has_regression || delta.regression;

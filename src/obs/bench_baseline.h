@@ -20,12 +20,15 @@ struct BenchPoint {
 struct BenchWorkload {
   std::string name;
   double serial_seconds = 0.0;
-  /// Peak RSS of the serial run; 0 when the report predates the field.
-  long long peak_rss_bytes = 0;
+  /// Peak RSS of the serial run; -1 when the report predates the field.
+  /// A recorded 0 is a real (if implausible) measurement and still gates —
+  /// only absence opts out.
+  long long peak_rss_bytes = -1;
   /// Interconnect traffic of the serial MPP run (StatsRegistry motion
-  /// totals); 0 when the workload has no motions or the report predates
-  /// the field.
-  long long shipped_bytes = 0;
+  /// totals); -1 when the report predates the field. A recorded 0 (no
+  /// motions) gates: traffic appearing where there was none is a
+  /// regression.
+  long long shipped_bytes = -1;
   /// Motion mix of the serial MPP run: how many broadcast vs. redistribute
   /// motions the (adaptive) planner chose. Informational — recorded so a
   /// plan-choice flip shows up in the baseline diff.
@@ -65,8 +68,8 @@ struct BenchDelta {
 };
 
 /// \brief One workload's peak-RSS cell of a baseline/current diff. Only
-/// produced when both reports carry a positive peak_rss_bytes — reports
-/// predating the field never fail the memory gate.
+/// produced when both reports carry the peak_rss_bytes field — reports
+/// predating it never fail the memory gate.
 struct BenchMemoryDelta {
   std::string workload;
   long long baseline_bytes = 0;
@@ -77,8 +80,8 @@ struct BenchMemoryDelta {
 };
 
 /// \brief One workload's shipped-bytes cell of a baseline/current diff.
-/// Only produced when both reports carry a positive shipped_bytes —
-/// reports predating the field never fail the shipped gate.
+/// Only produced when both reports carry the shipped_bytes field —
+/// reports predating it never fail the shipped gate.
 struct BenchShippedDelta {
   std::string workload;
   long long baseline_bytes = 0;

@@ -222,6 +222,20 @@ const LatencyHistogram* StatsRegistry::FindLatency(
                                     : &latencies_[it->second].second;
 }
 
+void StatsRegistry::IncrementCounter(const std::string& name,
+                                     int64_t delta) {
+  auto [it, inserted] = counter_index_.emplace(name, counters_.size());
+  if (inserted) {
+    counters_.emplace_back(name, 0);
+  }
+  counters_[it->second].second += delta;
+}
+
+int64_t StatsRegistry::FindCounter(const std::string& name) const {
+  auto it = counter_index_.find(name);
+  return it == counter_index_.end() ? -1 : counters_[it->second].second;
+}
+
 std::string StatsRegistry::ToText() const {
   std::string out = "=== execution statistics ===\n";
 
@@ -294,6 +308,14 @@ std::string StatsRegistry::ToText() const {
     out += "latency histograms:\n";
     for (const auto& [name, hist] : latencies_) {
       out += StrFormat("  %-22s %s\n", name.c_str(), hist.Summary().c_str());
+    }
+  }
+
+  if (!counters_.empty()) {
+    out += "counters:\n";
+    for (const auto& [name, value] : counters_) {
+      out += StrFormat("  %-22s %lld\n", name.c_str(),
+                       static_cast<long long>(value));
     }
   }
 
@@ -469,7 +491,17 @@ std::string StatsRegistry::ToJson() const {
         hist.sum_seconds(), hist.Percentile(50), hist.Percentile(95),
         hist.Percentile(99), hist.max_seconds());
   }
-  out += latencies_.empty() ? "]\n" : "\n  ]\n";
+  out += latencies_.empty() ? "],\n" : "\n  ],\n";
+
+  out += "  \"counters\": [";
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    const auto& [name, value] = counters_[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += StrFormat("    {\"name\": \"%s\", \"value\": %lld}",
+                     JsonEscape(name).c_str(),
+                     static_cast<long long>(value));
+  }
+  out += counters_.empty() ? "]\n" : "\n  ]\n";
 
   out += "}\n";
   return out;

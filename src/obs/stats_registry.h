@@ -169,6 +169,19 @@ class StatsRegistry {
   /// \brief Histogram by name, or nullptr if never recorded.
   const LatencyHistogram* FindLatency(const std::string& name) const;
 
+  /// \brief Adds `delta` to the named monotonic counter (created at zero
+  /// on first use). Volumes — queries answered, atoms grounded per query —
+  /// land here; unlike latencies they have no duration to histogram.
+  void IncrementCounter(const std::string& name, int64_t delta = 1);
+
+  /// \brief Counters in first-recorded order.
+  const std::vector<std::pair<std::string, int64_t>>& counters() const {
+    return counters_;
+  }
+
+  /// \brief Counter value by name, or -1 if never recorded.
+  int64_t FindCounter(const std::string& name) const;
+
   const std::vector<StatementTrace>& statements() const {
     return statements_;
   }
@@ -233,6 +246,8 @@ class StatsRegistry {
   std::vector<GibbsChainStats> gibbs_chains_;
   std::vector<std::pair<std::string, LatencyHistogram>> latencies_;
   std::unordered_map<std::string, size_t> latency_index_;
+  std::vector<std::pair<std::string, int64_t>> counters_;
+  std::unordered_map<std::string, size_t> counter_index_;
 
   std::string trace_path_;
   std::vector<TraceEvent> trace_events_;

@@ -26,4 +26,20 @@ Status Catalog::Drop(const std::string& name) {
   return Status::OK();
 }
 
+std::shared_ptr<const CatalogSnapshot> Catalog::Snapshot() const {
+  auto snapshot = std::make_shared<CatalogSnapshot>();
+  for (const auto& [name, table] : tables_) {
+    snapshot->tables_.emplace(name, table->Snapshot());
+  }
+  return snapshot;
+}
+
+Result<ConstTablePtr> CatalogSnapshot::Get(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("table '" + name + "' not in snapshot");
+  }
+  return it->second;
+}
+
 }  // namespace probkb

@@ -9,6 +9,30 @@
 
 namespace probkb {
 
+/// \brief Frozen, point-in-time view of a catalog: every table is an
+/// immutable copy-on-write snapshot handle (Table::Snapshot()). Readers
+/// holding one keep seeing exactly the rows that existed when it was
+/// taken, no matter how far the writer's tables have advanced since.
+class CatalogSnapshot {
+ public:
+  Result<ConstTablePtr> Get(const std::string& name) const;
+
+  bool Contains(const std::string& name) const {
+    return tables_.count(name) > 0;
+  }
+
+  int64_t NumTables() const { return static_cast<int64_t>(tables_.size()); }
+
+  /// \brief Stable iteration (sorted by name).
+  const std::map<std::string, ConstTablePtr>& tables() const {
+    return tables_;
+  }
+
+ private:
+  friend class Catalog;
+  std::map<std::string, ConstTablePtr> tables_;
+};
+
 /// \brief Named table registry, playing the role of the database catalog.
 ///
 /// Tuffy-T registers one table per relation here (tens of thousands);
@@ -30,6 +54,11 @@ class Catalog {
   }
 
   Status Drop(const std::string& name);
+
+  /// \brief Cheap point-in-time copy: snapshots every registered table
+  /// (O(tables x width) shared_ptr copies, no row data). Call from the
+  /// writer thread; the returned handle is safe to share with readers.
+  std::shared_ptr<const CatalogSnapshot> Snapshot() const;
 
   int64_t NumTables() const { return static_cast<int64_t>(tables_.size()); }
 

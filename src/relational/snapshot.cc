@@ -1,0 +1,33 @@
+#include "relational/snapshot.h"
+
+namespace probkb {
+
+Result<int64_t> SnapshotStore::Publish(
+    std::shared_ptr<const CatalogSnapshot> catalog) {
+  if (catalog == nullptr) {
+    return Status::InvalidArgument("cannot publish a null snapshot");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t next = epoch_ + 1;
+  if (publish_observer_ != nullptr) {
+    if (Status st = publish_observer_(next); !st.ok()) return st;
+  }
+  current_ = std::move(catalog);
+  epoch_ = next;
+  return next;
+}
+
+PinnedSnapshot SnapshotStore::Pin() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  PinnedSnapshot pinned;
+  pinned.epoch = epoch_;
+  pinned.catalog = current_;
+  return pinned;
+}
+
+int64_t SnapshotStore::current_epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
+}
+
+}  // namespace probkb

@@ -1,0 +1,75 @@
+#ifndef PROBKB_RELATIONAL_SNAPSHOT_H_
+#define PROBKB_RELATIONAL_SNAPSHOT_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+
+#include "relational/catalog.h"
+#include "util/result.h"
+
+namespace probkb {
+
+/// \brief One pinned epoch: a frozen catalog plus the epoch number it was
+/// published under. Holding the handle keeps the epoch's tables alive (and
+/// bit-stable) for as long as the reader needs them, however many epochs
+/// the writer publishes in the meantime.
+struct PinnedSnapshot {
+  int64_t epoch = -1;
+  std::shared_ptr<const CatalogSnapshot> catalog;
+
+  bool ok() const { return catalog != nullptr; }
+};
+
+/// \brief Epoch-versioned publication point between one writer and many
+/// concurrent readers.
+///
+/// The background expansion loop (the writer) publishes a frozen
+/// CatalogSnapshot after each fixpoint iteration; query threads Pin() the
+/// newest epoch and evaluate against it without any further
+/// synchronization — the snapshot's tables are immutable by construction
+/// (Table::Snapshot copy-on-write handles). Publication is atomic: a
+/// reader observes either epoch N in full or epoch N+1 in full, never a
+/// mix, and a publish that fails (see the test observer) leaves the
+/// current epoch untouched.
+///
+/// Memory: an old epoch's column data is freed as soon as the last pin on
+/// it drops *and* the writer has detached (rewritten) the columns; epochs
+/// nobody pinned cost only the catalog map itself, because unmodified
+/// columns are shared across epochs rather than copied.
+class SnapshotStore {
+ public:
+  /// \brief Atomically publishes `catalog` as the next epoch and returns
+  /// its epoch number (0, 1, 2, ...). Single writer: callers serialize
+  /// their own Publish() calls (the store locks, but epoch ordering across
+  /// racing writers would be meaningless).
+  Result<int64_t> Publish(std::shared_ptr<const CatalogSnapshot> catalog);
+
+  /// \brief Pins the newest published epoch. Before the first publish the
+  /// returned handle has epoch -1 and a null catalog (!ok()).
+  PinnedSnapshot Pin() const;
+
+  /// \brief Newest published epoch, -1 before the first publish.
+  int64_t current_epoch() const;
+
+  /// \brief Test-only fault hook, run while the publish lock is held but
+  /// before the new epoch becomes visible. Returning non-OK aborts the
+  /// publish: readers must keep seeing the previous epoch, bit-identically
+  /// — the snapshot-isolation chaos tests inject failures here.
+  void SetPublishObserverForTest(
+      std::function<Status(int64_t next_epoch)> observer) {
+    std::lock_guard<std::mutex> lock(mu_);
+    publish_observer_ = std::move(observer);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  int64_t epoch_ = -1;
+  std::shared_ptr<const CatalogSnapshot> current_;
+  std::function<Status(int64_t)> publish_observer_;
+};
+
+}  // namespace probkb
+
+#endif  // PROBKB_RELATIONAL_SNAPSHOT_H_

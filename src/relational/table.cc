@@ -17,7 +17,8 @@ std::string RowView::ToString() const {
 
 void Table::ExtendNullWords(int64_t n) {
   const size_t words = static_cast<size_t>((num_rows_ + n + 63) >> 6);
-  for (Column& c : cols_) {
+  for (int ci = 0; ci < width(); ++ci) {
+    Column& c = Mut(ci);
     if (c.null_words.size() < words) c.null_words.resize(words, 0);
   }
 }
@@ -27,7 +28,7 @@ void Table::AppendRow(std::span<const Value> row) {
   ExtendNullWords(1);
   const int64_t r = num_rows_;
   for (size_t ci = 0; ci < cols_.size(); ++ci) {
-    Column& c = cols_[ci];
+    Column& c = Mut(static_cast<int>(ci));
     const Value& v = row[ci];
     if (v.is_null()) {
       SetNullBit(&c, r);
@@ -57,7 +58,7 @@ void Table::AppendRow(const RowView& row) {
   ExtendNullWords(1);
   const int64_t r = num_rows_;
   for (int ci = 0; ci < width(); ++ci) {
-    Column& c = cols_[static_cast<size_t>(ci)];
+    Column& c = Mut(ci);
     const Value v = row[ci];
     if (v.is_null()) {
       SetNullBit(&c, r);
@@ -84,8 +85,8 @@ void Table::AppendRows(const Table& src, int64_t begin, int64_t end) {
   if (n == 0) return;
   ExtendNullWords(n);
   for (size_t ci = 0; ci < cols_.size(); ++ci) {
-    Column& dst = cols_[ci];
-    const Column& from = src.cols_[ci];
+    Column& dst = Mut(static_cast<int>(ci));
+    const Column& from = *src.cols_[ci];
     PROBKB_DCHECK(dst.type == from.type);
     if (dst.type == ColumnType::kInt64) {
       dst.i64.insert(dst.i64.end(), from.i64.begin() + begin,
@@ -110,8 +111,8 @@ void Table::AppendProjectedRows(const Table& src,
   if (n == 0) return;
   ExtendNullWords(n);
   for (size_t ci = 0; ci < cols_.size(); ++ci) {
-    Column& dst = cols_[ci];
-    const Column& from = src.cols_[static_cast<size_t>(src_cols[ci])];
+    Column& dst = Mut(static_cast<int>(ci));
+    const Column& from = *src.cols_[static_cast<size_t>(src_cols[ci])];
     PROBKB_CHECK(dst.type == from.type);
     if (dst.type == ColumnType::kInt64) {
       dst.i64.insert(dst.i64.end(), from.i64.begin(), from.i64.end());
@@ -129,7 +130,8 @@ void Table::AppendProjectedRows(const Table& src,
 
 void Table::ReserveRows(int64_t n) {
   const size_t rows = static_cast<size_t>(num_rows_ + n);
-  for (Column& c : cols_) {
+  for (int ci = 0; ci < width(); ++ci) {
+    Column& c = Mut(ci);
     if (c.type == ColumnType::kInt64) {
       c.i64.reserve(rows);
     } else {
@@ -140,11 +142,13 @@ void Table::ReserveRows(int64_t n) {
 }
 
 void Table::Clear() {
-  for (Column& c : cols_) {
-    c.i64.clear();
-    c.f64.clear();
-    c.null_words.clear();
-    c.null_count = 0;
+  // Fresh columns instead of clear-in-place: a shared (snapshotted) column
+  // keeps its rows for the readers holding it, and an exclusive one is
+  // released rather than detached-then-cleared.
+  for (ColumnPtr& p : cols_) {
+    auto fresh = std::make_shared<Column>();
+    fresh->type = p->type;
+    p = std::move(fresh);
   }
   num_rows_ = 0;
 }
@@ -157,7 +161,8 @@ int64_t Table::FilterInPlace(const std::vector<bool>& keep) {
     if (keep[static_cast<size_t>(r)]) ++write;
   }
   const int64_t kept = write;
-  for (Column& c : cols_) {
+  for (int ci = 0; ci < width(); ++ci) {
+    Column& c = Mut(ci);
     write = 0;
     if (c.type == ColumnType::kInt64) {
       for (int64_t r = 0; r < n; ++r) {
@@ -198,7 +203,16 @@ int64_t Table::FilterInPlace(const std::vector<bool>& keep) {
 }
 
 TablePtr Table::Clone() const {
+  // Shares the columns; either table detaches the ones it later mutates
+  // (copy-on-write), so the copy has deep-copy semantics at O(width) cost.
   auto out = Table::Make(schema_);
+  out->num_rows_ = num_rows_;
+  out->cols_ = cols_;
+  return out;
+}
+
+std::shared_ptr<const Table> Table::Snapshot() const {
+  auto out = std::make_shared<Table>(schema_);
   out->num_rows_ = num_rows_;
   out->cols_ = cols_;
   return out;
@@ -206,7 +220,7 @@ TablePtr Table::Clone() const {
 
 void Table::SetFloat64(int64_t row, int col, double v) {
   PROBKB_DCHECK(row >= 0 && row < NumRows());
-  Column& c = cols_[static_cast<size_t>(col)];
+  Column& c = Mut(col);
   PROBKB_CHECK(c.type == ColumnType::kFloat64);
   c.f64[static_cast<size_t>(row)] = v;
   if (c.null_count > 0 && IsNullBit(c, row)) {
@@ -222,7 +236,7 @@ void Table::HashRows(std::span<const int> key_cols, int64_t begin,
   const int64_t n = end - begin;
   for (int64_t i = 0; i < n; ++i) out[i] = kRowHashSeed;
   for (int kc : key_cols) {
-    const Column& c = cols_[static_cast<size_t>(kc)];
+    const Column& c = *cols_[static_cast<size_t>(kc)];
     if (c.type == ColumnType::kInt64) {
       const int64_t* data = c.i64.data() + begin;
       if (c.null_count == 0) {

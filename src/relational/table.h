@@ -17,6 +17,8 @@ namespace probkb {
 
 class Table;
 using TablePtr = std::shared_ptr<Table>;
+/// Immutable table handle, as produced by Table::Snapshot().
+using ConstTablePtr = std::shared_ptr<const Table>;
 
 /// \brief Non-owning view of one row.
 ///
@@ -70,9 +72,11 @@ class RowView {
 class Table {
  public:
   explicit Table(Schema schema) : schema_(std::move(schema)) {
-    cols_.resize(static_cast<size_t>(schema_.num_fields()));
+    cols_.reserve(static_cast<size_t>(schema_.num_fields()));
     for (int c = 0; c < schema_.num_fields(); ++c) {
-      cols_[static_cast<size_t>(c)].type = schema_.field(c).type;
+      auto col = std::make_shared<Column>();
+      col->type = schema_.field(c).type;
+      cols_.push_back(std::move(col));
     }
   }
 
@@ -94,7 +98,7 @@ class Table {
   Value ValueAt(int64_t row, int col) const {
     PROBKB_DCHECK(row >= 0 && row < NumRows());
     PROBKB_DCHECK(col >= 0 && col < width());
-    const Column& c = cols_[static_cast<size_t>(col)];
+    const Column& c = *cols_[static_cast<size_t>(col)];
     if (c.null_count > 0 && IsNullBit(c, row)) return Value::Null();
     return c.type == ColumnType::kInt64
                ? Value::Int64(c.i64[static_cast<size_t>(row)])
@@ -130,14 +134,26 @@ class Table {
   /// NumRows(). Returns the number of rows removed.
   int64_t FilterInPlace(const std::vector<bool>& keep);
 
-  /// \brief Deep copy.
+  /// \brief Value-semantics copy. O(width): the copy shares this table's
+  /// column storage and either side detaches (copies) a column the first
+  /// time it mutates it, so the two tables stay independent.
   TablePtr Clone() const;
+
+  /// \brief Cheap copy-on-write snapshot handle: a frozen Table sharing
+  /// this table's column storage (O(width) shared_ptr copies, no row data
+  /// moved). The snapshot is immutable by type; subsequent mutations of
+  /// this table detach only the touched columns, so readers holding the
+  /// handle keep seeing exactly the rows that existed at snapshot time.
+  /// Must be called from the thread that mutates this table (the writer):
+  /// the handle itself may then be handed to any number of reader threads.
+  std::shared_ptr<const Table> Snapshot() const;
 
   /// \brief Exact memory footprint of the column data in bytes: 8 bytes per
   /// cell plus the null-bitmap words (used by the MPP cost model).
   int64_t ByteSize() const {
     int64_t bytes = 0;
-    for (const Column& c : cols_) {
+    for (const ColumnPtr& p : cols_) {
+      const Column& c = *p;
       bytes += static_cast<int64_t>(
           (c.type == ColumnType::kInt64 ? c.i64.size() : c.f64.size()) *
               sizeof(int64_t) +
@@ -151,17 +167,17 @@ class Table {
   // sentinel; consult IsNull()/ColumnHasNulls() where NULLs can occur.
   const int64_t* Int64Data(int col) const {
     PROBKB_DCHECK(ColType(col) == ColumnType::kInt64);
-    return cols_[static_cast<size_t>(col)].i64.data();
+    return cols_[static_cast<size_t>(col)]->i64.data();
   }
   const double* Float64Data(int col) const {
     PROBKB_DCHECK(ColType(col) == ColumnType::kFloat64);
-    return cols_[static_cast<size_t>(col)].f64.data();
+    return cols_[static_cast<size_t>(col)]->f64.data();
   }
   bool ColumnHasNulls(int col) const {
-    return cols_[static_cast<size_t>(col)].null_count > 0;
+    return cols_[static_cast<size_t>(col)]->null_count > 0;
   }
   bool IsNull(int64_t row, int col) const {
-    const Column& c = cols_[static_cast<size_t>(col)];
+    const Column& c = *cols_[static_cast<size_t>(col)];
     return c.null_count > 0 && IsNullBit(c, row);
   }
 
@@ -190,10 +206,24 @@ class Table {
     std::vector<uint64_t> null_words; // bit r set => row r is NULL
     int64_t null_count = 0;
   };
+  /// Columns are held by shared_ptr so Snapshot()/Clone() can share them
+  /// copy-on-write: a column referenced by more than one table is copied
+  /// by the mutating side before the first write (see Mut()).
+  using ColumnPtr = std::shared_ptr<Column>;
 
   ColumnType ColType(int col) const {
     PROBKB_DCHECK(col >= 0 && col < width());
-    return cols_[static_cast<size_t>(col)].type;
+    return cols_[static_cast<size_t>(col)]->type;
+  }
+
+  /// \brief Mutable access to column `col`, detaching it first when it is
+  /// shared with a snapshot or clone. use_count() == 1 proves exclusive
+  /// ownership (snapshot handles are created and released under shared_ptr's
+  /// atomic control block), so the unshared fast path never copies.
+  Column& Mut(int col) {
+    ColumnPtr& p = cols_[static_cast<size_t>(col)];
+    if (p.use_count() > 1) p = std::make_shared<Column>(*p);
+    return *p;
   }
 
   static bool IsNullBit(const Column& c, int64_t row) {
@@ -211,7 +241,7 @@ class Table {
 
   Schema schema_;
   int64_t num_rows_ = 0;
-  std::vector<Column> cols_;
+  std::vector<ColumnPtr> cols_;
 };
 
 inline RowView::RowView(const Table* table, int64_t row)

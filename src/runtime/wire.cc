@@ -5,6 +5,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <climits>
 #include <cstring>
 #include <ctime>
 
@@ -54,7 +55,14 @@ Status RecvAll(int fd, void* data, size_t len, double deadline_at) {
         return Status::DeadlineExceeded("frame read timed out");
       }
       pollfd pfd{fd, POLLIN, 0};
-      int ready = poll(&pfd, 1, static_cast<int>(remaining * 1e3) + 1);
+      // Clamp before the int conversion: a large deadline (say, a day) puts
+      // remaining*1e3 beyond INT_MAX, and the overflowing cast is UB that in
+      // practice produced a negative timeout — poll forever, deadline gone.
+      double timeout_ms = remaining * 1e3 + 1;
+      if (timeout_ms > static_cast<double>(INT_MAX)) {
+        timeout_ms = static_cast<double>(INT_MAX);
+      }
+      int ready = poll(&pfd, 1, static_cast<int>(timeout_ms));
       if (ready < 0) {
         if (errno == EINTR) continue;
         return Status::IOError(std::string("frame poll failed: ") +

@@ -1,0 +1,174 @@
+#include "serve/query_server.h"
+
+#include <algorithm>
+
+#include "relational/catalog.h"
+#include "util/strings.h"
+#include "util/timer.h"
+
+namespace probkb {
+
+namespace {
+
+/// Epoch table names: TPi plus the six MLN partitions.
+std::string MName(int p) { return StrFormat("m%d", p); }
+
+/// Snapshot tables are immutable by contract; the grounder's plan
+/// execution only reads its inputs, so sharing them back as mutable
+/// TablePtr handles is safe. The cast is confined to this boundary.
+TablePtr Thaw(const ConstTablePtr& table) {
+  return std::const_pointer_cast<Table>(table);
+}
+
+}  // namespace
+
+std::string ServeAnswer::ToString() const {
+  std::string out = StrFormat(
+      "epoch %lld: %zu answer(s), grounded %lld/%lld atoms, depth %d%s%s\n",
+      static_cast<long long>(epoch), entries.size(),
+      static_cast<long long>(grounded_atoms),
+      static_cast<long long>(total_atoms), depth_reached,
+      exact ? ", exact" : "", truncated ? ", truncated" : "");
+  for (const Entry& e : entries) {
+    out += StrFormat("  %.3f %s%s\n", e.probability, e.text.c_str(),
+                     e.inferred ? " [inferred]" : "");
+  }
+  return out;
+}
+
+QueryServer::QueryServer(const KnowledgeBase* kb, FactId first_inferred_id,
+                         ServeOptions options)
+    : kb_(kb), first_inferred_id_(first_inferred_id), options_(options) {}
+
+Result<int64_t> QueryServer::PublishEpoch(const RelationalKB& rkb) {
+  Catalog catalog;
+  PROBKB_RETURN_NOT_OK(catalog.Register("t_pi", rkb.t_pi));
+  for (int p = 1; p <= kNumRuleStructures; ++p) {
+    PROBKB_RETURN_NOT_OK(
+        catalog.Register(MName(p), rkb.m[static_cast<size_t>(p - 1)]));
+  }
+  return store_.Publish(catalog.Snapshot());
+}
+
+Result<PinnedSnapshot> QueryServer::PinNewest() const {
+  PinnedSnapshot pin = store_.Pin();
+  if (!pin.ok()) {
+    return Status::NotFound(
+        "no epoch published yet; serve after the first PublishEpoch()");
+  }
+  return pin;
+}
+
+Result<std::shared_ptr<const QueryServer::EpochIndex>> QueryServer::IndexFor(
+    const PinnedSnapshot& pin) {
+  std::lock_guard<std::mutex> lock(index_mu_);
+  for (const auto& [epoch, index] : cache_) {
+    if (epoch == pin.epoch) return index;
+  }
+  auto index = std::make_shared<EpochIndex>();
+  PROBKB_ASSIGN_OR_RETURN(ConstTablePtr t_pi, pin.catalog->Get("t_pi"));
+  index->t_pi = Thaw(t_pi);
+  for (int p = 1; p <= kNumRuleStructures; ++p) {
+    PROBKB_ASSIGN_OR_RETURN(ConstTablePtr m, pin.catalog->Get(MName(p)));
+    index->m[static_cast<size_t>(p - 1)] = Thaw(m);
+  }
+  index->query =
+      std::make_unique<KbQuery>(kb_, index->t_pi, first_inferred_id_);
+  index->row_of = BuildFactRowIndex(*index->t_pi);
+  cache_.emplace_back(pin.epoch, index);
+  while (options_.max_cached_epochs > 0 &&
+         cache_.size() > static_cast<size_t>(options_.max_cached_epochs)) {
+    cache_.pop_front();
+  }
+  return std::shared_ptr<const EpochIndex>(index);
+}
+
+Result<ServeAnswer> QueryServer::Answer(const std::string& query_text) {
+  PROBKB_ASSIGN_OR_RETURN(QueryPattern pattern,
+                          ParseQueryPattern(query_text));
+  PROBKB_ASSIGN_OR_RETURN(PinnedSnapshot pin, PinNewest());
+  return AnswerAt(pattern, pin);
+}
+
+Result<ServeAnswer> QueryServer::AnswerAt(const QueryPattern& pattern,
+                                          const PinnedSnapshot& pin) {
+  if (!pin.ok()) {
+    return Status::InvalidArgument("AnswerAt needs a pinned epoch");
+  }
+  Timer query_timer;
+  PROBKB_ASSIGN_OR_RETURN(std::shared_ptr<const EpochIndex> index,
+                          IndexFor(pin));
+  const std::vector<int64_t> seeds = index->query->SeedRows(pattern);
+
+  Timer ground_timer;
+  PROBKB_ASSIGN_OR_RETURN(
+      LocalGrounding grounding,
+      GroundLocalSubgraph(index->t_pi, index->m, index->row_of, seeds,
+                          options_.grounding));
+  const double ground_seconds = ground_timer.Seconds();
+
+  Timer infer_timer;
+  PROBKB_ASSIGN_OR_RETURN(
+      SubgraphMarginals marginals,
+      ComputeSubgraphMarginals(*grounding.sub_t_pi, *grounding.t_phi,
+                               options_.inference));
+  const double infer_seconds = infer_timer.Seconds();
+
+  ServeAnswer answer;
+  answer.epoch = pin.epoch;
+  answer.grounded_atoms = grounding.grounded_atoms;
+  answer.total_atoms = grounding.total_atoms;
+  answer.depth_reached = grounding.depth_reached;
+  answer.truncated = grounding.truncated;
+  answer.exact = marginals.exact;
+  answer.entries.reserve(seeds.size());
+  for (int64_t r : seeds) {
+    RowView row = index->t_pi->row(r);
+    ServeAnswer::Entry entry;
+    entry.id = row[tpi::kI].i64();
+    entry.text = kb_->FactToString(FactFromRow(row));
+    entry.inferred = first_inferred_id_ >= 0
+                         ? entry.id >= first_inferred_id_
+                         : row[tpi::kW].is_null();
+    auto it = marginals.probability.find(entry.id);
+    entry.probability = it == marginals.probability.end() ? 0.0 : it->second;
+    answer.entries.push_back(std::move(entry));
+  }
+  std::sort(answer.entries.begin(), answer.entries.end(),
+            [](const ServeAnswer::Entry& a, const ServeAnswer::Entry& b) {
+              if (a.probability != b.probability) {
+                return a.probability > b.probability;
+              }
+              return a.id < b.id;
+            });
+  if (options_.top_k > 0 &&
+      answer.entries.size() > static_cast<size_t>(options_.top_k)) {
+    answer.entries.resize(static_cast<size_t>(options_.top_k));
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.RecordLatency("serve_query", query_timer.Seconds());
+    stats_.RecordLatency("serve_ground", ground_seconds);
+    stats_.RecordLatency("serve_infer", infer_seconds);
+    stats_.IncrementCounter("serve_queries");
+    stats_.IncrementCounter("serve_grounded_atoms",
+                            grounding.grounded_atoms);
+    stats_.IncrementCounter("serve_answers",
+                            static_cast<int64_t>(answer.entries.size()));
+    if (grounding.truncated) stats_.IncrementCounter("serve_truncated");
+  }
+  return answer;
+}
+
+std::string QueryServer::StatsText() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_.ToText();
+}
+
+int64_t QueryServer::StatsCounter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_.FindCounter(name);
+}
+
+}  // namespace probkb

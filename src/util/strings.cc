@@ -71,6 +71,27 @@ bool ParseInt64(std::string_view s, int64_t* out) {
   return true;
 }
 
+BoundedInt64 ParseBoundedInt64(std::string_view text, int64_t fallback,
+                               int64_t min_value, int64_t max_value) {
+  BoundedInt64 out;
+  int64_t parsed = 0;
+  if (!ParseInt64(StripWhitespace(text), &parsed)) {
+    out.malformed = true;
+    out.value = fallback;
+    return out;
+  }
+  if (parsed < min_value) {
+    out.clamped = true;
+    out.value = min_value;
+  } else if (parsed > max_value) {
+    out.clamped = true;
+    out.value = max_value;
+  } else {
+    out.value = parsed;
+  }
+  return out;
+}
+
 std::string StrFormat(const char* fmt, ...) {
   va_list args;
   va_start(args, fmt);

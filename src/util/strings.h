@@ -25,6 +25,26 @@ bool ParseDouble(std::string_view s, double* out);
 /// \brief Parses a signed 64-bit integer; returns false on malformed input.
 bool ParseInt64(std::string_view s, int64_t* out);
 
+/// \brief What ParseBoundedInt64 did with the raw text.
+struct BoundedInt64 {
+  int64_t value = 0;
+  /// Text was unparseable; `value` is the fallback.
+  bool malformed = false;
+  /// Parsed fine but landed outside [min, max]; `value` is the nearer
+  /// bound.
+  bool clamped = false;
+
+  bool ok() const { return !malformed && !clamped; }
+};
+
+/// \brief Hardened numeric-knob parsing shared by CLI flags and env vars:
+/// whitespace-tolerant, never throws, no UB on garbage. Unparseable text
+/// yields `fallback`; out-of-range values clamp into [min_value,
+/// max_value]. The helper never logs — callers decide how loudly to warn
+/// on .malformed / .clamped.
+BoundedInt64 ParseBoundedInt64(std::string_view text, int64_t fallback,
+                               int64_t min_value, int64_t max_value);
+
 /// \brief Formats with printf semantics into a std::string.
 std::string StrFormat(const char* fmt, ...)
     __attribute__((format(printf, 1, 2)));

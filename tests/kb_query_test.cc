@@ -114,5 +114,77 @@ TEST_F(QueryPipelineTest, UnscoredFactsSortLast) {
   EXPECT_EQ(query.FactsAbout("Brooklyn", 0.1).size(), 1u);
 }
 
+// --- Serve-mode query parsing --------------------------------------------------
+
+TEST(ParseQueryPatternTest, RelationPatterns) {
+  auto p = ParseQueryPattern("live_in(Ruth Gruber, *)");
+  ASSERT_TRUE(p.ok()) << p.status();
+  EXPECT_FALSE(p->is_entity_query());
+  EXPECT_EQ(p->relation, "live_in");
+  ASSERT_TRUE(p->x.has_value());
+  EXPECT_EQ(*p->x, "Ruth Gruber");
+  EXPECT_FALSE(p->y.has_value());
+
+  // '?' is an accepted wildcard spelling; whitespace is ignored.
+  auto q = ParseQueryPattern("  born_in ( ? ,  Brooklyn ) ");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->relation, "born_in");
+  EXPECT_FALSE(q->x.has_value());
+  ASSERT_TRUE(q->y.has_value());
+  EXPECT_EQ(*q->y, "Brooklyn");
+
+  auto both = ParseQueryPattern("located_in(*, *)");
+  ASSERT_TRUE(both.ok());
+  EXPECT_FALSE(both->x.has_value());
+  EXPECT_FALSE(both->y.has_value());
+}
+
+TEST(ParseQueryPatternTest, EntityQueries) {
+  auto p = ParseQueryPattern("  Ruth Gruber ");
+  ASSERT_TRUE(p.ok()) << p.status();
+  EXPECT_TRUE(p->is_entity_query());
+  EXPECT_EQ(p->entity, "Ruth Gruber");
+  EXPECT_NE(p->ToString().find("Ruth Gruber"), std::string::npos);
+}
+
+TEST(ParseQueryPatternTest, MalformedPatternsAreErrors) {
+  for (const char* bad :
+       {"", "   ", "live_in(", "live_in(a, b", "live_in(a)", "live_in(a,)",
+        "live_in(, b)", "live_in(a, b, c)", "(a, b)", "a) b", "live_in a, b)"}) {
+    EXPECT_FALSE(ParseQueryPattern(bad).ok()) << "'" << bad << "'";
+  }
+}
+
+TEST_F(QueryPipelineTest, SeedRowsMatchPatterns) {
+  KbQuery query(&kb_, rkb_.t_pi, first_inferred_);
+
+  auto both_facts = ParseQueryPattern("born_in(Ruth Gruber, *)");
+  ASSERT_TRUE(both_facts.ok());
+  auto rows = query.SeedRows(*both_facts);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_LT(rows[0], rows[1]);  // ascending row order
+  for (int64_t r : rows) {
+    EXPECT_EQ(kb_.relations().NameOrPlaceholder(
+                  rkb_.t_pi->row(r)[tpi::kR].i64()),
+              "born_in");
+  }
+
+  auto narrowed = ParseQueryPattern("born_in(*, Brooklyn)");
+  ASSERT_TRUE(narrowed.ok());
+  EXPECT_EQ(query.SeedRows(*narrowed).size(), 1u);
+
+  auto entity = ParseQueryPattern("Brooklyn");
+  ASSERT_TRUE(entity.ok());
+  EXPECT_EQ(query.SeedRows(*entity).size(), 4u);  // matches FactsAbout
+
+  // Unknown names resolve to empty seed sets, not errors.
+  auto unknown_rel = ParseQueryPattern("flies_to(*, *)");
+  ASSERT_TRUE(unknown_rel.ok());
+  EXPECT_TRUE(query.SeedRows(*unknown_rel).empty());
+  auto unknown_entity = ParseQueryPattern("Atlantis");
+  ASSERT_TRUE(unknown_entity.ok());
+  EXPECT_TRUE(query.SeedRows(*unknown_entity).empty());
+}
+
 }  // namespace
 }  // namespace probkb

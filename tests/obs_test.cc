@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -509,6 +510,101 @@ TEST(BenchCompareTest, FasterIsNeverARegression) {
   for (const BenchDelta& d : cmp.deltas) {
     EXPECT_LT(d.delta_fraction, 0.0);
   }
+}
+
+TEST(BenchCompareTest, ZeroTimingBaselineDoesNotAutoPass) {
+  // A corrupt or placeholder baseline of 0.0 seconds used to make the
+  // ratio divide by zero; real current timings must still flag, with a
+  // finite delta for the report.
+  BenchComparison cmp = CompareBenchReports(MakeReport(0.0, 0.0),
+                                            MakeReport(0.5, 0.5));
+  EXPECT_TRUE(cmp.has_regression);
+  for (const BenchDelta& d : cmp.deltas) {
+    EXPECT_TRUE(d.regression);
+    EXPECT_TRUE(std::isfinite(d.delta_fraction));
+  }
+}
+
+TEST(BenchCompareTest, NearZeroTimingsPassViaAbsoluteSlack) {
+  // Sub-microsecond jitter on a ~zero baseline is measurement noise, not
+  // a regression — the relative gate alone would scream at +50000%.
+  BenchComparison equal = CompareBenchReports(MakeReport(0.0, 0.0),
+                                              MakeReport(0.0, 0.0));
+  EXPECT_FALSE(equal.has_regression);
+  BenchComparison jitter = CompareBenchReports(MakeReport(0.0, 0.0),
+                                               MakeReport(5e-7, 5e-7));
+  EXPECT_FALSE(jitter.has_regression);
+  for (const BenchDelta& d : jitter.deltas) {
+    EXPECT_TRUE(std::isfinite(d.delta_fraction));
+  }
+}
+
+TEST(BenchCompareTest, AbsentByteFieldsSkipTheGates) {
+  // Default-constructed workloads carry the -1 "field absent" sentinel:
+  // old reports without peak_rss_bytes/shipped_bytes never gate.
+  BenchComparison cmp = CompareBenchReports(MakeReport(2.0, 0.6),
+                                            MakeReport(2.0, 0.6));
+  EXPECT_TRUE(cmp.memory_deltas.empty());
+  EXPECT_TRUE(cmp.shipped_deltas.empty());
+  EXPECT_FALSE(cmp.has_regression);
+}
+
+TEST(BenchCompareTest, RecordedZeroBytesBaselineStillGates) {
+  // A recorded 0 is a real measurement, not absence: traffic or RSS
+  // appearing where there was none must fail, with a finite delta
+  // (denominator floors at one byte).
+  BenchReport baseline = MakeReport(2.0, 0.6);
+  baseline.workloads[0].peak_rss_bytes = 0;
+  baseline.workloads[0].shipped_bytes = 0;
+  BenchReport current = MakeReport(2.0, 0.6);
+  current.workloads[0].peak_rss_bytes = 4096;
+  current.workloads[0].shipped_bytes = 1024;
+
+  BenchComparison cmp = CompareBenchReports(baseline, current);
+  EXPECT_TRUE(cmp.has_regression);
+  ASSERT_EQ(cmp.memory_deltas.size(), 1u);
+  EXPECT_TRUE(cmp.memory_deltas[0].regression);
+  EXPECT_TRUE(std::isfinite(cmp.memory_deltas[0].delta_fraction));
+  ASSERT_EQ(cmp.shipped_deltas.size(), 1u);
+  EXPECT_TRUE(cmp.shipped_deltas[0].regression);
+  EXPECT_TRUE(std::isfinite(cmp.shipped_deltas[0].delta_fraction));
+
+  // Zero-to-zero is flat, and passes.
+  BenchReport flat = MakeReport(2.0, 0.6);
+  flat.workloads[0].peak_rss_bytes = 0;
+  flat.workloads[0].shipped_bytes = 0;
+  BenchComparison unchanged = CompareBenchReports(baseline, flat);
+  EXPECT_FALSE(unchanged.has_regression);
+  ASSERT_EQ(unchanged.memory_deltas.size(), 1u);
+  EXPECT_DOUBLE_EQ(unchanged.memory_deltas[0].delta_fraction, 0.0);
+}
+
+TEST(StatsRegistryTest, CounterSeriesAccumulateAndRender) {
+  StatsRegistry stats;
+  EXPECT_EQ(stats.FindCounter("serve_queries"), -1);
+  stats.IncrementCounter("serve_queries");
+  stats.IncrementCounter("serve_queries");
+  stats.IncrementCounter("serve_answers", 5);
+  EXPECT_EQ(stats.FindCounter("serve_queries"), 2);
+  EXPECT_EQ(stats.FindCounter("serve_answers"), 5);
+  ASSERT_EQ(stats.counters().size(), 2u);
+
+  std::string text = stats.ToText();
+  EXPECT_NE(text.find("serve_queries"), std::string::npos);
+  std::string json = stats.ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"serve_answers\""), std::string::npos);
+}
+
+TEST(BenchCompareTest, MixedPresenceOfByteFieldsSkipsTheGate) {
+  // One side carrying the field and the other not (report-format skew
+  // across versions) opts the workload out rather than comparing against
+  // the sentinel.
+  BenchReport baseline = MakeReport(2.0, 0.6);
+  baseline.workloads[0].peak_rss_bytes = 1 << 20;
+  BenchComparison cmp = CompareBenchReports(baseline, MakeReport(2.0, 0.6));
+  EXPECT_TRUE(cmp.memory_deltas.empty());
+  EXPECT_FALSE(cmp.has_regression);
 }
 
 }  // namespace

@@ -135,6 +135,24 @@ TEST(WireTest, ReadDeadlineTripsOnSilentPeer) {
   close(fds[1]);
 }
 
+TEST(WireTest, AbsurdDeadlineDoesNotOverflowPollTimeout) {
+  // A deadline decades out converts to more milliseconds than int holds;
+  // the cast used to overflow (UB — in practice a negative poll timeout,
+  // i.e. block forever). The timeout is now clamped to INT_MAX, so a
+  // frame that is already on the wire must come back promptly.
+  int fds[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  std::string payload;
+  wire::SerializeTable(*MixedTable(3), &payload);
+  ASSERT_TRUE(
+      wire::WriteFrame(fds[0], wire::FrameType::kExchange, 9, payload).ok());
+  auto frame = wire::ReadFrame(fds[1], /*deadline_seconds=*/1e9);
+  ASSERT_TRUE(frame.ok()) << frame.status();
+  EXPECT_EQ(frame->payload, payload);
+  close(fds[0]);
+  close(fds[1]);
+}
+
 TEST(WireTest, ChecksumCoversLength) {
   const char data[8] = {0, 0, 0, 0, 0, 0, 0, 0};
   EXPECT_NE(wire::FrameChecksum(data, 4), wire::FrameChecksum(data, 8));

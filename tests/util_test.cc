@@ -148,6 +148,43 @@ TEST(StringsTest, ParseNumbers) {
   EXPECT_FALSE(ParseInt64("4.2", &i));
 }
 
+TEST(StringsTest, ParseBoundedInt64InRange) {
+  BoundedInt64 r = ParseBoundedInt64("12", /*fallback=*/3, 0, 100);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.value, 12);
+  EXPECT_FALSE(r.malformed);
+  EXPECT_FALSE(r.clamped);
+  // Surrounding whitespace is tolerated, like the rest of the CLI.
+  EXPECT_EQ(ParseBoundedInt64("  7\t", 3, 0, 100).value, 7);
+  // Bounds are inclusive.
+  EXPECT_TRUE(ParseBoundedInt64("0", 3, 0, 100).ok());
+  EXPECT_TRUE(ParseBoundedInt64("100", 3, 0, 100).ok());
+}
+
+TEST(StringsTest, ParseBoundedInt64GarbageFallsBack) {
+  for (const char* garbage : {"", "lots", "4.2", "12x", "--3", "0x10"}) {
+    BoundedInt64 r = ParseBoundedInt64(garbage, /*fallback=*/5, 0, 100);
+    EXPECT_TRUE(r.malformed) << garbage;
+    EXPECT_FALSE(r.ok()) << garbage;
+    EXPECT_EQ(r.value, 5) << garbage;
+  }
+  // Overflowing int64 is malformed, not wrapped.
+  BoundedInt64 huge =
+      ParseBoundedInt64("99999999999999999999999", 5, 0, 100);
+  EXPECT_TRUE(huge.malformed);
+  EXPECT_EQ(huge.value, 5);
+}
+
+TEST(StringsTest, ParseBoundedInt64ClampsToNearerBound) {
+  BoundedInt64 low = ParseBoundedInt64("-4", /*fallback=*/5, 1, 256);
+  EXPECT_TRUE(low.clamped);
+  EXPECT_FALSE(low.malformed);
+  EXPECT_EQ(low.value, 1);
+  BoundedInt64 high = ParseBoundedInt64("1000000", 5, 1, 256);
+  EXPECT_TRUE(high.clamped);
+  EXPECT_EQ(high.value, 256);
+}
+
 TEST(StringsTest, StrFormat) {
   EXPECT_EQ(StrFormat("%d-%s", 3, "x"), "3-x");
   EXPECT_EQ(StrFormat("%.2f", 1.5), "1.50");

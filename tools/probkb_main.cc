@@ -7,19 +7,29 @@
 //                  [--threads N] [--tpi out.tsv] [--tphi out.tsv]
 //   probkb infer   program.mln [--sweeps N] [--map] [same grounding flags]
 //   probkb explain program.mln --fact 'rel(x, y)'
+//   probkb serve   program.mln --query 'rel(x, y)' [--query ...]
+//                  [--serve-depth N] [--serve-max-atoms N] [--topk K]
+//                  [--readers N] [--verify-batch] [--tolerance F]
 //
 // Grounds an MLN program with the batched algorithm and optionally runs
 // marginal (Gibbs) or MAP inference, printing facts with probabilities.
+// `serve` instead answers the queries on demand while a background thread
+// expands the KB, publishing each fixpoint iteration as a new snapshot
+// epoch; queries ground only their local proof neighborhood.
 //
 // Exit codes: 0 success, 1 error, 2 usage, and — for budget failures that
 // end a run early with a partial (checkpointed) expansion — 4 deadline
 // exceeded, 5 resource exhausted, 6 cancelled.
 
+#include <atomic>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "engine/tunables.h"
@@ -34,7 +44,9 @@
 #include "quality/rule_cleaning.h"
 #include "relational/table_io.h"
 #include "runtime/process_runtime.h"
+#include "serve/query_server.h"
 #include "util/logging.h"
+#include "util/strings.h"
 
 namespace {
 
@@ -67,12 +79,21 @@ struct CliOptions {
   std::string log_level;
   std::string log_json;
   std::string post_mortem;
+  // serve
+  std::vector<std::string> queries;
+  int serve_depth = 3;
+  int64_t serve_max_atoms = 65536;
+  int topk = 10;
+  int readers = 2;
+  bool verify_batch = false;
+  double tolerance = 0.05;
 };
 
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: probkb <stats|ground|infer|explain> <program.mln> [flags]\n"
+      "usage: probkb <stats|ground|infer|explain|serve> <program.mln> "
+      "[flags]\n"
       "  --iterations N    grounding iteration cap (default 15)\n"
       "  --constraints     apply functional constraints each iteration\n"
       "  --semi-naive      semi-naive (delta) evaluation\n"
@@ -109,6 +130,17 @@ int Usage() {
       "  --log_json FILE   mirror log lines into FILE as JSONL\n"
       "                    (env PROBKB_LOG)\n"
       "  --post_mortem FILE  write the flight-recorder timeline as JSON\n"
+      "  --query 'r(a, b)'   serve: query to answer (* wildcards, or a bare\n"
+      "                    entity name; repeatable)\n"
+      "  --serve-depth N   serve: backward-chaining depth bound (default 3)\n"
+      "  --serve-max-atoms N  serve: per-query grounded-atom cap\n"
+      "  --topk K          serve: answers reported per query (default 10)\n"
+      "  --readers N       serve: concurrent reader threads for the final\n"
+      "                    bit-identity check (default 2)\n"
+      "  --verify-batch    serve: cross-check answers against full batch\n"
+      "                    grounding + inference at the same epoch\n"
+      "  --tolerance F     serve: max |serve - batch| marginal difference\n"
+      "                    allowed by --verify-batch (default 0.05)\n"
       "  (set PROBKB_TRACE=FILE for a chrome://tracing span dump)\n");
   return 2;
 }
@@ -162,6 +194,26 @@ bool ApplyCliTunables(const CliOptions& options) {
   }
   SetTunables(tun);
   return true;
+}
+
+// Hardened numeric-flag intake: garbage falls back to the default,
+// out-of-range values clamp to the nearer bound, both with a stderr
+// warning — a typo'd knob must not crash the server or run unbounded
+// (same policy ResolveThreads applies to env vars).
+int64_t FlagInt64(const char* flag, const char* text, int64_t fallback,
+                  int64_t lo, int64_t hi) {
+  BoundedInt64 parsed = ParseBoundedInt64(text, fallback, lo, hi);
+  if (parsed.malformed) {
+    std::fprintf(stderr, "%s: unparseable value '%s'; using %lld\n", flag,
+                 text, static_cast<long long>(parsed.value));
+  } else if (parsed.clamped) {
+    std::fprintf(stderr,
+                 "%s: value '%s' outside [%lld, %lld]; clamped to %lld\n",
+                 flag, text, static_cast<long long>(lo),
+                 static_cast<long long>(hi),
+                 static_cast<long long>(parsed.value));
+  }
+  return parsed.value;
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* options) {
@@ -263,6 +315,49 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       const char* v = next();
       if (v == nullptr) return false;
       options->post_mortem = v;
+    } else if (flag == "--query") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->queries.push_back(v);
+    } else if (flag == "--serve-depth") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->serve_depth = static_cast<int>(
+          FlagInt64("--serve-depth", v, 3, 0, 64));
+    } else if (flag == "--serve-max-atoms") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->serve_max_atoms =
+          FlagInt64("--serve-max-atoms", v, 65536, 0, int64_t{1} << 40);
+    } else if (flag == "--topk") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->topk =
+          static_cast<int>(FlagInt64("--topk", v, 10, 0, 1000000));
+    } else if (flag == "--readers") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->readers =
+          static_cast<int>(FlagInt64("--readers", v, 2, 1, 256));
+    } else if (flag == "--verify-batch") {
+      options->verify_batch = true;
+    } else if (flag == "--tolerance") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      double parsed = 0.0;
+      if (!ParseDouble(v, &parsed)) {
+        std::fprintf(stderr,
+                     "--tolerance: unparseable value '%s'; using 0.05\n", v);
+        parsed = 0.05;
+      } else if (parsed < 0.0 || parsed > 1.0) {
+        double clamped = parsed < 0.0 ? 0.0 : 1.0;
+        std::fprintf(stderr,
+                     "--tolerance: value '%s' outside [0, 1]; clamped to "
+                     "%.2f\n",
+                     v, clamped);
+        parsed = clamped;
+      }
+      options->tolerance = parsed;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -279,6 +374,252 @@ std::string DescribeFact(const KnowledgeBase& kb, const RelationalKB& rkb,
     }
   }
   return "?";
+}
+
+// On-demand serving: publish the base KB as epoch 0, expand in a
+// background writer thread that publishes a snapshot epoch per fixpoint
+// iteration, and answer the --query list live against whatever epoch is
+// newest. After expansion, --readers concurrent threads re-answer at one
+// pinned epoch and must agree bit-for-bit; --verify-batch additionally
+// cross-checks against full-KB grounding + inference at that same epoch.
+int RunServe(const CliOptions& options, const KnowledgeBase& kb,
+             RelationalKB* rkb, const GroundingOptions& grounding) {
+  if (options.queries.empty()) {
+    std::fprintf(stderr, "serve requires at least one --query 'rel(x, y)'\n");
+    return 2;
+  }
+  std::vector<QueryPattern> patterns;
+  for (const std::string& q : options.queries) {
+    auto pattern = ParseQueryPattern(q);
+    if (!pattern.ok()) {
+      std::fprintf(stderr, "--query %s\n",
+                   pattern.status().ToString().c_str());
+      return 2;
+    }
+    patterns.push_back(*pattern);
+  }
+
+  ServeOptions serve;
+  serve.grounding.max_depth = options.serve_depth;
+  serve.grounding.max_atoms = options.serve_max_atoms;
+  serve.top_k = options.topk;
+  serve.inference.gibbs.schedule = GibbsSchedule::kChromatic;
+  serve.inference.gibbs.sample_sweeps = options.sweeps;
+  QueryServer server(&kb, rkb->next_fact_id, serve);
+  if (auto epoch = server.PublishEpoch(*rkb); !epoch.ok()) {
+    std::fprintf(stderr, "%s\n", epoch.status().ToString().c_str());
+    return 1;
+  }
+
+  const bool use_mpp = options.num_segments > 0;
+  std::unique_ptr<Grounder> grounder;
+  std::unique_ptr<MppGrounder> mpp;
+  std::unique_ptr<ProcessRuntime> runtime;
+  if (use_mpp) {
+    mpp = std::make_unique<MppGrounder>(*rkb, options.num_segments,
+                                        MppMode::kViews, grounding);
+    if (ResolveRuntimeKind(options.runtime.empty()
+                               ? nullptr
+                               : options.runtime.c_str()) ==
+        RuntimeKind::kProcess) {
+      ProcessRuntimeOptions runtime_options;
+      runtime_options.num_segments = options.num_segments;
+      runtime = std::make_unique<ProcessRuntime>(runtime_options);
+      if (auto st = runtime->Spawn(); !st.ok()) {
+        PROBKB_SLOG(Runtime, Warning)
+            << "process runtime unavailable (" << st.ToString()
+            << "); degrading to the simulator";
+        runtime.reset();
+      } else {
+        mpp->AttachRuntime(runtime.get());
+      }
+    }
+  } else {
+    grounder = std::make_unique<Grounder>(rkb, grounding);
+  }
+
+  // Writer thread: one fixpoint iteration, gather (MPP), publish, repeat.
+  // `writer_status` is only written before `done` flips and only read
+  // after join — no lock needed.
+  std::atomic<bool> done{false};
+  Status writer_status;
+  std::thread writer([&] {
+    while (true) {
+      Result<int64_t> added = use_mpp ? mpp->GroundAtomsIteration()
+                                      : grounder->GroundAtomsIteration();
+      if (!added.ok()) {
+        writer_status = added.status();
+        break;
+      }
+      if (use_mpp) rkb->t_pi = mpp->GatherTPi();
+      if (auto epoch = server.PublishEpoch(*rkb); !epoch.ok()) {
+        writer_status = epoch.status();
+        break;
+      }
+      const int iterations =
+          use_mpp ? mpp->stats().iterations : grounder->stats().iterations;
+      if (*added == 0 || iterations >= options.iterations) break;
+    }
+    done.store(true);
+  });
+
+  // Live serving while the writer expands: answer the query list once per
+  // newly observed epoch.
+  int64_t live_queries = 0;
+  int64_t last_epoch = -2;
+  while (!done.load()) {
+    const int64_t epoch = server.current_epoch();
+    if (epoch == last_epoch) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      continue;
+    }
+    last_epoch = epoch;
+    for (const QueryPattern& pattern : patterns) {
+      auto pin = server.PinNewest();
+      if (pin.ok() && server.AnswerAt(pattern, *pin).ok()) ++live_queries;
+    }
+  }
+  writer.join();
+  if (runtime != nullptr) {
+    // The writer is done with the workers. Detach before shutdown so a
+    // later --verify-batch re-grounding runs on the in-process simulator
+    // (bit-identical tables) instead of motioning through dead workers.
+    if (mpp != nullptr) mpp->AttachRuntime(nullptr);
+    runtime->Shutdown();
+  }
+  if (!writer_status.ok()) {
+    // Snapshot isolation makes a dead writer non-fatal: readers keep the
+    // last published epoch. Report it and serve what we have.
+    std::fprintf(stderr, "expansion stopped: %s\n",
+                 writer_status.ToString().c_str());
+  }
+
+  auto pin = server.PinNewest();
+  if (!pin.ok()) {
+    std::fprintf(stderr, "%s\n", pin.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("serving at epoch %lld (%lld atoms); %lld live queries "
+              "answered during expansion\n",
+              static_cast<long long>(pin->epoch),
+              static_cast<long long>(rkb->t_pi->NumRows()),
+              static_cast<long long>(live_queries));
+
+  // Concurrent readers at one pinned epoch must agree bit-for-bit.
+  const int readers = options.readers;
+  std::vector<std::vector<ServeAnswer>> per_reader(
+      static_cast<size_t>(readers));
+  std::vector<Status> reader_status(static_cast<size_t>(readers),
+                                    Status::OK());
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(readers));
+  for (int r = 0; r < readers; ++r) {
+    threads.emplace_back([&, r] {
+      for (const QueryPattern& pattern : patterns) {
+        auto answer = server.AnswerAt(pattern, *pin);
+        if (!answer.ok()) {
+          reader_status[static_cast<size_t>(r)] = answer.status();
+          return;
+        }
+        per_reader[static_cast<size_t>(r)].push_back(std::move(*answer));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int r = 0; r < readers; ++r) {
+    if (!reader_status[static_cast<size_t>(r)].ok()) {
+      std::fprintf(stderr, "reader %d: %s\n", r,
+                   reader_status[static_cast<size_t>(r)].ToString().c_str());
+      return 1;
+    }
+  }
+  bool identical = true;
+  for (int r = 1; r < readers && identical; ++r) {
+    const auto& a = per_reader[0];
+    const auto& b = per_reader[static_cast<size_t>(r)];
+    if (a.size() != b.size()) {
+      identical = false;
+      break;
+    }
+    for (size_t q = 0; q < a.size() && identical; ++q) {
+      if (a[q].entries.size() != b[q].entries.size() ||
+          a[q].grounded_atoms != b[q].grounded_atoms) {
+        identical = false;
+        break;
+      }
+      for (size_t e = 0; e < a[q].entries.size(); ++e) {
+        if (a[q].entries[e].id != b[q].entries[e].id ||
+            a[q].entries[e].probability != b[q].entries[e].probability) {
+          identical = false;
+          break;
+        }
+      }
+    }
+  }
+  std::printf("readers: %d concurrent, %s\n", readers,
+              identical ? "bit-identical" : "MISMATCH");
+  if (!identical) return 1;
+
+  for (size_t q = 0; q < patterns.size(); ++q) {
+    std::printf("query '%s'\n%s", options.queries[q].c_str(),
+                per_reader[0][q].ToString().c_str());
+  }
+
+  if (options.verify_batch) {
+    Result<TablePtr> t_phi =
+        use_mpp ? mpp->GroundFactors() : grounder->GroundFactors();
+    if (!t_phi.ok()) {
+      std::fprintf(stderr, "%s\n", t_phi.status().ToString().c_str());
+      return 1;
+    }
+    auto graph = FactorGraph::FromTables(*rkb->t_pi, **t_phi);
+    if (!graph.ok()) {
+      std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+      return 1;
+    }
+    std::vector<double> batch;
+    if (graph->num_variables() <= 20) {
+      auto exact = ExactMarginals(*graph, 20);
+      if (!exact.ok()) {
+        std::fprintf(stderr, "%s\n", exact.status().ToString().c_str());
+        return 1;
+      }
+      batch = std::move(*exact);
+    } else {
+      GibbsOptions gibbs;
+      gibbs.schedule = GibbsSchedule::kChromatic;
+      gibbs.sample_sweeps = options.sweeps;
+      auto sampled = GibbsMarginals(*graph, gibbs);
+      if (!sampled.ok()) {
+        std::fprintf(stderr, "%s\n", sampled.status().ToString().c_str());
+        return 1;
+      }
+      batch = std::move(sampled->marginals);
+    }
+    double max_diff = 0.0;
+    int compared = 0;
+    for (const std::vector<ServeAnswer>& answers : {per_reader[0]}) {
+      for (const ServeAnswer& answer : answers) {
+        for (const ServeAnswer::Entry& entry : answer.entries) {
+          const int32_t v = graph->VariableOf(entry.id);
+          if (v < 0) continue;
+          const double diff = std::fabs(
+              entry.probability - batch[static_cast<size_t>(v)]);
+          if (diff > max_diff) max_diff = diff;
+          ++compared;
+        }
+      }
+    }
+    const bool pass = max_diff <= options.tolerance;
+    std::printf("serve-vs-batch: %d answers compared, max |delta| %.4f "
+                "(tolerance %.4f) %s\n",
+                compared, max_diff, options.tolerance,
+                pass ? "PASS" : "FAIL");
+    if (!pass) return 1;
+  }
+
+  if (options.stats) std::printf("%s", server.StatsText().c_str());
+  return writer_status.ok() ? 0 : ExitCodeFor(writer_status);
 }
 
 int Run(const CliOptions& options) {
@@ -307,6 +648,10 @@ int Run(const CliOptions& options) {
   grounding.max_rows_per_statement = options.max_rows;
   grounding.checkpoint_dir = options.checkpoint_dir;
   grounding.num_threads = options.num_threads;
+
+  if (options.command == "serve") {
+    return RunServe(options, *kb, &rkb, grounding);
+  }
 
   // One registry per run collects operator/motion/partition stats; it is
   // only attached (and thus only fed) when some output was requested, so
@@ -546,7 +891,8 @@ int main(int argc, char** argv) {
   CliOptions options;
   if (!ParseArgs(argc, argv, &options)) return Usage();
   if (options.command != "stats" && options.command != "ground" &&
-      options.command != "infer" && options.command != "explain") {
+      options.command != "infer" && options.command != "explain" &&
+      options.command != "serve") {
     return Usage();
   }
   SetLogLevel(ResolveLogLevel(
