@@ -2,6 +2,7 @@
 
 #include "engine/ops.h"
 #include "obs/flight_recorder.h"
+#include "obs/trace.h"
 
 #include "util/strings.h"
 #include "util/timer.h"
@@ -111,6 +112,8 @@ Result<int64_t> Grounder::GroundAtomsIteration() {
         "apply_constraints_each_iteration");
   }
   Timer timer;
+  TraceSpan span(Tracer::Global(), "iteration", "grounding",
+                 stats_.iterations + 1);
   explain_lines_.clear();
   // Apply every partition against the *same* TPi snapshot, then merge: this
   // matches Algorithm 1, which unions all T_j after the partition loop.
@@ -156,6 +159,7 @@ Result<int64_t> Grounder::GroundAtomsIteration() {
   stats_.ground_atoms_seconds += secs;
   ++stats_.iterations;
   if (obs_ != nullptr) obs_->RecordLatency("grounding_iteration", secs);
+  span.set_values(stats_.iterations, added, rkb_->t_pi->NumRows());
   FlightRecorder::Global()->Record(FrEvent::kIterationBoundary, "grounder",
                                    stats_.iterations, added,
                                    rkb_->t_pi->NumRows());
@@ -248,6 +252,7 @@ void Grounder::SnapshotWorkerStats() {
 
 Result<TablePtr> Grounder::GroundFactors() {
   Timer timer;
+  TraceSpan span(Tracer::Global(), "ground_factors", "grounding");
   auto t_phi = Table::Make(TPhiSchema());
   for (int p = 1; p <= kNumRuleStructures; ++p) {
     TablePtr m = rkb_->m[static_cast<size_t>(p - 1)];

@@ -5,6 +5,7 @@
 
 #include "engine/ops.h"
 #include "obs/flight_recorder.h"
+#include "obs/trace.h"
 #include "util/strings.h"
 #include "util/timer.h"
 
@@ -279,6 +280,9 @@ Result<int64_t> MppGrounder::MergeAtoms(const DistributedTable& atoms) {
 Result<int64_t> MppGrounder::GroundAtomsIteration() {
   const double start_cost = ctx_.cost().simulated_seconds();
   const int iteration = stats_.iterations + 1;
+  // Root span of the iteration's trace: every motion span (and, in process
+  // mode, every harvested worker span) nests under it.
+  TraceSpan span(Tracer::Global(), "iteration", "grounding", iteration);
   // Fresh explain/decision log per iteration: ExplainPlans() reports the
   // plans the *latest* deltas produced. The observation history persists —
   // it is what makes iteration N+1's estimates warm.
@@ -313,6 +317,7 @@ Result<int64_t> MppGrounder::GroundAtomsIteration() {
   stats_.ground_atoms_seconds += secs;
   ++stats_.iterations;
   if (obs_ != nullptr) obs_->RecordLatency("grounding_iteration", secs);
+  span.set_values(stats_.iterations, added, t_pi_->NumRows());
   FlightRecorder::Global()->Record(FrEvent::kIterationBoundary,
                                    "mpp_grounder", stats_.iterations, added,
                                    t_pi_->NumRows());
@@ -495,6 +500,7 @@ Result<DistributedTablePtr> MppGrounder::GroundFactorsPartition(int p) {
 
 Result<TablePtr> MppGrounder::GroundFactors() {
   const double start_cost = ctx_.cost().simulated_seconds();
+  TraceSpan span(Tracer::Global(), "ground_factors", "grounding");
   auto t_phi = Table::Make(TPhiSchema());
   for (int p = 1; p <= kNumRuleStructures; ++p) {
     if (m_[static_cast<size_t>(p - 1)]->NumRows() == 0) continue;

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "obs/flight_recorder.h"
+#include "obs/trace.h"
 #include "util/strings.h"
 
 namespace probkb {
@@ -194,6 +195,19 @@ Status MppContext::AccountMotion(
     std::vector<TablePtr>* delivered) {
   int64_t motion_index = 0;
   PROBKB_RETURN_NOT_OK(BeginMotion(label, &motion_index));
+  TraceSpan motion_span(Tracer::Global(), label.c_str(), KindName(kind),
+                        motion_index, tuples_shipped, 0);
+
+  // Per-target slice sizes, computed up front so the sim and process
+  // branches emit byte-identical ship spans (one per target, same counts).
+  std::vector<int64_t> target_rows;
+  if (payload != nullptr && tuples_shipped > 0 &&
+      payload_targets.size() == static_cast<size_t>(payload->NumRows())) {
+    target_rows.assign(static_cast<size_t>(num_segments_), 0);
+    for (int t : payload_targets) {
+      if (t >= 0 && t < num_segments_) ++target_rows[static_cast<size_t>(t)];
+    }
+  }
 
   // One consultation per (motion, attempt 0): the list drives both the
   // physical faults below and the modelled recovery accounting, so the
@@ -217,10 +231,21 @@ Status MppContext::AccountMotion(
           slice.AppendRows(*payload, r, r + 1);
         }
       }
+      // The ship span is the parent the worker's journaled span stitches
+      // under (its ids ride the exchange frames).
+      TraceSpan ship(Tracer::Global(), "ship", "exchange", motion_index, t,
+                     slice.NumRows());
       Result<TablePtr> echoed = runtime_->Exchange(
           t, motion_index, slice, label, corrupt[static_cast<size_t>(t)]);
       PROBKB_RETURN_NOT_OK(echoed.status());
       (*delivered)[static_cast<size_t>(t)] = echoed.MoveValueOrDie();
+    }
+  } else if (runtime_ == nullptr && !target_rows.empty()) {
+    // Simulator counterpart of the physical exchange loop above: same
+    // spans, same deterministic payloads, zero wire traffic.
+    for (int t = 0; t < num_segments_; ++t) {
+      TraceSpan ship(Tracer::Global(), "ship", "exchange", motion_index, t,
+                     target_rows[static_cast<size_t>(t)]);
     }
   }
 
@@ -259,6 +284,8 @@ Result<DistributedTablePtr> MppContext::Redistribute(
       input.name().empty() ? "redistribute" : input.name();
   int64_t motion_index = 0;
   PROBKB_RETURN_NOT_OK(BeginMotion(label, &motion_index));
+  TraceSpan motion_span(Tracer::Global(), label.c_str(), "redistribute",
+                        motion_index);
 
   const int n = num_segments_;
   std::vector<TablePtr> segments;
@@ -346,6 +373,20 @@ Result<DistributedTablePtr> MppContext::Redistribute(
     for (int s = 0; s < n; ++s) {
       for (int64_t batch : sent[static_cast<size_t>(s)]) shipped += batch;
     }
+    // Simulated ship spans mirror the physical exchange loop below: one
+    // per target, c = the cross-segment rows bound for it, so the
+    // canonical span dump is identical across runtimes.
+    if (!physical && shipped > 0) {
+      for (int t = 0; t < n; ++t) {
+        int64_t cross = 0;
+        for (int s = 0; s < n; ++s) {
+          if (s != t) cross += sent[static_cast<size_t>(s)][
+              static_cast<size_t>(t)];
+        }
+        TraceSpan ship(Tracer::Global(), "ship", "exchange", motion_index, t,
+                       cross);
+      }
+    }
     // Like Broadcast/Gather, only a redistribute that actually touched the
     // interconnect can fault: when every row hashed to its home segment
     // there is no traffic to strike. One fault consultation drives both
@@ -372,6 +413,8 @@ Result<DistributedTablePtr> MppContext::Redistribute(
               }
             }
           }
+          TraceSpan ship(Tracer::Global(), "ship", "exchange", motion_index,
+                         t, inbound.NumRows());
           Result<TablePtr> echoed = runtime_->Exchange(
               t, motion_index, inbound, label,
               corrupt[static_cast<size_t>(t)]);
@@ -420,6 +463,8 @@ Result<DistributedTablePtr> MppContext::Redistribute(
     }
   }
 
+  motion_span.set_values(motion_index, shipped, 0);
+
   MppStep step;
   step.kind = MppStep::Kind::kRedistribute;
   step.label = label;
@@ -446,11 +491,14 @@ Result<DistributedTablePtr> MppContext::Broadcast(
   const std::string label = input.name().empty() ? "broadcast" : input.name();
   int64_t motion_index = 0;
   PROBKB_RETURN_NOT_OK(BeginMotion(label, &motion_index));
+  TraceSpan motion_span(Tracer::Global(), label.c_str(), "broadcast",
+                        motion_index);
 
   TablePtr full = input.ToLocal();
   int64_t shipped = input.distribution().is_replicated()
                         ? 0
                         : full->NumRows() * (num_segments_ - 1);
+  motion_span.set_values(motion_index, shipped, 0);
 
   std::vector<FaultEvent> faults;
   if (injector_ != nullptr && shipped > 0) {
@@ -464,10 +512,18 @@ Result<DistributedTablePtr> MppContext::Broadcast(
     std::vector<int> corrupt = ApplyPhysicalFaults(faults);
     echoed_copies.resize(static_cast<size_t>(num_segments_));
     for (int t = 0; t < num_segments_; ++t) {
+      TraceSpan ship(Tracer::Global(), "ship", "exchange", motion_index, t,
+                     full->NumRows());
       Result<TablePtr> echoed = runtime_->Exchange(
           t, motion_index, *full, label, corrupt[static_cast<size_t>(t)]);
       if (!echoed.ok()) return echoed.status();
       echoed_copies[static_cast<size_t>(t)] = echoed.MoveValueOrDie();
+    }
+  } else if (runtime_ == nullptr && shipped > 0) {
+    // Simulator counterpart of the physical loop: same ship spans.
+    for (int t = 0; t < num_segments_; ++t) {
+      TraceSpan ship(Tracer::Global(), "ship", "exchange", motion_index, t,
+                     full->NumRows());
     }
   }
 
@@ -506,9 +562,12 @@ Result<TablePtr> MppContext::Gather(const DistributedTable& input) {
   const std::string label = input.name().empty() ? "gather" : input.name();
   int64_t motion_index = 0;
   PROBKB_RETURN_NOT_OK(BeginMotion(label, &motion_index));
+  TraceSpan motion_span(Tracer::Global(), label.c_str(), "gather",
+                        motion_index);
 
   TablePtr out = input.ToLocal();
   int64_t shipped = out->NumRows();
+  motion_span.set_values(motion_index, shipped, 0);
 
   std::vector<FaultEvent> faults;
   if (injector_ != nullptr && shipped > 0) {
@@ -524,6 +583,8 @@ Result<TablePtr> MppContext::Gather(const DistributedTable& input) {
     TablePtr wired = Table::Make(input.schema());
     wired->ReserveRows(shipped);
     for (int s = 0; s < input.num_segments(); ++s) {
+      TraceSpan ship(Tracer::Global(), "ship", "exchange", motion_index, s,
+                     input.segment(s)->NumRows());
       Result<TablePtr> echoed = runtime_->Exchange(
           s, motion_index, *input.segment(s), label,
           corrupt[static_cast<size_t>(s)]);
@@ -531,6 +592,13 @@ Result<TablePtr> MppContext::Gather(const DistributedTable& input) {
       wired->AppendTable(**echoed);
     }
     out = std::move(wired);
+  } else if (runtime_ == nullptr && shipped > 0 &&
+             !input.distribution().is_replicated()) {
+    // Simulator counterpart of the physical pull loop: same ship spans.
+    for (int s = 0; s < input.num_segments(); ++s) {
+      TraceSpan ship(Tracer::Global(), "ship", "exchange", motion_index, s,
+                     input.segment(s)->NumRows());
+    }
   }
 
   if (injector_ != nullptr && shipped > 0) {
@@ -565,6 +633,8 @@ Result<TablePtr> MppContext::Gather(const DistributedTable& input) {
 
 void MppContext::RecordCompute(const std::string& label,
                                const std::vector<double>& seg_seconds) {
+  TraceSpan span(Tracer::Global(), label.c_str(), "compute",
+                 static_cast<int64_t>(seg_seconds.size()));
   MppStep step;
   step.kind = MppStep::Kind::kCompute;
   step.label = label;

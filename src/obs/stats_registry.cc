@@ -207,12 +207,13 @@ void StatsRegistry::RecordGibbsChain(int chain, int64_t sweeps,
   Trace(StrFormat("gibbs chain %d", chain), "gibbs", seconds, 3);
 }
 
-void StatsRegistry::RecordLatency(const std::string& name, double seconds) {
+void StatsRegistry::RecordLatency(const std::string& name, double seconds,
+                                  uint64_t exemplar_trace) {
   auto [it, inserted] = latency_index_.emplace(name, latencies_.size());
   if (inserted) {
     latencies_.emplace_back(name, LatencyHistogram());
   }
-  latencies_[it->second].second.Record(seconds);
+  latencies_[it->second].second.Record(seconds, exemplar_trace);
 }
 
 const LatencyHistogram* StatsRegistry::FindLatency(
@@ -306,8 +307,25 @@ std::string StatsRegistry::ToText() const {
 
   if (!latencies_.empty()) {
     out += "latency histograms:\n";
+    out += StrFormat("  %-22s %10s %10s %10s %10s %10s %10s\n", "series",
+                     "count", "mean_ms", "p50_ms", "p95_ms", "p99_ms",
+                     "max_ms");
     for (const auto& [name, hist] : latencies_) {
-      out += StrFormat("  %-22s %s\n", name.c_str(), hist.Summary().c_str());
+      const double mean_ms =
+          hist.count() > 0
+              ? hist.sum_seconds() / static_cast<double>(hist.count()) * 1e3
+              : 0.0;
+      out += StrFormat(
+          "  %-22s %10lld %10.3f %10.3f %10.3f %10.3f %10.3f", name.c_str(),
+          static_cast<long long>(hist.count()), mean_ms,
+          hist.Percentile(50) * 1e3, hist.Percentile(95) * 1e3,
+          hist.Percentile(99) * 1e3, hist.max_seconds() * 1e3);
+      if (hist.tail_exemplar() != 0) {
+        out += StrFormat("  trace=%016llx",
+                         static_cast<unsigned long long>(
+                             hist.tail_exemplar()));
+      }
+      out += '\n';
     }
   }
 
@@ -486,10 +504,11 @@ std::string StatsRegistry::ToJson() const {
     out += StrFormat(
         "    {\"name\": \"%s\", \"count\": %lld, \"sum_seconds\": %.6f,"
         " \"p50_s\": %.6f, \"p95_s\": %.6f, \"p99_s\": %.6f,"
-        " \"max_s\": %.6f}",
+        " \"max_s\": %.6f, \"tail_exemplar\": \"%016llx\"}",
         JsonEscape(name).c_str(), static_cast<long long>(hist.count()),
         hist.sum_seconds(), hist.Percentile(50), hist.Percentile(95),
-        hist.Percentile(99), hist.max_seconds());
+        hist.Percentile(99), hist.max_seconds(),
+        static_cast<unsigned long long>(hist.tail_exemplar()));
   }
   out += latencies_.empty() ? "],\n" : "\n  ],\n";
 
@@ -516,6 +535,64 @@ Status StatsRegistry::WriteJsonFile(const std::string& path) const {
   if (!out.good()) return Status::IOError("stats write to '" + path +
                                           "' failed");
   return Status::OK();
+}
+
+namespace {
+/// Prometheus metric-name charset is [a-zA-Z0-9_:]; anything else folds to
+/// an underscore so a series name like "query2/M1" still exposes cleanly.
+std::string PromName(const std::string& name) {
+  std::string out = name;
+  for (char& ch : out) {
+    const bool ok = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+                    (ch >= '0' && ch <= '9') || ch == '_';
+    if (!ok) ch = '_';
+  }
+  return out;
+}
+}  // namespace
+
+std::string StatsRegistry::ToPrometheusText() const {
+  std::string out;
+  for (const auto& [name, value] : counters_) {
+    const std::string metric = "probkb_" + PromName(name) + "_total";
+    out += "# TYPE " + metric + " counter\n";
+    out += StrFormat("%s %lld\n", metric.c_str(),
+                     static_cast<long long>(value));
+  }
+  if (!latencies_.empty()) {
+    out += "# TYPE probkb_latency_seconds summary\n";
+    for (const auto& [name, hist] : latencies_) {
+      const std::string series = PromName(name);
+      out += StrFormat(
+          "probkb_latency_seconds{series=\"%s\",quantile=\"0.5\"} %.9f\n",
+          series.c_str(), hist.Percentile(50));
+      out += StrFormat(
+          "probkb_latency_seconds{series=\"%s\",quantile=\"0.95\"} %.9f\n",
+          series.c_str(), hist.Percentile(95));
+      out += StrFormat(
+          "probkb_latency_seconds{series=\"%s\",quantile=\"0.99\"} %.9f\n",
+          series.c_str(), hist.Percentile(99));
+      out += StrFormat("probkb_latency_seconds_sum{series=\"%s\"} %.9f\n",
+                       series.c_str(), hist.sum_seconds());
+      out += StrFormat("probkb_latency_seconds_count{series=\"%s\"} %lld\n",
+                       series.c_str(),
+                       static_cast<long long>(hist.count()));
+    }
+    bool exemplar_header = false;
+    for (const auto& [name, hist] : latencies_) {
+      if (hist.tail_exemplar() == 0) continue;
+      if (!exemplar_header) {
+        out += "# TYPE probkb_latency_tail_exemplar_info gauge\n";
+        exemplar_header = true;
+      }
+      out += StrFormat(
+          "probkb_latency_tail_exemplar_info{series=\"%s\","
+          "trace_id=\"%016llx\"} 1\n",
+          PromName(name).c_str(),
+          static_cast<unsigned long long>(hist.tail_exemplar()));
+    }
+  }
+  return out;
 }
 
 Status StatsRegistry::WriteTraceIfEnabled() const {

@@ -157,8 +157,11 @@ class StatsRegistry {
   /// \brief Folds one latency sample into the named HDR histogram
   /// (created on first use). Callers: grounding iterations, motion ship
   /// times, hash-join build/probe, Gibbs sweeps. Same single-threaded
-  /// contract as every other Record* call.
-  void RecordLatency(const std::string& name, double seconds);
+  /// contract as every other Record* call. A non-zero `exemplar_trace`
+  /// attaches the sample's distributed-trace id to the histogram's tail
+  /// buckets (see LatencyHistogram::Exemplar).
+  void RecordLatency(const std::string& name, double seconds,
+                     uint64_t exemplar_trace = 0);
 
   /// \brief Named histograms in first-recorded order.
   const std::vector<std::pair<std::string, LatencyHistogram>>& latencies()
@@ -210,6 +213,14 @@ class StatsRegistry {
   std::string ToJson() const;
 
   Status WriteJsonFile(const std::string& path) const;
+
+  /// \brief Counters and latency-histogram quantiles in Prometheus text
+  /// exposition format: `probkb_<counter>_total` counters, a
+  /// `probkb_latency_seconds` summary per series (quantile 0.5/0.95/0.99
+  /// labels plus _sum/_count), and one `probkb_latency_tail_exemplar_info`
+  /// line per series with a traced tail sample. The serve metrics socket
+  /// snapshots this on every poll.
+  std::string ToPrometheusText() const;
 
   /// \brief True when PROBKB_TRACE was set at construction.
   bool trace_enabled() const { return !trace_path_.empty(); }

@@ -13,6 +13,7 @@
 #include <cstring>
 
 #include "obs/flight_recorder.h"
+#include "obs/trace.h"
 #include "runtime/wire.h"
 #include "util/logging.h"
 #include "util/strings.h"
@@ -34,6 +35,13 @@ struct JournalSlot {
   int64_t bytes = 0;
   int32_t kind = 0;  // wire::FrameType of the handled request
   int32_t pad = 0;
+  // Distributed-trace context copied from the handled frame (0 when the
+  // frame was untraced) plus the worker's own CLOCK_MONOTONIC handling
+  // interval: the supervisor harvests these into Tracer worker spans.
+  uint64_t trace_id = 0;
+  uint64_t parent_span = 0;
+  int64_t start_us = 0;
+  int64_t dur_us = 0;
 };
 
 JournalSlot* JournalSlots(void* journal) {
@@ -42,7 +50,9 @@ JournalSlot* JournalSlots(void* journal) {
 }
 
 void JournalAppend(void* journal, int capacity, wire::FrameType kind,
-                   int64_t motion, int64_t bytes) {
+                   int64_t motion, int64_t bytes, uint64_t trace_id = 0,
+                   uint64_t parent_span = 0, int64_t start_us = 0,
+                   int64_t dur_us = 0) {
   auto* header = static_cast<JournalHeader*>(journal);
   uint64_t head = header->head.load(std::memory_order_relaxed);
   JournalSlot& slot =
@@ -50,6 +60,10 @@ void JournalAppend(void* journal, int capacity, wire::FrameType kind,
   slot.motion = motion;
   slot.bytes = bytes;
   slot.kind = static_cast<int32_t>(kind);
+  slot.trace_id = trace_id;
+  slot.parent_span = parent_span;
+  slot.start_us = start_us;
+  slot.dur_us = dur_us;
   header->head.store(head + 1, std::memory_order_release);
 }
 
@@ -145,9 +159,13 @@ void ProcessRuntime::WorkerMain(int fd, void* journal, int journal_capacity) {
       _exit(2);  // channel to the supervisor broke; nothing left to do
     }
     wire::Frame& frame = *read;
+    // Worker-side handling interval, on the system-wide monotonic clock so
+    // the supervisor can stitch it under its own spans without a skew map.
+    const int64_t handled_at = Tracer::NowUs();
     switch (frame.type) {
       case wire::FrameType::kPing:
-        JournalAppend(journal, journal_capacity, frame.type, frame.motion, 0);
+        JournalAppend(journal, journal_capacity, frame.type, frame.motion, 0,
+                      frame.trace_id, frame.parent_span, handled_at, 0);
         if (!wire::WriteFrame(fd, wire::FrameType::kPong, frame.motion, {})
                  .ok()) {
           _exit(2);
@@ -155,7 +173,9 @@ void ProcessRuntime::WorkerMain(int fd, void* journal, int journal_capacity) {
         break;
       case wire::FrameType::kExchange:
         JournalAppend(journal, journal_capacity, frame.type, frame.motion,
-                      static_cast<int64_t>(frame.payload.size()));
+                      static_cast<int64_t>(frame.payload.size()),
+                      frame.trace_id, frame.parent_span, handled_at,
+                      Tracer::NowUs() - handled_at);
         // Echo the partition back: the supervisor deserializes the ack, so
         // every tuple of the motion provably crossed the process boundary
         // in both directions with its checksum intact.
@@ -211,6 +231,7 @@ Status ProcessRuntime::SpawnWorker(int segment, int64_t motion) {
   worker.journal = journal;
   worker.reaped = false;
   worker.wait_status = 0;
+  worker.spans_harvested = 0;  // fresh journal, fresh harvest cursor
   FlightRecorder::Global()->Record(FrEvent::kWorkerSpawn, "", segment,
                                    worker.generation, motion);
   return Status::OK();
@@ -241,9 +262,49 @@ Status ProcessRuntime::Spawn() {
   return Status::OK();
 }
 
+void ProcessRuntime::HarvestSpans(int segment) {
+  Worker& worker = workers_[static_cast<size_t>(segment)];
+  if (worker.journal == nullptr) return;
+  auto* header = static_cast<JournalHeader*>(worker.journal);
+  const uint64_t head = header->head.load(std::memory_order_acquire);
+  Tracer* tracer = Tracer::Global();
+  if (!tracer->enabled()) {
+    worker.spans_harvested = head;
+    return;
+  }
+  const uint64_t capacity = static_cast<uint64_t>(options_.journal_capacity);
+  uint64_t begin = worker.spans_harvested;
+  // Ring wrap-around between harvests: the overwritten slots are gone,
+  // pick the story back up at the oldest surviving entry.
+  if (head > capacity && begin < head - capacity) begin = head - capacity;
+  for (uint64_t i = begin; i < head; ++i) {
+    const JournalSlot& slot = JournalSlots(worker.journal)[i % capacity];
+    if (slot.trace_id == 0) continue;  // untraced frame (heartbeat, NACK)
+    const char* kind = "frame";
+    switch (static_cast<wire::FrameType>(slot.kind)) {
+      case wire::FrameType::kExchange:
+        kind = "exchange";
+        break;
+      case wire::FrameType::kPing:
+        kind = "ping";
+        break;
+      case wire::FrameType::kNack:
+        kind = "nack";
+        break;
+      default:
+        break;
+    }
+    tracer->RecordWorkerSpan(slot.trace_id, slot.parent_span, slot.motion,
+                             segment, kind, slot.bytes, slot.start_us,
+                             slot.dur_us);
+  }
+  worker.spans_harvested = head;
+}
+
 void ProcessRuntime::HarvestJournal(int segment) {
   Worker& worker = workers_[static_cast<size_t>(segment)];
   if (worker.journal == nullptr) return;
+  HarvestSpans(segment);
   auto* header = static_cast<JournalHeader*>(worker.journal);
   const uint64_t head = header->head.load(std::memory_order_acquire);
   int64_t last_motion = -1;
@@ -329,8 +390,12 @@ Result<TablePtr> ProcessRuntime::Exchange(int segment, int64_t motion,
     ++stats_.frames_shipped;
     const bool corrupt = corrupt_frames > 0;
     if (corrupt) --corrupt_frames;
+    // Propagate the supervisor's trace context (the enclosing ship span)
+    // so the worker's journaled span lands under it when harvested.
+    const Tracer::Context trace_ctx = Tracer::Global()->current_context();
     Status sent = wire::WriteFrame(fd, wire::FrameType::kExchange, motion,
-                                   payload, corrupt);
+                                   payload, corrupt, trace_ctx.trace_id,
+                                   trace_ctx.span_id);
     if (!sent.ok()) {
       // EPIPE: the worker died before we could ship the frame.
       last_code = sent.code();
@@ -368,6 +433,7 @@ Result<TablePtr> ProcessRuntime::Exchange(int segment, int64_t motion,
       continue;
     }
     ++stats_.exchanges;
+    HarvestSpans(segment);
     return wire::DeserializeTable(rows.schema(), reply->payload);
   }
   std::string msg = StrFormat(

@@ -129,6 +129,10 @@ class ProcessRuntime {
     int generation = 0;
     bool reaped = false;
     int wait_status = 0;
+    /// Journal entries already turned into Tracer worker spans; reset on
+    /// respawn (fresh journal). The Tracer dedupes by derived span id, so
+    /// re-handled frames after a crash still land exactly once.
+    uint64_t spans_harvested = 0;
   };
 
   size_t JournalBytes() const;
@@ -139,6 +143,11 @@ class ProcessRuntime {
   Status HandleWorkerFailure(int segment, int64_t motion,
                              const char* reason, bool force_kill);
   void HarvestJournal(int segment);
+  /// Turns journal entries past the harvest cursor into Tracer worker
+  /// spans (trace context + monotonic handling interval ride each slot).
+  /// Runs after every successful exchange and inside HarvestJournal, so
+  /// both live and post-mortem paths stitch worker evidence into the tree.
+  void HarvestSpans(int segment);
   void TearDownWorker(int segment);
   [[noreturn]] static void WorkerMain(int fd, void* journal,
                                       int journal_capacity);

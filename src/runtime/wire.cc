@@ -120,6 +120,10 @@ const char* FrameTypeName(FrameType type) {
       return "NACK";
     case FrameType::kShutdown:
       return "SHUTDOWN";
+    case FrameType::kMetricsRequest:
+      return "METRICS_REQUEST";
+    case FrameType::kMetricsReply:
+      return "METRICS_REPLY";
   }
   return "UNKNOWN";
 }
@@ -144,10 +148,13 @@ uint64_t FrameChecksum(const void* data, size_t len) {
 }
 
 Status WriteFrame(int fd, FrameType type, int64_t motion,
-                  std::string_view payload, bool corrupt) {
+                  std::string_view payload, bool corrupt, uint64_t trace_id,
+                  uint64_t parent_span) {
   FrameHeader header;
   header.type = static_cast<uint16_t>(type);
   header.motion = motion;
+  header.trace_id = trace_id;
+  header.parent_span = parent_span;
   header.payload_len = payload.size();
   header.checksum = FrameChecksum(payload.data(), payload.size());
   PROBKB_RETURN_NOT_OK(SendAll(fd, &header, sizeof(header)));
@@ -176,6 +183,8 @@ Result<Frame> ReadFrame(int fd, double deadline_seconds) {
   Frame frame;
   frame.type = static_cast<FrameType>(header.type);
   frame.motion = header.motion;
+  frame.trace_id = header.trace_id;
+  frame.parent_span = header.parent_span;
   frame.payload.resize(header.payload_len);
   PROBKB_RETURN_NOT_OK(
       RecvAll(fd, frame.payload.data(), frame.payload.size(), deadline_at));

@@ -22,6 +22,8 @@ enum class FrameType : uint16_t {
   kExchangeAck,    // the partition, echoed back          payload: table
   kNack,           // checksum mismatch on receipt        payload: empty
   kShutdown,       // orderly worker exit                 payload: empty
+  kMetricsRequest, // telemetry poll (metrics socket)     payload: empty
+  kMetricsReply,   // Prometheus text snapshot            payload: text
 };
 
 const char* FrameTypeName(FrameType type);
@@ -39,6 +41,8 @@ struct FrameHeader {
   uint16_t type = 0;
   uint16_t flags = 0;
   int64_t motion = 0;       // motion index the frame belongs to (-1: none)
+  uint64_t trace_id = 0;    // distributed-trace context (0: untraced); a
+  uint64_t parent_span = 0; // worker's journal spans parent under these
   uint64_t payload_len = 0;
   uint64_t checksum = 0;
 
@@ -49,6 +53,8 @@ struct FrameHeader {
 struct Frame {
   FrameType type = FrameType::kPing;
   int64_t motion = -1;
+  uint64_t trace_id = 0;
+  uint64_t parent_span = 0;
   std::string payload;
 };
 
@@ -61,8 +67,11 @@ uint64_t FrameChecksum(const void* data, size_t len);
 /// `corrupt` > 0 flips one payload byte *after* the checksum was computed,
 /// so the receiver is guaranteed to detect the damage — the fault
 /// injector's kCorruptFrame class uses this to strike real frames.
+/// `trace_id`/`parent_span` carry the supervisor's trace context; a worker
+/// copies them into its journaled spans (0 = untraced, e.g. heartbeats).
 Status WriteFrame(int fd, FrameType type, int64_t motion,
-                  std::string_view payload, bool corrupt = false);
+                  std::string_view payload, bool corrupt = false,
+                  uint64_t trace_id = 0, uint64_t parent_span = 0);
 
 /// \brief Reads one frame, waiting at most `deadline_seconds` (0 disables
 /// the deadline) for the first byte and between chunks. Returns

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "relational/catalog.h"
 #include "util/strings.h"
 #include "util/timer.h"
@@ -60,11 +61,13 @@ Result<PinnedSnapshot> QueryServer::PinNewest() const {
 }
 
 Result<std::shared_ptr<const QueryServer::EpochIndex>> QueryServer::IndexFor(
-    const PinnedSnapshot& pin) {
+    const PinnedSnapshot& pin, bool* cache_hit) {
   std::lock_guard<std::mutex> lock(index_mu_);
+  if (cache_hit != nullptr) *cache_hit = true;
   for (const auto& [epoch, index] : cache_) {
     if (epoch == pin.epoch) return index;
   }
+  if (cache_hit != nullptr) *cache_hit = false;
   auto index = std::make_shared<EpochIndex>();
   PROBKB_ASSIGN_OR_RETURN(ConstTablePtr t_pi, pin.catalog->Get("t_pi"));
   index->t_pi = Thaw(t_pi);
@@ -84,9 +87,17 @@ Result<std::shared_ptr<const QueryServer::EpochIndex>> QueryServer::IndexFor(
 }
 
 Result<ServeAnswer> QueryServer::Answer(const std::string& query_text) {
-  PROBKB_ASSIGN_OR_RETURN(QueryPattern pattern,
-                          ParseQueryPattern(query_text));
+  TraceSpan serve_span(Tracer::Global(), "serve", "serve");
+  QueryPattern pattern;
+  {
+    TraceSpan parse_span(Tracer::Global(), "parse", "serve",
+                         static_cast<int64_t>(query_text.size()));
+    PROBKB_ASSIGN_OR_RETURN(pattern, ParseQueryPattern(query_text));
+  }
+  TraceSpan pin_span(Tracer::Global(), "snapshot_pin", "serve");
   PROBKB_ASSIGN_OR_RETURN(PinnedSnapshot pin, PinNewest());
+  pin_span.set_values(pin.epoch, 0, 0);
+  pin_span.End();
   return AnswerAt(pattern, pin);
 }
 
@@ -96,22 +107,38 @@ Result<ServeAnswer> QueryServer::AnswerAt(const QueryPattern& pattern,
     return Status::InvalidArgument("AnswerAt needs a pinned epoch");
   }
   Timer query_timer;
-  PROBKB_ASSIGN_OR_RETURN(std::shared_ptr<const EpochIndex> index,
-                          IndexFor(pin));
+  TraceSpan query_span(Tracer::Global(), "serve_query", "serve", pin.epoch);
+  bool cache_hit = false;
+  std::shared_ptr<const EpochIndex> index;
+  {
+    TraceSpan index_span(Tracer::Global(), "epoch_index", "serve",
+                         pin.epoch);
+    PROBKB_ASSIGN_OR_RETURN(index, IndexFor(pin, &cache_hit));
+    index_span.set_values(pin.epoch, cache_hit ? 1 : 0, 0);
+  }
   const std::vector<int64_t> seeds = index->query->SeedRows(pattern);
 
   Timer ground_timer;
+  TraceSpan ground_span(Tracer::Global(), "local_ground", "serve",
+                        static_cast<int64_t>(seeds.size()));
   PROBKB_ASSIGN_OR_RETURN(
       LocalGrounding grounding,
       GroundLocalSubgraph(index->t_pi, index->m, index->row_of, seeds,
                           options_.grounding));
+  ground_span.set_values(grounding.grounded_atoms, grounding.depth_reached,
+                         grounding.truncated ? 1 : 0);
+  ground_span.End();
   const double ground_seconds = ground_timer.Seconds();
 
   Timer infer_timer;
+  TraceSpan infer_span(Tracer::Global(), "infer", "serve");
   PROBKB_ASSIGN_OR_RETURN(
       SubgraphMarginals marginals,
       ComputeSubgraphMarginals(*grounding.sub_t_pi, *grounding.t_phi,
                                options_.inference));
+  infer_span.set_values(marginals.exact ? 1 : 0,
+                        grounding.grounded_atoms, 0);
+  infer_span.End();
   const double infer_seconds = infer_timer.Seconds();
 
   ServeAnswer answer;
@@ -146,11 +173,17 @@ Result<ServeAnswer> QueryServer::AnswerAt(const QueryPattern& pattern,
     answer.entries.resize(static_cast<size_t>(options_.top_k));
   }
 
+  // End the root span before recording so the exemplar's trace is fully
+  // emitted by the time a report links to it.
+  const uint64_t trace_id = query_span.trace_id();
+  query_span.set_values(pin.epoch, grounding.grounded_atoms,
+                        static_cast<int64_t>(answer.entries.size()));
+  query_span.End();
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
-    stats_.RecordLatency("serve_query", query_timer.Seconds());
-    stats_.RecordLatency("serve_ground", ground_seconds);
-    stats_.RecordLatency("serve_infer", infer_seconds);
+    stats_.RecordLatency("serve_query", query_timer.Seconds(), trace_id);
+    stats_.RecordLatency("serve_ground", ground_seconds, trace_id);
+    stats_.RecordLatency("serve_infer", infer_seconds, trace_id);
     stats_.IncrementCounter("serve_queries");
     stats_.IncrementCounter("serve_grounded_atoms",
                             grounding.grounded_atoms);
@@ -169,6 +202,18 @@ std::string QueryServer::StatsText() const {
 int64_t QueryServer::StatsCounter(const std::string& name) const {
   std::lock_guard<std::mutex> lock(stats_mu_);
   return stats_.FindCounter(name);
+}
+
+std::string QueryServer::PrometheusText() const {
+  std::string out;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    out = stats_.ToPrometheusText();
+  }
+  out += "# TYPE probkb_serve_epoch gauge\n";
+  out += StrFormat("probkb_serve_epoch %lld\n",
+                   static_cast<long long>(current_epoch()));
+  return out;
 }
 
 }  // namespace probkb

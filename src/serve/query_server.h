@@ -100,6 +100,11 @@ class QueryServer {
   std::string StatsText() const;
   int64_t StatsCounter(const std::string& name) const;
 
+  /// \brief Prometheus-text-format snapshot of the serve metrics plus a
+  /// `probkb_serve_epoch` gauge. This is what the metrics socket ships on
+  /// every poll; same locking contract as StatsText().
+  std::string PrometheusText() const;
+
  private:
   /// Frozen per-epoch read amplifiers, built once and shared by every
   /// query at that epoch: the name->row index (KbQuery) and the fact
@@ -111,8 +116,10 @@ class QueryServer {
     std::unordered_map<FactId, int64_t> row_of;
   };
 
+  /// A non-null `cache_hit` reports whether the epoch's index was already
+  /// cached (the serve trace tags its "epoch_index" span with it).
   Result<std::shared_ptr<const EpochIndex>> IndexFor(
-      const PinnedSnapshot& pin);
+      const PinnedSnapshot& pin, bool* cache_hit = nullptr);
 
   const KnowledgeBase* kb_;
   FactId first_inferred_id_;

@@ -65,10 +65,14 @@ std::string JsonEscapeLog(const std::string& s) {
 }
 
 std::string ToJsonLine(const LogRecord& record) {
-  const double ts =
-      std::chrono::duration<double>(
-          std::chrono::system_clock::now().time_since_epoch())
-          .count();
+  // Monotonic timestamp: JSONL consumers diff and order these, and a
+  // wall-clock step mid-run would reorder (or negate) the intervals.
+  // Clamped at zero for paranoia — steady_clock's epoch is unspecified
+  // but never moves backwards within a process.
+  double ts = std::chrono::duration<double>(
+                  std::chrono::steady_clock::now().time_since_epoch())
+                  .count();
+  if (ts < 0.0) ts = 0.0;
   std::string out = "{\"ts\": ";
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.6f", ts);

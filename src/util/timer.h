@@ -2,25 +2,56 @@
 #define PROBKB_UTIL_TIMER_H_
 
 #include <chrono>
+#include <cstdint>
 
 namespace probkb {
 
-/// \brief Wall-clock stopwatch used by the benchmark harnesses.
+namespace timer_internal {
+/// Test-only clock skew, applied to this thread's Timer reads (see
+/// Timer::SetSkewForTest).
+inline thread_local int64_t skew_us_for_test = 0;
+}  // namespace timer_internal
+
+/// \brief Monotonic stopwatch used by every timing site in the engine.
+///
+/// Deliberately steady_clock, never system_clock / gettimeofday: interval
+/// measurements must not jump when NTP steps or an operator resets the
+/// wall clock. As defense in depth Seconds() clamps a negative delta to
+/// zero — a stopwatch can legitimately read "no time passed", never
+/// "negative time passed" (which would poison histogram buckets and
+/// throughput division downstream).
 class Timer {
  public:
-  Timer() : start_(Clock::now()) {}
+  Timer() : start_(Now()) {}
 
-  void Reset() { start_ = Clock::now(); }
+  void Reset() { start_ = Now(); }
 
-  /// Seconds elapsed since construction or the last Reset().
+  /// Seconds elapsed since construction or the last Reset(), clamped to
+  /// >= 0.
   double Seconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
+    const double s =
+        std::chrono::duration<double>(Now() - start_).count();
+    return s < 0.0 ? 0.0 : s;
   }
 
   double Millis() const { return Seconds() * 1e3; }
 
+  /// \brief Test hook: skews this thread's observed clock by `us`
+  /// microseconds (negative simulates a backwards step, which a correct
+  /// monotonic source can never produce). Zero restores the real clock.
+  /// Thread-local so concurrent tests cannot interfere.
+  static void SetSkewForTest(int64_t us) {
+    timer_internal::skew_us_for_test = us;
+  }
+
  private:
   using Clock = std::chrono::steady_clock;
+
+  static Clock::time_point Now() {
+    return Clock::now() +
+           std::chrono::microseconds(timer_internal::skew_us_for_test);
+  }
+
   Clock::time_point start_;
 };
 

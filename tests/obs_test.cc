@@ -340,8 +340,11 @@ TEST(StatsRegistryTest, NamedLatenciesAppearInTextAndJson) {
 
   const std::string text = registry.ToText();
   EXPECT_NE(text.find("latency histograms:"), std::string::npos);
-  EXPECT_NE(text.find("grounding_iteration"), std::string::npos);
-  EXPECT_NE(text.find("n=2"), std::string::npos);
+  EXPECT_NE(text.find("p50_ms"), std::string::npos);
+  // The grounding_iteration row reports both samples in the count column.
+  const size_t row = text.find("grounding_iteration");
+  ASSERT_NE(row, std::string::npos);
+  EXPECT_NE(text.find(" 2 ", row), std::string::npos);
 
   const std::string json = registry.ToJson();
   EXPECT_NE(json.find("\"latencies\""), std::string::npos);

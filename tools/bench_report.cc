@@ -25,6 +25,7 @@
 #include "grounding/mpp_grounder.h"
 #include "obs/flight_recorder.h"
 #include "obs/stats_registry.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -245,6 +246,43 @@ int main(int argc, char** argv) {
           ? (obs_on_seconds - obs_off_seconds) / obs_off_seconds * 100.0
           : 0.0;
 
+  // Distributed-tracing overhead on table3_grounding: a serial run with
+  // the tracer dark vs one recording the full span stream (what --trace
+  // or --metrics-socket costs the engine). The trace-off run's TPi must
+  // stay bit-identical to the baseline serial run — the dark tracer is a
+  // couple of relaxed atomic loads on the hot path and nothing else.
+  // Budget: < 5%.
+  double trace_off_seconds = 0.0;
+  double trace_on_seconds = 0.0;
+  bool trace_off_identical = false;
+  {
+    Tracer* tracer = Tracer::Global();
+    TablePtr trace_off_t_pi;
+    TablePtr ignored_t_pi;
+    tracer->set_enabled(false);
+    bool ok = RunSingleNode(skb->kb, 1, &trace_off_seconds, &trace_off_t_pi,
+                            nullptr);
+    tracer->Reset();
+    tracer->set_enabled(true);
+    ok = ok && RunSingleNode(skb->kb, 1, &trace_on_seconds, &ignored_t_pi,
+                             nullptr);
+    tracer->set_enabled(false);
+    tracer->Reset();
+    if (!ok) {
+      std::fprintf(stderr, "trace-overhead runs failed\n");
+      return 1;
+    }
+    trace_off_identical = TablesEqualExact(*trace_off_t_pi, *ignored_t_pi);
+    if (!trace_off_identical) {
+      std::fprintf(stderr,
+                   "trace-off output DIFFERS from the trace-on run\n");
+    }
+  }
+  const double trace_overhead_pct =
+      trace_off_seconds > 0
+          ? (trace_on_seconds - trace_off_seconds) / trace_off_seconds * 100.0
+          : 0.0;
+
   bool all_identical = true;
   for (const WorkloadReport& report : reports) {
     std::printf("\n%-18s serial %.3fs  peak RSS %.1f MiB\n",
@@ -263,6 +301,10 @@ int main(int argc, char** argv) {
               stats_off_seconds, stats_on_seconds, overhead_pct);
   std::printf("recorder+logging overhead: off %.3fs, on %.3fs (%+.1f%%)\n",
               obs_off_seconds, obs_on_seconds, obs_overhead_pct);
+  std::printf("tracing+metrics overhead: off %.3fs, on %.3fs (%+.1f%%)  %s\n",
+              trace_off_seconds, trace_on_seconds, trace_overhead_pct,
+              trace_off_identical ? "bit-identical" : "MISMATCH");
+  all_identical = all_identical && trace_off_identical;
 
   std::FILE* f = std::fopen(json_path.c_str(), "w");
   if (f == nullptr) {
@@ -276,10 +318,14 @@ int main(int argc, char** argv) {
                "\"on_seconds\": %g, \"overhead_pct\": %g},\n"
                "  \"obs_overhead\": {\"off_seconds\": %g, "
                "\"on_seconds\": %g, \"overhead_pct\": %g},\n"
+               "  \"trace_overhead\": {\"off_seconds\": %g, "
+               "\"on_seconds\": %g, \"overhead_pct\": %g, "
+               "\"identical\": %s},\n"
                "  \"workloads\": [\n",
                scale, HardwareThreads(), stats_off_seconds, stats_on_seconds,
                overhead_pct, obs_off_seconds, obs_on_seconds,
-               obs_overhead_pct);
+               obs_overhead_pct, trace_off_seconds, trace_on_seconds,
+               trace_overhead_pct, trace_off_identical ? "true" : "false");
   for (size_t i = 0; i < reports.size(); ++i) {
     const WorkloadReport& report = reports[i];
     std::fprintf(f,

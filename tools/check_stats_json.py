@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
-"""Validates a ProbKB execution-stats JSON document.
+"""Validates a ProbKB execution-stats JSON document or a span-tree dump.
 
 Usage: check_stats_json.py STATS_JSON [TRACE_JSON]
+       check_stats_json.py --spans SPANS_JSONL
 
 Accepts either a bare StatsRegistry document (the probkb CLI's
 ``--stats_json`` output) or the table3_grounding wrapper
@@ -18,7 +19,13 @@ Checks per registry:
   * motions ship non-negative tuple/byte counts.
 
 With a TRACE_JSON argument the Chrome-trace file must parse and carry
-non-negative complete events. Exits non-zero on the first violation.
+non-negative complete events.
+
+``--spans`` instead validates a distributed-trace JSONL dump (the probkb
+CLI's ``--trace`` output): every non-root parent id must exist within the
+span's trace, child intervals must nest inside their parents', worker
+spans must not be orphans, and no (trace_id, span_id) pair may repeat.
+Exits non-zero on the first violation.
 """
 
 import json
@@ -109,7 +116,76 @@ def check_trace(path):
     print(f"  trace {path}: {len(events)} events: OK")
 
 
+def check_spans(path):
+    """Validates a --trace JSONL span dump as one well-formed span forest."""
+    spans = []
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                span = json.loads(line)
+            except json.JSONDecodeError as e:
+                fail(f"spans '{path}' line {lineno} is not JSON: {e}")
+            for key in ("trace_id", "span_id", "parent_id", "name",
+                        "category", "segment", "start_us", "dur_us"):
+                if key not in span:
+                    fail(f"spans '{path}' line {lineno} is missing '{key}'")
+            spans.append(span)
+    if not spans:
+        fail(f"spans '{path}' is empty")
+
+    by_id = {}
+    for span in spans:
+        key = (span["trace_id"], span["span_id"])
+        if key in by_id:
+            fail(f"duplicate span id {key[1]} in trace {key[0]} "
+                 f"('{span['name']}' vs '{by_id[key]['name']}')")
+        by_id[key] = span
+        if span["start_us"] < 0 or span["dur_us"] < 0:
+            fail(f"span '{span['name']}' ({key[1]}) has a negative "
+                 f"interval: start_us={span['start_us']} "
+                 f"dur_us={span['dur_us']}")
+
+    root_id = "0" * 16
+    workers = supervisor = checked_edges = 0
+    for span in spans:
+        if span["category"] == "worker":
+            workers += 1
+        else:
+            supervisor += 1
+        if span["parent_id"] == root_id:
+            if span["category"] == "worker":
+                fail(f"worker span '{span['name']}' "
+                     f"({span['span_id']}) is an orphan: worker spans "
+                     f"must parent under a supervisor span")
+            continue
+        parent = by_id.get((span["trace_id"], span["parent_id"]))
+        if parent is None:
+            fail(f"span '{span['name']}' ({span['span_id']}) names "
+                 f"parent {span['parent_id']} which does not exist in "
+                 f"trace {span['trace_id']}")
+        lo, hi = parent["start_us"], parent["start_us"] + parent["dur_us"]
+        start, end = span["start_us"], span["start_us"] + span["dur_us"]
+        if start < lo or end > hi:
+            fail(f"span '{span['name']}' ({span['span_id']}) interval "
+                 f"[{start}, {end}] does not nest inside parent "
+                 f"'{parent['name']}' [{lo}, {hi}]")
+        checked_edges += 1
+
+    traces = len({span["trace_id"] for span in spans})
+    print(f"  spans {path}: {len(spans)} spans ({supervisor} supervisor, "
+          f"{workers} worker) across {traces} traces, "
+          f"{checked_edges} nesting edges: OK")
+
+
 def main(argv):
+    if len(argv) == 3 and argv[1] == "--spans":
+        print(f"check_stats_json: {argv[2]}")
+        check_spans(argv[2])
+        print("check_stats_json: PASS")
+        return 0
     if len(argv) < 2 or len(argv) > 3:
         print(__doc__, file=sys.stderr)
         return 2

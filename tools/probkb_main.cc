@@ -30,6 +30,7 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "engine/tunables.h"
@@ -41,9 +42,11 @@
 #include "mln/parser.h"
 #include "obs/flight_recorder.h"
 #include "obs/stats_registry.h"
+#include "obs/trace.h"
 #include "quality/rule_cleaning.h"
 #include "relational/table_io.h"
 #include "runtime/process_runtime.h"
+#include "serve/metrics_endpoint.h"
 #include "serve/query_server.h"
 #include "util/logging.h"
 #include "util/strings.h"
@@ -79,7 +82,11 @@ struct CliOptions {
   std::string log_level;
   std::string log_json;
   std::string post_mortem;
+  std::string trace_jsonl;
+  std::string trace_chrome;
   // serve
+  std::string metrics_socket;
+  double metrics_linger = 0.0;
   std::vector<std::string> queries;
   int serve_depth = 3;
   int64_t serve_max_atoms = 65536;
@@ -130,6 +137,12 @@ int Usage() {
       "  --log_json FILE   mirror log lines into FILE as JSONL\n"
       "                    (env PROBKB_LOG)\n"
       "  --post_mortem FILE  write the flight-recorder timeline as JSON\n"
+      "  --trace FILE      write distributed-trace spans as JSONL\n"
+      "  --trace_chrome FILE  write the spans as chrome://tracing JSON\n"
+      "  --metrics-socket PATH  serve: Prometheus-format telemetry over a\n"
+      "                    Unix socket (poll it with probkb_top)\n"
+      "  --metrics-linger S  serve: keep the metrics socket up S seconds\n"
+      "                    after serving finishes (default 0)\n"
       "  --query 'r(a, b)'   serve: query to answer (* wildcards, or a bare\n"
       "                    entity name; repeatable)\n"
       "  --serve-depth N   serve: backward-chaining depth bound (default 3)\n"
@@ -143,6 +156,39 @@ int Usage() {
       "                    allowed by --verify-batch (default 0.05)\n"
       "  (set PROBKB_TRACE=FILE for a chrome://tracing span dump)\n");
   return 2;
+}
+
+// Every flag (or env var) that names an output file, so duplicate paths
+// can be rejected up front. Without this, --post_mortem and PROBKB_TRACE
+// pointed at the same file would each open it independently and silently
+// interleave / clobber each other's JSON.
+bool CheckOutputPathCollisions(const CliOptions& options) {
+  std::vector<std::pair<const char*, std::string>> outputs = {
+      {"--tpi", options.tpi_out},
+      {"--tphi", options.tphi_out},
+      {"--stats_json", options.stats_json},
+      {"--log_json", options.log_json},
+      {"--post_mortem", options.post_mortem},
+      {"--trace", options.trace_jsonl},
+      {"--trace_chrome", options.trace_chrome},
+  };
+  const char* env_trace = std::getenv("PROBKB_TRACE");
+  if (env_trace != nullptr && env_trace[0] != '\0') {
+    outputs.emplace_back("PROBKB_TRACE", env_trace);
+  }
+  for (size_t i = 0; i < outputs.size(); ++i) {
+    if (outputs[i].second.empty()) continue;
+    for (size_t j = i + 1; j < outputs.size(); ++j) {
+      if (outputs[i].second != outputs[j].second) continue;
+      std::fprintf(stderr,
+                   "%s and %s both write to '%s'; their outputs would "
+                   "interleave — give each a distinct path\n",
+                   outputs[i].first, outputs[j].first,
+                   outputs[i].second.c_str());
+      return false;
+    }
+  }
+  return true;
 }
 
 /// Distinct process exit codes per budget-failure kind, so wrapper scripts
@@ -315,6 +361,22 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       const char* v = next();
       if (v == nullptr) return false;
       options->post_mortem = v;
+    } else if (flag == "--trace") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->trace_jsonl = v;
+    } else if (flag == "--trace_chrome") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->trace_chrome = v;
+    } else if (flag == "--metrics-socket") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->metrics_socket = v;
+    } else if (flag == "--metrics-linger") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->metrics_linger = std::atof(v);
     } else if (flag == "--query") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -409,6 +471,19 @@ int RunServe(const CliOptions& options, const KnowledgeBase& kb,
   if (auto epoch = server.PublishEpoch(*rkb); !epoch.ok()) {
     std::fprintf(stderr, "%s\n", epoch.status().ToString().c_str());
     return 1;
+  }
+
+  // Live telemetry: Prometheus-format stats over a Unix socket for the
+  // whole serve run (and --metrics-linger seconds past it, so external
+  // pollers like probkb_top or a CI smoke job can catch the final totals).
+  std::unique_ptr<MetricsEndpoint> metrics;
+  if (!options.metrics_socket.empty()) {
+    metrics =
+        std::make_unique<MetricsEndpoint>(&server, options.metrics_socket);
+    if (auto st = metrics->Start(); !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
   }
 
   const bool use_mpp = options.num_segments > 0;
@@ -619,6 +694,13 @@ int RunServe(const CliOptions& options, const KnowledgeBase& kb,
   }
 
   if (options.stats) std::printf("%s", server.StatsText().c_str());
+  if (metrics != nullptr && options.metrics_linger > 0.0) {
+    std::printf("metrics socket %s lingering %.1fs\n",
+                metrics->socket_path().c_str(), options.metrics_linger);
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::duration<double>(
+        options.metrics_linger));
+  }
   return writer_status.ok() ? 0 : ExitCodeFor(writer_status);
 }
 
@@ -904,8 +986,29 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (!ApplyCliTunables(options)) return 2;
+  if (!CheckOutputPathCollisions(options)) return 2;
+  if (!options.trace_jsonl.empty() || !options.trace_chrome.empty()) {
+    Tracer::Global()->set_enabled(true);
+  }
 
   const int code = Run(options);
+
+  if (!options.trace_jsonl.empty()) {
+    if (auto st = Tracer::Global()->WriteJsonl(options.trace_jsonl);
+        !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return code != 0 ? code : 1;
+    }
+    std::printf("wrote %s\n", options.trace_jsonl.c_str());
+  }
+  if (!options.trace_chrome.empty()) {
+    if (auto st = Tracer::Global()->WriteChromeTrace(options.trace_chrome);
+        !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return code != 0 ? code : 1;
+    }
+    std::printf("wrote %s\n", options.trace_chrome.c_str());
+  }
 
   // Flight-recorder post-mortem: the merged event timeline goes to stderr
   // whenever the pipeline exits non-OK (usage errors excluded — nothing
