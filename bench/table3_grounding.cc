@@ -14,8 +14,22 @@
 // tables must be bit-identical (exit 1 otherwise). CI's smoke job uses it
 // to certify that the process runtime is a transport change, not a
 // semantics change.
+//
+// Out-of-core flags:
+//   --scale-facts N    extend the generated KB to N facts (ScaleKbFacts;
+//                      power-law relation/entity usage) before grounding
+//   --mem-budget SIZE  grounding memory budget (e.g. 64M); over-budget
+//                      joins take the grace-hash spill path
+//   --spill-dir DIR    spill-file directory (default: system temp)
+//   --oocore-check     correctness mode instead of the benchmark: grounds
+//                      once in memory, then under the budget at 1/2/4/8
+//                      threads, and the TPi / TPhi tables must be
+//                      bit-identical (exit 1 otherwise; also fails if the
+//                      budgeted run never spilled)
 
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -25,6 +39,7 @@
 #include "obs/stats_registry.h"
 #include "runtime/process_runtime.h"
 #include "tuffy/tuffy_grounder.h"
+#include "util/mem_budget.h"
 #include "util/timer.h"
 
 namespace {
@@ -102,6 +117,58 @@ int RunOracle(const KnowledgeBase& kb, const GroundingOptions& options) {
   return failures == 0 ? 0 : 1;
 }
 
+/// Out-of-core bit-identity oracle: grounds the KB once fully in memory,
+/// then under `budget_bytes` at 1/2/4/8 threads; every budgeted run must
+/// reproduce the in-memory TPi and TPhi byte for byte *and* actually
+/// spill (otherwise the budget was too loose to exercise the grace path).
+int RunOutOfCoreCheck(const KnowledgeBase& kb, GroundingOptions base,
+                      int64_t budget_bytes, const std::string& spill_dir) {
+  base.spill_dir = spill_dir;
+
+  GroundingOptions in_mem = base;
+  in_mem.mem_budget_bytes = 0;
+  in_mem.num_threads = 1;
+  RelationalKB rkb_ref = BuildRelationalModel(kb);
+  Grounder reference(&rkb_ref, in_mem);
+  if (!reference.GroundAtoms().ok()) return 1;
+  auto phi_ref = reference.GroundFactors();
+  if (!phi_ref.ok()) return 1;
+  std::printf("oocore reference (in-memory): %lld atoms, %lld factors\n",
+              static_cast<long long>(rkb_ref.t_pi->NumRows()),
+              static_cast<long long>((*phi_ref)->NumRows()));
+
+  int failures = 0;
+  for (int threads : {1, 2, 4, 8}) {
+    GroundingOptions budgeted = base;
+    budgeted.mem_budget_bytes = budget_bytes;
+    budgeted.num_threads = threads;
+    StatsRegistry registry;
+    RelationalKB rkb = BuildRelationalModel(kb);
+    Grounder grounder(&rkb, budgeted);
+    grounder.set_stats_registry(&registry);
+    if (!grounder.GroundAtoms().ok()) return 1;
+    auto phi = grounder.GroundFactors();
+    if (!phi.ok()) return 1;
+    const bool tpi_ok = TablesIdentical(*rkb_ref.t_pi, *rkb.t_pi);
+    const bool phi_ok = TablesIdentical(**phi_ref, **phi);
+    const long long spilled =
+        static_cast<long long>(registry.FindCounter("spill_bytes_written"));
+    const bool spilled_ok = spilled > 0;
+    if (!tpi_ok || !phi_ok || !spilled_ok) ++failures;
+    std::printf(
+        "oocore threads=%d budget=%s: %lld spill bytes -> TPi %s, TPhi %s%s\n",
+        threads, FormatByteSize(budget_bytes).c_str(), spilled,
+        tpi_ok ? "identical" : "DIVERGED", phi_ok ? "identical" : "DIVERGED",
+        spilled_ok ? "" : " [no spill — budget too loose]");
+  }
+  if (failures == 0) {
+    std::printf(
+        "oocore: budgeted grace-hash grounding is bit-identical to the "
+        "in-memory path\n");
+  }
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -126,10 +193,43 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Out-of-core knobs (see header comment).
+  const std::string scale_facts_arg = bench::ArgValue(argc, argv, "--scale-facts");
+  if (!scale_facts_arg.empty()) {
+    const int64_t target = std::atoll(scale_facts_arg.c_str());
+    if (auto st = ScaleKbFacts(&skb->kb, target, /*seed=*/config.seed + 1);
+        !st.ok()) {
+      std::fprintf(stderr, "--scale-facts: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("scaled KB to %zu facts (--scale-facts %lld)\n",
+                skb->kb.facts().size(), static_cast<long long>(target));
+  }
+  int64_t mem_budget = -1;  // inherit Tunables / PROBKB_MEM_BUDGET
+  const std::string mem_budget_arg = bench::ArgValue(argc, argv, "--mem-budget");
+  if (!mem_budget_arg.empty()) {
+    auto bytes = ParseByteSize(mem_budget_arg);
+    if (!bytes.ok() || *bytes < 0) {
+      std::fprintf(stderr, "--mem-budget wants a size like 64M or 2G\n");
+      return 1;
+    }
+    mem_budget = *bytes;
+  }
+  const std::string spill_dir = bench::ArgValue(argc, argv, "--spill-dir");
+
   if (bench::HasFlag(argc, argv, "--oracle")) {
     GroundingOptions oracle_options;
     oracle_options.max_iterations = kIterations;
     return RunOracle(skb->kb, oracle_options);
+  }
+
+  if (bench::HasFlag(argc, argv, "--oocore-check")) {
+    GroundingOptions check_options;
+    check_options.max_iterations = kIterations;
+    // A budget must be explicit here: the check's whole point is to force
+    // the spill path, so default to a deliberately tight 32M.
+    const int64_t budget = mem_budget > 0 ? mem_budget : 32LL << 20;
+    return RunOutOfCoreCheck(skb->kb, check_options, budget, spill_dir);
   }
 
   // "We run Query 3 once before inference starts and do not perform any
@@ -152,6 +252,8 @@ int main(int argc, char** argv) {
 
   GroundingOptions options;
   options.max_iterations = kIterations;
+  options.mem_budget_bytes = mem_budget;
+  options.spill_dir = spill_dir;
   std::vector<SystemRun> runs;
 
   // Execution-stats registries for the two ProbKB systems, attached only

@@ -575,4 +575,72 @@ Status AddRandomFacts(KnowledgeBase* kb, int64_t target_facts,
   return Status::OK();
 }
 
+namespace {
+
+// Packed dedup key for ScaleKbFacts: relation:20 | x:22 | y:22.
+constexpr int64_t kScaleMaxRelationId = int64_t{1} << 20;
+constexpr int64_t kScaleMaxEntityId = int64_t{1} << 22;
+
+uint64_t PackFactKey(RelationId r, EntityId x, EntityId y) {
+  return (static_cast<uint64_t>(r) << 44) | (static_cast<uint64_t>(x) << 22) |
+         static_cast<uint64_t>(y);
+}
+
+}  // namespace
+
+Status ScaleKbFacts(KnowledgeBase* kb, int64_t target_facts, uint64_t seed) {
+  if (kb->signatures().empty()) {
+    return Status::InvalidArgument("ScaleKbFacts requires relation signatures");
+  }
+  SignatureIndex sigs;
+  EntityIndex entities;
+  BuildIndexes(*kb, &sigs, &entities);
+  for (const RelationId r : sigs.all) {
+    if (r < 0 || r >= kScaleMaxRelationId) {
+      return Status::InvalidArgument(
+          StrFormat("ScaleKbFacts: relation id %lld exceeds the 20-bit "
+                    "packed-key space",
+                    static_cast<long long>(r)));
+    }
+  }
+  if (static_cast<int64_t>(entities.entity_class.size()) > kScaleMaxEntityId) {
+    return Status::InvalidArgument(
+        StrFormat("ScaleKbFacts: entity id space %zu exceeds the 22-bit "
+                  "packed-key space",
+                  entities.entity_class.size()));
+  }
+
+  Rng rng(seed);
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(static_cast<size_t>(std::max<int64_t>(target_facts, 1)));
+  for (const Fact& f : kb->facts()) {
+    seen.insert(PackFactKey(f.relation, f.x, f.y));
+  }
+
+  int64_t attempts =
+      (target_facts - static_cast<int64_t>(kb->facts().size())) * 50 + 1000;
+  while (static_cast<int64_t>(kb->facts().size()) < target_facts &&
+         attempts-- > 0) {
+    RelationId r = sigs.all[rng.Zipf(sigs.all.size(), 0.6)];
+    const RelationSignature& sig = sigs.Of(r);
+    auto itx = entities.by_class.find(sig.domain);
+    auto ity = entities.by_class.find(sig.range);
+    if (itx == entities.by_class.end() || ity == entities.by_class.end()) {
+      continue;
+    }
+    EntityId x = itx->second[rng.Zipf(itx->second.size(), 0.5)];
+    EntityId y = ity->second[rng.Zipf(ity->second.size(), 0.5)];
+    if (!seen.insert(PackFactKey(r, x, y)).second) continue;
+    kb->AddFact({r, x, entities.ClassOf(x), y, entities.ClassOf(y),
+                 rng.UniformDouble(0.5, 1.0)});
+  }
+  if (static_cast<int64_t>(kb->facts().size()) < target_facts) {
+    return Status::Internal(
+        StrFormat("ScaleKbFacts could only generate %zu of %lld facts "
+                  "(entity x relation space too small for the target)",
+                  kb->facts().size(), static_cast<long long>(target_facts)));
+  }
+  return Status::OK();
+}
+
 }  // namespace probkb

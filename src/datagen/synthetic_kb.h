@@ -83,6 +83,18 @@ Status AddRandomRules(KnowledgeBase* kb, int64_t target_rules, uint64_t seed);
 /// edges") until the KB has `target_facts` facts.
 Status AddRandomFacts(KnowledgeBase* kb, int64_t target_facts, uint64_t seed);
 
+/// \brief Out-of-core workload scaler: like AddRandomFacts but built for
+/// 10-100M-fact targets (100x the Table 2 fact count). Same power-law shape
+/// — Zipf relation picks (alpha 0.6) over signature-consistent Zipf entity
+/// picks (alpha 0.5) — but the duplicate filter is a flat hash set of
+/// packed 64-bit keys (relation:20 | x:22 | y:22 bits) instead of a
+/// node-based set of tuples, so dedup state stays ~8 bytes/fact and the
+/// generator itself fits in memory at targets that force the *consumer* to
+/// spill. Requires relation ids < 2^20 and entity ids < 2^22 (the full
+/// ReVerb-Sherlock id space fits with ~12x headroom); InvalidArgument
+/// otherwise.
+Status ScaleKbFacts(KnowledgeBase* kb, int64_t target_facts, uint64_t seed);
+
 }  // namespace probkb
 
 #endif  // PROBKB_DATAGEN_SYNTHETIC_KB_H_

@@ -7,6 +7,7 @@
 
 #include "fault/fault_injector.h"
 #include "obs/stats_registry.h"
+#include "relational/spill.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -32,6 +33,10 @@ struct NodeStats {
   double probe_seconds = 0.0;  // hash-join: probing it
   int64_t rehashes = 0;        // mid-build index growths (0 when pre-sized)
   int build_partitions = 0;    // hash-join: build-side partition fan-out
+  int spill_partitions = 0;        // grace-hash: partitions that hit disk
+  int64_t spill_bytes_written = 0;  // grace-hash: bytes spilled out
+  int64_t spill_bytes_read = 0;     // grace-hash: bytes paged back in
+  int64_t page_faults_served = 0;   // grace-hash: partition page-ins
   int num_children = 0;
 };
 
@@ -102,6 +107,14 @@ class ExecContext {
   void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
   ThreadPool* thread_pool() const { return pool_; }
 
+  /// \brief Attaches the out-of-core spill context (not owned; may be
+  /// nullptr = unlimited memory, pure in-memory execution). When set and
+  /// its MemoryBudget reports pressure, the hash join switches to the
+  /// grace-hash path (ops.h GraceHashJoin) — a pure physical rewrite whose
+  /// output is bit-identical to the in-memory path.
+  void set_spill(SpillContext* spill) { spill_ = spill; }
+  SpillContext* spill() const { return spill_; }
+
   /// \brief Mirrors every Record into `sink` under `scope` (not owned; may
   /// be nullptr to detach). Purely observational: recording happens after
   /// the budget/fault gates and copies values out, so an attached sink
@@ -131,6 +144,7 @@ class ExecContext {
   std::string stats_scope_;
   FaultInjector* injector_ = nullptr;
   ThreadPool* pool_ = nullptr;
+  SpillContext* spill_ = nullptr;
   int64_t produced_rows_ = 0;
   int64_t local_op_counter_ = 0;
   int64_t* op_counter_ = &local_op_counter_;

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "engine/flat_hash.h"
+#include "engine/ops.h"
 #include "engine/tunables.h"
 #include "util/timer.h"
 
@@ -131,6 +132,52 @@ Result<TablePtr> HashJoinNode::Execute(ExecContext* ctx) {
   } else {
     out_schema = left->schema();
   }
+  // Out-of-core path: when a memory budget is armed and its headroom
+  // cannot hold this join's working set (both inputs plus the build
+  // index), rewrite to the grace-hash join: partition both sides to disk,
+  // join partition pairs one at a time. Purely physical — the output is
+  // bit-identical to the in-memory path below at every thread count
+  // (see GraceHashJoin in ops.h and DESIGN.md "Out-of-core").
+  SpillContext* spill = ctx->spill();
+  MemoryBudget* mem = spill != nullptr ? spill->budget() : nullptr;
+  if (mem != nullptr && mem->enabled()) {
+    // FlatRowIndex cost ~ 16 bytes/entry + slots at 10/7 load x 24 bytes.
+    const int64_t working_bytes =
+        left->ByteSize() + right->ByteSize() + right->NumRows() * 52;
+    if (working_bytes > mem->AvailableBytes()) {
+      // Fan out until one partition pair fits in ~1/8 of the headroom,
+      // capped at 256 (the router's bit budget); skew and misestimates
+      // are handled by recursion inside GraceHashJoin.
+      const int64_t avail =
+          std::max<int64_t>(mem->AvailableBytes(), int64_t{1} << 20);
+      int parts = 2;
+      while (parts < 256 && working_bytes * 8 > avail * parts) parts <<= 1;
+      GraceJoinSpec gspec;
+      gspec.left_keys = left_keys_;
+      gspec.right_keys = right_keys_;
+      gspec.type = type_;
+      gspec.output_cols = output_cols_;
+      gspec.residual = residual_;
+      gspec.out_schema = out_schema;
+      gspec.num_parts = parts;
+      gspec.label = "grace";
+      GraceJoinStats gstats;
+      PROBKB_ASSIGN_OR_RETURN(TablePtr gout,
+                              GraceHashJoin(spill, *left, *right, gspec,
+                                            &gstats));
+      NodeStats ns = MakeStats(Label(), left->NumRows() + right->NumRows(),
+                               gout->NumRows(), timer.Seconds(), 2);
+      ns.build_partitions = gstats.partitions;
+      ns.spill_partitions = gstats.spill_partitions;
+      ns.spill_bytes_written = gstats.spill_bytes_written;
+      ns.spill_bytes_read = gstats.spill_bytes_read;
+      ns.page_faults_served = gstats.page_faults_served;
+      PROBKB_RETURN_NOT_OK(ctx->Record(std::move(ns)));
+      set_obs_rows(gout->NumRows());
+      return gout;
+    }
+  }
+
   auto out = Table::Make(out_schema);
 
   ThreadPool* pool = ctx->thread_pool();

@@ -182,6 +182,13 @@ class FlatRowIndex {
 /// count, which is what lets the threaded build coexist with the engine's
 /// bit-identical-to-serial guarantee. One partition is the exact serial
 /// path.
+///
+/// The out-of-core grace-hash join (relational/spill.h
+/// PartitionedSpillIndex, ops.h GraceHashJoin) routes its disk partitions
+/// with this same top-bit scheme — its bit_offset=0 level is bit-for-bit
+/// this router — so the chain argument above carries over unchanged to
+/// spilled execution, and recursion levels consume successive bit groups
+/// downward from the top.
 class PartitionedRowIndex {
  public:
   explicit PartitionedRowIndex(int num_parts) {

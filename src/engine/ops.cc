@@ -1,8 +1,10 @@
 #include "engine/ops.h"
 #include "engine/tunables.h"
+#include "obs/trace.h"
 
 #include <algorithm>
 #include <functional>
+#include <limits>
 
 namespace probkb {
 
@@ -125,6 +127,313 @@ bool TablesEqualExact(const Table& a, const Table& b) {
     if (!a.row(i).Equals(b.row(i))) return false;
   }
   return true;
+}
+
+// Grace-hash join ------------------------------------------------------------
+
+namespace {
+
+/// Recursion bound. Each level consumes up to 8 routing bits, so four
+/// levels cover 32 of the hash's 63 routable bits; a pair still over
+/// budget at the bound joins in memory — correct output, merely past the
+/// advisory budget.
+constexpr int kMaxGraceDepth = 4;
+
+/// Appends `schema` plus the hidden trailing row-id column.
+Schema WithOrigColumn(const Schema& schema) {
+  std::vector<Field> fields = schema.fields();
+  fields.push_back(Field{"__orig", ColumnType::kInt64});
+  return Schema(std::move(fields));
+}
+
+/// Joins one partition pair in memory with the batched probe pipeline
+/// (HashJoinNode's serial probe loop, verbatim semantics). `left_part`
+/// carries the hidden orig column (width = left_base_width + 1); every
+/// output row lands in `dst` with its orig value in the trailing column.
+void ProbePartitionPair(const Table& left_part, int left_base_width,
+                        const Table& right_part, const GraceJoinSpec& spec,
+                        Table* dst) {
+  const int64_t build_rows = right_part.NumRows();
+  std::vector<size_t> right_hashes(static_cast<size_t>(build_rows));
+  if (build_rows > 0) {
+    right_part.HashRows(spec.right_keys, 0, build_rows, right_hashes.data());
+  }
+  // Partition-local serial build: rows insert in partition order, which is
+  // the global build order restricted to this partition. Chains are keyed
+  // on the full hash, and routing sent every row of a given hash here, so
+  // each chain equals the monolithic index's chain for that hash.
+  FlatRowIndex index(build_rows);
+  for (int64_t i = 0; i < build_rows; ++i) {
+    index.Insert(right_hashes[static_cast<size_t>(i)], i);
+  }
+
+  const bool inner = spec.type == JoinType::kInner;
+  const int orig_col = left_base_width;
+  std::vector<Value> out_buf(inner ? spec.output_cols.size() + 1 : 0);
+  std::vector<Value> concat_buf;
+  size_t hashes[kProbeBatchRows];
+  const int64_t probe_rows = left_part.NumRows();
+  for (int64_t base = 0; base < probe_rows; base += kProbeBatchRows) {
+    const int64_t batch = std::min(kProbeBatchRows, probe_rows - base);
+    left_part.HashRows(spec.left_keys, base, base + batch, hashes);
+    for (int64_t k = 0; k < batch; ++k) index.PrefetchHash(hashes[k]);
+    for (int64_t k = 0; k < batch; ++k) {
+      const size_t h = hashes[k];
+      RowView lrow = left_part.row(base + k);
+      bool matched = false;
+      for (int64_t e = index.Head(h); e >= 0; e = index.Next(e)) {
+        RowView rrow = right_part.row(index.Row(e));
+        if (!RowKeyEquals(lrow, rrow, spec.left_keys, spec.right_keys)) {
+          continue;
+        }
+        if (spec.residual != nullptr) {
+          // The residual sees the concatenated logical rows — the hidden
+          // orig column must not leak into its column numbering.
+          concat_buf.clear();
+          for (int c = 0; c < left_base_width; ++c) {
+            concat_buf.push_back(lrow[c]);
+          }
+          for (int c = 0; c < rrow.width(); ++c) {
+            concat_buf.push_back(rrow[c]);
+          }
+          if (!spec.residual(RowView(concat_buf.data(),
+                                     static_cast<int>(concat_buf.size())))) {
+            continue;
+          }
+        }
+        matched = true;
+        if (inner) {
+          for (size_t c = 0; c < spec.output_cols.size(); ++c) {
+            const auto& oc = spec.output_cols[c];
+            out_buf[c] = oc.side == JoinOutputCol::Side::kLeft
+                             ? lrow[oc.column]
+                             : rrow[oc.column];
+          }
+          out_buf.back() = lrow[orig_col];
+          dst->AppendRow(out_buf);
+        } else {
+          break;  // semi/anti only need existence
+        }
+      }
+      // Semi/anti emit the left row as-is: dst shares left_part's schema,
+      // so the orig column rides along automatically.
+      if (spec.type == JoinType::kLeftSemi && matched) dst->AppendRow(lrow);
+      if (spec.type == JoinType::kLeftAnti && !matched) dst->AppendRow(lrow);
+    }
+  }
+}
+
+/// Streams `src` rows [all] into `dst` partitions, hashing on `keys` in
+/// Tunables-sized chunks.
+Status PartitionInto(const Table& src, const std::vector<int>& keys,
+                     int64_t chunk_rows, SpillableTable* dst) {
+  std::vector<size_t> hashes;
+  const int64_t n = src.NumRows();
+  for (int64_t begin = 0; begin < n; begin += chunk_rows) {
+    const int64_t end = std::min(begin + chunk_rows, n);
+    hashes.resize(static_cast<size_t>(end - begin));
+    src.HashRows(keys, begin, end, hashes.data());
+    PROBKB_RETURN_NOT_OK(dst->AppendPartitioned(src, hashes, begin, end));
+  }
+  return dst->Finish();
+}
+
+/// Joins `left_part` x `right_part`, recursing one more partitioning
+/// level (next bit group down) when the pair's working set still exceeds
+/// the budget. Both inputs are pinned/resident tables; `left_part`
+/// carries the orig column.
+///
+/// Every in-memory probe appends a fresh table to `leaves` instead of
+/// writing into one per-top-partition output: a leaf is ascending in orig
+/// (the probe walks its partition in scatter order), but the
+/// *concatenation* of sibling leaves is not — children split on a deeper
+/// bit group, so their orig ranges interleave. The top-level merge
+/// therefore runs over all leaves, never over concatenations.
+Status GraceJoinPair(SpillContext* spill, const Table& left_part,
+                     const Table& right_part, const GraceJoinSpec& spec,
+                     const Schema& run_schema, int left_base_width,
+                     int bit_offset, int depth,
+                     std::vector<TablePtr>* leaves) {
+  const Tunables tun = GetTunables();
+  MemoryBudget* budget = spill->budget();
+  // FlatRowIndex cost ~ 16 bytes/entry + slots at 10/7 load x 24 bytes.
+  const int64_t index_bytes = right_part.NumRows() * 52;
+  const int64_t working_bytes =
+      left_part.ByteSize() + right_part.ByteSize() + index_bytes;
+  const bool over_budget =
+      budget != nullptr && budget->enabled() &&
+      working_bytes > budget->AvailableBytes();
+  if (!over_budget || depth >= kMaxGraceDepth ||
+      right_part.NumRows() < tun.grace_split_min_rows ||
+      bit_offset + 1 > 55) {
+    auto leaf = Table::Make(run_schema);
+    ProbePartitionPair(left_part, left_base_width, right_part, spec,
+                       leaf.get());
+    if (leaf->NumRows() > 0) leaves->push_back(std::move(leaf));
+    return Status::OK();
+  }
+
+  // Recurse: split this pair on the next bit group. Children route on
+  // bits the parent never consulted, so the chain argument applies
+  // hierarchically, and a left row's matches all carry its full hash —
+  // an orig group can never split across leaves.
+  int parts = 2;
+  while (parts < 256 && bit_offset + 8 <= 55 &&
+         working_bytes > budget->AvailableBytes() * (parts / 2)) {
+    parts <<= 1;
+  }
+  const std::string stem =
+      spec.label + ".d" + std::to_string(depth + 1);
+  // with_row_ids=false: left_part already carries orig as a payload
+  // column; re-tagging would overwrite global ids with local ones.
+  SpillableTable lparts(spill, left_part.schema(), parts, bit_offset,
+                        stem + ".L", /*with_row_ids=*/false);
+  SpillableTable rparts(spill, right_part.schema(), parts, bit_offset,
+                        stem + ".R", /*with_row_ids=*/false);
+  PROBKB_RETURN_NOT_OK(
+      PartitionInto(left_part, spec.left_keys, tun.hash_chunk_rows, &lparts));
+  PROBKB_RETURN_NOT_OK(PartitionInto(right_part, spec.right_keys,
+                                     tun.hash_chunk_rows, &rparts));
+  const int next_offset = bit_offset + lparts.router().bits();
+  for (int p = 0; p < parts; ++p) {
+    if (lparts.PartitionRows(p) == 0) continue;
+    PROBKB_ASSIGN_OR_RETURN(TablePtr lp, lparts.PinPartition(p));
+    PROBKB_ASSIGN_OR_RETURN(TablePtr rp, rparts.PinPartition(p));
+    Status st = GraceJoinPair(spill, *lp, *rp, spec, run_schema,
+                              left_base_width, next_offset, depth + 1, leaves);
+    lparts.UnpinPartition(p);
+    rparts.UnpinPartition(p);
+    PROBKB_RETURN_NOT_OK(st);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<TablePtr> GraceHashJoin(SpillContext* spill, const Table& left,
+                               const Table& right, const GraceJoinSpec& spec,
+                               GraceJoinStats* stats) {
+  PROBKB_RETURN_NOT_OK(spill->Prepare());
+  const Tunables tun = GetTunables();
+  TraceSpan span(Tracer::Global(), "grace_hash_join", "spill",
+                 left.NumRows(), right.NumRows());
+
+  const SpillStats& sstats = spill->stats();
+  const int64_t written0 = sstats.bytes_written.load(std::memory_order_relaxed);
+  const int64_t read0 = sstats.bytes_read.load(std::memory_order_relaxed);
+  const int64_t faults0 =
+      sstats.page_faults_served.load(std::memory_order_relaxed);
+  const int64_t spilled0 =
+      sstats.partitions_spilled.load(std::memory_order_relaxed);
+
+  int parts = spec.num_parts;
+  PROBKB_CHECK(parts >= 2 && (parts & (parts - 1)) == 0 && parts <= 256);
+
+  const bool inner = spec.type == JoinType::kInner;
+  const int left_base_width = left.width();
+  const Schema run_schema =
+      WithOrigColumn(inner ? spec.out_schema : left.schema());
+
+  // Level 0: partition both sides on the top hash bits; the probe side is
+  // tagged with global row ids for the final merge.
+  SpillableTable lparts(spill, left.schema(), parts, /*bit_offset=*/0,
+                        spec.label + ".L", /*with_row_ids=*/true);
+  SpillableTable rparts(spill, right.schema(), parts, /*bit_offset=*/0,
+                        spec.label + ".R", /*with_row_ids=*/false);
+  PROBKB_RETURN_NOT_OK(
+      PartitionInto(left, spec.left_keys, tun.hash_chunk_rows, &lparts));
+  PROBKB_RETURN_NOT_OK(
+      PartitionInto(right, spec.right_keys, tun.hash_chunk_rows, &rparts));
+
+  // Pair joins run one partition at a time (sequential page-in, bounded
+  // working set). Every leaf probe emits its own run, ascending in orig:
+  // the partitioner scanned the probe side in row order, and the pair
+  // probe walks its partition in that order.
+  const int next_offset = lparts.router().bits();
+  std::vector<TablePtr> runs;
+  for (int p = 0; p < parts; ++p) {
+    if (lparts.PartitionRows(p) == 0) continue;
+    PROBKB_ASSIGN_OR_RETURN(TablePtr lp, lparts.PinPartition(p));
+    PROBKB_ASSIGN_OR_RETURN(TablePtr rp, rparts.PinPartition(p));
+    Status st =
+        GraceJoinPair(spill, *lp, *rp, spec, run_schema, left_base_width,
+                      next_offset, /*depth=*/1, &runs);
+    lparts.UnpinPartition(p);
+    rparts.UnpinPartition(p);
+    PROBKB_RETURN_NOT_OK(st);
+  }
+
+  // K-way range merge on orig over all leaf runs: repeatedly take from
+  // the run whose head orig is smallest, copying the maximal prefix that
+  // stays below every other run's head. Orig values are unique to one run
+  // (a left row's matches share its full hash, so every routing level
+  // sends them to the same partition — and thus one leaf), so strict
+  // comparison suffices; the ranged AppendProjectedRows strips the orig
+  // column as it copies. The result is the exact serial probe order.
+  const Schema& out_schema = inner ? spec.out_schema : left.schema();
+  auto out = Table::Make(out_schema);
+  out->ReserveRows([&] {
+    int64_t total = 0;
+    for (const TablePtr& r : runs) total += r->NumRows();
+    return total;
+  }());
+  std::vector<int> strip_cols(static_cast<size_t>(out_schema.num_fields()));
+  for (size_t c = 0; c < strip_cols.size(); ++c) {
+    strip_cols[c] = static_cast<int>(c);
+  }
+  const int orig_col = out_schema.num_fields();
+  struct Run {
+    size_t owner;  // index into `runs`, so a drained run can be freed
+    const int64_t* orig;
+    int64_t pos;
+    int64_t n;
+  };
+  std::vector<Run> heads;
+  for (size_t i = 0; i < runs.size(); ++i) {
+    if (runs[i]->NumRows() > 0) {
+      heads.push_back(
+          Run{i, runs[i]->Int64Data(orig_col), 0, runs[i]->NumRows()});
+    }
+  }
+  while (!heads.empty()) {
+    size_t best = 0;
+    for (size_t i = 1; i < heads.size(); ++i) {
+      if (heads[i].orig[heads[i].pos] < heads[best].orig[heads[best].pos]) {
+        best = i;
+      }
+    }
+    int64_t limit = std::numeric_limits<int64_t>::max();
+    for (size_t i = 0; i < heads.size(); ++i) {
+      if (i != best) limit = std::min(limit, heads[i].orig[heads[i].pos]);
+    }
+    Run& run = heads[best];
+    int64_t end = run.pos;
+    while (end < run.n && run.orig[end] < limit) ++end;
+    out->AppendProjectedRows(*runs[run.owner], strip_cols, run.pos, end);
+    run.pos = end;
+    if (run.pos == run.n) {
+      // Release the drained leaf immediately: the merge transiently holds
+      // the run tables alongside the growing output, so freeing runs as
+      // they empty caps that duplication at roughly one output copy.
+      runs[run.owner].reset();
+      heads.erase(heads.begin() + static_cast<ptrdiff_t>(best));
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->partitions = parts;
+    stats->spill_partitions = static_cast<int>(
+        sstats.partitions_spilled.load(std::memory_order_relaxed) - spilled0);
+    stats->spill_bytes_written =
+        sstats.bytes_written.load(std::memory_order_relaxed) - written0;
+    stats->spill_bytes_read =
+        sstats.bytes_read.load(std::memory_order_relaxed) - read0;
+    stats->page_faults_served =
+        sstats.page_faults_served.load(std::memory_order_relaxed) - faults0;
+    span.set_values(out->NumRows(), stats->spill_bytes_written,
+                    stats->spill_bytes_read);
+  }
+  return out;
 }
 
 }  // namespace probkb

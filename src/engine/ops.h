@@ -1,9 +1,12 @@
 #ifndef PROBKB_ENGINE_OPS_H_
 #define PROBKB_ENGINE_OPS_H_
 
+#include <string>
 #include <vector>
 
 #include "engine/flat_hash.h"
+#include "engine/plan.h"
+#include "relational/spill.h"
 #include "relational/table.h"
 
 namespace probkb {
@@ -92,6 +95,42 @@ bool TablesEqualAsBags(const Table& a, const Table& b);
 /// must reproduce the serial engine's output bit-identically, not just as
 /// a bag.
 bool TablesEqualExact(const Table& a, const Table& b);
+
+/// \brief Inputs of one grace-hash join (the out-of-core rewrite of
+/// HashJoinNode::Execute). Field meanings mirror HashJoinNode exactly;
+/// `out_schema` is the final join output schema (no row-id column).
+struct GraceJoinSpec {
+  std::vector<int> left_keys;
+  std::vector<int> right_keys;
+  JoinType type = JoinType::kInner;
+  std::vector<JoinOutputCol> output_cols;  // kInner only
+  RowPredicate residual;                   // may be null
+  Schema out_schema;
+  int num_parts = 8;      // level-0 partition fan-out (power of two)
+  std::string label;      // spill-file name stem
+};
+
+/// \brief Per-join spill activity, surfaced into NodeStats.
+struct GraceJoinStats {
+  int partitions = 0;          // level-0 fan-out actually used
+  int spill_partitions = 0;    // partitions that hit disk (all levels)
+  int64_t spill_bytes_written = 0;
+  int64_t spill_bytes_read = 0;
+  int64_t page_faults_served = 0;
+};
+
+/// \brief Grace-hash equi-join under a memory budget: partitions both
+/// sides by the top bits of the row-key hash (the PartitionedRowIndex
+/// routing), spills over-budget partitions to `spill`'s directory, then
+/// joins partition pairs one at a time with the batched probe pipeline,
+/// recursing on the next bit group when a pair still exceeds the budget.
+/// Probe-side partitions carry the original row index in a hidden
+/// trailing column, and partition outputs are range-merged back on it —
+/// so the result is bit-identical to HashJoinNode's in-memory path at
+/// every thread and partition count (see DESIGN.md "Out-of-core").
+Result<TablePtr> GraceHashJoin(SpillContext* spill, const Table& left,
+                               const Table& right, const GraceJoinSpec& spec,
+                               GraceJoinStats* stats);
 
 }  // namespace probkb
 

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "util/logging.h"
+#include "util/mem_budget.h"
 #include "util/strings.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -33,6 +34,22 @@ void EnvInt64(const char* name, int64_t min_value, int64_t* dst) {
     return;
   }
   *dst = v;
+}
+
+/// Like EnvInt64 but the value is a byte size with an optional K/M/G
+/// suffix ("512M"), parsed by ParseByteSize.
+void EnvByteSize(const char* name, int64_t min_value, int64_t* dst) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return;
+  auto v = ParseByteSize(env);
+  if (!v.ok() || *v < min_value) {
+    PROBKB_SLOG(Engine, Warning)
+        << "ignoring " << name << "='" << env
+        << "' (expected a byte size >= " << min_value
+        << ", e.g. 268435456 or 256M); keeping " << *dst;
+    return;
+  }
+  *dst = *v;
 }
 
 /// The calibration workload: the same shape as the hot batched-hash loops
@@ -60,12 +77,16 @@ int HardwareSignature() {
 std::string Tunables::ToString() const {
   return StrFormat(
       "parallel_min_rows=%lld hash_chunk_rows=%lld morsel_rows=%lld "
-      "serial_fanout_row_cutoff=%lld max_build_partitions=%d",
+      "serial_fanout_row_cutoff=%lld max_build_partitions=%d "
+      "mem_budget_bytes=%lld spill_page_bytes=%lld "
+      "grace_split_min_rows=%lld",
       static_cast<long long>(parallel_min_rows),
       static_cast<long long>(hash_chunk_rows),
       static_cast<long long>(morsel_rows),
       static_cast<long long>(serial_fanout_row_cutoff),
-      max_build_partitions);
+      max_build_partitions, static_cast<long long>(mem_budget_bytes),
+      static_cast<long long>(spill_page_bytes),
+      static_cast<long long>(grace_split_min_rows));
 }
 
 Tunables GetTunables() {
@@ -91,6 +112,9 @@ Tunables ApplyTunablesEnv(Tunables base) {
   int pow2 = 1;
   while (pow2 * 2 <= parts && pow2 < 256) pow2 *= 2;
   base.max_build_partitions = pow2;
+  EnvByteSize("PROBKB_MEM_BUDGET", 0, &base.mem_budget_bytes);
+  EnvByteSize("PROBKB_SPILL_PAGE_BYTES", 4096, &base.spill_page_bytes);
+  EnvInt64("PROBKB_GRACE_SPLIT_MIN_ROWS", 1, &base.grace_split_min_rows);
   return base;
 }
 

@@ -56,6 +56,21 @@ struct Tunables {
   int64_t serial_fanout_row_cutoff = 8192;
   /// Cap on hash-partitioned build parts in HashJoin (power of two).
   int max_build_partitions = 16;
+  /// Transient-memory budget for out-of-core execution, in bytes; 0
+  /// disables spilling (pure in-memory). Covers the working set the
+  /// operators allocate (pinned spill partitions, partition write
+  /// buffers), not resident base tables. Unlike the knobs above this one
+  /// changes *where* bytes live, never what any operator outputs: the
+  /// grace-hash path it enables is bit-identical to in-memory execution.
+  int64_t mem_budget_bytes = 0;
+  /// Spill partition page size: a partition's write buffer flushes to its
+  /// page file when it grows past this many bytes.
+  int64_t spill_page_bytes = 1 << 20;
+  /// Build-side row floor below which a grace partition pair joins in
+  /// memory instead of recursing another partitioning level: tiny pairs
+  /// cannot meaningfully split (and repartitioning them costs more than
+  /// the index they avoid).
+  int64_t grace_split_min_rows = 4096;
 
   bool operator==(const Tunables&) const = default;
 
@@ -70,8 +85,11 @@ void SetTunables(const Tunables& t);
 
 /// \brief Applies PROBKB_PARALLEL_MIN_ROWS / PROBKB_HASH_CHUNK_ROWS /
 /// PROBKB_MORSEL_ROWS / PROBKB_SERIAL_FANOUT_CUTOFF /
-/// PROBKB_MAX_BUILD_PARTITIONS on top of `base`. Garbage values warn and
-/// keep the base value (the ResolveThreads contract).
+/// PROBKB_MAX_BUILD_PARTITIONS / PROBKB_MEM_BUDGET /
+/// PROBKB_SPILL_PAGE_BYTES / PROBKB_GRACE_SPLIT_MIN_ROWS on top of
+/// `base`. Garbage values warn and keep the base value (the
+/// ResolveThreads contract). PROBKB_MEM_BUDGET and
+/// PROBKB_SPILL_PAGE_BYTES accept K/M/G suffixes ("512M").
 Tunables ApplyTunablesEnv(Tunables base);
 
 /// \brief Measures this host's serial-vs-parallel crossover with a short

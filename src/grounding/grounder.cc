@@ -39,6 +39,8 @@ Grounder::Grounder(RelationalKB* rkb, GroundingOptions options)
   stats_.initial_atoms = rkb_->t_pi->NumRows();
   const int threads = ThreadPool::ResolveThreads(options_.num_threads);
   if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
+  spill_session_ = std::make_unique<SpillSession>(options_.mem_budget_bytes,
+                                                  options_.spill_dir);
 }
 
 std::string Grounder::ExplainPlans() const {
@@ -51,6 +53,7 @@ Status Grounder::ArmStatement(ExecContext* ec) {
   ec->set_fault_injector(injector_);
   ec->set_shared_op_counter(&op_counter_);
   ec->set_thread_pool(pool_.get());
+  ec->set_spill(spill_session_->context());
   if (options_.deadline_seconds > 0 || options_.max_rows_per_statement > 0) {
     ExecBudget budget;
     budget.max_produced_rows = options_.max_rows_per_statement;
@@ -233,6 +236,9 @@ Status Grounder::GroundAtoms() {
 }
 
 void Grounder::SnapshotWorkerStats() {
+  // Phase boundary: surface spill-layer counter deltas alongside the
+  // worker totals (no-op without a registry or a budget).
+  spill_session_->FlushCountersInto(obs_);
   if (obs_ != nullptr && pool_ != nullptr) {
     const std::vector<PoolWorkerStats> workers = pool_->WorkerStats();
     std::vector<WorkerTotals> totals;

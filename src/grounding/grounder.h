@@ -11,6 +11,7 @@
 #include "fault/checkpoint.h"
 #include "fault/fault_injector.h"
 #include "grounding/partition_queries.h"
+#include "grounding/spill_session.h"
 #include "kb/relational_model.h"
 #include "util/result.h"
 #include "util/thread_pool.h"
@@ -59,6 +60,14 @@ struct GroundingOptions {
   /// path. Any setting produces bit-identical outputs — see DESIGN.md
   /// "Threading model".
   int num_threads = 0;
+  /// Transient-memory budget for out-of-core execution: -1 inherits the
+  /// Tunables knob (--mem-budget / PROBKB_MEM_BUDGET), 0 disables
+  /// spilling, > 0 is an explicit byte limit. Like num_threads, any
+  /// setting produces bit-identical outputs — the budget only decides
+  /// where bytes live (DESIGN.md "Out-of-core").
+  int64_t mem_budget_bytes = -1;
+  /// Spill directory; empty resolves to <system temp>/probkb_spill.<pid>.
+  std::string spill_dir;
 };
 
 /// \brief Execution record of one grounding run.
@@ -165,6 +174,9 @@ class Grounder {
   /// Morsel-parallel executor for the statement plans; null on the serial
   /// path (options_.num_threads resolves to 1).
   std::unique_ptr<ThreadPool> pool_;
+  /// Out-of-core state (budget + spill context); disabled when no memory
+  /// budget resolves. Statements get it via ExecContext::set_spill.
+  std::unique_ptr<SpillSession> spill_session_;
   /// Semi-naive state: TPi row count at the start of the last iteration's
   /// merge (rows from here on are the delta).
   int64_t delta_start_ = 0;

@@ -42,6 +42,9 @@ MppGrounder::MppGrounder(const RelationalKB& rkb, int num_segments,
     pool_ = std::make_unique<ThreadPool>(threads);
     ctx_.set_thread_pool(pool_.get());
   }
+  spill_session_ = std::make_unique<SpillSession>(options_.mem_budget_bytes,
+                                                  options_.spill_dir);
+  ctx_.set_spill(spill_session_->context());
   stats_.initial_atoms = rkb.t_pi->NumRows();
   t_pi_ = DistributedTable::Distribute(*rkb.t_pi, num_segments,
                                        Distribution::Hash(ViewKeysT0()), "T0");
@@ -341,6 +344,9 @@ Status MppGrounder::GroundAtoms() {
 }
 
 void MppGrounder::SnapshotWorkerStats() {
+  // Phase boundary: surface spill-layer counter deltas alongside the
+  // worker totals (no-op without a registry or a budget).
+  spill_session_->FlushCountersInto(obs_);
   if (obs_ != nullptr && pool_ != nullptr) {
     std::vector<WorkerTotals> totals;
     for (const PoolWorkerStats& w : pool_->WorkerStats()) {

@@ -150,6 +150,10 @@ class MppGrounder {
   /// order, so thread count never changes any output.
   std::unique_ptr<ThreadPool> pool_;
 
+  /// Out-of-core state shared by every segment's ExecContext via
+  /// MppContext::set_spill; disabled when no memory budget resolves.
+  std::unique_ptr<SpillSession> spill_session_;
+
   /// Constraint bans, mirroring the single-node grounder: entities deleted
   /// by Query 3 must not be re-derived, or the fixpoint never converges.
   std::unordered_set<uint64_t> banned_x_keys_;

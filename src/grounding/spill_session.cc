@@ -1,0 +1,71 @@
+#include "grounding/spill_session.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <utility>
+
+#include "engine/tunables.h"
+#include "util/logging.h"
+
+namespace probkb {
+
+SpillSession::SpillSession(int64_t mem_budget_bytes, std::string spill_dir) {
+  const Tunables tun = GetTunables();
+  const int64_t bytes =
+      mem_budget_bytes >= 0 ? mem_budget_bytes : tun.mem_budget_bytes;
+  if (bytes <= 0) return;  // unlimited memory: pure in-memory execution
+  if (spill_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::path tmp = std::filesystem::temp_directory_path(ec);
+    if (ec) tmp = ".";
+    spill_dir = (tmp / ("probkb_spill." + std::to_string(::getpid())))
+                    .string();
+  }
+  // Partition buffers are part of the working set the budget governs: a
+  // page buffer larger than a slice of the budget would keep everything
+  // resident and never spill. Clamp pages to budget/16 (floor 4 KiB).
+  const int64_t page_bytes = std::clamp<int64_t>(
+      bytes / 16, 4096, tun.spill_page_bytes);
+  budget_ = std::make_unique<MemoryBudget>(bytes);
+  spill_ = std::make_unique<SpillContext>(std::move(spill_dir), budget_.get(),
+                                          page_bytes);
+  if (Status st = spill_->Prepare(); !st.ok()) {
+    PROBKB_SLOG(Spill, Warning)
+        << "spill directory unusable, running without a memory budget: "
+        << st.ToString();
+    spill_.reset();
+    budget_.reset();
+    return;
+  }
+  PROBKB_SLOG(Spill, Info) << "out-of-core execution armed: budget "
+                           << FormatByteSize(bytes) << ", spill dir '"
+                           << spill_->dir() << "', page "
+                           << FormatByteSize(page_bytes);
+}
+
+SpillSession::~SpillSession() {
+  if (spill_ != nullptr) spill_->RemoveOwnedFiles();
+}
+
+void SpillSession::FlushCountersInto(StatsRegistry* registry) {
+  if (registry == nullptr || spill_ == nullptr) return;
+  SpillStats& s = spill_->stats();
+  auto flush = [&](const char* name, std::atomic<int64_t>* counter,
+                   int64_t* flushed) {
+    const int64_t now = counter->load(std::memory_order_relaxed);
+    if (now > *flushed) {
+      registry->IncrementCounter(name, now - *flushed);
+      *flushed = now;
+    }
+  };
+  flush("spill_partitions", &s.partitions_spilled, &flushed_partitions_);
+  flush("spill_pages_written", &s.pages_written, &flushed_pages_);
+  flush("spill_bytes_written", &s.bytes_written, &flushed_written_);
+  flush("spill_bytes_read", &s.bytes_read, &flushed_read_);
+  flush("page_faults_served", &s.page_faults_served, &flushed_faults_);
+  flush("spill_checksum_retries", &s.checksum_retries, &flushed_retries_);
+}
+
+}  // namespace probkb

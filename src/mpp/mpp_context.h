@@ -11,6 +11,7 @@
 #include "fault/fault_injector.h"
 #include "mpp/cost_model.h"
 #include "mpp/distributed_table.h"
+#include "relational/spill.h"
 #include "obs/stats_registry.h"
 #include "runtime/process_runtime.h"
 #include "util/result.h"
@@ -73,6 +74,14 @@ class MppContext {
   /// serial engine's.
   void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
   ThreadPool* thread_pool() const { return pool_; }
+
+  /// \brief Attaches the out-of-core spill context (not owned; may be
+  /// nullptr). Per-segment ExecContexts inherit it, so segment-local
+  /// joins spill under the shared memory budget exactly as single-node
+  /// statements do. SpillContext is thread-safe; concurrent segment
+  /// fan-out charges one shared budget.
+  void set_spill(SpillContext* spill) { spill_ = spill; }
+  SpillContext* spill() const { return spill_; }
 
   /// \brief Attaches a spawned process runtime (not owned; may be nullptr).
   /// Motions then physically ship every cross-segment partition through
@@ -196,6 +205,7 @@ class MppContext {
   StatsRegistry* obs_ = nullptr;
   AdaptivePlanner* planner_ = nullptr;
   ThreadPool* pool_ = nullptr;
+  SpillContext* spill_ = nullptr;
   ProcessRuntime* runtime_ = nullptr;
   RetryPolicy retry_;
   double deadline_seconds_ = 0.0;

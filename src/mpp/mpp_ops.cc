@@ -71,6 +71,7 @@ Result<DistributedTablePtr> PerSegment(MppContext* ctx, int num_segments,
   std::vector<Status> statuses(static_cast<size_t>(num_segments));
   ForEachSegment(ctx, num_segments, input_rows, [&](int s) {
     ExecContext ec;
+    ec.set_spill(ctx->spill());
     Timer timer;
     PlanNodePtr plan = make_plan(s);
     Result<TablePtr> result = plan->Execute(&ec);
@@ -185,6 +186,7 @@ Result<DistributedTablePtr> MppHashJoin(MppContext* ctx,
 
   if (both_replicated) {
     ExecContext ec;
+    ec.set_spill(ctx->spill());
     Timer timer;
     auto plan = HashJoin(Scan(left->segment(0), left->name()),
                          Scan(right->segment(0), right->name()),
@@ -235,6 +237,7 @@ Result<DistributedTablePtr> MppDistinct(MppContext* ctx,
   if (input->distribution().is_replicated()) {
     // Distinct of a replicated table stays replicated; run once.
     ExecContext ec;
+    ec.set_spill(ctx->spill());
     Timer timer;
     auto plan = Distinct(Scan(input->segment(0), input->name()), key_cols);
     PROBKB_ASSIGN_OR_RETURN(TablePtr result, plan->Execute(&ec));

@@ -1,6 +1,7 @@
 #include "relational/table.h"
 
 #include <algorithm>
+#include <cstring>
 #include <sstream>
 
 namespace probkb {
@@ -126,6 +127,136 @@ void Table::AppendProjectedRows(const Table& src,
     }
   }
   num_rows_ += n;
+}
+
+void Table::AppendProjectedRows(const Table& src,
+                                std::span<const int> src_cols, int64_t begin,
+                                int64_t end) {
+  PROBKB_CHECK(static_cast<int>(src_cols.size()) == width());
+  PROBKB_DCHECK(begin >= 0 && begin <= end && end <= src.NumRows());
+  const int64_t n = end - begin;
+  if (n == 0) return;
+  ExtendNullWords(n);
+  for (size_t ci = 0; ci < cols_.size(); ++ci) {
+    Column& dst = Mut(static_cast<int>(ci));
+    const Column& from = *src.cols_[static_cast<size_t>(src_cols[ci])];
+    PROBKB_CHECK(dst.type == from.type);
+    if (dst.type == ColumnType::kInt64) {
+      dst.i64.insert(dst.i64.end(), from.i64.begin() + begin,
+                     from.i64.begin() + end);
+    } else {
+      dst.f64.insert(dst.f64.end(), from.f64.begin() + begin,
+                     from.f64.begin() + end);
+    }
+    if (from.null_count > 0) {
+      for (int64_t r = begin; r < end; ++r) {
+        if (IsNullBit(from, r)) SetNullBit(&dst, num_rows_ + (r - begin));
+      }
+    }
+  }
+  num_rows_ += n;
+}
+
+namespace {
+
+/// Gathers `rows` elements of `from` onto the end of `to`.
+template <typename T>
+void GatherInto(std::vector<T>* to, const std::vector<T>& from,
+                std::span<const int64_t> rows) {
+  to->reserve(to->size() + rows.size());
+  for (int64_t r : rows) to->push_back(from[static_cast<size_t>(r)]);
+}
+
+}  // namespace
+
+void Table::AppendGatheredRows(const Table& src,
+                               std::span<const int64_t> rows) {
+  PROBKB_CHECK(src.width() == width());
+  const int64_t n = static_cast<int64_t>(rows.size());
+  if (n == 0) return;
+  ExtendNullWords(n);
+  for (size_t ci = 0; ci < cols_.size(); ++ci) {
+    Column& dst = Mut(static_cast<int>(ci));
+    const Column& from = *src.cols_[ci];
+    PROBKB_DCHECK(dst.type == from.type);
+    if (dst.type == ColumnType::kInt64) {
+      GatherInto(&dst.i64, from.i64, rows);
+    } else {
+      GatherInto(&dst.f64, from.f64, rows);
+    }
+    if (from.null_count > 0) {
+      for (int64_t i = 0; i < n; ++i) {
+        if (IsNullBit(from, rows[static_cast<size_t>(i)])) {
+          SetNullBit(&dst, num_rows_ + i);
+        }
+      }
+    }
+  }
+  num_rows_ += n;
+}
+
+void Table::AppendGatheredRowsWithIds(const Table& src,
+                                      std::span<const int64_t> rows) {
+  PROBKB_CHECK(src.width() + 1 == width());
+  const int64_t n = static_cast<int64_t>(rows.size());
+  if (n == 0) return;
+  ExtendNullWords(n);
+  for (int ci = 0; ci < src.width(); ++ci) {
+    Column& dst = Mut(ci);
+    const Column& from = *src.cols_[static_cast<size_t>(ci)];
+    PROBKB_DCHECK(dst.type == from.type);
+    if (dst.type == ColumnType::kInt64) {
+      GatherInto(&dst.i64, from.i64, rows);
+    } else {
+      GatherInto(&dst.f64, from.f64, rows);
+    }
+    if (from.null_count > 0) {
+      for (int64_t i = 0; i < n; ++i) {
+        if (IsNullBit(from, rows[static_cast<size_t>(i)])) {
+          SetNullBit(&dst, num_rows_ + i);
+        }
+      }
+    }
+  }
+  Column& ids = Mut(width() - 1);
+  PROBKB_CHECK(ids.type == ColumnType::kInt64);
+  ids.i64.insert(ids.i64.end(), rows.begin(), rows.end());
+  num_rows_ += n;
+}
+
+void Table::AppendColumnarRows(int64_t rows,
+                               std::span<const ColumnWords> cols) {
+  PROBKB_CHECK(static_cast<int>(cols.size()) == width());
+  if (rows == 0) return;
+  ExtendNullWords(rows);
+  for (size_t ci = 0; ci < cols_.size(); ++ci) {
+    Column& dst = Mut(static_cast<int>(ci));
+    const ColumnWords& from = cols[ci];
+    // memcpy, not typed-pointer inserts: the encoded words sit at odd
+    // offsets inside a page payload (after 1-byte type tags), so a typed
+    // load would be misaligned.
+    if (dst.type == ColumnType::kInt64) {
+      const size_t old = dst.i64.size();
+      dst.i64.resize(old + static_cast<size_t>(rows));
+      std::memcpy(dst.i64.data() + old, from.words,
+                  static_cast<size_t>(rows) * sizeof(int64_t));
+    } else {
+      const size_t old = dst.f64.size();
+      dst.f64.resize(old + static_cast<size_t>(rows));
+      std::memcpy(dst.f64.data() + old, from.words,
+                  static_cast<size_t>(rows) * sizeof(double));
+    }
+    if (from.null_bitmap != nullptr) {
+      for (int64_t r = 0; r < rows; ++r) {
+        if ((from.null_bitmap[static_cast<size_t>(r >> 6)] >>
+             (static_cast<uint64_t>(r) & 63)) &
+            1) {
+          SetNullBit(&dst, num_rows_ + r);
+        }
+      }
+    }
+  }
+  num_rows_ += rows;
 }
 
 void Table::ReserveRows(int64_t n) {

@@ -125,6 +125,43 @@ class Table {
   /// (in order). The columnar fast path behind all-column projections.
   void AppendProjectedRows(const Table& src, std::span<const int> src_cols);
 
+  /// \brief Row-range variant of AppendProjectedRows: appends rows
+  /// [begin, end) of `src`, keeping only columns `src_cols`. The grace-hash
+  /// merge uses it to strip the trailing row-id column from partition
+  /// output runs without materializing cells.
+  void AppendProjectedRows(const Table& src, std::span<const int> src_cols,
+                           int64_t begin, int64_t end);
+
+  /// \brief Appends the rows of `src` at indices `rows` (in order) as
+  /// per-column gathers. Schemas must have equal width and column types.
+  /// The spill partitioner's scatter path: one gather per partition beats
+  /// a row-wise AppendRow loop by the usual columnar margin.
+  void AppendGatheredRows(const Table& src, std::span<const int64_t> rows);
+
+  /// \brief Like AppendGatheredRows, but this table carries one extra
+  /// trailing int64 column (width() == src.width() + 1) that receives each
+  /// appended row's `rows[i]` value. Spilled probe-side partitions use it
+  /// to remember original row indices, so partition outputs can be merged
+  /// back into the exact serial probe order (see DESIGN.md "Out-of-core").
+  void AppendGatheredRowsWithIds(const Table& src,
+                                 std::span<const int64_t> rows);
+
+  /// \brief One decoded column for AppendColumnarRows: `words` points at
+  /// 8-byte cells (int64 or float64 to match the column type; NULL cells
+  /// hold the zero sentinel), `null_bitmap` at the packed row bitmap, or
+  /// nullptr when the column has no NULLs.
+  struct ColumnWords {
+    const void* words = nullptr;
+    const uint64_t* null_bitmap = nullptr;
+  };
+
+  /// \brief Appends `rows` rows from raw columnar words, one ColumnWords
+  /// per schema column. The page-decode fast path of the wire/spill codec:
+  /// straight vector inserts instead of per-cell Value materialization,
+  /// byte-identical to the AppendRow route (the encoder dumped these words
+  /// straight from the typed vectors).
+  void AppendColumnarRows(int64_t rows, std::span<const ColumnWords> cols);
+
   /// \brief Reserves space for `n` additional rows.
   void ReserveRows(int64_t n);
 

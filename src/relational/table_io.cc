@@ -1,13 +1,141 @@
 #include "relational/table_io.h"
 
 #include <cinttypes>
+#include <cstring>
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <vector>
 
 #include "util/strings.h"
 
 namespace probkb {
+
+namespace {
+
+void AppendRaw(std::string* out, const void* data, size_t len) {
+  out->append(static_cast<const char*>(data), len);
+}
+
+template <typename T>
+void AppendPod(std::string* out, T v) {
+  AppendRaw(out, &v, sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::string_view* in, T* out) {
+  if (in->size() < sizeof(T)) return false;
+  std::memcpy(out, in->data(), sizeof(T));
+  in->remove_prefix(sizeof(T));
+  return true;
+}
+
+}  // namespace
+
+void EncodeTableColumnar(const Table& table, std::string* out) {
+  const int width = table.width();
+  const int64_t rows = table.NumRows();
+  AppendPod(out, rows);
+  AppendPod(out, static_cast<int32_t>(width));
+  for (int c = 0; c < width; ++c) {
+    const ColumnType type = table.schema().field(c).type;
+    AppendPod(out, static_cast<uint8_t>(type));
+    // Raw 8-byte cell words straight from the typed vectors: doubles
+    // round-trip bit for bit and NULL cells keep their zero sentinel.
+    if (type == ColumnType::kInt64) {
+      AppendRaw(out, table.Int64Data(c),
+                static_cast<size_t>(rows) * sizeof(int64_t));
+    } else {
+      AppendRaw(out, table.Float64Data(c),
+                static_cast<size_t>(rows) * sizeof(double));
+    }
+    const uint8_t has_nulls = table.ColumnHasNulls(c) ? 1 : 0;
+    AppendPod(out, has_nulls);
+    if (has_nulls) {
+      const size_t words = static_cast<size_t>((rows + 63) >> 6);
+      std::vector<uint64_t> bitmap(words, 0);
+      for (int64_t r = 0; r < rows; ++r) {
+        if (table.IsNull(r, c)) {
+          bitmap[static_cast<size_t>(r >> 6)] |=
+              uint64_t{1} << (static_cast<uint64_t>(r) & 63);
+        }
+      }
+      AppendRaw(out, bitmap.data(), words * sizeof(uint64_t));
+    }
+  }
+}
+
+Result<TablePtr> DecodeTableColumnar(const Schema& schema,
+                                     std::string_view bytes) {
+  int64_t rows = 0;
+  int32_t width = 0;
+  if (!ReadPod(&bytes, &rows) || !ReadPod(&bytes, &width)) {
+    return Status::DataLoss("table frame truncated before header");
+  }
+  if (rows < 0 || width != schema.num_fields()) {
+    return Status::DataLoss("table frame shape mismatch");
+  }
+  // Decoded column-major and appended column-major: the raw cell words go
+  // straight back into the typed vectors (AppendColumnarRows), with null
+  // bits replayed from the bitmaps — byte-identical to the source table.
+  std::vector<Table::ColumnWords> cols(static_cast<size_t>(width));
+  std::vector<std::vector<uint64_t>> bitmaps(static_cast<size_t>(width));
+  for (int c = 0; c < width; ++c) {
+    uint8_t type_tag = 0;
+    if (!ReadPod(&bytes, &type_tag)) {
+      return Status::DataLoss("table frame truncated before column type");
+    }
+    const ColumnType type = static_cast<ColumnType>(type_tag);
+    if (type != schema.field(c).type) {
+      return Status::DataLoss("table frame column type mismatch");
+    }
+    const size_t data_bytes = static_cast<size_t>(rows) * 8;
+    if (bytes.size() < data_bytes) {
+      return Status::DataLoss("table frame truncated in column data");
+    }
+    cols[static_cast<size_t>(c)].words = bytes.data();
+    bytes.remove_prefix(data_bytes);
+    uint8_t has_nulls = 0;
+    if (!ReadPod(&bytes, &has_nulls)) {
+      return Status::DataLoss("table frame truncated before null marker");
+    }
+    if (has_nulls) {
+      const size_t words = static_cast<size_t>((rows + 63) >> 6);
+      if (bytes.size() < words * sizeof(uint64_t)) {
+        return Status::DataLoss("table frame truncated in null bitmap");
+      }
+      // Copied out: the source view is not guaranteed 8-byte aligned.
+      std::vector<uint64_t>& bitmap = bitmaps[static_cast<size_t>(c)];
+      bitmap.resize(words);
+      std::memcpy(bitmap.data(), bytes.data(), words * sizeof(uint64_t));
+      cols[static_cast<size_t>(c)].null_bitmap = bitmap.data();
+      bytes.remove_prefix(words * sizeof(uint64_t));
+    }
+  }
+  if (!bytes.empty()) {
+    return Status::DataLoss("table frame has trailing bytes");
+  }
+  TablePtr table = Table::Make(schema);
+  table->AppendColumnarRows(rows, cols);
+  return table;
+}
+
+uint64_t ColumnarChecksum(const void* data, size_t len) {
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  uint64_t h = kRowHashSeed;
+  size_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    uint64_t word;
+    std::memcpy(&word, bytes + i, 8);
+    h = CombineRowHash(h, value_hash::Mix(word));
+  }
+  if (i < len) {
+    uint64_t word = 0;
+    std::memcpy(&word, bytes + i, len - i);
+    h = CombineRowHash(h, value_hash::Mix(word));
+  }
+  return CombineRowHash(h, value_hash::Mix(static_cast<uint64_t>(len)));
+}
 
 Status WriteTableTsv(const Table& table, std::ostream* out) {
   const Schema& schema = table.schema();

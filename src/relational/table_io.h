@@ -1,8 +1,10 @@
 #ifndef PROBKB_RELATIONAL_TABLE_IO_H_
 #define PROBKB_RELATIONAL_TABLE_IO_H_
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 
 #include "relational/table.h"
 #include "util/result.h"
@@ -23,6 +25,26 @@ Status WriteTableTsvFile(const Table& table, const std::string& path);
 Result<TablePtr> ReadTableTsv(const Schema& schema, std::istream* in);
 Result<TablePtr> ReadTableTsvFile(const Schema& schema,
                                   const std::string& path);
+
+/// \brief Lossless columnar table encoding shared by the MPP wire (PR 6's
+/// frame payloads — wire::SerializeTable delegates here) and the spill
+/// layer's page files: rows, width, then per column a type tag, the raw
+/// 8-byte cell words straight from the typed vectors (doubles round-trip
+/// bit for bit, NULL cells keep their zero sentinel), and an optional null
+/// bitmap. Hoisted into relational so spill.cc can reuse one byte format
+/// without depending on the runtime layer.
+void EncodeTableColumnar(const Table& table, std::string* out);
+
+/// \brief Inverse of EncodeTableColumnar; validates the encoded shape
+/// against `schema` and rebuilds the table byte-identically (columnar
+/// inserts via Table::AppendColumnarRows, no per-cell materialization).
+Result<TablePtr> DecodeTableColumnar(const Schema& schema,
+                                     std::string_view bytes);
+
+/// \brief Order-sensitive checksum over `len` bytes: value_hash::Mix of
+/// each 8-byte word (tail zero-padded) folded with CombineRowHash, plus
+/// the length. The wire's FrameChecksum and the spill page checksum.
+uint64_t ColumnarChecksum(const void* data, size_t len);
 
 }  // namespace probkb
 

@@ -9,6 +9,7 @@
 #include <cstring>
 #include <ctime>
 
+#include "relational/table_io.h"
 #include "relational/value.h"
 #include "util/logging.h"
 
@@ -87,23 +88,6 @@ Status RecvAll(int fd, void* data, size_t len, double deadline_at) {
   return Status::OK();
 }
 
-void AppendRaw(std::string* out, const void* data, size_t len) {
-  out->append(static_cast<const char*>(data), len);
-}
-
-template <typename T>
-void AppendPod(std::string* out, T v) {
-  AppendRaw(out, &v, sizeof(T));
-}
-
-template <typename T>
-bool ReadPod(std::string_view* in, T* out) {
-  if (in->size() < sizeof(T)) return false;
-  std::memcpy(out, in->data(), sizeof(T));
-  in->remove_prefix(sizeof(T));
-  return true;
-}
-
 }  // namespace
 
 const char* FrameTypeName(FrameType type) {
@@ -129,22 +113,9 @@ const char* FrameTypeName(FrameType type) {
 }
 
 uint64_t FrameChecksum(const void* data, size_t len) {
-  const char* p = static_cast<const char*>(data);
-  uint64_t h = kRowHashSeed;
-  size_t i = 0;
-  for (; i + 8 <= len; i += 8) {
-    uint64_t word;
-    std::memcpy(&word, p + i, 8);
-    h = CombineRowHash(h, value_hash::Mix(word));
-  }
-  if (i < len) {
-    uint64_t word = 0;
-    std::memcpy(&word, p + i, len - i);
-    h = CombineRowHash(h, value_hash::Mix(word));
-  }
-  // Fold in the length so a frame truncated to a zero-padded tail cannot
-  // collide with the original.
-  return CombineRowHash(h, value_hash::Mix(static_cast<uint64_t>(len)));
+  // Delegates to the relational-layer implementation so wire frames and
+  // spill pages share one checksum (see table_io.h).
+  return ColumnarChecksum(data, len);
 }
 
 Status WriteFrame(int fd, FrameType type, int64_t motion,
@@ -197,115 +168,12 @@ Result<Frame> ReadFrame(int fd, double deadline_seconds) {
 }
 
 void SerializeTable(const Table& table, std::string* out) {
-  const int width = table.width();
-  const int64_t rows = table.NumRows();
-  AppendPod(out, rows);
-  AppendPod(out, static_cast<int32_t>(width));
-  for (int c = 0; c < width; ++c) {
-    const ColumnType type = table.schema().field(c).type;
-    AppendPod(out, static_cast<uint8_t>(type));
-    // Raw 8-byte cell words straight from the typed vectors: doubles
-    // round-trip bit for bit and NULL cells keep their zero sentinel.
-    if (type == ColumnType::kInt64) {
-      AppendRaw(out, table.Int64Data(c),
-                static_cast<size_t>(rows) * sizeof(int64_t));
-    } else {
-      AppendRaw(out, table.Float64Data(c),
-                static_cast<size_t>(rows) * sizeof(double));
-    }
-    const uint8_t has_nulls = table.ColumnHasNulls(c) ? 1 : 0;
-    AppendPod(out, has_nulls);
-    if (has_nulls) {
-      const size_t words = static_cast<size_t>((rows + 63) >> 6);
-      std::vector<uint64_t> bitmap(words, 0);
-      for (int64_t r = 0; r < rows; ++r) {
-        if (table.IsNull(r, c)) {
-          bitmap[static_cast<size_t>(r >> 6)] |=
-              uint64_t{1} << (static_cast<uint64_t>(r) & 63);
-        }
-      }
-      AppendRaw(out, bitmap.data(), words * sizeof(uint64_t));
-    }
-  }
+  EncodeTableColumnar(table, out);
 }
 
 Result<TablePtr> DeserializeTable(const Schema& schema,
                                   std::string_view bytes) {
-  int64_t rows = 0;
-  int32_t width = 0;
-  if (!ReadPod(&bytes, &rows) || !ReadPod(&bytes, &width)) {
-    return Status::DataLoss("table frame truncated before header");
-  }
-  if (rows < 0 || width != schema.num_fields()) {
-    return Status::DataLoss("table frame shape mismatch");
-  }
-  TablePtr table = Table::Make(schema);
-  table->ReserveRows(rows);
-  // Decoded column-major, materialized row-major through AppendRow: the
-  // Value path re-applies the zero sentinel for NULL cells, so the rebuilt
-  // table is byte-identical to the source.
-  std::vector<std::vector<Value>> cols(static_cast<size_t>(width));
-  for (int c = 0; c < width; ++c) {
-    uint8_t type_tag = 0;
-    if (!ReadPod(&bytes, &type_tag)) {
-      return Status::DataLoss("table frame truncated before column type");
-    }
-    const ColumnType type = static_cast<ColumnType>(type_tag);
-    if (type != schema.field(c).type) {
-      return Status::DataLoss("table frame column type mismatch");
-    }
-    const size_t data_bytes = static_cast<size_t>(rows) * 8;
-    if (bytes.size() < data_bytes) {
-      return Status::DataLoss("table frame truncated in column data");
-    }
-    std::string_view data = bytes.substr(0, data_bytes);
-    bytes.remove_prefix(data_bytes);
-    uint8_t has_nulls = 0;
-    if (!ReadPod(&bytes, &has_nulls)) {
-      return Status::DataLoss("table frame truncated before null marker");
-    }
-    std::vector<uint64_t> bitmap;
-    if (has_nulls) {
-      const size_t words = static_cast<size_t>((rows + 63) >> 6);
-      bitmap.resize(words);
-      if (bytes.size() < words * sizeof(uint64_t)) {
-        return Status::DataLoss("table frame truncated in null bitmap");
-      }
-      std::memcpy(bitmap.data(), bytes.data(), words * sizeof(uint64_t));
-      bytes.remove_prefix(words * sizeof(uint64_t));
-    }
-    std::vector<Value>& col = cols[static_cast<size_t>(c)];
-    col.reserve(static_cast<size_t>(rows));
-    for (int64_t r = 0; r < rows; ++r) {
-      const bool is_null =
-          has_nulls && ((bitmap[static_cast<size_t>(r >> 6)] >>
-                         (static_cast<uint64_t>(r) & 63)) &
-                        1);
-      if (is_null) {
-        col.push_back(Value::Null());
-      } else if (type == ColumnType::kInt64) {
-        int64_t v;
-        std::memcpy(&v, data.data() + static_cast<size_t>(r) * 8, 8);
-        col.push_back(Value::Int64(v));
-      } else {
-        double v;
-        std::memcpy(&v, data.data() + static_cast<size_t>(r) * 8, 8);
-        col.push_back(Value::Float64(v));
-      }
-    }
-  }
-  if (!bytes.empty()) {
-    return Status::DataLoss("table frame has trailing bytes");
-  }
-  std::vector<Value> row(static_cast<size_t>(width));
-  for (int64_t r = 0; r < rows; ++r) {
-    for (int c = 0; c < width; ++c) {
-      row[static_cast<size_t>(c)] =
-          cols[static_cast<size_t>(c)][static_cast<size_t>(r)];
-    }
-    table->AppendRow(row);
-  }
-  return table;
+  return DecodeTableColumnar(schema, bytes);
 }
 
 }  // namespace wire

@@ -154,6 +154,8 @@ const char* LogSubsystemName(LogSubsystem subsystem) {
       return "obs";
     case LogSubsystem::kRuntime:
       return "runtime";
+    case LogSubsystem::kSpill:
+      return "spill";
   }
   return "?";
 }

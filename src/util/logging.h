@@ -24,6 +24,7 @@ enum class LogSubsystem : int {
   kInfer,
   kObs,
   kRuntime,
+  kSpill,
 };
 
 const char* LogLevelName(LogLevel level);

@@ -1,0 +1,79 @@
+#include "util/mem_budget.h"
+
+#include <cctype>
+#include <limits>
+
+#include "util/strings.h"
+
+namespace probkb {
+
+int64_t MemoryBudget::AvailableBytes() const {
+  const int64_t limit = limit_bytes();
+  if (limit <= 0) return std::numeric_limits<int64_t>::max();
+  const int64_t left = limit - pinned_bytes();
+  return left > 0 ? left : 0;
+}
+
+bool MemoryBudget::WouldExceed(int64_t bytes) const {
+  const int64_t limit = limit_bytes();
+  if (limit <= 0) return false;
+  return pinned_bytes() + bytes > limit;
+}
+
+Result<int64_t> ParseByteSize(std::string_view text) {
+  std::string_view s = StripWhitespace(text);
+  if (s.empty()) {
+    return Status::InvalidArgument("empty byte-size string");
+  }
+  int64_t multiplier = 1;
+  const char last = s.back();
+  switch (std::toupper(static_cast<unsigned char>(last))) {
+    case 'K':
+      multiplier = int64_t{1} << 10;
+      s.remove_suffix(1);
+      break;
+    case 'M':
+      multiplier = int64_t{1} << 20;
+      s.remove_suffix(1);
+      break;
+    case 'G':
+      multiplier = int64_t{1} << 30;
+      s.remove_suffix(1);
+      break;
+    default:
+      break;
+  }
+  int64_t value = 0;
+  if (!ParseInt64(s, &value) || value < 0) {
+    return Status::InvalidArgument(
+        StrFormat("'%.*s' is not a byte size (expected N[K|M|G])",
+                  static_cast<int>(text.size()), text.data()));
+  }
+  if (multiplier > 1 &&
+      value > std::numeric_limits<int64_t>::max() / multiplier) {
+    return Status::InvalidArgument(
+        StrFormat("byte size '%.*s' overflows int64",
+                  static_cast<int>(text.size()), text.data()));
+  }
+  return value * multiplier;
+}
+
+std::string FormatByteSize(int64_t bytes) {
+  const char* unit = "B";
+  double v = static_cast<double>(bytes);
+  if (bytes >= (int64_t{1} << 30)) {
+    unit = "GiB";
+    v /= static_cast<double>(int64_t{1} << 30);
+  } else if (bytes >= (int64_t{1} << 20)) {
+    unit = "MiB";
+    v /= static_cast<double>(int64_t{1} << 20);
+  } else if (bytes >= (int64_t{1} << 10)) {
+    unit = "KiB";
+    v /= static_cast<double>(int64_t{1} << 10);
+  } else {
+    return StrFormat("%lld B", static_cast<long long>(bytes));
+  }
+  return StrFormat("%.1f %s", v, unit);
+}
+
+}  // namespace probkb

@@ -1,0 +1,84 @@
+#ifndef PROBKB_UTIL_MEM_BUDGET_H_
+#define PROBKB_UTIL_MEM_BUDGET_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "util/result.h"
+
+namespace probkb {
+
+/// \brief Tracker of transient operator memory against an explicit budget.
+///
+/// The budget covers the *working set* of out-of-core execution — pinned
+/// spill partitions, partition write buffers — not the resident base
+/// tables an operator receives as input. Operators Charge() bytes when
+/// they pin pages into memory and Release() them when the pages are
+/// evicted; the grace-hash join consults AvailableBytes() to decide how
+/// many partitions to fan out so one partition pair fits in what remains.
+///
+/// Charging is advisory, not enforcing: a Charge that crosses the limit
+/// records the high-water mark and lets the caller proceed (the paging
+/// layer sizes its partitions so this stays within the ~1.2x slack the
+/// bench gate allows). All methods are thread-safe; MPP per-segment
+/// fan-out charges one shared budget concurrently.
+class MemoryBudget {
+ public:
+  explicit MemoryBudget(int64_t limit_bytes = 0) : limit_(limit_bytes) {}
+
+  /// \brief Byte limit; 0 disables tracking (enabled() == false).
+  void set_limit_bytes(int64_t bytes) {
+    limit_.store(bytes, std::memory_order_relaxed);
+  }
+  int64_t limit_bytes() const { return limit_.load(std::memory_order_relaxed); }
+  bool enabled() const { return limit_bytes() > 0; }
+
+  /// \brief Pins `bytes` of pages; updates the high-water mark.
+  void Charge(int64_t bytes) {
+    const int64_t now =
+        pinned_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    int64_t seen = high_water_.load(std::memory_order_relaxed);
+    while (now > seen &&
+           !high_water_.compare_exchange_weak(seen, now,
+                                              std::memory_order_relaxed)) {
+    }
+  }
+
+  /// \brief Unpins `bytes` previously Charge()d.
+  void Release(int64_t bytes) {
+    pinned_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+
+  int64_t pinned_bytes() const {
+    return pinned_.load(std::memory_order_relaxed);
+  }
+  int64_t high_water_bytes() const {
+    return high_water_.load(std::memory_order_relaxed);
+  }
+
+  /// \brief Bytes left under the limit (never negative); a disabled budget
+  /// reports int64 max, so callers can size against it unconditionally.
+  int64_t AvailableBytes() const;
+
+  /// \brief Whether pinning `bytes` more would cross the limit. Always
+  /// false when disabled.
+  bool WouldExceed(int64_t bytes) const;
+
+ private:
+  std::atomic<int64_t> limit_;
+  std::atomic<int64_t> pinned_{0};
+  std::atomic<int64_t> high_water_{0};
+};
+
+/// \brief Parses a byte-size string with an optional K/M/G suffix
+/// (case-insensitive, powers of 1024): "4096", "64K", "512M", "2G".
+/// kInvalidArgument on garbage, a negative value, or overflow.
+Result<int64_t> ParseByteSize(std::string_view text);
+
+/// \brief Human form of a byte count for logs: "512.0 MiB", "4.0 KiB".
+std::string FormatByteSize(int64_t bytes);
+
+}  // namespace probkb
+
+#endif  // PROBKB_UTIL_MEM_BUDGET_H_

@@ -11,8 +11,19 @@
 // Times here are *measured* engine seconds (no modelled per-statement
 // overhead): thread scaling is about real compute, and the modelled
 // overhead is thread-count independent by construction.
+//
+// `--out-of-core [FACTS]` appends a budgeted-grounding workload (default
+// 200000 facts via ScaleKbFacts): an in-memory baseline measures the
+// engine's transient peak-RSS delta, then the same grounding re-runs under
+// a budget of a quarter of that delta. Gates: the budgeted TPi is
+// bit-identical, the run actually spilled, and its peak-RSS delta stays
+// within 1.2x the budget plus the output tables (output growth is product,
+// not working set). The extra section only appears in the JSON when the
+// flag is passed, so bench_compare baselines are unaffected.
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <thread>
 #include <vector>
@@ -109,6 +120,80 @@ bool RunMppViews(const KnowledgeBase& kb, int threads, double* seconds,
   return true;
 }
 
+struct OutOfCoreReport {
+  long long facts = 0;
+  long long budget_bytes = 0;
+  long long baseline_delta_bytes = 0;  // in-memory transient peak-RSS delta
+  long long budgeted_delta_bytes = 0;  // same window under the budget
+  long long output_bytes = 0;          // final TPi + TPhi (product, allowed)
+  long long spill_bytes_written = 0;
+  double baseline_seconds = 0;
+  double budgeted_seconds = 0;
+  bool identical = false;
+  bool spilled = false;
+  bool rss_ok = false;
+};
+
+/// Budgeted-grounding workload (see header comment). The peak-RSS window
+/// opens *after* BuildRelationalModel so the deltas measure the engine's
+/// working set, not the resident KB the budget deliberately excludes.
+bool RunOutOfCore(const KnowledgeBase& kb, OutOfCoreReport* report) {
+  report->facts = static_cast<long long>(kb.facts().size());
+  GroundingOptions options;
+  options.max_iterations = kIterations;
+  options.num_threads = 1;
+  options.mem_budget_bytes = 0;
+
+  RelationalKB rkb_base = BuildRelationalModel(kb);
+  Grounder baseline(&rkb_base, options);
+  bench::TryResetPeakRss();
+  const long long rss0 = bench::PeakRssBytes();
+  Timer base_timer;
+  if (!baseline.GroundAtoms().ok()) return false;
+  auto phi_base = baseline.GroundFactors();
+  if (!phi_base.ok()) return false;
+  report->baseline_seconds = base_timer.Seconds();
+  report->baseline_delta_bytes = bench::PeakRssBytes() - rss0;
+
+  report->budget_bytes =
+      std::max(report->baseline_delta_bytes / 4, 8LL << 20);
+
+  RelationalKB rkb = BuildRelationalModel(kb);
+  options.mem_budget_bytes = report->budget_bytes;
+  StatsRegistry stats;
+  Grounder budgeted(&rkb, options);
+  budgeted.set_stats_registry(&stats);
+  bench::TryResetPeakRss();
+  const long long rss1 = bench::PeakRssBytes();
+  Timer budget_timer;
+  if (!budgeted.GroundAtoms().ok()) return false;
+  auto phi = budgeted.GroundFactors();
+  if (!phi.ok()) return false;
+  report->budgeted_seconds = budget_timer.Seconds();
+  report->budgeted_delta_bytes = bench::PeakRssBytes() - rss1;
+
+  report->output_bytes = static_cast<long long>(rkb.t_pi->ByteSize()) +
+                         static_cast<long long>((*phi)->ByteSize());
+  report->spill_bytes_written = stats.FindCounter("spill_bytes_written");
+  report->identical = TablesEqualExact(*rkb_base.t_pi, *rkb.t_pi) &&
+                      TablesEqualExact(**phi_base, **phi);
+  report->spilled = report->spill_bytes_written > 0;
+  // The envelope the budget must hold: 1.2x the budget of join working
+  // set, plus what any join must retain regardless of spilling — the
+  // answer tables themselves and up to one transient copy of them while
+  // the k-way merge drains leaf runs into the output (runs are freed as
+  // they empty, capping the duplication at ~1x output). 8 MiB of
+  // allocator slack covers glibc arena granularity at bench scales. The
+  // budgeted peak must also undercut the unbudgeted peak outright, so the
+  // envelope can never degenerate into a vacuous bound.
+  report->rss_ok = report->budgeted_delta_bytes <=
+                       static_cast<long long>(
+                           1.2 * static_cast<double>(report->budget_bytes)) +
+                           2 * report->output_bytes + (8LL << 20) &&
+                   report->budgeted_delta_bytes < report->baseline_delta_bytes;
+  return true;
+}
+
 template <typename RunFn>
 bool RunWorkload(const std::string& name, const KnowledgeBase& kb,
                  RunFn run, WorkloadReport* report) {
@@ -179,6 +264,27 @@ int main(int argc, char** argv) {
   if (!RunWorkload("table3_grounding", skb->kb, single_node, &reports[0]) ||
       !RunWorkload("fig6c_mpp_views", skb->kb, mpp_views, &reports[1])) {
     return 1;
+  }
+
+  // Optional budgeted-grounding workload (see header comment).
+  const bool want_oocore = bench::HasFlag(argc, argv, "--out-of-core");
+  OutOfCoreReport oocore;
+  if (want_oocore) {
+    long long target_facts = 200000;
+    const std::string arg = bench::ArgValue(argc, argv, "--out-of-core");
+    if (!arg.empty() && arg.rfind("--", 0) != 0) {
+      target_facts = std::atoll(arg.c_str());
+    }
+    KnowledgeBase scaled = skb->kb;
+    if (auto st = ScaleKbFacts(&scaled, target_facts, config.seed + 1);
+        !st.ok()) {
+      std::fprintf(stderr, "--out-of-core: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    if (!RunOutOfCore(scaled, &oocore)) {
+      std::fprintf(stderr, "--out-of-core: budgeted run failed\n");
+      return 1;
+    }
   }
 
   // Stats overhead + per-workload breakdowns: a serial stats-off run and a
@@ -297,6 +403,26 @@ int main(int argc, char** argv) {
       all_identical = all_identical && point.identical;
     }
   }
+  if (want_oocore) {
+    const double mib = 1024.0 * 1024.0;
+    std::printf(
+        "\nout-of-core (%lld facts): baseline %.3fs, peak delta %.1f MiB; "
+        "budget %.1f MiB -> budgeted %.3fs, peak delta %.1f MiB, "
+        "%.1f MiB spilled\n"
+        "  gates: %s, %s, %s\n",
+        oocore.facts, oocore.baseline_seconds,
+        static_cast<double>(oocore.baseline_delta_bytes) / mib,
+        static_cast<double>(oocore.budget_bytes) / mib,
+        oocore.budgeted_seconds,
+        static_cast<double>(oocore.budgeted_delta_bytes) / mib,
+        static_cast<double>(oocore.spill_bytes_written) / mib,
+        oocore.identical ? "bit-identical" : "MISMATCH",
+        oocore.spilled ? "spilled" : "NO SPILL",
+        oocore.rss_ok ? "peak within budget envelope" : "PEAK OVER BUDGET");
+    all_identical = all_identical && oocore.identical && oocore.spilled &&
+                    oocore.rss_ok;
+  }
+
   std::printf("\nstats overhead: off %.3fs, on %.3fs (%+.1f%%)\n",
               stats_off_seconds, stats_on_seconds, overhead_pct);
   std::printf("recorder+logging overhead: off %.3fs, on %.3fs (%+.1f%%)\n",
@@ -352,7 +478,26 @@ int main(int argc, char** argv) {
                                           : report.breakdown.c_str(),
                  i + 1 == reports.size() ? "" : ",");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f, "  ]");
+  if (want_oocore) {
+    std::fprintf(f,
+                 ",\n  \"out_of_core\": {\"facts\": %lld, "
+                 "\"mem_budget_bytes\": %lld,\n"
+                 "    \"baseline_seconds\": %g, "
+                 "\"baseline_delta_bytes\": %lld,\n"
+                 "    \"budgeted_seconds\": %g, "
+                 "\"budgeted_delta_bytes\": %lld,\n"
+                 "    \"output_bytes\": %lld, \"spill_bytes_written\": %lld,\n"
+                 "    \"identical\": %s, \"spilled\": %s, \"rss_ok\": %s}",
+                 oocore.facts, oocore.budget_bytes, oocore.baseline_seconds,
+                 oocore.baseline_delta_bytes, oocore.budgeted_seconds,
+                 oocore.budgeted_delta_bytes, oocore.output_bytes,
+                 oocore.spill_bytes_written,
+                 oocore.identical ? "true" : "false",
+                 oocore.spilled ? "true" : "false",
+                 oocore.rss_ok ? "true" : "false");
+  }
+  std::fprintf(f, "\n}\n");
   std::fclose(f);
   std::printf("\nwrote %s\n", json_path.c_str());
 

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Validates a ProbKB execution-stats JSON document or a span-tree dump.
 
-Usage: check_stats_json.py STATS_JSON [TRACE_JSON]
+Usage: check_stats_json.py [--require-spill] STATS_JSON [TRACE_JSON]
        check_stats_json.py --spans SPANS_JSONL
 
 Accepts either a bare StatsRegistry document (the probkb CLI's
@@ -20,6 +20,11 @@ Checks per registry:
 
 With a TRACE_JSON argument the Chrome-trace file must parse and carry
 non-negative complete events.
+
+``--require-spill`` additionally demands that at least one registry's
+counter list reports ``spill_bytes_written > 0`` — the out-of-core CI
+smoke uses it to prove a budgeted run really exercised the grace-hash
+spill path instead of silently fitting in memory.
 
 ``--spans`` instead validates a distributed-trace JSONL dump (the probkb
 CLI's ``--trace`` output): every non-root parent id must exist within the
@@ -97,9 +102,18 @@ def check_registry(name, reg):
             fail(f"registry '{name}' motion '{m.get('label')}' ships "
                  f"negative volume")
 
+    counters = {c.get("name"): c.get("value", 0)
+                for c in reg.get("counters", [])}
+    for cname, value in counters.items():
+        if not isinstance(value, int) or value < 0:
+            fail(f"registry '{name}' counter '{cname}' has a "
+                 f"non-integral or negative value: {value!r}")
+
     print(f"  {name}: {len(reg['statements'])} statements "
           f"({edges} checked edges), {len(reg['partitions'])} partition "
-          f"cells, {len(reg['motions'])} motion labels: OK")
+          f"cells, {len(reg['motions'])} motion labels, "
+          f"{len(counters)} counters: OK")
+    return counters
 
 
 def check_trace(path):
@@ -186,6 +200,8 @@ def main(argv):
         check_spans(argv[2])
         print("check_stats_json: PASS")
         return 0
+    require_spill = "--require-spill" in argv[1:]
+    argv = [a for a in argv if a != "--require-spill"]
     if len(argv) < 2 or len(argv) > 3:
         print(__doc__, file=sys.stderr)
         return 2
@@ -193,13 +209,23 @@ def main(argv):
         doc = json.load(f)
 
     print(f"check_stats_json: {argv[1]}")
+    spill_bytes = 0
     if "systems" in doc:
         if not doc["systems"]:
             fail("wrapper document has an empty 'systems' map")
         for name, reg in doc["systems"].items():
-            check_registry(name, reg)
+            counters = check_registry(name, reg)
+            spill_bytes += counters.get("spill_bytes_written", 0)
     else:
-        check_registry("stats", doc)
+        counters = check_registry("stats", doc)
+        spill_bytes += counters.get("spill_bytes_written", 0)
+
+    if require_spill:
+        if spill_bytes <= 0:
+            fail("--require-spill: no registry reported "
+                 "spill_bytes_written > 0; the budgeted run never spilled "
+                 "(budget too large for the workload?)")
+        print(f"  --require-spill: {spill_bytes} spill bytes written: OK")
 
     if len(argv) == 3:
         check_trace(argv[2])

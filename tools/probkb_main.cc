@@ -4,7 +4,8 @@
 //   probkb ground  program.mln [--iterations N] [--constraints]
 //                  [--rule-theta F] [--semi-naive] [--deadline S]
 //                  [--max-rows N] [--checkpoint DIR] [--resume]
-//                  [--threads N] [--tpi out.tsv] [--tphi out.tsv]
+//                  [--threads N] [--mem-budget SIZE] [--spill-dir DIR]
+//                  [--tpi out.tsv] [--tphi out.tsv]
 //   probkb infer   program.mln [--sweeps N] [--map] [same grounding flags]
 //   probkb explain program.mln --fact 'rel(x, y)'
 //   probkb serve   program.mln --query 'rel(x, y)' [--query ...]
@@ -49,6 +50,7 @@
 #include "serve/metrics_endpoint.h"
 #include "serve/query_server.h"
 #include "util/logging.h"
+#include "util/mem_budget.h"
 #include "util/strings.h"
 
 namespace {
@@ -71,6 +73,8 @@ struct CliOptions {
   std::string runtime;
   std::string checkpoint_dir;
   bool resume = false;
+  int64_t mem_budget = -1;  // -1 inherits Tunables; 0 disables spilling
+  std::string spill_dir;
   std::string tpi_out;
   std::string tphi_out;
   std::string fact_query;
@@ -111,6 +115,13 @@ int Usage() {
       "  --resume          resume grounding from --checkpoint DIR\n"
       "  --threads N       grounding worker threads (default: all cores;\n"
       "                    1 = serial; output is identical either way)\n"
+      "  --mem-budget SIZE out-of-core memory budget for grounding joins\n"
+      "                    (e.g. 256M, 2G; 0 = in-memory only; default\n"
+      "                    env PROBKB_MEM_BUDGET). Over-budget joins run\n"
+      "                    grace-hash with disk spill; output is\n"
+      "                    bit-identical either way\n"
+      "  --spill-dir DIR   spill-file directory (default: a per-process\n"
+      "                    directory under the system temp dir)\n"
       "  --segments N      ground on the N-segment MPP engine instead of\n"
       "                    the single-node grounder (ProbKB-p views plan)\n"
       "  --runtime R       sim | process: segment runtime for --segments\n"
@@ -297,6 +308,20 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       options->checkpoint_dir = v;
     } else if (flag == "--resume") {
       options->resume = true;
+    } else if (flag == "--mem-budget") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      auto bytes = probkb::ParseByteSize(v);
+      if (!bytes.ok() || *bytes < 0) {
+        std::fprintf(stderr,
+                     "--mem-budget wants a byte size like 512M or 2G\n");
+        return false;
+      }
+      options->mem_budget = *bytes;
+    } else if (flag == "--spill-dir") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->spill_dir = v;
     } else if (flag == "--threads") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -730,6 +755,8 @@ int Run(const CliOptions& options) {
   grounding.max_rows_per_statement = options.max_rows;
   grounding.checkpoint_dir = options.checkpoint_dir;
   grounding.num_threads = options.num_threads;
+  grounding.mem_budget_bytes = options.mem_budget;
+  grounding.spill_dir = options.spill_dir;
 
   if (options.command == "serve") {
     return RunServe(options, *kb, &rkb, grounding);
